@@ -1,0 +1,1 @@
+bench/common.ml: Filename Prelude Printf String

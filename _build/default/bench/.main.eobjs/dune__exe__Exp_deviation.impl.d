@@ -1,0 +1,1 @@
+bench/exp_deviation.ml: Common Dcf Float List Macgame Prelude Printf Stdlib

@@ -1,0 +1,1 @@
+bench/exp_dynamics.ml: Array Common Dcf Format List Macgame Netsim Prelude Stdlib String

@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Array Common Dcf List Macgame Netsim Prelude Printf Stdlib

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Common Dcf List Macgame Prelude Printf Stdlib

@@ -1,0 +1,1 @@
+bench/exp_multihop.ml: Array Common Dcf Float List Macgame Mobility Netsim Prelude Printf Stdlib

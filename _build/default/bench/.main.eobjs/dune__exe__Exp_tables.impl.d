@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Array Common Dcf Format List Macgame Netsim Prelude Printf Stdlib

@@ -1,0 +1,1 @@
+bench/exp_validation.ml: Array Common Dcf List Netsim Prelude Printf

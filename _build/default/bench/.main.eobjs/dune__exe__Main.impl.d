@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_deviation Exp_dynamics Exp_extensions Exp_figures Exp_multihop Exp_tables Exp_validation List Perf Printf String Sys

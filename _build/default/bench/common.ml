@@ -1,0 +1,55 @@
+(* Shared configuration and helpers for the experiment harness. *)
+
+type scale = {
+  sim_duration : float;   (* simulated seconds per measurement *)
+  replicates : int;       (* independent simulation replicates *)
+  multihop_nodes : int;
+  multihop_duration : float;
+  figure_points : int;
+}
+
+let quick =
+  {
+    sim_duration = 30.;
+    replicates = 3;
+    multihop_nodes = 100;
+    multihop_duration = 20.;
+    figure_points = 36;
+  }
+
+(* Paper-scale: 1000 s simulations as in Sec. VII. *)
+let full =
+  {
+    sim_duration = 300.;
+    replicates = 5;
+    multihop_nodes = 100;
+    multihop_duration = 120.;
+    figure_points = 48;
+  }
+
+let heading title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar
+
+let subheading title = Printf.printf "\n--- %s ---\n" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let print_table columns rows = print_string (Prelude.Table.render columns rows)
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+(* Optional CSV export directory (set by main from --csv DIR). *)
+let csv_dir : string option ref = ref None
+
+let csv name ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      Prelude.Csv.write ~path ~header rows;
+      note "wrote %s" path
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let f4 x = Printf.sprintf "%.4f" x

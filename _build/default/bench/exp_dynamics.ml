@@ -1,0 +1,150 @@
+(* Repeated-game dynamics (Sec. IV) and the NE-search protocol (Sec. V.C):
+   convergence of TFT/GTFT from heterogeneous starts, robustness to
+   measurement noise, and the search protocol against exact, noisy and
+   packet-simulated payoff oracles. *)
+
+let convergence (scale : Common.scale) =
+  Common.heading "TFT/GTFT convergence (Sec. IV)";
+  let params = Dcf.Params.default in
+  let n = 8 in
+  let rng = Prelude.Rng.create 12 in
+  let initials = Array.init n (fun _ -> Prelude.Rng.int_in rng 40 400) in
+  let strategies = Macgame.Repeated.all_tft ~n ~initials in
+  let outcome = Macgame.Repeated.run params ~strategies ~stages:8 in
+  Common.note "initial windows: %s"
+    (String.concat " " (Array.to_list (Array.map string_of_int initials)));
+  (match (Macgame.Repeated.converged_window outcome, outcome.converged_at) with
+  | Some w, Some k -> Common.note "TFT converged to W=%d at stage %d" w k
+  | _ -> Common.note "TFT did not converge within the horizon");
+  let columns =
+    [
+      Prelude.Table.column "stage";
+      Prelude.Table.column ~align:Prelude.Table.Left "profile";
+      Prelude.Table.column "welfare";
+      Prelude.Table.column "fairness";
+    ]
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (r : Macgame.Repeated.stage_record) ->
+           [
+             string_of_int r.stage;
+             Format.asprintf "%a" Macgame.Profile.pp r.cws;
+             Common.f3 r.welfare;
+             Common.f3 (Prelude.Stats.jain_fairness r.utilities);
+           ])
+         outcome.trace)
+  in
+  Common.print_table columns rows;
+  (* Noisy-observation ablation: TFT ratchets down, GTFT holds. *)
+  Common.subheading "observation noise ablation (TFT vs GTFT, 30 stages)";
+  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let final strategy_of samples =
+    let rng = Prelude.Rng.create 77 in
+    let observer = Macgame.Observer.sampling ~rng ~samples_per_stage:samples in
+    let strategies = Array.init n (fun _ -> strategy_of ()) in
+    let outcome =
+      Macgame.Repeated.run params ~observer ~strategies ~stages:30
+        ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
+    in
+    Macgame.Profile.min_window outcome.final
+  in
+  let columns =
+    [
+      Prelude.Table.column "samples/stage";
+      Prelude.Table.column "est. stddev";
+      Prelude.Table.column "TFT final W";
+      Prelude.Table.column "GTFT final W";
+    ]
+  in
+  let rows =
+    List.map
+      (fun samples ->
+        [
+          string_of_int samples;
+          Common.f3 (Macgame.Observer.estimate_error_stddev ~w:w_star ~samples);
+          string_of_int (final (fun () -> Macgame.Strategy.tft ~initial:w_star) samples);
+          string_of_int
+            (final
+               (fun () -> Macgame.Strategy.gtft ~initial:w_star ~r0:3 ~beta:0.8)
+               samples);
+        ])
+      [ 4; 16; 64; 256 ]
+  in
+  Common.print_table columns rows;
+  Common.note "Wc* = %d; plain TFT ratchets downward under estimation noise while"
+    w_star;
+  Common.note "GTFT (r0=3, beta=0.8) absorbs it — the motivation for GTFT in Sec. IV.";
+  ignore scale
+
+let search (scale : Common.scale) =
+  Common.heading "NE-search protocol (Sec. V.C)";
+  let params = { Dcf.Params.default with cw_max = 1024 } in
+  let n = 5 in
+  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let lo, hi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.95 in
+  Common.note "n=%d basic access, Wc*=%d, 95%% robust range [%d, %d]" n w_star lo hi;
+  let columns =
+    [
+      Prelude.Table.column ~align:Prelude.Table.Left "oracle";
+      Prelude.Table.column "w0";
+      Prelude.Table.column "probes";
+      Prelude.Table.column "found";
+      Prelude.Table.column "measurements";
+      Prelude.Table.column "payoff vs opt";
+      Prelude.Table.column "in 95% range";
+    ]
+  in
+  let analytic = Macgame.Search.analytic_oracle params ~n in
+  let noisy () =
+    Macgame.Search.noisy_oracle (Prelude.Rng.create 3) ~rel_stddev:0.01 analytic
+  in
+  let seed = ref 0 in
+  let simulated w =
+    (* Packet-counting oracle: each probe is a t_m = 4x base-duration
+       measurement window (payoff measurement noise shrinks as 1/sqrt(t_m),
+       and the climb needs it well below the per-step payoff slope). *)
+    incr seed;
+    Netsim.Slotted.payoff_oracle ~params ~n
+      ~duration:(4. *. scale.sim_duration)
+      ~seed:!seed w
+  in
+  let u_star = Macgame.Equilibrium.payoff params ~n ~w:w_star in
+  let row label oracle ~w0 ~probes =
+    let trace = Macgame.Search.run ~w0 ~probes ~cw_max:params.cw_max oracle in
+    [
+      label;
+      string_of_int w0;
+      string_of_int probes;
+      string_of_int trace.result;
+      string_of_int (List.length trace.measurements);
+      Common.pct (Macgame.Equilibrium.payoff params ~n ~w:trace.result /. u_star);
+      (if trace.result >= lo && trace.result <= hi then "yes" else "no");
+    ]
+  in
+  Common.print_table columns
+    [
+      row "analytic" analytic ~w0:8 ~probes:1;
+      row "analytic" analytic ~w0:(4 * w_star) ~probes:1;
+      row "noisy 1%" (noisy ()) ~w0:8 ~probes:1;
+      row "noisy 1%" (noisy ()) ~w0:8 ~probes:25;
+      row "noisy 1%" (noisy ()) ~w0:8 ~probes:200;
+      row "slotted sim" simulated ~w0:8 ~probes:40;
+    ];
+  Common.note "the unit-step climb stalls where the per-step payoff slope falls";
+  Common.note "below the measurement noise, so the certified window depends on the";
+  Common.note "measurement interval t_m (probes); the true 'payoff vs opt' at the";
+  Common.note "stall point is what matters operationally, and it degrades gracefully.";
+  Common.note "";
+  Common.note "the misreport check (Remark V.C): under-reporting W drags the";
+  let truthful, misreport =
+    Macgame.Search.misreport_stage_payoffs params ~n ~w_star
+      ~w_report:(Stdlib.max 1 (w_star / 2))
+  in
+  Common.note "coordinator itself to the reported window: stage payoff %s vs %s."
+    (Common.f3 misreport) (Common.f3 truthful)
+
+let run scale =
+  convergence scale;
+  search scale

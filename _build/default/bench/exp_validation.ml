@@ -1,0 +1,83 @@
+(* Substrate validation: the slotted packet simulator against the analytic
+   Markov-chain model (tau, p, payoff, throughput), in both tick
+   conventions.  This is the "simulation results coincide with the
+   analytical results" claim of Sec. VII.A, applied to our NS-2 substitute
+   rather than NS-2. *)
+
+let run (scale : Common.scale) =
+  Common.heading "Model vs simulator validation (Sec. VII.A)";
+  let params = Dcf.Params.default in
+  let columns =
+    [
+      Prelude.Table.column "n";
+      Prelude.Table.column "W";
+      Prelude.Table.column "tau model";
+      Prelude.Table.column "tau sim(B)";
+      Prelude.Table.column "tau sim(real)";
+      Prelude.Table.column "p model";
+      Prelude.Table.column "p sim(B)";
+      Prelude.Table.column "u model";
+      Prelude.Table.column "u sim(B)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (n, w) ->
+        let v = Dcf.Model.homogeneous params ~n ~w in
+        let sim bianchi_ticks =
+          Netsim.Slotted.run ~bianchi_ticks
+            {
+              params;
+              cws = Array.make n w;
+              duration = scale.sim_duration *. 2.;
+              seed = 42;
+            }
+        in
+        let rb = sim true and rr = sim false in
+        let mean f (r : Netsim.Slotted.result) =
+          Prelude.Stats.mean_of (Array.map f r.per_node)
+        in
+        [
+          string_of_int n;
+          string_of_int w;
+          Printf.sprintf "%.5f" v.tau;
+          Printf.sprintf "%.5f" (mean (fun s -> s.tau_hat) rb);
+          Printf.sprintf "%.5f" (mean (fun s -> s.tau_hat) rr);
+          Common.f4 v.p;
+          Common.f4 (mean (fun s -> s.p_hat) rb);
+          Common.f3 v.utility;
+          Common.f3 (mean (fun s -> s.payoff_rate) rb);
+        ])
+      [ (5, 79); (10, 160); (20, 339); (50, 859) ]
+  in
+  Common.print_table columns rows;
+  Common.note "sim(B): Bianchi tick convention (counters tick on busy slots) —";
+  Common.note "matches the chain tightly; sim(real): true freeze semantics — the";
+  Common.note "few-%% gap is the model's known accuracy limit.";
+  (* Throughput against CW, both modes: the classic Bianchi curve. *)
+  Common.subheading "saturation throughput (model), n = 10";
+  let columns =
+    [
+      Prelude.Table.column "W";
+      Prelude.Table.column "S basic";
+      Prelude.Table.column "S rts/cts";
+    ]
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let s params =
+          (Dcf.Metrics.of_taus params
+             (Array.make 10 (fst (Dcf.Solver.solve_homogeneous params ~n:10 ~w))))
+            .throughput
+        in
+        [
+          string_of_int w;
+          Common.f4 (s Dcf.Params.default);
+          Common.f4 (s Dcf.Params.rts_cts);
+        ])
+      [ 8; 16; 32; 64; 128; 256; 512; 1024 ]
+  in
+  Common.print_table columns rows;
+  Common.note "basic access is fragile at small windows (expensive collisions);";
+  Common.note "RTS/CTS is nearly flat — the shape behind Figures 2 vs 3."

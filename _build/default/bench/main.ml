@@ -1,0 +1,63 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Sec. VII) plus the analyses of Sec. V.C-V.E, and optionally
+   runs the Bechamel micro-benchmark suite.
+
+   Usage:
+     main.exe                 run all experiments at quick scale
+     main.exe --full          paper-scale durations
+     main.exe --perf          micro-benchmarks only
+     main.exe --only NAME     a single experiment: table1 table2 table3
+                              figure2 figure3 multihop shortsighted
+                              malicious convergence search validation *)
+
+let experiments : (string * (Common.scale -> unit)) list =
+  [
+    ("table1", fun _ -> Exp_tables.table1 ());
+    ("table2", Exp_tables.table2);
+    ("table3", Exp_tables.table3);
+    ("figure2", Exp_figures.figure2);
+    ("figure3", Exp_figures.figure3);
+    ("multihop", Exp_multihop.run);
+    ("shortsighted", Exp_deviation.shortsighted);
+    ("malicious", Exp_deviation.malicious);
+    ("convergence", Exp_dynamics.convergence);
+    ("search", Exp_dynamics.search);
+    ("validation", Exp_validation.run);
+    ("delay", Exp_extensions.delay);
+    ("payload", Exp_extensions.payload);
+    ("hidden", Exp_extensions.hidden);
+    ("drops", Exp_extensions.drops);
+    ("strategies", Exp_extensions.strategies);
+    ("detection", Exp_extensions.detection);
+    ("load", Exp_extensions.load);
+    ("coalition", Exp_extensions.coalition);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let perf = List.mem "--perf" args in
+  let rec keyed flag = function
+    | f :: value :: _ when f = flag -> Some value
+    | _ :: rest -> keyed flag rest
+    | [] -> None
+  in
+  let only = keyed "--only" in
+  Common.csv_dir := keyed "--csv" args;
+  let scale = if full then Common.full else Common.quick in
+  (match only args with
+  | Some name -> (
+      match List.assoc_opt name experiments with
+      | Some f -> f scale
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+  | None ->
+      if not perf then begin
+        Printf.printf
+          "Reproduction harness: Chen & Leneutre, ICDCS 2007 (%s scale)\n"
+          (if full then "full" else "quick");
+        List.iter (fun (_, f) -> f scale) experiments
+      end);
+  if perf then Perf.run ()

@@ -1,0 +1,122 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel, so the
+   cost of each table/figure's inner loop is tracked. *)
+
+open Bechamel
+open Toolkit
+
+let params = Dcf.Params.default
+
+let tests =
+  Test.make_grouped ~name:"selfish-mac"
+    [
+      (* Table II/III kernel: the heterogeneous fixed point. *)
+      Test.make ~name:"fixed_point_n50"
+        (Staged.stage (fun () ->
+             ignore (Dcf.Solver.solve params (Array.init 50 (fun i -> 64 + i)))));
+      Test.make ~name:"homogeneous_solve_n20"
+        (Staged.stage (fun () ->
+             ignore (Dcf.Solver.solve_homogeneous params ~n:20 ~w:339)));
+      (* Figures 2-3 kernel: one welfare evaluation. *)
+      Test.make ~name:"welfare_point_n20"
+        (Staged.stage (fun () ->
+             ignore (Macgame.Equilibrium.payoff params ~n:20 ~w:128)));
+      (* Efficient-NE computation (ternary search over the window space). *)
+      Test.make ~name:"efficient_cw_n20"
+        (Staged.stage (fun () ->
+             ignore (Macgame.Equilibrium.efficient_cw params ~n:20)));
+      (* Table II simulated column kernel: 1 simulated second, 10 nodes. *)
+      Test.make ~name:"slotted_sim_1s_n10"
+        (Staged.stage (fun () ->
+             ignore
+               (Netsim.Slotted.run
+                  { params; cws = Array.make 10 128; duration = 1.; seed = 1 })));
+      (* Multi-hop kernel: 1 simulated second, 30 nodes, RTS/CTS chain. *)
+      Test.make ~name:"spatial_sim_1s_n30"
+        (Staged.stage
+           (let adjacency =
+              Array.init 30 (fun i ->
+                  List.filter (fun j -> j >= 0 && j < 30 && j <> i) [ i - 1; i + 1 ])
+            in
+            fun () ->
+              ignore
+                (Netsim.Spatial.run
+                   {
+                     params = Dcf.Params.rts_cts;
+                     adjacency;
+                     cws = Array.make 30 32;
+                     duration = 1.;
+                     seed = 1;
+                   })));
+      (* Repeated-game kernel: a 5-stage TFT game with analytic payoffs. *)
+      Test.make ~name:"tft_game_5stages_n5"
+        (Staged.stage (fun () ->
+             ignore
+               (Macgame.Repeated.run params
+                  ~strategies:
+                    (Macgame.Repeated.all_tft ~n:5
+                       ~initials:[| 100; 90; 110; 95; 105 |])
+                  ~stages:5)));
+      (* Deviation analysis kernel. *)
+      Test.make ~name:"deviant_solve_n20"
+        (Staged.stage (fun () ->
+             ignore (Dcf.Solver.solve_with_deviant params ~n:20 ~w:339 ~w_dev:100)));
+      (* Coalition kernel: a 3-class fixed point. *)
+      Test.make ~name:"class_solve_3classes"
+        (Staged.stage (fun () ->
+             ignore
+               (Dcf.Solver.solve_classes params [ (83, 3); (166, 10); (332, 7) ])));
+      (* Unsaturated kernel: 1 simulated second at 70% load, 10 nodes. *)
+      Test.make ~name:"unsaturated_sim_1s_n10"
+        (Staged.stage (fun () ->
+             ignore
+               (Netsim.Unsaturated.run
+                  {
+                    params;
+                    cws = Array.make 10 166;
+                    arrival_rates = Array.make 10 7.;
+                    duration = 1.;
+                    seed = 1;
+                  })));
+    ]
+
+let run () =
+  Common.heading "Bechamel micro-benchmarks";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let columns =
+    [
+      Prelude.Table.column ~align:Prelude.Table.Left "benchmark";
+      Prelude.Table.column "time/run";
+    ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure per_test ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let rendered =
+            if Float.is_nan estimate then "n/a"
+            else if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+            else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+            else Printf.sprintf "%.0f ns" estimate
+          in
+          rows := [ name; rendered ] :: !rows)
+        per_test)
+    results;
+  Common.print_table columns (List.sort compare !rows)

@@ -1,0 +1,416 @@
+(* macgame: command-line front end to the selfish-MAC game library.
+
+   Subcommands:
+     solve     solve the analytic model for a CW profile
+     ne        Nash-equilibrium analysis for a symmetric network
+     game      play the repeated game (TFT/GTFT/cheaters) and print the trace
+     search    run the distributed NE-search protocol
+     sim       run the packet-level single-hop simulator
+     multihop  random-waypoint multi-hop scenario and quasi-optimality
+     sweep     payoff and throughput versus the common window *)
+
+open Cmdliner
+
+(* {1 Shared options} *)
+
+let mode_arg =
+  let parse = function
+    | "basic" -> Ok Dcf.Params.Basic
+    | "rts" | "rts-cts" | "rtscts" -> Ok Dcf.Params.Rts_cts
+    | s -> Error (`Msg (Printf.sprintf "unknown access mode %S" s))
+  in
+  let print ppf mode = Dcf.Params.pp_access_mode ppf mode in
+  Arg.conv (parse, print)
+
+let mode_t =
+  Arg.(
+    value
+    & opt mode_arg Dcf.Params.Basic
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Access mode: $(b,basic) or $(b,rts).")
+
+let backoff_t =
+  Arg.(
+    value
+    & opt int Dcf.Params.default.max_backoff_stage
+    & info [ "m"; "max-backoff-stage" ] ~docv:"M"
+        ~doc:"Number of contention-window doublings (0 disables backoff).")
+
+let params_of mode m =
+  let params = Dcf.Params.with_mode mode Dcf.Params.default in
+  let params = { params with Dcf.Params.max_backoff_stage = m } in
+  match Dcf.Params.validate params with
+  | Ok () -> params
+  | Error e ->
+      Printf.eprintf "invalid parameters: %s\n" e;
+      exit 2
+
+let n_t =
+  Arg.(
+    value & opt int 5
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of contending nodes.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let duration_t =
+  Arg.(
+    value & opt float 60.
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
+
+(* {1 solve} *)
+
+let solve_cmd =
+  let profile_t =
+    Arg.(
+      non_empty
+      & pos_all int []
+      & info [] ~docv:"CW..." ~doc:"Contention windows, one per node.")
+  in
+  let run mode m cws =
+    let params = params_of mode m in
+    let solved = Dcf.Model.solve params (Array.of_list cws) in
+    Printf.printf "node |    W |    tau |      p | throughput | payoff/s\n";
+    Array.iteri
+      (fun i w ->
+        Printf.printf "%4d | %4d | %.4f | %.4f |     %.4f | %+.4f\n" i w
+          solved.taus.(i) solved.ps.(i)
+          solved.metrics.per_node_throughput.(i)
+          solved.utilities.(i))
+      solved.cws;
+    Printf.printf
+      "channel: S=%.4f  Tslot=%.1f us  idle %.1f%%  success %.1f%%  collision %.1f%%\n"
+      solved.metrics.throughput
+      (solved.metrics.slot_time *. 1e6)
+      (100. *. Dcf.Metrics.idle_fraction solved.metrics)
+      (100. *. Dcf.Metrics.success_fraction solved.metrics)
+      (100. *. Dcf.Metrics.collision_fraction solved.metrics)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve the analytic model for a CW profile")
+    Term.(const run $ mode_t $ backoff_t $ profile_t)
+
+(* {1 ne} *)
+
+let ne_cmd =
+  let run mode m n =
+    let params = params_of mode m in
+    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    let w_lo = Macgame.Equilibrium.break_even_cw params ~n in
+    let rlo, rhi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.95 in
+    Printf.printf "players            n    = %d (%s)\n" n
+      (Format.asprintf "%a" Dcf.Params.pp_access_mode mode);
+    Printf.printf "efficient NE       Wc*  = %d\n" w_star;
+    Printf.printf "break-even window  Wc0  = %d\n" w_lo;
+    Printf.printf "NE set                  = [%d, %d]\n" w_lo w_star;
+    Printf.printf "95%% robust range        = [%d, %d]\n" rlo rhi;
+    Printf.printf "payoff at Wc*           = %.4f /s per node\n"
+      (Macgame.Equilibrium.payoff params ~n ~w:w_star);
+    Printf.printf "social welfare at Wc*   = %.4f /s\n"
+      (Macgame.Equilibrium.social_welfare params ~n ~w:w_star);
+    if n > 1 then
+      Printf.printf "optimal tau (Q root)    = %.5f\n"
+        (Macgame.Equilibrium.tau_star params ~n)
+  in
+  Cmd.v
+    (Cmd.info "ne" ~doc:"Nash-equilibrium analysis for a symmetric network")
+    Term.(const run $ mode_t $ backoff_t $ n_t)
+
+(* {1 game} *)
+
+let game_cmd =
+  let stages_t =
+    Arg.(value & opt int 6 & info [ "stages" ] ~docv:"K" ~doc:"Stages to play.")
+  in
+  let cheater_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cheater" ] ~docv:"W"
+          ~doc:"Add one player that pins this window (replaces player 0).")
+  in
+  let gtft_t =
+    Arg.(
+      value & flag
+      & info [ "gtft" ] ~doc:"Use Generous TFT (r0=3, beta=0.9) instead of TFT.")
+  in
+  let noise_t =
+    Arg.(
+      value & opt float 0.
+      & info [ "obs-noise" ] ~docv:"REL"
+          ~doc:"Relative stddev of CW observation noise (0 = perfect).")
+  in
+  let run mode m n stages cheater gtft noise seed =
+    let params = params_of mode m in
+    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    let base i =
+      let initial = w_star + (7 * i) in
+      if gtft then Macgame.Strategy.gtft ~initial ~r0:3 ~beta:0.9
+      else Macgame.Strategy.tft ~initial
+    in
+    let strategies = Array.init n base in
+    (match cheater with
+    | Some w -> strategies.(0) <- Macgame.Strategy.fixed w
+    | None -> ());
+    let observer =
+      if noise > 0. then
+        Macgame.Observer.noisy ~rng:(Prelude.Rng.create seed) ~rel_stddev:noise
+      else Macgame.Observer.perfect
+    in
+    let outcome = Macgame.Repeated.run params ~observer ~strategies ~stages in
+    Printf.printf "players: %s\n"
+      (String.concat ", "
+         (Array.to_list
+            (Array.map (Format.asprintf "%a" Macgame.Strategy.pp) strategies)));
+    Printf.printf "stage | profile | welfare | fairness\n";
+    Array.iter
+      (fun (r : Macgame.Repeated.stage_record) ->
+        Printf.printf "%5d | %s | %8.3f | %.3f\n" r.stage
+          (Format.asprintf "%a" Macgame.Profile.pp r.cws)
+          r.welfare
+          (Prelude.Stats.jain_fairness r.utilities))
+      outcome.trace;
+    match (Macgame.Repeated.converged_window outcome, outcome.converged_at) with
+    | Some w, Some k -> Printf.printf "converged to W=%d at stage %d\n" w k
+    | _ -> print_endline "no convergence within the horizon"
+  in
+  Cmd.v
+    (Cmd.info "game" ~doc:"Play the repeated MAC game and print the trace")
+    Term.(
+      const run $ mode_t $ backoff_t $ n_t $ stages_t $ cheater_t $ gtft_t
+      $ noise_t $ seed_t)
+
+(* {1 search} *)
+
+let search_cmd =
+  let w0_t =
+    Arg.(value & opt int 16 & info [ "w0" ] ~docv:"W0" ~doc:"Starting window.")
+  in
+  let probes_t =
+    Arg.(
+      value & opt int 1
+      & info [ "probes" ] ~docv:"K" ~doc:"Payoff measurements per candidate.")
+  in
+  let oracle_t =
+    Arg.(
+      value
+      & opt (enum [ ("analytic", `Analytic); ("sim", `Sim) ]) `Analytic
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:"Payoff oracle: $(b,analytic) or $(b,sim).")
+  in
+  let run mode m n w0 probes oracle duration seed =
+    let params = params_of mode m in
+    let oracle_fn =
+      match oracle with
+      | `Analytic -> Macgame.Search.analytic_oracle params ~n
+      | `Sim ->
+          let count = ref 0 in
+          fun w ->
+            incr count;
+            Netsim.Slotted.payoff_oracle ~params ~n ~duration
+              ~seed:(seed + !count) w
+    in
+    let trace =
+      Macgame.Search.run ~w0 ~probes ~cw_max:params.Dcf.Params.cw_max oracle_fn
+    in
+    List.iter
+      (fun { Macgame.Search.w; payoff } ->
+        Printf.printf "probe W=%4d  payoff %.4f\n" w payoff)
+      trace.measurements;
+    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    let u w = Macgame.Equilibrium.payoff params ~n ~w in
+    Printf.printf "announced Wm = %d (true Wc* = %d, payoff ratio %.1f%%)\n"
+      trace.result w_star
+      (100. *. u trace.result /. u w_star)
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run the distributed NE-search protocol (Sec. V.C)")
+    Term.(
+      const run $ mode_t $ backoff_t $ n_t $ w0_t $ probes_t $ oracle_t
+      $ duration_t $ seed_t)
+
+(* {1 sim} *)
+
+let sim_cmd =
+  let w_t =
+    Arg.(
+      value & opt int 79 & info [ "w"; "window" ] ~docv:"W" ~doc:"Common contention window.")
+  in
+  let run mode m n w duration seed =
+    let params = params_of mode m in
+    let r =
+      Netsim.Slotted.run { params; cws = Array.make n w; duration; seed }
+    in
+    Printf.printf "simulated %.1f s, %d virtual slots\n" r.time r.slots;
+    Printf.printf "node | attempts | success | tau_hat |  p_hat | payoff/s\n";
+    Array.iteri
+      (fun i (s : Netsim.Slotted.node_stats) ->
+        Printf.printf "%4d | %8d | %7d | %.5f | %.4f | %+.4f\n" i s.attempts
+          s.successes s.tau_hat s.p_hat s.payoff_rate)
+      r.per_node;
+    let v = Dcf.Model.homogeneous params ~n ~w in
+    Printf.printf "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n" v.tau
+      v.p v.utility r.welfare_rate
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Packet-level single-hop simulation")
+    Term.(const run $ mode_t $ backoff_t $ n_t $ w_t $ duration_t $ seed_t)
+
+(* {1 multihop} *)
+
+let multihop_cmd =
+  let nodes_t =
+    Arg.(value & opt int 100 & info [ "nodes" ] ~docv:"N" ~doc:"Node count.")
+  in
+  let area_t =
+    Arg.(
+      value & opt float 1000.
+      & info [ "area" ] ~docv:"METERS" ~doc:"Side of the square area.")
+  in
+  let range_t =
+    Arg.(
+      value & opt float 250.
+      & info [ "range" ] ~docv:"METERS" ~doc:"Radio range.")
+  in
+  let run m nodes area range seed =
+    let params =
+      { Dcf.Params.rts_cts with Dcf.Params.max_backoff_stage = m }
+    in
+    let walkers =
+      Mobility.Waypoint.create ~seed
+        { width = area; height = area; speed_min = 0.; speed_max = 5. }
+        ~n:nodes
+    in
+    let adjacency =
+      Mobility.Topology.snapshot ~connect_attempts:200 walkers ~range
+    in
+    Printf.printf "topology: %d nodes, avg degree %.1f, connected %b\n" nodes
+      (Mobility.Topology.average_degree adjacency)
+      (Mobility.Topology.is_connected adjacency);
+    let members = Mobility.Topology.largest_component adjacency in
+    let core = Mobility.Topology.restrict adjacency members in
+    let graph = Macgame.Multihop.create core in
+    let q = Macgame.Multihop.quasi_optimality params graph in
+    Printf.printf "largest component: %d nodes, diameter %d\n"
+      (List.length members)
+      (Macgame.Multihop.diameter graph);
+    Printf.printf "converged NE window Wm   = %d\n" q.w_m;
+    Printf.printf "best common window       = %d\n" q.w_global_opt;
+    Printf.printf "global payoff ratio      = %.1f%%\n" (100. *. q.global_ratio);
+    Printf.printf "worst local payoff ratio = %.1f%%\n"
+      (100. *. q.min_local_ratio)
+  in
+  Cmd.v
+    (Cmd.info "multihop"
+       ~doc:"Random-waypoint multi-hop scenario and NE quasi-optimality")
+    Term.(const run $ backoff_t $ nodes_t $ area_t $ range_t $ seed_t)
+
+(* {1 sweep} *)
+
+let sweep_cmd =
+  let points_t =
+    Arg.(value & opt int 24 & info [ "points" ] ~docv:"K" ~doc:"Grid size.")
+  in
+  let run mode m n points =
+    let params = params_of mode m in
+    let ws = Macgame.Welfare.sample_windows params ~n ~count:points in
+    Printf.printf "   W | payoff/node | welfare | U/C      | throughput\n";
+    Array.iter
+      (fun w ->
+        let v = Dcf.Model.homogeneous params ~n ~w in
+        let metrics =
+          Dcf.Metrics.of_taus params (Array.make n v.Dcf.Model.tau)
+        in
+        Printf.printf "%4d |    %8.4f | %7.3f | %.6f | %.4f\n" w v.utility
+          (float_of_int n *. v.utility)
+          (params.Dcf.Params.sigma *. float_of_int n *. v.utility
+          /. params.Dcf.Params.gain)
+          metrics.throughput)
+      ws;
+    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    Printf.printf "efficient NE at W = %d\n" w_star
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Payoff and throughput versus the common window")
+    Term.(const run $ mode_t $ backoff_t $ n_t $ points_t)
+
+(* {1 delay} *)
+
+let delay_cmd =
+  let gamma_t =
+    Arg.(
+      value & opt float 0.
+      & info [ "gamma" ] ~docv:"G" ~doc:"Delay sensitivity in 1/s.")
+  in
+  let run mode m n gamma =
+    let params = params_of mode m in
+    let w_star = Macgame.Delay_game.efficient_cw params ~gamma ~n in
+    let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w:w_star in
+    let metrics = Dcf.Metrics.of_taus params (Array.make n tau) in
+    let view =
+      Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w:w_star
+        ~m:params.Dcf.Params.max_backoff_stage
+    in
+    Printf.printf "delay-aware efficient NE (gamma=%g): W = %d\n" gamma w_star;
+    Printf.printf "mean access delay        = %.2f ms\n" (view.mean_delay *. 1e3);
+    Printf.printf "attempts per packet      = %.3f\n" view.attempts_per_packet;
+    Printf.printf "backoff slots per packet = %.1f\n" view.backoff_slots_per_packet;
+    Printf.printf "network throughput S     = %.4f\n" metrics.throughput
+  in
+  Cmd.v
+    (Cmd.info "delay" ~doc:"Delay-aware NE analysis (Sec. VIII extension)")
+    Term.(const run $ mode_t $ backoff_t $ n_t $ gamma_t)
+
+(* {1 detect} *)
+
+let detect_cmd =
+  let beta_t =
+    Arg.(
+      value & opt float 0.8
+      & info [ "beta" ] ~docv:"B" ~doc:"Tolerance threshold in (0, 1].")
+  in
+  let samples_t =
+    Arg.(
+      value & opt int 25
+      & info [ "samples" ] ~docv:"K" ~doc:"Backoff observations per stage.")
+  in
+  let run mode m n beta samples =
+    let params = params_of mode m in
+    let w_exp = Macgame.Equilibrium.efficient_cw params ~n in
+    Printf.printf "expected window W = %d; trigger: estimate < %.2f*W\n" w_exp beta;
+    Printf.printf "false positive rate      = %.5f\n"
+      (Macgame.Detection.false_positive_rate ~w_exp ~samples ~beta);
+    List.iter
+      (fun frac ->
+        let w_true = Stdlib.max 1 (w_exp / frac) in
+        Printf.printf "detect cheater at W/%d    = %.5f\n" frac
+          (Macgame.Detection.detection_rate ~w_true ~w_exp ~samples ~beta))
+      [ 2; 4; 8 ];
+    match
+      Macgame.Detection.design_gtft ~w_exp ~cheat_factor:0.5 ~per_stage:samples
+        ~max_fp:0.05 ~min_detection:0.95
+    with
+    | Some d ->
+        Printf.printf
+          "suggested GTFT: beta=%.3f, r0=%d (FP %.4f, detection %.4f)\n" d.beta
+          d.r0 d.false_positive d.detection
+    | None -> print_endline "no feasible GTFT design within r0 <= 64"
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Cheating-detection error rates and GTFT design (cf. [3])")
+    Term.(const run $ mode_t $ backoff_t $ n_t $ beta_t $ samples_t)
+
+let () =
+  let info =
+    Cmd.info "macgame" ~version:"1.0.0"
+      ~doc:
+        "Game-theoretic analysis of selfish IEEE 802.11 DCF (ICDCS 2007 \
+         reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd; ne_cmd; game_cmd; search_cmd; sim_cmd; multihop_cmd;
+            sweep_cmd; delay_cmd; detect_cmd;
+          ]))

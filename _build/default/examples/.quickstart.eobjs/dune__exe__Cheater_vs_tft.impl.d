@@ -1,0 +1,1 @@
+examples/cheater_vs_tft.ml: Array Dcf Format List Macgame Netsim Printf

@@ -1,0 +1,1 @@
+examples/cheater_vs_tft.mli:

@@ -1,0 +1,1 @@
+examples/delay_and_payload.ml: Array Dcf List Macgame Prelude Printf

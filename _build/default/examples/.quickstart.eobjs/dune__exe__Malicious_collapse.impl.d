@@ -1,0 +1,1 @@
+examples/malicious_collapse.ml: Array Dcf Format List Macgame Printf

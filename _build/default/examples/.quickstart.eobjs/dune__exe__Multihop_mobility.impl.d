@@ -1,0 +1,1 @@
+examples/multihop_mobility.ml: Array Dcf List Macgame Mobility Netsim Prelude Printf Stdlib

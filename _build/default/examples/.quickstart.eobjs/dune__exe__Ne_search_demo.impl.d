@@ -1,0 +1,1 @@
+examples/ne_search_demo.ml: Dcf List Macgame Netsim Printf Stdlib

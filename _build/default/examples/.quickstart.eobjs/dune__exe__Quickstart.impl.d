@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dcf Format List Macgame Prelude Printf

@@ -1,0 +1,63 @@
+(* A selfish node tries to free-ride on a TFT network (Sec. V.D).
+
+   One node halves its contention window while the other four play TFT from
+   the efficient NE.  Stage payoffs are measured by the packet-level
+   simulator.  The cheater wins the first stage, gets punished from the
+   second on, and whether the whole affair was worth it depends only on its
+   patience delta_s — which we then quantify with the analytic model.
+
+   Run with: dune exec examples/cheater_vs_tft.exe *)
+
+let () =
+  let params = Dcf.Params.default in
+  let n = 5 in
+  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_cheat = w_star / 2 in
+  Printf.printf "Efficient NE window Wc* = %d; the cheater pins W = %d.\n\n"
+    w_star w_cheat;
+
+  (* Packet-level repeated game: payoffs measured, not computed. *)
+  let seed = ref 0 in
+  let payoffs cws =
+    incr seed;
+    let r =
+      Netsim.Slotted.run { params; cws; duration = 30.; seed = !seed * 6151 }
+    in
+    Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node
+  in
+  let strategies =
+    Array.append
+      [| Macgame.Strategy.short_sighted w_cheat |]
+      (Macgame.Repeated.all_tft ~n:(n - 1) ~initials:(Array.make (n - 1) w_star))
+  in
+  let outcome = Macgame.Repeated.run params ~strategies ~stages:5 ~payoffs in
+  print_endline "stage | cheater payoff | conformer payoff | profile";
+  Array.iter
+    (fun (r : Macgame.Repeated.stage_record) ->
+      Printf.printf "  %d   |    %8.3f    |     %8.3f     | %s\n" r.stage
+        r.utilities.(0) r.utilities.(1)
+        (Format.asprintf "%a" Macgame.Profile.pp r.cws))
+    outcome.trace;
+
+  (* The patience arithmetic, analytically. *)
+  print_endline "\nWas it worth it?  Total discounted payoff by patience delta_s:";
+  print_endline "  delta_s | cheat (1-stage lag) | honest | verdict";
+  List.iter
+    (fun delta_s ->
+      let cheat =
+        Macgame.Deviation.deviant_total params ~n ~w_star ~w_dev:w_cheat
+          ~delta_s ~react_stages:1
+      in
+      let honest = Macgame.Deviation.honest_total params ~n ~w_star ~delta_s in
+      Printf.printf "  %7.4f | %15.2f | %10.2f | %s\n" delta_s cheat honest
+        (if cheat > honest then "cheat" else "stay honest"))
+    [ 0.; 0.5; 0.9; 0.99; 0.999 ];
+  let crit =
+    Macgame.Deviation.critical_discount_for params ~n ~w_star ~w_dev:w_cheat
+      ~react_stages:1
+  in
+  Printf.printf
+    "\nCritical patience for this deviation: delta_s = %.4f.  Above it the\n\
+     punished tail outweighs the free ride — exactly why long-sighted selfish\n\
+     nodes keep the network at the efficient NE.\n"
+    crit

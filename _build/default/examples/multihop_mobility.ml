@@ -1,0 +1,80 @@
+(* The multi-hop mobile scenario of Sec. VII.B, end to end.
+
+   100 nodes move in a 1 km x 1 km area under random waypoint mobility with
+   a 250 m radio range.  Each node computes the efficient NE of its *local*
+   game (itself plus its neighbours), TFT drags every window down to the
+   minimum (Theorem 3), and the resulting NE is quasi-optimal: the global
+   payoff sits within a few percent of the best common window.  The spatial
+   packet simulator then validates the NE under hidden terminals.
+
+   Run with: dune exec examples/multihop_mobility.exe *)
+
+let () =
+  let params = Dcf.Params.rts_cts in
+  let walkers =
+    Mobility.Waypoint.create ~seed:42
+      { width = 1000.; height = 1000.; speed_min = 0.; speed_max = 5. }
+      ~n:100
+  in
+  let adjacency = Mobility.Topology.snapshot ~connect_attempts:200 walkers ~range:250. in
+  Printf.printf "Topology: 100 nodes, average degree %.1f, connected: %b\n"
+    (Mobility.Topology.average_degree adjacency)
+    (Mobility.Topology.is_connected adjacency);
+
+  let graph = Macgame.Multihop.create adjacency in
+  let locals = Macgame.Multihop.local_efficient_cw params graph in
+  let degrees = Macgame.Multihop.degrees graph in
+  let dmin = Array.fold_left Stdlib.min degrees.(0) degrees in
+  let dmax = Array.fold_left Stdlib.max degrees.(0) degrees in
+  Printf.printf "Degrees span [%d, %d]; local efficient windows span [%d, %d].\n"
+    dmin dmax
+    (Array.fold_left Stdlib.min locals.(0) locals)
+    (Array.fold_left Stdlib.max locals.(0) locals);
+
+  (* Local TFT dynamics: every node follows the minimum of its own
+     neighbourhood; the minimum window floods the network. *)
+  let rounds, final = Macgame.Multihop.tft_rounds graph ~start:locals in
+  Printf.printf
+    "Local TFT converged in %d rounds (graph diameter %d) to W = %d.\n" rounds
+    (Macgame.Multihop.diameter graph)
+    final.(0);
+
+  let q = Macgame.Multihop.quasi_optimality params graph in
+  Printf.printf
+    "\nQuasi-optimality of the NE (paper: >=96%% local, within 3%% global):\n";
+  Printf.printf "  global payoff at NE  : %.2f\n" q.global_at_ne;
+  Printf.printf "  best common window   : %d (payoff %.2f)\n" q.w_global_opt
+    q.global_opt;
+  Printf.printf "  global ratio         : %.1f%%\n" (100. *. q.global_ratio);
+  Printf.printf "  worst-off node keeps : %.1f%% of its own optimum\n"
+    (100. *. q.min_local_ratio);
+
+  (* Validate with the packet-level spatial simulator. *)
+  let r =
+    Netsim.Spatial.run
+      { params; adjacency; cws = final; duration = 20.; seed = 5 }
+  in
+  let p_hn =
+    Prelude.Stats.mean_of
+      (Array.map (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat) r.per_node)
+  in
+  Printf.printf
+    "\nPacket-level check at the NE (20 simulated seconds):\n\
+    \  delivered %d packets, welfare %.1f/s, hidden-node factor p_hn = %.3f\n"
+    r.delivered r.welfare_rate p_hn;
+
+  (* Mobility: as nodes move the topology drifts; recompute and note how the
+     converged window tracks the minimum degree. *)
+  print_endline "\nMobility drift (fresh local optima after each 60 s of movement):";
+  for minute = 1 to 3 do
+    Mobility.Waypoint.step walkers ~dt:60.;
+    let adjacency = Mobility.Topology.snapshot walkers ~range:250. in
+    let members = Mobility.Topology.largest_component adjacency in
+    let core = Mobility.Topology.restrict adjacency members in
+    let graph = Macgame.Multihop.create core in
+    Printf.printf
+      "  t=%3ds: largest component %d nodes, avg degree %.1f, converged W = %d\n"
+      (60 * minute) (List.length members)
+      (Mobility.Topology.average_degree core)
+      (Macgame.Multihop.converged_cw params graph)
+  done

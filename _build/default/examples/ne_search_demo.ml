@@ -1,0 +1,60 @@
+(* The distributed search for the efficient NE (Sec. V.C).
+
+   The players do not know how many they are, so nobody can compute Wc*
+   directly.  A coordinator walks the common window up (and down if needed),
+   measuring its own payoff over each trial window with the packet-level
+   simulator — the Ul = (ns*g - ne*e)/tm measurement of the paper — and
+   broadcasts the best window found.
+
+   Run with: dune exec examples/ne_search_demo.exe *)
+
+let () =
+  let params = { Dcf.Params.rts_cts with cw_max = 256 } in
+  let n = 8 (* unknown to the players! *) in
+  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+
+  Printf.printf
+    "Hidden truth: n = %d RTS/CTS nodes, so the efficient NE is Wc* = %d.\n\n" n
+    w_star;
+  print_endline "The coordinator runs Start-Search / Ready / Announce:";
+
+  let seed = ref 0 in
+  let oracle w =
+    incr seed;
+    Netsim.Slotted.payoff_oracle ~params ~n ~duration:60. ~seed:(!seed * 97) w
+  in
+  let trace = Macgame.Search.run ~w0:8 ~probes:20 ~cw_max:params.cw_max oracle in
+
+  List.iter
+    (fun message ->
+      match message with
+      | Macgame.Search.Start_search w ->
+          Printf.printf "  -> Start-Search(W0=%d): everyone sets W=%d\n" w w
+      | Macgame.Search.Ready w -> Printf.printf "  -> Ready(W=%d)\n" w
+      | Macgame.Search.Announce w ->
+          Printf.printf "  -> Announce(Wm=%d): search over\n" w)
+    trace.messages;
+
+  print_endline "\nPayoff probes (each averages 20 measurement windows):";
+  List.iter
+    (fun { Macgame.Search.w; payoff } ->
+      Printf.printf "  W=%3d measured payoff %.3f/s\n" w payoff)
+    trace.measurements;
+
+  let u w = Macgame.Equilibrium.payoff params ~n ~w in
+  Printf.printf
+    "\nFound W = %d vs true Wc* = %d: the announced window earns %.1f%% of the\n\
+     optimal payoff (the plateau around Wc* is wide, so a near miss is cheap).\n"
+    trace.result w_star
+    (100. *. u trace.result /. u w_star);
+
+  (* Why the coordinator reports honestly. *)
+  let truthful, misreport =
+    Macgame.Search.misreport_stage_payoffs params ~n ~w_star
+      ~w_report:(Stdlib.max 1 (w_star / 2))
+  in
+  Printf.printf
+    "\nIf the coordinator under-reported Wm = %d instead, TFT would drag it to\n\
+     that window too: stage payoff %.3f vs %.3f for honesty — no incentive to lie.\n"
+    (Stdlib.max 1 (w_star / 2))
+    misreport truthful

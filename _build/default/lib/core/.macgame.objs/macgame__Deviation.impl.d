@@ -1,0 +1,1 @@
+lib/core/deviation.ml: Array Dcf Numerics

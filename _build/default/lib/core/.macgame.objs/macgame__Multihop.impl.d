@@ -1,0 +1,1 @@
+lib/core/multihop.ml: Array Dcf Equilibrium Float Hashtbl List Numerics Observer Prelude Queue Stdlib

@@ -1,0 +1,1 @@
+lib/core/multihop.mli: Dcf Observer

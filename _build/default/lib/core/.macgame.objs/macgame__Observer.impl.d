@@ -1,0 +1,1 @@
+lib/core/observer.ml: Array Float Prelude Printf

@@ -1,0 +1,1 @@
+lib/core/observer.mli: Prelude

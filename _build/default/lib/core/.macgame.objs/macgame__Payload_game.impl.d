@@ -1,0 +1,1 @@
+lib/core/payload_game.ml: Array Dcf List Numerics Stdlib

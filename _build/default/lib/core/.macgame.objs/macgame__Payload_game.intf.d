@@ -1,0 +1,1 @@
+lib/core/payload_game.mli: Dcf

@@ -1,0 +1,1 @@
+lib/core/repeated.ml: Array Dcf Hashtbl List Observer Profile Strategy

@@ -1,0 +1,1 @@
+lib/core/repeated.mli: Dcf Observer Profile Strategy

@@ -1,0 +1,1 @@
+lib/core/search.ml: Dcf Float Hashtbl List Prelude

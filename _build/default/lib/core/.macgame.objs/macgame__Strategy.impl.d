@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Dcf Format List Numerics Printf Stdlib

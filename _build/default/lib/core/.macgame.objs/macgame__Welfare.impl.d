@@ -1,0 +1,1 @@
+lib/core/welfare.ml: Array Dcf Equilibrium Float Hashtbl List Prelude Stdlib

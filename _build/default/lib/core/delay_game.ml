@@ -1,0 +1,61 @@
+let check_gamma gamma =
+  if gamma < 0. then invalid_arg "Delay_game: gamma must be >= 0"
+
+let node_quantities (params : Dcf.Params.t) ~n ~w =
+  let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w in
+  let metrics = Dcf.Metrics.of_taus params (Array.make n tau) in
+  (tau, p, metrics)
+
+let payoff (params : Dcf.Params.t) ~gamma ~n ~w =
+  check_gamma gamma;
+  let tau, p, metrics = node_quantities params ~n ~w in
+  if p >= 1. then -.(tau *. params.cost) /. metrics.slot_time
+  else begin
+    let delay =
+      (Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w
+         ~m:params.max_backoff_stage)
+        .mean_delay
+    in
+    tau
+    *. (((1. -. p) *. params.gain /. (1. +. (gamma *. delay))) -. params.cost)
+    /. metrics.slot_time
+  end
+
+let efficient_cw (params : Dcf.Params.t) ~gamma ~n =
+  check_gamma gamma;
+  if n < 1 then invalid_arg "Delay_game.efficient_cw: need n >= 1";
+  if n = 1 then 1
+  else
+    fst
+      (Numerics.Optimize.ternary_int_max
+         (fun w -> payoff params ~gamma ~n ~w)
+         1 params.cw_max)
+
+let delay_at_ne (params : Dcf.Params.t) ~gamma ~n =
+  let w = efficient_cw params ~gamma ~n in
+  let tau, p, metrics = node_quantities params ~n ~w in
+  (Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w
+     ~m:params.max_backoff_stage)
+    .mean_delay
+
+type tradeoff_point = {
+  gamma : float;
+  w_star : int;
+  delay : float;
+  throughput : float;
+}
+
+let tradeoff (params : Dcf.Params.t) ~n ~gammas =
+  Array.map
+    (fun gamma ->
+      let w_star = efficient_cw params ~gamma ~n in
+      let tau, p, metrics = node_quantities params ~n ~w:w_star in
+      let delay =
+        if p >= 1. then infinity
+        else
+          (Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w:w_star
+             ~m:params.max_backoff_stage)
+            .mean_delay
+      in
+      { gamma; w_star; delay; throughput = metrics.throughput })
+    gammas

@@ -1,0 +1,109 @@
+let check_common ~samples ~beta =
+  if samples < 1 then invalid_arg "Detection: samples must be >= 1";
+  if beta <= 0. || beta > 1. then invalid_arg "Detection: beta must be in (0, 1]"
+
+let estimator_stddev ~w_true ~samples =
+  let wf = float_of_int w_true in
+  2. *. sqrt (((wf *. wf) -. 1.) /. 12. /. float_of_int samples)
+
+let flag_rate ~w_true ~w_exp ~samples ~beta =
+  check_common ~samples ~beta;
+  if w_true < 1 || w_exp < 1 then invalid_arg "Detection: windows must be >= 1";
+  let threshold = beta *. float_of_int w_exp in
+  let stddev = estimator_stddev ~w_true ~samples in
+  if stddev = 0. then (* w_true = 1: the estimator is exact *)
+    if float_of_int w_true < threshold then 1. else 0.
+  else
+    Numerics.Special.normal_cdf ~mean:(float_of_int w_true) ~stddev threshold
+
+let false_positive_rate ~w_exp ~samples ~beta =
+  flag_rate ~w_true:w_exp ~w_exp ~samples ~beta
+
+let detection_rate ~w_true ~w_exp ~samples ~beta =
+  flag_rate ~w_true ~w_exp ~samples ~beta
+
+let required_samples ~w_exp ~beta ~max_fp =
+  check_common ~samples:1 ~beta;
+  if max_fp <= 0. || max_fp >= 0.5 then
+    invalid_arg "Detection.required_samples: max_fp must be in (0, 0.5)";
+  if beta >= 1. then invalid_arg "Detection.required_samples: beta must be < 1";
+  (* FP = Φ((β−1)·W/σ_1·√k) ≤ max_fp  ⇔  √k ≥ z_{max_fp}·σ_1/((β−1)·W),
+     with σ_1 the single-sample stddev. *)
+  let z = Numerics.Special.normal_quantile max_fp in
+  let wf = float_of_int w_exp in
+  let sigma1 = 2. *. sqrt (((wf *. wf) -. 1.) /. 12.) in
+  let root = z *. sigma1 /. ((beta -. 1.) *. wf) in
+  let k = int_of_float (Float.ceil (root *. root)) in
+  (* The normal approximation can be off by one either way near the
+     boundary; walk to the exact integer threshold. *)
+  let ok k = k >= 1 && false_positive_rate ~w_exp ~samples:k ~beta <= max_fp in
+  let rec settle k = if k > 1 && ok (k - 1) then settle (k - 1) else k in
+  let rec grow k = if ok k then k else grow (k + 1) in
+  settle (grow (Stdlib.max 1 k))
+
+type design = {
+  beta : float;
+  samples_per_stage : int;
+  r0 : int;
+  false_positive : float;
+  detection : float;
+}
+
+let design_gtft ~w_exp ~cheat_factor ~per_stage ~max_fp ~min_detection =
+  if cheat_factor <= 0. || cheat_factor >= 1. then
+    invalid_arg "Detection.design_gtft: cheat_factor must be in (0, 1)";
+  if per_stage < 1 then invalid_arg "Detection.design_gtft: per_stage >= 1";
+  let w_cheat = Stdlib.max 1 (int_of_float (cheat_factor *. float_of_int w_exp)) in
+  let betas = List.init 18 (fun i -> 0.975 -. (0.025 *. float_of_int i)) in
+  let try_beta beta =
+    if beta <= cheat_factor then None
+    else begin
+      let samples = required_samples ~w_exp ~beta ~max_fp in
+      let r0 = (samples + per_stage - 1) / per_stage in
+      if r0 > 64 then None
+      else begin
+        let effective = r0 * per_stage in
+        let detection =
+          detection_rate ~w_true:w_cheat ~w_exp ~samples:effective ~beta
+        in
+        if detection >= min_detection then
+          Some
+            {
+              beta;
+              samples_per_stage = samples;
+              r0;
+              false_positive =
+                false_positive_rate ~w_exp ~samples:effective ~beta;
+              detection;
+            }
+        else None
+      end
+    end
+  in
+  (* Among the feasible tolerances prefer the cheapest (smallest averaging
+     depth r0), tie-broken by the larger beta (gentler punishment trigger
+     margins for the cheater to evade, but cheaper honest operation). *)
+  List.filter_map try_beta betas
+  |> List.fold_left
+       (fun acc d ->
+         match acc with
+         | Some best
+           when best.r0 < d.r0 || (best.r0 = d.r0 && best.beta >= d.beta) ->
+             acc
+         | _ -> Some d)
+       None
+
+let empirical_rates ~rng ~trials ~w_true ~w_exp ~samples ~beta =
+  check_common ~samples ~beta;
+  if trials < 1 then invalid_arg "Detection.empirical_rates: trials >= 1";
+  let threshold = beta *. float_of_int w_exp in
+  let flagged = ref 0 in
+  for _ = 1 to trials do
+    let total = ref 0 in
+    for _ = 1 to samples do
+      total := !total + Prelude.Rng.int rng w_true
+    done;
+    let estimate = (2. *. float_of_int !total /. float_of_int samples) +. 1. in
+    if estimate < threshold then incr flagged
+  done;
+  float_of_int !flagged /. float_of_int trials

@@ -1,0 +1,57 @@
+(** Detection-theoretic design of the GTFT tolerance (linking [3] to
+    Sec. IV).
+
+    A TFT/GTFT player flags neighbour j as a cheater when its estimated
+    window Ŵ_j falls below β·W_exp, where W_exp is the window everyone is
+    supposed to play.  With the backoff-counting estimator
+    ({!Observer.sampling}), Ŵ is approximately Normal(W_true, σ²) with
+    σ = 2·√((W_true²−1)/12k) after k observed backoffs, so both error rates
+    of the trigger have closed forms:
+
+    - false positive: P(Ŵ < β·W_exp | W_true = W_exp) — punishing an
+      honest neighbour, which under plain TFT collapses the network;
+    - detection: P(Ŵ < β·W_exp | W_true = c·W_exp) for a cheater playing a
+      fraction c < β of the expected window.
+
+    GTFT's averaging over r0 stages multiplies the effective sample count
+    by r0, which is how (r0, β) should be chosen: make the false-positive
+    rate negligible at the noise level while still detecting the cheats
+    that matter. *)
+
+val false_positive_rate : w_exp:int -> samples:int -> beta:float -> float
+(** P(flag an honest node).  [beta ∈ (0, 1]], [samples ≥ 1]. *)
+
+val detection_rate :
+  w_true:int -> w_exp:int -> samples:int -> beta:float -> float
+(** P(flag a node whose true window is [w_true]). *)
+
+val required_samples : w_exp:int -> beta:float -> max_fp:float -> int
+(** Smallest k with [false_positive_rate ≤ max_fp] ([max_fp ∈ (0, 0.5)]).
+    Closed form from the normal quantile, then adjusted to the exact
+    integer threshold. *)
+
+type design = {
+  beta : float;
+  samples_per_stage : int;  (** k needed in a single stage *)
+  r0 : int;                 (** GTFT stages to average when only
+                                [per_stage] samples arrive per stage *)
+  false_positive : float;   (** achieved FP rate *)
+  detection : float;        (** achieved detection of the target cheat *)
+}
+
+val design_gtft :
+  w_exp:int -> cheat_factor:float -> per_stage:int -> max_fp:float ->
+  min_detection:float -> design option
+(** Find the cheapest tolerance meeting both error budgets: over
+    β ∈ (cheat_factor, 1), compute the r0 (averaging depth) that makes the
+    false-positive budget hold with [per_stage] backoff observations per
+    stage, require the cheat at [cheat_factor]·w_exp to be caught with
+    probability ≥ [min_detection], and return the feasible design with the
+    smallest r0 (ties broken toward the larger β).  [None] if nothing
+    works within r0 ≤ 64. *)
+
+val empirical_rates :
+  rng:Prelude.Rng.t -> trials:int -> w_true:int -> w_exp:int -> samples:int ->
+  beta:float -> float
+(** Monte-Carlo flag rate of the exact (non-Gaussian) estimator — used by
+    the tests to validate the closed forms. *)

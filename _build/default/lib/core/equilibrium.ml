@@ -1,0 +1,107 @@
+let payoff params ~n ~w = (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility
+
+let efficient_cw (params : Dcf.Params.t) ~n =
+  if n < 1 then invalid_arg "Equilibrium.efficient_cw: need n >= 1";
+  if n = 1 then 1
+  else
+    fst (Numerics.Optimize.ternary_int_max (fun w -> payoff params ~n ~w) 1 params.cw_max)
+
+let tau_star (params : Dcf.Params.t) ~n =
+  if n < 1 then invalid_arg "Equilibrium.tau_star: need n >= 1";
+  if n = 1 then 1.
+  else begin
+    let timing = Dcf.Timing.of_params params in
+    let nf = float_of_int n in
+    let q tau =
+      let idle = (1. -. tau) ** nf in
+      (idle *. params.sigma) +. ((1. -. idle -. (nf *. tau)) *. timing.tc)
+    in
+    Numerics.Roots.brent q 1e-12 (1. -. 1e-12)
+  end
+
+let cw_of_tau (params : Dcf.Params.t) ~n target =
+  if target <= 0. || target > 1. then
+    invalid_arg "Equilibrium.cw_of_tau: target must be in (0, 1]";
+  let tau_of w = fst (Dcf.Solver.solve_homogeneous params ~n ~w) in
+  (* τ(W) is decreasing; find the smallest W with τ(W) ≤ target, then pick
+     the closer of it and its left neighbour. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if tau_of mid <= target then search lo mid else search (mid + 1) hi
+    end
+  in
+  let w = search 1 params.cw_max in
+  if w = 1 then 1
+  else begin
+    let better_left =
+      Float.abs (tau_of (w - 1) -. target) < Float.abs (tau_of w -. target)
+    in
+    if better_left then w - 1 else w
+  end
+
+let break_even_cw params ~n =
+  if n < 1 then invalid_arg "Equilibrium.break_even_cw: need n >= 1";
+  let w_star = efficient_cw params ~n in
+  let u w = payoff params ~n ~w in
+  if u 1 > 0. then 1
+  else begin
+    (* u is increasing on [1, W_c*]; binary search for the sign change. *)
+    let rec search lo hi =
+      (* invariant: u lo ≤ 0 < u hi *)
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        if u mid > 0. then search lo mid else search mid hi
+      end
+    in
+    search 1 w_star
+  end
+
+type ne_set = { w_lo : int; w_hi : int }
+
+let ne_set params ~n =
+  { w_lo = break_even_cw params ~n; w_hi = efficient_cw params ~n }
+
+let is_ne params ~n ~w =
+  let { w_lo; w_hi } = ne_set params ~n in
+  w >= w_lo && w <= w_hi
+
+let is_efficient params ~n ~w = w = efficient_cw params ~n
+
+let social_welfare params ~n ~w = float_of_int n *. payoff params ~n ~w
+
+let robust_range (params : Dcf.Params.t) ~n ~fraction =
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Equilibrium.robust_range: fraction must be in (0, 1]";
+  let w_star = efficient_cw params ~n in
+  let threshold = fraction *. payoff params ~n ~w:w_star in
+  let u w = payoff params ~n ~w in
+  (* Unimodality: u ≥ threshold on a contiguous range around W_c*. *)
+  let rec lowest lo hi =
+    (* invariant: u hi ≥ threshold, u lo < threshold (or lo = hi) *)
+    if hi - lo <= 1 then hi
+    else begin
+      let mid = (lo + hi) / 2 in
+      if u mid >= threshold then lowest lo mid else lowest mid hi
+    end
+  in
+  let rec highest lo hi =
+    (* invariant: u lo ≥ threshold, u hi < threshold (or lo = hi) *)
+    if hi - lo <= 1 then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if u mid >= threshold then highest mid hi else highest lo mid
+    end
+  in
+  let lo = if u 1 >= threshold then 1 else lowest 1 w_star in
+  let hi =
+    if u params.cw_max >= threshold then params.cw_max
+    else highest w_star params.cw_max
+  in
+  (lo, hi)
+
+let unilateral_gain params ~n ~w ~w_dev =
+  let view = Dcf.Model.with_deviant params ~n ~w ~w_dev in
+  view.Dcf.Model.deviant.utility -. view.Dcf.Model.conformer.utility

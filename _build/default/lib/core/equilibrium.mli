@@ -1,0 +1,59 @@
+(** Nash-equilibrium analysis of the single-hop game G (Sec. V).
+
+    Theorem 2: every uniform profile (W, …, W) with W_c⁰ ≤ W ≤ W_c* is a NE,
+    where W_c* maximises the common payoff u(W, …, W) (Lemma 3 proves the
+    payoff unimodal in the common window) and W_c⁰ is the break-even window
+    below which the stage payoff turns negative.  NE refinement (Sec. V.B)
+    singles out (W_c★, …, W_c★) as the unique Pareto-optimal,
+    welfare-maximising NE. *)
+
+val payoff : Dcf.Params.t -> n:int -> w:int -> float
+(** Per-node payoff rate u of the uniform profile (W, …, W). *)
+
+val efficient_cw : Dcf.Params.t -> n:int -> int
+(** W_c*: the window maximising {!payoff} over the strategy space
+    [1, cw_max], by ternary search on the unimodal curve. *)
+
+val tau_star : Dcf.Params.t -> n:int -> float
+(** The Appendix-B optimality condition's root: the τ solving
+    Q(τ) = (1−τ)^n·σ + (1 − (1−τ)^n − nτ)·Tc = 0.  This is the e-neglected
+    continuous optimum; {!efficient_cw} maximises the exact utility.
+    Exposed so tests can confirm Q is monotone with a unique root in (0,1)
+    (Lemma 3) and that it predicts {!efficient_cw} well when e ≪ g. *)
+
+val cw_of_tau : Dcf.Params.t -> n:int -> float -> int
+(** Invert the symmetric model: the integer window whose homogeneous
+    fixed-point τ is closest to the given target.  Monotone bisection on
+    W. *)
+
+val break_even_cw : Dcf.Params.t -> n:int -> int
+(** W_c⁰: the smallest window with positive uniform payoff, found by
+    binary search on the sign change (payoff is increasing below W_c★).
+    1 if the payoff is positive on the whole range (e.g. when e = 0, or
+    when n = 1 so there are no collisions). *)
+
+type ne_set = { w_lo : int; w_hi : int }
+(** The inclusive NE range of Theorem 2. *)
+
+val ne_set : Dcf.Params.t -> n:int -> ne_set
+
+val is_ne : Dcf.Params.t -> n:int -> w:int -> bool
+
+val is_efficient : Dcf.Params.t -> n:int -> w:int -> bool
+(** Whether (w, …, w) survives the refinement of Sec. V.B, i.e.
+    [w = efficient_cw]. *)
+
+val social_welfare : Dcf.Params.t -> n:int -> w:int -> float
+(** n·u(w, …, w): the global payoff rate. *)
+
+val robust_range : Dcf.Params.t -> n:int -> fraction:float -> int * int
+(** [(lo, hi)]: the contiguous window range around W_c* whose uniform
+    payoff stays within [fraction] (e.g. 0.95) of the optimum — the
+    robustness the paper highlights below Figure 3.  [fraction] must be in
+    (0, 1]. *)
+
+val unilateral_gain : Dcf.Params.t -> n:int -> w:int -> w_dev:int -> float
+(** Stage-payoff gain u_dev − u_conf of a single deviant playing [w_dev]
+    against (w, …, w).  Positive for w_dev < w (Lemma 4 case 2): the
+    deviation is profitable for one stage, which is why TFT punishment is
+    what sustains the NE. *)

@@ -1,0 +1,197 @@
+type t = { adjacency : int array array }
+
+let create lists =
+  let n = Array.length lists in
+  let sets = Array.map (fun l -> List.sort_uniq compare l) lists in
+  Array.iteri
+    (fun i l ->
+      if List.length l <> List.length lists.(i) then
+        invalid_arg "Multihop.create: duplicate neighbour";
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n then
+            invalid_arg "Multihop.create: neighbour out of range";
+          if j = i then invalid_arg "Multihop.create: self-loop";
+          if not (List.mem i sets.(j)) then
+            invalid_arg "Multihop.create: adjacency not symmetric")
+        l)
+    sets;
+  { adjacency = Array.map Array.of_list sets }
+
+let size t = Array.length t.adjacency
+
+let degrees t = Array.map Array.length t.adjacency
+
+let neighbors t i = Array.to_list t.adjacency.(i)
+
+(* Breadth-first distances from [source]; unreached nodes stay at -1. *)
+let bfs t source =
+  let n = size t in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      t.adjacency.(u)
+  done;
+  dist
+
+let is_connected t =
+  let n = size t in
+  n = 0 || Array.for_all (fun d -> d >= 0) (bfs t 0)
+
+let diameter t =
+  let n = size t in
+  if n = 0 then invalid_arg "Multihop.diameter: empty graph";
+  if not (is_connected t) then invalid_arg "Multihop.diameter: disconnected";
+  let widest = ref 0 in
+  for i = 0 to n - 1 do
+    Array.iter (fun d -> if d > !widest then widest := d) (bfs t i)
+  done;
+  !widest
+
+let local_efficient_cw params t =
+  let cache = Hashtbl.create 8 in
+  Array.map
+    (fun deg ->
+      match Hashtbl.find_opt cache deg with
+      | Some w -> w
+      | None ->
+          let w = Equilibrium.efficient_cw params ~n:(deg + 1) in
+          Hashtbl.add cache deg w;
+          w)
+    (degrees t)
+
+let converged_cw params t =
+  let locals = local_efficient_cw params t in
+  if Array.length locals = 0 then invalid_arg "Multihop.converged_cw: empty graph";
+  Array.fold_left Stdlib.min locals.(0) locals
+
+let tft_rounds t ~start =
+  let n = size t in
+  if Array.length start <> n then
+    invalid_arg "Multihop.tft_rounds: wrong start length";
+  let current = ref (Array.copy start) in
+  let rec go rounds =
+    let next =
+      Array.mapi
+        (fun i w ->
+          Array.fold_left (fun acc j -> Stdlib.min acc !current.(j)) w
+            t.adjacency.(i))
+        !current
+    in
+    if next = !current then (rounds, !current)
+    else begin
+      current := next;
+      go (rounds + 1)
+    end
+  in
+  go 0
+
+type game_outcome = {
+  trace : (int array * float array) array;
+  converged_at : int option;
+  final : int array;
+}
+
+let local_tft_game ?(observer = Observer.perfect) t ~initials ~stages ~payoffs =
+  let n = size t in
+  if Array.length initials <> n then
+    invalid_arg "Multihop.local_tft_game: wrong initials length";
+  if stages < 1 then invalid_arg "Multihop.local_tft_game: need >= 1 stage";
+  let trace = ref [] in
+  let cws = ref (Array.copy initials) in
+  for stage = 0 to stages - 1 do
+    let played = Array.copy !cws in
+    let utilities = payoffs played in
+    if Array.length utilities <> n then
+      invalid_arg "Multihop.local_tft_game: payoff backend arity";
+    trace := (played, utilities) :: !trace;
+    if stage < stages - 1 then
+      cws :=
+        Array.init n (fun i ->
+            (* Each node observes only its closed neighbourhood. *)
+            let seen = Observer.observe observer ~me:i played in
+            Array.fold_left
+              (fun acc j -> Stdlib.min acc seen.(j))
+              seen.(i) t.adjacency.(i))
+  done;
+  let trace = Array.of_list (List.rev !trace) in
+  let final = fst trace.(Array.length trace - 1) in
+  let converged_at =
+    let len = Array.length trace in
+    if len < 2 || fst trace.(len - 1) <> fst trace.(len - 2) then None
+    else begin
+      let rec back i =
+        if i = 0 then 0 else if fst trace.(i - 1) = final then back (i - 1) else i
+      in
+      Some (back (len - 1))
+    end
+  in
+  { trace; converged_at; final }
+
+let payoffs_at ?p_hn params t ~w =
+  let cache = Hashtbl.create 8 in
+  Array.map
+    (fun deg ->
+      match Hashtbl.find_opt cache deg with
+      | Some u -> u
+      | None ->
+          let u =
+            (Dcf.Model.homogeneous ?p_hn params ~n:(deg + 1) ~w).Dcf.Model.utility
+          in
+          Hashtbl.add cache deg u;
+          u)
+    (degrees t)
+
+type quasi_optimality = {
+  w_m : int;
+  global_at_ne : float;
+  global_opt : float;
+  w_global_opt : int;
+  global_ratio : float;
+  local_ratios : float array;
+  min_local_ratio : float;
+}
+
+let quasi_optimality ?p_hn (params : Dcf.Params.t) t =
+  let locals = local_efficient_cw params t in
+  let w_m = Array.fold_left Stdlib.min locals.(0) locals in
+  let global w = Prelude.Util.sum_floats (payoffs_at ?p_hn params t ~w) in
+  (* Individual payoffs are unimodal with peaks at the per-degree optima;
+     the welfare sum peaks between the smallest and largest of them.
+     Scan that (small) range exhaustively. *)
+  let w_hi = Array.fold_left Stdlib.max locals.(0) locals in
+  let w_global_opt, global_opt =
+    Numerics.Optimize.exhaustive_int_max global (Stdlib.max 1 (w_m / 2))
+      (Stdlib.min params.cw_max (2 * w_hi))
+  in
+  let at_ne = payoffs_at ?p_hn params t ~w:w_m in
+  let global_at_ne = Prelude.Util.sum_floats at_ne in
+  let local_ratios =
+    Array.mapi
+      (fun i u_ne ->
+        let u_best =
+          (Dcf.Model.homogeneous ?p_hn params
+             ~n:((degrees t).(i) + 1) ~w:locals.(i))
+            .Dcf.Model.utility
+        in
+        u_ne /. u_best)
+      at_ne
+  in
+  {
+    w_m;
+    global_at_ne;
+    global_opt;
+    w_global_opt;
+    global_ratio = global_at_ne /. global_opt;
+    local_ratios;
+    min_local_ratio = Array.fold_left Float.min local_ratios.(0) local_ratios;
+  }

@@ -1,0 +1,87 @@
+(** The multi-hop game G′ (Sec. VI).
+
+    Each node i only contends with the nodes in its carrier-sense
+    neighbourhood M_i, so eq. 3 becomes local (eq. 4) and the utility gains
+    the hidden-node degradation factor p_hn.  Without global coordination a
+    rational node sets its window to the efficient NE of the *local*
+    single-hop game among itself and its neighbours (deg(i)+1 players), and
+    TFT then drags every window down to W_m = min_i W_i (Theorem 3), which
+    is a Nash equilibrium of G′ — Pareto optimal but only quasi-optimal
+    globally.
+
+    This module takes an abstract neighbourhood graph; building one from
+    node positions and mobility is {!module:Mobility}'s job. *)
+
+type t
+(** An undirected neighbourhood graph. *)
+
+val create : int list array -> t
+(** [create adjacency] with [adjacency.(i)] the neighbour list of node i.
+    @raise Invalid_argument if a list mentions an out-of-range node, a
+    self-loop, a duplicate, or if the relation is not symmetric. *)
+
+val size : t -> int
+
+val degrees : t -> int array
+
+val neighbors : t -> int -> int list
+
+val is_connected : t -> bool
+(** Breadth-first reachability from node 0 (true for the empty graph). *)
+
+val diameter : t -> int
+(** Longest shortest path between any two nodes.
+    @raise Invalid_argument if the graph is disconnected or empty. *)
+
+val local_efficient_cw : Dcf.Params.t -> t -> int array
+(** W_i for every node: the efficient NE window of the single-hop game with
+    deg(i)+1 players (memoised by degree — real topologies have few
+    distinct degrees). *)
+
+val converged_cw : Dcf.Params.t -> t -> int
+(** W_m = min_i W_i — the profile Theorem 3 proves TFT converges to. *)
+
+val tft_rounds : t -> start:int array -> int * int array
+(** Local-TFT dynamics W_i ← min over i's closed neighbourhood, iterated to
+    a fixed point: [(rounds, final)].  On a connected graph [final] is
+    uniformly the minimum of [start] and [rounds ≤ diameter]. *)
+
+type game_outcome = {
+  trace : (int array * float array) array;
+      (** per stage: the profile played and the per-node payoffs *)
+  converged_at : int option;
+      (** first stage of a constant suffix of length ≥ 2 *)
+  final : int array;
+}
+
+val local_tft_game :
+  ?observer:Observer.t ->
+  t -> initials:int array -> stages:int ->
+  payoffs:(int array -> float array) -> game_outcome
+(** The multi-hop repeated game G′: in each stage every node plays the
+    minimum of its *own* closed neighbourhood's windows as observed in the
+    previous stage (it cannot see beyond its radio range — the difference
+    from the single-hop engine).  [payoffs] evaluates a full profile, e.g.
+    the analytic local model or a {!Netsim.Spatial} run.  Theorem 3: on a
+    connected graph the profile converges to the minimum initial window
+    within diameter stages. *)
+
+val payoffs_at : ?p_hn:float -> Dcf.Params.t -> t -> w:int -> float array
+(** Per-node payoff rates when every node operates on [w], each evaluated
+    in its local game (deg(i)+1 players, degradation [p_hn], default 1). *)
+
+type quasi_optimality = {
+  w_m : int;                 (** the converged NE window *)
+  global_at_ne : float;      (** Σ_i u_i at W_m *)
+  global_opt : float;        (** max over common w of Σ_i u_i *)
+  w_global_opt : int;        (** the maximising common window *)
+  global_ratio : float;      (** global_at_ne / global_opt *)
+  local_ratios : float array;(** u_i(W_m) / max_w u_i(w) per node *)
+  min_local_ratio : float;
+}
+
+val quasi_optimality :
+  ?p_hn:float -> Dcf.Params.t -> t -> quasi_optimality
+(** The Sec. VII.B evaluation: how close the converged NE is to the best
+    common window, globally and for the worst-off node.  The paper reports
+    ≥ 96 % locally and ≥ 97 % globally for its 100-node topology. *)

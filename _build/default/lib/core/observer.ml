@@ -1,0 +1,63 @@
+type kind =
+  | Perfect
+  | Noisy of { rng : Prelude.Rng.t; rel_stddev : float }
+  | Sampling of { rng : Prelude.Rng.t; samples : int }
+
+type t = { kind : kind; name : string }
+
+let name t = t.name
+
+let perfect = { kind = Perfect; name = "perfect" }
+
+let noisy ~rng ~rel_stddev =
+  if rel_stddev < 0. then invalid_arg "Observer.noisy: negative stddev";
+  {
+    kind = Noisy { rng; rel_stddev };
+    name = Printf.sprintf "noisy(%g)" rel_stddev;
+  }
+
+let sampling ~rng ~samples_per_stage =
+  if samples_per_stage < 1 then
+    invalid_arg "Observer.sampling: need at least one sample per stage";
+  {
+    kind = Sampling { rng; samples = samples_per_stage };
+    name = Printf.sprintf "sampling(%d)" samples_per_stage;
+  }
+
+let clamp_window w = if w < 1 then 1 else w
+
+let observe t ~me cws =
+  match t.kind with
+  | Perfect -> Array.copy cws
+  | Noisy { rng; rel_stddev } ->
+      Array.mapi
+        (fun j w ->
+          if j = me then w
+          else begin
+            let noise =
+              Prelude.Rng.normal rng ~mean:0. ~stddev:(rel_stddev *. float_of_int w)
+            in
+            clamp_window (int_of_float (Float.round (float_of_int w +. noise)))
+          end)
+        cws
+  | Sampling { rng; samples } ->
+      Array.mapi
+        (fun j w ->
+          if j = me then w
+          else begin
+            let total = ref 0 in
+            for _ = 1 to samples do
+              total := !total + Prelude.Rng.int rng w
+            done;
+            let mean = float_of_int !total /. float_of_int samples in
+            clamp_window (int_of_float (Float.round ((2. *. mean) +. 1.)))
+          end)
+        cws
+
+let estimate_error_stddev ~w ~samples =
+  if w < 1 then invalid_arg "Observer.estimate_error_stddev: window >= 1";
+  if samples < 1 then invalid_arg "Observer.estimate_error_stddev: samples >= 1";
+  (* Backoff draws are uniform on {0..W−1}: variance (W²−1)/12; the estimator
+     doubles the mean, so its stddev is 2·σ/√k. *)
+  let wf = float_of_int w in
+  2. *. sqrt (((wf *. wf) -. 1.) /. 12. /. float_of_int samples)

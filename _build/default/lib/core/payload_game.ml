@@ -1,0 +1,172 @@
+type config = {
+  params : Dcf.Params.t;
+  w : int;
+  l_min : int;
+  l_max : int;
+  gamma : float;
+}
+
+let validate cfg =
+  if cfg.w < 1 then invalid_arg "Payload_game: window must be >= 1";
+  if cfg.l_min < 1 || cfg.l_max < cfg.l_min then
+    invalid_arg "Payload_game: need 1 <= l_min <= l_max";
+  if cfg.gamma < 0. then invalid_arg "Payload_game: gamma must be >= 0"
+
+(* All nodes share the window, hence a common tau and p. *)
+let channel cfg payloads =
+  let n = Array.length payloads in
+  let tau, p = Dcf.Solver.solve_homogeneous cfg.params ~n ~w:cfg.w in
+  let timings =
+    Array.map
+      (fun bits ->
+        Dcf.Hetero.node_timing cfg.params ~payload_bits:bits
+          ~bit_rate:cfg.params.bit_rate)
+      payloads
+  in
+  let hetero =
+    Dcf.Hetero.of_profile ~sigma:cfg.params.sigma ~taus:(Array.make n tau)
+      ~ts:(Array.map (fun (ts, _, _) -> ts) timings)
+      ~tc:(Array.map (fun (_, tc, _) -> tc) timings)
+      ~payload_time:(Array.map (fun (_, _, pt) -> pt) timings)
+  in
+  (tau, p, hetero)
+
+let utilities cfg payloads =
+  validate cfg;
+  let n = Array.length payloads in
+  if n = 0 then invalid_arg "Payload_game.utilities: empty profile";
+  Array.iter
+    (fun l ->
+      if l < cfg.l_min || l > cfg.l_max then
+        invalid_arg "Payload_game.utilities: payload out of range")
+    payloads;
+  let tau, p, hetero = channel cfg payloads in
+  let params = cfg.params in
+  let l_ref = float_of_int params.payload_bits in
+  Array.map
+    (fun bits ->
+      (* A delivered packet is worth g scaled by its payload and discounted
+         by the node's mean access delay (cf. Delay_game). *)
+      let gain = params.gain *. float_of_int bits /. l_ref in
+      let delay_factor =
+        if cfg.gamma = 0. then 1.
+        else begin
+          let mean_delay = hetero.slot_time /. (tau *. (1. -. p)) in
+          1. /. (1. +. (cfg.gamma *. mean_delay))
+        end
+      in
+      tau *. (((1. -. p) *. gain *. delay_factor) -. params.cost)
+      /. hetero.slot_time)
+    payloads
+
+let candidate_grid cfg =
+  let span = cfg.l_max - cfg.l_min in
+  let count = Stdlib.min 64 (span + 1) in
+  if count = 1 then [ cfg.l_min ]
+  else
+    List.init count (fun i ->
+        cfg.l_min + (i * span / (count - 1)))
+    |> List.sort_uniq compare
+
+let payoff_of cfg payloads i bits =
+  let trial = Array.copy payloads in
+  trial.(i) <- bits;
+  (utilities cfg trial).(i)
+
+let best_response cfg ~payloads ~i =
+  validate cfg;
+  if i < 0 || i >= Array.length payloads then
+    invalid_arg "Payload_game.best_response: index out of range";
+  let best = ref cfg.l_min and best_u = ref neg_infinity in
+  List.iter
+    (fun bits ->
+      let u = payoff_of cfg payloads i bits in
+      if u > !best_u then begin
+        best_u := u;
+        best := bits
+      end)
+    (candidate_grid cfg);
+  (* Local refinement around the best grid point. *)
+  let step = Stdlib.max 1 ((cfg.l_max - cfg.l_min) / 63) in
+  let refined, _ =
+    Numerics.Optimize.hill_climb_int_max ~start:!best
+      (payoff_of cfg payloads i)
+      (Stdlib.max cfg.l_min (!best - step))
+      (Stdlib.min cfg.l_max (!best + step))
+  in
+  refined
+
+let best_response_dynamics ?(max_rounds = 20) cfg start =
+  validate cfg;
+  let current = ref (Array.copy start) in
+  let rec go round =
+    if round >= max_rounds then (!current, round, false)
+    else begin
+      let next =
+        Array.mapi (fun i _ -> best_response cfg ~payloads:!current ~i) !current
+      in
+      if next = !current then (!current, round, true)
+      else begin
+        current := next;
+        go (round + 1)
+      end
+    end
+  in
+  go 0
+
+let symmetric_optimum cfg ~n =
+  validate cfg;
+  if n < 1 then invalid_arg "Payload_game.symmetric_optimum: need n >= 1";
+  (* In the symmetric profile everyone shares the payoff, so a 1-D search
+     over the common payload suffices. *)
+  let payoff bits = (utilities cfg (Array.make n bits)).(0) in
+  let best = ref cfg.l_min and best_u = ref neg_infinity in
+  List.iter
+    (fun bits ->
+      let u = payoff bits in
+      if u > !best_u then begin
+        best_u := u;
+        best := bits
+      end)
+    (candidate_grid cfg);
+  !best
+
+type rate_anomaly = {
+  rates : float array;
+  throughputs : float array;
+  airtime_shares : float array;
+}
+
+let rate_anomaly (params : Dcf.Params.t) ~w ~rates =
+  let n = Array.length rates in
+  if n = 0 then invalid_arg "Payload_game.rate_anomaly: empty network";
+  Array.iter
+    (fun r ->
+      if r <= 0. then invalid_arg "Payload_game.rate_anomaly: rate must be positive")
+    rates;
+  let tau, _p = Dcf.Solver.solve_homogeneous params ~n ~w in
+  let timings =
+    Array.map
+      (fun rate ->
+        Dcf.Hetero.node_timing params ~payload_bits:params.payload_bits
+          ~bit_rate:rate)
+      rates
+  in
+  let ts = Array.map (fun (t, _, _) -> t) timings in
+  let hetero =
+    Dcf.Hetero.of_profile ~sigma:params.sigma ~taus:(Array.make n tau) ~ts
+      ~tc:(Array.map (fun (_, t, _) -> t) timings)
+      ~payload_time:(Array.map (fun (_, _, t) -> t) timings)
+  in
+  let busy_time =
+    Array.fold_left ( +. ) 0.
+      (Array.init n (fun i -> hetero.per_node_success.(i) *. ts.(i)))
+  in
+  {
+    rates;
+    throughputs = hetero.per_node_goodput;
+    airtime_shares =
+      Array.init n (fun i ->
+          if busy_time = 0. then 0.
+          else hetero.per_node_success.(i) *. ts.(i) /. busy_time);
+  }

@@ -1,0 +1,59 @@
+(** The payload-size game — the conclusion's "other selfish behaviors such
+    as rate control" instantiated on the same framework.
+
+    Players share a common contention window (e.g. the CW game's efficient
+    NE) but each chooses its *payload size* L_i ∈ [l_min, l_max] bits.  A
+    delivered packet is worth gain proportional to its payload
+    (g·L_i/L_ref, with L_ref the Table-I payload), an attempt costs the
+    usual e, and the channel is priced by the heterogeneous-frame model
+    ({!Dcf.Hetero}): your long frames inflate everybody's slot time.
+
+    Two regimes, both derived rather than assumed:
+    - γ = 0 (throughput-only utility): header amortisation makes the
+      best response l_max regardless of the others; the unique NE is
+      everyone-at-l_max, and it coincides with the social optimum — payload
+      selfishness is benign.
+    - γ > 0 (delay-priced utility as in {!Delay_game}): long frames raise
+      the shared slot time and hence everyone's access delay; the best
+      response becomes interior and decreases with γ, and the NE payload
+      shrinks accordingly.
+
+    The module also exposes the classic *rate anomaly* computation
+    (heterogeneous PHY rates under MAC-level packet fairness) as the
+    baseline motivating airtime-based utility redefinitions. *)
+
+type config = {
+  params : Dcf.Params.t;
+  w : int;            (** common contention window *)
+  l_min : int;        (** smallest payload, bits *)
+  l_max : int;        (** largest payload, bits *)
+  gamma : float;      (** delay sensitivity, 1/s (0 = throughput only) *)
+}
+
+val utilities : config -> int array -> float array
+(** Per-node payoff rates for a payload profile (bits per node). *)
+
+val best_response : config -> payloads:int array -> i:int -> int
+(** The payload maximising node [i]'s payoff against the given profile
+    (grid search over ~64 candidate sizes, then local refinement). *)
+
+val best_response_dynamics :
+  ?max_rounds:int -> config -> int array -> int array * int * bool
+(** Iterate simultaneous best responses from the given profile:
+    [(final, rounds, converged)]. *)
+
+val symmetric_optimum : config -> n:int -> int
+(** The common payload maximising the symmetric per-node payoff in an
+    [n]-player network. *)
+
+type rate_anomaly = {
+  rates : float array;        (** per-node PHY rate, bit/s *)
+  throughputs : float array;  (** per-node goodput (fraction of base rate) *)
+  airtime_shares : float array; (** fraction of busy time each node holds *)
+}
+
+val rate_anomaly : Dcf.Params.t -> w:int -> rates:float array -> rate_anomaly
+(** Heusse et al.'s 802.11 anomaly, computed from the heterogeneous-frame
+    model: MAC-level fairness gives every node the same packet rate, so a
+    single slow node drags every fast node's goodput down to roughly the
+    slow node's level while hogging the airtime. *)

@@ -1,0 +1,41 @@
+type t = int array
+
+let uniform ~n ~w =
+  if n < 1 then invalid_arg "Profile.uniform: need n >= 1";
+  if w < 1 then invalid_arg "Profile.uniform: window must be >= 1";
+  Array.make n w
+
+let with_deviant ~n ~w ~w_dev =
+  if n < 2 then invalid_arg "Profile.with_deviant: need n >= 2";
+  let p = uniform ~n ~w in
+  if w_dev < 1 then invalid_arg "Profile.with_deviant: window must be >= 1";
+  p.(0) <- w_dev;
+  p
+
+let is_uniform t =
+  Array.length t > 0 && Array.for_all (fun w -> w = t.(0)) t
+
+let min_window t =
+  if Array.length t = 0 then invalid_arg "Profile.min_window: empty profile";
+  Array.fold_left Stdlib.min t.(0) t
+
+let validate ~cw_max t =
+  if Array.length t = 0 then Error "empty profile"
+  else if Array.exists (fun w -> w < 1 || w > cw_max) t then
+    Error (Printf.sprintf "windows must lie in [1, %d]" cw_max)
+  else Ok ()
+
+let equal a b = a = b
+
+let pp ppf t =
+  if is_uniform t then
+    Format.fprintf ppf "%dx%d" (Array.length t) t.(0)
+  else begin
+    Format.pp_print_char ppf '[';
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Format.pp_print_string ppf "; ";
+        Format.pp_print_int ppf w)
+      t;
+    Format.pp_print_char ppf ']'
+  end

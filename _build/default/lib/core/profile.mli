@@ -1,0 +1,25 @@
+(** Strategy profiles of the MAC game: one contention-window value per
+    player (Definition 1's W^k). *)
+
+type t = int array
+
+val uniform : n:int -> w:int -> t
+(** All [n ≥ 1] players on window [w ≥ 1]. *)
+
+val with_deviant : n:int -> w:int -> w_dev:int -> t
+(** Player 0 on [w_dev], the other n−1 players on [w] — Lemma 4's
+    configuration. *)
+
+val is_uniform : t -> bool
+
+val min_window : t -> int
+(** Smallest window in the profile (the TFT attractor).
+    @raise Invalid_argument on an empty profile. *)
+
+val validate : cw_max:int -> t -> (unit, string) result
+(** Every window must lie in the strategy space [1, cw_max]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering: uniform profiles as [n×W], others as a list. *)

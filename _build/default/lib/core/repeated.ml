@@ -1,0 +1,111 @@
+type stage_record = {
+  stage : int;
+  cws : Profile.t;
+  utilities : float array;
+  welfare : float;
+}
+
+type outcome = {
+  trace : stage_record array;
+  converged_at : int option;
+  final : Profile.t;
+  discounted : float array;
+}
+
+let default_payoffs params =
+  let cache = Hashtbl.create 16 in
+  fun (cws : Profile.t) ->
+    let key = Array.to_list cws in
+    match Hashtbl.find_opt cache key with
+    | Some u -> u
+    | None ->
+        let u = (Dcf.Model.solve params cws).Dcf.Model.utilities in
+        Hashtbl.add cache key u;
+        u
+
+let run ?(observer = Observer.perfect) ?payoffs (params : Dcf.Params.t)
+    ~strategies ~stages =
+  let n = Array.length strategies in
+  if n = 0 then invalid_arg "Repeated.run: no players";
+  if stages < 1 then invalid_arg "Repeated.run: need at least one stage";
+  let payoffs =
+    match payoffs with Some f -> f | None -> default_payoffs params
+  in
+  (* Per-player observation histories, most recent stage first. *)
+  let histories = Array.make n [] in
+  let trace = ref [] in
+  let discounted = Array.make n 0. in
+  let cws = ref (Array.map (fun (s : Strategy.t) -> s.initial) strategies) in
+  for stage = 0 to stages - 1 do
+    let played = Array.copy !cws in
+    let utilities = payoffs played in
+    if Array.length utilities <> n then
+      invalid_arg "Repeated.run: payoff backend returned wrong arity";
+    let welfare = Array.fold_left ( +. ) 0. utilities in
+    trace := { stage; cws = played; utilities; welfare } :: !trace;
+    let factor =
+      params.discount ** float_of_int stage *. params.stage_duration
+    in
+    Array.iteri
+      (fun i u -> discounted.(i) <- discounted.(i) +. (factor *. u))
+      utilities;
+    for i = 0 to n - 1 do
+      histories.(i) <- Observer.observe observer ~me:i played :: histories.(i)
+    done;
+    if stage < stages - 1 then
+      cws :=
+        Array.mapi
+          (fun i (s : Strategy.t) ->
+            s.decide
+              {
+                Strategy.stage = stage + 1;
+                me = i;
+                my_window = played.(i);
+                observed = histories.(i);
+              })
+          strategies
+  done;
+  let trace = Array.of_list (List.rev !trace) in
+  let final = trace.(Array.length trace - 1).cws in
+  let converged_at =
+    let len = Array.length trace in
+    if len < 2 then None
+    else if not (Profile.equal trace.(len - 1).cws trace.(len - 2).cws) then None
+    else begin
+      (* First index of the maximal constant suffix. *)
+      let rec back i =
+        if i = 0 then 0
+        else if Profile.equal trace.(i - 1).cws final then back (i - 1)
+        else i
+      in
+      Some (back (len - 1))
+    end
+  in
+  { trace; converged_at; final; discounted }
+
+let all_tft ~n ~initials =
+  if Array.length initials <> n then
+    invalid_arg "Repeated.all_tft: need one initial window per player";
+  Array.map (fun w -> Strategy.tft ~initial:w) initials
+
+let converged_window outcome =
+  if Profile.is_uniform outcome.final then Some outcome.final.(0) else None
+
+let pre_convergence_shortfall (params : Dcf.Params.t) outcome =
+  match outcome.converged_at with
+  | None -> None
+  | Some t0 ->
+      let n = Array.length outcome.final in
+      let reference = outcome.trace.(Array.length outcome.trace - 1).utilities in
+      let shortfall = Array.make n 0. in
+      for k = 0 to t0 - 1 do
+        let factor =
+          (params.discount ** float_of_int k) *. params.stage_duration
+        in
+        Array.iteri
+          (fun i u ->
+            shortfall.(i) <-
+              shortfall.(i) +. (factor *. (reference.(i) -. u)))
+          outcome.trace.(k).utilities
+      done;
+      Some shortfall

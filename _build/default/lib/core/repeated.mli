@@ -1,0 +1,51 @@
+(** The repeated-game engine (Definition 1).
+
+    Plays the multi-stage game G: in stage 0 every player uses its
+    strategy's initial window; in stage k ≥ 1 each player decides from its
+    own observation history (collected through an {!module:Observer}).
+    Stage payoffs are evaluated by a pluggable backend — the analytic model
+    by default, or a packet-level simulator for end-to-end runs. *)
+
+type stage_record = {
+  stage : int;
+  cws : Profile.t;          (** profile W^k actually played *)
+  utilities : float array;  (** per-node payoff rates u_i(W^k) *)
+  welfare : float;          (** Σ_i u_i(W^k) *)
+}
+
+type outcome = {
+  trace : stage_record array;   (** one record per stage, in order *)
+  converged_at : int option;
+      (** first stage of a constant suffix of length ≥ 2 (the TFT
+          convergence the paper proves); [None] if the last two stages
+          differ *)
+  final : Profile.t;            (** profile of the last stage *)
+  discounted : float array;
+      (** Σ_k δ^k·u_i(W^k)·T over the played stages — the utility U_i of
+          Definition 1 truncated to the horizon *)
+}
+
+val run :
+  ?observer:Observer.t ->
+  ?payoffs:(Profile.t -> float array) ->
+  Dcf.Params.t -> strategies:Strategy.t array -> stages:int -> outcome
+(** Play [stages ≥ 1] stages.  [payoffs] defaults to the analytic model
+    (memoised per distinct profile, so converged runs cost one solve);
+    [observer] defaults to {!Observer.perfect}. *)
+
+val all_tft : n:int -> initials:int array -> Strategy.t array
+(** Convenience: [n] TFT players with the given initial windows
+    ([initials] must have length [n]). *)
+
+val converged_window : outcome -> int option
+(** The common window if the final profile is uniform. *)
+
+val pre_convergence_shortfall : Dcf.Params.t -> outcome -> float array option
+(** Per-player discounted payoff given up before convergence:
+    Σ_k δ^k·(u_i(final) − u_i(W^k))·T over the pre-convergence stages,
+    where u_i(final) is the player's payoff at the converged profile.
+    This is exactly the Σ_{k<t0} term Sec. V.A drops "given that δ is
+    close to 1" — the function quantifies how good that approximation is
+    (compare against [discounted]).  [None] if the run never converged.
+    Negative entries are possible: a player that free-rode before
+    punishment earned *more* than its converged payoff. *)

@@ -1,0 +1,80 @@
+type message = Start_search of int | Ready of int | Announce of int
+
+type measurement = { w : int; payoff : float }
+
+type trace = {
+  result : int;
+  messages : message list;
+  measurements : measurement list;
+}
+
+type oracle = int -> float
+
+let analytic_oracle params ~n =
+  let cache = Hashtbl.create 32 in
+  fun w ->
+    match Hashtbl.find_opt cache w with
+    | Some u -> u
+    | None ->
+        let u = (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility in
+        Hashtbl.add cache w u;
+        u
+
+let noisy_oracle rng ~rel_stddev oracle =
+  if rel_stddev < 0. then invalid_arg "Search.noisy_oracle: negative stddev";
+  fun w ->
+    let u = oracle w in
+    u +. Prelude.Rng.normal rng ~mean:0. ~stddev:(rel_stddev *. Float.abs u)
+
+let run ?(w0 = 16) ?(probes = 1) ~cw_max oracle =
+  if w0 < 1 || w0 > cw_max then invalid_arg "Search.run: w0 out of range";
+  if probes < 1 then invalid_arg "Search.run: probes must be >= 1";
+  let messages = ref [ Start_search w0 ] in
+  let measurements = ref [] in
+  let probe w =
+    (* Averaging several oracle calls models a longer measurement interval
+       t_m; with a noisy oracle this is what keeps the unit-step climb from
+       stalling on the shallow part of the payoff curve. *)
+    let total = ref 0. in
+    for _ = 1 to probes do
+      total := !total +. oracle w
+    done;
+    let payoff = !total /. float_of_int probes in
+    measurements := { w; payoff } :: !measurements;
+    payoff
+  in
+  let step direction w = w + direction in
+  (* Walk in one direction while the payoff improves; return the best
+     window and payoff seen. *)
+  let rec walk direction w best =
+    let w' = step direction w in
+    if w' < 1 || w' > cw_max then (w, best)
+    else begin
+      messages := Ready w' :: !messages;
+      let payoff = probe w' in
+      if payoff > best then walk direction w' payoff else (w, best)
+    end
+  in
+  let u0 = probe w0 in
+  let right_w, right_u = walk 1 w0 u0 in
+  let result, _ =
+    if right_w > w0 then (right_w, right_u) else walk (-1) w0 u0
+  in
+  messages := Announce result :: !messages;
+  {
+    result;
+    messages = List.rev !messages;
+    measurements = List.rev !measurements;
+  }
+
+let misreport_stage_payoffs params ~n ~w_star ~w_report =
+  let stage w =
+    Dcf.Utility.stage params (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility
+  in
+  let truthful = stage w_star in
+  (* Under-report: TFT drags everyone (the coordinator included) to the
+     reported window.  Over-report: the coordinator keeps operating on
+     W_c★, the others follow the smallest observed window back to W_c★, so
+     the long-run profile is (W_c★, …, W_c★) again. *)
+  let misreport = if w_report < w_star then stage w_report else truthful in
+  (truthful, misreport)

@@ -1,0 +1,58 @@
+(** The distributed search for the efficient NE (Sec. V.C).
+
+    When players do not know n they cannot compute W_c* directly; the paper
+    gives a coordinator-driven protocol: node l broadcasts Start-Search, then
+    repeatedly announces a window via Ready messages, waits for the others
+    to adopt it, measures its own payoff Û_l = (n_s·g − n_e·e)/t_m over a
+    measurement interval, and hill-climbs right (then left if the first
+    right step already lost payoff) until the payoff drops, finally
+    broadcasting the best window found.
+
+    The paper's pseudocode is ambiguous about when Left-Search triggers
+    ("if W_m ≠ W_0 + 1"); we implement the evident intent — search left
+    exactly when the right search made no progress — which finds the
+    maximiser of any unimodal payoff from any starting point.
+
+    The payoff oracle abstracts how Û_l is measured: exact (analytic
+    model), noisy, or packet-counting on a simulator. *)
+
+type message =
+  | Start_search of int  (** initial window W_0 *)
+  | Ready of int         (** "everyone switch to this window" *)
+  | Announce of int      (** final broadcast of W_m *)
+
+type measurement = { w : int; payoff : float }
+
+type trace = {
+  result : int;                   (** the window announced as W_m *)
+  messages : message list;        (** protocol messages, in order *)
+  measurements : measurement list;(** payoff probes, in order *)
+}
+
+type oracle = int -> float
+(** [oracle w] is the coordinator's measured payoff when every player
+    operates on window [w]. *)
+
+val analytic_oracle : Dcf.Params.t -> n:int -> oracle
+(** Exact uniform-profile payoff rate from the analytic model (memoised). *)
+
+val noisy_oracle : Prelude.Rng.t -> rel_stddev:float -> oracle -> oracle
+(** Multiplicative Gaussian measurement noise, as produced by a finite
+    measurement interval t_m. *)
+
+val run : ?w0:int -> ?probes:int -> cw_max:int -> oracle -> trace
+(** Run the protocol from starting window [w0] (default 16) over the
+    strategy space [1, cw_max].  Each candidate's payoff is averaged over
+    [probes ≥ 1] oracle calls (default 1) — the knob corresponding to the
+    measurement interval t_m: against a noisy oracle, more probes keep the
+    unit-step climb from stalling where the payoff slope is shallower than
+    the noise.  The recorded measurement is the average. *)
+
+val misreport_stage_payoffs :
+  Dcf.Params.t -> n:int -> w_star:int -> w_report:int -> float * float
+(** The Remark of Sec. V.C: [(truthful, misreport)] long-run stage payoffs
+    of a coordinator who either announces the true W_c* or announces
+    [w_report].  Under-reporting (w_report < W_c★) drags everyone — itself
+    included, by TFT — to w_report; over-reporting converges back to the
+    coordinator's own W_c* so its long-run payoff is unchanged.  In both
+    cases misreporting never beats truth in the long run. *)

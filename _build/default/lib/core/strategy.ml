@@ -1,0 +1,113 @@
+type decision_input = {
+  stage : int;
+  me : int;
+  my_window : int;
+  observed : int array list;
+}
+
+type t = { name : string; initial : int; decide : decision_input -> int }
+
+let check_window w =
+  if w < 1 then invalid_arg "Strategy: window must be >= 1"
+
+let fixed w =
+  check_window w;
+  { name = Printf.sprintf "fixed(%d)" w; initial = w; decide = (fun _ -> w) }
+
+let min_of a = Array.fold_left Stdlib.min a.(0) a
+
+let tft ~initial =
+  check_window initial;
+  {
+    name = "tft";
+    initial;
+    decide =
+      (fun input ->
+        match input.observed with
+        | [] -> input.my_window
+        | last :: _ -> min_of last);
+  }
+
+let gtft ~initial ~r0 ~beta =
+  check_window initial;
+  if r0 < 1 then invalid_arg "Strategy.gtft: r0 must be >= 1";
+  if beta <= 0. || beta > 1. then
+    invalid_arg "Strategy.gtft: beta must be in (0, 1]";
+  {
+    name = Printf.sprintf "gtft(r0=%d,beta=%g)" r0 beta;
+    initial;
+    decide =
+      (fun input ->
+        match input.observed with
+        | [] -> input.my_window
+        | (last :: _ : int array list) as all ->
+            let window_stages = List.filteri (fun i _ -> i < r0) all in
+            let k = List.length window_stages in
+            let n = Array.length last in
+            let averages =
+              Array.init n (fun j ->
+                  let total =
+                    List.fold_left (fun acc st -> acc + st.(j)) 0 window_stages
+                  in
+                  float_of_int total /. float_of_int k)
+            in
+            let mine = averages.(input.me) in
+            let someone_cheats =
+              Array.exists (fun avg -> avg < beta *. mine) averages
+            in
+            if someone_cheats then min_of last else input.my_window);
+  }
+
+let short_sighted w =
+  let base = fixed w in
+  { base with name = Printf.sprintf "short_sighted(%d)" w }
+
+let malicious w =
+  let base = fixed w in
+  { base with name = Printf.sprintf "malicious(%d)" w }
+
+let grim_trigger ~initial ~beta =
+  check_window initial;
+  if beta <= 0. || beta > 1. then
+    invalid_arg "Strategy.grim_trigger: beta must be in (0, 1]";
+  let triggered = ref false in
+  let harshest = ref initial in
+  {
+    name = Printf.sprintf "grim(beta=%g)" beta;
+    initial;
+    decide =
+      (fun input ->
+        match input.observed with
+        | [] -> input.my_window
+        | last :: _ ->
+            let smallest = min_of last in
+            if smallest < !harshest then harshest := smallest;
+            if float_of_int smallest < beta *. float_of_int initial then
+              triggered := true;
+            if !triggered then !harshest else input.my_window);
+  }
+
+let best_response params ~initial =
+  check_window initial;
+  {
+    name = "best_response";
+    initial;
+    decide =
+      (fun input ->
+        match input.observed with
+        | [] -> input.my_window
+        | last :: _ ->
+            let cws = Array.copy last in
+            let stage_payoff w =
+              cws.(input.me) <- w;
+              let solved = Dcf.Model.solve params cws in
+              solved.Dcf.Model.utilities.(input.me)
+            in
+            (* The stage payoff is unimodal in the own window (concavity of
+               U_i in τ_i, Lemma 2); hill-climb from the current window. *)
+            fst
+              (Numerics.Optimize.hill_climb_int_max ~start:input.my_window
+                 stage_payoff 1 params.Dcf.Params.cw_max));
+  }
+
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,60 @@
+(** Player strategies for the repeated MAC game (Sec. IV).
+
+    A strategy decides the window to play in stage k from the (possibly
+    noisy) observations of every player's window in previous stages.  The
+    observation vector passed to [decide] is what the player's CW observer
+    reports (see {!module:Observer}), most recent stage first. *)
+
+type decision_input = {
+  stage : int;            (** index k ≥ 1 of the stage being decided *)
+  me : int;               (** the deciding player's index *)
+  my_window : int;        (** the window the player used in stage k−1 *)
+  observed : int array list;
+      (** per-stage observation vectors, most recent first; element [me]
+          is the player's own (exact) window *)
+}
+
+type t = {
+  name : string;
+  initial : int;          (** window played in stage 0 *)
+  decide : decision_input -> int;
+}
+
+val fixed : int -> t
+(** Always play the given window — models naive conformers and the
+    malicious player of Sec. V.E (with a small window). *)
+
+val tft : initial:int -> t
+(** TIT-FOR-TAT as defined in Sec. IV: in each stage play
+    min_j W_j^{k−1}, the smallest window observed in the previous stage. *)
+
+val gtft : initial:int -> r0:int -> beta:float -> t
+(** Generous TFT: average each player's window over the last [r0 ≥ 1]
+    stages; if some player l has W̄_l < β·W̄_me (β ∈ (0, 1], close to 1),
+    punish by matching the smallest window of the last stage, otherwise keep
+    the current window.  Larger [r0] or smaller [beta] is more tolerant. *)
+
+val short_sighted : int -> t
+(** A deviant that pins its window below the efficient NE to harvest
+    short-term payoff (Sec. V.D).  Behaviourally identical to {!fixed};
+    the distinct name keeps game traces readable. *)
+
+val malicious : int -> t
+(** A player that pins a (typically tiny) window to drag the whole network
+    down (Sec. V.E).  Behaviourally identical to {!fixed}. *)
+
+val grim_trigger : initial:int -> beta:float -> t
+(** Grim trigger: play [initial] until any player's observed window falls
+    below [beta]·initial (β ∈ (0, 1]), then punish *forever* by matching
+    the smallest window ever observed.  Unlike TFT it never forgives, so a
+    single noisy observation permanently collapses the profile — the
+    contrast experiment for TFT/GTFT's tolerance.  The trigger state lives
+    inside the strategy value: build a fresh one per game. *)
+
+val best_response : Dcf.Params.t -> initial:int -> t
+(** Myopic best response: maximise the stage payoff against the last
+    observed profile (everything else equal).  This is the short-sighted
+    dynamics of [2] (Cagalj et al.); iterating it collapses the network —
+    the contrast experiment to TFT. *)
+
+val pp : Format.formatter -> t -> unit

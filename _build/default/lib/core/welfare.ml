@@ -1,0 +1,62 @@
+type point = { w : int; value : float }
+
+let series_of ?p_hn params ~n ~ws ~per_node =
+  Array.map
+    (fun w ->
+      let u = (Dcf.Model.homogeneous ?p_hn params ~n ~w).Dcf.Model.utility in
+      let value =
+        if per_node then u
+        else
+          (* U/C = σ·n·u/g, cf. Sec. VII.A *)
+          params.Dcf.Params.sigma *. float_of_int n *. u /. params.Dcf.Params.gain
+      in
+      { w; value })
+    ws
+
+let global_series ?p_hn params ~n ~ws = series_of ?p_hn params ~n ~ws ~per_node:false
+
+let local_series ?p_hn params ~n ~ws = series_of ?p_hn params ~n ~ws ~per_node:true
+
+let sample_windows (params : Dcf.Params.t) ~n ~count =
+  if count < 2 then invalid_arg "Welfare.sample_windows: need >= 2 points";
+  let w_star = Equilibrium.efficient_cw params ~n in
+  let hi = Stdlib.min params.cw_max (Stdlib.max 8 (4 * w_star)) in
+  let raw = Prelude.Util.logspace 1. (float_of_int hi) count in
+  let ints = Array.map (fun x -> int_of_float (Float.round x)) raw in
+  (* Deduplicate while keeping order (rounding collapses small values). *)
+  let seen = Hashtbl.create count in
+  let keep =
+    Array.to_list ints
+    |> List.filter (fun w ->
+           if Hashtbl.mem seen w then false
+           else begin
+             Hashtbl.add seen w ();
+             true
+           end)
+  in
+  Array.of_list keep
+
+let peak points =
+  if Array.length points = 0 then invalid_arg "Welfare.peak: empty series";
+  points.(Prelude.Util.argmax (fun p -> p.value) points)
+
+let flatness points ~around ~within =
+  if within <= 0. || within > 1. then
+    invalid_arg "Welfare.flatness: within must be in (0, 1]";
+  let reference =
+    match Array.find_opt (fun p -> p.w = around) points with
+    | Some p -> p.value
+    | None -> invalid_arg "Welfare.flatness: reference window not in series"
+  in
+  let threshold = within *. reference in
+  let n = Array.length points in
+  let idx = ref 0 in
+  Array.iteri (fun i p -> if p.w = around then idx := i) points;
+  let lo = ref !idx and hi = ref !idx in
+  while !lo > 0 && points.(!lo - 1).value >= threshold do
+    decr lo
+  done;
+  while !hi < n - 1 && points.(!hi + 1).value >= threshold do
+    incr hi
+  done;
+  (points.(!lo).w, points.(!hi).w)

@@ -1,0 +1,30 @@
+(** Global-payoff curves (Figures 2–3) and their robustness summary.
+
+    The figures plot the normalised global payoff U/C against the common
+    contention window, where U = T/(1−δ)·Σ_i u_i and C = g·T/(σ(1−δ)),
+    i.e. U/C = σ·n·u(W,…,W)/g — a dimensionless curve whose maximiser is
+    W_c* and whose flatness around it is the robustness the paper stresses. *)
+
+type point = { w : int; value : float }
+
+val global_series :
+  ?p_hn:float -> Dcf.Params.t -> n:int -> ws:int array -> point array
+(** U/C at each window of [ws] for the symmetric n-player network. *)
+
+val local_series :
+  ?p_hn:float -> Dcf.Params.t -> n:int -> ws:int array -> point array
+(** Per-node payoff rate u at each window (the individual view; its argmax
+    coincides with the global one by symmetry). *)
+
+val sample_windows : Dcf.Params.t -> n:int -> count:int -> int array
+(** A log-spaced window grid covering [1, ~4·W_c*] with [count ≥ 2]
+    distinct points — a good x-axis for the figures at any n. *)
+
+val peak : point array -> point
+(** The maximising point of a series.  @raise Invalid_argument if empty. *)
+
+val flatness : point array -> around:int -> within:float -> int * int
+(** [(lo, hi)]: the contiguous window range of the series around the window
+    [around] whose value stays within [within] (e.g. 0.95) of the series
+    value at [around].  Quantifies the "CW values near W_c* yield almost
+    the same payoff" observation. *)

@@ -1,0 +1,1 @@
+lib/dcf/bianchi.mli:

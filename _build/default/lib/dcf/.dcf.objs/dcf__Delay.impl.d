@@ -1,0 +1,1 @@
+lib/dcf/delay.ml: Array Metrics Params Prelude

@@ -1,0 +1,1 @@
+lib/dcf/hetero.ml: Array Fun Params Timing

@@ -1,0 +1,1 @@
+lib/dcf/metrics.ml: Array Params Solver Timing

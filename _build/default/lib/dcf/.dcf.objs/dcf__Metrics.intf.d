@@ -1,0 +1,1 @@
+lib/dcf/metrics.mli: Params Solver

@@ -1,0 +1,1 @@
+lib/dcf/model.ml: Array Metrics Params Solver Utility

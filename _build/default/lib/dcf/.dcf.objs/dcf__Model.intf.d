@@ -1,0 +1,1 @@
+lib/dcf/model.mli: Metrics Params

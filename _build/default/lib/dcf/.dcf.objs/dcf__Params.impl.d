@@ -1,0 +1,1 @@
+lib/dcf/params.ml: Format

@@ -1,0 +1,1 @@
+lib/dcf/solver.mli: Params

@@ -1,0 +1,1 @@
+lib/dcf/timing.ml: Params

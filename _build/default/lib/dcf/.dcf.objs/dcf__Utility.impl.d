@@ -1,0 +1,1 @@
+lib/dcf/utility.ml: Array Metrics Params

@@ -1,0 +1,1 @@
+lib/dcf/utility.mli: Params

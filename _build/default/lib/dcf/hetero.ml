@@ -1,0 +1,90 @@
+type t = {
+  p_tr : float;
+  p_s : float;
+  slot_time : float;
+  per_node_success : float array;
+  per_node_goodput : float array;
+  expected_collision_time : float;
+}
+
+let of_profile ~sigma ~taus ~ts ~tc ~payload_time =
+  let n = Array.length taus in
+  if n = 0 then invalid_arg "Hetero.of_profile: empty profile";
+  if
+    Array.length ts <> n || Array.length tc <> n
+    || Array.length payload_time <> n
+  then invalid_arg "Hetero.of_profile: length mismatch";
+  (* Prefix/suffix products of (1−τ) in the original order for the
+     per-node success probabilities. *)
+  let prefix = Array.make (n + 1) 1. in
+  let suffix = Array.make (n + 1) 1. in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) *. (1. -. taus.(i))
+  done;
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) *. (1. -. taus.(i))
+  done;
+  let all_idle = prefix.(n) in
+  let p_tr = 1. -. all_idle in
+  let per_node_success =
+    Array.init n (fun i -> taus.(i) *. prefix.(i) *. suffix.(i + 1))
+  in
+  let p_any_success = Array.fold_left ( +. ) 0. per_node_success in
+  let p_s = if p_tr > 0. then p_any_success /. p_tr else 0. in
+  (* Collision-time expectation: decompose on the transmitter with the
+     longest collision duration, after sorting by tc ascending. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare tc.(a) tc.(b)) order;
+  let expected_collision_time = ref 0. in
+  let below = ref 1. (* Π_{j before k in sorted order} (1−τ_j) *) in
+  let above = Array.make (n + 1) 1. in
+  for k = n - 1 downto 0 do
+    above.(k) <- above.(k + 1) *. (1. -. taus.(order.(k)))
+  done;
+  for k = 0 to n - 1 do
+    let i = order.(k) in
+    expected_collision_time :=
+      !expected_collision_time
+      +. (tc.(i) *. taus.(i) *. above.(k + 1) *. (1. -. !below));
+    below := !below *. (1. -. taus.(i))
+  done;
+  let success_time =
+    Array.fold_left ( +. ) 0.
+      (Array.init n (fun i -> per_node_success.(i) *. ts.(i)))
+  in
+  let slot_time =
+    (all_idle *. sigma) +. success_time +. !expected_collision_time
+  in
+  let per_node_goodput =
+    Array.init n (fun i -> per_node_success.(i) *. payload_time.(i) /. slot_time)
+  in
+  {
+    p_tr;
+    p_s;
+    slot_time;
+    per_node_success;
+    per_node_goodput;
+    expected_collision_time = !expected_collision_time;
+  }
+
+let node_timing (params : Params.t) ~payload_bits ~bit_rate =
+  if payload_bits <= 0 then invalid_arg "Hetero.node_timing: payload must be positive";
+  if bit_rate <= 0. then invalid_arg "Hetero.node_timing: rate must be positive";
+  (* Headers and control frames stay at the base rate; only the payload
+     rides the node's PHY rate. *)
+  let base = Timing.tx_time params in
+  let header = base (params.phy_header_bits + params.mac_header_bits) in
+  let ack = base (params.ack_bits + params.phy_header_bits) in
+  let rts = base (params.rts_bits + params.phy_header_bits) in
+  let cts = base (params.cts_bits + params.phy_header_bits) in
+  let payload_time = float_of_int payload_bits /. bit_rate in
+  match params.mode with
+  | Params.Basic ->
+      ( header +. payload_time +. params.sifs +. ack +. params.difs,
+        header +. payload_time +. params.sifs,
+        payload_time )
+  | Params.Rts_cts ->
+      ( rts +. params.sifs +. cts +. params.sifs +. header +. payload_time
+        +. params.sifs +. ack +. params.difs,
+        rts +. params.difs,
+        payload_time )

@@ -1,0 +1,46 @@
+(** Channel metrics for heterogeneous frame durations.
+
+    {!module:Metrics} assumes every node occupies the channel for the same
+    Ts/Tc.  Pricing per-node payload sizes or PHY rates (the "rate control"
+    extension sketched in the paper's conclusion) needs the general form:
+    node i's successful transmission holds the channel for [ts.(i)], and a
+    collision holds it for the *longest* colliding frame.
+
+    With S the random transmitter set of a slot (i ∈ S independently with
+    probability τ_i), the exact collision-time expectation is computed by
+    sorting nodes by [tc] and decomposing on the index of the longest
+    transmitter:
+
+    E[Tc·1(|S|≥2)] = Σ_k tc_k · τ_k · Π_{j>k}(1−τ_j) · (1 − Π_{j<k}(1−τ_j))
+
+    (ties broken by index), which is O(n log n) — no subset enumeration. *)
+
+type t = {
+  p_tr : float;
+  p_s : float;
+  slot_time : float;             (** T̄slot with per-node durations *)
+  per_node_success : float array;(** P(node i transmits alone) per slot *)
+  per_node_goodput : float array;
+      (** node i's payload-bit rate share: success_i·payload_bits_i/T̄slot,
+          normalised by the channel bit rate — comparable to S *)
+  expected_collision_time : float;
+      (** E[Tc · 1(collision)] per slot, s *)
+}
+
+val of_profile :
+  sigma:float ->
+  taus:float array ->
+  ts:float array ->
+  tc:float array ->
+  payload_time:float array ->
+  t
+(** All arrays indexed by node; [payload_time] is the airtime of the
+    payload bits only (used for goodput).  @raise Invalid_argument on
+    length mismatches or empty input. *)
+
+val node_timing :
+  Params.t -> payload_bits:int -> bit_rate:float -> float * float * float
+(** [(ts, tc, payload_time)] of a node sending [payload_bits] payloads at
+    PHY rate [bit_rate] (control frames and headers stay at the parameter
+    set's base rate, as in 802.11 where the PLCP header is always sent at
+    the base rate). *)

@@ -1,0 +1,54 @@
+type solved = {
+  params : Params.t;
+  cws : int array;
+  taus : float array;
+  ps : float array;
+  metrics : Metrics.t;
+  utilities : float array;
+}
+
+let solve ?p_hn (params : Params.t) cws =
+  let solution = Solver.solve params cws in
+  let metrics = Metrics.of_solution params solution in
+  let utilities = Utility.rates ?p_hn params ~taus:solution.taus ~ps:solution.ps in
+  { params; cws; taus = solution.taus; ps = solution.ps; metrics; utilities }
+
+type node_view = {
+  tau : float;
+  p : float;
+  utility : float;
+  throughput : float;
+  slot_time : float;
+}
+
+let view_of ?p_hn (params : Params.t) (metrics : Metrics.t) ~tau ~p ~index =
+  {
+    tau;
+    p;
+    utility =
+      Utility.rate_of_node ?p_hn params ~slot_time:metrics.slot_time ~tau ~p;
+    throughput = metrics.per_node_throughput.(index);
+    slot_time = metrics.slot_time;
+  }
+
+let homogeneous ?p_hn (params : Params.t) ~n ~w =
+  let tau, p = Solver.solve_homogeneous params ~n ~w in
+  let metrics = Metrics.of_taus params (Array.make n tau) in
+  view_of ?p_hn params metrics ~tau ~p ~index:0
+
+let homogeneous_welfare ?p_hn params ~n ~w =
+  float_of_int n *. (homogeneous ?p_hn params ~n ~w).utility
+
+type deviation_view = { deviant : node_view; conformer : node_view }
+
+let with_deviant ?p_hn (params : Params.t) ~n ~w ~w_dev =
+  let (tau_dev, p_dev), (tau, p) =
+    Solver.solve_with_deviant params ~n ~w ~w_dev
+  in
+  let taus = Array.make n tau in
+  taus.(0) <- tau_dev;
+  let metrics = Metrics.of_taus params taus in
+  {
+    deviant = view_of ?p_hn params metrics ~tau:tau_dev ~p:p_dev ~index:0;
+    conformer = view_of ?p_hn params metrics ~tau ~p ~index:1;
+  }

@@ -1,0 +1,43 @@
+(** High-level facade over the analytic model: one call from a CW profile to
+    everything the game layer consumes.
+
+    The game layer ({!module:Macgame}) manipulates CW profiles only through
+    this module, so the whole Bianchi machinery stays an implementation
+    detail of the [dcf] library. *)
+
+type solved = {
+  params : Params.t;
+  cws : int array;
+  taus : float array;
+  ps : float array;
+  metrics : Metrics.t;
+  utilities : float array;  (** payoff rates u_i *)
+}
+
+val solve : ?p_hn:float -> Params.t -> int array -> solved
+(** Solve the fixed point for a heterogeneous profile and evaluate
+    metrics and utilities.  [p_hn] (default 1) is the multi-hop
+    hidden-node degradation factor applied to every node. *)
+
+type node_view = {
+  tau : float;
+  p : float;
+  utility : float;     (** payoff rate u *)
+  throughput : float;  (** node's share of S *)
+  slot_time : float;   (** network T̄slot *)
+}
+
+val homogeneous : ?p_hn:float -> Params.t -> n:int -> w:int -> node_view
+(** Per-node view of the symmetric network (all [n] nodes on window [w]),
+    via the fast scalar solve. *)
+
+val homogeneous_welfare : ?p_hn:float -> Params.t -> n:int -> w:int -> float
+(** n·u for the symmetric network: the global payoff rate plotted in
+    Figures 2–3 (up to the constant C). *)
+
+type deviation_view = { deviant : node_view; conformer : node_view }
+
+val with_deviant :
+  ?p_hn:float -> Params.t -> n:int -> w:int -> w_dev:int -> deviation_view
+(** Views of both classes when one node plays [w_dev] against n−1 nodes on
+    [w] (Lemma 4's configuration), via the fast two-class solve. *)

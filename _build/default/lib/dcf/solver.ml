@@ -1,0 +1,132 @@
+type solution = {
+  taus : float array;
+  ps : float array;
+  iterations : int;
+  converged : bool;
+}
+
+(* p_i = 1 − Π_{j≠i}(1 − τ_j), computed with prefix/suffix products so a
+   node with τ_j = 1 (window 1, always transmitting) does not force a
+   division by zero. *)
+let collision_probabilities taus =
+  let n = Array.length taus in
+  let prefix = Array.make (n + 1) 1. in
+  let suffix = Array.make (n + 1) 1. in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) *. (1. -. taus.(i))
+  done;
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) *. (1. -. taus.(i))
+  done;
+  Array.init n (fun i ->
+      Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. (prefix.(i) *. suffix.(i + 1))))
+
+let solve ?(tol = 1e-13) ?(max_iter = 20_000) (params : Params.t) cws =
+  let n = Array.length cws in
+  if n = 0 then invalid_arg "Solver.solve: empty network";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Solver.solve: window must be >= 1")
+    cws;
+  let m = params.max_backoff_stage in
+  let step taus =
+    let ps = collision_probabilities taus in
+    Array.mapi (fun i p -> Bianchi.tau_of_p ~w:cws.(i) ~m p) ps
+  in
+  let x0 = Array.map (fun w -> 2. /. float_of_int (w + 1)) cws in
+  let outcome = Numerics.Fixed_point.solve ~damping:0.5 ~tol ~max_iter step x0 in
+  let taus = outcome.value in
+  {
+    taus;
+    ps = collision_probabilities taus;
+    iterations = outcome.iterations;
+    converged = outcome.converged;
+  }
+
+let solve_homogeneous ?(tol = 1e-14) (params : Params.t) ~n ~w =
+  if n < 1 then invalid_arg "Solver.solve_homogeneous: need n >= 1";
+  if w < 1 then invalid_arg "Solver.solve_homogeneous: window must be >= 1";
+  let m = params.max_backoff_stage in
+  if n = 1 then (Bianchi.tau_of_p ~w ~m 0., 0.)
+  else begin
+    (* Defect h(τ) = τ − τ_model(p(τ)): negative at τ→0 and positive at
+       τ = 1, with a single crossing (uniqueness per Bianchi). *)
+    let p_of_tau tau = 1. -. ((1. -. tau) ** float_of_int (n - 1)) in
+    let defect tau = tau -. Bianchi.tau_of_p ~w ~m (p_of_tau tau) in
+    let eps = 1e-15 in
+    let tau = Numerics.Roots.brent ~tol defect eps 1. in
+    (tau, p_of_tau tau)
+  end
+
+let solve_classes ?(tol = 1e-14) (params : Params.t) classes =
+  if classes = [] then invalid_arg "Solver.solve_classes: no classes";
+  List.iter
+    (fun (w, k) ->
+      if w < 1 then invalid_arg "Solver.solve_classes: window must be >= 1";
+      if k < 1 then invalid_arg "Solver.solve_classes: count must be >= 1")
+    classes;
+  let m = params.max_backoff_stage in
+  let ws = Array.of_list (List.map fst classes) in
+  let ks = Array.of_list (List.map snd classes) in
+  let c = Array.length ws in
+  let step taus =
+    (* Π over everyone, then divide out one copy of the own class. *)
+    let product = ref 1. in
+    for j = 0 to c - 1 do
+      product := !product *. ((1. -. taus.(j)) ** float_of_int ks.(j))
+    done;
+    Array.init c (fun j ->
+        let others =
+          if taus.(j) >= 1. then begin
+            (* Avoid 0/0: recompute the product excluding one member. *)
+            let rest = ref ((1. -. taus.(j)) ** float_of_int (ks.(j) - 1)) in
+            for j' = 0 to c - 1 do
+              if j' <> j then
+                rest := !rest *. ((1. -. taus.(j')) ** float_of_int ks.(j'))
+            done;
+            !rest
+          end
+          else !product /. (1. -. taus.(j))
+        in
+        let p = Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others) in
+        Bianchi.tau_of_p ~w:ws.(j) ~m p)
+  in
+  let x0 = Array.map (fun w -> 2. /. float_of_int (w + 1)) ws in
+  let outcome =
+    Numerics.Fixed_point.solve ~damping:0.5 ~tol ~max_iter:50_000 step x0
+  in
+  let taus = outcome.value in
+  let product = ref 1. in
+  for j = 0 to c - 1 do
+    product := !product *. ((1. -. taus.(j)) ** float_of_int ks.(j))
+  done;
+  List.init c (fun j ->
+      let others =
+        if taus.(j) >= 1. then 0. else !product /. (1. -. taus.(j))
+      in
+      (taus.(j), Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)))
+
+let solve_with_deviant ?(tol = 1e-14) (params : Params.t) ~n ~w ~w_dev =
+  if n < 2 then invalid_arg "Solver.solve_with_deviant: need n >= 2";
+  if w < 1 || w_dev < 1 then
+    invalid_arg "Solver.solve_with_deviant: windows must be >= 1";
+  let m = params.max_backoff_stage in
+  (* Two-class reduction: n−1 conformers at τ, one deviant at τ_d.
+     p_d = 1 − (1−τ)^{n−1};  p = 1 − (1−τ)^{n−2}·(1−τ_d). *)
+  let step x =
+    let tau = x.(0) and tau_dev = x.(1) in
+    let others = (1. -. tau) ** float_of_int (n - 2) in
+    let p = Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. (others *. (1. -. tau_dev))) in
+    let p_dev =
+      Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. (others *. (1. -. tau)))
+    in
+    [| Bianchi.tau_of_p ~w ~m p; Bianchi.tau_of_p ~w:w_dev ~m p_dev |]
+  in
+  let x0 = [| 2. /. float_of_int (w + 1); 2. /. float_of_int (w_dev + 1) |] in
+  let outcome =
+    Numerics.Fixed_point.solve ~damping:0.5 ~tol ~max_iter:50_000 step x0
+  in
+  let tau = outcome.value.(0) and tau_dev = outcome.value.(1) in
+  let others = (1. -. tau) ** float_of_int (n - 2) in
+  let p = 1. -. (others *. (1. -. tau_dev)) in
+  let p_dev = 1. -. (others *. (1. -. tau)) in
+  ((tau_dev, p_dev), (tau, p))

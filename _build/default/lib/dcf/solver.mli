@@ -1,0 +1,53 @@
+(** Coupled fixed point of the heterogeneous network model.
+
+    Combining eq. 2 (τ_i from p_i and W_i) with eq. 3
+    (p_i = 1 − Π_{j≠i}(1 − τ_j)) gives 2n equations in 2n unknowns; we solve
+    the equivalent n-dimensional fixed point on the τ vector by damped
+    Picard iteration.  [1] proves uniqueness for homogeneous windows; for
+    the heterogeneous profiles used in the experiments the damped iteration
+    converges to the same point from any interior start (a property the test
+    suite probes from randomised starting points). *)
+
+type solution = {
+  taus : float array;  (** per-node transmission probability *)
+  ps : float array;    (** per-node conditional collision probability *)
+  iterations : int;
+  converged : bool;
+}
+
+val solve :
+  ?tol:float -> ?max_iter:int -> Params.t -> int array -> solution
+(** [solve params cws] solves the network in which node i uses initial
+    window [cws.(i)].  All windows must be ≥ 1; the array must be non-empty.
+    Defaults: [tol = 1e-13], [max_iter = 20_000]. *)
+
+val solve_homogeneous :
+  ?tol:float -> Params.t -> n:int -> w:int -> float * float
+(** [(τ, p)] for [n ≥ 1] nodes all using window [w]: the scalar fixed point
+    τ = τ(1 − (1−τ)^{n−1}), solved by Brent's method on the defect.  Orders
+    of magnitude faster than the vector solve; used by the CW sweeps. *)
+
+val solve_with_deviant :
+  ?tol:float -> Params.t -> n:int -> w:int -> w_dev:int ->
+  (float * float) * (float * float)
+(** [((τ_dev, p_dev), (τ, p))] for one deviant at window [w_dev] among
+    [n ≥ 2] nodes whose other n−1 members use [w].  Solves the reduced
+    2-dimensional fixed point; used by the deviation analyses (Lemma 4,
+    Sec. V.D/V.E) where the full vector solve would be wasteful. *)
+
+val solve_classes :
+  ?tol:float -> Params.t -> (int * int) list -> (float * float) list
+(** [solve_classes params [(w1, k1); …]] solves a network of Σk_c nodes in
+    which [k_c] nodes share window [w_c], reducing the fixed point to one
+    (τ, p) pair per class:
+
+    p_c = 1 − Π_{c'} (1−τ_{c'})^{k_{c'}} / (1−τ_c).
+
+    Returns the per-class [(τ_c, p_c)] in input order.  This is what the
+    coalition analyses use — a 3-class problem costs the same as n = 3.
+    Windows must be ≥ 1 and counts ≥ 1; classes may repeat a window. *)
+
+val collision_probabilities : float array -> float array
+(** [collision_probabilities taus] evaluates eq. 3 for every node, using
+    prefix/suffix products so nodes with τ = 1 (window 1) are handled
+    without dividing by zero. *)

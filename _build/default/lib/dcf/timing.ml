@@ -1,0 +1,27 @@
+type t = { ts : float; tc : float; payload : float; header : float }
+
+let tx_time (p : Params.t) bits = float_of_int bits /. p.bit_rate
+
+let of_params (p : Params.t) =
+  let header = tx_time p (p.phy_header_bits + p.mac_header_bits) in
+  let payload = tx_time p p.payload_bits in
+  let ack = tx_time p (p.ack_bits + p.phy_header_bits) in
+  let rts = tx_time p (p.rts_bits + p.phy_header_bits) in
+  let cts = tx_time p (p.cts_bits + p.phy_header_bits) in
+  match p.mode with
+  | Params.Basic ->
+      {
+        ts = header +. payload +. p.sifs +. ack +. p.difs;
+        tc = header +. payload +. p.sifs;
+        payload;
+        header;
+      }
+  | Params.Rts_cts ->
+      {
+        ts =
+          rts +. p.sifs +. cts +. p.sifs +. header +. payload +. p.sifs +. ack
+          +. p.difs;
+        tc = rts +. p.difs;
+        payload;
+        header;
+      }

@@ -1,0 +1,24 @@
+(** Channel occupancy durations derived from the protocol parameters.
+
+    Following Sec. III (basic access) and Sec. V.F (RTS/CTS), neglecting
+    propagation delay:
+
+    - basic:   Ts = H + P + SIFS + ACK + DIFS,  Tc = H + P + SIFS
+    - RTS/CTS: Ts = RTS + SIFS + CTS + SIFS + H + P + SIFS + ACK + DIFS,
+               Tc = RTS + DIFS
+
+    where H is the PHY+MAC header time, P the payload time, and ACK/RTS/CTS
+    times include a PHY header each. *)
+
+type t = {
+  ts : float;       (** channel busy time of a successful transmission, s *)
+  tc : float;       (** channel busy time of a collision, s *)
+  payload : float;  (** payload airtime P, s (equals E[P] in the S formula) *)
+  header : float;   (** PHY+MAC header airtime H, s *)
+}
+
+val of_params : Params.t -> t
+(** Durations for the parameter set's access mode. *)
+
+val tx_time : Params.t -> int -> float
+(** [tx_time p bits] is the airtime of [bits] at the channel bit rate. *)

@@ -1,0 +1,29 @@
+let check_p_hn p_hn =
+  if p_hn <= 0. || p_hn > 1. then
+    invalid_arg "Utility: p_hn must be in (0, 1]"
+
+let rate_of_node ?(p_hn = 1.) (params : Params.t) ~slot_time ~tau ~p =
+  check_p_hn p_hn;
+  tau *. (((1. -. p) *. p_hn *. params.gain) -. params.cost) /. slot_time
+
+let rates ?(p_hn = 1.) (params : Params.t) ~taus ~ps =
+  check_p_hn p_hn;
+  if Array.length taus <> Array.length ps then
+    invalid_arg "Utility.rates: profile length mismatch";
+  let metrics = Metrics.of_taus params taus in
+  Array.map2
+    (fun tau p -> rate_of_node ~p_hn params ~slot_time:metrics.slot_time ~tau ~p)
+    taus ps
+
+let stage (params : Params.t) u = u *. params.stage_duration
+
+let discounted (params : Params.t) u =
+  u *. params.stage_duration /. (1. -. params.discount)
+
+let discounted_tail (params : Params.t) ~from_stage u =
+  (params.discount ** float_of_int from_stage) *. discounted params u
+
+let social_welfare = Array.fold_left ( +. ) 0.
+
+let normalized_global (params : Params.t) rates =
+  params.sigma *. social_welfare rates /. params.gain

@@ -1,0 +1,1 @@
+lib/mobility/geom.mli: Prelude

@@ -1,0 +1,1 @@
+lib/mobility/topology.ml: Array Geom Hashtbl List Queue Waypoint

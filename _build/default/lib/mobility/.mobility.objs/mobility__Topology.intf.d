@@ -1,0 +1,1 @@
+lib/mobility/topology.mli: Geom Waypoint

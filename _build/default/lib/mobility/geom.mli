@@ -1,0 +1,18 @@
+(** Plane geometry for node placement. *)
+
+type point = { x : float; y : float }
+
+val distance : point -> point -> float
+
+val distance_sq : point -> point -> float
+(** Squared distance — avoids the square root in range tests. *)
+
+val within : range:float -> point -> point -> bool
+(** Whether two points are at most [range] apart. *)
+
+val move_towards : from:point -> goal:point -> dist:float -> point
+(** The point [dist] along the segment from [from] to [goal], clamped to
+    [goal] if the segment is shorter. *)
+
+val random_in : Prelude.Rng.t -> width:float -> height:float -> point
+(** Uniform point in the [0,width]×[0,height] rectangle. *)

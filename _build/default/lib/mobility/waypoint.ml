@@ -1,0 +1,64 @@
+type config = {
+  width : float;
+  height : float;
+  speed_min : float;
+  speed_max : float;
+}
+
+type walker = {
+  mutable pos : Geom.point;
+  mutable goal : Geom.point;
+  mutable speed : float;  (* m/s *)
+}
+
+type t = { cfg : config; rng : Prelude.Rng.t; walkers : walker array }
+
+let validate cfg =
+  if cfg.width <= 0. || cfg.height <= 0. then
+    invalid_arg "Waypoint.create: area must be positive";
+  if cfg.speed_min < 0. || cfg.speed_max < cfg.speed_min then
+    invalid_arg "Waypoint.create: need 0 <= speed_min <= speed_max"
+
+let fresh_leg rng cfg walker =
+  walker.goal <- Geom.random_in rng ~width:cfg.width ~height:cfg.height;
+  walker.speed <- Prelude.Rng.float_in rng cfg.speed_min cfg.speed_max
+
+let create ?(seed = 0) cfg ~n =
+  validate cfg;
+  if n < 1 then invalid_arg "Waypoint.create: need n >= 1";
+  let rng = Prelude.Rng.create seed in
+  let walkers =
+    Array.init n (fun _ ->
+        let pos = Geom.random_in rng ~width:cfg.width ~height:cfg.height in
+        let walker = { pos; goal = pos; speed = 0. } in
+        fresh_leg rng cfg walker;
+        walker)
+  in
+  { cfg; rng; walkers }
+
+let positions t = Array.map (fun w -> w.pos) t.walkers
+
+let config t = t.cfg
+
+let step t ~dt =
+  if dt <= 0. then invalid_arg "Waypoint.step: dt must be positive";
+  let rec advance walker budget =
+    if budget > 0. && walker.speed > 0. then begin
+      let reach = Geom.distance walker.pos walker.goal in
+      let travel = walker.speed *. budget in
+      if travel >= reach then begin
+        walker.pos <- walker.goal;
+        let spent = if walker.speed > 0. then reach /. walker.speed else budget in
+        fresh_leg t.rng t.cfg walker;
+        advance walker (budget -. spent)
+      end
+      else
+        walker.pos <-
+          Geom.move_towards ~from:walker.pos ~goal:walker.goal ~dist:travel
+    end
+    else if walker.speed = 0. then
+      (* Degenerate zero-speed leg: wait out this step, then redraw so the
+         node does not stall forever. *)
+      fresh_leg t.rng t.cfg walker
+  in
+  Array.iter (fun w -> advance w dt) t.walkers

@@ -1,0 +1,1 @@
+lib/netsim/slotted.ml: Array Dcf List Prelude Stdlib Trace

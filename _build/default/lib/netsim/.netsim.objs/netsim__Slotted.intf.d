@@ -1,0 +1,1 @@
+lib/netsim/slotted.mli: Dcf Trace

@@ -1,0 +1,1 @@
+lib/netsim/spatial.ml: Array Dcf Float List Option Prelude Stdlib Trace

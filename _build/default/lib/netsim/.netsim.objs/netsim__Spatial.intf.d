@@ -1,0 +1,1 @@
+lib/netsim/spatial.mli: Dcf Trace

@@ -1,0 +1,1 @@
+lib/netsim/unsaturated.ml: Array Dcf Float List Prelude Queue Stdlib

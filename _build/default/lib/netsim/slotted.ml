@@ -1,0 +1,169 @@
+type config = {
+  params : Dcf.Params.t;
+  cws : int array;
+  duration : float;
+  seed : int;
+}
+
+type node_stats = {
+  attempts : int;
+  successes : int;
+  collisions : int;
+  drops : int;
+  tau_hat : float;
+  p_hat : float;
+  payoff_rate : float;
+  throughput : float;
+}
+
+type result = {
+  time : float;
+  slots : int;
+  per_node : node_stats array;
+  total_throughput : float;
+  welfare_rate : float;
+}
+
+type node_state = {
+  id : int;
+  window : int;
+  mutable stage : int;
+  mutable counter : int;
+  mutable retries : int;
+  mutable attempts : int;
+  mutable successes : int;
+  mutable drops : int;
+  rng : Prelude.Rng.t;
+}
+
+let draw_backoff node =
+  Prelude.Rng.int node.rng (node.window lsl node.stage)
+
+let run ?(bianchi_ticks = false) ?(retry_limit = max_int) ?(per = 0.) ?trace
+    { params; cws; duration; seed } =
+  if retry_limit < 0 then invalid_arg "Slotted.run: retry_limit must be >= 0";
+  if per < 0. || per >= 1. then invalid_arg "Slotted.run: per must be in [0, 1)";
+  let n = Array.length cws in
+  if n = 0 then invalid_arg "Slotted.run: empty network";
+  if duration <= 0. then invalid_arg "Slotted.run: duration must be positive";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Slotted.run: window must be >= 1")
+    cws;
+  let m = params.max_backoff_stage in
+  let timing = Dcf.Timing.of_params params in
+  let master = Prelude.Rng.create seed in
+  let emit event =
+    match trace with None -> () | Some t -> Trace.record t event
+  in
+  let nodes =
+    Array.mapi
+      (fun id window ->
+        let node =
+          {
+            id;
+            window;
+            stage = 0;
+            counter = 0;
+            retries = 0;
+            attempts = 0;
+            successes = 0;
+            drops = 0;
+            rng = Prelude.Rng.split master;
+          }
+        in
+        node.counter <- draw_backoff node;
+        node)
+      cws
+  in
+  let time = ref 0. in
+  let slots = ref 0 in
+  (* Per virtual slot: skip ahead by the smallest counter (idle slots), then
+     resolve the transmission slot. *)
+  while !time < duration do
+    let idle = Array.fold_left (fun acc nd -> Stdlib.min acc nd.counter) max_int nodes in
+    if idle > 0 then begin
+      time := !time +. (float_of_int idle *. params.sigma);
+      slots := !slots + idle;
+      Array.iter (fun nd -> nd.counter <- nd.counter - idle) nodes
+    end;
+    if !time < duration then begin
+      let transmitters =
+        Array.to_list nodes |> List.filter (fun nd -> nd.counter = 0)
+      in
+      incr slots;
+      (match transmitters with
+      | [] -> assert false
+      | [ winner ] when per = 0. || not (Prelude.Rng.bernoulli winner.rng per) ->
+          winner.attempts <- winner.attempts + 1;
+          winner.successes <- winner.successes + 1;
+          winner.stage <- 0;
+          winner.retries <- 0;
+          time := !time +. timing.ts;
+          emit (Trace.Success { time = !time; node = winner.id })
+      | colliders ->
+          List.iter
+            (fun nd ->
+              nd.attempts <- nd.attempts + 1;
+              nd.retries <- nd.retries + 1;
+              if nd.retries > retry_limit then begin
+                (* Discard the head-of-line packet; the saturated queue
+                   offers the next one at a fresh backoff stage. *)
+                nd.drops <- nd.drops + 1;
+                nd.retries <- 0;
+                nd.stage <- 0;
+                emit (Trace.Drop { time = !time; node = nd.id })
+              end
+              else nd.stage <- Stdlib.min (nd.stage + 1) m)
+            colliders;
+          time := !time +. timing.tc;
+          emit
+            (Trace.Collision
+               { time = !time; nodes = List.map (fun nd -> nd.id) colliders }));
+      if bianchi_ticks then
+        (* Markov-chain convention: the busy virtual slot also ticks the
+           frozen stations' counters (transmitters are at 0 and resample
+           below; their fresh counter first ticks in the next slot). *)
+        Array.iter
+          (fun nd -> if nd.counter > 0 then nd.counter <- nd.counter - 1)
+          nodes;
+      List.iter (fun nd -> nd.counter <- draw_backoff nd) transmitters
+    end
+  done;
+  let elapsed = !time in
+  let per_node =
+    Array.map
+      (fun nd ->
+        let attempts = nd.attempts and successes = nd.successes in
+        let collisions = attempts - successes in
+        {
+          attempts;
+          successes;
+          collisions;
+          drops = nd.drops;
+          tau_hat = float_of_int attempts /. float_of_int !slots;
+          p_hat =
+            (if attempts = 0 then 0.
+             else float_of_int collisions /. float_of_int attempts);
+          payoff_rate =
+            ((float_of_int successes *. params.gain)
+            -. (float_of_int attempts *. params.cost))
+            /. elapsed;
+          throughput = float_of_int successes *. timing.payload /. elapsed;
+        })
+      nodes
+  in
+  {
+    time = elapsed;
+    slots = !slots;
+    per_node;
+    total_throughput =
+      Array.fold_left (fun acc s -> acc +. s.throughput) 0. per_node;
+    welfare_rate =
+      Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
+  }
+
+let payoff_oracle ~params ~n ~duration ~seed w =
+  let result =
+    run { params; cws = Array.make n w; duration; seed = seed + (w * 7919) }
+  in
+  result.per_node.(0).payoff_rate

@@ -1,0 +1,81 @@
+(** Slot-accurate simulator of saturated single-hop IEEE 802.11 DCF.
+
+    This is the packet-level ground truth the analytic model abstracts: every
+    node independently draws a uniform backoff in [0, 2^j·W_i − 1], counters
+    tick down together during idle slots and freeze while the channel is
+    busy, the nodes whose counters hit zero transmit, exactly one transmitter
+    means success (channel busy Ts), two or more mean collision (busy Tc,
+    colliders advance their backoff stage up to m).  Since every node hears
+    every other, the simulation advances per *virtual slot*, making runs of
+    millions of slots cheap.
+
+    It plays the role NS-2 plays in the paper's Sec. VII.A: regenerating the
+    simulated columns of Tables II and III and validating τ, p and payoff
+    against the Markov-chain model. *)
+
+type config = {
+  params : Dcf.Params.t;
+  cws : int array;     (** per-node initial contention window *)
+  duration : float;    (** simulated seconds *)
+  seed : int;
+}
+
+type node_stats = {
+  attempts : int;      (** transmission attempts *)
+  successes : int;     (** packets delivered *)
+  collisions : int;    (** attempts that collided *)
+  drops : int;
+      (** packets discarded after exhausting the retry limit (0 when
+          simulating the paper's infinite-retry chain) *)
+  tau_hat : float;     (** attempts per virtual slot — estimates τ_i *)
+  p_hat : float;       (** collisions / attempts — estimates p_i *)
+  payoff_rate : float; (** (successes·g − attempts·e) / time — estimates u_i *)
+  throughput : float;  (** payload airtime fraction delivered by this node *)
+}
+
+type result = {
+  time : float;        (** simulated time actually elapsed, s *)
+  slots : int;         (** number of virtual slots *)
+  per_node : node_stats array;
+  total_throughput : float;  (** S: summed payload fraction *)
+  welfare_rate : float;      (** Σ_i payoff_rate *)
+}
+
+val run :
+  ?bianchi_ticks:bool -> ?retry_limit:int -> ?per:float -> ?trace:Trace.t ->
+  config -> result
+(** Simulate until [duration] simulated seconds have elapsed.
+
+    [trace] records a {!Trace.event} per success, collision and drop.
+
+    [per] is a packet error rate from channel noise: a transmission that
+    wins contention is still lost with this probability (counted as a
+    collision for the backoff machinery, as real DCF cannot tell the two
+    apart).  Default 0 — the paper's perfect channel.  Analytically this
+    is the same multiplicative factor as the hidden-node degradation p_hn
+    of Sec. VI.A, so the validation tests compare against
+    [Utility.rates ~p_hn:(1−per)].
+
+    [retry_limit] is the number of retransmissions before a packet is
+    discarded (real DCF uses 4–7; default: unlimited, matching the paper's
+    chain, whose stage m retries forever).  A drop resets the backoff stage
+    just like a success, and the saturated queue immediately offers the
+    next packet.
+
+    [bianchi_ticks] selects the backoff-freeze semantics.  [false]
+    (default) is the real protocol: counters freeze during busy periods.
+    [true] is the Markov chain's convention: every virtual slot — busy ones
+    included — decrements the counters of the non-transmitting stations, so
+    the simulation matches eq. 2-3 exactly.  The gap between the two modes
+    (a few percent on τ) is precisely the known accuracy limit of Bianchi's
+    model, which the validation tests pin down.
+
+    @raise Invalid_argument on an empty network, a non-positive duration or
+    a window < 1. *)
+
+val payoff_oracle :
+  params:Dcf.Params.t -> n:int -> duration:float -> seed:int -> int -> float
+(** [payoff_oracle ~params ~n ~duration ~seed w] measures a node's payoff
+    rate with all [n] nodes on window [w] — a drop-in, noisy
+    {!Macgame.Search.oracle} backend (the Û_l = (n_s·g − n_e·e)/t_m
+    measurement of Sec. V.C).  Fresh seed per window probe. *)

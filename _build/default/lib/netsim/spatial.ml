@@ -1,0 +1,332 @@
+type config = {
+  params : Dcf.Params.t;
+  adjacency : int list array;
+  cws : int array;
+  duration : float;
+  seed : int;
+}
+
+type node_stats = {
+  attempts : int;
+  successes : int;
+  drops : int;
+  local_collisions : int;
+  hidden_failures : int;
+  payoff_rate : float;
+  throughput : float;
+  p_hn_hat : float;
+}
+
+type result = {
+  time : float;
+  per_node : node_stats array;
+  welfare_rate : float;
+  delivered : int;
+}
+
+type node = {
+  id : int;
+  window : int;
+  neighbors : int array;      (** decode (transmission) range *)
+  neighbor_set : bool array;  (** dense membership test *)
+  cs_neighbors : int array;   (** carrier-sense range (superset) *)
+  cs_set : bool array;
+  rng : Prelude.Rng.t;
+  mutable stage : int;
+  mutable counter : int;
+  mutable retries : int;
+  mutable busy_until : int;   (** own transmission occupies the air *)
+  mutable nav_until : int;
+  mutable attempts : int;
+  mutable successes : int;
+  mutable drops : int;
+  mutable local_collisions : int;
+  mutable hidden_failures : int;
+}
+
+type tx = {
+  src : int;
+  dest : int;
+  vuln_end : int;            (** end of the vulnerable window, in slots *)
+  mutable resolved : bool;
+  mutable finish : int;      (** src airtime ends (set at resolution) *)
+  mutable corrupted_local : bool;
+  mutable corrupted_hidden : bool;
+}
+
+let slots_of sigma t = Stdlib.max 1 (int_of_float (Float.round (t /. sigma)))
+
+let run ?cs_adjacency ?(retry_limit = max_int) ?trace
+    { params; adjacency; cws; duration; seed } =
+  if retry_limit < 0 then invalid_arg "Spatial.run: retry_limit must be >= 0";
+  let n = Array.length adjacency in
+  let cs_adjacency = Option.value cs_adjacency ~default:adjacency in
+  if Array.length cs_adjacency <> n then
+    invalid_arg "Spatial.run: cs_adjacency length mismatch";
+  if n = 0 then invalid_arg "Spatial.run: empty network";
+  if Array.length cws <> n then invalid_arg "Spatial.run: cws length mismatch";
+  if duration <= 0. then invalid_arg "Spatial.run: duration must be positive";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Spatial.run: window must be >= 1")
+    cws;
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n || j = i then
+            invalid_arg "Spatial.run: bad neighbour";
+          if not (List.mem i adjacency.(j)) then
+            invalid_arg "Spatial.run: adjacency not symmetric")
+        l)
+    adjacency;
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n || j = i then
+            invalid_arg "Spatial.run: bad carrier-sense neighbour";
+          if not (List.mem i cs_adjacency.(j)) then
+            invalid_arg "Spatial.run: cs_adjacency not symmetric")
+        l;
+      List.iter
+        (fun j ->
+          if not (List.mem j l) then
+            invalid_arg "Spatial.run: cs_adjacency must contain adjacency")
+        adjacency.(i))
+    cs_adjacency;
+  let m = params.max_backoff_stage in
+  let timing = Dcf.Timing.of_params params in
+  let sigma = params.sigma in
+  let ts_slots = slots_of sigma timing.ts in
+  let tc_slots = slots_of sigma timing.tc in
+  let vuln_slots =
+    match params.mode with
+    | Dcf.Params.Basic -> slots_of sigma (timing.header +. timing.payload)
+    | Dcf.Params.Rts_cts ->
+        slots_of sigma
+          (float_of_int (params.rts_bits + params.phy_header_bits)
+          /. params.bit_rate)
+  in
+  let horizon = int_of_float (Float.ceil (duration /. sigma)) in
+  let master = Prelude.Rng.create seed in
+  let nodes =
+    Array.init n (fun i ->
+        let neighbors = Array.of_list adjacency.(i) in
+        let neighbor_set = Array.make n false in
+        Array.iter (fun j -> neighbor_set.(j) <- true) neighbors;
+        let cs_neighbors = Array.of_list cs_adjacency.(i) in
+        let cs_set = Array.make n false in
+        Array.iter (fun j -> cs_set.(j) <- true) cs_neighbors;
+        let node =
+          {
+            id = i;
+            window = cws.(i);
+            neighbors;
+            neighbor_set;
+            cs_neighbors;
+            cs_set;
+            rng = Prelude.Rng.split master;
+            stage = 0;
+            counter = 0;
+            retries = 0;
+            busy_until = 0;
+            nav_until = 0;
+            attempts = 0;
+            successes = 0;
+            drops = 0;
+            local_collisions = 0;
+            hidden_failures = 0;
+          }
+        in
+        node.counter <- Prelude.Rng.int node.rng node.window;
+        node)
+  in
+  let active : tx list ref = ref [] in
+  let delivered = ref 0 in
+  (* A node senses the channel idle when it is not transmitting, has no NAV,
+     and no neighbour is transmitting. *)
+  let senses_idle now node =
+    node.busy_until <= now
+    && node.nav_until <= now
+    && not
+         (Array.exists
+            (fun j -> nodes.(j).busy_until > now)
+            node.cs_neighbors)
+  in
+  let backoff_reset node =
+    node.counter <- Prelude.Rng.int node.rng (node.window lsl node.stage)
+  in
+  let emit event =
+    match trace with None -> () | Some t -> Trace.record t event
+  in
+  let resolve now tx =
+    tx.resolved <- true;
+    let src = nodes.(tx.src) in
+    let corrupted = tx.corrupted_local || tx.corrupted_hidden in
+    if corrupted then begin
+      src.busy_until <- now - vuln_slots + tc_slots;
+      tx.finish <- src.busy_until;
+      if tx.corrupted_local then
+        src.local_collisions <- src.local_collisions + 1
+      else src.hidden_failures <- src.hidden_failures + 1;
+      emit
+        (Trace.Collision
+           { time = float_of_int now *. sigma; nodes = [ tx.src ] });
+      src.retries <- src.retries + 1;
+      if src.retries > retry_limit then begin
+        src.drops <- src.drops + 1;
+        src.retries <- 0;
+        src.stage <- 0;
+        emit (Trace.Drop { time = float_of_int now *. sigma; node = tx.src })
+      end
+      else src.stage <- Stdlib.min (src.stage + 1) m
+    end
+    else begin
+      let finish = now - vuln_slots + ts_slots in
+      src.busy_until <- finish;
+      tx.finish <- finish;
+      src.successes <- src.successes + 1;
+      incr delivered;
+      emit (Trace.Success { time = float_of_int now *. sigma; node = tx.src });
+      src.stage <- 0;
+      src.retries <- 0;
+      (match params.mode with
+      | Dcf.Params.Basic -> ()
+      | Dcf.Params.Rts_cts ->
+          (* The CTS (and the data exchange) silences both neighbourhoods
+             until the ACK completes. *)
+          let dest = nodes.(tx.dest) in
+          dest.busy_until <- Stdlib.max dest.busy_until finish;
+          let silence j =
+            if j <> tx.src then begin
+              let nd = nodes.(j) in
+              nd.nav_until <- Stdlib.max nd.nav_until finish
+            end
+          in
+          Array.iter silence dest.neighbors;
+          Array.iter silence src.neighbors)
+    end;
+    backoff_reset src
+  in
+  let start_transmission now node =
+    if Array.length node.neighbors = 0 then
+      (* Isolated node: nothing to send to; stay silent. *)
+      backoff_reset node
+    else begin
+      let dest = Prelude.Rng.pick node.rng node.neighbors in
+      node.attempts <- node.attempts + 1;
+      node.busy_until <- now + vuln_slots (* extended at resolution *);
+      let tx =
+        {
+          src = node.id;
+          dest;
+          vuln_end = now + vuln_slots;
+          resolved = false;
+          finish = now + vuln_slots;
+          corrupted_local = false;
+          corrupted_hidden = false;
+        }
+      in
+      (* Eager corruption marking against every other airborne frame. *)
+      let dest_node = nodes.(dest) in
+      if dest_node.busy_until > now then
+        (* Receiver itself is transmitting and will miss the frame; it is a
+           neighbour, so this counts as a local loss. *)
+        tx.corrupted_local <- true;
+      List.iter
+        (fun other ->
+          if nodes.(other.src).busy_until > now then begin
+            (* [other]'s frame is still on the air. *)
+            if other.src <> node.id && dest_node.neighbor_set.(other.src)
+            then begin
+              if node.cs_set.(other.src) then tx.corrupted_local <- true
+              else tx.corrupted_hidden <- true
+            end;
+            (* Symmetrically, the new frame may corrupt [other] if other is
+               still in its vulnerable window and we are audible at its
+               receiver — or if we ARE its receiver and just went deaf by
+               transmitting ourselves (same-slot start, so other's dest-busy
+               check could not see it). *)
+            if (not other.resolved) && now < other.vuln_end then begin
+              if other.dest = node.id then other.corrupted_local <- true
+              else if nodes.(other.dest).neighbor_set.(node.id) then
+                if nodes.(other.src).cs_set.(node.id) then
+                  other.corrupted_local <- true
+                else other.corrupted_hidden <- true
+            end
+          end)
+        !active;
+      active := tx :: !active
+    end
+  in
+  let now = ref 0 in
+  while !now < horizon do
+    (* 1. Resolve frames whose vulnerable window closes now; drop frames
+       whose airtime has ended. *)
+    List.iter
+      (fun tx -> if (not tx.resolved) && tx.vuln_end <= !now then resolve !now tx)
+      !active;
+    active := List.filter (fun tx -> tx.finish > !now) !active;
+    (* 2. Launch every node whose counter has reached zero, against a
+       single snapshot of the channel state: nodes that fire in the same
+       slot cannot sense each other's start, so all of them transmit (the
+       synchronised-collision case). *)
+    let starters =
+      Array.to_list nodes
+      |> List.filter (fun nd -> nd.counter <= 0 && senses_idle !now nd)
+    in
+    List.iter (start_transmission !now) starters;
+    (* 3. Between boundaries only the currently idle-sensing nodes tick. *)
+    let counting =
+      Array.to_list nodes |> List.filter (fun nd -> senses_idle !now nd)
+    in
+    (* 4. Jump to the next channel-state boundary. *)
+    let next = ref max_int in
+    let consider t = if t > !now && t < !next then next := t in
+    List.iter (fun tx -> if not tx.resolved then consider tx.vuln_end) !active;
+    Array.iter
+      (fun nd ->
+        consider nd.busy_until;
+        consider nd.nav_until)
+      nodes;
+    List.iter (fun nd -> consider (!now + nd.counter)) counting;
+    let next = if !next = max_int then horizon else Stdlib.min !next horizon in
+    let dt = next - !now in
+    List.iter (fun nd -> nd.counter <- nd.counter - dt) counting;
+    now := next
+  done;
+  (* Frames still in their vulnerable window at the horizon complete just
+     after the measurement ends; resolve them so the per-node accounting
+     (attempts = successes + collisions) balances. *)
+  List.iter
+    (fun tx -> if not tx.resolved then resolve tx.vuln_end tx)
+    !active;
+  let elapsed = float_of_int horizon *. sigma in
+  let per_node =
+    Array.map
+      (fun nd ->
+        let clean = nd.attempts - nd.local_collisions in
+        {
+          attempts = nd.attempts;
+          successes = nd.successes;
+          drops = nd.drops;
+          local_collisions = nd.local_collisions;
+          hidden_failures = nd.hidden_failures;
+          payoff_rate =
+            ((float_of_int nd.successes *. params.gain)
+            -. (float_of_int nd.attempts *. params.cost))
+            /. elapsed;
+          throughput = float_of_int nd.successes *. timing.payload /. elapsed;
+          p_hn_hat =
+            (if clean <= 0 then 1.
+             else float_of_int (clean - nd.hidden_failures) /. float_of_int clean);
+        })
+      nodes
+  in
+  {
+    time = elapsed;
+    per_node;
+    welfare_rate =
+      Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
+    delivered = !delivered;
+  }

@@ -1,0 +1,76 @@
+(** Spatial (multi-hop) simulator of saturated IEEE 802.11 DCF.
+
+    Unlike {!module:Slotted}, nodes only carrier-sense their neighbourhood:
+    a transmission is corrupted when another frame overlaps its vulnerable
+    window at the *receiver*, which a hidden terminal (in range of the
+    receiver but not of the sender) can cause without the sender ever
+    sensing it — the mechanism behind the paper's degradation factor p_hn
+    (Sec. VI.A).
+
+    The model is slot-quantised: time advances in σ-slots, frame durations
+    are rounded to whole slots, and between channel-state boundaries all
+    idle-sensing nodes tick their backoff counters down together, so the
+    loop jumps from boundary to boundary.
+
+    Access modes follow the parameter set:
+    - basic: the whole data frame is vulnerable; a failed attempt occupies
+      the sender for Tc.
+    - RTS/CTS: only the RTS frame is vulnerable; on success the CTS sets a
+      NAV over both endpoints' neighbourhoods for the rest of the exchange,
+      on failure the sender is busy Tc = RTS + DIFS.
+
+    Saturated traffic: each attempt addresses a uniformly random neighbour.
+    Nodes without neighbours never transmit. *)
+
+type config = {
+  params : Dcf.Params.t;
+  adjacency : int list array;  (** symmetric neighbour lists *)
+  cws : int array;             (** per-node window, same length *)
+  duration : float;            (** simulated seconds *)
+  seed : int;
+}
+
+type node_stats = {
+  attempts : int;
+  successes : int;
+  drops : int;
+      (** packets discarded after the retry limit (0 with the default
+          unlimited retries) *)
+  local_collisions : int;
+      (** failures with at least one overlapping transmitter the sender
+          could itself sense — ordinary contention losses *)
+  hidden_failures : int;
+      (** failures caused exclusively by transmitters outside the sender's
+          carrier-sense range — the 1 − p_hn losses *)
+  payoff_rate : float;  (** (successes·g − attempts·e)/time *)
+  throughput : float;   (** payload airtime fraction delivered *)
+  p_hn_hat : float;
+      (** estimated degradation factor: among attempts that survived local
+          contention, the fraction that survived hidden terminals too
+          (1 when no such attempt failed) *)
+}
+
+type result = {
+  time : float;
+  per_node : node_stats array;
+  welfare_rate : float;
+  delivered : int;  (** total packets delivered network-wide *)
+}
+
+val run :
+  ?cs_adjacency:int list array -> ?retry_limit:int -> ?trace:Trace.t ->
+  config -> result
+(** [cs_adjacency] is the carrier-sense graph: who a node can *hear* (and
+    therefore defers to), as opposed to [config.adjacency], who it can
+    *decode* (and therefore send to / be corrupted by).  Physically the
+    carrier-sense range is at least the transmission range, so
+    [cs_adjacency] must contain every [adjacency] edge; it defaults to
+    [adjacency].  A larger carrier-sense graph shrinks the hidden-terminal
+    population — the ablation the [hidden] bench sweeps.
+
+    [retry_limit] is the number of retransmissions before the head-of-line
+    packet is discarded (default: unlimited, the paper's chain).
+
+    @raise Invalid_argument on inconsistent sizes, windows < 1,
+    non-positive duration, an asymmetric adjacency, or a [cs_adjacency]
+    missing an [adjacency] edge. *)

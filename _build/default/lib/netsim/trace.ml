@@ -1,0 +1,70 @@
+type event =
+  | Success of { time : float; node : int }
+  | Collision of { time : float; nodes : int list }
+  | Drop of { time : float; node : int }
+
+let time_of = function
+  | Success { time; _ } | Collision { time; _ } | Drop { time; _ } -> time
+
+let pp_event ppf = function
+  | Success { time; node } -> Format.fprintf ppf "%.5f success node=%d" time node
+  | Collision { time; nodes } ->
+      Format.fprintf ppf "%.5f collision nodes=[%s]" time
+        (String.concat ";" (List.map string_of_int nodes))
+  | Drop { time; node } -> Format.fprintf ppf "%.5f drop node=%d" time node
+
+type t = {
+  capacity : int;
+  buffer : event Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; buffer = Queue.create (); dropped = 0 }
+
+let record t event =
+  if Queue.length t.buffer >= t.capacity then begin
+    ignore (Queue.pop t.buffer);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.add event t.buffer
+
+let events t = List.of_seq (Queue.to_seq t.buffer)
+
+let length t = Queue.length t.buffer
+
+let dropped t = t.dropped
+
+type summary = {
+  successes : int;
+  collisions : int;
+  drops : int;
+  per_node_successes : (int * int) list;
+}
+
+let summarize t =
+  let successes = ref 0 and collisions = ref 0 and drops = ref 0 in
+  let per_node = Hashtbl.create 16 in
+  Queue.iter
+    (function
+      | Success { node; _ } ->
+          incr successes;
+          Hashtbl.replace per_node node
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_node node))
+      | Collision _ -> incr collisions
+      | Drop _ -> incr drops)
+    t.buffer;
+  let per_node_successes =
+    Hashtbl.fold (fun node count acc -> (node, count) :: acc) per_node []
+    |> List.sort compare
+  in
+  {
+    successes = !successes;
+    collisions = !collisions;
+    drops = !drops;
+    per_node_successes;
+  }
+
+let to_lines t =
+  List.map (fun e -> Format.asprintf "%a" pp_event e) (events t)

@@ -1,0 +1,46 @@
+(** Event traces from the simulators.
+
+    A bounded in-memory log of channel events, for debugging protocol
+    behaviour and for assertions in tests ("node 3 never transmitted while
+    node 1 held the channel").  When the buffer fills, the oldest events
+    are discarded and counted in [dropped]. *)
+
+type event =
+  | Success of { time : float; node : int }
+      (** a frame was delivered at [time] (end of the busy period) *)
+  | Collision of { time : float; nodes : int list }
+      (** the listed nodes' frames collided *)
+  | Drop of { time : float; node : int }
+      (** a packet was discarded after the retry limit *)
+
+val time_of : event -> float
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line rendering, e.g. ["0.01230 success node=2"]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A trace keeping the most recent [capacity] events (default 100_000). *)
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Chronological order. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Events discarded because the buffer was full. *)
+
+type summary = {
+  successes : int;
+  collisions : int;
+  drops : int;
+  per_node_successes : (int * int) list;  (** (node, count), sorted by node *)
+}
+
+val summarize : t -> summary
+
+val to_lines : t -> string list
+(** Every retained event rendered with {!pp_event}. *)

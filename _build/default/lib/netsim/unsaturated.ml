@@ -1,0 +1,213 @@
+type config = {
+  params : Dcf.Params.t;
+  cws : int array;
+  arrival_rates : float array;
+  duration : float;
+  seed : int;
+}
+
+type node_stats = {
+  arrivals : int;
+  delivered : int;
+  backlog : int;
+  mean_sojourn : float;
+  mean_queue_length : float;
+  busy_fraction : float;
+  payoff_rate : float;
+}
+
+type result = {
+  time : float;
+  per_node : node_stats array;
+  total_delivered : int;
+  welfare_rate : float;
+}
+
+type node = {
+  window : int;
+  rate : float;
+  rng : Prelude.Rng.t;
+  queue : float Queue.t;          (* arrival timestamps *)
+  mutable next_arrival : float;   (* infinity when rate = 0 *)
+  mutable stage : int;
+  mutable counter : int;
+  mutable attempts : int;
+  mutable delivered : int;
+  mutable arrivals : int;
+  mutable sojourn_total : float;
+  mutable queue_area : float;     (* ∫ queue length dt *)
+  mutable busy_time : float;      (* ∫ 1(queue non-empty) dt *)
+}
+
+let draw_backoff node =
+  node.counter <- Prelude.Rng.int node.rng (node.window lsl node.stage)
+
+let schedule_arrival node now =
+  node.next_arrival <-
+    (if node.rate <= 0. then infinity
+     else now +. Prelude.Rng.exponential node.rng node.rate)
+
+let run { params; cws; arrival_rates; duration; seed } =
+  let n = Array.length cws in
+  if n = 0 then invalid_arg "Unsaturated.run: empty network";
+  if Array.length arrival_rates <> n then
+    invalid_arg "Unsaturated.run: arrival_rates length mismatch";
+  if duration <= 0. then invalid_arg "Unsaturated.run: duration must be positive";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Unsaturated.run: window must be >= 1")
+    cws;
+  Array.iter
+    (fun r -> if r < 0. then invalid_arg "Unsaturated.run: negative arrival rate")
+    arrival_rates;
+  let m = params.max_backoff_stage in
+  let timing = Dcf.Timing.of_params params in
+  let master = Prelude.Rng.create seed in
+  let nodes =
+    Array.init n (fun i ->
+        let node =
+          {
+            window = cws.(i);
+            rate = arrival_rates.(i);
+            rng = Prelude.Rng.split master;
+            queue = Queue.create ();
+            next_arrival = 0.;
+            stage = 0;
+            counter = 0;
+            attempts = 0;
+            delivered = 0;
+            arrivals = 0;
+            sojourn_total = 0.;
+            queue_area = 0.;
+            busy_time = 0.;
+          }
+        in
+        schedule_arrival node 0.;
+        node)
+  in
+  let time = ref 0. in
+  (* Advance the global clock, charging each node's queue integrals. *)
+  let advance_to t =
+    let dt = t -. !time in
+    if dt > 0. then begin
+      Array.iter
+        (fun nd ->
+          let len = Queue.length nd.queue in
+          if len > 0 then begin
+            nd.queue_area <- nd.queue_area +. (float_of_int len *. dt);
+            nd.busy_time <- nd.busy_time +. dt
+          end)
+        nodes;
+      time := t
+    end
+  in
+  (* Pop arrivals due by [now] into queues; a packet reaching the head of
+     an idle queue starts a fresh stage-0 backoff. *)
+  let collect_arrivals () =
+    Array.iter
+      (fun nd ->
+        while nd.next_arrival <= !time do
+          let was_empty = Queue.is_empty nd.queue in
+          Queue.add nd.next_arrival nd.queue;
+          nd.arrivals <- nd.arrivals + 1;
+          schedule_arrival nd nd.next_arrival;
+          if was_empty then begin
+            nd.stage <- 0;
+            draw_backoff nd
+          end
+        done)
+      nodes
+  in
+  while !time < duration do
+    collect_arrivals ();
+    let active =
+      Array.to_list nodes |> List.filter (fun nd -> not (Queue.is_empty nd.queue))
+    in
+    let next_arrival =
+      Array.fold_left (fun acc nd -> Float.min acc nd.next_arrival) infinity nodes
+    in
+    match active with
+    | [] ->
+        (* Idle network: jump to the next arrival (or the horizon). *)
+        advance_to (Float.min duration next_arrival)
+    | _ ->
+        let idle_slots =
+          List.fold_left (fun acc nd -> Stdlib.min acc nd.counter) max_int active
+        in
+        let arrival_slots =
+          if next_arrival = infinity then max_int
+          else
+            Stdlib.max 0
+              (int_of_float (Float.ceil ((next_arrival -. !time) /. params.sigma)))
+        in
+        if arrival_slots < idle_slots then begin
+          (* An arrival lands mid-countdown: burn that many idle slots and
+             reconsider with the newly active node included. *)
+          let k = Stdlib.max 1 arrival_slots in
+          List.iter (fun nd -> nd.counter <- nd.counter - k) active;
+          advance_to (!time +. (float_of_int k *. params.sigma))
+        end
+        else begin
+          List.iter (fun nd -> nd.counter <- nd.counter - idle_slots) active;
+          advance_to (!time +. (float_of_int idle_slots *. params.sigma));
+          if !time < duration then begin
+            let transmitters = List.filter (fun nd -> nd.counter = 0) active in
+            match transmitters with
+            | [] -> assert false
+            | [ winner ] ->
+                winner.attempts <- winner.attempts + 1;
+                let arrived = Queue.pop winner.queue in
+                advance_to (!time +. timing.ts);
+                winner.delivered <- winner.delivered + 1;
+                winner.sojourn_total <- winner.sojourn_total +. (!time -. arrived);
+                winner.stage <- 0;
+                if not (Queue.is_empty winner.queue) then draw_backoff winner
+            | colliders ->
+                List.iter
+                  (fun nd ->
+                    nd.attempts <- nd.attempts + 1;
+                    nd.stage <- Stdlib.min (nd.stage + 1) m;
+                    draw_backoff nd)
+                  colliders;
+                advance_to (!time +. timing.tc)
+          end
+        end
+  done;
+  let elapsed = !time in
+  let per_node =
+    Array.map
+      (fun nd ->
+        {
+          arrivals = nd.arrivals;
+          delivered = nd.delivered;
+          backlog = Queue.length nd.queue;
+          mean_sojourn =
+            (if nd.delivered = 0 then 0.
+             else nd.sojourn_total /. float_of_int nd.delivered);
+          mean_queue_length = nd.queue_area /. elapsed;
+          busy_fraction = nd.busy_time /. elapsed;
+          payoff_rate =
+            ((float_of_int nd.delivered *. params.gain)
+            -. (float_of_int nd.attempts *. params.cost))
+            /. elapsed;
+        })
+      nodes
+  in
+  {
+    time = elapsed;
+    per_node;
+    total_delivered =
+      Array.fold_left (fun acc (s : node_stats) -> acc + s.delivered) 0 per_node;
+    welfare_rate =
+      Array.fold_left
+        (fun acc (s : node_stats) -> acc +. s.payoff_rate)
+        0. per_node;
+  }
+
+let saturation_rate (params : Dcf.Params.t) ~n ~w =
+  let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w in
+  let metrics = Dcf.Metrics.of_taus params (Array.make n tau) in
+  tau *. (1. -. p) /. metrics.slot_time
+
+let utilization params ~n ~w ~arrival_rate =
+  if arrival_rate < 0. then invalid_arg "Unsaturated.utilization: negative rate";
+  arrival_rate /. saturation_rate params ~n ~w

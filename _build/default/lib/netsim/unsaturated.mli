@@ -1,0 +1,52 @@
+(** Unsaturated single-hop DCF: Poisson arrivals and per-node queues.
+
+    The paper (like Bianchi's model) assumes saturation — every node always
+    has a packet ready.  This simulator relaxes that: packets arrive at
+    node i as a Poisson process of rate [arrival_rates.(i)]; a node
+    contends only while its queue is non-empty, drawing a fresh stage-0
+    backoff when a packet reaches the head of an idle queue.  Everything
+    else (virtual slots, collisions, exponential backoff) matches
+    {!module:Slotted}.
+
+    The interesting game-theoretic question it answers: how much does the
+    contention window matter below saturation?  (Answer: hardly at all
+    until the offered load approaches the saturation capacity — see the
+    [load] bench.) *)
+
+type config = {
+  params : Dcf.Params.t;
+  cws : int array;
+  arrival_rates : float array;  (** packets/s per node, same length *)
+  duration : float;
+  seed : int;
+}
+
+type node_stats = {
+  arrivals : int;
+  delivered : int;
+  backlog : int;             (** packets still queued at the horizon *)
+  mean_sojourn : float;      (** arrival → delivery, s (delivered only) *)
+  mean_queue_length : float; (** time-averaged queue length *)
+  busy_fraction : float;     (** fraction of time with a non-empty queue *)
+  payoff_rate : float;       (** (delivered·g − attempts·e)/time *)
+}
+
+type result = {
+  time : float;
+  per_node : node_stats array;
+  total_delivered : int;
+  welfare_rate : float;
+}
+
+val run : config -> result
+(** @raise Invalid_argument on length mismatches, negative rates, windows
+    < 1 or non-positive duration. *)
+
+val saturation_rate : Dcf.Params.t -> n:int -> w:int -> float
+(** The per-node saturation departure rate τ(1−p)/T̄slot (packets/s) — the
+    capacity against which an offered load should be compared. *)
+
+val utilization : Dcf.Params.t -> n:int -> w:int -> arrival_rate:float -> float
+(** Offered-load heuristic ρ = λ / {!saturation_rate}; queues are stable
+    roughly when ρ < 1 (the saturation service rate is pessimistic below
+    saturation, so ρ < 1 is conservative). *)

@@ -1,0 +1,1 @@
+lib/numerics/fixed_point.mli:

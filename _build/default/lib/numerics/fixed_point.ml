@@ -1,0 +1,34 @@
+type outcome = {
+  value : float array;
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+let solve ?(damping = 0.5) ?(tol = 1e-12) ?(max_iter = 10_000) f x0 =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Fixed_point.solve: damping must be in (0, 1]";
+  let n = Array.length x0 in
+  let x = Array.copy x0 in
+  let rec go iter =
+    let fx = f x in
+    if Array.length fx <> n then
+      invalid_arg "Fixed_point.solve: map changed vector length";
+    let residual = ref 0. in
+    for i = 0 to n - 1 do
+      let x' = ((1. -. damping) *. x.(i)) +. (damping *. fx.(i)) in
+      let delta = Float.abs (x' -. x.(i)) in
+      if delta > !residual then residual := delta;
+      x.(i) <- x'
+    done;
+    if !residual <= tol then
+      { value = x; iterations = iter; residual = !residual; converged = true }
+    else if iter >= max_iter then
+      { value = x; iterations = iter; residual = !residual; converged = false }
+    else go (iter + 1)
+  in
+  go 1
+
+let solve_scalar ?damping ?tol ?max_iter f x0 =
+  let outcome = solve ?damping ?tol ?max_iter (fun x -> [| f x.(0) |]) [| x0 |] in
+  outcome.value.(0)

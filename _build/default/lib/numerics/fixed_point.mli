@@ -1,0 +1,27 @@
+(** Damped fixed-point iteration on float vectors.
+
+    The heterogeneous Bianchi model couples 2n unknowns (τ_1…τ_n, p_1…p_n)
+    through a contraction-like map; damped Picard iteration converges
+    reliably for all parameter ranges the experiments use. *)
+
+type outcome = {
+  value : float array;  (** the (approximate) fixed point *)
+  iterations : int;     (** iterations actually performed *)
+  residual : float;     (** max |x' − x| at the final iterate *)
+  converged : bool;     (** whether [residual ≤ tol] *)
+}
+
+val solve :
+  ?damping:float -> ?tol:float -> ?max_iter:int ->
+  (float array -> float array) -> float array -> outcome
+(** [solve f x0] iterates [x ← (1−λ)·x + λ·f x] from [x0] until the
+    max-norm update falls below [tol] (default 1e-12) or [max_iter]
+    (default 10_000) is reached.  [damping] λ defaults to 0.5 and must be in
+    (0, 1].  [f] must preserve the vector length.
+
+    The input vector is not mutated. *)
+
+val solve_scalar :
+  ?damping:float -> ?tol:float -> ?max_iter:int ->
+  (float -> float) -> float -> float
+(** Scalar convenience wrapper; returns the fixed point value. *)

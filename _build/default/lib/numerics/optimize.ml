@@ -1,0 +1,91 @@
+let golden_ratio = (sqrt 5. -. 1.) /. 2.
+
+let golden_section_max ?(tol = 1e-9) ?(max_iter = 200) f lo hi =
+  if hi < lo then invalid_arg "Optimize.golden_section_max: empty interval";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (golden_ratio *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden_ratio *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  while !b -. !a > tol && !iter < max_iter do
+    incr iter;
+    if !f1 < !f2 then begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden_ratio *. (!b -. !a));
+      f2 := f !x2
+    end
+    else begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden_ratio *. (!b -. !a));
+      f1 := f !x1
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+let memoize f =
+  let cache = Hashtbl.create 64 in
+  fun x ->
+    match Hashtbl.find_opt cache x with
+    | Some v -> v
+    | None ->
+        let v = f x in
+        Hashtbl.add cache x v;
+        v
+
+let exhaustive_int_max f lo hi =
+  if hi < lo then invalid_arg "Optimize.exhaustive_int_max: empty range";
+  let best = ref lo and best_v = ref (f lo) in
+  for x = lo + 1 to hi do
+    let v = f x in
+    if v > !best_v then begin
+      best := x;
+      best_v := v
+    end
+  done;
+  (!best, !best_v)
+
+let ternary_int_max f lo hi =
+  if hi < lo then invalid_arg "Optimize.ternary_int_max: empty range";
+  let f = memoize f in
+  let rec narrow lo hi =
+    if hi - lo <= 3 then exhaustive_int_max f lo hi
+    else begin
+      let m1 = lo + ((hi - lo) / 3) in
+      let m2 = hi - ((hi - lo) / 3) in
+      if f m1 < f m2 then narrow (m1 + 1) hi else narrow lo (m2 - 1)
+    end
+  in
+  narrow lo hi
+
+let hill_climb_int_max ?start f lo hi =
+  if hi < lo then invalid_arg "Optimize.hill_climb_int_max: empty range";
+  let f = memoize f in
+  let start =
+    match start with
+    | None -> lo
+    | Some s ->
+        if s < lo || s > hi then
+          invalid_arg "Optimize.hill_climb_int_max: start out of range"
+        else s
+  in
+  let rec climb x v =
+    let candidates =
+      List.filter (fun y -> y >= lo && y <= hi) [ x - 1; x + 1 ]
+    in
+    let better =
+      List.fold_left
+        (fun acc y ->
+          let vy = f y in
+          match acc with
+          | Some (_, vb) when vb >= vy -> acc
+          | _ -> if vy > v then Some (y, vy) else acc)
+        None candidates
+    in
+    match better with None -> (x, v) | Some (y, vy) -> climb y vy
+  in
+  climb start (f start)

@@ -1,0 +1,28 @@
+(** One-dimensional maximisation, continuous and integer.
+
+    The efficient NE W_c* is the integer argmax of a unimodal payoff curve
+    (Lemma 3 proves unimodality in τ, hence in W); ternary search finds it in
+    O(log range) model evaluations, with an exhaustive fallback for curves
+    that are only approximately unimodal (simulated payoffs). *)
+
+val golden_section_max :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  float * float
+(** [golden_section_max f lo hi] returns [(x_max, f x_max)] maximising a unimodal
+    [f] on [lo, hi] within [tol] (default 1e-9) in argument space. *)
+
+val ternary_int_max : (int -> float) -> int -> int -> int * float
+(** [ternary_int_max f lo hi] maximises a unimodal integer function on the
+    inclusive range, returning the smallest argmax and its value.  O(log
+    range) evaluations; results are memoised so [f] is called at most once
+    per point. *)
+
+val exhaustive_int_max : (int -> float) -> int -> int -> int * float
+(** Linear scan over the inclusive range; smallest argmax wins ties.
+    @raise Invalid_argument on an empty range. *)
+
+val hill_climb_int_max : ?start:int -> (int -> float) -> int -> int -> int * float
+(** Local search from [start] (default [lo]) moving to the better neighbour
+    until neither neighbour improves.  Exact on unimodal curves, and the
+    search pattern mirrors the paper's Right/Left-Search protocol
+    (Sec. V.C). *)

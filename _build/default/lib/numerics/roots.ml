@@ -1,0 +1,117 @@
+exception No_bracket
+
+let sign x = if x > 0. then 1 else if x < 0. then -1 else 0
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if sign flo = sign fhi then raise No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if sign fmid = sign !flo then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+(* Brent's method, following the classic Numerical Recipes formulation. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if sign fa = sign fb then raise No_bracket
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref nan in
+    let iter = ref 0 in
+    (try
+       while true do
+         incr iter;
+         if !iter > max_iter then begin
+           result := !b;
+           raise Exit
+         end;
+         if Float.abs !fc < Float.abs !fb then begin
+           a := !b;
+           b := !c;
+           c := !a;
+           fa := !fb;
+           fb := !fc;
+           fc := !fa
+         end;
+         let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+         let xm = 0.5 *. (!c -. !b) in
+         if Float.abs xm <= tol1 || !fb = 0. then begin
+           result := !b;
+           raise Exit
+         end;
+         if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+           let s = !fb /. !fa in
+           let p, q =
+             if !a = !c then
+               (* secant *)
+               (2. *. xm *. s, 1. -. s)
+             else begin
+               let q = !fa /. !fc and r = !fb /. !fc in
+               ( s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))),
+                 (q -. 1.) *. (r -. 1.) *. (s -. 1.) )
+             end
+           in
+           let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+           let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+           let min2 = Float.abs (!e *. q) in
+           if 2. *. p < Float.min min1 min2 then begin
+             e := !d;
+             d := p /. q
+           end
+           else begin
+             d := xm;
+             e := !d
+           end
+         end
+         else begin
+           d := xm;
+           e := !d
+         end;
+         a := !b;
+         fa := !fb;
+         if Float.abs !d > tol1 then b := !b +. !d
+         else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+         fb := f !b;
+         if sign !fb = sign !fc then begin
+           c := !a;
+           fc := !fa;
+           d := !b -. !a;
+           e := !d
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let find_bracket ?(grow = 1.6) ?(max_iter = 60) f lo hi =
+  if hi <= lo then invalid_arg "Roots.find_bracket: empty interval";
+  let rec go lo hi flo fhi iter =
+    if sign flo <> sign fhi then Some (lo, hi)
+    else if iter >= max_iter then None
+    else begin
+      let hi' = lo +. ((hi -. lo) *. grow) in
+      go lo hi' flo (f hi') (iter + 1)
+    end
+  in
+  go lo hi (f lo) (f hi) 0

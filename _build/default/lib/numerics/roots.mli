@@ -1,0 +1,27 @@
+(** Scalar root finding.
+
+    The DCF model needs roots of smooth, monotone functions (e.g. the
+    efficient-NE condition Q(τ) = 0 of Appendix B), for which bisection and
+    Brent's method are ample. *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f lo hi] returns [x] with [f x ≈ 0] given [f lo] and [f hi] of
+    opposite signs (an endpoint that is exactly zero is returned
+    immediately).  [tol] bounds the interval width (default 1e-12).
+    @raise No_bracket if the signs at the endpoints agree. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method: inverse-quadratic interpolation with bisection fallback.
+    Same contract as {!bisect}, converges superlinearly on smooth
+    functions. *)
+
+val find_bracket :
+  ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float ->
+  (float * float) option
+(** [find_bracket f lo hi] expands the interval geometrically to the right
+    until a sign change is bracketed, returning the bracket if found. *)

@@ -1,0 +1,15 @@
+(** Special functions needed by the detection analysis. *)
+
+val erf : float -> float
+(** Error function, by the Abramowitz & Stegun 7.1.26 rational
+    approximation (absolute error < 1.5e-7 — ample for detection-rate
+    work). *)
+
+val normal_cdf : ?mean:float -> ?stddev:float -> float -> float
+(** Φ((x − mean)/stddev).  [stddev] must be positive (default 1,
+    mean default 0). *)
+
+val normal_quantile : float -> float
+(** Inverse of the standard normal CDF on (0, 1), by Acklam's rational
+    approximation refined with one Halley step (relative error < 1e-9).
+    @raise Invalid_argument outside (0, 1). *)

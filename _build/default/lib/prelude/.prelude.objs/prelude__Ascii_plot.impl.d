@@ -1,0 +1,1 @@
+lib/prelude/ascii_plot.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/prelude/ascii_plot.mli:

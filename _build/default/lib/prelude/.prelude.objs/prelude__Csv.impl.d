@@ -1,0 +1,1 @@
+lib/prelude/csv.ml: Buffer Fun List Printf String

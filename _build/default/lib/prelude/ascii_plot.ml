@@ -1,0 +1,56 @@
+type series = { label : string; points : (float * float) array }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let plot ?(width = 72) ?(height = 20) ?title ?(x_label = "x") ?(y_label = "y")
+    series =
+  let all_points = Array.concat (List.map (fun s -> s.points) series) in
+  if Array.length all_points = 0 then "(no data to plot)\n"
+  else begin
+    let xs = Array.map fst all_points and ys = Array.map snd all_points in
+    let fold f init a = Array.fold_left f init a in
+    let xmin = fold Float.min infinity xs and xmax = fold Float.max neg_infinity xs in
+    let ymin = fold Float.min infinity ys and ymax = fold Float.max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    let place glyph (x, y) =
+      let cx =
+        int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+      in
+      let cy =
+        int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+      in
+      if cx >= 0 && cx < width && cy >= 0 && cy < height then
+        grid.(height - 1 - cy).(cx) <- glyph
+    in
+    List.iteri
+      (fun i s ->
+        let glyph = glyphs.(i mod Array.length glyphs) in
+        Array.iter (place glyph) s.points)
+      series;
+    let buf = Buffer.create ((width + 16) * (height + 6)) in
+    (match title with
+    | Some t ->
+        Buffer.add_string buf t;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    Buffer.add_string buf (Printf.sprintf "%s (top=%.4g, bottom=%.4g)\n" y_label ymax ymin);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Buffer.add_string buf (String.init width (fun i -> row.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "  +";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: left=%.4g, right=%.4g\n" x_label xmin xmax);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "   %c %s\n" glyphs.(i mod Array.length glyphs) s.label))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,17 @@
+(** Terminal line plots for the figure-reproduction benches.
+
+    Multiple series are drawn on a shared character grid with per-series
+    glyphs and a legend; axes are annotated with the data ranges.  The plots
+    stand in for the paper's Figures 2 and 3 so that the "shape" of a curve
+    (location of the maximum, flatness around it) is visible directly in the
+    bench output. *)
+
+type series = { label : string; points : (float * float) array }
+
+val plot :
+  ?width:int -> ?height:int -> ?title:string ->
+  ?x_label:string -> ?y_label:string -> series list -> string
+(** Render the series to a newline-terminated string.  Default grid is
+    72×20 characters.  Series get glyphs ['*'], ['+'], ['o'], ['x'], … in
+    order; later series overwrite earlier ones where they collide.  Empty
+    series lists or all-empty series yield a short placeholder message. *)

@@ -1,0 +1,41 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_string ~header rows =
+  let width = List.length header in
+  let render_row row =
+    if List.length row <> width then
+      invalid_arg "Csv.to_string: row width differs from header";
+    String.concat "," (List.map escape_field row)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (List.map escape_field header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header rows))
+
+let float_rows rows =
+  List.map (List.map (fun x -> Printf.sprintf "%.17g" x)) rows

@@ -1,0 +1,17 @@
+(** Minimal CSV writing for exporting experiment series to plotting tools.
+
+    Quoting follows RFC 4180: fields containing commas, quotes or newlines
+    are wrapped in double quotes with inner quotes doubled. *)
+
+val escape_field : string -> string
+(** The RFC 4180 rendering of one field. *)
+
+val to_string : header:string list -> string list list -> string
+(** Render a header row plus data rows, newline-terminated.
+    @raise Invalid_argument if a row's width differs from the header's. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** [to_string] straight to a file (truncating). *)
+
+val float_rows : float list list -> string list list
+(** Format every cell with ["%.17g"] (round-trip precision). *)

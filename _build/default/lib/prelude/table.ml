@@ -1,0 +1,55 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render columns rows =
+  let ncols = List.length columns in
+  let normalize row =
+    let len = List.length row in
+    if len > ncols then invalid_arg "Table.render: row wider than header"
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length c.header) rows)
+      columns
+  in
+  let render_row cells =
+    String.concat " | "
+      (List.map2
+         (fun (c, w) cell -> pad c.align w cell)
+         (List.combine columns widths)
+         cells)
+  in
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row (List.map (fun c -> c.header) columns));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let render_floats ?(precision = 6) columns rows =
+  let fmt x = Printf.sprintf "%.*g" precision x in
+  render columns (List.map (List.map fmt) rows)

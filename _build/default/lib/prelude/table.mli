@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Tables render with a header row, a separator, and right-aligned numeric
+    cells, e.g.:
+
+    {v
+    n   | Wc* (paper) | Wc* (ours)
+    ----+-------------+-----------
+    5   |          76 |         77
+    v} *)
+
+type align = Left | Right
+
+type column
+
+val column : ?align:align -> string -> column
+(** A column with the given header; numeric columns should use the default
+    [Right] alignment, text columns [Left]. *)
+
+val render : column list -> string list list -> string
+(** [render columns rows] renders one string per line, newline-terminated.
+    Rows shorter than the column list are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val render_floats :
+  ?precision:int -> column list -> float list list -> string
+(** Convenience wrapper formatting every cell with [%.*g]
+    (default precision 6). *)

@@ -1,0 +1,44 @@
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let clamp_int ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let approx_equal ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Util.linspace: need at least two points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> lo +. (float_of_int i *. step))
+
+let logspace lo hi n =
+  if lo <= 0. || hi <= 0. then invalid_arg "Util.logspace: bounds must be positive";
+  Array.map exp (linspace (log lo) (log hi) n)
+
+let int_range lo hi =
+  if hi < lo then [||] else Array.init (hi - lo + 1) (fun i -> lo + i)
+
+let argmax f a =
+  if Array.length a = 0 then invalid_arg "Util.argmax: empty array";
+  let best = ref 0 and best_v = ref (f a.(0)) in
+  for i = 1 to Array.length a - 1 do
+    let v = f a.(i) in
+    if v > !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  !best
+
+let argmin f a = argmax (fun x -> -.f x) a
+
+let sum_floats = Array.fold_left ( +. ) 0.
+
+let geometric_sum r k =
+  if k <= 0 then 0.
+  else if approx_equal r 1. then float_of_int k
+  else (1. -. (r ** float_of_int k)) /. (1. -. r)
+
+let fold_range lo hi ~init ~f =
+  let rec go acc i = if i > hi then acc else go (f acc i) (i + 1) in
+  go init lo

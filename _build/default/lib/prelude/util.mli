@@ -1,0 +1,34 @@
+(** Small numeric and array helpers shared across the library. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val clamp_int : lo:int -> hi:int -> int -> int
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Mixed absolute/relative comparison: [|a−b| ≤ eps·max(1,|a|,|b|)].
+    Default [eps = 1e-9]. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] is [n ≥ 2] evenly spaced points from [lo] to [hi]
+    inclusive. *)
+
+val logspace : float -> float -> int -> float array
+(** Geometrically spaced points from [lo] to [hi] (both positive). *)
+
+val int_range : int -> int -> int array
+(** [int_range lo hi] is [|lo; lo+1; …; hi|] ([||] if [hi < lo]). *)
+
+val argmax : ('a -> float) -> 'a array -> int
+(** Index of the first maximiser of [f]; raises [Invalid_argument] on an
+    empty array. *)
+
+val argmin : ('a -> float) -> 'a array -> int
+
+val sum_floats : float array -> float
+
+val geometric_sum : float -> int -> float
+(** [geometric_sum r k] is Σ_{j=0}^{k−1} r^j, computed stably including at
+    [r = 1]. *)
+
+val fold_range : int -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_range lo hi ~init ~f] folds [f] over the inclusive integer range. *)

@@ -1,0 +1,1 @@
+test/test_dcf.ml: Alcotest Array Dcf Float Format Gen List Prelude Printf QCheck QCheck_alcotest String

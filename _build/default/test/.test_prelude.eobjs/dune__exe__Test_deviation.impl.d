@@ -1,0 +1,1 @@
+test/test_deviation.ml: Alcotest Array Dcf Fun List Macgame Prelude Printf QCheck QCheck_alcotest Stdlib

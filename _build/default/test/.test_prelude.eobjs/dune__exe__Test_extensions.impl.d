@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dcf Filename Float Fun List Macgame Netsim Numerics Prelude Printf QCheck QCheck_alcotest Stdlib Sys

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Dcf Float Format Gen List Macgame Option Prelude Printf QCheck QCheck_alcotest Result Stdlib

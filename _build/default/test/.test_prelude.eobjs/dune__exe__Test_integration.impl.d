@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dcf Float List Macgame Mobility Netsim Prelude Printf

@@ -1,0 +1,1 @@
+test/test_multihop.ml: Alcotest Array Dcf Fun Gen List Macgame Mobility Prelude Printf QCheck QCheck_alcotest Stdlib

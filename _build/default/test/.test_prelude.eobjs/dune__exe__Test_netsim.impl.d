@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Dcf Float Fun List Mobility Netsim Prelude Printf

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Fixed_point Float Fun List Numerics Optimize Prelude Printf QCheck QCheck_alcotest Roots

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Ascii_plot Float Fun Gen Prelude QCheck QCheck_alcotest Rng Stats String Table Util

@@ -1,0 +1,171 @@
+(* Cross-library integration tests: the repeated game driven by packet-level
+   payoffs, the NE-search protocol against a simulated oracle, and quick
+   versions of the paper's experiments end-to-end. *)
+
+let default = Dcf.Params.default
+let rts_cts = Dcf.Params.rts_cts
+
+(* {1 Repeated game over the packet simulator} *)
+
+let test_tft_game_with_simulated_payoffs () =
+  (* Stage payoffs measured by the slotted simulator instead of the model:
+     the TFT dynamics and the fairness conclusion must be unchanged. *)
+  let seed = ref 0 in
+  let payoffs cws =
+    incr seed;
+    let r =
+      Netsim.Slotted.run { params = default; cws; duration = 10.; seed = !seed }
+    in
+    Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node
+  in
+  let strategies = Macgame.Repeated.all_tft ~n:4 ~initials:[| 150; 90; 120; 200 |] in
+  let outcome = Macgame.Repeated.run default ~strategies ~stages:5 ~payoffs in
+  Alcotest.(check (option int)) "converges to the min window" (Some 90)
+    (Macgame.Repeated.converged_window outcome);
+  let last = outcome.trace.(Array.length outcome.trace - 1) in
+  Alcotest.(check bool) "simulated payoffs nearly fair" true
+    (Prelude.Stats.jain_fairness last.utilities > 0.98)
+
+let test_cheater_punished_in_simulation () =
+  (* One fixed cheater against TFT players, packet-level payoffs: during the
+     first stage the cheater out-earns the conformers; after punishment all
+     payoffs equalise. *)
+  let seed = ref 100 in
+  let payoffs cws =
+    incr seed;
+    let r =
+      Netsim.Slotted.run { params = default; cws; duration = 10.; seed = !seed }
+    in
+    Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node
+  in
+  let w_star = Macgame.Equilibrium.efficient_cw default ~n:5 in
+  let strategies =
+    Array.append
+      [| Macgame.Strategy.fixed (w_star / 3) |]
+      (Macgame.Repeated.all_tft ~n:4 ~initials:(Array.make 4 w_star))
+  in
+  let outcome = Macgame.Repeated.run default ~strategies ~stages:4 ~payoffs in
+  let first = outcome.trace.(0) in
+  Alcotest.(check bool) "free ride pays in stage 0" true
+    (first.utilities.(0) > first.utilities.(1));
+  let last = outcome.trace.(3) in
+  Alcotest.(check bool) "after punishment, no edge" true
+    (Float.abs (last.utilities.(0) -. last.utilities.(1))
+    < 0.15 *. Float.abs last.utilities.(1))
+
+(* {1 Search over a simulated oracle} *)
+
+let test_search_with_simulated_oracle () =
+  (* The full Sec. V.C pipeline: measure payoffs by packet counting, search
+     for the efficient NE, land inside the robust plateau. *)
+  let params = { rts_cts with Dcf.Params.cw_max = 256 } in
+  let n = 5 in
+  let oracle w =
+    Netsim.Slotted.payoff_oracle ~params ~n ~duration:20. ~seed:7 w
+  in
+  let trace = Macgame.Search.run ~w0:8 ~probes:3 ~cw_max:params.cw_max oracle in
+  let lo, hi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "result %d in robust range [%d,%d]" trace.result lo hi)
+    true
+    (trace.result >= lo && trace.result <= hi)
+
+(* {1 Quick end-to-end experiment shapes} *)
+
+let test_table2_shape_quick () =
+  (* Analytic W_c* for n = 5 basic vs a per-node best-response sweep in the
+     simulator: the simulated argmax must sit in the robust plateau. *)
+  let n = 5 in
+  let w_star = Macgame.Equilibrium.efficient_cw default ~n in
+  let payoff_of_deviant w_dev =
+    let cws = Array.make n w_star in
+    cws.(0) <- w_dev;
+    let r = Netsim.Slotted.run { params = default; cws; duration = 40.; seed = w_dev } in
+    r.per_node.(0).payoff_rate
+  in
+  let candidates =
+    Array.of_list
+      (List.filter (fun w -> w >= 1) [ w_star - 40; w_star - 20; w_star - 10; w_star; w_star + 10; w_star + 20; w_star + 40 ])
+  in
+  let best = candidates.(Prelude.Util.argmax payoff_of_deviant candidates) in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated best response %d within 40 of W*=%d" best w_star)
+    true
+    (abs (best - w_star) <= 40)
+
+let test_multihop_pipeline_quick () =
+  (* Mobility -> topology -> multihop game -> spatial simulation, reduced
+     scale: converged window flows end to end. *)
+  let walkers =
+    Mobility.Waypoint.create ~seed:21
+      { width = 600.; height = 600.; speed_min = 0.; speed_max = 5. }
+      ~n:30
+  in
+  let adjacency = Mobility.Topology.snapshot ~connect_attempts:100 walkers ~range:250. in
+  if not (Mobility.Topology.is_connected adjacency) then
+    Alcotest.fail "no connected snapshot";
+  let graph = Macgame.Multihop.create adjacency in
+  let w_m = Macgame.Multihop.converged_cw rts_cts graph in
+  Alcotest.(check bool) "plausible converged window" true (w_m >= 5 && w_m <= 200);
+  let r =
+    Netsim.Spatial.run
+      { params = rts_cts; adjacency; cws = Array.make 30 w_m; duration = 10.; seed = 5 }
+  in
+  Alcotest.(check bool) "network carries traffic at the NE" true (r.delivered > 50);
+  Alcotest.(check bool) "welfare positive at the NE" true (r.welfare_rate > 0.)
+
+let test_spatial_p_hn_feeds_analytic_model () =
+  (* Close the Sec. VI.A loop: estimate p_hn from the spatial simulator and
+     feed it to the analytic multi-hop payoffs; the degraded payoff must lie
+     below the ideal one. *)
+  let adjacency = [| [ 1 ]; [ 0; 2 ]; [ 1 ] |] in
+  let r =
+    Netsim.Spatial.run
+      { params = default; adjacency; cws = Array.make 3 32; duration = 30.; seed = 2 }
+  in
+  let p_hn =
+    Prelude.Util.clamp ~lo:0.05 ~hi:1.
+      (Prelude.Stats.mean_of
+         (Array.map (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat) r.per_node))
+  in
+  let graph = Macgame.Multihop.create adjacency in
+  let ideal = Macgame.Multihop.payoffs_at default graph ~w:32 in
+  let degraded = Macgame.Multihop.payoffs_at ~p_hn default graph ~w:32 in
+  Alcotest.(check bool) "estimated p_hn below 1" true (p_hn < 1.);
+  Array.iteri
+    (fun i u -> Alcotest.(check bool) "degradation propagates" true (degraded.(i) <= u))
+    ideal
+
+let test_figures_2_3_shape_quick () =
+  (* The normalised global payoff curves must peak at the efficient window
+     and be flatter (relative to the peak position) for RTS/CTS. *)
+  let check params label =
+    let n = 5 in
+    let ws = Macgame.Welfare.sample_windows params ~n ~count:30 in
+    let series = Macgame.Welfare.global_series params ~n ~ws in
+    let peak = Macgame.Welfare.peak series in
+    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    (* The log grid does not contain W_c* exactly; the peak must be the grid
+       point nearest to it. *)
+    let nearest =
+      ws.(Prelude.Util.argmin (fun w -> Float.abs (float_of_int (w - w_star))) ws)
+    in
+    Alcotest.(check int) (label ^ ": peak at the grid point nearest W_c*") nearest peak.w
+  in
+  check default "basic";
+  check rts_cts "rts/cts"
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "tft over simulator" `Slow test_tft_game_with_simulated_payoffs;
+          Alcotest.test_case "cheater punished in simulation" `Slow test_cheater_punished_in_simulation;
+          Alcotest.test_case "search over simulated oracle" `Slow test_search_with_simulated_oracle;
+          Alcotest.test_case "table 2 shape (quick)" `Slow test_table2_shape_quick;
+          Alcotest.test_case "multihop pipeline (quick)" `Slow test_multihop_pipeline_quick;
+          Alcotest.test_case "p_hn estimation feeds model" `Quick test_spatial_p_hn_feeds_analytic_model;
+          Alcotest.test_case "figures 2-3 shape (quick)" `Quick test_figures_2_3_shape_quick;
+        ] );
+    ]

@@ -1,0 +1,424 @@
+(* Tests for the multi-hop game (Sec. VI, Theorem 3) and the mobility
+   substrate (geometry, random waypoint, topology). *)
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Prelude.Util.approx_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let default = Dcf.Params.default
+let rts_cts = Dcf.Params.rts_cts
+
+(* A small fixed topology used throughout:
+
+     0 - 1
+     |   |
+     2 - 3 - 4        degrees: 2 2 2 3 1 *)
+let path_graph = [| [ 1; 2 ]; [ 0; 3 ]; [ 0; 3 ]; [ 1; 2; 4 ]; [ 3 ] |]
+
+(* {1 Geom} *)
+
+let test_distance () =
+  let a = { Mobility.Geom.x = 0.; y = 0. } and b = { Mobility.Geom.x = 3.; y = 4. } in
+  check_close "3-4-5 triangle" 5. (Mobility.Geom.distance a b);
+  check_close "squared" 25. (Mobility.Geom.distance_sq a b);
+  Alcotest.(check bool) "within 5" true (Mobility.Geom.within ~range:5. a b);
+  Alcotest.(check bool) "not within 4.9" false (Mobility.Geom.within ~range:4.9 a b)
+
+let test_move_towards () =
+  let from = { Mobility.Geom.x = 0.; y = 0. } and goal = { Mobility.Geom.x = 10.; y = 0. } in
+  let mid = Mobility.Geom.move_towards ~from ~goal ~dist:4. in
+  check_close "x" 4. mid.x;
+  check_close "y" 0. mid.y;
+  let past = Mobility.Geom.move_towards ~from ~goal ~dist:15. in
+  check_close "clamps at goal" 10. past.x;
+  let stay = Mobility.Geom.move_towards ~from ~goal:from ~dist:5. in
+  check_close "zero-length segment" 0. stay.x
+
+let test_random_in_bounds () =
+  let rng = Prelude.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let p = Mobility.Geom.random_in rng ~width:100. ~height:50. in
+    if p.x < 0. || p.x >= 100. || p.y < 0. || p.y >= 50. then
+      Alcotest.failf "point out of area: (%f, %f)" p.x p.y
+  done
+
+(* {1 Waypoint} *)
+
+let wp_cfg =
+  { Mobility.Waypoint.width = 1000.; height = 1000.; speed_min = 0.; speed_max = 5. }
+
+let test_waypoint_positions_in_area () =
+  let w = Mobility.Waypoint.create ~seed:3 wp_cfg ~n:50 in
+  for _ = 1 to 20 do
+    Mobility.Waypoint.step w ~dt:30.;
+    Array.iter
+      (fun (p : Mobility.Geom.point) ->
+        if p.x < 0. || p.x > 1000. || p.y < 0. || p.y > 1000. then
+          Alcotest.failf "walker escaped: (%f, %f)" p.x p.y)
+      (Mobility.Waypoint.positions w)
+  done
+
+let test_waypoint_step_moves_at_most_speed_dt () =
+  let w = Mobility.Waypoint.create ~seed:4 wp_cfg ~n:30 in
+  let before = Mobility.Waypoint.positions w in
+  Mobility.Waypoint.step w ~dt:10.;
+  let after = Mobility.Waypoint.positions w in
+  Array.iteri
+    (fun i b ->
+      let moved = Mobility.Geom.distance b after.(i) in
+      (* Straight-line displacement cannot exceed max speed times dt. *)
+      if moved > (5. *. 10.) +. 1e-9 then
+        Alcotest.failf "walker %d teleported %.1f m" i moved)
+    before
+
+let test_waypoint_deterministic () =
+  let a = Mobility.Waypoint.create ~seed:5 wp_cfg ~n:10 in
+  let b = Mobility.Waypoint.create ~seed:5 wp_cfg ~n:10 in
+  Mobility.Waypoint.step a ~dt:100.;
+  Mobility.Waypoint.step b ~dt:100.;
+  Array.iteri
+    (fun i (pa : Mobility.Geom.point) ->
+      let pb = (Mobility.Waypoint.positions b).(i) in
+      check_close "same x" pa.x pb.x;
+      check_close "same y" pa.y pb.y)
+    (Mobility.Waypoint.positions a)
+
+let test_waypoint_eventually_moves () =
+  let w = Mobility.Waypoint.create ~seed:6 wp_cfg ~n:20 in
+  let before = Mobility.Waypoint.positions w in
+  for _ = 1 to 10 do
+    Mobility.Waypoint.step w ~dt:60.
+  done;
+  let after = Mobility.Waypoint.positions w in
+  let moved =
+    Array.exists
+      (fun i -> Mobility.Geom.distance before.(i) after.(i) > 10.)
+      (Array.init 20 Fun.id)
+  in
+  Alcotest.(check bool) "walkers actually walk" true moved
+
+let test_waypoint_validation () =
+  Alcotest.check_raises "bad speeds"
+    (Invalid_argument "Waypoint.create: need 0 <= speed_min <= speed_max")
+    (fun () ->
+      ignore
+        (Mobility.Waypoint.create
+           { wp_cfg with speed_min = 5.; speed_max = 1. }
+           ~n:3));
+  Alcotest.check_raises "bad dt" (Invalid_argument "Waypoint.step: dt must be positive")
+    (fun () ->
+      Mobility.Waypoint.step (Mobility.Waypoint.create wp_cfg ~n:2) ~dt:0.)
+
+(* {1 Topology} *)
+
+let test_adjacency_symmetric_and_rangebased () =
+  let positions =
+    [|
+      { Mobility.Geom.x = 0.; y = 0. };
+      { Mobility.Geom.x = 100.; y = 0. };
+      { Mobility.Geom.x = 220.; y = 0. };
+    |]
+  in
+  let adj = Mobility.Topology.adjacency ~range:150. positions in
+  Alcotest.(check (list int)) "node 0 sees 1" [ 1 ] adj.(0);
+  Alcotest.(check (list int)) "node 1 sees both" [ 0; 2 ] adj.(1);
+  Alcotest.(check (list int)) "node 2 sees 1" [ 1 ] adj.(2)
+
+let test_adjacency_matches_brute_force =
+  QCheck.Test.make ~name:"adjacency = brute-force range test" ~count:50
+    QCheck.(list_of_size Gen.(int_range 2 25)
+              (pair (float_bound_inclusive 500.) (float_bound_inclusive 500.)))
+    (fun coords ->
+      let positions =
+        Array.of_list (List.map (fun (x, y) -> { Mobility.Geom.x; y }) coords)
+      in
+      let adj = Mobility.Topology.adjacency ~range:120. positions in
+      let n = Array.length positions in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let linked = List.mem j adj.(i) in
+          let should =
+            i <> j && Mobility.Geom.within ~range:120. positions.(i) positions.(j)
+          in
+          if linked <> should then ok := false
+        done
+      done;
+      !ok)
+
+let test_connectivity () =
+  Alcotest.(check bool) "path graph connected" true
+    (Mobility.Topology.is_connected path_graph);
+  Alcotest.(check bool) "isolated node disconnects" false
+    (Mobility.Topology.is_connected [| [ 1 ]; [ 0 ]; [] |]);
+  Alcotest.(check bool) "empty graph connected" true (Mobility.Topology.is_connected [||])
+
+let test_largest_component () =
+  let adj = [| [ 1 ]; [ 0 ]; [ 3; 4 ]; [ 2; 4 ]; [ 2; 3 ] |] in
+  Alcotest.(check (list int)) "triangle wins" [ 2; 3; 4 ]
+    (Mobility.Topology.largest_component adj)
+
+let test_restrict_reindexes () =
+  let adj = [| [ 1 ]; [ 0 ]; [ 3; 4 ]; [ 2; 4 ]; [ 2; 3 ] |] in
+  let sub = Mobility.Topology.restrict adj [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "node 2 -> 0" [ 1; 2 ] sub.(0);
+  Alcotest.(check (list int)) "node 3 -> 1" [ 0; 2 ] sub.(1);
+  Alcotest.(check (list int)) "node 4 -> 2" [ 0; 1 ] sub.(2);
+  Alcotest.(check bool) "still connected" true (Mobility.Topology.is_connected sub)
+
+let test_average_degree () =
+  check_close "path graph" 2. (Mobility.Topology.average_degree path_graph);
+  check_close "empty" 0. (Mobility.Topology.average_degree [||])
+
+let test_snapshot_searches_for_connectivity () =
+  let w = Mobility.Waypoint.create ~seed:11 wp_cfg ~n:100 in
+  let adj = Mobility.Topology.snapshot ~connect_attempts:100 w ~range:250. in
+  Alcotest.(check bool) "paper scenario yields a connected snapshot" true
+    (Mobility.Topology.is_connected adj)
+
+(* {1 Multihop game} *)
+
+let graph = Macgame.Multihop.create path_graph
+
+let test_create_validation () =
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Multihop.create: adjacency not symmetric") (fun () ->
+      ignore (Macgame.Multihop.create [| [ 1 ]; [] |]));
+  Alcotest.check_raises "self loop" (Invalid_argument "Multihop.create: self-loop")
+    (fun () -> ignore (Macgame.Multihop.create [| [ 0 ] |]));
+  Alcotest.check_raises "range" (Invalid_argument "Multihop.create: neighbour out of range")
+    (fun () -> ignore (Macgame.Multihop.create [| [ 5 ] |]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Multihop.create: duplicate neighbour")
+    (fun () -> ignore (Macgame.Multihop.create [| [ 1; 1 ]; [ 0 ] |]))
+
+let test_graph_accessors () =
+  Alcotest.(check int) "size" 5 (Macgame.Multihop.size graph);
+  Alcotest.(check (array int)) "degrees" [| 2; 2; 2; 3; 1 |]
+    (Macgame.Multihop.degrees graph);
+  Alcotest.(check (list int)) "neighbors of 3" [ 1; 2; 4 ]
+    (Macgame.Multihop.neighbors graph 3);
+  Alcotest.(check bool) "connected" true (Macgame.Multihop.is_connected graph);
+  Alcotest.(check int) "diameter" 3 (Macgame.Multihop.diameter graph)
+
+let test_diameter_on_disconnected () =
+  let g = Macgame.Multihop.create [| [ 1 ]; [ 0 ]; [] |] in
+  Alcotest.(check bool) "disconnected" false (Macgame.Multihop.is_connected g);
+  Alcotest.check_raises "diameter refuses"
+    (Invalid_argument "Multihop.diameter: disconnected") (fun () ->
+      ignore (Macgame.Multihop.diameter g))
+
+let test_local_efficient_cw_by_degree () =
+  let locals = Macgame.Multihop.local_efficient_cw rts_cts graph in
+  (* Node i's window is the single-hop efficient NE for deg(i)+1 players. *)
+  Array.iteri
+    (fun i deg ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d (degree %d)" i deg)
+        (Macgame.Equilibrium.efficient_cw rts_cts ~n:(deg + 1))
+        locals.(i))
+    (Macgame.Multihop.degrees graph);
+  (* Higher degree, larger local window. *)
+  Alcotest.(check bool) "hub above leaf" true (locals.(3) > locals.(4))
+
+let test_converged_cw_is_min () =
+  let locals = Macgame.Multihop.local_efficient_cw rts_cts graph in
+  let expected = Array.fold_left Stdlib.min locals.(0) locals in
+  Alcotest.(check int) "theorem 3" expected
+    (Macgame.Multihop.converged_cw rts_cts graph)
+
+let test_tft_rounds_reach_min_within_diameter () =
+  let start = [| 50; 40; 30; 20; 60 |] in
+  let rounds, final = Macgame.Multihop.tft_rounds graph ~start in
+  Alcotest.(check (array int)) "uniform min" (Array.make 5 20) final;
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d <= diameter %d" rounds (Macgame.Multihop.diameter graph))
+    true
+    (rounds <= Macgame.Multihop.diameter graph)
+
+let test_tft_rounds_fixed_point () =
+  let rounds, final = Macgame.Multihop.tft_rounds graph ~start:(Array.make 5 26) in
+  Alcotest.(check int) "already converged" 0 rounds;
+  Alcotest.(check (array int)) "unchanged" (Array.make 5 26) final
+
+let test_tft_rounds_qcheck =
+  QCheck.Test.make ~name:"local TFT always reaches the global min on this graph"
+    ~count:100
+    QCheck.(list_of_size (Gen.return 5) (int_range 1 500))
+    (fun start ->
+      let start = Array.of_list start in
+      let _, final = Macgame.Multihop.tft_rounds graph ~start in
+      let min = Array.fold_left Stdlib.min start.(0) start in
+      Array.for_all (fun w -> w = min) final)
+
+let test_payoffs_at_use_local_games () =
+  let payoffs = Macgame.Multihop.payoffs_at rts_cts graph ~w:26 in
+  Array.iteri
+    (fun i deg ->
+      check_close
+        (Printf.sprintf "node %d" i)
+        (Dcf.Model.homogeneous rts_cts ~n:(deg + 1) ~w:26).Dcf.Model.utility
+        payoffs.(i))
+    (Macgame.Multihop.degrees graph)
+
+let test_payoffs_p_hn_degrades () =
+  let full = Macgame.Multihop.payoffs_at rts_cts graph ~w:26 in
+  let degraded = Macgame.Multihop.payoffs_at ~p_hn:0.7 rts_cts graph ~w:26 in
+  Array.iteri
+    (fun i u -> Alcotest.(check bool) "lower" true (degraded.(i) < u))
+    full
+
+let test_quasi_optimality_structure () =
+  let q = Macgame.Multihop.quasi_optimality rts_cts graph in
+  Alcotest.(check int) "NE window consistent"
+    (Macgame.Multihop.converged_cw rts_cts graph)
+    q.w_m;
+  Alcotest.(check bool) "global ratio in (0,1]" true
+    (q.global_ratio > 0. && q.global_ratio <= 1. +. 1e-9);
+  Alcotest.(check bool) "local ratios in (0,1]" true
+    (Array.for_all (fun r -> r > 0. && r <= 1. +. 1e-9) q.local_ratios);
+  Alcotest.(check bool) "min is the min" true
+    (Array.for_all (fun r -> r >= q.min_local_ratio -. 1e-12) q.local_ratios);
+  Alcotest.(check bool) "optimum at least NE welfare" true
+    (q.global_opt >= q.global_at_ne -. 1e-12);
+  (* The node whose local optimum IS the converged window is fully served. *)
+  let locals = Macgame.Multihop.local_efficient_cw rts_cts graph in
+  let argmin = ref 0 in
+  Array.iteri (fun i w -> if w < locals.(!argmin) then argmin := i) locals;
+  check_close "bottleneck node at its own optimum" 1. q.local_ratios.(!argmin)
+
+let test_quasi_optimality_uniform_degree_graph () =
+  (* A cycle: every node has degree 2, so the local optima agree and the NE
+     is exactly the global optimum. *)
+  let cycle = Macgame.Multihop.create [| [ 1; 3 ]; [ 0; 2 ]; [ 1; 3 ]; [ 0; 2 ] |] in
+  let q = Macgame.Multihop.quasi_optimality rts_cts cycle in
+  check_close ~eps:1e-9 "no loss under symmetry" 1. q.global_ratio;
+  check_close ~eps:1e-9 "everyone at their optimum" 1. q.min_local_ratio
+
+let test_paper_scenario_quasi_optimal () =
+  (* Sec. VII.B: 100 nodes, 1 km2, 250 m range, RTS/CTS.  The paper reports
+     >= 96 % local and ~97 % global at the converged NE.  The exact numbers
+     depend on the topology; we check the qualitative claims over a seeded
+     snapshot. *)
+  let w = Mobility.Waypoint.create ~seed:7 wp_cfg ~n:100 in
+  let adj = Mobility.Topology.snapshot ~connect_attempts:100 w ~range:250. in
+  if not (Mobility.Topology.is_connected adj) then
+    Alcotest.fail "could not find a connected snapshot";
+  let graph = Macgame.Multihop.create adj in
+  let q = Macgame.Multihop.quasi_optimality rts_cts graph in
+  Alcotest.(check bool)
+    (Printf.sprintf "global ratio %.3f >= 0.9" q.global_ratio)
+    true (q.global_ratio >= 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "min local ratio %.3f >= 0.8" q.min_local_ratio)
+    true (q.min_local_ratio >= 0.8);
+  (* The converged window lands in the tens for this density, in the same
+     band as the paper's 26. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "W_m = %d in [10, 60]" q.w_m)
+    true
+    (q.w_m >= 10 && q.w_m <= 60)
+
+let test_local_tft_game_converges_within_diameter () =
+  let start = [| 50; 40; 30; 20; 60 |] in
+  let outcome =
+    Macgame.Multihop.local_tft_game graph ~initials:start ~stages:6
+      ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
+  in
+  Alcotest.(check (array int)) "floods the minimum" (Array.make 5 20) outcome.final;
+  match outcome.converged_at with
+  | Some k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %d <= diameter %d" k (Macgame.Multihop.diameter graph))
+        true
+        (k <= Macgame.Multihop.diameter graph)
+  | None -> Alcotest.fail "expected convergence"
+
+let test_local_tft_game_respects_locality () =
+  (* In the path graph 0-1, 0-2, 1-3, 2-3, 3-4 the minimum at node 4 takes
+     one stage to reach node 3 and one more to reach nodes 1 and 2:
+     distance-limited information flow, unlike the single-hop engine. *)
+  let start = [| 100; 100; 100; 100; 10 |] in
+  let outcome =
+    Macgame.Multihop.local_tft_game graph ~initials:start ~stages:4
+      ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
+  in
+  let profile_at k = fst outcome.trace.(k) in
+  Alcotest.(check (array int)) "stage 1: only the neighbour of 4 moved"
+    [| 100; 100; 100; 10; 10 |] (profile_at 1);
+  Alcotest.(check (array int)) "stage 2: two hops reached"
+    [| 100; 10; 10; 10; 10 |] (profile_at 2);
+  Alcotest.(check (array int)) "stage 3: whole graph" (Array.make 5 10)
+    (profile_at 3)
+
+let test_local_tft_game_records_payoffs () =
+  let calls = ref 0 in
+  let outcome =
+    Macgame.Multihop.local_tft_game graph ~initials:(Array.make 5 30) ~stages:3
+      ~payoffs:(fun p ->
+        incr calls;
+        Array.map float_of_int p)
+  in
+  Alcotest.(check int) "one payoff call per stage" 3 !calls;
+  Array.iter
+    (fun (cws, utilities) ->
+      Array.iteri
+        (fun i u -> check_close "recorded verbatim" (float_of_int cws.(i)) u)
+        utilities)
+    outcome.trace
+
+let suite_geom =
+  [
+    Alcotest.test_case "distance" `Quick test_distance;
+    Alcotest.test_case "move_towards" `Quick test_move_towards;
+    Alcotest.test_case "random_in bounds" `Quick test_random_in_bounds;
+  ]
+
+let suite_waypoint =
+  [
+    Alcotest.test_case "stays in area" `Quick test_waypoint_positions_in_area;
+    Alcotest.test_case "bounded displacement" `Quick test_waypoint_step_moves_at_most_speed_dt;
+    Alcotest.test_case "deterministic" `Quick test_waypoint_deterministic;
+    Alcotest.test_case "eventually moves" `Quick test_waypoint_eventually_moves;
+    Alcotest.test_case "validation" `Quick test_waypoint_validation;
+  ]
+
+let suite_topology =
+  [
+    Alcotest.test_case "range-based adjacency" `Quick test_adjacency_symmetric_and_rangebased;
+    QCheck_alcotest.to_alcotest test_adjacency_matches_brute_force;
+    Alcotest.test_case "connectivity" `Quick test_connectivity;
+    Alcotest.test_case "largest component" `Quick test_largest_component;
+    Alcotest.test_case "restrict reindexes" `Quick test_restrict_reindexes;
+    Alcotest.test_case "average degree" `Quick test_average_degree;
+    Alcotest.test_case "snapshot connectivity" `Quick test_snapshot_searches_for_connectivity;
+  ]
+
+let suite_multihop =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "accessors" `Quick test_graph_accessors;
+    Alcotest.test_case "diameter on disconnected" `Quick test_diameter_on_disconnected;
+    Alcotest.test_case "local efficient windows" `Quick test_local_efficient_cw_by_degree;
+    Alcotest.test_case "converged = min (theorem 3)" `Quick test_converged_cw_is_min;
+    Alcotest.test_case "tft rounds within diameter" `Quick test_tft_rounds_reach_min_within_diameter;
+    Alcotest.test_case "tft fixed point" `Quick test_tft_rounds_fixed_point;
+    QCheck_alcotest.to_alcotest test_tft_rounds_qcheck;
+    Alcotest.test_case "payoffs use local games" `Quick test_payoffs_at_use_local_games;
+    Alcotest.test_case "p_hn degrades payoffs" `Quick test_payoffs_p_hn_degrades;
+    Alcotest.test_case "quasi-optimality structure" `Quick test_quasi_optimality_structure;
+    Alcotest.test_case "uniform-degree graph optimal" `Quick test_quasi_optimality_uniform_degree_graph;
+    Alcotest.test_case "paper scenario (VII.B)" `Slow test_paper_scenario_quasi_optimal;
+    Alcotest.test_case "local game converges" `Quick test_local_tft_game_converges_within_diameter;
+    Alcotest.test_case "local game is local" `Quick test_local_tft_game_respects_locality;
+    Alcotest.test_case "local game records payoffs" `Quick test_local_tft_game_records_payoffs;
+  ]
+
+let () =
+  ignore default;
+  Alcotest.run "multihop"
+    [
+      ("geom", suite_geom);
+      ("waypoint", suite_waypoint);
+      ("topology", suite_topology);
+      ("multihop", suite_multihop);
+    ]

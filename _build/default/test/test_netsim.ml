@@ -1,0 +1,292 @@
+(* Tests for the packet-level simulators: the single-hop slotted simulator
+   (validated against the analytic Bianchi model) and the spatial multi-hop
+   simulator (carrier sense, hidden terminals, NAV). *)
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Prelude.Util.approx_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let default = Dcf.Params.default
+let rts_cts = Dcf.Params.rts_cts
+
+let slotted ?(params = default) ?(duration = 60.) ?(seed = 42) cws =
+  Netsim.Slotted.run { params; cws; duration; seed }
+
+(* {1 Slotted simulator} *)
+
+let test_slotted_deterministic () =
+  let a = slotted [| 32; 32; 32 |] and b = slotted [| 32; 32; 32 |] in
+  Alcotest.(check int) "same slots" a.slots b.slots;
+  Array.iteri
+    (fun i (s : Netsim.Slotted.node_stats) ->
+      Alcotest.(check int) "same attempts" s.attempts b.per_node.(i).attempts;
+      Alcotest.(check int) "same successes" s.successes b.per_node.(i).successes)
+    a.per_node
+
+let test_slotted_seed_changes_outcome () =
+  let a = slotted ~seed:1 [| 32; 32; 32 |] and b = slotted ~seed:2 [| 32; 32; 32 |] in
+  Alcotest.(check bool) "different sample paths" true
+    (a.per_node.(0).attempts <> b.per_node.(0).attempts
+    || a.per_node.(0).successes <> b.per_node.(0).successes)
+
+let test_slotted_accounting_invariants () =
+  let r = slotted [| 16; 64; 256 |] in
+  Array.iter
+    (fun (s : Netsim.Slotted.node_stats) ->
+      Alcotest.(check int) "attempts = successes + collisions" s.attempts
+        (s.successes + s.collisions);
+      Alcotest.(check bool) "tau_hat in [0,1]" true (s.tau_hat >= 0. && s.tau_hat <= 1.);
+      Alcotest.(check bool) "p_hat in [0,1]" true (s.p_hat >= 0. && s.p_hat <= 1.))
+    r.per_node;
+  Alcotest.(check bool) "ran past the requested duration" true (r.time >= 60.);
+  Alcotest.(check bool) "throughput below 1" true (r.total_throughput < 1.)
+
+let test_slotted_single_node_never_collides () =
+  let r = slotted [| 32 |] in
+  Alcotest.(check int) "no collisions alone" 0 r.per_node.(0).collisions;
+  (* Alone, every 16th slot on average carries a packet: utilisation is the
+     payload share of (mean backoff · sigma + Ts). *)
+  let timing = Dcf.Timing.of_params default in
+  let expected =
+    timing.payload /. ((15.5 *. default.sigma) +. timing.ts)
+  in
+  check_close ~eps:0.02 "utilisation" expected r.total_throughput
+
+let test_slotted_matches_bianchi_tau_p () =
+  (* Under the chain's own tick convention the simulator must agree tightly
+     with eq. 2-3; under real freeze semantics the gap is the documented
+     accuracy limit of Bianchi's approximation (still below ~10 %). *)
+  List.iter
+    (fun (n, w) ->
+      let v = Dcf.Model.homogeneous default ~n ~w in
+      let r =
+        Netsim.Slotted.run ~bianchi_ticks:true
+          { params = default; cws = Array.make n w; duration = 120.; seed = 42 }
+      in
+      let taus = Array.map (fun (s : Netsim.Slotted.node_stats) -> s.tau_hat) r.per_node in
+      let ps = Array.map (fun (s : Netsim.Slotted.node_stats) -> s.p_hat) r.per_node in
+      let tau_hat = Prelude.Stats.mean_of taus and p_hat = Prelude.Stats.mean_of ps in
+      if Float.abs (tau_hat -. v.tau) /. v.tau > 0.04 then
+        Alcotest.failf "bianchi mode n=%d W=%d: tau %.5f vs %.5f" n w tau_hat v.tau;
+      if Float.abs (p_hat -. v.p) > 0.02 then
+        Alcotest.failf "bianchi mode n=%d W=%d: p %.4f vs %.4f" n w p_hat v.p;
+      let real = slotted ~duration:120. (Array.make n w) in
+      let tau_real =
+        Prelude.Stats.mean_of
+          (Array.map (fun (s : Netsim.Slotted.node_stats) -> s.tau_hat) real.per_node)
+      in
+      if Float.abs (tau_real -. v.tau) /. v.tau > 0.12 then
+        Alcotest.failf "real mode n=%d W=%d: tau %.5f vs %.5f" n w tau_real v.tau)
+    [ (2, 64); (5, 79); (10, 128); (20, 339) ]
+
+let test_slotted_matches_analytic_payoff () =
+  List.iter
+    (fun (n, w) ->
+      let v = Dcf.Model.homogeneous default ~n ~w in
+      let r = slotted ~duration:120. (Array.make n w) in
+      let u_hat =
+        Prelude.Stats.mean_of
+          (Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node)
+      in
+      if Float.abs (u_hat -. v.utility) /. Float.abs v.utility > 0.08 then
+        Alcotest.failf "n=%d W=%d: payoff %.4f vs %.4f" n w u_hat v.utility)
+    [ (5, 79); (10, 200); (20, 339) ]
+
+let test_slotted_lemma1_ordering_in_simulation () =
+  (* Lemma 1 in the packet simulation: the node with the smaller window
+     transmits more, faces a *lower* collision probability (it does not
+     contend with itself) and earns more. *)
+  let cws = [| 40; 80; 80; 80; 80 |] in
+  let r = slotted ~duration:120. cws in
+  Alcotest.(check bool) "deviant transmits more" true
+    (r.per_node.(0).tau_hat > r.per_node.(1).tau_hat);
+  Alcotest.(check bool) "deviant collides less" true
+    (r.per_node.(0).p_hat < r.per_node.(1).p_hat);
+  Alcotest.(check bool) "deviant earns more" true
+    (r.per_node.(0).payoff_rate > r.per_node.(1).payoff_rate)
+
+let test_slotted_rts_cts_mode () =
+  (* RTS/CTS collisions are cheap, so at an aggressive window the RTS/CTS
+     network sustains much higher welfare than basic access. *)
+  let basic = slotted ~duration:60. (Array.make 10 32) in
+  let rts = slotted ~params:rts_cts ~duration:60. (Array.make 10 32) in
+  Alcotest.(check bool) "rts/cts wins under heavy contention" true
+    (rts.welfare_rate > basic.welfare_rate)
+
+let test_slotted_symmetric_fairness () =
+  let r = slotted ~duration:120. (Array.make 8 64) in
+  let shares = Array.map (fun (s : Netsim.Slotted.node_stats) -> s.throughput) r.per_node in
+  Alcotest.(check bool) "jain close to 1" true
+    (Prelude.Stats.jain_fairness shares > 0.99)
+
+let test_slotted_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Slotted.run: empty network")
+    (fun () -> ignore (slotted [||]));
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Slotted.run: duration must be positive") (fun () ->
+      ignore (Netsim.Slotted.run { params = default; cws = [| 8 |]; duration = 0.; seed = 0 }));
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Slotted.run: window must be >= 1") (fun () ->
+      ignore (slotted [| 0 |]))
+
+let test_payoff_oracle_positive_near_optimum () =
+  let u =
+    Netsim.Slotted.payoff_oracle ~params:default ~n:5 ~duration:30. ~seed:3 79
+  in
+  let v = (Dcf.Model.homogeneous default ~n:5 ~w:79).Dcf.Model.utility in
+  Alcotest.(check bool) "within 15% of analytic" true
+    (Float.abs (u -. v) /. v < 0.15)
+
+(* {1 Spatial simulator} *)
+
+let complete_graph n = Array.init n (fun i -> List.filter (fun j -> j <> i) (List.init n Fun.id))
+
+let spatial ?(params = default) ?(duration = 30.) ?(seed = 9) ~adjacency cws =
+  Netsim.Spatial.run { params; adjacency; cws; duration; seed }
+
+let test_spatial_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Spatial.run: empty network")
+    (fun () -> ignore (spatial ~adjacency:[||] [||]));
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Spatial.run: adjacency not symmetric") (fun () ->
+      ignore (spatial ~adjacency:[| [ 1 ]; [] |] [| 8; 8 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Spatial.run: cws length mismatch") (fun () ->
+      ignore (spatial ~adjacency:(complete_graph 3) [| 8 |]))
+
+let test_spatial_deterministic () =
+  let a = spatial ~adjacency:(complete_graph 4) (Array.make 4 32) in
+  let b = spatial ~adjacency:(complete_graph 4) (Array.make 4 32) in
+  Alcotest.(check int) "same deliveries" a.delivered b.delivered
+
+let test_spatial_accounting () =
+  let r = spatial ~adjacency:(complete_graph 5) (Array.make 5 64) in
+  Array.iter
+    (fun (s : Netsim.Spatial.node_stats) ->
+      Alcotest.(check int) "attempts decompose" s.attempts
+        (s.successes + s.local_collisions + s.hidden_failures);
+      Alcotest.(check bool) "p_hn_hat in [0,1]" true
+        (s.p_hn_hat >= 0. && s.p_hn_hat <= 1.))
+    r.per_node;
+  let total = Array.fold_left (fun acc (s : Netsim.Spatial.node_stats) -> acc + s.successes) 0 r.per_node in
+  Alcotest.(check int) "delivered = sum of successes" r.delivered total
+
+let test_spatial_complete_graph_has_no_hidden_failures () =
+  let r = spatial ~adjacency:(complete_graph 6) (Array.make 6 32) in
+  Array.iter
+    (fun (s : Netsim.Spatial.node_stats) ->
+      Alcotest.(check int) "no hidden terminals in a clique" 0 s.hidden_failures;
+      check_close "p_hn_hat = 1" 1. s.p_hn_hat)
+    r.per_node
+
+let test_spatial_complete_graph_matches_slotted () =
+  (* On a clique the spatial simulator is the single-hop channel, so its
+     welfare must be close to the slotted simulator's (duration-rounding
+     differs slightly). *)
+  let n = 5 and w = 79 in
+  let sp = spatial ~duration:60. ~adjacency:(complete_graph n) (Array.make n w) in
+  let sl = slotted ~duration:60. (Array.make n w) in
+  let rel = Float.abs (sp.welfare_rate -. sl.welfare_rate) /. sl.welfare_rate in
+  Alcotest.(check bool)
+    (Printf.sprintf "welfare within 10%% (rel %.3f)" rel)
+    true (rel < 0.10)
+
+let test_spatial_isolated_node_stays_silent () =
+  let adjacency = [| [ 1 ]; [ 0 ]; [] |] in
+  let r = spatial ~adjacency [| 16; 16; 16 |] in
+  Alcotest.(check int) "no attempts without neighbours" 0 r.per_node.(2).attempts;
+  Alcotest.(check bool) "the pair still communicates" true (r.per_node.(0).successes > 0)
+
+(* Classic hidden-terminal chain: 0 - 1 - 2 where 0 and 2 cannot hear each
+   other and both send to 1. *)
+let hidden_chain = [| [ 1 ]; [ 0; 2 ]; [ 1 ] |]
+
+let test_spatial_hidden_terminals_appear_in_basic () =
+  let r = spatial ~duration:60. ~adjacency:hidden_chain [| 32; 32; 32 |] in
+  let outer = r.per_node.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hidden failures observed (%d)" outer.hidden_failures)
+    true
+    (outer.hidden_failures > 0);
+  Alcotest.(check bool) "degradation factor below 1" true (outer.p_hn_hat < 1.)
+
+let test_spatial_rts_mitigates_hidden_terminals () =
+  (* With RTS/CTS only the short RTS is vulnerable, so the hidden-terminal
+     loss rate must drop sharply relative to basic access. *)
+  let basic = spatial ~duration:60. ~adjacency:hidden_chain [| 32; 32; 32 |] in
+  let rts =
+    spatial ~params:rts_cts ~duration:60. ~adjacency:hidden_chain [| 32; 32; 32 |]
+  in
+  let loss (r : Netsim.Spatial.result) =
+    let s = r.per_node.(0) in
+    1. -. s.p_hn_hat
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "basic loss %.3f > rts loss %.3f" (loss basic) (loss rts))
+    true
+    (loss basic > 2. *. loss rts)
+
+let test_spatial_spatial_reuse () =
+  (* Two far-apart pairs transmit concurrently: aggregate throughput beats a
+     single pair's. *)
+  let pairs = [| [ 1 ]; [ 0 ]; [ 3 ]; [ 2 ] |] in
+  let two = spatial ~duration:60. ~adjacency:pairs (Array.make 4 32) in
+  let one = spatial ~duration:60. ~adjacency:[| [ 1 ]; [ 0 ] |] (Array.make 2 32) in
+  Alcotest.(check bool) "parallel pairs deliver more" true
+    (two.delivered > (3 * one.delivered) / 2)
+
+let test_spatial_smaller_window_more_attempts () =
+  let adjacency = complete_graph 4 in
+  let r = spatial ~duration:60. ~adjacency [| 8; 64; 64; 64 |] in
+  Alcotest.(check bool) "aggressive node attempts more" true
+    (r.per_node.(0).attempts > r.per_node.(1).attempts)
+
+let test_spatial_paper_scenario_runs () =
+  (* Smoke-test the Sec. VII.B configuration at reduced duration: 100 nodes,
+     RTS/CTS, random connected topology. *)
+  let w =
+    Mobility.Waypoint.create ~seed:7
+      { width = 1000.; height = 1000.; speed_min = 0.; speed_max = 5. }
+      ~n:100
+  in
+  let adjacency = Mobility.Topology.snapshot ~connect_attempts:100 w ~range:250. in
+  let r =
+    spatial ~params:rts_cts ~duration:5. ~adjacency (Array.make 100 26)
+  in
+  Alcotest.(check bool) "packets flow" true (r.delivered > 100);
+  let p_hns = Array.map (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat) r.per_node in
+  Alcotest.(check bool) "some hidden-node degradation" true
+    (Prelude.Stats.mean_of p_hns < 1.)
+
+let suite_slotted =
+  [
+    Alcotest.test_case "deterministic" `Quick test_slotted_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_slotted_seed_changes_outcome;
+    Alcotest.test_case "accounting invariants" `Quick test_slotted_accounting_invariants;
+    Alcotest.test_case "single node" `Quick test_slotted_single_node_never_collides;
+    Alcotest.test_case "matches bianchi tau/p" `Slow test_slotted_matches_bianchi_tau_p;
+    Alcotest.test_case "matches analytic payoff" `Slow test_slotted_matches_analytic_payoff;
+    Alcotest.test_case "lemma 4 in simulation" `Slow test_slotted_lemma1_ordering_in_simulation;
+    Alcotest.test_case "rts/cts mode" `Quick test_slotted_rts_cts_mode;
+    Alcotest.test_case "symmetric fairness" `Slow test_slotted_symmetric_fairness;
+    Alcotest.test_case "validation" `Quick test_slotted_validation;
+    Alcotest.test_case "payoff oracle" `Quick test_payoff_oracle_positive_near_optimum;
+  ]
+
+let suite_spatial =
+  [
+    Alcotest.test_case "validation" `Quick test_spatial_validation;
+    Alcotest.test_case "deterministic" `Quick test_spatial_deterministic;
+    Alcotest.test_case "accounting" `Quick test_spatial_accounting;
+    Alcotest.test_case "clique has no hidden failures" `Quick test_spatial_complete_graph_has_no_hidden_failures;
+    Alcotest.test_case "clique matches slotted" `Slow test_spatial_complete_graph_matches_slotted;
+    Alcotest.test_case "isolated node silent" `Quick test_spatial_isolated_node_stays_silent;
+    Alcotest.test_case "hidden terminals in basic" `Quick test_spatial_hidden_terminals_appear_in_basic;
+    Alcotest.test_case "rts mitigates hidden terminals" `Quick test_spatial_rts_mitigates_hidden_terminals;
+    Alcotest.test_case "spatial reuse" `Quick test_spatial_spatial_reuse;
+    Alcotest.test_case "aggressive window attempts" `Quick test_spatial_smaller_window_more_attempts;
+    Alcotest.test_case "paper scenario smoke" `Slow test_spatial_paper_scenario_runs;
+  ]
+
+let () =
+  Alcotest.run "netsim" [ ("slotted", suite_slotted); ("spatial", suite_spatial) ]

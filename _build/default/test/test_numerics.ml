@@ -1,0 +1,220 @@
+(* Tests for root finding, fixed-point iteration and 1-D optimisation. *)
+
+open Numerics
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Prelude.Util.approx_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* {1 Roots} *)
+
+let test_bisect_linear () =
+  check_close "root of x-3" 3. (Roots.bisect (fun x -> x -. 3.) 0. 10.)
+
+let test_bisect_endpoint_root () =
+  check_close "root at lower endpoint" 2. (Roots.bisect (fun x -> x -. 2.) 2. 5.);
+  check_close "root at upper endpoint" 5. (Roots.bisect (fun x -> x -. 5.) 2. 5.)
+
+let test_bisect_no_bracket () =
+  Alcotest.check_raises "same sign" Roots.No_bracket (fun () ->
+      ignore (Roots.bisect (fun x -> (x *. x) +. 1.) (-1.) 1.))
+
+let test_bisect_decreasing () =
+  check_close "decreasing function" 2. (Roots.bisect (fun x -> 4. -. (x *. x)) 0. 10.)
+
+let test_brent_polynomial () =
+  check_close "cube root of 2" (Float.cbrt 2.)
+    (Roots.brent (fun x -> (x ** 3.) -. 2.) 0. 2.)
+
+let test_brent_transcendental () =
+  (* cos x = x has the Dottie number as root. *)
+  check_close ~eps:1e-10 "dottie number" 0.7390851332151607
+    (Roots.brent (fun x -> cos x -. x) 0. 1.)
+
+let test_brent_no_bracket () =
+  Alcotest.check_raises "same sign" Roots.No_bracket (fun () ->
+      ignore (Roots.brent (fun x -> x +. 10.) 0. 1.))
+
+let test_brent_matches_bisect =
+  QCheck.Test.make ~name:"brent agrees with bisect on monotone cubics" ~count:100
+    QCheck.(float_range (-5.) 5.)
+    (fun shift ->
+      let f x = (x *. x *. x) +. x -. shift in
+      let b = Roots.bisect f (-10.) 10. and br = Roots.brent f (-10.) 10. in
+      Prelude.Util.approx_equal ~eps:1e-6 b br)
+
+let test_find_bracket () =
+  match Roots.find_bracket (fun x -> x -. 100.) 0. 1. with
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "brackets the root" true (lo <= 100. && hi >= 100.)
+  | None -> Alcotest.fail "expected a bracket"
+
+let test_find_bracket_failure () =
+  Alcotest.(check bool) "positive function never brackets" true
+    (Roots.find_bracket (fun _ -> 1.) 0. 1. = None)
+
+(* {1 Fixed_point} *)
+
+let test_fixed_point_cosine () =
+  let x = Fixed_point.solve_scalar cos 1. in
+  check_close ~eps:1e-9 "cos fixed point" 0.7390851332151607 x
+
+let test_fixed_point_vector () =
+  (* x = (y+1)/2, y = x/2 has solution x = 2/3, y = 1/3. *)
+  let f v = [| (v.(1) +. 1.) /. 2.; v.(0) /. 2. |] in
+  let outcome = Fixed_point.solve f [| 0.; 0. |] in
+  Alcotest.(check bool) "converged" true outcome.converged;
+  check_close "x" (2. /. 3.) outcome.value.(0);
+  check_close "y" (1. /. 3.) outcome.value.(1)
+
+let test_fixed_point_respects_max_iter () =
+  (* x ← x+1 never converges. *)
+  let outcome = Fixed_point.solve ~max_iter:50 (fun v -> [| v.(0) +. 1. |]) [| 0. |] in
+  Alcotest.(check bool) "reports divergence" false outcome.converged;
+  Alcotest.(check int) "stopped at cap" 50 outcome.iterations
+
+let test_fixed_point_damping_validation () =
+  Alcotest.check_raises "zero damping"
+    (Invalid_argument "Fixed_point.solve: damping must be in (0, 1]") (fun () ->
+      ignore (Fixed_point.solve ~damping:0. Fun.id [| 1. |]))
+
+let test_fixed_point_preserves_input () =
+  let x0 = [| 1.; 2. |] in
+  let _ = Fixed_point.solve (fun v -> Array.map (fun x -> x /. 2.) v) x0 in
+  Alcotest.(check (array (float 0.))) "input unmutated" [| 1.; 2. |] x0
+
+let test_fixed_point_full_damping_is_picard =
+  QCheck.Test.make ~name:"damping=1 solves affine contractions exactly" ~count:100
+    QCheck.(pair (float_range (-0.9) 0.9) (float_range (-10.) 10.))
+    (fun (a, b) ->
+      (* x = a·x + b has fixed point b/(1−a). *)
+      let outcome =
+        Fixed_point.solve ~damping:1. (fun v -> [| (a *. v.(0)) +. b |]) [| 0. |]
+      in
+      outcome.converged
+      && Prelude.Util.approx_equal ~eps:1e-6 (b /. (1. -. a)) outcome.value.(0))
+
+(* {1 Optimize} *)
+
+let test_golden_section () =
+  let x, v = Optimize.golden_section_max (fun x -> -.((x -. 2.) ** 2.)) 0. 10. in
+  check_close ~eps:1e-6 "argmax" 2. x;
+  check_close ~eps:1e-6 "max value" 0. v
+
+let test_golden_section_boundary_max () =
+  let x, _ = Optimize.golden_section_max Fun.id 0. 5. in
+  check_close ~eps:1e-6 "monotone function maxes at boundary" 5. x
+
+let test_exhaustive_int_max () =
+  let w, v = Optimize.exhaustive_int_max (fun x -> float_of_int (-(x - 7) * (x - 7))) 0 20 in
+  Alcotest.(check int) "argmax" 7 w;
+  check_close "value" 0. v;
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Optimize.exhaustive_int_max: empty range") (fun () ->
+      ignore (Optimize.exhaustive_int_max float_of_int 5 4))
+
+let test_exhaustive_ties_take_smallest () =
+  let w, _ = Optimize.exhaustive_int_max (fun _ -> 1.) 3 9 in
+  Alcotest.(check int) "first of ties" 3 w
+
+let test_ternary_int_max_unimodal () =
+  let f x = -.Float.abs (float_of_int x -. 123.) in
+  let w, v = Optimize.ternary_int_max f 1 1000 in
+  Alcotest.(check int) "argmax" 123 w;
+  check_close "value" 0. v
+
+let test_ternary_int_max_small_ranges () =
+  List.iter
+    (fun (lo, hi) ->
+      let f x = float_of_int (-(x * x) + (6 * x)) in
+      let expected, _ = Optimize.exhaustive_int_max f lo hi in
+      let got, _ = Optimize.ternary_int_max f lo hi in
+      Alcotest.(check int) (Printf.sprintf "range [%d,%d]" lo hi) expected got)
+    [ (0, 0); (0, 1); (0, 2); (0, 3); (2, 4); (3, 3); (0, 10) ]
+
+let test_ternary_matches_exhaustive =
+  QCheck.Test.make ~name:"ternary = exhaustive on unimodal integer curves"
+    ~count:200
+    QCheck.(pair (int_range 0 500) (int_range 1 400))
+    (fun (peak, half_range) ->
+      let lo = peak - half_range and hi = peak + half_range in
+      let f x = -.((float_of_int (x - peak)) ** 2.) in
+      let we, _ = Optimize.exhaustive_int_max f lo hi in
+      let wt, _ = Optimize.ternary_int_max f lo hi in
+      we = wt)
+
+let test_hill_climb () =
+  let f x = -.((float_of_int x -. 42.) ** 2.) in
+  let w, _ = Optimize.hill_climb_int_max ~start:10 f 1 100 in
+  Alcotest.(check int) "climbs to the peak" 42 w;
+  let w_from_right, _ = Optimize.hill_climb_int_max ~start:99 f 1 100 in
+  Alcotest.(check int) "from the right too" 42 w_from_right
+
+let test_hill_climb_start_validation () =
+  Alcotest.check_raises "start outside range"
+    (Invalid_argument "Optimize.hill_climb_int_max: start out of range") (fun () ->
+      ignore (Optimize.hill_climb_int_max ~start:0 float_of_int 1 10))
+
+let test_hill_climb_plateau_terminates () =
+  (* Flat function: must stop immediately rather than wander. *)
+  let w, v = Optimize.hill_climb_int_max ~start:5 (fun _ -> 1.) 1 10 in
+  Alcotest.(check int) "stays put on plateau" 5 w;
+  check_close "plateau value" 1. v
+
+let test_memoization_counts_calls () =
+  let calls = ref 0 in
+  let f x =
+    incr calls;
+    -.((float_of_int x -. 50.) ** 2.)
+  in
+  let _ = Optimize.ternary_int_max f 1 1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(log) evaluations, got %d" !calls)
+    true (!calls < 60)
+
+let suite_roots =
+  [
+    Alcotest.test_case "bisect linear" `Quick test_bisect_linear;
+    Alcotest.test_case "bisect endpoint roots" `Quick test_bisect_endpoint_root;
+    Alcotest.test_case "bisect no bracket" `Quick test_bisect_no_bracket;
+    Alcotest.test_case "bisect decreasing" `Quick test_bisect_decreasing;
+    Alcotest.test_case "brent polynomial" `Quick test_brent_polynomial;
+    Alcotest.test_case "brent transcendental" `Quick test_brent_transcendental;
+    Alcotest.test_case "brent no bracket" `Quick test_brent_no_bracket;
+    QCheck_alcotest.to_alcotest test_brent_matches_bisect;
+    Alcotest.test_case "find_bracket grows" `Quick test_find_bracket;
+    Alcotest.test_case "find_bracket gives up" `Quick test_find_bracket_failure;
+  ]
+
+let suite_fixed_point =
+  [
+    Alcotest.test_case "scalar cosine" `Quick test_fixed_point_cosine;
+    Alcotest.test_case "vector affine" `Quick test_fixed_point_vector;
+    Alcotest.test_case "max_iter cap" `Quick test_fixed_point_respects_max_iter;
+    Alcotest.test_case "damping validation" `Quick test_fixed_point_damping_validation;
+    Alcotest.test_case "input preserved" `Quick test_fixed_point_preserves_input;
+    QCheck_alcotest.to_alcotest test_fixed_point_full_damping_is_picard;
+  ]
+
+let suite_optimize =
+  [
+    Alcotest.test_case "golden section quadratic" `Quick test_golden_section;
+    Alcotest.test_case "golden section boundary" `Quick test_golden_section_boundary_max;
+    Alcotest.test_case "exhaustive max" `Quick test_exhaustive_int_max;
+    Alcotest.test_case "exhaustive tie-breaking" `Quick test_exhaustive_ties_take_smallest;
+    Alcotest.test_case "ternary unimodal" `Quick test_ternary_int_max_unimodal;
+    Alcotest.test_case "ternary small ranges" `Quick test_ternary_int_max_small_ranges;
+    QCheck_alcotest.to_alcotest test_ternary_matches_exhaustive;
+    Alcotest.test_case "hill climb" `Quick test_hill_climb;
+    Alcotest.test_case "hill climb validation" `Quick test_hill_climb_start_validation;
+    Alcotest.test_case "hill climb plateau" `Quick test_hill_climb_plateau_terminates;
+    Alcotest.test_case "ternary memoises" `Quick test_memoization_counts_calls;
+  ]
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ("roots", suite_roots);
+      ("fixed_point", suite_fixed_point);
+      ("optimize", suite_optimize);
+    ]
