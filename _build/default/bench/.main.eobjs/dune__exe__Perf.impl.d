@@ -1,1 +1,1 @@
-bench/perf.ml: Analyze Array Bechamel Benchmark Common Dcf Float Hashtbl Instance List Macgame Measure Netsim Prelude Printf Staged Test Time Toolkit
+bench/perf.ml: Analyze Array Bechamel Benchmark Common Dcf Float Hashtbl Instance List Macgame Measure Netsim Prelude Printf Staged String Telemetry Test Time Toolkit

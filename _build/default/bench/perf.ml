@@ -79,6 +79,32 @@ let tests =
                   })));
     ]
 
+(* Persist the per-kernel estimates so successive PRs can diff them.  The
+   strip of the "selfish-mac/" group prefix keeps the keys stable if the
+   grouping ever changes. *)
+let write_json path estimates =
+  let open Telemetry.Jsonx in
+  let strip name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let json =
+    Obj
+      [
+        ("benchmark", String "bechamel-ols");
+        ("unit", String "ns/run");
+        ( "kernels",
+          Obj (List.map (fun (name, ns) -> (strip name, Float ns)) estimates)
+        );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d kernels)\n" path (List.length estimates)
+
 let run () =
   Common.heading "Bechamel micro-benchmarks";
   let ols =
@@ -100,6 +126,7 @@ let run () =
     ]
   in
   let rows = ref [] in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _measure per_test ->
       Hashtbl.iter
@@ -116,7 +143,10 @@ let run () =
             else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
             else Printf.sprintf "%.0f ns" estimate
           in
+          if Float.is_finite estimate then
+            estimates := (name, estimate) :: !estimates;
           rows := [ name; rendered ] :: !rows)
         per_test)
     results;
-  Common.print_table columns (List.sort compare !rows)
+  Common.print_table columns (List.sort compare !rows);
+  write_json "BENCH_PR1.json" (List.sort compare !estimates)

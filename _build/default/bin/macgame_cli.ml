@@ -49,6 +49,54 @@ let n_t =
     value & opt int 5
     & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of contending nodes.")
 
+(* Observability: every subcommand accepts --telemetry FILE (stream the
+   instrumentation events of all layers as JSONL) and --telemetry-report
+   (print the metrics registry after the run). *)
+
+let telemetry_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Write the telemetry event stream (solver convergence, simulator \
+           run summaries, game stages, spans) to $(docv) as JSON lines.")
+
+let telemetry_report_t =
+  Arg.(
+    value & flag
+    & info [ "telemetry-report" ]
+        ~doc:"Print the telemetry counters/histograms report after the run.")
+
+let with_telemetry file report f =
+  let registry = Telemetry.Registry.default in
+  let sink =
+    Option.map
+      (fun path ->
+        try Telemetry.Sink.jsonl path
+        with Sys_error msg ->
+          Printf.eprintf "cannot open telemetry file: %s\n" msg;
+          exit 2)
+      file
+  in
+  Option.iter (Telemetry.Registry.add_sink registry) sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun s ->
+          Telemetry.Registry.remove_sink registry s;
+          Telemetry.Sink.close s)
+        sink;
+      if report then print_string (Telemetry.Report.render ~registry ()))
+    f
+
+(* [instrumented run] threads the two telemetry options in front of a
+   subcommand's own arguments. *)
+let instrumented term =
+  Term.(
+    const (fun file report run -> with_telemetry file report run)
+    $ telemetry_t $ telemetry_report_t $ term)
+
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
@@ -66,7 +114,7 @@ let solve_cmd =
       & pos_all int []
       & info [] ~docv:"CW..." ~doc:"Contention windows, one per node.")
   in
-  let run mode m cws =
+  let run mode m cws () =
     let params = params_of mode m in
     let solved = Dcf.Model.solve params (Array.of_list cws) in
     Printf.printf "node |    W |    tau |      p | throughput | payoff/s\n";
@@ -87,12 +135,12 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the analytic model for a CW profile")
-    Term.(const run $ mode_t $ backoff_t $ profile_t)
+    (instrumented Term.(const run $ mode_t $ backoff_t $ profile_t))
 
 (* {1 ne} *)
 
 let ne_cmd =
-  let run mode m n =
+  let run mode m n () =
     let params = params_of mode m in
     let w_star = Macgame.Equilibrium.efficient_cw params ~n in
     let w_lo = Macgame.Equilibrium.break_even_cw params ~n in
@@ -113,7 +161,7 @@ let ne_cmd =
   in
   Cmd.v
     (Cmd.info "ne" ~doc:"Nash-equilibrium analysis for a symmetric network")
-    Term.(const run $ mode_t $ backoff_t $ n_t)
+    (instrumented Term.(const run $ mode_t $ backoff_t $ n_t))
 
 (* {1 game} *)
 
@@ -139,7 +187,7 @@ let game_cmd =
       & info [ "obs-noise" ] ~docv:"REL"
           ~doc:"Relative stddev of CW observation noise (0 = perfect).")
   in
-  let run mode m n stages cheater gtft noise seed =
+  let run mode m n stages cheater gtft noise seed () =
     let params = params_of mode m in
     let w_star = Macgame.Equilibrium.efficient_cw params ~n in
     let base i =
@@ -175,9 +223,10 @@ let game_cmd =
   in
   Cmd.v
     (Cmd.info "game" ~doc:"Play the repeated MAC game and print the trace")
-    Term.(
-      const run $ mode_t $ backoff_t $ n_t $ stages_t $ cheater_t $ gtft_t
-      $ noise_t $ seed_t)
+    (instrumented
+       Term.(
+         const run $ mode_t $ backoff_t $ n_t $ stages_t $ cheater_t $ gtft_t
+         $ noise_t $ seed_t))
 
 (* {1 search} *)
 
@@ -197,7 +246,7 @@ let search_cmd =
       & info [ "oracle" ] ~docv:"ORACLE"
           ~doc:"Payoff oracle: $(b,analytic) or $(b,sim).")
   in
-  let run mode m n w0 probes oracle duration seed =
+  let run mode m n w0 probes oracle duration seed () =
     let params = params_of mode m in
     let oracle_fn =
       match oracle with
@@ -224,9 +273,10 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run the distributed NE-search protocol (Sec. V.C)")
-    Term.(
-      const run $ mode_t $ backoff_t $ n_t $ w0_t $ probes_t $ oracle_t
-      $ duration_t $ seed_t)
+    (instrumented
+       Term.(
+         const run $ mode_t $ backoff_t $ n_t $ w0_t $ probes_t $ oracle_t
+         $ duration_t $ seed_t))
 
 (* {1 sim} *)
 
@@ -235,7 +285,7 @@ let sim_cmd =
     Arg.(
       value & opt int 79 & info [ "w"; "window" ] ~docv:"W" ~doc:"Common contention window.")
   in
-  let run mode m n w duration seed =
+  let run mode m n w duration seed () =
     let params = params_of mode m in
     let r =
       Netsim.Slotted.run { params; cws = Array.make n w; duration; seed }
@@ -253,7 +303,8 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Packet-level single-hop simulation")
-    Term.(const run $ mode_t $ backoff_t $ n_t $ w_t $ duration_t $ seed_t)
+    (instrumented
+       Term.(const run $ mode_t $ backoff_t $ n_t $ w_t $ duration_t $ seed_t))
 
 (* {1 multihop} *)
 
@@ -271,7 +322,7 @@ let multihop_cmd =
       value & opt float 250.
       & info [ "range" ] ~docv:"METERS" ~doc:"Radio range.")
   in
-  let run m nodes area range seed =
+  let run m nodes area range seed () =
     let params =
       { Dcf.Params.rts_cts with Dcf.Params.max_backoff_stage = m }
     in
@@ -302,7 +353,8 @@ let multihop_cmd =
   Cmd.v
     (Cmd.info "multihop"
        ~doc:"Random-waypoint multi-hop scenario and NE quasi-optimality")
-    Term.(const run $ backoff_t $ nodes_t $ area_t $ range_t $ seed_t)
+    (instrumented
+       Term.(const run $ backoff_t $ nodes_t $ area_t $ range_t $ seed_t))
 
 (* {1 sweep} *)
 
@@ -310,7 +362,7 @@ let sweep_cmd =
   let points_t =
     Arg.(value & opt int 24 & info [ "points" ] ~docv:"K" ~doc:"Grid size.")
   in
-  let run mode m n points =
+  let run mode m n points () =
     let params = params_of mode m in
     let ws = Macgame.Welfare.sample_windows params ~n ~count:points in
     Printf.printf "   W | payoff/node | welfare | U/C      | throughput\n";
@@ -331,7 +383,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Payoff and throughput versus the common window")
-    Term.(const run $ mode_t $ backoff_t $ n_t $ points_t)
+    (instrumented Term.(const run $ mode_t $ backoff_t $ n_t $ points_t))
 
 (* {1 delay} *)
 
@@ -341,7 +393,7 @@ let delay_cmd =
       value & opt float 0.
       & info [ "gamma" ] ~docv:"G" ~doc:"Delay sensitivity in 1/s.")
   in
-  let run mode m n gamma =
+  let run mode m n gamma () =
     let params = params_of mode m in
     let w_star = Macgame.Delay_game.efficient_cw params ~gamma ~n in
     let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w:w_star in
@@ -358,7 +410,7 @@ let delay_cmd =
   in
   Cmd.v
     (Cmd.info "delay" ~doc:"Delay-aware NE analysis (Sec. VIII extension)")
-    Term.(const run $ mode_t $ backoff_t $ n_t $ gamma_t)
+    (instrumented Term.(const run $ mode_t $ backoff_t $ n_t $ gamma_t))
 
 (* {1 detect} *)
 
@@ -373,7 +425,7 @@ let detect_cmd =
       value & opt int 25
       & info [ "samples" ] ~docv:"K" ~doc:"Backoff observations per stage.")
   in
-  let run mode m n beta samples =
+  let run mode m n beta samples () =
     let params = params_of mode m in
     let w_exp = Macgame.Equilibrium.efficient_cw params ~n in
     Printf.printf "expected window W = %d; trigger: estimate < %.2f*W\n" w_exp beta;
@@ -398,7 +450,8 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Cheating-detection error rates and GTFT design (cf. [3])")
-    Term.(const run $ mode_t $ backoff_t $ n_t $ beta_t $ samples_t)
+    (instrumented
+       Term.(const run $ mode_t $ backoff_t $ n_t $ beta_t $ samples_t))
 
 let () =
   let info =

@@ -1,1 +1,1 @@
-lib/core/equilibrium.ml: Dcf Float Numerics
+lib/core/equilibrium.ml: Dcf Float Numerics Telemetry

@@ -1,1 +1,1 @@
-lib/core/equilibrium.mli: Dcf
+lib/core/equilibrium.mli: Dcf Telemetry

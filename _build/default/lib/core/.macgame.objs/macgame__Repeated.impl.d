@@ -1,1 +1,1 @@
-lib/core/repeated.ml: Array Dcf Hashtbl List Observer Profile Strategy
+lib/core/repeated.ml: Array Dcf Hashtbl List Observer Prelude Profile Strategy Telemetry

@@ -1,1 +1,1 @@
-lib/core/repeated.mli: Dcf Observer Profile Strategy
+lib/core/repeated.mli: Dcf Observer Profile Strategy Telemetry

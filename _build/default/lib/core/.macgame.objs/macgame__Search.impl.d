@@ -1,1 +1,1 @@
-lib/core/search.ml: Dcf Float Hashtbl List Prelude
+lib/core/search.ml: Dcf Float Hashtbl List Prelude Telemetry

@@ -1,1 +1,1 @@
-lib/core/search.mli: Dcf Prelude
+lib/core/search.mli: Dcf Prelude Telemetry

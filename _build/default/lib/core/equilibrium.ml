@@ -1,10 +1,29 @@
 let payoff params ~n ~w = (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility
 
-let efficient_cw (params : Dcf.Params.t) ~n =
+let efficient_cw ?(telemetry = Telemetry.Registry.default) (params : Dcf.Params.t)
+    ~n =
   if n < 1 then invalid_arg "Equilibrium.efficient_cw: need n >= 1";
   if n = 1 then 1
-  else
-    fst (Numerics.Optimize.ternary_int_max (fun w -> payoff params ~n ~w) 1 params.cw_max)
+  else begin
+    let candidates = Telemetry.Registry.counter telemetry "equilibrium.candidates" in
+    let evaluate w =
+      let u = payoff params ~n ~w in
+      Telemetry.Metric.incr candidates;
+      Telemetry.Registry.emit telemetry "cw_candidate" (fun () ->
+          [
+            ("n", Telemetry.Jsonx.Int n);
+            ("w", Telemetry.Jsonx.Int w);
+            ("payoff", Telemetry.Jsonx.Float u);
+          ]);
+      u
+    in
+    let w_star =
+      fst (Numerics.Optimize.ternary_int_max evaluate 1 params.cw_max)
+    in
+    Telemetry.Registry.emit telemetry "efficient_cw" (fun () ->
+        [ ("n", Telemetry.Jsonx.Int n); ("w", Telemetry.Jsonx.Int w_star) ]);
+    w_star
+  end
 
 let tau_star (params : Dcf.Params.t) ~n =
   if n < 1 then invalid_arg "Equilibrium.tau_star: need n >= 1";

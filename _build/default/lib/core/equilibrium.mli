@@ -10,9 +10,12 @@
 val payoff : Dcf.Params.t -> n:int -> w:int -> float
 (** Per-node payoff rate u of the uniform profile (W, …, W). *)
 
-val efficient_cw : Dcf.Params.t -> n:int -> int
+val efficient_cw :
+  ?telemetry:Telemetry.Registry.t -> Dcf.Params.t -> n:int -> int
 (** W_c*: the window maximising {!payoff} over the strategy space
-    [1, cw_max], by ternary search on the unimodal curve. *)
+    [1, cw_max], by ternary search on the unimodal curve.  Every candidate
+    evaluation emits a ["cw_candidate"] event and the optimum an
+    ["efficient_cw"] event on [telemetry] (default: the global registry). *)
 
 val tau_star : Dcf.Params.t -> n:int -> float
 (** The Appendix-B optimality condition's root: the τ solving

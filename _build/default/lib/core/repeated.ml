@@ -12,24 +12,31 @@ type outcome = {
   discounted : float array;
 }
 
-let default_payoffs params =
+let default_payoffs ?(telemetry = Telemetry.Registry.default) params =
   let cache = Hashtbl.create 16 in
+  let hits = Telemetry.Registry.counter telemetry "repeated.payoff_cache.hits" in
+  let misses =
+    Telemetry.Registry.counter telemetry "repeated.payoff_cache.misses"
+  in
   fun (cws : Profile.t) ->
     let key = Array.to_list cws in
     match Hashtbl.find_opt cache key with
-    | Some u -> u
+    | Some u ->
+        Telemetry.Metric.incr hits;
+        u
     | None ->
+        Telemetry.Metric.incr misses;
         let u = (Dcf.Model.solve params cws).Dcf.Model.utilities in
         Hashtbl.add cache key u;
         u
 
-let run ?(observer = Observer.perfect) ?payoffs (params : Dcf.Params.t)
-    ~strategies ~stages =
+let run ?(telemetry = Telemetry.Registry.default) ?(observer = Observer.perfect)
+    ?payoffs (params : Dcf.Params.t) ~strategies ~stages =
   let n = Array.length strategies in
   if n = 0 then invalid_arg "Repeated.run: no players";
   if stages < 1 then invalid_arg "Repeated.run: need at least one stage";
   let payoffs =
-    match payoffs with Some f -> f | None -> default_payoffs params
+    match payoffs with Some f -> f | None -> default_payoffs ~telemetry params
   in
   (* Per-player observation histories, most recent stage first. *)
   let histories = Array.make n [] in
@@ -43,6 +50,21 @@ let run ?(observer = Observer.perfect) ?payoffs (params : Dcf.Params.t)
       invalid_arg "Repeated.run: payoff backend returned wrong arity";
     let welfare = Array.fold_left ( +. ) 0. utilities in
     trace := { stage; cws = played; utilities; welfare } :: !trace;
+    Telemetry.Registry.emit telemetry "game_stage" (fun () ->
+        [
+          ("stage", Telemetry.Jsonx.Int stage);
+          ( "cws",
+            Telemetry.Jsonx.List
+              (Array.to_list
+                 (Array.map (fun w -> Telemetry.Jsonx.Int w) played)) );
+          ( "utilities",
+            Telemetry.Jsonx.List
+              (Array.to_list
+                 (Array.map (fun u -> Telemetry.Jsonx.Float u) utilities)) );
+          ("welfare", Telemetry.Jsonx.Float welfare);
+          ( "jain_fairness",
+            Telemetry.Jsonx.Float (Prelude.Stats.jain_fairness utilities) );
+        ]);
     let factor =
       params.discount ** float_of_int stage *. params.stage_duration
     in
@@ -81,6 +103,23 @@ let run ?(observer = Observer.perfect) ?payoffs (params : Dcf.Params.t)
       Some (back (len - 1))
     end
   in
+  Telemetry.Registry.emit telemetry "game_summary" (fun () ->
+      [
+        ("stages", Telemetry.Jsonx.Int stages);
+        ("players", Telemetry.Jsonx.Int n);
+        ( "converged_at",
+          match converged_at with
+          | Some k -> Telemetry.Jsonx.Int k
+          | None -> Telemetry.Jsonx.Null );
+        ( "final",
+          Telemetry.Jsonx.List
+            (Array.to_list (Array.map (fun w -> Telemetry.Jsonx.Int w) final))
+        );
+        ( "discounted",
+          Telemetry.Jsonx.List
+            (Array.to_list
+               (Array.map (fun u -> Telemetry.Jsonx.Float u) discounted)) );
+      ]);
   { trace; converged_at; final; discounted }
 
 let all_tft ~n ~initials =

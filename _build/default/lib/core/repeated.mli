@@ -26,12 +26,18 @@ type outcome = {
 }
 
 val run :
+  ?telemetry:Telemetry.Registry.t ->
   ?observer:Observer.t ->
   ?payoffs:(Profile.t -> float array) ->
   Dcf.Params.t -> strategies:Strategy.t array -> stages:int -> outcome
 (** Play [stages ≥ 1] stages.  [payoffs] defaults to the analytic model
     (memoised per distinct profile, so converged runs cost one solve);
-    [observer] defaults to {!Observer.perfect}. *)
+    [observer] defaults to {!Observer.perfect}.
+
+    Telemetry (default registry unless [telemetry] is given): the memoised
+    backend counts ["repeated.payoff_cache.hits"/"misses"], each stage
+    emits a ["game_stage"] event (profile, utilities, welfare, Jain
+    fairness) and the run closes with a ["game_summary"] event. *)
 
 val all_tft : n:int -> initials:int array -> Strategy.t array
 (** Convenience: [n] TFT players with the given initial windows

@@ -26,11 +26,13 @@ let noisy_oracle rng ~rel_stddev oracle =
     let u = oracle w in
     u +. Prelude.Rng.normal rng ~mean:0. ~stddev:(rel_stddev *. Float.abs u)
 
-let run ?(w0 = 16) ?(probes = 1) ~cw_max oracle =
+let run ?(telemetry = Telemetry.Registry.default) ?(w0 = 16) ?(probes = 1)
+    ~cw_max oracle =
   if w0 < 1 || w0 > cw_max then invalid_arg "Search.run: w0 out of range";
   if probes < 1 then invalid_arg "Search.run: probes must be >= 1";
   let messages = ref [ Start_search w0 ] in
   let measurements = ref [] in
+  let probe_counter = Telemetry.Registry.counter telemetry "search.probes" in
   let probe w =
     (* Averaging several oracle calls models a longer measurement interval
        t_m; with a noisy oracle this is what keeps the unit-step climb from
@@ -41,6 +43,13 @@ let run ?(w0 = 16) ?(probes = 1) ~cw_max oracle =
     done;
     let payoff = !total /. float_of_int probes in
     measurements := { w; payoff } :: !measurements;
+    Telemetry.Metric.incr probe_counter;
+    Telemetry.Registry.emit telemetry "search_probe" (fun () ->
+        [
+          ("w", Telemetry.Jsonx.Int w);
+          ("payoff", Telemetry.Jsonx.Float payoff);
+          ("probes", Telemetry.Jsonx.Int probes);
+        ]);
     payoff
   in
   let step direction w = w + direction in
@@ -61,6 +70,11 @@ let run ?(w0 = 16) ?(probes = 1) ~cw_max oracle =
     if right_w > w0 then (right_w, right_u) else walk (-1) w0 u0
   in
   messages := Announce result :: !messages;
+  Telemetry.Registry.emit telemetry "search_result" (fun () ->
+      [
+        ("w", Telemetry.Jsonx.Int result);
+        ("measurements", Telemetry.Jsonx.Int (List.length !measurements));
+      ]);
   {
     result;
     messages = List.rev !messages;

@@ -40,13 +40,19 @@ val noisy_oracle : Prelude.Rng.t -> rel_stddev:float -> oracle -> oracle
 (** Multiplicative Gaussian measurement noise, as produced by a finite
     measurement interval t_m. *)
 
-val run : ?w0:int -> ?probes:int -> cw_max:int -> oracle -> trace
+val run :
+  ?telemetry:Telemetry.Registry.t ->
+  ?w0:int -> ?probes:int -> cw_max:int -> oracle -> trace
 (** Run the protocol from starting window [w0] (default 16) over the
     strategy space [1, cw_max].  Each candidate's payoff is averaged over
     [probes ≥ 1] oracle calls (default 1) — the knob corresponding to the
     measurement interval t_m: against a noisy oracle, more probes keep the
     unit-step climb from stalling where the payoff slope is shallower than
-    the noise.  The recorded measurement is the average. *)
+    the noise.  The recorded measurement is the average.
+
+    Each averaged measurement emits a ["search_probe"] event and the
+    announcement a ["search_result"] event on [telemetry] (default: the
+    global registry); ["search.probes"] counts measurements. *)
 
 val misreport_stage_payoffs :
   Dcf.Params.t -> n:int -> w_star:int -> w_report:int -> float * float

@@ -1,1 +1,1 @@
-lib/dcf/solver.ml: Array Bianchi List Numerics Params Prelude
+lib/dcf/solver.ml: Array Bianchi List Numerics Params Prelude Telemetry

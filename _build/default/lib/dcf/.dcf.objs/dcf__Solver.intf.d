@@ -1,1 +1,1 @@
-lib/dcf/solver.mli: Params
+lib/dcf/solver.mli: Params Telemetry

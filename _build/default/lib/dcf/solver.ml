@@ -21,7 +21,8 @@ let collision_probabilities taus =
   Array.init n (fun i ->
       Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. (prefix.(i) *. suffix.(i + 1))))
 
-let solve ?(tol = 1e-13) ?(max_iter = 20_000) (params : Params.t) cws =
+let solve ?telemetry ?(tol = 1e-13) ?(max_iter = 20_000) (params : Params.t)
+    cws =
   let n = Array.length cws in
   if n = 0 then invalid_arg "Solver.solve: empty network";
   Array.iter
@@ -33,7 +34,9 @@ let solve ?(tol = 1e-13) ?(max_iter = 20_000) (params : Params.t) cws =
     Array.mapi (fun i p -> Bianchi.tau_of_p ~w:cws.(i) ~m p) ps
   in
   let x0 = Array.map (fun w -> 2. /. float_of_int (w + 1)) cws in
-  let outcome = Numerics.Fixed_point.solve ~damping:0.5 ~tol ~max_iter step x0 in
+  let outcome =
+    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter step x0
+  in
   let taus = outcome.value in
   {
     taus;
@@ -42,22 +45,41 @@ let solve ?(tol = 1e-13) ?(max_iter = 20_000) (params : Params.t) cws =
     converged = outcome.converged;
   }
 
-let solve_homogeneous ?(tol = 1e-14) (params : Params.t) ~n ~w =
+let solve_homogeneous ?(telemetry = Telemetry.Registry.default) ?iterations
+    ?(tol = 1e-14) (params : Params.t) ~n ~w =
   if n < 1 then invalid_arg "Solver.solve_homogeneous: need n >= 1";
   if w < 1 then invalid_arg "Solver.solve_homogeneous: window must be >= 1";
   let m = params.max_backoff_stage in
-  if n = 1 then (Bianchi.tau_of_p ~w ~m 0., 0.)
+  let report iters =
+    (match iterations with Some r -> r := iters | None -> ());
+    Telemetry.Registry.emit telemetry "solver_convergence" (fun () ->
+        [
+          ("method", Telemetry.Jsonx.String "brent");
+          ("n", Telemetry.Jsonx.Int n);
+          ("w", Telemetry.Jsonx.Int w);
+          ("tol", Telemetry.Jsonx.Float tol);
+          ("iterations", Telemetry.Jsonx.Int iters);
+          ("converged", Telemetry.Jsonx.Bool true);
+        ])
+  in
+  if n = 1 then begin
+    report 0;
+    (Bianchi.tau_of_p ~w ~m 0., 0.)
+  end
   else begin
     (* Defect h(τ) = τ − τ_model(p(τ)): negative at τ→0 and positive at
        τ = 1, with a single crossing (uniqueness per Bianchi). *)
     let p_of_tau tau = 1. -. ((1. -. tau) ** float_of_int (n - 1)) in
     let defect tau = tau -. Bianchi.tau_of_p ~w ~m (p_of_tau tau) in
     let eps = 1e-15 in
-    let tau = Numerics.Roots.brent ~tol defect eps 1. in
+    let iters = ref 0 in
+    let tau = Numerics.Roots.brent ~iterations:iters ~tol defect eps 1. in
+    report !iters;
     (tau, p_of_tau tau)
   end
 
-let solve_classes ?(tol = 1e-14) (params : Params.t) classes =
+let solve_classes ?telemetry ?iterations ?(tol = 1e-14) (params : Params.t)
+    classes =
   if classes = [] then invalid_arg "Solver.solve_classes: no classes";
   List.iter
     (fun (w, k) ->
@@ -92,8 +114,10 @@ let solve_classes ?(tol = 1e-14) (params : Params.t) classes =
   in
   let x0 = Array.map (fun w -> 2. /. float_of_int (w + 1)) ws in
   let outcome =
-    Numerics.Fixed_point.solve ~damping:0.5 ~tol ~max_iter:50_000 step x0
+    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
+      step x0
   in
+  (match iterations with Some r -> r := outcome.iterations | None -> ());
   let taus = outcome.value in
   let product = ref 1. in
   for j = 0 to c - 1 do
@@ -105,7 +129,8 @@ let solve_classes ?(tol = 1e-14) (params : Params.t) classes =
       in
       (taus.(j), Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)))
 
-let solve_with_deviant ?(tol = 1e-14) (params : Params.t) ~n ~w ~w_dev =
+let solve_with_deviant ?telemetry ?(tol = 1e-14) (params : Params.t) ~n ~w
+    ~w_dev =
   if n < 2 then invalid_arg "Solver.solve_with_deviant: need n >= 2";
   if w < 1 || w_dev < 1 then
     invalid_arg "Solver.solve_with_deviant: windows must be >= 1";
@@ -123,7 +148,8 @@ let solve_with_deviant ?(tol = 1e-14) (params : Params.t) ~n ~w ~w_dev =
   in
   let x0 = [| 2. /. float_of_int (w + 1); 2. /. float_of_int (w_dev + 1) |] in
   let outcome =
-    Numerics.Fixed_point.solve ~damping:0.5 ~tol ~max_iter:50_000 step x0
+    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
+      step x0
   in
   let tau = outcome.value.(0) and tau_dev = outcome.value.(1) in
   let others = (1. -. tau) ** float_of_int (n - 2) in

@@ -16,18 +16,28 @@ type solution = {
 }
 
 val solve :
+  ?telemetry:Telemetry.Registry.t ->
   ?tol:float -> ?max_iter:int -> Params.t -> int array -> solution
 (** [solve params cws] solves the network in which node i uses initial
     window [cws.(i)].  All windows must be ≥ 1; the array must be non-empty.
-    Defaults: [tol = 1e-13], [max_iter = 20_000]. *)
+    Defaults: [tol = 1e-13], [max_iter = 20_000].  Convergence telemetry
+    (span, ["solver_convergence"] and ["residual_trajectory"] events) flows
+    through {!Numerics.Fixed_point.solve} on [telemetry] (default: the
+    global registry). *)
 
 val solve_homogeneous :
+  ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
   ?tol:float -> Params.t -> n:int -> w:int -> float * float
 (** [(τ, p)] for [n ≥ 1] nodes all using window [w]: the scalar fixed point
     τ = τ(1 − (1−τ)^{n−1}), solved by Brent's method on the defect.  Orders
-    of magnitude faster than the vector solve; used by the CW sweeps. *)
+    of magnitude faster than the vector solve; used by the CW sweeps.
+    [iterations], when given, receives Brent's iteration count (0 for the
+    trivial n = 1 case) — the scalar path's analogue of
+    [solution.iterations]; the same count is reported in a
+    ["solver_convergence"] event. *)
 
 val solve_with_deviant :
+  ?telemetry:Telemetry.Registry.t ->
   ?tol:float -> Params.t -> n:int -> w:int -> w_dev:int ->
   (float * float) * (float * float)
 (** [((τ_dev, p_dev), (τ, p))] for one deviant at window [w_dev] among
@@ -36,6 +46,7 @@ val solve_with_deviant :
     Sec. V.D/V.E) where the full vector solve would be wasteful. *)
 
 val solve_classes :
+  ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
   ?tol:float -> Params.t -> (int * int) list -> (float * float) list
 (** [solve_classes params [(w1, k1); …]] solves a network of Σk_c nodes in
     which [k_c] nodes share window [w_c], reducing the fixed point to one
@@ -45,7 +56,9 @@ val solve_classes :
 
     Returns the per-class [(τ_c, p_c)] in input order.  This is what the
     coalition analyses use — a 3-class problem costs the same as n = 3.
-    Windows must be ≥ 1 and counts ≥ 1; classes may repeat a window. *)
+    Windows must be ≥ 1 and counts ≥ 1; classes may repeat a window.
+    [iterations], when given, receives the Picard iteration count of the
+    underlying class-space fixed point. *)
 
 val collision_probabilities : float array -> float array
 (** [collision_probabilities taus] evaluates eq. 3 for every node, using

@@ -1,1 +1,1 @@
-lib/netsim/slotted.ml: Array Dcf List Prelude Stdlib Trace
+lib/netsim/slotted.ml: Array Dcf List Prelude Stdlib Telemetry Trace

@@ -1,1 +1,1 @@
-lib/netsim/slotted.mli: Dcf Trace
+lib/netsim/slotted.mli: Dcf Telemetry Trace

@@ -1,1 +1,1 @@
-lib/netsim/spatial.ml: Array Dcf Float List Option Prelude Stdlib Trace
+lib/netsim/spatial.ml: Array Dcf Float List Option Prelude Stdlib Telemetry Trace

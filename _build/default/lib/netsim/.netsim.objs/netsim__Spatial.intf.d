@@ -1,1 +1,1 @@
-lib/netsim/spatial.mli: Dcf Trace
+lib/netsim/spatial.mli: Dcf Telemetry Trace

@@ -16,12 +16,19 @@ type node_stats = {
   throughput : float;
 }
 
+type airtime = {
+  idle_fraction : float;
+  success_fraction : float;
+  collision_fraction : float;
+}
+
 type result = {
   time : float;
   slots : int;
   per_node : node_stats array;
   total_throughput : float;
   welfare_rate : float;
+  airtime : airtime;
 }
 
 type node_state = {
@@ -39,8 +46,8 @@ type node_state = {
 let draw_backoff node =
   Prelude.Rng.int node.rng (node.window lsl node.stage)
 
-let run ?(bianchi_ticks = false) ?(retry_limit = max_int) ?(per = 0.) ?trace
-    { params; cws; duration; seed } =
+let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
+    ?(retry_limit = max_int) ?(per = 0.) ?trace { params; cws; duration; seed } =
   if retry_limit < 0 then invalid_arg "Slotted.run: retry_limit must be >= 0";
   if per < 0. || per >= 1. then invalid_arg "Slotted.run: per must be in [0, 1)";
   let n = Array.length cws in
@@ -77,12 +84,19 @@ let run ?(bianchi_ticks = false) ?(retry_limit = max_int) ?(per = 0.) ?trace
   in
   let time = ref 0. in
   let slots = ref 0 in
+  (* Channel-airtime accounting, updated incrementally as the simulation
+     advances so the run summary costs nothing extra at the end. *)
+  let idle_airtime = ref 0. in
+  let success_airtime = ref 0. in
+  let collision_airtime = ref 0. in
   (* Per virtual slot: skip ahead by the smallest counter (idle slots), then
      resolve the transmission slot. *)
   while !time < duration do
     let idle = Array.fold_left (fun acc nd -> Stdlib.min acc nd.counter) max_int nodes in
     if idle > 0 then begin
-      time := !time +. (float_of_int idle *. params.sigma);
+      let dt = float_of_int idle *. params.sigma in
+      time := !time +. dt;
+      idle_airtime := !idle_airtime +. dt;
       slots := !slots + idle;
       Array.iter (fun nd -> nd.counter <- nd.counter - idle) nodes
     end;
@@ -99,6 +113,7 @@ let run ?(bianchi_ticks = false) ?(retry_limit = max_int) ?(per = 0.) ?trace
           winner.stage <- 0;
           winner.retries <- 0;
           time := !time +. timing.ts;
+          success_airtime := !success_airtime +. timing.ts;
           emit (Trace.Success { time = !time; node = winner.id })
       | colliders ->
           List.iter
@@ -116,6 +131,7 @@ let run ?(bianchi_ticks = false) ?(retry_limit = max_int) ?(per = 0.) ?trace
               else nd.stage <- Stdlib.min (nd.stage + 1) m)
             colliders;
           time := !time +. timing.tc;
+          collision_airtime := !collision_airtime +. timing.tc;
           emit
             (Trace.Collision
                { time = !time; nodes = List.map (fun nd -> nd.id) colliders }));
@@ -152,15 +168,62 @@ let run ?(bianchi_ticks = false) ?(retry_limit = max_int) ?(per = 0.) ?trace
         })
       nodes
   in
-  {
-    time = elapsed;
-    slots = !slots;
-    per_node;
-    total_throughput =
-      Array.fold_left (fun acc s -> acc +. s.throughput) 0. per_node;
-    welfare_rate =
-      Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
-  }
+  let airtime =
+    {
+      idle_fraction = !idle_airtime /. elapsed;
+      success_fraction = !success_airtime /. elapsed;
+      collision_fraction = !collision_airtime /. elapsed;
+    }
+  in
+  let result =
+    {
+      time = elapsed;
+      slots = !slots;
+      per_node;
+      total_throughput =
+        Array.fold_left (fun acc s -> acc +. s.throughput) 0. per_node;
+      welfare_rate =
+        Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
+      airtime;
+    }
+  in
+  Telemetry.Metric.incr
+    (Telemetry.Registry.counter telemetry "netsim.slotted.runs");
+  Telemetry.Metric.observe
+    (Telemetry.Registry.histogram telemetry "netsim.slotted.slots")
+    (float_of_int !slots);
+  Telemetry.Registry.emit telemetry "run_summary" (fun () ->
+      let total_successes =
+        Array.fold_left (fun acc (s : node_stats) -> acc + s.successes) 0
+          per_node
+      in
+      let share (s : node_stats) =
+        if total_successes = 0 then 0.
+        else float_of_int s.successes /. float_of_int total_successes
+      in
+      [
+        ("sim", Telemetry.Jsonx.String "slotted");
+        ("n", Telemetry.Jsonx.Int n);
+        ("seed", Telemetry.Jsonx.Int seed);
+        ("time", Telemetry.Jsonx.Float elapsed);
+        ("slots", Telemetry.Jsonx.Int !slots);
+        ("idle_fraction", Telemetry.Jsonx.Float airtime.idle_fraction);
+        ("success_fraction", Telemetry.Jsonx.Float airtime.success_fraction);
+        ( "collision_fraction",
+          Telemetry.Jsonx.Float airtime.collision_fraction );
+        ("throughput", Telemetry.Jsonx.Float result.total_throughput);
+        ("welfare_rate", Telemetry.Jsonx.Float result.welfare_rate);
+        ( "jain_fairness",
+          Telemetry.Jsonx.Float
+            (Prelude.Stats.jain_fairness
+               (Array.map (fun s -> s.throughput) per_node)) );
+        ( "success_share",
+          Telemetry.Jsonx.List
+            (Array.to_list
+               (Array.map (fun s -> Telemetry.Jsonx.Float (share s)) per_node))
+        );
+      ]);
+  result
 
 let payoff_oracle ~params ~n ~duration ~seed w =
   let result =

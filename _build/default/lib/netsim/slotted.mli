@@ -33,20 +33,37 @@ type node_stats = {
   throughput : float;  (** payload airtime fraction delivered by this node *)
 }
 
+type airtime = {
+  idle_fraction : float;       (** fraction of elapsed time the channel idled *)
+  success_fraction : float;    (** fraction occupied by successful frames (Ts) *)
+  collision_fraction : float;  (** fraction occupied by collisions (Tc) *)
+}
+(** Channel airtime decomposition, accumulated incrementally during the
+    run.  The three fractions sum to ≈ 1 (up to the final partial busy
+    period straddling the horizon). *)
+
 type result = {
   time : float;        (** simulated time actually elapsed, s *)
   slots : int;         (** number of virtual slots *)
   per_node : node_stats array;
   total_throughput : float;  (** S: summed payload fraction *)
   welfare_rate : float;      (** Σ_i payoff_rate *)
+  airtime : airtime;
 }
 
 val run :
+  ?telemetry:Telemetry.Registry.t ->
   ?bianchi_ticks:bool -> ?retry_limit:int -> ?per:float -> ?trace:Trace.t ->
   config -> result
 (** Simulate until [duration] simulated seconds have elapsed.
 
     [trace] records a {!Trace.event} per success, collision and drop.
+
+    Every run emits a ["run_summary"] telemetry event on [telemetry]
+    (default: the global registry) carrying the airtime fractions, the
+    per-node success shares and the Jain fairness of the throughput
+    allocation — the per-station channel metrics selfishness detectors
+    key on.
 
     [per] is a packet error rate from channel noise: a transmission that
     wins contention is still lost with this probability (counted as a

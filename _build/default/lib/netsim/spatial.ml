@@ -17,11 +17,19 @@ type node_stats = {
   p_hn_hat : float;
 }
 
+type airtime = {
+  busy_fraction : float;
+  idle_fraction : float;
+  success_fraction : float;
+  collision_fraction : float;
+}
+
 type result = {
   time : float;
   per_node : node_stats array;
   welfare_rate : float;
   delivered : int;
+  airtime : airtime;
 }
 
 type node = {
@@ -56,8 +64,8 @@ type tx = {
 
 let slots_of sigma t = Stdlib.max 1 (int_of_float (Float.round (t /. sigma)))
 
-let run ?cs_adjacency ?(retry_limit = max_int) ?trace
-    { params; adjacency; cws; duration; seed } =
+let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
+    ?(retry_limit = max_int) ?trace { params; adjacency; cws; duration; seed } =
   if retry_limit < 0 then invalid_arg "Spatial.run: retry_limit must be >= 0";
   let n = Array.length adjacency in
   let cs_adjacency = Option.value cs_adjacency ~default:adjacency in
@@ -143,6 +151,22 @@ let run ?cs_adjacency ?(retry_limit = max_int) ?trace
   in
   let active : tx list ref = ref [] in
   let delivered = ref 0 in
+  (* Airtime accounting, all in slots.  [success]/[collision] aggregate
+     per-transmission airtime (they can exceed the horizon under spatial
+     reuse); [covered] is the union of transmission intervals, tracked
+     incrementally — events arrive in time order, so extending a coverage
+     watermark is exact. *)
+  let success_tx_slots = ref 0 in
+  let collision_tx_slots = ref 0 in
+  let busy_slots = ref 0 in
+  let covered_until = ref 0 in
+  let cover a b =
+    let from = Stdlib.max a !covered_until in
+    if b > from then begin
+      busy_slots := !busy_slots + (b - from);
+      covered_until := b
+    end
+  in
   (* A node senses the channel idle when it is not transmitting, has no NAV,
      and no neighbour is transmitting. *)
   let senses_idle now node =
@@ -166,6 +190,8 @@ let run ?cs_adjacency ?(retry_limit = max_int) ?trace
     if corrupted then begin
       src.busy_until <- now - vuln_slots + tc_slots;
       tx.finish <- src.busy_until;
+      collision_tx_slots := !collision_tx_slots + tc_slots;
+      cover now tx.finish;
       if tx.corrupted_local then
         src.local_collisions <- src.local_collisions + 1
       else src.hidden_failures <- src.hidden_failures + 1;
@@ -187,6 +213,8 @@ let run ?cs_adjacency ?(retry_limit = max_int) ?trace
       tx.finish <- finish;
       src.successes <- src.successes + 1;
       incr delivered;
+      success_tx_slots := !success_tx_slots + ts_slots;
+      cover now finish;
       emit (Trace.Success { time = float_of_int now *. sigma; node = tx.src });
       src.stage <- 0;
       src.retries <- 0;
@@ -195,12 +223,28 @@ let run ?cs_adjacency ?(retry_limit = max_int) ?trace
       | Dcf.Params.Rts_cts ->
           (* The CTS (and the data exchange) silences both neighbourhoods
              until the ACK completes. *)
+          emit
+            (Trace.Cts
+               {
+                 time = float_of_int now *. sigma;
+                 src = tx.dest;
+                 dest = tx.src;
+               });
           let dest = nodes.(tx.dest) in
           dest.busy_until <- Stdlib.max dest.busy_until finish;
           let silence j =
             if j <> tx.src then begin
               let nd = nodes.(j) in
-              nd.nav_until <- Stdlib.max nd.nav_until finish
+              if finish > nd.nav_until then begin
+                nd.nav_until <- finish;
+                emit
+                  (Trace.Nav_defer
+                     {
+                       time = float_of_int now *. sigma;
+                       node = j;
+                       until = float_of_int finish *. sigma;
+                     })
+              end
             end
           in
           Array.iter silence dest.neighbors;
@@ -216,6 +260,13 @@ let run ?cs_adjacency ?(retry_limit = max_int) ?trace
       let dest = Prelude.Rng.pick node.rng node.neighbors in
       node.attempts <- node.attempts + 1;
       node.busy_until <- now + vuln_slots (* extended at resolution *);
+      cover now (now + vuln_slots);
+      (match params.mode with
+      | Dcf.Params.Basic -> ()
+      | Dcf.Params.Rts_cts ->
+          emit
+            (Trace.Rts
+               { time = float_of_int now *. sigma; src = node.id; dest }));
       let tx =
         {
           src = node.id;
@@ -323,10 +374,65 @@ let run ?cs_adjacency ?(retry_limit = max_int) ?trace
         })
       nodes
   in
-  {
-    time = elapsed;
-    per_node;
-    welfare_rate =
-      Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
-    delivered = !delivered;
-  }
+  let horizon_f = float_of_int horizon in
+  let busy_fraction =
+    Stdlib.min 1. (float_of_int !busy_slots /. horizon_f)
+  in
+  let airtime =
+    {
+      busy_fraction;
+      idle_fraction = 1. -. busy_fraction;
+      success_fraction = float_of_int !success_tx_slots /. horizon_f;
+      collision_fraction = float_of_int !collision_tx_slots /. horizon_f;
+    }
+  in
+  let result =
+    {
+      time = elapsed;
+      per_node;
+      welfare_rate =
+        Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
+      delivered = !delivered;
+      airtime;
+    }
+  in
+  Telemetry.Metric.incr
+    (Telemetry.Registry.counter telemetry "netsim.spatial.runs");
+  Telemetry.Registry.emit telemetry "run_summary" (fun () ->
+      let total_successes =
+        Array.fold_left (fun acc (s : node_stats) -> acc + s.successes) 0
+          per_node
+      in
+      let share (s : node_stats) =
+        if total_successes = 0 then 0.
+        else float_of_int s.successes /. float_of_int total_successes
+      in
+      [
+        ("sim", Telemetry.Jsonx.String "spatial");
+        ("n", Telemetry.Jsonx.Int n);
+        ("seed", Telemetry.Jsonx.Int seed);
+        ("time", Telemetry.Jsonx.Float elapsed);
+        ("delivered", Telemetry.Jsonx.Int !delivered);
+        ("busy_fraction", Telemetry.Jsonx.Float airtime.busy_fraction);
+        ("idle_fraction", Telemetry.Jsonx.Float airtime.idle_fraction);
+        ("success_fraction", Telemetry.Jsonx.Float airtime.success_fraction);
+        ( "collision_fraction",
+          Telemetry.Jsonx.Float airtime.collision_fraction );
+        ("welfare_rate", Telemetry.Jsonx.Float result.welfare_rate);
+        ( "hidden_failures",
+          Telemetry.Jsonx.Int
+            (Array.fold_left
+               (fun acc (s : node_stats) -> acc + s.hidden_failures)
+               0 per_node)
+        );
+        ( "jain_fairness",
+          Telemetry.Jsonx.Float
+            (Prelude.Stats.jain_fairness
+               (Array.map (fun s -> s.throughput) per_node)) );
+        ( "success_share",
+          Telemetry.Jsonx.List
+            (Array.to_list
+               (Array.map (fun s -> Telemetry.Jsonx.Float (share s)) per_node))
+        );
+      ]);
+  result

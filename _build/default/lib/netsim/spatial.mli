@@ -50,14 +50,28 @@ type node_stats = {
           (1 when no such attempt failed) *)
 }
 
+type airtime = {
+  busy_fraction : float;
+      (** fraction of the horizon during which at least one node was
+          transmitting (union of transmission intervals) *)
+  idle_fraction : float;       (** [1 − busy_fraction] *)
+  success_fraction : float;
+      (** aggregate successful transmit airtime over the horizon; can
+          exceed 1 under spatial reuse (concurrent non-interfering
+          transmissions each count their full duration) *)
+  collision_fraction : float;  (** aggregate corrupted transmit airtime *)
+}
+
 type result = {
   time : float;
   per_node : node_stats array;
   welfare_rate : float;
   delivered : int;  (** total packets delivered network-wide *)
+  airtime : airtime;
 }
 
 val run :
+  ?telemetry:Telemetry.Registry.t ->
   ?cs_adjacency:int list array -> ?retry_limit:int -> ?trace:Trace.t ->
   config -> result
 (** [cs_adjacency] is the carrier-sense graph: who a node can *hear* (and
@@ -70,6 +84,14 @@ val run :
 
     [retry_limit] is the number of retransmissions before the head-of-line
     packet is discarded (default: unlimited, the paper's chain).
+
+    In RTS/CTS mode, a [trace] additionally records {!Trace.Rts} at every
+    handshake start, {!Trace.Cts} when the exchange wins the channel, and
+    {!Trace.Nav_defer} whenever the CTS extends a third node's NAV — so
+    multi-hop tests can assert virtual-carrier-sense behaviour.  Every run
+    emits a ["run_summary"] telemetry event on [telemetry] (default: the
+    global registry) with airtime fractions, per-node success shares and
+    Jain fairness.
 
     @raise Invalid_argument on inconsistent sizes, windows < 1,
     non-positive duration, an asymmetric adjacency, or a [cs_adjacency]

@@ -2,9 +2,18 @@ type event =
   | Success of { time : float; node : int }
   | Collision of { time : float; nodes : int list }
   | Drop of { time : float; node : int }
+  | Rts of { time : float; src : int; dest : int }
+  | Cts of { time : float; src : int; dest : int }
+  | Nav_defer of { time : float; node : int; until : float }
 
 let time_of = function
-  | Success { time; _ } | Collision { time; _ } | Drop { time; _ } -> time
+  | Success { time; _ }
+  | Collision { time; _ }
+  | Drop { time; _ }
+  | Rts { time; _ }
+  | Cts { time; _ }
+  | Nav_defer { time; _ } ->
+      time
 
 let pp_event ppf = function
   | Success { time; node } -> Format.fprintf ppf "%.5f success node=%d" time node
@@ -12,6 +21,12 @@ let pp_event ppf = function
       Format.fprintf ppf "%.5f collision nodes=[%s]" time
         (String.concat ";" (List.map string_of_int nodes))
   | Drop { time; node } -> Format.fprintf ppf "%.5f drop node=%d" time node
+  | Rts { time; src; dest } ->
+      Format.fprintf ppf "%.5f rts src=%d dest=%d" time src dest
+  | Cts { time; src; dest } ->
+      Format.fprintf ppf "%.5f cts src=%d dest=%d" time src dest
+  | Nav_defer { time; node; until } ->
+      Format.fprintf ppf "%.5f nav node=%d until=%.5f" time node until
 
 type t = {
   capacity : int;
@@ -40,11 +55,19 @@ type summary = {
   successes : int;
   collisions : int;
   drops : int;
+  rts : int;
+  cts : int;
+  nav_defers : int;
   per_node_successes : (int * int) list;
 }
 
 let summarize t =
-  let successes = ref 0 and collisions = ref 0 and drops = ref 0 in
+  let successes = ref 0
+  and collisions = ref 0
+  and drops = ref 0
+  and rts = ref 0
+  and cts = ref 0
+  and nav_defers = ref 0 in
   let per_node = Hashtbl.create 16 in
   Queue.iter
     (function
@@ -53,7 +76,10 @@ let summarize t =
           Hashtbl.replace per_node node
             (1 + Option.value ~default:0 (Hashtbl.find_opt per_node node))
       | Collision _ -> incr collisions
-      | Drop _ -> incr drops)
+      | Drop _ -> incr drops
+      | Rts _ -> incr rts
+      | Cts _ -> incr cts
+      | Nav_defer _ -> incr nav_defers)
     t.buffer;
   let per_node_successes =
     Hashtbl.fold (fun node count acc -> (node, count) :: acc) per_node []
@@ -63,6 +89,9 @@ let summarize t =
     successes = !successes;
     collisions = !collisions;
     drops = !drops;
+    rts = !rts;
+    cts = !cts;
+    nav_defers = !nav_defers;
     per_node_successes;
   }
 

@@ -12,6 +12,15 @@ type event =
       (** the listed nodes' frames collided *)
   | Drop of { time : float; node : int }
       (** a packet was discarded after the retry limit *)
+  | Rts of { time : float; src : int; dest : int }
+      (** [src] started an RTS handshake towards [dest] (spatial
+          simulator, RTS/CTS mode only) *)
+  | Cts of { time : float; src : int; dest : int }
+      (** the receiver [src] answered [dest]'s RTS — the exchange won the
+          channel; data and ACK follow under NAV protection *)
+  | Nav_defer of { time : float; node : int; until : float }
+      (** [node] set (or extended) its NAV to [until] seconds because a
+          CTS silenced its neighbourhood — virtual carrier sense *)
 
 val time_of : event -> float
 
@@ -37,6 +46,9 @@ type summary = {
   successes : int;
   collisions : int;
   drops : int;
+  rts : int;         (** RTS handshakes started *)
+  cts : int;         (** CTS answers (RTS exchanges that won the channel) *)
+  nav_defers : int;  (** NAV settings/extensions observed *)
   per_node_successes : (int * int) list;  (** (node, count), sorted by node *)
 }
 

@@ -1,1 +1,1 @@
-lib/numerics/fixed_point.ml: Array Float
+lib/numerics/fixed_point.ml: Array Float List Telemetry

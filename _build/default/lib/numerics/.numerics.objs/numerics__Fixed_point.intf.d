@@ -1,1 +1,1 @@
-lib/numerics/fixed_point.mli:
+lib/numerics/fixed_point.mli: Telemetry

@@ -5,29 +5,77 @@ type outcome = {
   converged : bool;
 }
 
-let solve ?(damping = 0.5) ?(tol = 1e-12) ?(max_iter = 10_000) f x0 =
+(* Residual trajectories can be as long as max_iter (50k for the class
+   solver); cap what one event carries so a diverging solve cannot emit a
+   megabyte line. *)
+let trajectory_cap = 512
+
+let solve ?(telemetry = Telemetry.Registry.default) ?(damping = 0.5)
+    ?(tol = 1e-12) ?(max_iter = 10_000) f x0 =
   if damping <= 0. || damping > 1. then
     invalid_arg "Fixed_point.solve: damping must be in (0, 1]";
   let n = Array.length x0 in
   let x = Array.copy x0 in
-  let rec go iter =
-    let fx = f x in
-    if Array.length fx <> n then
-      invalid_arg "Fixed_point.solve: map changed vector length";
-    let residual = ref 0. in
-    for i = 0 to n - 1 do
-      let x' = ((1. -. damping) *. x.(i)) +. (damping *. fx.(i)) in
-      let delta = Float.abs (x' -. x.(i)) in
-      if delta > !residual then residual := delta;
-      x.(i) <- x'
-    done;
-    if !residual <= tol then
-      { value = x; iterations = iter; residual = !residual; converged = true }
-    else if iter >= max_iter then
-      { value = x; iterations = iter; residual = !residual; converged = false }
-    else go (iter + 1)
+  (* Only pay for the per-iteration trajectory when someone is listening. *)
+  let trajectory =
+    if Telemetry.Registry.active telemetry then Some (ref []) else None
   in
-  go 1
+  let kept = ref 0 in
+  let note r =
+    match trajectory with
+    | Some l when !kept < trajectory_cap ->
+        incr kept;
+        l := r :: !l
+    | _ -> ()
+  in
+  Telemetry.Span.with_span ~registry:telemetry "fixed_point.solve" (fun () ->
+      let rec go iter =
+        let fx = f x in
+        if Array.length fx <> n then
+          invalid_arg "Fixed_point.solve: map changed vector length";
+        let residual = ref 0. in
+        for i = 0 to n - 1 do
+          let x' = ((1. -. damping) *. x.(i)) +. (damping *. fx.(i)) in
+          let delta = Float.abs (x' -. x.(i)) in
+          if delta > !residual then residual := delta;
+          x.(i) <- x'
+        done;
+        note !residual;
+        if !residual <= tol then
+          { value = x; iterations = iter; residual = !residual; converged = true }
+        else if iter >= max_iter then
+          { value = x; iterations = iter; residual = !residual; converged = false }
+        else go (iter + 1)
+      in
+      let outcome = go 1 in
+      Telemetry.Metric.incr
+        (Telemetry.Registry.counter telemetry "fixed_point.solves");
+      Telemetry.Metric.observe
+        (Telemetry.Registry.histogram telemetry "fixed_point.iterations")
+        (float_of_int outcome.iterations);
+      Telemetry.Registry.emit telemetry "solver_convergence" (fun () ->
+          [
+            ("method", Telemetry.Jsonx.String "picard");
+            ("n", Telemetry.Jsonx.Int n);
+            ("damping", Telemetry.Jsonx.Float damping);
+            ("tol", Telemetry.Jsonx.Float tol);
+            ("iterations", Telemetry.Jsonx.Int outcome.iterations);
+            ("residual", Telemetry.Jsonx.Float outcome.residual);
+            ("converged", Telemetry.Jsonx.Bool outcome.converged);
+          ]);
+      (match trajectory with
+      | Some l ->
+          Telemetry.Registry.emit telemetry "residual_trajectory" (fun () ->
+              [
+                ("n", Telemetry.Jsonx.Int n);
+                ( "residuals",
+                  Telemetry.Jsonx.List
+                    (List.rev_map (fun r -> Telemetry.Jsonx.Float r) !l) );
+                ( "truncated",
+                  Telemetry.Jsonx.Bool (outcome.iterations > trajectory_cap) );
+              ])
+      | None -> ());
+      outcome)
 
 let solve_scalar ?damping ?tol ?max_iter f x0 =
   let outcome = solve ?damping ?tol ?max_iter (fun x -> [| f x.(0) |]) [| x0 |] in

@@ -12,6 +12,7 @@ type outcome = {
 }
 
 val solve :
+  ?telemetry:Telemetry.Registry.t ->
   ?damping:float -> ?tol:float -> ?max_iter:int ->
   (float array -> float array) -> float array -> outcome
 (** [solve f x0] iterates [x ← (1−λ)·x + λ·f x] from [x0] until the
@@ -19,7 +20,14 @@ val solve :
     (default 10_000) is reached.  [damping] λ defaults to 0.5 and must be in
     (0, 1].  [f] must preserve the vector length.
 
-    The input vector is not mutated. *)
+    The input vector is not mutated.
+
+    Every solve runs inside a ["fixed_point.solve"] telemetry span and
+    emits a ["solver_convergence"] event on [telemetry] (default: the
+    global registry) recording iterations, the final residual, damping and
+    convergence.  When a sink is attached, a ["residual_trajectory"] event
+    carries the per-iteration residuals (capped at 512 entries); with no
+    sink, the trajectory is never materialised. *)
 
 val solve_scalar :
   ?damping:float -> ?tol:float -> ?max_iter:int ->

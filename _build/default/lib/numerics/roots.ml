@@ -28,10 +28,17 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
   end
 
 (* Brent's method, following the classic Numerical Recipes formulation. *)
-let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+let brent ?iterations ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let report n = match iterations with Some r -> r := n | None -> () in
   let fa = f a and fb = f b in
-  if fa = 0. then a
-  else if fb = 0. then b
+  if fa = 0. then begin
+    report 0;
+    a
+  end
+  else if fb = 0. then begin
+    report 0;
+    b
+  end
   else if sign fa = sign fb then raise No_bracket
   else begin
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
@@ -101,6 +108,7 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
          end
        done
      with Exit -> ());
+    report !iter;
     !result
   end
 

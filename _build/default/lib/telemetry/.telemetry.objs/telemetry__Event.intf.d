@@ -1,0 +1,1 @@
+lib/telemetry/event.mli: Jsonx

@@ -1,0 +1,1 @@
+lib/telemetry/jsonx.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/telemetry/metric.ml: Jsonx Prelude

@@ -1,0 +1,1 @@
+lib/telemetry/registry.ml: Event Hashtbl List Metric Sink Stdlib Unix

@@ -1,0 +1,1 @@
+lib/telemetry/registry.mli: Jsonx Metric Sink

@@ -1,0 +1,1 @@
+lib/telemetry/report.ml: Buffer Filename Float List Metric Prelude Printf Registry

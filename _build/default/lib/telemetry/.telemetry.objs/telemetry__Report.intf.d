@@ -1,0 +1,1 @@
+lib/telemetry/report.mli: Registry

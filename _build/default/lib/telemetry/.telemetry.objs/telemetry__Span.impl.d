@@ -1,0 +1,1 @@
+lib/telemetry/span.ml: Fun Jsonx Metric Registry

@@ -1,0 +1,1 @@
+lib/telemetry/span.mli: Jsonx Registry

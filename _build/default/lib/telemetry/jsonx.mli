@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a printer and parser.
+
+    Dependency-light on purpose: the telemetry sinks need to write JSONL
+    lines and the tests need to read them back, and pulling a full JSON
+    library into every instrumented layer would violate the "prelude-only"
+    footprint of the telemetry stack.  Numbers parse back as [Int] when the
+    literal is integral and fits, [Float] otherwise; non-finite floats
+    render as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering (no trailing newline). *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one complete JSON document.  @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an [Obj]; [None] for other
+    constructors or a missing key. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] succeed, everything else is
+    [None]. *)

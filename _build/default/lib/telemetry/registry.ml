@@ -1,0 +1,80 @@
+type t = {
+  label : string;
+  clock : unit -> float;
+  mutable sinks : Sink.t list;
+  counters : (string, Metric.counter) Hashtbl.t;
+  gauges : (string, Metric.gauge) Hashtbl.t;
+  histograms : (string, Metric.histogram) Hashtbl.t;
+  mutable depth : int;
+}
+
+let create ?(label = "registry") ?(clock = Unix.gettimeofday) () =
+  {
+    label;
+    clock;
+    sinks = [];
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    depth = 0;
+  }
+
+let default = create ~label:"default" ()
+
+let label t = t.label
+
+let now t = t.clock ()
+
+let get_or_create table make name =
+  match Hashtbl.find_opt table name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add table name m;
+      m
+
+let counter t name = get_or_create t.counters Metric.counter name
+
+let gauge t name = get_or_create t.gauges Metric.gauge name
+
+let histogram t name = get_or_create t.histograms Metric.histogram name
+
+let add_sink t sink = t.sinks <- sink :: t.sinks
+
+let remove_sink t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
+
+let active t = t.sinks <> []
+
+let emit t name fields =
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+      let event = Event.make ~at:(t.clock ()) ~name (fields ()) in
+      List.iter (fun sink -> Sink.emit sink event) sinks
+
+let flush t = List.iter Sink.flush t.sinks
+
+let enter_span t =
+  let d = t.depth in
+  t.depth <- d + 1;
+  d
+
+let leave_span t = t.depth <- Stdlib.max 0 (t.depth - 1)
+
+let depth t = t.depth
+
+let sorted table =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = sorted t.counters
+
+let gauges t = sorted t.gauges
+
+let histograms t = sorted t.histograms
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms;
+  t.depth <- 0

@@ -1,0 +1,64 @@
+(** A namespace of metrics plus a list of event sinks.
+
+    Instrumented code takes an optional registry argument defaulting to
+    {!default}, so production call sites need no plumbing (the CLI attaches
+    a JSONL sink to the default registry and every layer streams into it),
+    while tests create private registries for isolation.
+
+    With no sink attached — the common case — {!emit} returns without
+    reading the clock or building the event, so instrumentation in hot
+    loops costs a list-emptiness check.  Metric updates always happen:
+    counters and Welford histograms are cheap enough to leave on. *)
+
+type t
+
+val create : ?label:string -> ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to [Unix.gettimeofday]; tests inject a deterministic
+    clock. *)
+
+val default : t
+(** The process-wide registry every instrumented layer falls back to. *)
+
+val label : t -> string
+
+val now : t -> float
+
+val counter : t -> string -> Metric.counter
+(** Get-or-create by name; the same name always returns the same cell. *)
+
+val gauge : t -> string -> Metric.gauge
+
+val histogram : t -> string -> Metric.histogram
+
+val add_sink : t -> Sink.t -> unit
+
+val remove_sink : t -> Sink.t -> unit
+(** Physical-equality removal of a sink added with {!add_sink}. *)
+
+val active : t -> bool
+(** Whether any sink is attached — guard for expensive event payloads
+    (e.g. per-iteration residual trajectories). *)
+
+val emit : t -> string -> (unit -> (string * Jsonx.t) list) -> unit
+(** [emit t name fields] builds and delivers an event to every sink; the
+    [fields] thunk is not called when no sink is attached. *)
+
+val flush : t -> unit
+
+val enter_span : t -> int
+(** Increment the span nesting depth, returning the entered span's own
+    depth (0 = outermost).  Used by {!module:Span}. *)
+
+val leave_span : t -> unit
+
+val depth : t -> int
+
+val counters : t -> (string * Metric.counter) list
+(** Sorted by name; likewise {!gauges} and {!histograms}. *)
+
+val gauges : t -> (string * Metric.gauge) list
+
+val histograms : t -> (string * Metric.histogram) list
+
+val reset : t -> unit
+(** Drop all metrics and reset nesting; sinks stay attached. *)

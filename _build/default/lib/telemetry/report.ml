@@ -1,0 +1,55 @@
+let time_unit seconds =
+  let abs = Float.abs seconds in
+  if abs = 0. then Printf.sprintf "%.0f" seconds
+  else if abs >= 1. then Printf.sprintf "%.3f s" seconds
+  else if abs >= 1e-3 then Printf.sprintf "%.3f ms" (seconds *. 1e3)
+  else if abs >= 1e-6 then Printf.sprintf "%.3f us" (seconds *. 1e6)
+  else Printf.sprintf "%.0f ns" (seconds *. 1e9)
+
+let g6 x = Printf.sprintf "%.6g" x
+
+let render ?(registry = Registry.default) () =
+  let buf = Buffer.create 1024 in
+  let section title columns rows =
+    if rows <> [] then begin
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Prelude.Table.render columns rows);
+      Buffer.add_char buf '\n'
+    end
+  in
+  let left = Prelude.Table.column ~align:Prelude.Table.Left in
+  let right = Prelude.Table.column in
+  section
+    (Printf.sprintf "counters (%s)" (Registry.label registry))
+    [ left "counter"; right "count" ]
+    (List.map
+       (fun (name, c) -> [ name; string_of_int (Metric.count c) ])
+       (Registry.counters registry));
+  section
+    (Printf.sprintf "gauges (%s)" (Registry.label registry))
+    [ left "gauge"; right "value" ]
+    (List.map
+       (fun (name, g) -> [ name; g6 (Metric.value g) ])
+       (Registry.gauges registry));
+  section
+    (Printf.sprintf "histograms (%s)" (Registry.label registry))
+    [ left "histogram"; right "count"; right "mean"; right "stddev";
+      right "min"; right "max" ]
+    (List.map
+       (fun (name, h) ->
+         let empty = Metric.observations h = 0 in
+         let cell v = if empty then "-" else
+           (* Durations (".seconds" histograms) read better with units. *)
+           if Filename.check_suffix name ".seconds" then time_unit v else g6 v
+         in
+         [
+           name;
+           string_of_int (Metric.observations h);
+           cell (Metric.mean h);
+           cell (Metric.stddev h);
+           cell (Metric.hmin h);
+           cell (Metric.hmax h);
+         ])
+       (Registry.histograms registry));
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** ASCII rendering of a registry's metrics, via {!Prelude.Table}.
+
+    Three sections — counters, gauges, histograms — each omitted when
+    empty.  Histograms whose name ends in [".seconds"] (the span
+    convention) render with time units. *)
+
+val render : ?registry:Registry.t -> unit -> string
+(** Newline-terminated multi-line report; [""] when the registry holds no
+    metrics. *)

@@ -1,0 +1,53 @@
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()); close = (fun () -> ()) }
+
+let memory () =
+  let events = Queue.create () in
+  let sink =
+    {
+      emit = (fun e -> Queue.add e events);
+      flush = (fun () -> ());
+      close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> List.of_seq (Queue.to_seq events))
+
+let of_channel oc =
+  {
+    emit =
+      (fun e ->
+        output_string oc (Event.to_line e);
+        output_char oc '\n');
+    flush = (fun () -> Stdlib.flush oc);
+    close = (fun () -> Stdlib.flush oc);
+  }
+
+let jsonl path =
+  let oc = open_out path in
+  let closed = ref false in
+  {
+    emit =
+      (fun e ->
+        if not !closed then begin
+          output_string oc (Event.to_line e);
+          output_char oc '\n'
+        end);
+    flush = (fun () -> if not !closed then Stdlib.flush oc);
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out oc
+        end);
+  }
+
+let emit t e = t.emit e
+
+let flush t = t.flush ()
+
+let close t = t.close ()

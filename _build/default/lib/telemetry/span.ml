@@ -1,0 +1,32 @@
+let with_span ?(registry = Registry.default) ?fields name f =
+  let t0 = Registry.now registry in
+  let own_depth = Registry.enter_span registry in
+  let finish () =
+    let dt = Registry.now registry -. t0 in
+    Registry.leave_span registry;
+    Metric.observe (Registry.histogram registry (name ^ ".seconds")) dt;
+    Metric.incr (Registry.counter registry (name ^ ".calls"));
+    Registry.emit registry "span" (fun () ->
+        ("name", Jsonx.String name)
+        :: ("seconds", Jsonx.Float dt)
+        :: ("depth", Jsonx.Int own_depth)
+        :: (match fields with None -> [] | Some fields -> fields ()))
+  in
+  Fun.protect ~finally:finish f
+
+type timer = { registry : Registry.t; name : string; t0 : float; depth : int }
+
+let start ?(registry = Registry.default) name =
+  { registry; name; t0 = Registry.now registry; depth = Registry.enter_span registry }
+
+let stop ?fields timer =
+  let dt = Registry.now timer.registry -. timer.t0 in
+  Registry.leave_span timer.registry;
+  Metric.observe (Registry.histogram timer.registry (timer.name ^ ".seconds")) dt;
+  Metric.incr (Registry.counter timer.registry (timer.name ^ ".calls"));
+  Registry.emit timer.registry "span" (fun () ->
+      ("name", Jsonx.String timer.name)
+      :: ("seconds", Jsonx.Float dt)
+      :: ("depth", Jsonx.Int timer.depth)
+      :: (match fields with None -> [] | Some fields -> fields ()));
+  dt

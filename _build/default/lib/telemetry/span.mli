@@ -1,0 +1,27 @@
+(** Timed regions.
+
+    A span measures one dynamic extent on the registry clock.  Every
+    completed span feeds the histogram ["<name>.seconds"] and the counter
+    ["<name>.calls"], and — when a sink is attached — emits a ["span"]
+    event with the span's nesting depth (0 = outermost), so a JSONL trace
+    reconstructs the call tree of instrumented regions. *)
+
+val with_span :
+  ?registry:Registry.t ->
+  ?fields:(unit -> (string * Jsonx.t) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] times [f ()]; the span completes (metrics and
+    event included) even when [f] raises.  [fields] adds extra payload to
+    the event and is only evaluated when a sink is attached. *)
+
+type timer
+(** A manually finished span, for regions that do not nest as a single
+    [fun] body. *)
+
+val start : ?registry:Registry.t -> string -> timer
+
+val stop : ?fields:(unit -> (string * Jsonx.t) list) -> timer -> float
+(** Completes the span and returns the elapsed seconds.  Each [start]
+    must be matched by exactly one [stop], innermost first. *)

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Array Dcf Filename Float List Macgame Netsim String Sys Telemetry

@@ -258,6 +258,54 @@ let test_spatial_paper_scenario_runs () =
   Alcotest.(check bool) "some hidden-node degradation" true
     (Prelude.Stats.mean_of p_hns < 1.)
 
+let test_spatial_rts_cts_trace () =
+  let trace = Netsim.Trace.create () in
+  let r =
+    Netsim.Spatial.run
+      {
+        params = rts_cts;
+        adjacency = hidden_chain;
+        cws = [| 32; 32; 32 |];
+        duration = 10.;
+        seed = 9;
+      }
+      ~trace
+  in
+  let s = Netsim.Trace.summarize trace in
+  Alcotest.(check bool) "handshakes happened" true (s.rts > 0);
+  (* Every success won the channel through a CTS, and every CTS answer is
+     followed by protected data, so the counts agree exactly. *)
+  Alcotest.(check int) "one CTS per delivery" r.delivered s.cts;
+  Alcotest.(check bool) "no more CTS than RTS" true (s.cts <= s.rts);
+  (* In the hidden chain the edge nodes cannot hear each other: the centre's
+     CTS is what silences them, so NAV deferrals must be observed. *)
+  Alcotest.(check bool) "NAV deferrals observed" true (s.nav_defers > 0);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Netsim.Trace.Nav_defer { time; until; _ } ->
+          Alcotest.(check bool) "NAV extends into the future" true
+            (until > time)
+      | _ -> ())
+    (Netsim.Trace.events trace)
+
+let test_spatial_basic_mode_has_no_handshake_events () =
+  let trace = Netsim.Trace.create () in
+  ignore
+    (Netsim.Spatial.run
+       {
+         params = default;
+         adjacency = hidden_chain;
+         cws = [| 32; 32; 32 |];
+         duration = 5.;
+         seed = 9;
+       }
+       ~trace);
+  let s = Netsim.Trace.summarize trace in
+  Alcotest.(check int) "no RTS in basic mode" 0 s.rts;
+  Alcotest.(check int) "no CTS in basic mode" 0 s.cts;
+  Alcotest.(check int) "no NAV in basic mode" 0 s.nav_defers
+
 let suite_slotted =
   [
     Alcotest.test_case "deterministic" `Quick test_slotted_deterministic;
@@ -286,6 +334,9 @@ let suite_spatial =
     Alcotest.test_case "spatial reuse" `Quick test_spatial_spatial_reuse;
     Alcotest.test_case "aggressive window attempts" `Quick test_spatial_smaller_window_more_attempts;
     Alcotest.test_case "paper scenario smoke" `Slow test_spatial_paper_scenario_runs;
+    Alcotest.test_case "rts/cts/nav trace" `Quick test_spatial_rts_cts_trace;
+    Alcotest.test_case "basic mode has no handshakes" `Quick
+      test_spatial_basic_mode_has_no_handshake_events;
   ]
 
 let () =

@@ -1,0 +1,363 @@
+(* Tests for the telemetry subsystem: metric semantics, span timing with a
+   deterministic clock, JSONL sink round-trips, registry isolation, and the
+   instrumentation contracts of the solver/simulator/game layers. *)
+
+module T = Telemetry
+
+let registry ?clock () =
+  match clock with
+  | Some clock -> T.Registry.create ~label:"test" ~clock ()
+  | None -> T.Registry.create ~label:"test" ()
+
+(* A fake clock advancing by [step] seconds per reading. *)
+let fake_clock ?(start = 0.) ?(step = 1.) () =
+  let now = ref (start -. step) in
+  fun () ->
+    now := !now +. step;
+    !now
+
+(* {1 Metrics} *)
+
+let test_counter () =
+  let r = registry () in
+  let c = T.Registry.counter r "hits" in
+  Alcotest.(check int) "starts at zero" 0 (T.Metric.count c);
+  T.Metric.incr c;
+  T.Metric.add c 4;
+  Alcotest.(check int) "accumulates" 5 (T.Metric.count c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metric.add: counters only go up") (fun () ->
+      T.Metric.add c (-1));
+  let c' = T.Registry.counter r "hits" in
+  T.Metric.incr c';
+  Alcotest.(check int) "same name, same cell" 6 (T.Metric.count c)
+
+let test_gauge () =
+  let r = registry () in
+  let g = T.Registry.gauge r "depth" in
+  T.Metric.set g 3.5;
+  Alcotest.(check (float 0.)) "holds last value" 3.5 (T.Metric.value g);
+  T.Metric.set g 1.;
+  Alcotest.(check (float 0.)) "overwrites" 1. (T.Metric.value g)
+
+let test_histogram () =
+  let r = registry () in
+  let h = T.Registry.histogram r "latency" in
+  List.iter (T.Metric.observe h) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (T.Metric.observations h);
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (T.Metric.mean h);
+  Alcotest.(check (float 1e-12)) "min" 1. (T.Metric.hmin h);
+  Alcotest.(check (float 1e-12)) "max" 4. (T.Metric.hmax h);
+  Alcotest.(check (float 1e-12)) "total" 10. (T.Metric.total h);
+  (* Welford matches the textbook sample stddev. *)
+  Alcotest.(check (float 1e-12)) "stddev"
+    (sqrt (5. /. 3.))
+    (T.Metric.stddev h)
+
+(* {1 Spans} *)
+
+let test_span_records_duration () =
+  let r = registry ~clock:(fake_clock ~step:2. ()) () in
+  let result = T.Span.with_span ~registry:r "work" (fun () -> 7) in
+  Alcotest.(check int) "returns the body's value" 7 result;
+  let h = T.Registry.histogram r "work.seconds" in
+  Alcotest.(check int) "one observation" 1 (T.Metric.observations h);
+  (* enter and leave each read the fake clock once: 2 s apart. *)
+  Alcotest.(check (float 1e-9)) "duration from clock" 2. (T.Metric.mean h);
+  Alcotest.(check int) "calls counter" 1
+    (T.Metric.count (T.Registry.counter r "work.calls"))
+
+let test_span_nesting_depth () =
+  let r = registry () in
+  let sink, events = T.Sink.memory () in
+  T.Registry.add_sink r sink;
+  T.Span.with_span ~registry:r "outer" (fun () ->
+      T.Span.with_span ~registry:r "inner" (fun () -> ()));
+  let depth_of name =
+    List.find_map
+      (fun (e : T.Event.t) ->
+        match (T.Event.field "name" e, T.Event.field "depth" e) with
+        | Some (T.Jsonx.String n), Some (T.Jsonx.Int d) when n = name -> Some d
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (option int)) "outer at depth 0" (Some 0) (depth_of "outer");
+  Alcotest.(check (option int)) "inner at depth 1" (Some 1) (depth_of "inner");
+  Alcotest.(check int) "depth restored" 0 (T.Registry.depth r)
+
+let test_span_survives_exception () =
+  let r = registry () in
+  (try
+     T.Span.with_span ~registry:r "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span still recorded" 1
+    (T.Metric.observations (T.Registry.histogram r "boom.seconds"));
+  Alcotest.(check int) "depth restored after raise" 0 (T.Registry.depth r)
+
+(* {1 Events and sinks} *)
+
+let test_emit_is_lazy_without_sinks () =
+  let r = registry () in
+  let called = ref false in
+  T.Registry.emit r "noop" (fun () ->
+      called := true;
+      []);
+  Alcotest.(check bool) "thunk not forced" false !called;
+  Alcotest.(check bool) "inactive" false (T.Registry.active r)
+
+let test_memory_sink_order () =
+  let r = registry ~clock:(fake_clock ()) () in
+  let sink, events = T.Sink.memory () in
+  T.Registry.add_sink r sink;
+  T.Registry.emit r "a" (fun () -> [ ("k", T.Jsonx.Int 1) ]);
+  T.Registry.emit r "b" (fun () -> []);
+  (match events () with
+  | [ a; b ] ->
+      Alcotest.(check string) "order" "a" a.T.Event.name;
+      Alcotest.(check string) "order" "b" b.T.Event.name;
+      Alcotest.(check bool) "timestamps increase" true
+        (b.T.Event.at > a.T.Event.at)
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+  T.Registry.remove_sink r sink;
+  T.Registry.emit r "c" (fun () -> []);
+  Alcotest.(check int) "removed sink sees nothing" 2 (List.length (events ()))
+
+let test_jsonl_sink_round_trip () =
+  let r = registry () in
+  let path = Filename.temp_file "telemetry_test" ".jsonl" in
+  let sink = T.Sink.jsonl path in
+  T.Registry.add_sink r sink;
+  T.Registry.emit r "alpha" (fun () ->
+      [
+        ("i", T.Jsonx.Int 42);
+        ("f", T.Jsonx.Float 0.1);
+        ("s", T.Jsonx.String "quote \" and \\ newline \n done");
+        ("l", T.Jsonx.List [ T.Jsonx.Float 1e-3; T.Jsonx.Null ]);
+        ("inf", T.Jsonx.Float infinity);
+      ]);
+  T.Registry.emit r "beta" (fun () -> [ ("ok", T.Jsonx.Bool true) ]);
+  T.Registry.remove_sink r sink;
+  T.Sink.close sink;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  let events =
+    List.map
+      (fun line ->
+        match T.Event.of_json (T.Jsonx.parse line) with
+        | Some e -> e
+        | None -> Alcotest.failf "line is not an event: %s" line)
+      lines
+  in
+  (match events with
+  | [ alpha; beta ] ->
+      Alcotest.(check string) "name survives" "alpha" alpha.T.Event.name;
+      Alcotest.(check string) "name survives" "beta" beta.T.Event.name;
+      (match T.Event.field "s" alpha with
+      | Some (T.Jsonx.String s) ->
+          Alcotest.(check string) "escaped string survives"
+            "quote \" and \\ newline \n done" s
+      | _ -> Alcotest.fail "string field lost");
+      (match T.Event.field "f" alpha with
+      | Some (T.Jsonx.Float f) ->
+          Alcotest.(check (float 0.)) "float round-trips exactly" 0.1 f
+      | _ -> Alcotest.fail "float field lost");
+      (* Non-finite floats are rendered as null: still valid JSON. *)
+      Alcotest.(check bool) "infinity becomes null" true
+        (T.Event.field "inf" alpha = Some T.Jsonx.Null)
+  | _ -> Alcotest.fail "expected two events")
+
+let test_jsonx_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match T.Jsonx.parse s with
+      | _ -> Alcotest.failf "parsed garbage %S" s
+      | exception T.Jsonx.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_registry_isolation () =
+  let a = registry () and b = registry () in
+  T.Metric.incr (T.Registry.counter a "shared.name");
+  Alcotest.(check int) "registries do not share cells" 0
+    (T.Metric.count (T.Registry.counter b "shared.name"));
+  let sink, events = T.Sink.memory () in
+  T.Registry.add_sink a sink;
+  T.Registry.emit b "only-b" (fun () -> []);
+  Alcotest.(check int) "sinks are per-registry" 0 (List.length (events ()))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_report_renders () =
+  let r = registry () in
+  T.Metric.add (T.Registry.counter r "requests") 3;
+  T.Metric.observe (T.Registry.histogram r "io.seconds") 0.25;
+  let s = T.Report.render ~registry:r () in
+  Alcotest.(check bool) "mentions the counter" true (contains s "requests");
+  Alcotest.(check bool) "mentions the histogram" true (contains s "io.seconds")
+
+(* {1 Layer instrumentation contracts} *)
+
+let params = Dcf.Params.default
+
+let capture f =
+  let r = registry () in
+  let sink, events = T.Sink.memory () in
+  T.Registry.add_sink r sink;
+  let x = f r in
+  (x, r, events ())
+
+let names events = List.map (fun (e : T.Event.t) -> e.T.Event.name) events
+
+let test_solver_emits_convergence () =
+  let _, _, events =
+    capture (fun r ->
+        Dcf.Solver.solve ~telemetry:r params [| 32; 64; 128 |])
+  in
+  Alcotest.(check bool) "solver_convergence emitted" true
+    (List.mem "solver_convergence" (names events));
+  Alcotest.(check bool) "residual_trajectory emitted" true
+    (List.mem "residual_trajectory" (names events));
+  let conv =
+    List.find (fun (e : T.Event.t) -> e.T.Event.name = "solver_convergence")
+      events
+  in
+  (match (T.Event.field "iterations" conv, T.Event.field "converged" conv) with
+  | Some (T.Jsonx.Int i), Some (T.Jsonx.Bool c) ->
+      Alcotest.(check bool) "iterated" true (i > 0);
+      Alcotest.(check bool) "converged" true c
+  | _ -> Alcotest.fail "solver_convergence lacks iterations/converged")
+
+let test_homogeneous_iteration_count () =
+  let iterations = ref (-1) in
+  let tau, p = Dcf.Solver.solve_homogeneous ~iterations params ~n:10 ~w:128 in
+  Alcotest.(check bool) "tau in (0,1)" true (tau > 0. && tau < 1.);
+  Alcotest.(check bool) "p in (0,1)" true (p > 0. && p < 1.);
+  Alcotest.(check bool) "brent iterations reported" true (!iterations > 0);
+  let iterations1 = ref (-1) in
+  let _ = Dcf.Solver.solve_homogeneous ~iterations:iterations1 params ~n:1 ~w:64 in
+  Alcotest.(check int) "n=1 is closed-form" 0 !iterations1;
+  let ic = ref (-1) in
+  let _ = Dcf.Solver.solve_classes ~iterations:ic params [ (64, 3); (128, 4) ] in
+  Alcotest.(check bool) "class iterations reported" true (!ic > 0)
+
+let test_repeated_game_cache_and_events () =
+  let outcome, r, events =
+    capture (fun r ->
+        Macgame.Repeated.run ~telemetry:r params
+          ~strategies:
+            (Macgame.Repeated.all_tft ~n:4 ~initials:[| 100; 100; 100; 100 |])
+          ~stages:6)
+  in
+  Alcotest.(check bool) "converged" true (outcome.converged_at <> None);
+  (* A converged TFT run re-evaluates the same uniform profile every stage:
+     the memoised payoff cache must be doing the work. *)
+  let hits = T.Metric.count (T.Registry.counter r "repeated.payoff_cache.hits") in
+  let misses =
+    T.Metric.count (T.Registry.counter r "repeated.payoff_cache.misses")
+  in
+  Alcotest.(check bool) "cache hits on a converged run" true (hits > 0);
+  Alcotest.(check bool) "some misses too" true (misses > 0);
+  Alcotest.(check int) "one game_stage per stage" 6
+    (List.length
+       (List.filter (fun n -> n = "game_stage") (names events)));
+  Alcotest.(check bool) "game_summary emitted" true
+    (List.mem "game_summary" (names events))
+
+let test_slotted_run_summary () =
+  let result, _, events =
+    capture (fun r ->
+        Netsim.Slotted.run ~telemetry:r
+          { params; cws = Array.make 4 64; duration = 1.; seed = 3 })
+  in
+  let a = result.Netsim.Slotted.airtime in
+  Alcotest.(check (float 1e-9)) "airtime fractions sum to 1" 1.
+    (a.idle_fraction +. a.success_fraction +. a.collision_fraction);
+  let summary =
+    List.find (fun (e : T.Event.t) -> e.T.Event.name = "run_summary") events
+  in
+  (match T.Event.field "jain_fairness" summary with
+  | Some (T.Jsonx.Float j) ->
+      Alcotest.(check bool) "fairness in (0,1]" true (j > 0. && j <= 1.)
+  | _ -> Alcotest.fail "run_summary lacks jain_fairness");
+  match T.Event.field "success_share" summary with
+  | Some (T.Jsonx.List shares) ->
+      Alcotest.(check int) "one share per node" 4 (List.length shares)
+  | _ -> Alcotest.fail "run_summary lacks success_share"
+
+let test_spatial_run_summary () =
+  let adjacency =
+    Array.init 5 (fun i ->
+        List.filter (fun j -> j >= 0 && j < 5 && j <> i) [ i - 1; i + 1 ])
+  in
+  let result, _, events =
+    capture (fun r ->
+        Netsim.Spatial.run ~telemetry:r
+          {
+            params = Dcf.Params.rts_cts;
+            adjacency;
+            cws = Array.make 5 32;
+            duration = 1.;
+            seed = 5;
+          })
+  in
+  let a = result.Netsim.Spatial.airtime in
+  Alcotest.(check bool) "busy + idle = 1" true
+    (Float.abs (a.busy_fraction +. a.idle_fraction -. 1.) < 1e-9);
+  Alcotest.(check bool) "busy in [0,1]" true
+    (a.busy_fraction >= 0. && a.busy_fraction <= 1.);
+  Alcotest.(check bool) "run_summary emitted" true
+    (List.mem "run_summary" (names events))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "duration" `Quick test_span_records_duration;
+          Alcotest.test_case "nesting depth" `Quick test_span_nesting_depth;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_survives_exception;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "lazy without sinks" `Quick
+            test_emit_is_lazy_without_sinks;
+          Alcotest.test_case "memory sink" `Quick test_memory_sink_order;
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_jsonl_sink_round_trip;
+          Alcotest.test_case "parser rejects garbage" `Quick
+            test_jsonx_parse_rejects_garbage;
+          Alcotest.test_case "registry isolation" `Quick
+            test_registry_isolation;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "solver convergence" `Quick
+            test_solver_emits_convergence;
+          Alcotest.test_case "iteration counts" `Quick
+            test_homogeneous_iteration_count;
+          Alcotest.test_case "repeated game cache" `Quick
+            test_repeated_game_cache_and_events;
+          Alcotest.test_case "slotted run summary" `Quick
+            test_slotted_run_summary;
+          Alcotest.test_case "spatial run summary" `Quick
+            test_spatial_run_summary;
+        ] );
+    ]

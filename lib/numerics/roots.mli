@@ -15,10 +15,14 @@ val bisect :
     @raise No_bracket if the signs at the endpoints agree. *)
 
 val brent :
+  ?iterations:int ref ->
   ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
 (** Brent's method: inverse-quadratic interpolation with bisection fallback.
     Same contract as {!bisect}, converges superlinearly on smooth
-    functions. *)
+    functions.  When given, [iterations] receives the number of iterations
+    performed (0 when an endpoint was already a root) — the hook the
+    telemetry layer uses to report convergence cost for the scalar solver
+    paths. *)
 
 val find_bracket :
   ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float ->

@@ -1,0 +1,25 @@
+type t = { at : float; name : string; fields : (string * Jsonx.t) list }
+
+let make ~at ~name fields = { at; name; fields }
+
+let to_json { at; name; fields } =
+  Jsonx.Obj (("event", Jsonx.String name) :: ("at", Jsonx.Float at) :: fields)
+
+let to_line event = Jsonx.to_string (to_json event)
+
+let of_json json =
+  match (Jsonx.member "event" json, Jsonx.member "at" json) with
+  | Some (Jsonx.String name), Some at_json -> (
+      match Jsonx.to_float_opt at_json with
+      | Some at ->
+          let fields =
+            match json with
+            | Jsonx.Obj kvs ->
+                List.filter (fun (k, _) -> k <> "event" && k <> "at") kvs
+            | _ -> []
+          in
+          Some { at; name; fields }
+      | None -> None)
+  | _ -> None
+
+let field key event = List.assoc_opt key event.fields

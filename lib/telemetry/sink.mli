@@ -1,0 +1,33 @@
+(** Pluggable event consumers.
+
+    A sink is just three closures, so backends stay decoupled from the
+    registry: the in-memory sink backs tests, the JSONL sink backs the CLI
+    [--telemetry FILE] flag and the benches, and the null sink measures
+    instrumentation overhead. *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+val null : t
+(** Swallows everything. *)
+
+val memory : unit -> t * (unit -> Event.t list)
+(** A sink buffering every event, and an accessor returning them in
+    emission order. *)
+
+val of_channel : out_channel -> t
+(** Writes one JSON line per event; [close] flushes but does not close the
+    channel (the caller owns it). *)
+
+val jsonl : string -> t
+(** Opens [path] for writing and streams one JSON line per event.  [close]
+    closes the file; later emits are ignored. *)
+
+val emit : t -> Event.t -> unit
+
+val flush : t -> unit
+
+val close : t -> unit
