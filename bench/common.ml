@@ -53,3 +53,98 @@ let csv name ~header rows =
 let f3 x = Printf.sprintf "%.3f" x
 
 let f4 x = Printf.sprintf "%.4f" x
+
+(* {2 Runner integration}
+
+   Experiment grids submit their points as runner tasks; `main` configures
+   the ambient runner (workers, cache directory, sweep seed) from the
+   -j/--cache/--no-cache flags, so experiment code only has to build tasks
+   with complete content keys. *)
+
+(* Task-key field carrying the full parameter set: any change to the
+   physical-layer constants invalidates cached points. *)
+let params_field params =
+  ("params", Telemetry.Jsonx.String (Format.asprintf "%a" Dcf.Params.pp params))
+
+(* Topology digest for spatial-simulator keys: two sweeps only share cache
+   entries when they simulate the same graph. *)
+let adjacency_field adjacency =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i neighbours ->
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ':';
+      List.iter
+        (fun j ->
+          Buffer.add_string buf (string_of_int j);
+          Buffer.add_char buf ',')
+        neighbours;
+      Buffer.add_char buf ';')
+    adjacency;
+  ( "adjacency",
+    Telemetry.Jsonx.String
+      (Prelude.Util.hex64 (Prelude.Util.fnv1a64 (Buffer.contents buf))) )
+
+(* The spatial simulator's result, trimmed to the fields the experiments
+   report and round-trippable through the result cache. *)
+type spatial_summary = {
+  welfare_rate : float;
+  delivered : int;
+  p_hn : float array;     (* per-node p_hn_hat *)
+  payoffs : float array;  (* per-node payoff_rate *)
+}
+
+let spatial_summary_of (r : Netsim.Spatial.result) =
+  {
+    welfare_rate = r.welfare_rate;
+    delivered = r.delivered;
+    p_hn =
+      Array.map (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat) r.per_node;
+    payoffs =
+      Array.map (fun (s : Netsim.Spatial.node_stats) -> s.payoff_rate) r.per_node;
+  }
+
+let encode_spatial s =
+  Telemetry.Jsonx.Obj
+    [
+      ("welfare_rate", Telemetry.Jsonx.Float s.welfare_rate);
+      ("delivered", Telemetry.Jsonx.Int s.delivered);
+      ("p_hn", Runner.Task.float_array s.p_hn);
+      ("payoffs", Runner.Task.float_array s.payoffs);
+    ]
+
+let decode_spatial json =
+  match
+    ( Runner.Task.float_field "welfare_rate" json,
+      Runner.Task.int_field "delivered" json,
+      Option.bind (Telemetry.Jsonx.member "p_hn" json) Runner.Task.to_float_array,
+      Option.bind (Telemetry.Jsonx.member "payoffs" json) Runner.Task.to_float_array )
+  with
+  | Some welfare_rate, Some delivered, Some p_hn, Some payoffs ->
+      Some { welfare_rate; delivered; p_hn; payoffs }
+  | _ -> None
+
+(* A spatial-simulator task: the key captures the parameter set, the
+   topology digest and every remaining config field. *)
+let spatial_task ?cs_adjacency ~family ~fields (config : Netsim.Spatial.config) =
+  let cs_field =
+    match cs_adjacency with
+    | None -> []
+    | Some cs -> [ (let k, v = adjacency_field cs in ("cs_" ^ k, v)) ]
+  in
+  let key =
+    Runner.Task.key_of ~family
+      (params_field config.params
+      :: adjacency_field config.adjacency
+      :: ("duration", Telemetry.Jsonx.Float config.duration)
+      :: ("seed", Telemetry.Jsonx.Int config.seed)
+      :: ( "cws",
+           Telemetry.Jsonx.List
+             (Array.to_list
+                (Array.map (fun w -> Telemetry.Jsonx.Int w) config.cws)) )
+      :: (cs_field @ fields))
+  in
+  Runner.Task.make ~key ~encode:encode_spatial ~decode:decode_spatial
+    (fun _rng -> spatial_summary_of (Netsim.Spatial.run ?cs_adjacency config))
+
+let mean_p_hn (s : spatial_summary) = Prelude.Stats.mean_of s.p_hn

@@ -171,34 +171,40 @@ let hidden (scale : Common.scale) =
       Prelude.Table.column "delivered";
     ]
   in
+  let variants =
+    [
+      ("= decode range (1 hop)", None);
+      ("2 hops", Some (line 2));
+      ("3 hops", Some (line 3));
+    ]
+  in
+  let summaries =
+    Runner.map ~name:"ext.hidden"
+      (Array.of_list
+         (List.map
+            (fun (_, cs) ->
+              Common.spatial_task ?cs_adjacency:cs ~family:"ext.hidden"
+                ~fields:[]
+                {
+                  params;
+                  adjacency;
+                  cws = Array.make n 32;
+                  duration = scale.multihop_duration;
+                  seed = 4;
+                })
+            variants))
+  in
   let rows =
-    List.map
-      (fun (label, cs) ->
-        let r =
-          Netsim.Spatial.run ?cs_adjacency:cs
-            {
-              params;
-              adjacency;
-              cws = Array.make n 32;
-              duration = scale.multihop_duration;
-              seed = 4;
-            }
-        in
+    List.mapi
+      (fun i (label, _) ->
+        let r = summaries.(i) in
         [
           label;
-          Common.f3
-            (Prelude.Stats.mean_of
-               (Array.map
-                  (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat)
-                  r.per_node));
-          Common.f3 r.welfare_rate;
-          string_of_int r.delivered;
+          Common.f3 (Common.mean_p_hn r);
+          Common.f3 r.Common.welfare_rate;
+          string_of_int r.Common.delivered;
         ])
-      [
-        ("= decode range (1 hop)", None);
-        ("2 hops", Some (line 2));
-        ("3 hops", Some (line 3));
-      ]
+      variants
   in
   Common.print_table columns rows;
   Common.note "hearing farther than you decode suppresses hidden terminals";
@@ -217,34 +223,72 @@ let drops (scale : Common.scale) =
       Prelude.Table.column "drop rate (sim)";
     ]
   in
+  let limits = [ 1; 2; 4; 7 ] in
+  let encode (drops, packets) =
+    Telemetry.Jsonx.Obj
+      [
+        ("drops", Telemetry.Jsonx.Int drops);
+        ("packets", Telemetry.Jsonx.Int packets);
+      ]
+  in
+  let decode json =
+    match
+      (Runner.Task.int_field "drops" json, Runner.Task.int_field "packets" json)
+    with
+    | Some d, Some p -> Some (d, p)
+    | _ -> None
+  in
+  let counts =
+    Runner.map ~name:"ext.drops"
+      (Array.of_list
+         (List.map
+            (fun retry_limit ->
+              Runner.Task.make
+                ~key:
+                  (Runner.Task.key_of ~family:"ext.drops"
+                     [
+                       Common.params_field params;
+                       ("n", Telemetry.Jsonx.Int n);
+                       ("w", Telemetry.Jsonx.Int w);
+                       ("retry_limit", Telemetry.Jsonx.Int retry_limit);
+                       ( "duration",
+                         Telemetry.Jsonx.Float (4. *. scale.sim_duration) );
+                     ])
+                ~encode ~decode
+                (fun _rng ->
+                  let r =
+                    Netsim.Slotted.run ~retry_limit
+                      {
+                        params;
+                        cws = Array.make n w;
+                        duration = 4. *. scale.sim_duration;
+                        seed = 31;
+                      }
+                  in
+                  let drops =
+                    Array.fold_left
+                      (fun acc (s : Netsim.Slotted.node_stats) -> acc + s.drops)
+                      0 r.per_node
+                  in
+                  let packets =
+                    Array.fold_left
+                      (fun acc (s : Netsim.Slotted.node_stats) ->
+                        acc + s.successes + s.drops)
+                      0 r.per_node
+                  in
+                  (drops, packets)))
+            limits))
+  in
   let rows =
-    List.map
-      (fun retry_limit ->
-        let r =
-          Netsim.Slotted.run ~retry_limit
-            {
-              params;
-              cws = Array.make n w;
-              duration = 4. *. scale.sim_duration;
-              seed = 31;
-            }
-        in
-        let drops =
-          Array.fold_left
-            (fun acc (s : Netsim.Slotted.node_stats) -> acc + s.drops)
-            0 r.per_node
-        in
-        let packets =
-          Array.fold_left
-            (fun acc (s : Netsim.Slotted.node_stats) -> acc + s.successes + s.drops)
-            0 r.per_node
-        in
+    List.mapi
+      (fun i retry_limit ->
+        let drops, packets = counts.(i) in
         [
           string_of_int retry_limit;
           Printf.sprintf "%.5f" (Dcf.Delay.drop_probability ~p ~retry_limit);
           Printf.sprintf "%.5f" (float_of_int drops /. float_of_int packets);
         ])
-      [ 1; 2; 4; 7 ]
+      limits
   in
   Common.print_table columns rows;
   Common.note "(n=%d, W=%d, per-attempt collision probability p=%.4f)" n w p;

@@ -5,16 +5,72 @@
 
 let ns = [ 5; 20; 50 ]
 
+(* One U/C series is one runner task (a figure_points-long column of
+   fixed-point solves), keyed by the parameter set and grid shape. *)
+let encode_points points =
+  Telemetry.Jsonx.Obj
+    [
+      ( "ws",
+        Telemetry.Jsonx.List
+          (Array.to_list
+             (Array.map
+                (fun { Macgame.Welfare.w; _ } -> Telemetry.Jsonx.Int w)
+                points)) );
+      ( "values",
+        Runner.Task.float_array
+          (Array.map (fun { Macgame.Welfare.value; _ } -> value) points) );
+    ]
+
+let decode_points json =
+  match
+    ( Telemetry.Jsonx.member "ws" json,
+      Option.bind (Telemetry.Jsonx.member "values" json) Runner.Task.to_float_array )
+  with
+  | Some (Telemetry.Jsonx.List ws), Some values
+    when List.length ws = Array.length values ->
+      let ws =
+        List.filter_map
+          (function Telemetry.Jsonx.Int w -> Some w | _ -> None)
+          ws
+      in
+      if List.length ws = Array.length values then
+        Some
+          (Array.mapi
+             (fun i w -> { Macgame.Welfare.w; value = values.(i) })
+             (Array.of_list ws))
+      else None
+  | _ -> None
+
 let figure (scale : Common.scale) params ~title =
   Common.heading title;
-  let series =
-    List.map
-      (fun n ->
-        let ws = Macgame.Welfare.sample_windows params ~n ~count:scale.figure_points in
-        let points = Macgame.Welfare.global_series params ~n ~ws in
-        (n, points))
-      ns
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun n ->
+           Runner.Task.make
+             ~key:
+               (Runner.Task.key_of ~family:"figures.series"
+                  [
+                    Common.params_field params;
+                    ("n", Telemetry.Jsonx.Int n);
+                    ("points", Telemetry.Jsonx.Int scale.figure_points);
+                  ])
+             ~encode:encode_points ~decode:decode_points
+             (fun _rng ->
+               let ws =
+                 Macgame.Welfare.sample_windows params ~n
+                   ~count:scale.figure_points
+               in
+               Macgame.Welfare.global_series params ~n ~ws))
+         ns)
   in
+  let slug =
+    match params.Dcf.Params.mode with
+    | Dcf.Params.Basic -> "figure2_basic"
+    | Dcf.Params.Rts_cts -> "figure3_rtscts"
+  in
+  let all_points = Runner.map ~name:slug tasks in
+  let series = List.mapi (fun i n -> (n, all_points.(i))) ns in
   let plot_series =
     List.map
       (fun (n, points) ->
@@ -63,11 +119,6 @@ let figure (scale : Common.scale) params ~title =
   Common.print_table columns rows;
   Common.note "peak sits at Wc* (the efficient NE is also the social optimum);";
   Common.note "the wide 95%% plateau is the robustness the paper highlights.";
-  let slug =
-    match params.Dcf.Params.mode with
-    | Dcf.Params.Basic -> "figure2_basic"
-    | Dcf.Params.Rts_cts -> "figure3_rtscts"
-  in
   Common.csv slug
     ~header:[ "n"; "cw"; "u_over_c" ]
     (List.concat_map

@@ -73,22 +73,36 @@ let run (scale : Common.scale) =
         (Printf.sprintf "packet-level validation (seed %d, %gs simulated)" seed
            scale.multihop_duration);
       let n = Array.length adjacency in
-      let run_at w =
-        Netsim.Spatial.run
-          {
-            params;
-            adjacency;
-            cws = Array.make n w;
-            duration = scale.multihop_duration;
-            seed = seed + w;
-          }
+      (* All packet-level validation points — the NE and optimum windows
+         plus the p_hn independence sweep — are independent simulations,
+         submitted as one runner sweep (this is the multi-hop wall-clock
+         dominator that -j N parallelises). *)
+      let ws =
+        List.sort_uniq compare
+          [ q.w_m; q.w_global_opt; 2 * q.w_m; 4 * q.w_m ]
       in
-      let at_ne = run_at q.w_m in
-      let at_opt = run_at q.w_global_opt in
-      let p_hn =
-        Prelude.Stats.mean_of
-          (Array.map (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat) at_ne.per_node)
+      let summaries =
+        Runner.map
+          ~name:(Printf.sprintf "multihop.seed%d" seed)
+          (Array.of_list
+             (List.map
+                (fun w ->
+                  Common.spatial_task ~family:"multihop.spatial" ~fields:[]
+                    {
+                      params;
+                      adjacency;
+                      cws = Array.make n w;
+                      duration = scale.multihop_duration;
+                      seed = seed + w;
+                    })
+                ws))
       in
+      let summary_at w =
+        List.assoc w (List.mapi (fun i w -> (w, summaries.(i))) ws)
+      in
+      let at_ne = summary_at q.w_m in
+      let at_opt = summary_at q.w_global_opt in
+      let p_hn = Common.mean_p_hn at_ne in
       let columns =
         [
           Prelude.Table.column "common CW";
@@ -97,16 +111,12 @@ let run (scale : Common.scale) =
           Prelude.Table.column "mean p_hn";
         ]
       in
-      let row (label, (r : Netsim.Spatial.result)) =
+      let row (label, (r : Common.spatial_summary)) =
         [
           label;
           Common.f3 r.welfare_rate;
           string_of_int r.delivered;
-          Common.f3
-            (Prelude.Stats.mean_of
-               (Array.map
-                  (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat)
-                  r.per_node));
+          Common.f3 (Common.mean_p_hn r);
         ]
       in
       Common.print_table columns
@@ -127,15 +137,7 @@ let run (scale : Common.scale) =
       let rows =
         List.map
           (fun w ->
-            let r = run_at w in
-            [
-              string_of_int w;
-              Common.f3
-                (Prelude.Stats.mean_of
-                   (Array.map
-                      (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat)
-                      r.per_node));
-            ])
+            [ string_of_int w; Common.f3 (Common.mean_p_hn (summary_at w)) ])
           [ q.w_m; 2 * q.w_m; 4 * q.w_m ]
       in
       Common.print_table columns rows;
@@ -148,19 +150,27 @@ let run (scale : Common.scale) =
       let graph = Macgame.Multihop.create adjacency in
       let initials = Macgame.Multihop.local_efficient_cw params graph in
       let stage = ref 0 in
+      (* Stages are sequential (stage k+1's profile depends on stage k's
+         payoffs), but each stage's simulation still goes through the
+         runner as a single-task sweep: a re-run with a warm cache replays
+         the whole trajectory without simulating. *)
       let payoffs cws =
         incr stage;
-        let r =
-          Netsim.Spatial.run
-            {
-              params;
-              adjacency;
-              cws;
-              duration = scale.multihop_duration /. 2.;
-              seed = seed + (1000 * !stage);
-            }
+        let summaries =
+          Runner.map
+            ~name:(Printf.sprintf "multihop.game.seed%d" seed)
+            [|
+              Common.spatial_task ~family:"multihop.game" ~fields:[]
+                {
+                  params;
+                  adjacency;
+                  cws = Array.copy cws;
+                  duration = scale.multihop_duration /. 2.;
+                  seed = seed + (1000 * !stage);
+                };
+            |]
         in
-        Array.map (fun (s : Netsim.Spatial.node_stats) -> s.payoff_rate) r.per_node
+        summaries.(0).Common.payoffs
       in
       let outcome =
         Macgame.Multihop.local_tft_game graph ~initials ~stages:9 ~payoffs

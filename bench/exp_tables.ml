@@ -25,25 +25,54 @@ let sweep_candidates ~cw_max w_star =
 (* The paper's simulated W_c*: every node records the *common* window that
    maximised its own measured payoff while the whole network sweeps
    together (the converged regime of Sec. VII.A), giving n samples per
-   replicate whose mean and variance are the Table II/III columns. *)
-let simulated_common_optimum (scale : Common.scale) params ~n ~w_star =
-  let stats = Prelude.Stats.create () in
+   replicate whose mean and variance are the Table II/III columns.
+
+   The (replicate x candidate) grid of independent simulations goes
+   through the runner: each point is a task keyed by the full parameter
+   set, so -j N parallelises the sweep and a warm cache replays it. *)
+let simulated_common_optimum (scale : Common.scale) params ~label ~n ~w_star =
   let candidates = sweep_candidates ~cw_max:params.Dcf.Params.cw_max w_star in
+  let grid =
+    List.concat_map
+      (fun replicate -> List.map (fun w -> (replicate, w)) candidates)
+      (List.init scale.replicates (fun r -> r + 1))
+  in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (replicate, w) ->
+           Runner.Task.make
+             ~key:
+               (Runner.Task.key_of ~family:"tables.slotted"
+                  [
+                    Common.params_field params;
+                    ("n", Telemetry.Jsonx.Int n);
+                    ("w", Telemetry.Jsonx.Int w);
+                    ("replicate", Telemetry.Jsonx.Int replicate);
+                    ("duration", Telemetry.Jsonx.Float scale.sim_duration);
+                  ])
+             ~encode:Runner.Task.float_array ~decode:Runner.Task.to_float_array
+             (fun _rng ->
+               let r =
+                 Netsim.Slotted.run
+                   {
+                     params;
+                     cws = Array.make n w;
+                     duration = scale.sim_duration;
+                     seed = (replicate * 7919) + w;
+                   }
+               in
+               Array.map
+                 (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate)
+                 r.per_node))
+         grid)
+  in
+  let payoffs = Runner.map ~name:(Printf.sprintf "%s.n%d" label n) tasks in
+  let stats = Prelude.Stats.create () in
   for replicate = 1 to scale.replicates do
     let payoffs_by_candidate =
-      List.map
-        (fun w ->
-          let r =
-            Netsim.Slotted.run
-              {
-                params;
-                cws = Array.make n w;
-                duration = scale.sim_duration;
-                seed = (replicate * 7919) + w;
-              }
-          in
-          (w, Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node))
-        candidates
+      List.filteri (fun k _ -> fst (List.nth grid k) = replicate)
+        (List.mapi (fun k (_, w) -> (w, payoffs.(k))) grid)
     in
     for i = 0 to n - 1 do
       let best_w = ref w_star and best_u = ref neg_infinity in
@@ -59,7 +88,7 @@ let simulated_common_optimum (scale : Common.scale) params ~n ~w_star =
   done;
   stats
 
-let ne_table (scale : Common.scale) params ~paper ~title =
+let ne_table (scale : Common.scale) params ~label ~paper ~title =
   Common.heading title;
   let columns =
     [
@@ -75,7 +104,7 @@ let ne_table (scale : Common.scale) params ~paper ~title =
     List.map
       (fun (n, paper_w) ->
         let w_star = Macgame.Equilibrium.efficient_cw params ~n in
-        let sim = simulated_common_optimum scale params ~n ~w_star in
+        let sim = simulated_common_optimum scale params ~label ~n ~w_star in
         [
           string_of_int n;
           string_of_int paper_w;
@@ -93,12 +122,12 @@ let ne_table (scale : Common.scale) params ~paper ~title =
     "windows around the analytic Wc* (mean and variance over nodes and replicates)."
 
 let table2 scale =
-  ne_table scale Dcf.Params.default ~paper:paper_basic
+  ne_table scale Dcf.Params.default ~label:"table2" ~paper:paper_basic
     ~title:"Table II: efficient NE, basic access";
   Common.note "model uses m=5 (Table I omits m); see EXPERIMENTS.md for m-sensitivity."
 
 let table3 scale =
-  ne_table scale Dcf.Params.rts_cts ~paper:paper_rts
+  ne_table scale Dcf.Params.rts_cts ~label:"table3" ~paper:paper_rts
     ~title:"Table III: efficient NE, RTS/CTS";
   Common.note "paper's n=5 row (22) is only consistent with m=0: with m=0,e=0 the";
   Common.note "model gives 21/92/233 — see the reproduction notes in EXPERIMENTS.md.";

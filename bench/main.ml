@@ -6,9 +6,16 @@
      main.exe                 run all experiments at quick scale
      main.exe --full          paper-scale durations
      main.exe --perf          micro-benchmarks only
+     main.exe --perf-out F    write the micro-benchmark JSON to F
      main.exe --only NAME     a single experiment: table1 table2 table3
                               figure2 figure3 multihop shortsighted
-                              malicious convergence search validation *)
+                              malicious convergence search validation
+     main.exe -j N            run experiment grids on N domains
+     main.exe --cache DIR     result-cache directory (default _runner_cache)
+     main.exe --no-cache      recompute everything, cache nothing
+     main.exe --telemetry F   stream telemetry events to F as JSONL
+     main.exe --telemetry-report
+                              print the metrics registry after the run *)
 
 let experiments : (string * (Common.scale -> unit)) list =
   [
@@ -44,20 +51,60 @@ let () =
   in
   let only = keyed "--only" in
   Common.csv_dir := keyed "--csv" args;
-  let scale = if full then Common.full else Common.quick in
-  (match only args with
-  | Some name -> (
-      match List.assoc_opt name experiments with
-      | Some f -> f scale
+  (* Runner configuration: every experiment grid submits its points
+     through the ambient runner. *)
+  let jobs =
+    match keyed "-j" args with
+    | Some v -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 1)
+    | None -> 1
+  in
+  let cache_dir =
+    if List.mem "--no-cache" args then None
+    else Some (Option.value (keyed "--cache" args) ~default:"_runner_cache")
+  in
+  Runner.configure
+    { Runner.workers = jobs; cache_dir; checkpoints = true; seed = 0 };
+  (* Optional telemetry, mirroring the CLI's flags. *)
+  let registry = Telemetry.Registry.default in
+  let sink =
+    Option.map
+      (fun path -> Telemetry.Sink.jsonl path)
+      (keyed "--telemetry" args)
+  in
+  Option.iter (Telemetry.Registry.add_sink registry) sink;
+  let finish () =
+    Option.iter
+      (fun s ->
+        Telemetry.Registry.remove_sink registry s;
+        Telemetry.Sink.close s)
+      sink;
+    if List.mem "--telemetry-report" args then
+      print_string (Telemetry.Report.render ~registry ())
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let scale = if full then Common.full else Common.quick in
+      (match only args with
+      | Some name -> (
+          match List.assoc_opt name experiments with
+          | Some f -> f scale
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s\n" name
+                (String.concat " " (List.map fst experiments));
+              exit 1)
       | None ->
-          Printf.eprintf "unknown experiment %S; known: %s\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 1)
-  | None ->
-      if not perf then begin
-        Printf.printf
-          "Reproduction harness: Chen & Leneutre, ICDCS 2007 (%s scale)\n"
-          (if full then "full" else "quick");
-        List.iter (fun (_, f) -> f scale) experiments
-      end);
-  if perf then Perf.run ()
+          if not perf then begin
+            Printf.printf
+              "Reproduction harness: Chen & Leneutre, ICDCS 2007 (%s scale)\n"
+              (if full then "full" else "quick");
+            List.iter (fun (_, f) -> f scale) experiments
+          end);
+      if perf then
+        let out =
+          match keyed "--perf-out" args with
+          | Some path -> path
+          | None -> (
+              match Sys.getenv_opt "BENCH_PERF_OUT" with
+              | Some path -> path
+              | None -> "BENCH_PR2.json")
+        in
+        Perf.run ~out ())

@@ -77,6 +77,31 @@ let tests =
                     duration = 1.;
                     seed = 1;
                   })));
+      (* Runner overhead: a 32-point sweep of near-empty tasks on 4
+         domains, no cache — measures the engine's fixed cost per sweep
+         (pool spawn/join, deques, key hashing) as distinct from the
+         science inside the tasks. *)
+      Test.make ~name:"runner_map_32tasks_j4"
+        (Staged.stage
+           (let config =
+              {
+                Runner.workers = 4;
+                cache_dir = None;
+                checkpoints = false;
+                seed = 0;
+              }
+            in
+            let tasks =
+              Array.init 32 (fun i ->
+                  Runner.Task.make
+                    ~key:
+                      (Runner.Task.key_of ~family:"perf.noop"
+                         [ ("i", Telemetry.Jsonx.Int i) ])
+                    ~encode:(fun v -> Telemetry.Jsonx.Float v)
+                    ~decode:Telemetry.Jsonx.to_float_opt
+                    (fun rng -> Prelude.Rng.float rng 1.))
+            in
+            fun () -> ignore (Runner.map ~config ~name:"perf.overhead" tasks)));
     ]
 
 (* Persist the per-kernel estimates so successive PRs can diff them.  The
@@ -105,7 +130,7 @@ let write_json path estimates =
   close_out oc;
   Printf.printf "wrote %s (%d kernels)\n" path (List.length estimates)
 
-let run () =
+let run ~out () =
   Common.heading "Bechamel micro-benchmarks";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -149,4 +174,4 @@ let run () =
         per_test)
     results;
   Common.print_table columns (List.sort compare !rows);
-  write_json "BENCH_PR1.json" (List.sort compare !estimates)
+  write_json out (List.sort compare !estimates)

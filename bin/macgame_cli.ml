@@ -49,6 +49,43 @@ let n_t =
     value & opt int 5
     & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of contending nodes.")
 
+(* Execution engine: every subcommand accepts -j N (domain parallelism for
+   experiment grids), --cache DIR (content-addressed result cache +
+   checkpoint journals) and --no-cache.  The flags configure the ambient
+   runner; grid-shaped subcommands (sweep) submit their points through it. *)
+
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate experiment grids on $(docv) domains.  Results are \
+           bit-identical to a serial run for every $(docv).")
+
+let cache_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Cache task results under $(docv) (content-addressed; re-runs \
+           recompute only changed points and interrupted sweeps resume \
+           from their checkpoint journal).")
+
+let no_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Recompute every grid point; cache nothing.")
+
+let configure_runner jobs cache no_cache =
+  Runner.configure
+    {
+      Runner.workers = (if jobs >= 1 then jobs else 1);
+      cache_dir = (if no_cache then None else cache);
+      checkpoints = true;
+      seed = 0;
+    }
+
 (* Observability: every subcommand accepts --telemetry FILE (stream the
    instrumentation events of all layers as JSONL) and --telemetry-report
    (print the metrics registry after the run). *)
@@ -90,12 +127,14 @@ let with_telemetry file report f =
       if report then print_string (Telemetry.Report.render ~registry ()))
     f
 
-(* [instrumented run] threads the two telemetry options in front of a
-   subcommand's own arguments. *)
+(* [instrumented run] threads the telemetry and runner options in front of
+   a subcommand's own arguments. *)
 let instrumented term =
   Term.(
-    const (fun file report run -> with_telemetry file report run)
-    $ telemetry_t $ telemetry_report_t $ term)
+    const (fun file report jobs cache no_cache run ->
+        configure_runner jobs cache no_cache;
+        with_telemetry file report run)
+    $ telemetry_t $ telemetry_report_t $ jobs_t $ cache_t $ no_cache_t $ term)
 
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
@@ -365,18 +404,57 @@ let sweep_cmd =
   let run mode m n points () =
     let params = params_of mode m in
     let ws = Macgame.Welfare.sample_windows params ~n ~count:points in
+    (* Each grid point is a runner task: -j N parallelises the sweep and
+       --cache makes re-runs incremental. *)
+    let encode (u, s) =
+      Telemetry.Jsonx.Obj
+        [
+          ("utility", Telemetry.Jsonx.Float u);
+          ("throughput", Telemetry.Jsonx.Float s);
+        ]
+    in
+    let decode json =
+      match
+        ( Option.bind (Telemetry.Jsonx.member "utility" json)
+            Telemetry.Jsonx.to_float_opt,
+          Option.bind (Telemetry.Jsonx.member "throughput" json)
+            Telemetry.Jsonx.to_float_opt )
+      with
+      | Some u, Some s -> Some (u, s)
+      | _ -> None
+    in
+    let tasks =
+      Array.map
+        (fun w ->
+          Runner.Task.make
+            ~key:
+              (Runner.Task.key_of ~family:"cli.sweep"
+                 [
+                   ( "params",
+                     Telemetry.Jsonx.String
+                       (Format.asprintf "%a" Dcf.Params.pp params) );
+                   ("n", Telemetry.Jsonx.Int n);
+                   ("w", Telemetry.Jsonx.Int w);
+                 ])
+            ~encode ~decode
+            (fun _rng ->
+              let v = Dcf.Model.homogeneous params ~n ~w in
+              let metrics =
+                Dcf.Metrics.of_taus params (Array.make n v.Dcf.Model.tau)
+              in
+              (v.utility, metrics.throughput)))
+        ws
+    in
+    let results = Runner.map ~name:"cli.sweep" tasks in
     Printf.printf "   W | payoff/node | welfare | U/C      | throughput\n";
-    Array.iter
-      (fun w ->
-        let v = Dcf.Model.homogeneous params ~n ~w in
-        let metrics =
-          Dcf.Metrics.of_taus params (Array.make n v.Dcf.Model.tau)
-        in
-        Printf.printf "%4d |    %8.4f | %7.3f | %.6f | %.4f\n" w v.utility
-          (float_of_int n *. v.utility)
-          (params.Dcf.Params.sigma *. float_of_int n *. v.utility
+    Array.iteri
+      (fun i w ->
+        let utility, throughput = results.(i) in
+        Printf.printf "%4d |    %8.4f | %7.3f | %.6f | %.4f\n" w utility
+          (float_of_int n *. utility)
+          (params.Dcf.Params.sigma *. float_of_int n *. utility
           /. params.Dcf.Params.gain)
-          metrics.throughput)
+          throughput)
       ws;
     let w_star = Macgame.Equilibrium.efficient_cw params ~n in
     Printf.printf "efficient NE at W = %d\n" w_star

@@ -20,6 +20,19 @@ let split t =
      between parent and child streams. *)
   { state = bits64 t }
 
+let of_key ~seed key =
+  (* A stream derived from (seed, key) alone: equal pairs give equal
+     streams regardless of task submission order or worker interleaving,
+     which is what makes parallel sweeps bit-identical to serial ones.
+     The FNV hash of the key is xored into a gamma-scaled seed; SplitMix's
+     output mixing takes care of any residual structure. *)
+  {
+    state =
+      Int64.logxor
+        (Int64.mul (Int64.of_int seed) golden_gamma)
+        (Util.fnv1a64 key);
+  }
+
 (* 62 uniform bits as a non-negative OCaml int. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

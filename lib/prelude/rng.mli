@@ -22,6 +22,13 @@ val split : t -> t
     statistically independent of the remainder of [t]'s stream.  Used to give
     each simulated station its own stream. *)
 
+val of_key : seed:int -> string -> t
+(** [of_key ~seed key] is a generator determined solely by the
+    [(seed, key)] pair — no ambient state is read or advanced.  The
+    experiment runner derives each task's stream this way (from the sweep
+    seed and the task's content key), so results are independent of task
+    ordering, worker count, and scheduling. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -42,3 +42,16 @@ let geometric_sum r k =
 let fold_range lo hi ~init ~f =
   let rec go acc i = if i > hi then acc else go (f acc i) (i + 1) in
   go init lo
+
+(* FNV-1a, the 64-bit variant: a tiny, well-distributed string hash used
+   to content-address cached experiment results and to derive per-task RNG
+   streams.  Stable across runs and platforms, unlike [Hashtbl.hash]. *)
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let hex64 h = Printf.sprintf "%016Lx" h

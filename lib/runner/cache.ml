@@ -1,0 +1,61 @@
+type t = { dir : string; mutex : Mutex.t }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir dir =
+  mkdir_p dir;
+  { dir; mutex = Mutex.create () }
+
+let dir t = t.dir
+
+let path_of t ~key =
+  Filename.concat t.dir (Prelude.Util.hex64 (Prelude.Util.fnv1a64 key) ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t ~key =
+  let path = path_of t ~key in
+  match read_file path with
+  | exception Sys_error _ -> None
+  | contents -> (
+      match Telemetry.Jsonx.parse (String.trim contents) with
+      | exception Telemetry.Jsonx.Parse_error _ -> None
+      | json -> (
+          match Telemetry.Jsonx.member "key" json with
+          | Some (Telemetry.Jsonx.String stored) when String.equal stored key ->
+              Telemetry.Jsonx.member "value" json
+          | _ -> None))
+
+let store t ~key value =
+  let path = path_of t ~key in
+  let line =
+    Telemetry.Jsonx.to_string
+      (Telemetry.Jsonx.Obj
+         [ ("key", Telemetry.Jsonx.String key); ("value", value) ])
+  in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc line;
+      output_char oc '\n';
+      close_out oc;
+      Sys.rename tmp path)
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 0
+  | files ->
+      Array.fold_left
+        (fun acc f -> if Filename.check_suffix f ".json" then acc + 1 else acc)
+        0 files

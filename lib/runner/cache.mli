@@ -1,0 +1,32 @@
+(** Disk-backed, content-addressed result cache.
+
+    One JSON file per task result under the cache directory, named by the
+    task key's 64-bit FNV-1a fingerprint:
+
+    {v
+    _runner_cache/
+      1f2e3d4c5b6a7988.json   {"key": "<full task key>", "value": <result>}
+    v}
+
+    The full key is stored inside the file and compared on lookup, so a
+    fingerprint collision degrades to a miss, never to a wrong result.
+    Writes go to a temp file in the same directory followed by a rename,
+    so a sweep killed mid-store leaves no truncated entries.  The store is
+    shared across sweeps — any task anywhere in the grid with the same
+    content key reuses the entry — and safe to call from pool workers. *)
+
+type t
+
+val open_dir : string -> t
+(** Opens (creating if needed, including parents) the cache directory. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> Telemetry.Jsonx.t option
+(** The stored value for this exact key, or [None] on a missing entry, an
+    unreadable/corrupt file, or a fingerprint collision. *)
+
+val store : t -> key:string -> Telemetry.Jsonx.t -> unit
+
+val entries : t -> int
+(** Number of entries currently on disk. *)

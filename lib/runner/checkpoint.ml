@@ -1,0 +1,69 @@
+type t = {
+  mutex : Mutex.t;
+  table : (string, Telemetry.Jsonx.t) Hashtbl.t;
+  oc : out_channel;
+}
+
+let replay table path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              let line = input_line ic in
+              if String.trim line <> "" then
+                match Telemetry.Jsonx.parse line with
+                | exception Telemetry.Jsonx.Parse_error _ ->
+                    (* A kill mid-append truncates at most the final line;
+                       drop it and let that task recompute. *)
+                    ()
+                | json -> (
+                    match
+                      ( Telemetry.Jsonx.member "task" json,
+                        Telemetry.Jsonx.member "value" json )
+                    with
+                    | Some (Telemetry.Jsonx.String fp), Some v ->
+                        Hashtbl.replace table fp v
+                    | _ -> ())
+            done
+          with End_of_file -> ())
+
+let load path =
+  let table = Hashtbl.create 64 in
+  replay table path;
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  { mutex = Mutex.create (); table; oc }
+
+let find t ~fingerprint =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> Hashtbl.find_opt t.table fingerprint)
+
+let record t ~fingerprint value =
+  let line =
+    Telemetry.Jsonx.to_string
+      (Telemetry.Jsonx.Obj
+         [ ("task", Telemetry.Jsonx.String fingerprint); ("value", value) ])
+  in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.replace t.table fingerprint value;
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc)
+
+let entries t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> Hashtbl.length t.table)
+
+let close t = close_out_noerr t.oc

@@ -1,0 +1,31 @@
+(** Per-sweep checkpoint journal for resume-after-interrupt.
+
+    Where the {!module:Cache} is a cross-sweep content-addressed store,
+    the journal is the record of {e this} sweep's progress: one JSONL line
+    per completed task, appended and flushed as each task finishes:
+
+    {v {"task": "<fingerprint>", "value": <result>} v}
+
+    Because every line carries the encoded result, resume needs nothing
+    but the journal: a re-launched sweep prefills every recorded task and
+    computes only the remainder — even with the cache disabled.  A process
+    killed mid-append leaves at most one truncated final line, which
+    {!load} tolerates (that task is simply recomputed).  Entries are keyed
+    by content fingerprint, so editing the grid between runs is safe:
+    points still in the grid resume, removed ones become dead lines. *)
+
+type t
+
+val load : string -> t
+(** Open the journal at this path for appending, first replaying any
+    entries an earlier (interrupted) run left there. *)
+
+val find : t -> fingerprint:string -> Telemetry.Jsonx.t option
+
+val record : t -> fingerprint:string -> Telemetry.Jsonx.t -> unit
+(** Append one completed task and flush.  Safe from pool workers. *)
+
+val entries : t -> int
+(** Entries replayed at {!load} time plus those recorded since. *)
+
+val close : t -> unit

@@ -1,0 +1,51 @@
+type 'a t = {
+  mutex : Mutex.t;
+  mutable buf : 'a option array;  (* circular; [None] = unoccupied slot *)
+  mutable head : int;             (* index of the front element *)
+  mutable len : int;
+}
+
+let create () = { mutex = Mutex.create (); buf = Array.make 16 None; head = 0; len = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  locked t (fun () ->
+      if t.len = Array.length t.buf then grow t;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+      t.len <- t.len + 1)
+
+let pop_back t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let i = (t.head + t.len - 1) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        x
+      end)
+
+let steal t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        x
+      end)
+
+let length t = locked t (fun () -> t.len)

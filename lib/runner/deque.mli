@@ -1,0 +1,22 @@
+(** A mutex-protected work-stealing deque.
+
+    Each pool worker owns one deque: the owner pushes and pops at the back
+    (LIFO, keeping its working set warm), thieves take from the front
+    (FIFO, stealing the oldest — and for grid sweeps typically the
+    largest-remaining — work).  A single mutex per deque is plenty here:
+    tasks are milliseconds-scale experiment points, so the lock is touched
+    a few hundred times a second, far from contention. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push_back : 'a t -> 'a -> unit
+
+val pop_back : 'a t -> 'a option
+(** Owner end; [None] when empty. *)
+
+val steal : 'a t -> 'a option
+(** Thief end; [None] when empty. *)
+
+val length : 'a t -> int

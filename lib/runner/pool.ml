@@ -1,0 +1,101 @@
+type t = {
+  workers : int;
+  registry : Telemetry.Registry.t;
+  mutable total_jobs : int;
+  mutable total_steals : int;
+}
+
+let create ?(registry = Telemetry.Registry.default) ~workers () =
+  { workers = Stdlib.max 1 workers; registry; total_jobs = 0; total_steals = 0 }
+
+let workers t = t.workers
+
+type run_stats = {
+  jobs : int;
+  workers_used : int;
+  steals : int;
+  busy : float array;
+  elapsed : float;
+}
+
+let run t jobs =
+  let n = Array.length jobs in
+  let nw = Stdlib.max 1 (Stdlib.min t.workers n) in
+  let started = Unix.gettimeofday () in
+  let busy = Array.make nw 0. in
+  let steals = Array.make nw 0 in
+  let failure = Atomic.make None in
+  let execute w job =
+    let t0 = Unix.gettimeofday () in
+    (try job ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+    busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0)
+  in
+  if nw = 1 then
+    Array.iter
+      (fun job -> if Atomic.get failure = None then execute 0 job)
+      jobs
+  else begin
+    let deques = Array.init nw (fun _ -> Deque.create ()) in
+    Array.iteri (fun i job -> Deque.push_back deques.(i mod nw) job) jobs;
+    let worker w () =
+      let next () =
+        match Deque.pop_back deques.(w) with
+        | Some _ as job -> job
+        | None ->
+            (* Scan the other deques for a victim, starting just past us so
+               thieves spread out instead of mobbing worker 0. *)
+            let rec scan k =
+              if k >= nw then None
+              else
+                match Deque.steal deques.((w + k) mod nw) with
+                | Some _ as job ->
+                    steals.(w) <- steals.(w) + 1;
+                    job
+                | None -> scan (k + 1)
+            in
+            scan 1
+      in
+      let rec loop () =
+        if Atomic.get failure = None then
+          match next () with
+          | Some job ->
+              execute w job;
+              loop ()
+          | None -> ()
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (nw - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join domains
+  end;
+  let stolen = Array.fold_left ( + ) 0 steals in
+  t.total_jobs <- t.total_jobs + n;
+  t.total_steals <- t.total_steals + stolen;
+  Telemetry.Metric.add (Telemetry.Registry.counter t.registry "runner.pool.jobs") n;
+  Telemetry.Metric.add
+    (Telemetry.Registry.counter t.registry "runner.pool.steals")
+    stolen;
+  let busy_hist =
+    Telemetry.Registry.histogram t.registry "runner.pool.worker_busy_seconds"
+  in
+  Array.iter (fun s -> Telemetry.Metric.observe busy_hist s) busy;
+  (match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  {
+    jobs = n;
+    workers_used = nw;
+    steals = stolen;
+    busy;
+    elapsed = Unix.gettimeofday () -. started;
+  }
+
+let total_jobs t = t.total_jobs
+
+let total_steals t = t.total_steals

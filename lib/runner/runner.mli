@@ -1,0 +1,62 @@
+(** The experiment engine: deterministic domain-parallel sweeps with a
+    content-addressed result cache and checkpoint/resume.
+
+    [map cfg ~name tasks] evaluates every task and returns their results
+    in submission order.  For each task it consults, in order:
+
+    + the sweep's checkpoint journal ([<cache>/<name>.journal.jsonl]) —
+      results a previous interrupted run of this sweep already produced;
+    + the content-addressed cache ([<cache>/<fingerprint>.json]) — results
+      any previous sweep produced for the same content key;
+    + the domain pool, which computes the misses, storing each result in
+      both cache and journal the moment it completes.
+
+    {b Determinism contract.}  Task results are a function of the task key
+    and the sweep seed only: each task's RNG comes from
+    {!Prelude.Rng.of_key} on [(cfg.seed, task.key)], and results land in a
+    per-task slot.  Consequently [-j k] output is bit-identical to serial
+    for every [k], and a cache hit is byte-identical to recomputation
+    (given codec fidelity — see {!module:Task}).  No ordering, worker
+    count, scheduling, or interruption history can change a sweep's value.
+
+    {b Telemetry.}  Each computed task runs inside a ["runner.task"] span;
+    the sweep maintains [runner.cache.hits] / [runner.cache.misses] /
+    [runner.tasks.completed] counters (plus the pool's job/steal counters
+    and per-worker busy-time histogram) and emits one ["run_manifest"]
+    event at pool shutdown carrying the sweep name, worker count, task
+    count, cache hit rate, steals and elapsed wall-clock — enough to audit
+    a sweep from the JSONL stream alone. *)
+
+module Task = Task
+module Deque = Deque
+module Pool = Pool
+module Cache = Cache
+module Checkpoint = Checkpoint
+
+type config = {
+  workers : int;            (** degree of parallelism; 1 = serial *)
+  cache_dir : string option;(** [None] disables both cache and journal *)
+  checkpoints : bool;       (** keep a per-sweep resume journal *)
+  seed : int;               (** sweep seed for per-task RNG derivation *)
+}
+
+val default_config : config
+(** [{ workers = 1; cache_dir = None; checkpoints = true; seed = 0 }] *)
+
+val configure : config -> unit
+(** Set the ambient configuration used when {!map} is called without an
+    explicit one — the CLI's [-j] / [--cache] / [--no-cache] flags land
+    here, so experiment code needs no plumbing. *)
+
+val current_config : unit -> config
+
+val map :
+  ?registry:Telemetry.Registry.t ->
+  ?config:config ->
+  name:string ->
+  'a Task.t array ->
+  'a array
+(** Evaluate the sweep.  [name] identifies the sweep's checkpoint journal
+    and labels its manifest; it must be stable across runs for resume to
+    find the journal.  Re-raises the first task exception after the pool
+    drains. *)

@@ -1,6 +1,13 @@
 type t = {
   label : string;
   clock : unit -> float;
+  mutex : Mutex.t;
+      (* Guards the metric tables, the sink list, sink emission and the
+         span-depth counter, so instrumented code may run on any domain
+         (the experiment runner executes tasks on a Domain pool).  Metric
+         *updates* (incr/observe) are deliberately left outside the lock:
+         they are single-field stores, racy-but-memory-safe, and locking
+         them would tax every hot loop. *)
   mutable sinks : Sink.t list;
   counters : (string, Metric.counter) Hashtbl.t;
   gauges : (string, Metric.gauge) Hashtbl.t;
@@ -12,6 +19,7 @@ let create ?(label = "registry") ?(clock = Unix.gettimeofday) () =
   {
     label;
     clock;
+    mutex = Mutex.create ();
     sinks = [];
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
@@ -25,56 +33,70 @@ let label t = t.label
 
 let now t = t.clock ()
 
-let get_or_create table make name =
-  match Hashtbl.find_opt table name with
-  | Some m -> m
-  | None ->
-      let m = make () in
-      Hashtbl.add table name m;
-      m
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let counter t name = get_or_create t.counters Metric.counter name
+let get_or_create t table make name =
+  locked t (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.add table name m;
+          m)
 
-let gauge t name = get_or_create t.gauges Metric.gauge name
+let counter t name = get_or_create t t.counters Metric.counter name
 
-let histogram t name = get_or_create t.histograms Metric.histogram name
+let gauge t name = get_or_create t t.gauges Metric.gauge name
 
-let add_sink t sink = t.sinks <- sink :: t.sinks
+let histogram t name = get_or_create t t.histograms Metric.histogram name
 
-let remove_sink t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
+let add_sink t sink = locked t (fun () -> t.sinks <- sink :: t.sinks)
+
+let remove_sink t sink =
+  locked t (fun () -> t.sinks <- List.filter (fun s -> s != sink) t.sinks)
 
 let active t = t.sinks <> []
 
 let emit t name fields =
   match t.sinks with
   | [] -> ()
-  | sinks ->
-      let event = Event.make ~at:(t.clock ()) ~name (fields ()) in
-      List.iter (fun sink -> Sink.emit sink event) sinks
+  | _ ->
+      (* Build and deliver under the lock: sinks see whole events and the
+         JSONL lines of concurrent domains never interleave. *)
+      locked t (fun () ->
+          match t.sinks with
+          | [] -> ()
+          | sinks ->
+              let event = Event.make ~at:(t.clock ()) ~name (fields ()) in
+              List.iter (fun sink -> Sink.emit sink event) sinks)
 
-let flush t = List.iter Sink.flush t.sinks
+let flush t = locked t (fun () -> List.iter Sink.flush t.sinks)
 
 let enter_span t =
-  let d = t.depth in
-  t.depth <- d + 1;
-  d
+  locked t (fun () ->
+      let d = t.depth in
+      t.depth <- d + 1;
+      d)
 
-let leave_span t = t.depth <- Stdlib.max 0 (t.depth - 1)
+let leave_span t = locked t (fun () -> t.depth <- Stdlib.max 0 (t.depth - 1))
 
 let depth t = t.depth
 
-let sorted table =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) table []
+let sorted t table =
+  locked t (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters t = sorted t.counters
+let counters t = sorted t t.counters
 
-let gauges t = sorted t.gauges
+let gauges t = sorted t t.gauges
 
-let histograms t = sorted t.histograms
+let histograms t = sorted t t.histograms
 
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges;
-  Hashtbl.reset t.histograms;
-  t.depth <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.gauges;
+      Hashtbl.reset t.histograms;
+      t.depth <- 0)

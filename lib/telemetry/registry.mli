@@ -8,7 +8,15 @@
     With no sink attached — the common case — {!emit} returns without
     reading the clock or building the event, so instrumentation in hot
     loops costs a list-emptiness check.  Metric updates always happen:
-    counters and Welford histograms are cheap enough to leave on. *)
+    counters and Welford histograms are cheap enough to leave on.
+
+    Registries are safe to share across domains: metric lookup, sink
+    management, event emission and span nesting are mutex-protected (the
+    experiment runner executes instrumented tasks on a Domain pool, all
+    falling back to {!default}).  Metric {e updates} are intentionally
+    unlocked — single-field stores that stay memory-safe under races, at
+    worst dropping a count — and span depths recorded from concurrently
+    running tasks reflect interleaved nesting. *)
 
 type t
 

@@ -1,0 +1,341 @@
+(* Tests for the experiment engine: work-stealing deque semantics, task
+   keys and derived RNG streams, the determinism contract (-j k results
+   bit-identical to serial), cache hits skipping recomputation, and
+   resume-after-kill completing a checkpointed sweep from its journal. *)
+
+module R = Runner
+module J = Telemetry.Jsonx
+
+let temp_dir () =
+  let path = Filename.temp_file "runner_test" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let config ?(workers = 1) ?cache_dir ?(checkpoints = true) ?(seed = 0) () =
+  { R.workers; cache_dir; checkpoints; seed }
+
+(* A float-valued task whose result is a deterministic function of its key
+   and the sweep seed (via the task RNG) plus a visible computation count,
+   so tests can assert what actually ran. *)
+let counted_task counter ~tag i =
+  R.Task.make
+    ~key:
+      (R.Task.key_of ~family:"test.counted"
+         [ ("tag", J.String tag); ("i", J.Int i) ])
+    ~encode:(fun v -> J.Float v)
+    ~decode:J.to_float_opt
+    (fun rng ->
+      Atomic.incr counter;
+      Prelude.Rng.float rng 1.0 +. float_of_int i)
+
+let counted_tasks counter ~tag n =
+  Array.init n (counted_task counter ~tag)
+
+(* {1 Deque} *)
+
+let test_deque_owner_lifo () =
+  let d = R.Deque.create () in
+  List.iter (R.Deque.push_back d) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (R.Deque.length d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 3) (R.Deque.pop_back d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (R.Deque.steal d);
+  Alcotest.(check (option int)) "middle remains" (Some 2) (R.Deque.pop_back d);
+  Alcotest.(check (option int)) "empty pop" None (R.Deque.pop_back d);
+  Alcotest.(check (option int)) "empty steal" None (R.Deque.steal d)
+
+let test_deque_growth () =
+  let d = R.Deque.create () in
+  (* Interleave pushes and steals so the circular buffer wraps before it
+     grows. *)
+  for i = 1 to 8 do
+    R.Deque.push_back d i
+  done;
+  for _ = 1 to 4 do
+    ignore (R.Deque.steal d)
+  done;
+  for i = 9 to 40 do
+    R.Deque.push_back d i
+  done;
+  let drained = ref [] in
+  let rec drain () =
+    match R.Deque.steal d with
+    | Some x ->
+        drained := x :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "FIFO order preserved across growth"
+    (List.init 36 (fun i -> i + 5))
+    (List.rev !drained)
+
+(* {1 Task keys and RNG derivation} *)
+
+let test_key_field_order_insensitive () =
+  let k1 = R.Task.key_of ~family:"f" [ ("a", J.Int 1); ("b", J.Int 2) ] in
+  let k2 = R.Task.key_of ~family:"f" [ ("b", J.Int 2); ("a", J.Int 1) ] in
+  Alcotest.(check string) "sorted canonical form" k1 k2;
+  let k3 = R.Task.key_of ~family:"g" [ ("a", J.Int 1); ("b", J.Int 2) ] in
+  Alcotest.(check bool) "family distinguishes" false (String.equal k1 k3)
+
+let test_rng_of_key () =
+  let draws key seed =
+    let rng = Prelude.Rng.of_key ~seed key in
+    List.init 4 (fun _ -> Prelude.Rng.float rng 1.0)
+  in
+  Alcotest.(check (list (float 0.))) "same (seed, key), same stream"
+    (draws "k" 7) (draws "k" 7);
+  Alcotest.(check bool) "different key, different stream" false
+    (draws "k" 7 = draws "l" 7);
+  Alcotest.(check bool) "different seed, different stream" false
+    (draws "k" 7 = draws "k" 8)
+
+let test_fingerprint_stable () =
+  let t = counted_task (Atomic.make 0) ~tag:"fp" 3 in
+  Alcotest.(check string) "fingerprint is a function of the key"
+    (R.Task.fingerprint t)
+    (R.Task.fingerprint (counted_task (Atomic.make 0) ~tag:"fp" 3));
+  Alcotest.(check int) "16 hex digits" 16 (String.length (R.Task.fingerprint t))
+
+(* {1 Determinism: -j k bit-identical to serial} *)
+
+(* A multihop-style sweep: spatial packet simulations over a window grid
+   on a line topology — the shape bench/exp_multihop.ml submits. *)
+let spatial_tasks () =
+  let n = 8 in
+  let adjacency =
+    Array.init n (fun i ->
+        List.filter (fun j -> j >= 0 && j < n && j <> i) [ i - 1; i + 1 ])
+  in
+  Array.of_list
+    (List.map
+       (fun w ->
+         R.Task.make
+           ~key:(R.Task.key_of ~family:"test.spatial" [ ("w", J.Int w) ])
+           ~encode:R.Task.float_array ~decode:R.Task.to_float_array
+           (fun _rng ->
+             let r =
+               Netsim.Spatial.run
+                 {
+                   params = Dcf.Params.rts_cts;
+                   adjacency;
+                   cws = Array.make n w;
+                   duration = 0.5;
+                   seed = 11 + w;
+                 }
+             in
+             Array.map
+               (fun (s : Netsim.Spatial.node_stats) -> s.payoff_rate)
+               r.per_node))
+       [ 8; 16; 32; 64 ])
+
+let test_parallel_bit_identical_spatial () =
+  let serial = R.map ~config:(config ~workers:1 ()) ~name:"t" (spatial_tasks ()) in
+  List.iter
+    (fun workers ->
+      let parallel =
+        R.map ~config:(config ~workers ()) ~name:"t" (spatial_tasks ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "-j %d bit-identical to serial" workers)
+        true
+        (serial = parallel))
+    [ 2; 4; 8 ]
+
+let test_parallel_bit_identical_qcheck =
+  QCheck.Test.make ~count:20 ~name:"random sweeps: -j k = serial"
+    QCheck.(pair (int_bound 30) (int_bound 7))
+    (fun (n, j) ->
+      let tasks tag = counted_tasks (Atomic.make 0) ~tag (n + 1) in
+      let serial = R.map ~config:(config ~workers:1 ()) ~name:"q" (tasks "q") in
+      let parallel =
+        R.map ~config:(config ~workers:(j + 2) ()) ~name:"q" (tasks "q")
+      in
+      serial = parallel)
+
+let test_seed_changes_results () =
+  let tasks seed =
+    R.map
+      ~config:(config ~workers:1 ~seed ())
+      ~name:"s"
+      (counted_tasks (Atomic.make 0) ~tag:"seed" 4)
+  in
+  Alcotest.(check bool) "sweep seed feeds task RNGs" false (tasks 0 = tasks 1)
+
+(* {1 Cache} *)
+
+let test_cache_hits_skip_recomputation () =
+  let dir = temp_dir () in
+  let counter = Atomic.make 0 in
+  let cfg = config ~workers:2 ~cache_dir:dir () in
+  let cold = R.map ~config:cfg ~name:"c" (counted_tasks counter ~tag:"c" 6) in
+  Alcotest.(check int) "cold run computes everything" 6 (Atomic.get counter);
+  let registry = Telemetry.Registry.create ~label:"t" () in
+  let warm =
+    R.map ~registry ~config:cfg ~name:"c" (counted_tasks counter ~tag:"c" 6)
+  in
+  Alcotest.(check int) "warm run computes nothing" 6 (Atomic.get counter);
+  Alcotest.(check bool) "warm results byte-identical" true (cold = warm);
+  Alcotest.(check int) "hits counted" 6
+    (Telemetry.Metric.count (Telemetry.Registry.counter registry "runner.cache.hits"))
+
+let test_cache_shared_across_sweeps () =
+  let dir = temp_dir () in
+  let counter = Atomic.make 0 in
+  let cfg = config ~cache_dir:dir () in
+  ignore (R.map ~config:cfg ~name:"sweep_a" (counted_tasks counter ~tag:"x" 4));
+  (* A different sweep name, same content keys: the content-addressed
+     store serves them without recomputation. *)
+  ignore (R.map ~config:cfg ~name:"sweep_b" (counted_tasks counter ~tag:"x" 4));
+  Alcotest.(check int) "content addressing crosses sweeps" 4 (Atomic.get counter)
+
+let test_corrupt_cache_entry_recomputes () =
+  let dir = temp_dir () in
+  let counter = Atomic.make 0 in
+  let cfg = config ~cache_dir:dir ~checkpoints:false () in
+  let cold = R.map ~config:cfg ~name:"k" (counted_tasks counter ~tag:"k" 2) in
+  (* Truncate one entry; the engine must fall back to recomputation. *)
+  let victim = Sys.readdir dir |> Array.to_list |> List.sort compare |> List.hd in
+  let oc = open_out (Filename.concat dir victim) in
+  output_string oc "{ not json";
+  close_out oc;
+  let again = R.map ~config:cfg ~name:"k" (counted_tasks counter ~tag:"k" 2) in
+  Alcotest.(check int) "exactly the corrupt entry recomputed" 3
+    (Atomic.get counter);
+  Alcotest.(check bool) "values unchanged" true (cold = again)
+
+(* {1 Checkpoint / resume} *)
+
+let test_resume_after_kill () =
+  let dir = temp_dir () in
+  let counter = Atomic.make 0 in
+  let cfg = config ~workers:2 ~cache_dir:dir () in
+  let all = counted_tasks counter ~tag:"r" 8 in
+  (* "Kill" after three tasks: run a prefix of the sweep, then drop the
+     cache entries so only the journal knows the completed work. *)
+  let prefix = Array.sub all 0 3 in
+  let first = R.map ~config:cfg ~name:"resume" prefix in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".json" then
+        Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Alcotest.(check int) "prefix computed" 3 (Atomic.get counter);
+  let full = R.map ~config:cfg ~name:"resume" all in
+  Alcotest.(check int) "resume computes only the remainder" 8
+    (Atomic.get counter);
+  Alcotest.(check bool) "resumed prefix identical" true
+    (Array.to_list first = Array.to_list (Array.sub full 0 3))
+
+let test_truncated_journal_line_tolerated () =
+  let dir = temp_dir () in
+  let counter = Atomic.make 0 in
+  let cfg = config ~cache_dir:dir () in
+  ignore (R.map ~config:cfg ~name:"trunc" (counted_tasks counter ~tag:"t" 3));
+  (* Simulate a kill mid-append: a half-written final line. *)
+  let journal = Filename.concat dir "trunc.journal.jsonl" in
+  let oc = open_out_gen [ Open_append ] 0o644 journal in
+  output_string oc "{\"task\": \"deadbeef";
+  close_out oc;
+  let again = R.map ~config:cfg ~name:"trunc" (counted_tasks counter ~tag:"t" 3) in
+  Alcotest.(check int) "whole journal still replays" 3 (Atomic.get counter);
+  Alcotest.(check int) "all results served" 3 (Array.length again)
+
+(* {1 Pool and telemetry} *)
+
+let test_pool_exception_propagates () =
+  let boom =
+    R.Task.make
+      ~key:(R.Task.key_of ~family:"test.boom" [])
+      ~encode:(fun v -> J.Float v)
+      ~decode:J.to_float_opt
+      (fun _rng -> failwith "boom")
+  in
+  List.iter
+    (fun workers ->
+      Alcotest.check_raises
+        (Printf.sprintf "task failure surfaces at -j %d" workers)
+        (Failure "boom")
+        (fun () ->
+          ignore (R.map ~config:(config ~workers ()) ~name:"b" [| boom |])))
+    [ 1; 4 ]
+
+let test_run_manifest_emitted () =
+  let registry = Telemetry.Registry.create ~label:"t" () in
+  let sink, events = Telemetry.Sink.memory () in
+  Telemetry.Registry.add_sink registry sink;
+  let dir = temp_dir () in
+  let counter = Atomic.make 0 in
+  let cfg = config ~workers:3 ~cache_dir:dir () in
+  ignore (R.map ~registry ~config:cfg ~name:"m" (counted_tasks counter ~tag:"m" 5));
+  ignore (R.map ~registry ~config:cfg ~name:"m" (counted_tasks counter ~tag:"m" 5));
+  let manifests =
+    List.filter
+      (fun (e : Telemetry.Event.t) -> e.name = "run_manifest")
+      (events ())
+  in
+  Alcotest.(check int) "one manifest per sweep" 2 (List.length manifests);
+  let cold = List.nth manifests 0 and warm = List.nth manifests 1 in
+  let int_field name e =
+    match Telemetry.Event.field name e with
+    | Some (J.Int i) -> i
+    | _ -> Alcotest.failf "missing field %s" name
+  in
+  let float_field name e =
+    match Option.bind (Telemetry.Event.field name e) J.to_float_opt with
+    | Some f -> f
+    | None -> Alcotest.failf "missing field %s" name
+  in
+  Alcotest.(check int) "task count" 5 (int_field "tasks" cold);
+  Alcotest.(check int) "worker count" 3 (int_field "workers" cold);
+  Alcotest.(check int) "cold computes" 5 (int_field "computed" cold);
+  Alcotest.(check (float 0.)) "cold hit rate" 0. (float_field "cache_hit_rate" cold);
+  Alcotest.(check int) "warm computes nothing" 0 (int_field "computed" warm);
+  Alcotest.(check (float 0.)) "warm hit rate" 1. (float_field "cache_hit_rate" warm)
+
+let test_no_cache_always_computes () =
+  let counter = Atomic.make 0 in
+  ignore (R.map ~config:(config ()) ~name:"n" (counted_tasks counter ~tag:"n" 3));
+  ignore (R.map ~config:(config ()) ~name:"n" (counted_tasks counter ~tag:"n" 3));
+  Alcotest.(check int) "no cache dir, no reuse" 6 (Atomic.get counter)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "runner"
+    [
+      ( "deque",
+        [
+          quick "owner LIFO, thief FIFO" test_deque_owner_lifo;
+          quick "growth preserves order" test_deque_growth;
+        ] );
+      ( "task",
+        [
+          quick "key field order" test_key_field_order_insensitive;
+          quick "rng of key" test_rng_of_key;
+          quick "fingerprint" test_fingerprint_stable;
+        ] );
+      ( "determinism",
+        [
+          quick "spatial sweep: -j k = serial" test_parallel_bit_identical_spatial;
+          QCheck_alcotest.to_alcotest test_parallel_bit_identical_qcheck;
+          quick "seed threads through" test_seed_changes_results;
+        ] );
+      ( "cache",
+        [
+          quick "hits skip recomputation" test_cache_hits_skip_recomputation;
+          quick "shared across sweeps" test_cache_shared_across_sweeps;
+          quick "corrupt entry recomputes" test_corrupt_cache_entry_recomputes;
+          quick "no cache, no reuse" test_no_cache_always_computes;
+        ] );
+      ( "resume",
+        [
+          quick "resume after kill" test_resume_after_kill;
+          quick "truncated journal tolerated" test_truncated_journal_line_tolerated;
+        ] );
+      ( "pool",
+        [
+          quick "exceptions propagate" test_pool_exception_propagates;
+          quick "run_manifest audit" test_run_manifest_emitted;
+        ] );
+    ]
