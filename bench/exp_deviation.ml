@@ -9,9 +9,9 @@
 
 let shortsighted _scale =
   Common.heading "Short-sighted deviants (Sec. V.D)";
-  let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic Dcf.Params.default in
   let n = 10 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   Common.note "n=%d, Wc*=%d, punishment after m reaction stages" n w_star;
   List.iter
     (fun react_stages ->
@@ -29,11 +29,11 @@ let shortsighted _scale =
         List.map
           (fun delta_s ->
             let w_s, u_dev =
-              Macgame.Deviation.best_deviation params ~n ~w_star ~delta_s
+              Macgame.Deviation.best_deviation oracle ~n ~w_star ~delta_s
                 ~react_stages
             in
             let u_honest =
-              Macgame.Deviation.honest_total params ~n ~w_star ~delta_s
+              Macgame.Deviation.honest_total oracle ~n ~w_star ~delta_s
             in
             [
               Printf.sprintf "%.4g" delta_s;
@@ -63,7 +63,7 @@ let shortsighted _scale =
         :: List.map
              (fun m ->
                Printf.sprintf "%.4f"
-                 (Macgame.Deviation.critical_discount_for params ~n ~w_star
+                 (Macgame.Deviation.critical_discount_for oracle ~n ~w_star
                     ~w_dev ~react_stages:m))
              [ 1; 3; 6 ])
       [ 2; 4; 8 ]
@@ -83,15 +83,18 @@ let malicious _scale =
       Prelude.Table.column "vs optimum (m=5)";
     ]
   in
-  let params5 = Dcf.Params.default in
-  let params0 = { params5 with Dcf.Params.max_backoff_stage = 0 } in
-  let w_star = Macgame.Equilibrium.efficient_cw params5 ~n in
-  let best = Macgame.Deviation.malicious_welfare params5 ~n ~w_mal:w_star in
+  let oracle5 = Macgame.Oracle.analytic Dcf.Params.default in
+  let oracle0 =
+    Macgame.Oracle.analytic
+      { Dcf.Params.default with Dcf.Params.max_backoff_stage = 0 }
+  in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle5 ~n in
+  let best = Macgame.Deviation.malicious_welfare oracle5 ~n ~w_mal:w_star in
   let rows =
     List.map
       (fun w ->
-        let w5 = Macgame.Deviation.malicious_welfare params5 ~n ~w_mal:w in
-        let w0 = Macgame.Deviation.malicious_welfare params0 ~n ~w_mal:w in
+        let w5 = Macgame.Deviation.malicious_welfare oracle5 ~n ~w_mal:w in
+        let w0 = Macgame.Deviation.malicious_welfare oracle0 ~n ~w_mal:w in
         [
           string_of_int w;
           Common.f3 w5;

@@ -5,12 +5,12 @@
 
 let convergence (scale : Common.scale) =
   Common.heading "TFT/GTFT convergence (Sec. IV)";
-  let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic Dcf.Params.default in
   let n = 8 in
   let rng = Prelude.Rng.create 12 in
   let initials = Array.init n (fun _ -> Prelude.Rng.int_in rng 40 400) in
   let strategies = Macgame.Repeated.all_tft ~n ~initials in
-  let outcome = Macgame.Repeated.run params ~strategies ~stages:8 in
+  let outcome = Macgame.Repeated.run oracle ~strategies ~stages:8 in
   Common.note "initial windows: %s"
     (String.concat " " (Array.to_list (Array.map string_of_int initials)));
   (match (Macgame.Repeated.converged_window outcome, outcome.converged_at) with
@@ -39,13 +39,13 @@ let convergence (scale : Common.scale) =
   Common.print_table columns rows;
   (* Noisy-observation ablation: TFT ratchets down, GTFT holds. *)
   Common.subheading "observation noise ablation (TFT vs GTFT, 30 stages)";
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   let final strategy_of samples =
     let rng = Prelude.Rng.create 77 in
     let observer = Macgame.Observer.sampling ~rng ~samples_per_stage:samples in
     let strategies = Array.init n (fun _ -> strategy_of ()) in
     let outcome =
-      Macgame.Repeated.run params ~observer ~strategies ~stages:30
+      Macgame.Repeated.run oracle ~observer ~strategies ~stages:30
         ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
     in
     Macgame.Profile.min_window outcome.final
@@ -81,9 +81,10 @@ let convergence (scale : Common.scale) =
 let search (scale : Common.scale) =
   Common.heading "NE-search protocol (Sec. V.C)";
   let params = { Dcf.Params.default with cw_max = 1024 } in
+  let oracle = Macgame.Oracle.analytic params in
   let n = 5 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
-  let lo, hi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.95 in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
+  let lo, hi = Macgame.Equilibrium.robust_range oracle ~n ~fraction:0.95 in
   Common.note "n=%d basic access, Wc*=%d, 95%% robust range [%d, %d]" n w_star lo hi;
   let columns =
     [
@@ -96,7 +97,7 @@ let search (scale : Common.scale) =
       Prelude.Table.column "in 95% range";
     ]
   in
-  let analytic = Macgame.Search.analytic_oracle params ~n in
+  let analytic = Macgame.Search.of_oracle oracle ~n in
   let noisy () =
     Macgame.Search.noisy_oracle (Prelude.Rng.create 3) ~rel_stddev:0.01 analytic
   in
@@ -110,16 +111,16 @@ let search (scale : Common.scale) =
       ~duration:(4. *. scale.sim_duration)
       ~seed:!seed w
   in
-  let u_star = Macgame.Equilibrium.payoff params ~n ~w:w_star in
-  let row label oracle ~w0 ~probes =
-    let trace = Macgame.Search.run ~w0 ~probes ~cw_max:params.cw_max oracle in
+  let u_star = Macgame.Oracle.payoff_uniform oracle ~n ~w:w_star in
+  let row label probe_oracle ~w0 ~probes =
+    let trace = Macgame.Search.run ~w0 ~probes ~cw_max:params.cw_max probe_oracle in
     [
       label;
       string_of_int w0;
       string_of_int probes;
       string_of_int trace.result;
       string_of_int (List.length trace.measurements);
-      Common.pct (Macgame.Equilibrium.payoff params ~n ~w:trace.result /. u_star);
+      Common.pct (Macgame.Oracle.payoff_uniform oracle ~n ~w:trace.result /. u_star);
       (if trace.result >= lo && trace.result <= hi then "yes" else "no");
     ]
   in
@@ -139,7 +140,7 @@ let search (scale : Common.scale) =
   Common.note "";
   Common.note "the misreport check (Remark V.C): under-reporting W drags the";
   let truthful, misreport =
-    Macgame.Search.misreport_stage_payoffs params ~n ~w_star
+    Macgame.Search.misreport_stage_payoffs oracle ~n ~w_star
       ~w_report:(Stdlib.max 1 (w_star / 2))
   in
   Common.note "coordinator itself to the reported window: stage payoff %s vs %s."

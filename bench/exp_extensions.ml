@@ -12,10 +12,10 @@
 
 let delay _scale =
   Common.heading "Delay-aware game (Sec. VIII extension)";
-  let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic Dcf.Params.default in
   let n = 20 in
   let gammas = [| 0.; 1.; 10.; 100.; 1000. |] in
-  let points = Macgame.Delay_game.tradeoff params ~n ~gammas in
+  let points = Macgame.Delay_game.tradeoff oracle ~n ~gammas in
   let columns =
     [
       Prelude.Table.column "gamma (1/s)";
@@ -60,8 +60,9 @@ let delay _scale =
 let payload _scale =
   Common.heading "Payload-size game (conclusion's rate-control extension)";
   let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic params in
   let n = 10 in
-  let w = Macgame.Equilibrium.efficient_cw params ~n in
+  let w = Macgame.Equilibrium.efficient_cw oracle ~n in
   Common.note "n=%d nodes at the CW game's efficient NE W=%d; payloads in" n w;
   Common.note "[512, 16384] bits; best-response dynamics from the Table-I payload.";
   let columns =
@@ -78,7 +79,7 @@ let payload _scale =
       (fun gamma ->
         let cfg =
           {
-            Macgame.Payload_game.params;
+            Macgame.Payload_game.oracle;
             w;
             l_min = 512;
             l_max = 16384;
@@ -127,7 +128,7 @@ let payload _scale =
   in
   let base = params.bit_rate in
   let scenario label rates =
-    let a = Macgame.Payload_game.rate_anomaly params ~w ~rates in
+    let a = Macgame.Payload_game.rate_anomaly oracle ~w ~rates in
     let slow_i = Prelude.Util.argmin (fun r -> r) a.rates in
     let fast_i = Prelude.Util.argmax (fun r -> r) a.rates in
     [
@@ -298,15 +299,15 @@ let drops (scale : Common.scale) =
 
 let strategies _scale =
   Common.heading "Strategy families under observation noise (TFT/GTFT/grim)";
-  let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic Dcf.Params.default in
   let n = 6 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   let final_window strategy_of samples seed =
     let rng = Prelude.Rng.create seed in
     let observer = Macgame.Observer.sampling ~rng ~samples_per_stage:samples in
     let strategies = Array.init n (fun _ -> strategy_of ()) in
     let outcome =
-      Macgame.Repeated.run params ~observer ~strategies ~stages:40
+      Macgame.Repeated.run oracle ~observer ~strategies ~stages:40
         ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
     in
     Macgame.Profile.min_window outcome.final
@@ -345,9 +346,11 @@ let strategies _scale =
 
 let detection _scale =
   Common.heading "Cheating-detection design (GTFT tolerance, cf. [3])";
-  let params = Dcf.Params.default in
   let n = 10 in
-  let w_exp = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_exp =
+    Macgame.Equilibrium.efficient_cw
+      (Macgame.Oracle.analytic Dcf.Params.default) ~n
+  in
   Common.note "expected window W = %d (the efficient NE); flag a neighbour when" w_exp;
   Common.note "its estimated window falls below beta*W.";
   Common.subheading "error rates of the trigger (closed form)";
@@ -398,7 +401,9 @@ let load (scale : Common.scale) =
   Common.heading "Below saturation: does the selfish window still matter?";
   let params = Dcf.Params.default in
   let n = 10 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star =
+    Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic params) ~n
+  in
   let capacity = Netsim.Unsaturated.saturation_rate params ~n ~w:w_star in
   Common.note "n=%d, Wc*=%d, per-node saturation capacity %.2f pkt/s" n w_star
     capacity;
@@ -465,9 +470,9 @@ let load (scale : Common.scale) =
 
 let coalition _scale =
   Common.heading "Coalition deviations (beyond Theorem 2's unilateral case)";
-  let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic Dcf.Params.default in
   let n = 10 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   let w_dev = w_star / 2 in
   Common.note "n=%d, Wc*=%d; coalitions of k nodes undercut to %d" n w_star w_dev;
   let columns =
@@ -483,9 +488,9 @@ let coalition _scale =
   let rows =
     List.map
       (fun k ->
-        let p = Macgame.Deviation.coalition_stage_payoffs params ~n ~w_star ~k ~w_dev in
+        let p = Macgame.Deviation.coalition_stage_payoffs oracle ~n ~w_star ~k ~w_dev in
         let gain delta_s =
-          Macgame.Deviation.coalition_gain params ~n ~w_star ~k ~w_dev ~delta_s
+          Macgame.Deviation.coalition_gain oracle ~n ~w_star ~k ~w_dev ~delta_s
             ~react_stages:1
         in
         [

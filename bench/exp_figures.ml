@@ -43,6 +43,7 @@ let decode_points json =
 
 let figure (scale : Common.scale) params ~title =
   Common.heading title;
+  let oracle = Macgame.Oracle.analytic params in
   let tasks =
     Array.of_list
       (List.map
@@ -58,10 +59,10 @@ let figure (scale : Common.scale) params ~title =
              ~encode:encode_points ~decode:decode_points
              (fun _rng ->
                let ws =
-                 Macgame.Welfare.sample_windows params ~n
+                 Macgame.Welfare.sample_windows oracle ~n
                    ~count:scale.figure_points
                in
-               Macgame.Welfare.global_series params ~n ~ws))
+               Macgame.Welfare.global_series oracle ~n ~ws))
          ns)
   in
   let slug =
@@ -99,13 +100,13 @@ let figure (scale : Common.scale) params ~title =
   let rows =
     List.map
       (fun (n, _) ->
-        let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+        let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
         let uc w =
           params.Dcf.Params.sigma *. float_of_int n
-          *. Macgame.Equilibrium.payoff params ~n ~w
+          *. Macgame.Oracle.payoff_uniform oracle ~n ~w
           /. params.Dcf.Params.gain
         in
-        let lo, hi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.95 in
+        let lo, hi = Macgame.Equilibrium.robust_range oracle ~n ~fraction:0.95 in
         [
           string_of_int n;
           string_of_int w_star;

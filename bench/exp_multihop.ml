@@ -16,6 +16,7 @@ let scenario (scale : Common.scale) ~seed =
 let run (scale : Common.scale) =
   Common.heading "Multi-hop game (Sec. VII.B)";
   let params = Dcf.Params.rts_cts in
+  let oracle = Macgame.Oracle.analytic params in
   let seeds = [ 7; 21; 42 ] in
   let columns =
     [
@@ -38,7 +39,7 @@ let run (scale : Common.scale) =
         end
         else begin
           let graph = Macgame.Multihop.create adjacency in
-          let q = Macgame.Multihop.quasi_optimality params graph in
+          let q = Macgame.Multihop.quasi_optimality oracle graph in
           Some (seed, adjacency, q)
         end)
       seeds
@@ -148,7 +149,7 @@ let run (scale : Common.scale) =
          simulator. *)
       Common.subheading "multi-hop repeated game over the packet simulator";
       let graph = Macgame.Multihop.create adjacency in
-      let initials = Macgame.Multihop.local_efficient_cw params graph in
+      let initials = Macgame.Multihop.local_efficient_cw oracle graph in
       let stage = ref 0 in
       (* Stages are sequential (stage k+1's profile depends on stage k's
          payoffs), but each stage's simulation still goes through the

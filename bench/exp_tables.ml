@@ -90,6 +90,7 @@ let simulated_common_optimum (scale : Common.scale) params ~label ~n ~w_star =
 
 let ne_table (scale : Common.scale) params ~label ~paper ~title =
   Common.heading title;
+  let oracle = Macgame.Oracle.analytic params in
   let columns =
     [
       Prelude.Table.column "n";
@@ -103,7 +104,7 @@ let ne_table (scale : Common.scale) params ~label ~paper ~title =
   let rows =
     List.map
       (fun (n, paper_w) ->
-        let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+        let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
         let sim = simulated_common_optimum scale params ~label ~n ~w_star in
         [
           string_of_int n;
@@ -140,10 +141,13 @@ let table3 scale =
   let rows =
     List.map
       (fun m ->
-        let params = { Dcf.Params.rts_cts with max_backoff_stage = m } in
+        let oracle =
+          Macgame.Oracle.analytic
+            { Dcf.Params.rts_cts with max_backoff_stage = m }
+        in
         string_of_int m
         :: List.map
-             (fun n -> string_of_int (Macgame.Equilibrium.efficient_cw params ~n))
+             (fun n -> string_of_int (Macgame.Equilibrium.efficient_cw oracle ~n))
              [ 5; 20; 50 ])
       [ 0; 3; 5; 7 ]
   in

@@ -7,6 +7,7 @@
 let run (scale : Common.scale) =
   Common.heading "Model vs simulator validation (Sec. VII.A)";
   let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic params in
   let columns =
     [
       Prelude.Table.column "n";
@@ -23,7 +24,7 @@ let run (scale : Common.scale) =
   let rows =
     List.map
       (fun (n, w) ->
-        let v = Dcf.Model.homogeneous params ~n ~w in
+        let v = Macgame.Oracle.uniform oracle ~n ~w in
         let sim bianchi_ticks =
           Netsim.Slotted.run ~bianchi_ticks
             {
@@ -67,9 +68,8 @@ let run (scale : Common.scale) =
     List.map
       (fun w ->
         let s params =
-          (Dcf.Metrics.of_taus params
-             (Array.make 10 (fst (Dcf.Solver.solve_homogeneous params ~n:10 ~w))))
-            .throughput
+          (Macgame.Oracle.uniform (Macgame.Oracle.analytic params) ~n:10 ~w)
+            .Macgame.Oracle.throughput
         in
         [
           string_of_int w;

@@ -16,14 +16,22 @@ let tests =
       Test.make ~name:"homogeneous_solve_n20"
         (Staged.stage (fun () ->
              ignore (Dcf.Solver.solve_homogeneous params ~n:20 ~w:339)));
-      (* Figures 2-3 kernel: one welfare evaluation. *)
+      (* Figures 2-3 kernel: one welfare evaluation, cold (a fresh oracle
+         per call, so the fixed point is actually solved every time). *)
       Test.make ~name:"welfare_point_n20"
         (Staged.stage (fun () ->
-             ignore (Macgame.Equilibrium.payoff params ~n:20 ~w:128)));
-      (* Efficient-NE computation (ternary search over the window space). *)
+             ignore
+               (Macgame.Oracle.payoff_uniform
+                  (Macgame.Oracle.analytic params)
+                  ~n:20 ~w:128)));
+      (* Efficient-NE computation (ternary search over the window space),
+         also cold — a shared oracle would reduce it to memo lookups. *)
       Test.make ~name:"efficient_cw_n20"
         (Staged.stage (fun () ->
-             ignore (Macgame.Equilibrium.efficient_cw params ~n:20)));
+             ignore
+               (Macgame.Equilibrium.efficient_cw
+                  (Macgame.Oracle.analytic params)
+                  ~n:20)));
       (* Table II simulated column kernel: 1 simulated second, 10 nodes. *)
       Test.make ~name:"slotted_sim_1s_n10"
         (Staged.stage (fun () ->
@@ -47,15 +55,30 @@ let tests =
                      duration = 1.;
                      seed = 1;
                    })));
-      (* Repeated-game kernel: a 5-stage TFT game with analytic payoffs. *)
-      Test.make ~name:"tft_game_5stages_n5"
+      (* Repeated-game kernel, cold: a fresh oracle per game, so every
+         stage profile pays for its own fixed-point solve. *)
+      Test.make ~name:"tft_game_5stages_n5_cold"
         (Staged.stage (fun () ->
              ignore
-               (Macgame.Repeated.run params
+               (Macgame.Repeated.run
+                  (Macgame.Oracle.analytic params)
                   ~strategies:
                     (Macgame.Repeated.all_tft ~n:5
                        ~initials:[| 100; 90; 110; 95; 105 |])
                   ~stages:5)));
+      (* The same game against one long-lived oracle: after the first
+         iteration every profile is a memo hit, so this measures the
+         memoized evaluation path the unified oracle adds. *)
+      Test.make ~name:"tft_game_5stages_n5_memoized"
+        (Staged.stage
+           (let oracle = Macgame.Oracle.analytic params in
+            fun () ->
+              ignore
+                (Macgame.Repeated.run oracle
+                   ~strategies:
+                     (Macgame.Repeated.all_tft ~n:5
+                        ~initials:[| 100; 90; 110; 95; 105 |])
+                   ~stages:5)));
       (* Deviation analysis kernel. *)
       Test.make ~name:"deviant_solve_n20"
         (Staged.stage (fun () ->
@@ -130,8 +153,39 @@ let write_json path estimates =
   close_out oc;
   Printf.printf "wrote %s (%d kernels)\n" path (List.length estimates)
 
+(* Guard for the memoized kernel: a warm oracle must return the cold
+   oracle's results bit for bit, stage by stage — otherwise the memoized
+   timing would be measuring a different computation. *)
+let check_memoized_identical () =
+  let game oracle =
+    Macgame.Repeated.run oracle
+      ~strategies:
+        (Macgame.Repeated.all_tft ~n:5 ~initials:[| 100; 90; 110; 95; 105 |])
+      ~stages:5
+  in
+  let warm = Macgame.Oracle.analytic params in
+  ignore (game warm) (* populate the memo *);
+  let memoized = game warm in
+  let cold = game (Macgame.Oracle.analytic params) in
+  Array.iteri
+    (fun s (r : Macgame.Repeated.stage_record) ->
+      let c = cold.trace.(s) in
+      Array.iteri
+        (fun i u ->
+          if Int64.bits_of_float u <> Int64.bits_of_float c.utilities.(i) then
+            failwith
+              (Printf.sprintf
+                 "perf: memoized payoff differs from cold at stage %d node %d \
+                  (%.17g vs %.17g)"
+                 s i u c.utilities.(i)))
+        r.utilities)
+    memoized.trace;
+  Printf.printf "memoized-vs-cold check: bit-identical over %d stages\n"
+    (Array.length memoized.trace)
+
 let run ~out () =
   Common.heading "Bechamel micro-benchmarks";
+  check_memoized_identical ();
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in

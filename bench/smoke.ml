@@ -42,13 +42,14 @@ let () =
          duration = 0.05;
          seed = 1;
        });
+  let oracle = Macgame.Oracle.create ~telemetry:registry params in
   ignore
-    (Macgame.Repeated.run ~telemetry:registry params
+    (Macgame.Repeated.run oracle
        ~strategies:(Macgame.Repeated.all_tft ~n:3 ~initials:[| 100; 90; 110 |])
        ~stages:3);
   ignore
     (Macgame.Search.run ~telemetry:registry ~w0:64 ~cw_max:params.cw_max
-       (Macgame.Search.analytic_oracle params ~n:3));
+       (Macgame.Search.of_oracle oracle ~n:3));
   Telemetry.Registry.remove_sink registry sink;
   Telemetry.Sink.close sink;
   (* Validate the capture. *)

@@ -144,6 +144,63 @@ let duration_t =
     value & opt float 60.
     & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
 
+(* {1 Payoff oracle backend}
+
+   Game-layer subcommands (ne, game, search, sweep, delay) evaluate every
+   payoff through one memoized {!Macgame.Oracle}; --backend selects how
+   that oracle answers: the analytic fixed point, or replicated packet
+   simulations (slotted single-hop, or spatial on a clique). *)
+
+let backend_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("analytic", `Analytic); ("slotted", `Slotted);
+             ("spatial", `Spatial);
+           ])
+        `Analytic
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Payoff evaluation backend: $(b,analytic) (fixed-point model), \
+           $(b,slotted) (virtual-slot packet simulation) or $(b,spatial) \
+           (spatial simulator on a clique).")
+
+let replicates_t =
+  Arg.(
+    value & opt int 3
+    & info [ "replicates" ] ~docv:"R"
+        ~doc:"Simulation replicates per evaluated profile (sim backends).")
+
+let sim_duration_t =
+  Arg.(
+    value & opt float 10.
+    & info [ "sim-duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated seconds per replicate (sim backends).")
+
+let sim_seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "sim-seed" ] ~docv:"SEED"
+        ~doc:"Base seed for the sim backends' replicate streams.")
+
+let oracle_of backend replicates duration seed params =
+  let cfg = { Macgame.Oracle.duration; replicates; seed } in
+  let backend =
+    match backend with
+    | `Analytic -> Macgame.Oracle.Analytic
+    | `Slotted -> Macgame.Oracle.Sim_slotted cfg
+    | `Spatial -> Macgame.Oracle.Sim_spatial cfg
+  in
+  Macgame.Oracle.create ~backend params
+
+(* Evaluates to [Dcf.Params.t -> Macgame.Oracle.t]: the subcommand builds
+   its params from --mode/-m first, then closes the oracle over them. *)
+let oracle_term =
+  Term.(
+    const oracle_of $ backend_t $ replicates_t $ sim_duration_t $ sim_seed_t)
+
 (* {1 solve} *)
 
 let solve_cmd =
@@ -179,28 +236,30 @@ let solve_cmd =
 (* {1 ne} *)
 
 let ne_cmd =
-  let run mode m n () =
+  let run mode m n mk_oracle () =
     let params = params_of mode m in
-    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
-    let w_lo = Macgame.Equilibrium.break_even_cw params ~n in
-    let rlo, rhi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.95 in
-    Printf.printf "players            n    = %d (%s)\n" n
-      (Format.asprintf "%a" Dcf.Params.pp_access_mode mode);
+    let oracle = mk_oracle params in
+    let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
+    let w_lo = Macgame.Equilibrium.break_even_cw oracle ~n in
+    let rlo, rhi = Macgame.Equilibrium.robust_range oracle ~n ~fraction:0.95 in
+    Printf.printf "players            n    = %d (%s, %s backend)\n" n
+      (Format.asprintf "%a" Dcf.Params.pp_access_mode mode)
+      (Macgame.Oracle.backend_name (Macgame.Oracle.backend oracle));
     Printf.printf "efficient NE       Wc*  = %d\n" w_star;
     Printf.printf "break-even window  Wc0  = %d\n" w_lo;
     Printf.printf "NE set                  = [%d, %d]\n" w_lo w_star;
     Printf.printf "95%% robust range        = [%d, %d]\n" rlo rhi;
     Printf.printf "payoff at Wc*           = %.4f /s per node\n"
-      (Macgame.Equilibrium.payoff params ~n ~w:w_star);
+      (Macgame.Oracle.payoff_uniform oracle ~n ~w:w_star);
     Printf.printf "social welfare at Wc*   = %.4f /s\n"
-      (Macgame.Equilibrium.social_welfare params ~n ~w:w_star);
+      (Macgame.Equilibrium.social_welfare oracle ~n ~w:w_star);
     if n > 1 then
       Printf.printf "optimal tau (Q root)    = %.5f\n"
         (Macgame.Equilibrium.tau_star params ~n)
   in
   Cmd.v
     (Cmd.info "ne" ~doc:"Nash-equilibrium analysis for a symmetric network")
-    (instrumented Term.(const run $ mode_t $ backoff_t $ n_t))
+    (instrumented Term.(const run $ mode_t $ backoff_t $ n_t $ oracle_term))
 
 (* {1 game} *)
 
@@ -226,9 +285,9 @@ let game_cmd =
       & info [ "obs-noise" ] ~docv:"REL"
           ~doc:"Relative stddev of CW observation noise (0 = perfect).")
   in
-  let run mode m n stages cheater gtft noise seed () =
-    let params = params_of mode m in
-    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let run mode m n stages cheater gtft noise seed mk_oracle () =
+    let oracle = mk_oracle (params_of mode m) in
+    let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
     let base i =
       let initial = w_star + (7 * i) in
       if gtft then Macgame.Strategy.gtft ~initial ~r0:3 ~beta:0.9
@@ -243,7 +302,7 @@ let game_cmd =
         Macgame.Observer.noisy ~rng:(Prelude.Rng.create seed) ~rel_stddev:noise
       else Macgame.Observer.perfect
     in
-    let outcome = Macgame.Repeated.run params ~observer ~strategies ~stages in
+    let outcome = Macgame.Repeated.run oracle ~observer ~strategies ~stages in
     Printf.printf "players: %s\n"
       (String.concat ", "
          (Array.to_list
@@ -265,7 +324,7 @@ let game_cmd =
     (instrumented
        Term.(
          const run $ mode_t $ backoff_t $ n_t $ stages_t $ cheater_t $ gtft_t
-         $ noise_t $ seed_t))
+         $ noise_t $ seed_t $ oracle_term))
 
 (* {1 search} *)
 
@@ -278,34 +337,23 @@ let search_cmd =
       value & opt int 1
       & info [ "probes" ] ~docv:"K" ~doc:"Payoff measurements per candidate.")
   in
-  let oracle_t =
-    Arg.(
-      value
-      & opt (enum [ ("analytic", `Analytic); ("sim", `Sim) ]) `Analytic
-      & info [ "oracle" ] ~docv:"ORACLE"
-          ~doc:"Payoff oracle: $(b,analytic) or $(b,sim).")
-  in
-  let run mode m n w0 probes oracle duration seed () =
+  let run mode m n w0 probes mk_oracle () =
     let params = params_of mode m in
-    let oracle_fn =
-      match oracle with
-      | `Analytic -> Macgame.Search.analytic_oracle params ~n
-      | `Sim ->
-          let count = ref 0 in
-          fun w ->
-            incr count;
-            Netsim.Slotted.payoff_oracle ~params ~n ~duration
-              ~seed:(seed + !count) w
-    in
+    let oracle = mk_oracle params in
     let trace =
-      Macgame.Search.run ~w0 ~probes ~cw_max:params.Dcf.Params.cw_max oracle_fn
+      Macgame.Search.run ~w0 ~probes ~cw_max:params.Dcf.Params.cw_max
+        (Macgame.Search.of_oracle oracle ~n)
     in
     List.iter
-      (fun { Macgame.Search.w; payoff } ->
-        Printf.printf "probe W=%4d  payoff %.4f\n" w payoff)
+      (fun { Macgame.Search.w; payoff; stddev } ->
+        Printf.printf "probe W=%4d  payoff %.4f (stddev %.4f)\n" w payoff
+          stddev)
       trace.measurements;
-    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
-    let u w = Macgame.Equilibrium.payoff params ~n ~w in
+    (* Score the announced window against the analytic optimum regardless
+       of what backend drove the climb. *)
+    let analytic = Macgame.Oracle.analytic params in
+    let w_star = Macgame.Equilibrium.efficient_cw analytic ~n in
+    let u w = Macgame.Oracle.payoff_uniform analytic ~n ~w in
     Printf.printf "announced Wm = %d (true Wc* = %d, payoff ratio %.1f%%)\n"
       trace.result w_star
       (100. *. u trace.result /. u w_star)
@@ -314,8 +362,7 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Run the distributed NE-search protocol (Sec. V.C)")
     (instrumented
        Term.(
-         const run $ mode_t $ backoff_t $ n_t $ w0_t $ probes_t $ oracle_t
-         $ duration_t $ seed_t))
+         const run $ mode_t $ backoff_t $ n_t $ w0_t $ probes_t $ oracle_term))
 
 (* {1 sim} *)
 
@@ -379,7 +426,9 @@ let multihop_cmd =
     let members = Mobility.Topology.largest_component adjacency in
     let core = Mobility.Topology.restrict adjacency members in
     let graph = Macgame.Multihop.create core in
-    let q = Macgame.Multihop.quasi_optimality params graph in
+    let q =
+      Macgame.Multihop.quasi_optimality (Macgame.Oracle.analytic params) graph
+    in
     Printf.printf "largest component: %d nodes, diameter %d\n"
       (List.length members)
       (Macgame.Multihop.diameter graph);
@@ -401,9 +450,10 @@ let sweep_cmd =
   let points_t =
     Arg.(value & opt int 24 & info [ "points" ] ~docv:"K" ~doc:"Grid size.")
   in
-  let run mode m n points () =
+  let run mode m n points mk_oracle () =
     let params = params_of mode m in
-    let ws = Macgame.Welfare.sample_windows params ~n ~count:points in
+    let oracle = mk_oracle params in
+    let ws = Macgame.Welfare.sample_windows oracle ~n ~count:points in
     (* Each grid point is a runner task: -j N parallelises the sweep and
        --cache makes re-runs incremental. *)
     let encode (u, s) =
@@ -433,16 +483,17 @@ let sweep_cmd =
                    ( "params",
                      Telemetry.Jsonx.String
                        (Format.asprintf "%a" Dcf.Params.pp params) );
+                   ( "backend",
+                     Telemetry.Jsonx.String
+                       (Macgame.Oracle.backend_name
+                          (Macgame.Oracle.backend oracle)) );
                    ("n", Telemetry.Jsonx.Int n);
                    ("w", Telemetry.Jsonx.Int w);
                  ])
             ~encode ~decode
             (fun _rng ->
-              let v = Dcf.Model.homogeneous params ~n ~w in
-              let metrics =
-                Dcf.Metrics.of_taus params (Array.make n v.Dcf.Model.tau)
-              in
-              (v.utility, metrics.throughput)))
+              let view = Macgame.Oracle.uniform oracle ~n ~w in
+              (view.Macgame.Oracle.utility, view.Macgame.Oracle.throughput)))
         ws
     in
     let results = Runner.map ~name:"cli.sweep" tasks in
@@ -456,12 +507,13 @@ let sweep_cmd =
           /. params.Dcf.Params.gain)
           throughput)
       ws;
-    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
     Printf.printf "efficient NE at W = %d\n" w_star
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Payoff and throughput versus the common window")
-    (instrumented Term.(const run $ mode_t $ backoff_t $ n_t $ points_t))
+    (instrumented
+       Term.(const run $ mode_t $ backoff_t $ n_t $ points_t $ oracle_term))
 
 (* {1 delay} *)
 
@@ -473,18 +525,18 @@ let delay_cmd =
   in
   let run mode m n gamma () =
     let params = params_of mode m in
-    let w_star = Macgame.Delay_game.efficient_cw params ~gamma ~n in
-    let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w:w_star in
-    let metrics = Dcf.Metrics.of_taus params (Array.make n tau) in
+    let oracle = Macgame.Oracle.analytic params in
+    let w_star = Macgame.Delay_game.efficient_cw oracle ~gamma ~n in
+    let u = Macgame.Oracle.uniform oracle ~n ~w:w_star in
     let view =
-      Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w:w_star
+      Dcf.Delay.of_node ~slot_time:u.slot_time ~tau:u.tau ~p:u.p ~w:w_star
         ~m:params.Dcf.Params.max_backoff_stage
     in
     Printf.printf "delay-aware efficient NE (gamma=%g): W = %d\n" gamma w_star;
     Printf.printf "mean access delay        = %.2f ms\n" (view.mean_delay *. 1e3);
     Printf.printf "attempts per packet      = %.3f\n" view.attempts_per_packet;
     Printf.printf "backoff slots per packet = %.1f\n" view.backoff_slots_per_packet;
-    Printf.printf "network throughput S     = %.4f\n" metrics.throughput
+    Printf.printf "network throughput S     = %.4f\n" u.throughput
   in
   Cmd.v
     (Cmd.info "delay" ~doc:"Delay-aware NE analysis (Sec. VIII extension)")
@@ -505,7 +557,9 @@ let detect_cmd =
   in
   let run mode m n beta samples () =
     let params = params_of mode m in
-    let w_exp = Macgame.Equilibrium.efficient_cw params ~n in
+    let w_exp =
+      Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic params) ~n
+    in
     Printf.printf "expected window W = %d; trigger: estimate < %.2f*W\n" w_exp beta;
     Printf.printf "false positive rate      = %.5f\n"
       (Macgame.Detection.false_positive_rate ~w_exp ~samples ~beta);

@@ -10,8 +10,9 @@
 
 let () =
   let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic params in
   let n = 5 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   let w_cheat = w_star / 2 in
   Printf.printf "Efficient NE window Wc* = %d; the cheater pins W = %d.\n\n"
     w_star w_cheat;
@@ -30,7 +31,7 @@ let () =
       [| Macgame.Strategy.short_sighted w_cheat |]
       (Macgame.Repeated.all_tft ~n:(n - 1) ~initials:(Array.make (n - 1) w_star))
   in
-  let outcome = Macgame.Repeated.run params ~strategies ~stages:5 ~payoffs in
+  let outcome = Macgame.Repeated.run oracle ~strategies ~stages:5 ~payoffs in
   print_endline "stage | cheater payoff | conformer payoff | profile";
   Array.iter
     (fun (r : Macgame.Repeated.stage_record) ->
@@ -45,15 +46,15 @@ let () =
   List.iter
     (fun delta_s ->
       let cheat =
-        Macgame.Deviation.deviant_total params ~n ~w_star ~w_dev:w_cheat
+        Macgame.Deviation.deviant_total oracle ~n ~w_star ~w_dev:w_cheat
           ~delta_s ~react_stages:1
       in
-      let honest = Macgame.Deviation.honest_total params ~n ~w_star ~delta_s in
+      let honest = Macgame.Deviation.honest_total oracle ~n ~w_star ~delta_s in
       Printf.printf "  %7.4f | %15.2f | %10.2f | %s\n" delta_s cheat honest
         (if cheat > honest then "cheat" else "stay honest"))
     [ 0.; 0.5; 0.9; 0.99; 0.999 ];
   let crit =
-    Macgame.Deviation.critical_discount_for params ~n ~w_star ~w_dev:w_cheat
+    Macgame.Deviation.critical_discount_for oracle ~n ~w_star ~w_dev:w_cheat
       ~react_stages:1
   in
   Printf.printf

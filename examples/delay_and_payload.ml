@@ -5,21 +5,21 @@
 
 let () =
   let params = Dcf.Params.default in
+  let oracle = Macgame.Oracle.analytic params in
   let n = 20 in
 
   print_endline "== 1. Does the 'too long' NE window actually hurt delay? ==";
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   Printf.printf "  payoff-efficient NE: W = %d\n" w_star;
   List.iter
     (fun w ->
-      let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w in
-      let metrics = Dcf.Metrics.of_taus params (Array.make n tau) in
+      let v = Macgame.Oracle.uniform oracle ~n ~w in
       let d =
-        Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w
+        Dcf.Delay.of_node ~slot_time:v.slot_time ~tau:v.tau ~p:v.p ~w
           ~m:params.max_backoff_stage
       in
       Printf.printf "  W=%5d: access delay %.1f ms, throughput %.4f\n" w
-        (d.mean_delay *. 1e3) metrics.throughput)
+        (d.mean_delay *. 1e3) v.throughput)
     [ w_star / 4; w_star; w_star * 4 ];
   print_endline
     "  -> under saturation the delay is almost flat in W: every node mostly\n\
@@ -30,13 +30,13 @@ let () =
     (fun (p : Macgame.Delay_game.tradeoff_point) ->
       Printf.printf "  gamma=%6g: W*=%5d, delay %.2f ms, S=%.4f\n" p.gamma
         p.w_star (p.delay *. 1e3) p.throughput)
-    (Macgame.Delay_game.tradeoff params ~n ~gammas:[| 0.; 10.; 100. |]);
+    (Macgame.Delay_game.tradeoff oracle ~n ~gammas:[| 0.; 10.; 100. |]);
 
   print_endline "\n== 3. The payload-size game (a real tragedy of the commons) ==";
   let cfg =
     {
-      Macgame.Payload_game.params;
-      w = Macgame.Equilibrium.efficient_cw params ~n:6;
+      Macgame.Payload_game.oracle;
+      w = Macgame.Equilibrium.efficient_cw oracle ~n:6;
       l_min = 512;
       l_max = 16384;
       gamma = 50.;
@@ -64,7 +64,7 @@ let () =
   print_endline "\n== 4. The 802.11 rate anomaly, from the same channel model ==";
   let base = params.bit_rate in
   let a =
-    Macgame.Payload_game.rate_anomaly params ~w:128
+    Macgame.Payload_game.rate_anomaly oracle ~w:128
       ~rates:(Array.init 6 (fun i -> if i = 0 then base /. 11. else base))
   in
   Printf.printf
@@ -72,5 +72,5 @@ let () =
     \  airtime and drags each fast node to %.4f (vs %.4f when symmetric).\n"
     (100. *. a.airtime_shares.(0))
     a.throughputs.(1)
-    (Macgame.Payload_game.rate_anomaly params ~w:128 ~rates:(Array.make 6 base))
+    (Macgame.Payload_game.rate_anomaly oracle ~w:128 ~rates:(Array.make 6 base))
       .throughputs.(1)

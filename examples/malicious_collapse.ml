@@ -10,14 +10,15 @@
    Run with: dune exec examples/malicious_collapse.exe *)
 
 let attack params label =
+  let oracle = Macgame.Oracle.analytic params in
   let n = 6 in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
   let strategies =
     Array.append
       [| Macgame.Strategy.malicious 1 |]
       (Macgame.Repeated.all_tft ~n:(n - 1) ~initials:(Array.make (n - 1) w_star))
   in
-  let outcome = Macgame.Repeated.run params ~strategies ~stages:4 in
+  let outcome = Macgame.Repeated.run oracle ~strategies ~stages:4 in
   Printf.printf "\n== %s (Wc* = %d) ==\n" label w_star;
   print_endline "stage | profile | network welfare";
   Array.iter
@@ -26,7 +27,7 @@ let attack params label =
         (Format.asprintf "%a" Macgame.Profile.pp r.cws)
         r.welfare)
     outcome.trace;
-  let healthy = Macgame.Equilibrium.social_welfare params ~n ~w:w_star in
+  let healthy = Macgame.Equilibrium.social_welfare oracle ~n ~w:w_star in
   let wrecked =
     (outcome.trace.(Array.length outcome.trace - 1)).welfare
   in
@@ -49,9 +50,11 @@ let () =
      which caps the damage — backoff doubles as a defence TFT does not provide.";
   (* How small must the attacker's window be?  Sweep it. *)
   print_endline "\nAttack strength sweep (m = 0, welfare at the dragged-down NE):";
-  let params = { Dcf.Params.default with max_backoff_stage = 0 } in
+  let oracle =
+    Macgame.Oracle.analytic { Dcf.Params.default with max_backoff_stage = 0 }
+  in
   List.iter
     (fun w ->
       Printf.printf "  W_mal = %3d -> welfare %+8.3f\n" w
-        (Macgame.Deviation.malicious_welfare params ~n:6 ~w_mal:w))
+        (Macgame.Deviation.malicious_welfare oracle ~n:6 ~w_mal:w))
     [ 64; 16; 8; 4; 2; 1 ]

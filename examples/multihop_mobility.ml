@@ -11,6 +11,7 @@
 
 let () =
   let params = Dcf.Params.rts_cts in
+  let oracle = Macgame.Oracle.analytic params in
   let walkers =
     Mobility.Waypoint.create ~seed:42
       { width = 1000.; height = 1000.; speed_min = 0.; speed_max = 5. }
@@ -22,7 +23,7 @@ let () =
     (Mobility.Topology.is_connected adjacency);
 
   let graph = Macgame.Multihop.create adjacency in
-  let locals = Macgame.Multihop.local_efficient_cw params graph in
+  let locals = Macgame.Multihop.local_efficient_cw oracle graph in
   let degrees = Macgame.Multihop.degrees graph in
   let dmin = Array.fold_left Stdlib.min degrees.(0) degrees in
   let dmax = Array.fold_left Stdlib.max degrees.(0) degrees in
@@ -39,7 +40,7 @@ let () =
     (Macgame.Multihop.diameter graph)
     final.(0);
 
-  let q = Macgame.Multihop.quasi_optimality params graph in
+  let q = Macgame.Multihop.quasi_optimality oracle graph in
   Printf.printf
     "\nQuasi-optimality of the NE (paper: >=96%% local, within 3%% global):\n";
   Printf.printf "  global payoff at NE  : %.2f\n" q.global_at_ne;
@@ -76,5 +77,5 @@ let () =
       "  t=%3ds: largest component %d nodes, avg degree %.1f, converged W = %d\n"
       (60 * minute) (List.length members)
       (Mobility.Topology.average_degree core)
-      (Macgame.Multihop.converged_cw params graph)
+      (Macgame.Multihop.converged_cw oracle graph)
   done

@@ -10,20 +10,27 @@
 
 let () =
   let params = { Dcf.Params.rts_cts with cw_max = 256 } in
+  let analytic = Macgame.Oracle.analytic params in
   let n = 8 (* unknown to the players! *) in
-  let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw analytic ~n in
 
   Printf.printf
     "Hidden truth: n = %d RTS/CTS nodes, so the efficient NE is Wc* = %d.\n\n" n
     w_star;
   print_endline "The coordinator runs Start-Search / Ready / Announce:";
 
-  let seed = ref 0 in
-  let oracle w =
-    incr seed;
-    Netsim.Slotted.payoff_oracle ~params ~n ~duration:60. ~seed:(!seed * 97) w
+  (* The coordinator measures on the slotted simulator: a payoff oracle
+     with a Sim_slotted backend, one replicate per probe window. *)
+  let measured =
+    Macgame.Oracle.create
+      ~backend:
+        (Macgame.Oracle.Sim_slotted { duration = 60.; replicates = 20; seed = 97 })
+      params
   in
-  let trace = Macgame.Search.run ~w0:8 ~probes:20 ~cw_max:params.cw_max oracle in
+  let trace =
+    Macgame.Search.run ~w0:8 ~cw_max:params.cw_max
+      (Macgame.Search.of_oracle measured ~n)
+  in
 
   List.iter
     (fun message ->
@@ -35,13 +42,13 @@ let () =
           Printf.printf "  -> Announce(Wm=%d): search over\n" w)
     trace.messages;
 
-  print_endline "\nPayoff probes (each averages 20 measurement windows):";
+  print_endline "\nPayoff probes (each averages 20 measurement replicates):";
   List.iter
-    (fun { Macgame.Search.w; payoff } ->
+    (fun { Macgame.Search.w; payoff; _ } ->
       Printf.printf "  W=%3d measured payoff %.3f/s\n" w payoff)
     trace.measurements;
 
-  let u w = Macgame.Equilibrium.payoff params ~n ~w in
+  let u w = Macgame.Oracle.payoff_uniform analytic ~n ~w in
   Printf.printf
     "\nFound W = %d vs true Wc* = %d: the announced window earns %.1f%% of the\n\
      optimal payoff (the plateau around Wc* is wide, so a near miss is cheap).\n"
@@ -50,7 +57,7 @@ let () =
 
   (* Why the coordinator reports honestly. *)
   let truthful, misreport =
-    Macgame.Search.misreport_stage_payoffs params ~n ~w_star
+    Macgame.Search.misreport_stage_payoffs analytic ~n ~w_star
       ~w_report:(Stdlib.max 1 (w_star / 2))
   in
   Printf.printf

@@ -8,30 +8,29 @@
 
 let () =
   let params = Dcf.Params.default in
+  (* All payoff questions — heterogeneous profiles, symmetric channel
+     views, NE searches, repeated games — go through one memoized oracle. *)
+  let oracle = Macgame.Oracle.analytic params in
 
   (* 1. The analytic model: five selfish nodes with different windows. *)
-  print_endline "== 1. Solving the model for CW profile [16; 32; 64; 128; 256] ==";
-  let solved = Dcf.Model.solve params [| 16; 32; 64; 128; 256 |] in
+  print_endline "== 1. Payoffs for CW profile [16; 32; 64; 128; 256] ==";
+  let profile = [| 16; 32; 64; 128; 256 |] in
+  let payoffs = Macgame.Oracle.payoffs oracle profile in
   Array.iteri
-    (fun i w ->
-      Printf.printf
-        "  node %d: W=%3d  tau=%.4f  p=%.4f  throughput=%.4f  payoff=%+.3f/s\n" i w
-        solved.taus.(i) solved.ps.(i)
-        solved.metrics.per_node_throughput.(i)
-        solved.utilities.(i))
-    solved.cws;
-  Printf.printf "  channel: S=%.4f  idle=%.1f%%  collisions=%.1f%%\n"
-    solved.metrics.throughput
-    (100. *. Dcf.Metrics.idle_fraction solved.metrics)
-    (100. *. Dcf.Metrics.collision_fraction solved.metrics);
+    (fun i w -> Printf.printf "  node %d: W=%3d  payoff=%+.3f/s\n" i w payoffs.(i))
+    profile;
+  let v = Macgame.Oracle.uniform oracle ~n:5 ~w:64 in
+  Printf.printf
+    "  symmetric n=5, W=64: tau=%.4f  p=%.4f  S=%.4f  Tslot=%.1f us\n"
+    v.tau v.p v.throughput (v.slot_time *. 1e6);
 
   (* 2. The game: where is the efficient NE for n players? *)
   print_endline "\n== 2. Efficient Nash equilibria ==";
   List.iter
     (fun n ->
-      let w_star = Macgame.Equilibrium.efficient_cw params ~n in
-      let u = Macgame.Equilibrium.payoff params ~n ~w:w_star in
-      let lo, hi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.95 in
+      let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
+      let u = Macgame.Oracle.payoff_uniform oracle ~n ~w:w_star in
+      let lo, hi = Macgame.Equilibrium.robust_range oracle ~n ~fraction:0.95 in
       Printf.printf "  n=%2d: Wc*=%4d  payoff=%.3f/s  95%%-robust range [%d, %d]\n"
         n w_star u lo hi)
     [ 5; 20; 50 ];
@@ -40,7 +39,7 @@ let () =
   print_endline "\n== 3. Repeated game under TIT-FOR-TAT ==";
   let initials = [| 300; 150; 95; 200; 120 |] in
   let strategies = Macgame.Repeated.all_tft ~n:5 ~initials in
-  let outcome = Macgame.Repeated.run params ~strategies ~stages:4 in
+  let outcome = Macgame.Repeated.run oracle ~strategies ~stages:4 in
   Array.iter
     (fun (r : Macgame.Repeated.stage_record) ->
       Printf.printf "  stage %d: profile %s  welfare %.2f  fairness %.3f\n" r.stage

@@ -1,42 +1,37 @@
 let check_gamma gamma =
   if gamma < 0. then invalid_arg "Delay_game: gamma must be >= 0"
 
-let node_quantities (params : Dcf.Params.t) ~n ~w =
-  let tau, p = Dcf.Solver.solve_homogeneous params ~n ~w in
-  let metrics = Dcf.Metrics.of_taus params (Array.make n tau) in
-  (tau, p, metrics)
+let node_delay (params : Dcf.Params.t) (view : Oracle.uniform_view) ~w =
+  (Dcf.Delay.of_node ~slot_time:view.slot_time ~tau:view.tau ~p:view.p ~w
+     ~m:params.max_backoff_stage)
+    .mean_delay
 
-let payoff (params : Dcf.Params.t) ~gamma ~n ~w =
+let payoff oracle ~gamma ~n ~w =
   check_gamma gamma;
-  let tau, p, metrics = node_quantities params ~n ~w in
-  if p >= 1. then -.(tau *. params.cost) /. metrics.slot_time
+  let params = Oracle.params oracle in
+  let view = Oracle.uniform oracle ~n ~w in
+  if view.p >= 1. then -.(view.tau *. params.cost) /. view.slot_time
   else begin
-    let delay =
-      (Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w
-         ~m:params.max_backoff_stage)
-        .mean_delay
-    in
-    tau
-    *. (((1. -. p) *. params.gain /. (1. +. (gamma *. delay))) -. params.cost)
-    /. metrics.slot_time
+    let delay = node_delay params view ~w in
+    view.tau
+    *. (((1. -. view.p) *. params.gain /. (1. +. (gamma *. delay)))
+       -. params.cost)
+    /. view.slot_time
   end
 
-let efficient_cw (params : Dcf.Params.t) ~gamma ~n =
+let efficient_cw oracle ~gamma ~n =
   check_gamma gamma;
   if n < 1 then invalid_arg "Delay_game.efficient_cw: need n >= 1";
   if n = 1 then 1
   else
     fst
       (Numerics.Optimize.ternary_int_max
-         (fun w -> payoff params ~gamma ~n ~w)
-         1 params.cw_max)
+         (fun w -> payoff oracle ~gamma ~n ~w)
+         1 (Oracle.params oracle).cw_max)
 
-let delay_at_ne (params : Dcf.Params.t) ~gamma ~n =
-  let w = efficient_cw params ~gamma ~n in
-  let tau, p, metrics = node_quantities params ~n ~w in
-  (Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w
-     ~m:params.max_backoff_stage)
-    .mean_delay
+let delay_at_ne oracle ~gamma ~n =
+  let w = efficient_cw oracle ~gamma ~n in
+  node_delay (Oracle.params oracle) (Oracle.uniform oracle ~n ~w) ~w
 
 type tradeoff_point = {
   gamma : float;
@@ -45,17 +40,14 @@ type tradeoff_point = {
   throughput : float;
 }
 
-let tradeoff (params : Dcf.Params.t) ~n ~gammas =
+let tradeoff oracle ~n ~gammas =
+  let params = Oracle.params oracle in
   Array.map
     (fun gamma ->
-      let w_star = efficient_cw params ~gamma ~n in
-      let tau, p, metrics = node_quantities params ~n ~w:w_star in
+      let w_star = efficient_cw oracle ~gamma ~n in
+      let view = Oracle.uniform oracle ~n ~w:w_star in
       let delay =
-        if p >= 1. then infinity
-        else
-          (Dcf.Delay.of_node ~slot_time:metrics.slot_time ~tau ~p ~w:w_star
-             ~m:params.max_backoff_stage)
-            .mean_delay
+        if view.p >= 1. then infinity else node_delay params view ~w:w_star
       in
-      { gamma; w_star; delay; throughput = metrics.throughput })
+      { gamma; w_star; delay; throughput = view.throughput })
     gammas

@@ -20,17 +20,22 @@
     *upward* toward the throughput peak — the "too long" NE window is not
     actually a delay problem — while extreme γ degenerates to maximal
     windows (when delay destroys all packet value, the rational move is to
-    barely participate and save energy). *)
+    barely participate and save energy).
 
-val payoff : Dcf.Params.t -> gamma:float -> n:int -> w:int -> float
+    τ, p, T̄slot and S come from the {!Oracle}'s uniform view, so the
+    delay-aware game inherits backend pluggability and memoization; only
+    the delay pricing itself stays analytic ({!Dcf.Delay} is closed-form
+    in those estimates). *)
+
+val payoff : Oracle.t -> gamma:float -> n:int -> w:int -> float
 (** Per-node delay-aware payoff rate of the uniform profile (w, …, w). *)
 
-val efficient_cw : Dcf.Params.t -> gamma:float -> n:int -> int
+val efficient_cw : Oracle.t -> gamma:float -> n:int -> int
 (** The delay-aware efficient NE window: argmax of {!payoff} over
     [1, cw_max].  Decreasing in [gamma]; equals
     {!Equilibrium.efficient_cw} at [gamma = 0]. *)
 
-val delay_at_ne : Dcf.Params.t -> gamma:float -> n:int -> float
+val delay_at_ne : Oracle.t -> gamma:float -> n:int -> float
 (** Mean access delay at the delay-aware NE, s. *)
 
 type tradeoff_point = {
@@ -40,6 +45,6 @@ type tradeoff_point = {
   throughput : float; (** network throughput S at it *)
 }
 
-val tradeoff : Dcf.Params.t -> n:int -> gammas:float array -> tradeoff_point array
+val tradeoff : Oracle.t -> n:int -> gammas:float array -> tradeoff_point array
 (** The delay/throughput frontier traced by sweeping γ — the ablation
     behind the [delay] bench. *)

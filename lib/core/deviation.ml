@@ -5,39 +5,39 @@ type stage_payoffs = {
   uniform_star : float;
 }
 
-let stage_payoffs (params : Dcf.Params.t) ~n ~w_star ~w_dev =
-  let during = Dcf.Model.with_deviant params ~n ~w:w_star ~w_dev in
+let stage_payoffs oracle ~n ~w_star ~w_dev =
+  let params = Oracle.params oracle in
   let stage u = Dcf.Utility.stage params u in
+  let during = Oracle.payoffs oracle (Profile.with_deviant ~n ~w:w_star ~w_dev) in
   {
-    deviant = stage during.Dcf.Model.deviant.utility;
-    conformer = stage during.Dcf.Model.conformer.utility;
-    uniform_w = stage (Dcf.Model.homogeneous params ~n ~w:w_dev).Dcf.Model.utility;
-    uniform_star =
-      stage (Dcf.Model.homogeneous params ~n ~w:w_star).Dcf.Model.utility;
+    deviant = stage during.(0);
+    conformer = stage (if n > 1 then during.(1) else during.(0));
+    uniform_w = stage (Oracle.payoff_uniform oracle ~n ~w:w_dev);
+    uniform_star = stage (Oracle.payoff_uniform oracle ~n ~w:w_star);
   }
 
 let check_delta delta_s =
   if delta_s < 0. || delta_s >= 1. then
     invalid_arg "Deviation: delta_s must be in [0, 1)"
 
-let deviant_total params ~n ~w_star ~w_dev ~delta_s ~react_stages =
+let deviant_total oracle ~n ~w_star ~w_dev ~delta_s ~react_stages =
   check_delta delta_s;
   if react_stages < 1 then invalid_arg "Deviation: react_stages must be >= 1";
-  let p = stage_payoffs params ~n ~w_star ~w_dev in
+  let p = stage_payoffs oracle ~n ~w_star ~w_dev in
   let dm = delta_s ** float_of_int react_stages in
   (((1. -. dm) *. p.deviant) +. (dm *. p.uniform_w)) /. (1. -. delta_s)
 
-let honest_total params ~n ~w_star ~delta_s =
+let honest_total oracle ~n ~w_star ~delta_s =
   check_delta delta_s;
-  let u = (Dcf.Model.homogeneous params ~n ~w:w_star).Dcf.Model.utility in
-  Dcf.Utility.stage params u /. (1. -. delta_s)
+  let u = Oracle.payoff_uniform oracle ~n ~w:w_star in
+  Dcf.Utility.stage (Oracle.params oracle) u /. (1. -. delta_s)
 
-let best_deviation params ~n ~w_star ~delta_s ~react_stages =
+let best_deviation oracle ~n ~w_star ~delta_s ~react_stages =
   Numerics.Optimize.exhaustive_int_max
-    (fun w_dev -> deviant_total params ~n ~w_star ~w_dev ~delta_s ~react_stages)
+    (fun w_dev -> deviant_total oracle ~n ~w_star ~w_dev ~delta_s ~react_stages)
     1 w_star
 
-let critical_discount ?(tol = 1e-6) params ~n ~w_star ~react_stages =
+let critical_discount ?(tol = 1e-6) oracle ~n ~w_star ~react_stages =
   if w_star <= 1 then 0.
   else begin
     (* Strict deviations only: W_s = W_c★ trivially ties with honesty, so
@@ -49,10 +49,10 @@ let critical_discount ?(tol = 1e-6) params ~n ~w_star ~react_stages =
       let _, best =
         Numerics.Optimize.exhaustive_int_max
           (fun w_dev ->
-            deviant_total params ~n ~w_star ~w_dev ~delta_s ~react_stages)
+            deviant_total oracle ~n ~w_star ~w_dev ~delta_s ~react_stages)
           1 (w_star - 1)
       in
-      (best -. honest_total params ~n ~w_star ~delta_s) *. (1. -. delta_s)
+      (best -. honest_total oracle ~n ~w_star ~delta_s) *. (1. -. delta_s)
     in
     if gain 0. <= 0. then 0.
     else if gain (1. -. tol) > 0. then 1.
@@ -66,53 +66,40 @@ type coalition_stage = {
   honest : float;
 }
 
-let coalition_stage_payoffs (params : Dcf.Params.t) ~n ~w_star ~k ~w_dev =
+let coalition_stage_payoffs oracle ~n ~w_star ~k ~w_dev =
   if k < 1 || k >= n then
     invalid_arg "Deviation.coalition_stage_payoffs: need 1 <= k < n";
-  let classes = Dcf.Solver.solve_classes params [ (w_dev, k); (w_star, n - k) ] in
-  let (tau_m, p_m), (tau_o, p_o) =
-    match classes with
-    | [ a; b ] -> (a, b)
-    | _ -> assert false
-  in
-  let taus = Array.init n (fun i -> if i < k then tau_m else tau_o) in
-  let metrics = Dcf.Metrics.of_taus params taus in
-  let stage tau p =
-    Dcf.Utility.stage params
-      (Dcf.Utility.rate_of_node params ~slot_time:metrics.slot_time ~tau ~p)
+  let stage u = Dcf.Utility.stage (Oracle.params oracle) u in
+  let during =
+    Oracle.payoffs oracle
+      (Array.init n (fun i -> if i < k then w_dev else w_star))
   in
   {
-    member = stage tau_m p_m;
-    outsider = stage tau_o p_o;
-    punished =
-      Dcf.Utility.stage params
-        (Dcf.Model.homogeneous params ~n ~w:w_dev).Dcf.Model.utility;
-    honest =
-      Dcf.Utility.stage params
-        (Dcf.Model.homogeneous params ~n ~w:w_star).Dcf.Model.utility;
+    member = stage during.(0);
+    outsider = stage during.(n - 1);
+    punished = stage (Oracle.payoff_uniform oracle ~n ~w:w_dev);
+    honest = stage (Oracle.payoff_uniform oracle ~n ~w:w_star);
   }
 
-let coalition_member_total params ~n ~w_star ~k ~w_dev ~delta_s ~react_stages =
+let coalition_member_total oracle ~n ~w_star ~k ~w_dev ~delta_s ~react_stages =
   check_delta delta_s;
   if react_stages < 1 then invalid_arg "Deviation: react_stages must be >= 1";
-  let p = coalition_stage_payoffs params ~n ~w_star ~k ~w_dev in
+  let p = coalition_stage_payoffs oracle ~n ~w_star ~k ~w_dev in
   let dm = delta_s ** float_of_int react_stages in
   (((1. -. dm) *. p.member) +. (dm *. p.punished)) /. (1. -. delta_s)
 
-let coalition_gain params ~n ~w_star ~k ~w_dev ~delta_s ~react_stages =
-  coalition_member_total params ~n ~w_star ~k ~w_dev ~delta_s ~react_stages
-  -. honest_total params ~n ~w_star ~delta_s
+let coalition_gain oracle ~n ~w_star ~k ~w_dev ~delta_s ~react_stages =
+  coalition_member_total oracle ~n ~w_star ~k ~w_dev ~delta_s ~react_stages
+  -. honest_total oracle ~n ~w_star ~delta_s
 
-let critical_discount_for ?(tol = 1e-9) params ~n ~w_star ~w_dev ~react_stages =
+let critical_discount_for ?(tol = 1e-9) oracle ~n ~w_star ~w_dev ~react_stages =
   let gain delta_s =
-    (deviant_total params ~n ~w_star ~w_dev ~delta_s ~react_stages
-    -. honest_total params ~n ~w_star ~delta_s)
+    (deviant_total oracle ~n ~w_star ~w_dev ~delta_s ~react_stages
+    -. honest_total oracle ~n ~w_star ~delta_s)
     *. (1. -. delta_s)
   in
   if gain 0. <= 0. then 0.
   else if gain (1. -. 1e-12) > 0. then 1.
   else Numerics.Roots.bisect ~tol gain 0. (1. -. 1e-12)
 
-let malicious_welfare params ~n ~w_mal =
-  float_of_int n
-  *. (Dcf.Model.homogeneous params ~n ~w:w_mal).Dcf.Model.utility
+let malicious_welfare oracle ~n ~w_mal = Oracle.welfare_uniform oracle ~n ~w:w_mal

@@ -10,7 +10,12 @@
     compared with honest play U_s⁰ = U^stage(W_c★,…,W_c★)/(1−δ_s).  The
     module evaluates both, optimises W_s for a given δ_s, and finds the
     critical patience above which honesty wins — reconciling our result
-    with [2]'s network-collapse finding, as Sec. VIII discusses. *)
+    with [2]'s network-collapse finding, as Sec. VIII discusses.
+
+    All stage payoffs are profile evaluations through the {!Oracle}; the
+    bisections and exhaustive scans below revisit the same handful of
+    profiles at every δ_s probe, so after the first sweep every evaluation
+    is a memo hit. *)
 
 type stage_payoffs = {
   deviant : float;    (** deviant's stage payoff during the free ride *)
@@ -19,33 +24,33 @@ type stage_payoffs = {
   uniform_star : float;  (** everyone's stage payoff at (W_c★, …, W_c★) *)
 }
 
-val stage_payoffs : Dcf.Params.t -> n:int -> w_star:int -> w_dev:int -> stage_payoffs
+val stage_payoffs : Oracle.t -> n:int -> w_star:int -> w_dev:int -> stage_payoffs
 (** Stage payoffs U^s = u·T of the three relevant profiles. *)
 
 val deviant_total :
-  Dcf.Params.t -> n:int -> w_star:int -> w_dev:int -> delta_s:float ->
+  Oracle.t -> n:int -> w_star:int -> w_dev:int -> delta_s:float ->
   react_stages:int -> float
 (** U_s above.  [delta_s ∈ [0, 1)], [react_stages ≥ 1]. *)
 
 val honest_total :
-  Dcf.Params.t -> n:int -> w_star:int -> delta_s:float -> float
+  Oracle.t -> n:int -> w_star:int -> delta_s:float -> float
 (** U_s⁰ = U^stage(W_c★)/(1−δ_s). *)
 
 val best_deviation :
-  Dcf.Params.t -> n:int -> w_star:int -> delta_s:float -> react_stages:int ->
+  Oracle.t -> n:int -> w_star:int -> delta_s:float -> react_stages:int ->
   int * float
 (** The window W_s ∈ [1, W_c*] maximising {!deviant_total} and its value
     (exhaustive scan: with punishment the curve need not be unimodal). *)
 
 val critical_discount :
-  ?tol:float -> Dcf.Params.t -> n:int -> w_star:int -> react_stages:int -> float
+  ?tol:float -> Oracle.t -> n:int -> w_star:int -> react_stages:int -> float
 (** Smallest δ_s at which no *strict* deviation (W_s < W_c★) beats
     honesty: bisection on δ_s ↦ max_{W_s < W_c★} U_s − U_s⁰, which is
     decreasing in δ_s.  Returns 0 if honesty already wins at δ_s = 0 (or
     W_c★ = 1), and 1 if some deviation still pays at δ_s → 1. *)
 
 val critical_discount_for :
-  ?tol:float -> Dcf.Params.t -> n:int -> w_star:int -> w_dev:int ->
+  ?tol:float -> Oracle.t -> n:int -> w_star:int -> w_dev:int ->
   react_stages:int -> float
 (** Smallest δ_s at which the *specific* deviation to [w_dev] stops paying.
     Because the payoff curve is nearly flat at the top (the robustness of
@@ -71,23 +76,23 @@ type coalition_stage = {
 }
 
 val coalition_stage_payoffs :
-  Dcf.Params.t -> n:int -> w_star:int -> k:int -> w_dev:int -> coalition_stage
+  Oracle.t -> n:int -> w_star:int -> k:int -> w_dev:int -> coalition_stage
 (** Stage payoffs of the three relevant profiles, via the multi-class
     solver.  Requires 1 ≤ k < n. *)
 
 val coalition_member_total :
-  Dcf.Params.t -> n:int -> w_star:int -> k:int -> w_dev:int ->
+  Oracle.t -> n:int -> w_star:int -> k:int -> w_dev:int ->
   delta_s:float -> react_stages:int -> float
 (** A colluder's discounted total, free ride then punishment. *)
 
 val coalition_gain :
-  Dcf.Params.t -> n:int -> w_star:int -> k:int -> w_dev:int ->
+  Oracle.t -> n:int -> w_star:int -> k:int -> w_dev:int ->
   delta_s:float -> react_stages:int -> float
 (** Per-member gain over honest play; the NE resists the coalition when
     this is ≤ 0 for the coalition's best W_s. *)
 
 val malicious_welfare :
-  Dcf.Params.t -> n:int -> w_mal:int -> float
+  Oracle.t -> n:int -> w_mal:int -> float
 (** Global payoff rate after TFT has dragged everyone to the malicious
     window [w_mal] (Sec. V.E): n·u(w_mal, …, w_mal).  Negative once
     [w_mal] falls below the break-even window — the network is paralysed. *)

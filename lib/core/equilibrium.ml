@@ -1,13 +1,13 @@
-let payoff params ~n ~w = (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility
-
-let efficient_cw ?(telemetry = Telemetry.Registry.default) (params : Dcf.Params.t)
-    ~n =
+let efficient_cw (oracle : Oracle.t) ~n =
   if n < 1 then invalid_arg "Equilibrium.efficient_cw: need n >= 1";
   if n = 1 then 1
   else begin
-    let candidates = Telemetry.Registry.counter telemetry "equilibrium.candidates" in
+    let telemetry = Oracle.telemetry oracle in
+    let candidates =
+      Telemetry.Registry.counter telemetry "equilibrium.candidates"
+    in
     let evaluate w =
-      let u = payoff params ~n ~w in
+      let u = Oracle.payoff_uniform oracle ~n ~w in
       Telemetry.Metric.incr candidates;
       Telemetry.Registry.emit telemetry "cw_candidate" (fun () ->
           [
@@ -17,9 +17,8 @@ let efficient_cw ?(telemetry = Telemetry.Registry.default) (params : Dcf.Params.
           ]);
       u
     in
-    let w_star =
-      fst (Numerics.Optimize.ternary_int_max evaluate 1 params.cw_max)
-    in
+    let cw_max = (Oracle.params oracle).cw_max in
+    let w_star = fst (Numerics.Optimize.ternary_int_max evaluate 1 cw_max) in
     Telemetry.Registry.emit telemetry "efficient_cw" (fun () ->
         [ ("n", Telemetry.Jsonx.Int n); ("w", Telemetry.Jsonx.Int w_star) ]);
     w_star
@@ -38,10 +37,10 @@ let tau_star (params : Dcf.Params.t) ~n =
     Numerics.Roots.brent q 1e-12 (1. -. 1e-12)
   end
 
-let cw_of_tau (params : Dcf.Params.t) ~n target =
+let cw_of_tau (oracle : Oracle.t) ~n target =
   if target <= 0. || target > 1. then
     invalid_arg "Equilibrium.cw_of_tau: target must be in (0, 1]";
-  let tau_of w = fst (Dcf.Solver.solve_homogeneous params ~n ~w) in
+  let tau_of w = fst (Oracle.tau_p oracle ~n ~w) in
   (* τ(W) is decreasing; find the smallest W with τ(W) ≤ target, then pick
      the closer of it and its left neighbour. *)
   let rec search lo hi =
@@ -51,7 +50,7 @@ let cw_of_tau (params : Dcf.Params.t) ~n target =
       if tau_of mid <= target then search lo mid else search (mid + 1) hi
     end
   in
-  let w = search 1 params.cw_max in
+  let w = search 1 (Oracle.params oracle).cw_max in
   if w = 1 then 1
   else begin
     let better_left =
@@ -60,10 +59,10 @@ let cw_of_tau (params : Dcf.Params.t) ~n target =
     if better_left then w - 1 else w
   end
 
-let break_even_cw params ~n =
+let break_even_cw oracle ~n =
   if n < 1 then invalid_arg "Equilibrium.break_even_cw: need n >= 1";
-  let w_star = efficient_cw params ~n in
-  let u w = payoff params ~n ~w in
+  let w_star = efficient_cw oracle ~n in
+  let u w = Oracle.payoff_uniform oracle ~n ~w in
   if u 1 > 0. then 1
   else begin
     (* u is increasing on [1, W_c*]; binary search for the sign change. *)
@@ -80,23 +79,24 @@ let break_even_cw params ~n =
 
 type ne_set = { w_lo : int; w_hi : int }
 
-let ne_set params ~n =
-  { w_lo = break_even_cw params ~n; w_hi = efficient_cw params ~n }
+let ne_set oracle ~n =
+  { w_lo = break_even_cw oracle ~n; w_hi = efficient_cw oracle ~n }
 
-let is_ne params ~n ~w =
-  let { w_lo; w_hi } = ne_set params ~n in
+let is_ne oracle ~n ~w =
+  let { w_lo; w_hi } = ne_set oracle ~n in
   w >= w_lo && w <= w_hi
 
-let is_efficient params ~n ~w = w = efficient_cw params ~n
+let is_efficient oracle ~n ~w = w = efficient_cw oracle ~n
 
-let social_welfare params ~n ~w = float_of_int n *. payoff params ~n ~w
+let social_welfare oracle ~n ~w = Oracle.welfare_uniform oracle ~n ~w
 
-let robust_range (params : Dcf.Params.t) ~n ~fraction =
+let robust_range oracle ~n ~fraction =
   if fraction <= 0. || fraction > 1. then
     invalid_arg "Equilibrium.robust_range: fraction must be in (0, 1]";
-  let w_star = efficient_cw params ~n in
-  let threshold = fraction *. payoff params ~n ~w:w_star in
-  let u w = payoff params ~n ~w in
+  let w_star = efficient_cw oracle ~n in
+  let threshold = fraction *. Oracle.payoff_uniform oracle ~n ~w:w_star in
+  let u w = Oracle.payoff_uniform oracle ~n ~w in
+  let cw_max = (Oracle.params oracle).cw_max in
   (* Unimodality: u ≥ threshold on a contiguous range around W_c*. *)
   let rec lowest lo hi =
     (* invariant: u hi ≥ threshold, u lo < threshold (or lo = hi) *)
@@ -115,12 +115,13 @@ let robust_range (params : Dcf.Params.t) ~n ~fraction =
     end
   in
   let lo = if u 1 >= threshold then 1 else lowest 1 w_star in
-  let hi =
-    if u params.cw_max >= threshold then params.cw_max
-    else highest w_star params.cw_max
-  in
+  let hi = if u cw_max >= threshold then cw_max else highest w_star cw_max in
   (lo, hi)
 
-let unilateral_gain params ~n ~w ~w_dev =
-  let view = Dcf.Model.with_deviant params ~n ~w ~w_dev in
-  view.Dcf.Model.deviant.utility -. view.Dcf.Model.conformer.utility
+let unilateral_gain oracle ~n ~w ~w_dev =
+  if n < 2 then invalid_arg "Equilibrium.unilateral_gain: need n >= 2";
+  if w = w_dev then 0.
+  else begin
+    let u = Oracle.payoffs oracle (Profile.with_deviant ~n ~w ~w_dev) in
+    u.(0) -. u.(1)
+  end

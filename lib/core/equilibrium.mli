@@ -5,31 +5,33 @@
     payoff unimodal in the common window) and W_c⁰ is the break-even window
     below which the stage payoff turns negative.  NE refinement (Sec. V.B)
     singles out (W_c★, …, W_c★) as the unique Pareto-optimal,
-    welfare-maximising NE. *)
+    welfare-maximising NE.
 
-val payoff : Dcf.Params.t -> n:int -> w:int -> float
-(** Per-node payoff rate u of the uniform profile (W, …, W). *)
+    Every payoff evaluation goes through the {!Oracle}, so the analysis
+    runs unchanged on the analytic model or either packet-level simulator,
+    and the repeated window probes of the binary/ternary searches are memo
+    hits after the first visit. *)
 
-val efficient_cw :
-  ?telemetry:Telemetry.Registry.t -> Dcf.Params.t -> n:int -> int
-(** W_c*: the window maximising {!payoff} over the strategy space
-    [1, cw_max], by ternary search on the unimodal curve.  Every candidate
-    evaluation emits a ["cw_candidate"] event and the optimum an
-    ["efficient_cw"] event on [telemetry] (default: the global registry). *)
+val efficient_cw : Oracle.t -> n:int -> int
+(** W_c*: the window maximising {!Oracle.payoff_uniform} over the strategy
+    space [1, cw_max], by ternary search on the unimodal curve.  Every
+    candidate evaluation emits a ["cw_candidate"] event and the optimum an
+    ["efficient_cw"] event on the oracle's registry. *)
 
 val tau_star : Dcf.Params.t -> n:int -> float
 (** The Appendix-B optimality condition's root: the τ solving
     Q(τ) = (1−τ)^n·σ + (1 − (1−τ)^n − nτ)·Tc = 0.  This is the e-neglected
     continuous optimum; {!efficient_cw} maximises the exact utility.
     Exposed so tests can confirm Q is monotone with a unique root in (0,1)
-    (Lemma 3) and that it predicts {!efficient_cw} well when e ≪ g. *)
+    (Lemma 3) and that it predicts {!efficient_cw} well when e ≪ g.
+    Closed-form in the parameters — no payoff evaluation, hence no oracle. *)
 
-val cw_of_tau : Dcf.Params.t -> n:int -> float -> int
+val cw_of_tau : Oracle.t -> n:int -> float -> int
 (** Invert the symmetric model: the integer window whose homogeneous
     fixed-point τ is closest to the given target.  Monotone bisection on
     W. *)
 
-val break_even_cw : Dcf.Params.t -> n:int -> int
+val break_even_cw : Oracle.t -> n:int -> int
 (** W_c⁰: the smallest window with positive uniform payoff, found by
     binary search on the sign change (payoff is increasing below W_c★).
     1 if the payoff is positive on the whole range (e.g. when e = 0, or
@@ -38,25 +40,26 @@ val break_even_cw : Dcf.Params.t -> n:int -> int
 type ne_set = { w_lo : int; w_hi : int }
 (** The inclusive NE range of Theorem 2. *)
 
-val ne_set : Dcf.Params.t -> n:int -> ne_set
+val ne_set : Oracle.t -> n:int -> ne_set
 
-val is_ne : Dcf.Params.t -> n:int -> w:int -> bool
+val is_ne : Oracle.t -> n:int -> w:int -> bool
 
-val is_efficient : Dcf.Params.t -> n:int -> w:int -> bool
+val is_efficient : Oracle.t -> n:int -> w:int -> bool
 (** Whether (w, …, w) survives the refinement of Sec. V.B, i.e.
     [w = efficient_cw]. *)
 
-val social_welfare : Dcf.Params.t -> n:int -> w:int -> float
+val social_welfare : Oracle.t -> n:int -> w:int -> float
 (** n·u(w, …, w): the global payoff rate. *)
 
-val robust_range : Dcf.Params.t -> n:int -> fraction:float -> int * int
+val robust_range : Oracle.t -> n:int -> fraction:float -> int * int
 (** [(lo, hi)]: the contiguous window range around W_c* whose uniform
     payoff stays within [fraction] (e.g. 0.95) of the optimum — the
     robustness the paper highlights below Figure 3.  [fraction] must be in
     (0, 1]. *)
 
-val unilateral_gain : Dcf.Params.t -> n:int -> w:int -> w_dev:int -> float
+val unilateral_gain : Oracle.t -> n:int -> w:int -> w_dev:int -> float
 (** Stage-payoff gain u_dev − u_conf of a single deviant playing [w_dev]
-    against (w, …, w).  Positive for w_dev < w (Lemma 4 case 2): the
-    deviation is profitable for one stage, which is why TFT punishment is
-    what sustains the NE. *)
+    against (w, …, w), evaluated on the deviant profile through the
+    oracle.  Positive for w_dev < w (Lemma 4 case 2): the deviation is
+    profitable for one stage, which is why TFT punishment is what sustains
+    the NE.  Requires n ≥ 2. *)

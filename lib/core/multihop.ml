@@ -57,20 +57,13 @@ let diameter t =
   done;
   !widest
 
-let local_efficient_cw params t =
-  let cache = Hashtbl.create 8 in
-  Array.map
-    (fun deg ->
-      match Hashtbl.find_opt cache deg with
-      | Some w -> w
-      | None ->
-          let w = Equilibrium.efficient_cw params ~n:(deg + 1) in
-          Hashtbl.add cache deg w;
-          w)
-    (degrees t)
+let local_efficient_cw oracle t =
+  (* No per-degree cache here: the oracle's (n, w) memo already makes the
+     repeated ternary searches cheap. *)
+  Array.map (fun deg -> Equilibrium.efficient_cw oracle ~n:(deg + 1)) (degrees t)
 
-let converged_cw params t =
-  let locals = local_efficient_cw params t in
+let converged_cw oracle t =
+  let locals = local_efficient_cw oracle t in
   if Array.length locals = 0 then invalid_arg "Multihop.converged_cw: empty graph";
   Array.fold_left Stdlib.min locals.(0) locals
 
@@ -137,18 +130,9 @@ let local_tft_game ?(observer = Observer.perfect) t ~initials ~stages ~payoffs =
   in
   { trace; converged_at; final }
 
-let payoffs_at ?p_hn params t ~w =
-  let cache = Hashtbl.create 8 in
+let payoffs_at oracle t ~w =
   Array.map
-    (fun deg ->
-      match Hashtbl.find_opt cache deg with
-      | Some u -> u
-      | None ->
-          let u =
-            (Dcf.Model.homogeneous ?p_hn params ~n:(deg + 1) ~w).Dcf.Model.utility
-          in
-          Hashtbl.add cache deg u;
-          u)
+    (fun deg -> Oracle.payoff_uniform oracle ~n:(deg + 1) ~w)
     (degrees t)
 
 type quasi_optimality = {
@@ -161,27 +145,25 @@ type quasi_optimality = {
   min_local_ratio : float;
 }
 
-let quasi_optimality ?p_hn (params : Dcf.Params.t) t =
-  let locals = local_efficient_cw params t in
+let quasi_optimality oracle t =
+  let locals = local_efficient_cw oracle t in
   let w_m = Array.fold_left Stdlib.min locals.(0) locals in
-  let global w = Prelude.Util.sum_floats (payoffs_at ?p_hn params t ~w) in
+  let global w = Prelude.Util.sum_floats (payoffs_at oracle t ~w) in
   (* Individual payoffs are unimodal with peaks at the per-degree optima;
      the welfare sum peaks between the smallest and largest of them.
      Scan that (small) range exhaustively. *)
   let w_hi = Array.fold_left Stdlib.max locals.(0) locals in
   let w_global_opt, global_opt =
     Numerics.Optimize.exhaustive_int_max global (Stdlib.max 1 (w_m / 2))
-      (Stdlib.min params.cw_max (2 * w_hi))
+      (Stdlib.min (Oracle.params oracle).cw_max (2 * w_hi))
   in
-  let at_ne = payoffs_at ?p_hn params t ~w:w_m in
+  let at_ne = payoffs_at oracle t ~w:w_m in
   let global_at_ne = Prelude.Util.sum_floats at_ne in
   let local_ratios =
     Array.mapi
       (fun i u_ne ->
         let u_best =
-          (Dcf.Model.homogeneous ?p_hn params
-             ~n:((degrees t).(i) + 1) ~w:locals.(i))
-            .Dcf.Model.utility
+          Oracle.payoff_uniform oracle ~n:((degrees t).(i) + 1) ~w:locals.(i)
         in
         u_ne /. u_best)
       at_ne

@@ -33,12 +33,12 @@ val diameter : t -> int
 (** Longest shortest path between any two nodes.
     @raise Invalid_argument if the graph is disconnected or empty. *)
 
-val local_efficient_cw : Dcf.Params.t -> t -> int array
+val local_efficient_cw : Oracle.t -> t -> int array
 (** W_i for every node: the efficient NE window of the single-hop game with
-    deg(i)+1 players (memoised by degree — real topologies have few
-    distinct degrees). *)
+    deg(i)+1 players.  Real topologies have few distinct degrees, and the
+    oracle's (n, w) memo makes the repeated searches cheap. *)
 
-val converged_cw : Dcf.Params.t -> t -> int
+val converged_cw : Oracle.t -> t -> int
 (** W_m = min_i W_i — the profile Theorem 3 proves TFT converges to. *)
 
 val tft_rounds : t -> start:int array -> int * int array
@@ -66,9 +66,10 @@ val local_tft_game :
     connected graph the profile converges to the minimum initial window
     within diameter stages. *)
 
-val payoffs_at : ?p_hn:float -> Dcf.Params.t -> t -> w:int -> float array
+val payoffs_at : Oracle.t -> t -> w:int -> float array
 (** Per-node payoff rates when every node operates on [w], each evaluated
-    in its local game (deg(i)+1 players, degradation [p_hn], default 1). *)
+    in its local game (deg(i)+1 players; configure the degradation factor
+    with [Oracle.create ~p_hn]). *)
 
 type quasi_optimality = {
   w_m : int;                 (** the converged NE window *)
@@ -80,8 +81,7 @@ type quasi_optimality = {
   min_local_ratio : float;
 }
 
-val quasi_optimality :
-  ?p_hn:float -> Dcf.Params.t -> t -> quasi_optimality
+val quasi_optimality : Oracle.t -> t -> quasi_optimality
 (** The Sec. VII.B evaluation: how close the converged NE is to the best
     common window, globally and for the worst-off node.  The paper reports
     ≥ 96 % locally and ≥ 97 % globally for its 100-node topology. *)

@@ -1,0 +1,272 @@
+type sim_config = { duration : float; replicates : int; seed : int }
+
+type backend =
+  | Analytic
+  | Sim_slotted of sim_config
+  | Sim_spatial of sim_config
+
+type uniform_view = {
+  tau : float;
+  p : float;
+  utility : float;
+  throughput : float;
+  slot_time : float;
+}
+
+(* A solved heterogeneous profile is stored per window class: distinct
+   windows ascending, one utility each.  Equal windows share (τ, p) by
+   symmetry, so one float per class answers every node — and every
+   permutation of the same multiset. *)
+type classes = (int * float) array
+
+type t = {
+  params : Dcf.Params.t;
+  p_hn : float option;
+  backend : backend;
+  telemetry : Telemetry.Registry.t;
+  hits : Telemetry.Metric.counter;
+  misses : Telemetry.Metric.counter;
+  solves : Telemetry.Metric.counter;
+  lock : Mutex.t;
+  uniform_memo : (int * int, uniform_view) Hashtbl.t;
+  profile_memo : (int list, classes) Hashtbl.t;
+}
+
+let validate_backend = function
+  | Analytic -> ()
+  | Sim_slotted { duration; replicates; _ }
+  | Sim_spatial { duration; replicates; _ } ->
+      if duration <= 0. then
+        invalid_arg "Oracle.create: sim duration must be positive";
+      if replicates < 1 then
+        invalid_arg "Oracle.create: need replicates >= 1"
+
+let create ?(telemetry = Telemetry.Registry.default) ?p_hn
+    ?(backend = Analytic) (params : Dcf.Params.t) =
+  validate_backend backend;
+  (match p_hn with
+  | Some f when f <= 0. || f > 1. ->
+      invalid_arg "Oracle.create: p_hn must be in (0, 1]"
+  | _ -> ());
+  {
+    params;
+    p_hn;
+    backend;
+    telemetry;
+    hits = Telemetry.Registry.counter telemetry "oracle.cache.hits";
+    misses = Telemetry.Registry.counter telemetry "oracle.cache.misses";
+    solves = Telemetry.Registry.counter telemetry "oracle.cache.solves";
+    lock = Mutex.create ();
+    uniform_memo = Hashtbl.create 64;
+    profile_memo = Hashtbl.create 64;
+  }
+
+let analytic ?telemetry ?p_hn params = create ?telemetry ?p_hn params
+
+let params t = t.params
+let backend t = t.backend
+let telemetry t = t.telemetry
+
+let backend_name = function
+  | Analytic -> "analytic"
+  | Sim_slotted _ -> "slotted"
+  | Sim_spatial _ -> "spatial"
+
+(* Memo access.  Lookups and inserts hold the lock (oracles are shared
+   across runner domains); backend solves run outside it, with a
+   double-checked insert so a racing duplicate solve is harmless — both
+   domains end up returning the same stored value. *)
+let find_memo t tbl key =
+  Mutex.lock t.lock;
+  let found = Hashtbl.find_opt tbl key in
+  Mutex.unlock t.lock;
+  (match found with
+  | Some _ -> Telemetry.Metric.incr t.hits
+  | None -> Telemetry.Metric.incr t.misses);
+  found
+
+let memo_insert t tbl key value =
+  Mutex.lock t.lock;
+  let value =
+    match Hashtbl.find_opt tbl key with
+    | Some existing -> existing
+    | None ->
+        Hashtbl.add tbl key value;
+        value
+  in
+  Mutex.unlock t.lock;
+  value
+
+(* Per-replicate RNG streams are derived from the sim seed and the content
+   key of the evaluation (à la the experiment runner), so a measurement
+   depends only on what is being measured — never on memo state or
+   evaluation order. *)
+let derived_seed ~seed key replicate =
+  let rng = Prelude.Rng.of_key ~seed (key ^ "#" ^ string_of_int replicate) in
+  Int64.to_int (Prelude.Rng.bits64 rng) land max_int
+
+let replicate_estimates t ~key cws =
+  match t.backend with
+  | Analytic -> invalid_arg "Oracle.replicate_estimates: analytic backend"
+  | Sim_slotted { duration; replicates; seed } ->
+      List.init replicates (fun r ->
+          Telemetry.Metric.incr t.solves;
+          Netsim.Slotted.estimates ~telemetry:t.telemetry
+            {
+              params = t.params;
+              cws;
+              duration;
+              seed = derived_seed ~seed key r;
+            })
+  | Sim_spatial { duration; replicates; seed } ->
+      List.init replicates (fun r ->
+          Telemetry.Metric.incr t.solves;
+          Netsim.Spatial.clique_estimates ~telemetry:t.telemetry
+            ~params:t.params ~cws ~duration
+            ~seed:(derived_seed ~seed key r) ())
+
+(* {2 Uniform profiles: the (n, w) fast path} *)
+
+let uniform_key ~n ~w = Printf.sprintf "oracle.uniform|n=%d|w=%d" n w
+
+let solve_uniform t ~n ~w =
+  match t.backend with
+  | Analytic ->
+      (* Mirrors Dcf.Model.homogeneous operation for operation, so a
+         memoized analytic oracle is bit-identical to direct model calls. *)
+      let tau, p =
+        Dcf.Solver.solve_homogeneous ~telemetry:t.telemetry t.params ~n ~w
+      in
+      let metrics = Dcf.Metrics.of_taus t.params (Array.make n tau) in
+      Telemetry.Metric.incr t.solves;
+      {
+        tau;
+        p;
+        utility =
+          Dcf.Utility.rate_of_node ?p_hn:t.p_hn t.params
+            ~slot_time:metrics.slot_time ~tau ~p;
+        throughput = metrics.throughput;
+        slot_time = metrics.slot_time;
+      }
+  | Sim_slotted _ | Sim_spatial _ ->
+      let reps =
+        replicate_estimates t ~key:(uniform_key ~n ~w) (Array.make n w)
+      in
+      let tau = Prelude.Stats.create () in
+      let p = Prelude.Stats.create () in
+      let utility = Prelude.Stats.create () in
+      let throughput = Prelude.Stats.create () in
+      let slot_time = Prelude.Stats.create () in
+      List.iter
+        (fun per_node ->
+          let total = ref 0. in
+          Array.iter
+            (fun (e : Netsim.Estimate.t) ->
+              Prelude.Stats.add tau e.tau_hat;
+              Prelude.Stats.add p e.p_hat;
+              Prelude.Stats.add utility e.payoff_rate;
+              Prelude.Stats.add slot_time e.slot_time;
+              total := !total +. e.throughput)
+            per_node;
+          Prelude.Stats.add throughput !total)
+        reps;
+      {
+        tau = Prelude.Stats.mean tau;
+        p = Prelude.Stats.mean p;
+        utility = Prelude.Stats.mean utility;
+        throughput = Prelude.Stats.mean throughput;
+        slot_time = Prelude.Stats.mean slot_time;
+      }
+
+let uniform t ~n ~w =
+  if n < 1 then invalid_arg "Oracle.uniform: need n >= 1";
+  if w < 1 then invalid_arg "Oracle.uniform: window must be >= 1";
+  match find_memo t t.uniform_memo (n, w) with
+  | Some view -> view
+  | None -> memo_insert t t.uniform_memo (n, w) (solve_uniform t ~n ~w)
+
+let payoff_uniform t ~n ~w = (uniform t ~n ~w).utility
+let welfare_uniform t ~n ~w = float_of_int n *. payoff_uniform t ~n ~w
+
+let tau_p t ~n ~w =
+  let view = uniform t ~n ~w in
+  (view.tau, view.p)
+
+(* {2 Heterogeneous profiles: the canonical sorted-multiset path} *)
+
+let profile_key sorted =
+  "oracle.profile|"
+  ^ String.concat ";" (List.map string_of_int (Array.to_list sorted))
+
+(* Distinct windows of a sorted profile with the mean utility of each
+   window class.  For the analytic backend the class members are already
+   bit-identical (class-reduced solve), so the mean is the common value;
+   for simulated backends the within-class averaging is what makes the
+   oracle's permutation invariance exact. *)
+let classes_of sorted utilities =
+  let acc = ref [] in
+  let start = ref 0 in
+  let n = Array.length sorted in
+  for i = 1 to n do
+    if i = n || sorted.(i) <> sorted.(!start) then begin
+      let k = i - !start in
+      let total = ref 0. in
+      for j = !start to i - 1 do
+        total := !total +. utilities.(j)
+      done;
+      acc := (sorted.(!start), !total /. float_of_int k) :: !acc;
+      start := i
+    end
+  done;
+  Array.of_list (List.rev !acc)
+
+let solve_profile t sorted =
+  match t.backend with
+  | Analytic ->
+      let solved = Dcf.Model.solve_profile ?p_hn:t.p_hn t.params sorted in
+      Telemetry.Metric.incr t.solves;
+      classes_of sorted solved.Dcf.Model.utilities
+  | Sim_slotted _ | Sim_spatial _ ->
+      let reps = replicate_estimates t ~key:(profile_key sorted) sorted in
+      let n = Array.length sorted in
+      let means = Array.make n 0. in
+      let count = float_of_int (List.length reps) in
+      List.iter
+        (fun per_node ->
+          Array.iteri
+            (fun i (e : Netsim.Estimate.t) ->
+              means.(i) <- means.(i) +. (e.payoff_rate /. count))
+            per_node)
+        reps;
+      classes_of sorted means
+
+let class_utility classes w =
+  let rec find i =
+    if i >= Array.length classes then
+      invalid_arg "Oracle.payoffs: window missing from canonical solve"
+    else begin
+      let w', u = classes.(i) in
+      if w' = w then u else find (i + 1)
+    end
+  in
+  find 0
+
+let payoffs t (profile : Profile.t) =
+  let n = Array.length profile in
+  if n = 0 then invalid_arg "Oracle.payoffs: empty profile";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Oracle.payoffs: window must be >= 1")
+    profile;
+  if Profile.is_uniform profile then
+    Array.make n (uniform t ~n ~w:profile.(0)).utility
+  else begin
+    let sorted = Array.copy profile in
+    Array.sort compare sorted;
+    let key = Array.to_list sorted in
+    let classes =
+      match find_memo t t.profile_memo key with
+      | Some classes -> classes
+      | None -> memo_insert t t.profile_memo key (solve_profile t sorted)
+    in
+    Array.map (fun w -> class_utility classes w) profile
+  end

@@ -1,0 +1,125 @@
+(** The unified payoff oracle: one memoized, backend-pluggable evaluation
+    path for every payoff the game layer needs.
+
+    Every analysis in this library ultimately asks the same two questions —
+    "what does each node earn under this CW profile?" and "what are τ and p
+    at this uniform window?" — and before this module each game module
+    answered them with its own private helper calling
+    {!Dcf.Model.homogeneous} or {!Dcf.Solver.solve_homogeneous} directly,
+    hard-wiring the analytic backend.  An {!t} bundles the parameter set,
+    the evaluation backend (closed-form/fixed-point analytic model, or
+    packet-level measurement on either simulator) and a profile-keyed memo
+    table, so the backend is chosen once per experiment and redundant
+    fixed-point solves (repeated games and NE searches revisit the same
+    profiles across stages and probes) become cache hits.
+
+    {2 Memoization}
+
+    Two tables, both protected by a mutex (oracles are shared across the
+    experiment runner's domains):
+
+    - a [(n, w)] fast path for uniform profiles, backed by the scalar
+      Brent solve (analytic) or an n-node simulation;
+    - a canonical-profile table for heterogeneous profiles, keyed by the
+      {e sorted} multiset of per-node windows.  Sorting is sound because
+      payoffs are permutation-invariant in the profile — nodes are
+      distinguished only by their window (the qcheck suite probes this
+      property on the raw solver) — and the canonical entry answers every
+      permutation of the same multiset.  The analytic backend evaluates
+      profiles through {!Dcf.Model.solve_profile} (class-reduced, so equal
+      windows get bit-identical payoffs); the simulated backends average
+      replicate runs and then average {e within} each window class, making
+      permutation invariance exact by construction there too.
+
+    Memo hits return the stored floats unchanged, so a hit is bit-identical
+    to the cold solve that populated it.
+
+    {2 Telemetry}
+
+    Counters on the oracle's registry (these replace the repeated-game
+    engine's bespoke [repeated.payoff_cache.hits]/[misses]):
+
+    - ["oracle.cache.hits"] / ["oracle.cache.misses"] — memo table
+      outcomes, one per query;
+    - ["oracle.cache.solves"] — backend invocations: one per analytic
+      solve, one per simulation replicate (so with [replicates > 1],
+      solves exceeds misses). *)
+
+type sim_config = {
+  duration : float;   (** simulated seconds per replicate *)
+  replicates : int;   (** independent runs averaged per evaluation, ≥ 1 *)
+  seed : int;         (** master seed; per-replicate streams are derived *)
+}
+(** Configuration of a simulated backend.  Each evaluation derives one RNG
+    stream per replicate with {!Prelude.Rng.of_key} from [(seed, content
+    key # replicate)], where the content key encodes the profile being
+    measured — so results are independent of evaluation order and memo
+    state, and two oracles with equal configs agree exactly. *)
+
+type backend =
+  | Analytic
+      (** The Bianchi fixed-point model: scalar Brent solve for uniform
+          profiles, class-reduced Picard iteration for heterogeneous ones.
+          Exact and fast; the default. *)
+  | Sim_slotted of sim_config
+      (** Packet-level measurement on {!Netsim.Slotted} (virtual-slot
+          accurate, single-hop). *)
+  | Sim_spatial of sim_config
+      (** Packet-level measurement on {!Netsim.Spatial} over a clique
+          topology (σ-quantised; τ/p estimates are coarse, payoffs exact
+          counters).  Prefer n ≥ 2: a single isolated node never
+          transmits. *)
+
+type uniform_view = {
+  tau : float;        (** per-node transmission probability (estimate) *)
+  p : float;          (** conditional collision probability (estimate) *)
+  utility : float;    (** per-node payoff rate u *)
+  throughput : float; (** network throughput S *)
+  slot_time : float;  (** mean virtual slot length T̄slot, s *)
+}
+(** Everything the game layer consumes about a uniform profile (w, …, w). *)
+
+type t
+
+val create :
+  ?telemetry:Telemetry.Registry.t ->
+  ?p_hn:float -> ?backend:backend -> Dcf.Params.t -> t
+(** [create params] builds an oracle with an empty memo.  [backend]
+    defaults to [Analytic].  [p_hn] is the hidden-node degradation factor
+    applied to analytic utilities (default 1); the simulated backends
+    ignore it — their losses come from the packet process itself.
+    [telemetry] (default: the global registry) receives the cache counters
+    and any solver/simulator events. *)
+
+val analytic : ?telemetry:Telemetry.Registry.t -> ?p_hn:float -> Dcf.Params.t -> t
+(** [analytic params] = [create ~backend:Analytic params]. *)
+
+val params : t -> Dcf.Params.t
+
+val backend : t -> backend
+
+val telemetry : t -> Telemetry.Registry.t
+
+val backend_name : backend -> string
+(** ["analytic"], ["slotted"] or ["spatial"] — the CLI's [--backend]
+    vocabulary. *)
+
+val uniform : t -> n:int -> w:int -> uniform_view
+(** The memoized uniform-profile evaluation ((n, w) fast path). *)
+
+val payoff_uniform : t -> n:int -> w:int -> float
+(** Per-node payoff rate u of the uniform profile (w, …, w) — what the
+    game modules' deleted private [payoff] helpers computed. *)
+
+val welfare_uniform : t -> n:int -> w:int -> float
+(** n·u(w, …, w): the global payoff rate. *)
+
+val tau_p : t -> n:int -> w:int -> float * float
+(** The (τ, p) pair of the uniform profile — what the deleted private
+    [tau_of] helpers computed. *)
+
+val payoffs : t -> Profile.t -> float array
+(** Per-node payoff rates of an arbitrary profile, in profile order.
+    Uniform profiles take the [(n, w)] fast path; heterogeneous ones go
+    through the canonical sorted-multiset memo.  Nodes with equal windows
+    receive bit-identical payoffs. *)

@@ -1,5 +1,5 @@
 type config = {
-  params : Dcf.Params.t;
+  oracle : Oracle.t;
   w : int;
   l_min : int;
   l_max : int;
@@ -15,16 +15,17 @@ let validate cfg =
 (* All nodes share the window, hence a common tau and p. *)
 let channel cfg payloads =
   let n = Array.length payloads in
-  let tau, p = Dcf.Solver.solve_homogeneous cfg.params ~n ~w:cfg.w in
+  let params = Oracle.params cfg.oracle in
+  let tau, p = Oracle.tau_p cfg.oracle ~n ~w:cfg.w in
   let timings =
     Array.map
       (fun bits ->
-        Dcf.Hetero.node_timing cfg.params ~payload_bits:bits
-          ~bit_rate:cfg.params.bit_rate)
+        Dcf.Hetero.node_timing params ~payload_bits:bits
+          ~bit_rate:params.bit_rate)
       payloads
   in
   let hetero =
-    Dcf.Hetero.of_profile ~sigma:cfg.params.sigma ~taus:(Array.make n tau)
+    Dcf.Hetero.of_profile ~sigma:params.sigma ~taus:(Array.make n tau)
       ~ts:(Array.map (fun (ts, _, _) -> ts) timings)
       ~tc:(Array.map (fun (_, tc, _) -> tc) timings)
       ~payload_time:(Array.map (fun (_, _, pt) -> pt) timings)
@@ -41,7 +42,7 @@ let utilities cfg payloads =
         invalid_arg "Payload_game.utilities: payload out of range")
     payloads;
   let tau, p, hetero = channel cfg payloads in
-  let params = cfg.params in
+  let params = Oracle.params cfg.oracle in
   let l_ref = float_of_int params.payload_bits in
   Array.map
     (fun bits ->
@@ -137,14 +138,15 @@ type rate_anomaly = {
   airtime_shares : float array;
 }
 
-let rate_anomaly (params : Dcf.Params.t) ~w ~rates =
+let rate_anomaly oracle ~w ~rates =
+  let params = Oracle.params oracle in
   let n = Array.length rates in
   if n = 0 then invalid_arg "Payload_game.rate_anomaly: empty network";
   Array.iter
     (fun r ->
       if r <= 0. then invalid_arg "Payload_game.rate_anomaly: rate must be positive")
     rates;
-  let tau, _p = Dcf.Solver.solve_homogeneous params ~n ~w in
+  let tau, _p = Oracle.tau_p oracle ~n ~w in
   let timings =
     Array.map
       (fun rate ->

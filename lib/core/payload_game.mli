@@ -23,7 +23,9 @@
     baseline motivating airtime-based utility redefinitions. *)
 
 type config = {
-  params : Dcf.Params.t;
+  oracle : Oracle.t;  (** payoff oracle carrying the parameter set; τ and p
+                          at the shared window come from its uniform fast
+                          path *)
   w : int;            (** common contention window *)
   l_min : int;        (** smallest payload, bits *)
   l_max : int;        (** largest payload, bits *)
@@ -52,7 +54,7 @@ type rate_anomaly = {
   airtime_shares : float array; (** fraction of busy time each node holds *)
 }
 
-val rate_anomaly : Dcf.Params.t -> w:int -> rates:float array -> rate_anomaly
+val rate_anomaly : Oracle.t -> w:int -> rates:float array -> rate_anomaly
 (** Heusse et al.'s 802.11 anomaly, computed from the heterogeneous-frame
     model: MAC-level fairness gives every node the same packet rate, so a
     single slow node drags every fast node's goodput down to roughly the

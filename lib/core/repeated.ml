@@ -12,31 +12,15 @@ type outcome = {
   discounted : float array;
 }
 
-let default_payoffs ?(telemetry = Telemetry.Registry.default) params =
-  let cache = Hashtbl.create 16 in
-  let hits = Telemetry.Registry.counter telemetry "repeated.payoff_cache.hits" in
-  let misses =
-    Telemetry.Registry.counter telemetry "repeated.payoff_cache.misses"
-  in
-  fun (cws : Profile.t) ->
-    let key = Array.to_list cws in
-    match Hashtbl.find_opt cache key with
-    | Some u ->
-        Telemetry.Metric.incr hits;
-        u
-    | None ->
-        Telemetry.Metric.incr misses;
-        let u = (Dcf.Model.solve params cws).Dcf.Model.utilities in
-        Hashtbl.add cache key u;
-        u
-
-let run ?(telemetry = Telemetry.Registry.default) ?(observer = Observer.perfect)
-    ?payoffs (params : Dcf.Params.t) ~strategies ~stages =
+let run ?(observer = Observer.perfect) ?payoffs (oracle : Oracle.t)
+    ~strategies ~stages =
   let n = Array.length strategies in
   if n = 0 then invalid_arg "Repeated.run: no players";
   if stages < 1 then invalid_arg "Repeated.run: need at least one stage";
+  let telemetry = Oracle.telemetry oracle in
+  let params = Oracle.params oracle in
   let payoffs =
-    match payoffs with Some f -> f | None -> default_payoffs ~telemetry params
+    match payoffs with Some f -> f | None -> Oracle.payoffs oracle
   in
   (* Per-player observation histories, most recent stage first. *)
   let histories = Array.make n [] in

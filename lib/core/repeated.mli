@@ -3,8 +3,9 @@
     Plays the multi-stage game G: in stage 0 every player uses its
     strategy's initial window; in stage k ≥ 1 each player decides from its
     own observation history (collected through an {!module:Observer}).
-    Stage payoffs are evaluated by a pluggable backend — the analytic model
-    by default, or a packet-level simulator for end-to-end runs. *)
+    Stage payoffs are evaluated through the payoff {!Oracle}, so the same
+    game runs on the analytic model or a packet-level simulator by swapping
+    the oracle's backend. *)
 
 type stage_record = {
   stage : int;
@@ -26,18 +27,19 @@ type outcome = {
 }
 
 val run :
-  ?telemetry:Telemetry.Registry.t ->
   ?observer:Observer.t ->
   ?payoffs:(Profile.t -> float array) ->
-  Dcf.Params.t -> strategies:Strategy.t array -> stages:int -> outcome
-(** Play [stages ≥ 1] stages.  [payoffs] defaults to the analytic model
-    (memoised per distinct profile, so converged runs cost one solve);
-    [observer] defaults to {!Observer.perfect}.
+  Oracle.t -> strategies:Strategy.t array -> stages:int -> outcome
+(** Play [stages ≥ 1] stages.  Stage payoffs default to {!Oracle.payoffs}
+    on the given oracle (memoised per canonical profile, so converged runs
+    cost one solve); pass [payoffs] to override with a bespoke backend
+    (e.g. a topology-aware simulation).  [observer] defaults to
+    {!Observer.perfect}.
 
-    Telemetry (default registry unless [telemetry] is given): the memoised
-    backend counts ["repeated.payoff_cache.hits"/"misses"], each stage
-    emits a ["game_stage"] event (profile, utilities, welfare, Jain
-    fairness) and the run closes with a ["game_summary"] event. *)
+    Telemetry goes to the oracle's registry: the oracle counts
+    ["oracle.cache.hits"/"misses"/"solves"], each stage emits a
+    ["game_stage"] event (profile, utilities, welfare, Jain fairness) and
+    the run closes with a ["game_summary"] event. *)
 
 val all_tft : n:int -> initials:int array -> Strategy.t array
 (** Convenience: [n] TFT players with the given initial windows

@@ -1,6 +1,6 @@
 type message = Start_search of int | Ready of int | Announce of int
 
-type measurement = { w : int; payoff : float }
+type measurement = { w : int; payoff : float; stddev : float }
 
 type trace = {
   result : int;
@@ -10,15 +10,7 @@ type trace = {
 
 type oracle = int -> float
 
-let analytic_oracle params ~n =
-  let cache = Hashtbl.create 32 in
-  fun w ->
-    match Hashtbl.find_opt cache w with
-    | Some u -> u
-    | None ->
-        let u = (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility in
-        Hashtbl.add cache w u;
-        u
+let of_oracle oracle ~n = fun w -> Oracle.payoff_uniform oracle ~n ~w
 
 let noisy_oracle rng ~rel_stddev oracle =
   if rel_stddev < 0. then invalid_arg "Search.noisy_oracle: negative stddev";
@@ -36,18 +28,22 @@ let run ?(telemetry = Telemetry.Registry.default) ?(w0 = 16) ?(probes = 1)
   let probe w =
     (* Averaging several oracle calls models a longer measurement interval
        t_m; with a noisy oracle this is what keeps the unit-step climb from
-       stalling on the shallow part of the payoff curve. *)
-    let total = ref 0. in
+       stalling on the shallow part of the payoff curve.  The spread across
+       probes is the coordinator's own noise estimate (0 with a single
+       probe or an exact oracle). *)
+    let acc = Prelude.Stats.create () in
     for _ = 1 to probes do
-      total := !total +. oracle w
+      Prelude.Stats.add acc (oracle w)
     done;
-    let payoff = !total /. float_of_int probes in
-    measurements := { w; payoff } :: !measurements;
+    let payoff = Prelude.Stats.mean acc in
+    let stddev = Prelude.Stats.stddev acc in
+    measurements := { w; payoff; stddev } :: !measurements;
     Telemetry.Metric.incr probe_counter;
     Telemetry.Registry.emit telemetry "search_probe" (fun () ->
         [
           ("w", Telemetry.Jsonx.Int w);
           ("payoff", Telemetry.Jsonx.Float payoff);
+          ("stddev", Telemetry.Jsonx.Float stddev);
           ("probes", Telemetry.Jsonx.Int probes);
         ]);
     payoff
@@ -81,9 +77,9 @@ let run ?(telemetry = Telemetry.Registry.default) ?(w0 = 16) ?(probes = 1)
     measurements = List.rev !measurements;
   }
 
-let misreport_stage_payoffs params ~n ~w_star ~w_report =
+let misreport_stage_payoffs oracle ~n ~w_star ~w_report =
   let stage w =
-    Dcf.Utility.stage params (Dcf.Model.homogeneous params ~n ~w).Dcf.Model.utility
+    Dcf.Utility.stage (Oracle.params oracle) (Oracle.payoff_uniform oracle ~n ~w)
   in
   let truthful = stage w_star in
   (* Under-report: TFT drags everyone (the coordinator included) to the

@@ -21,7 +21,14 @@ type message =
   | Ready of int         (** "everyone switch to this window" *)
   | Announce of int      (** final broadcast of W_m *)
 
-type measurement = { w : int; payoff : float }
+type measurement = {
+  w : int;
+  payoff : float;  (** mean over the probe's oracle calls *)
+  stddev : float;
+      (** sample stddev across the probe's oracle calls (Welford); 0 with a
+          single probe or an exact oracle — the coordinator's own estimate
+          of its measurement noise *)
+}
 
 type trace = {
   result : int;                   (** the window announced as W_m *)
@@ -33,8 +40,12 @@ type oracle = int -> float
 (** [oracle w] is the coordinator's measured payoff when every player
     operates on window [w]. *)
 
-val analytic_oracle : Dcf.Params.t -> n:int -> oracle
-(** Exact uniform-profile payoff rate from the analytic model (memoised). *)
+val of_oracle : Oracle.t -> n:int -> oracle
+(** The payoff {!Oracle}'s uniform fast path as a search oracle: exact and
+    memoised with the analytic backend, replicate-averaged measurement with
+    a simulated one.  Repeated probes of the same window are memo hits and
+    return identical values; wrap in {!noisy_oracle} to model per-probe
+    measurement noise on top. *)
 
 val noisy_oracle : Prelude.Rng.t -> rel_stddev:float -> oracle -> oracle
 (** Multiplicative Gaussian measurement noise, as produced by a finite
@@ -48,14 +59,16 @@ val run :
     [probes ≥ 1] oracle calls (default 1) — the knob corresponding to the
     measurement interval t_m: against a noisy oracle, more probes keep the
     unit-step climb from stalling where the payoff slope is shallower than
-    the noise.  The recorded measurement is the average.
+    the noise.  The recorded measurement carries the probe average and the
+    Welford sample stddev across the probe's calls.
 
-    Each averaged measurement emits a ["search_probe"] event and the
-    announcement a ["search_result"] event on [telemetry] (default: the
-    global registry); ["search.probes"] counts measurements. *)
+    Each averaged measurement emits a ["search_probe"] event (window,
+    payoff, stddev, probe count) and the announcement a ["search_result"]
+    event on [telemetry] (default: the global registry); ["search.probes"]
+    counts measurements. *)
 
 val misreport_stage_payoffs :
-  Dcf.Params.t -> n:int -> w_star:int -> w_report:int -> float * float
+  Oracle.t -> n:int -> w_star:int -> w_report:int -> float * float
 (** The Remark of Sec. V.C: [(truthful, misreport)] long-run stage payoffs
     of a coordinator who either announces the true W_c* or announces
     [w_report].  Under-reporting (w_report < W_c★) drags everyone — itself

@@ -87,8 +87,9 @@ let grim_trigger ~initial ~beta =
             if !triggered then !harshest else input.my_window);
   }
 
-let best_response params ~initial =
+let best_response oracle ~initial =
   check_window initial;
+  let cw_max = (Oracle.params oracle).cw_max in
   {
     name = "best_response";
     initial;
@@ -100,14 +101,13 @@ let best_response params ~initial =
             let cws = Array.copy last in
             let stage_payoff w =
               cws.(input.me) <- w;
-              let solved = Dcf.Model.solve params cws in
-              solved.Dcf.Model.utilities.(input.me)
+              (Oracle.payoffs oracle cws).(input.me)
             in
             (* The stage payoff is unimodal in the own window (concavity of
                U_i in τ_i, Lemma 2); hill-climb from the current window. *)
             fst
               (Numerics.Optimize.hill_climb_int_max ~start:input.my_window
-                 stage_payoff 1 params.Dcf.Params.cw_max));
+                 stage_payoff 1 cw_max));
   }
 
 let pp ppf t = Format.pp_print_string ppf t.name

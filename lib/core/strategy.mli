@@ -51,10 +51,11 @@ val grim_trigger : initial:int -> beta:float -> t
     contrast experiment for TFT/GTFT's tolerance.  The trigger state lives
     inside the strategy value: build a fresh one per game. *)
 
-val best_response : Dcf.Params.t -> initial:int -> t
+val best_response : Oracle.t -> initial:int -> t
 (** Myopic best response: maximise the stage payoff against the last
-    observed profile (everything else equal).  This is the short-sighted
-    dynamics of [2] (Cagalj et al.); iterating it collapses the network —
-    the contrast experiment to TFT. *)
+    observed profile (everything else equal), each candidate evaluated
+    through the oracle.  This is the short-sighted dynamics of [2]
+    (Cagalj et al.); iterating it collapses the network — the contrast
+    experiment to TFT. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,25 +1,28 @@
 type point = { w : int; value : float }
 
-let series_of ?p_hn params ~n ~ws ~per_node =
+let series_of oracle ~n ~ws ~per_node =
+  let params = Oracle.params oracle in
   Array.map
     (fun w ->
-      let u = (Dcf.Model.homogeneous ?p_hn params ~n ~w).Dcf.Model.utility in
+      let u = Oracle.payoff_uniform oracle ~n ~w in
       let value =
         if per_node then u
         else
           (* U/C = σ·n·u/g, cf. Sec. VII.A *)
-          params.Dcf.Params.sigma *. float_of_int n *. u /. params.Dcf.Params.gain
+          params.Dcf.Params.sigma *. float_of_int n *. u
+          /. params.Dcf.Params.gain
       in
       { w; value })
     ws
 
-let global_series ?p_hn params ~n ~ws = series_of ?p_hn params ~n ~ws ~per_node:false
+let global_series oracle ~n ~ws = series_of oracle ~n ~ws ~per_node:false
 
-let local_series ?p_hn params ~n ~ws = series_of ?p_hn params ~n ~ws ~per_node:true
+let local_series oracle ~n ~ws = series_of oracle ~n ~ws ~per_node:true
 
-let sample_windows (params : Dcf.Params.t) ~n ~count =
+let sample_windows oracle ~n ~count =
   if count < 2 then invalid_arg "Welfare.sample_windows: need >= 2 points";
-  let w_star = Equilibrium.efficient_cw params ~n in
+  let params = Oracle.params oracle in
+  let w_star = Equilibrium.efficient_cw oracle ~n in
   let hi = Stdlib.min params.cw_max (Stdlib.max 8 (4 * w_star)) in
   let raw = Prelude.Util.logspace 1. (float_of_int hi) count in
   let ints = Array.map (fun x -> int_of_float (Float.round x)) raw in

@@ -3,20 +3,23 @@
     The figures plot the normalised global payoff U/C against the common
     contention window, where U = T/(1−δ)·Σ_i u_i and C = g·T/(σ(1−δ)),
     i.e. U/C = σ·n·u(W,…,W)/g — a dimensionless curve whose maximiser is
-    W_c* and whose flatness around it is the robustness the paper stresses. *)
+    W_c* and whose flatness around it is the robustness the paper stresses.
+
+    Series evaluate through the {!Oracle}: the figures can be regenerated
+    from the analytic model or from packet-level simulation by swapping the
+    backend, and a hidden-node factor is configured on the oracle
+    ([Oracle.create ~p_hn]) rather than threaded per call. *)
 
 type point = { w : int; value : float }
 
-val global_series :
-  ?p_hn:float -> Dcf.Params.t -> n:int -> ws:int array -> point array
+val global_series : Oracle.t -> n:int -> ws:int array -> point array
 (** U/C at each window of [ws] for the symmetric n-player network. *)
 
-val local_series :
-  ?p_hn:float -> Dcf.Params.t -> n:int -> ws:int array -> point array
+val local_series : Oracle.t -> n:int -> ws:int array -> point array
 (** Per-node payoff rate u at each window (the individual view; its argmax
     coincides with the global one by symmetry). *)
 
-val sample_windows : Dcf.Params.t -> n:int -> count:int -> int array
+val sample_windows : Oracle.t -> n:int -> count:int -> int array
 (** A log-spaced window grid covering [1, ~4·W_c*] with [count ≥ 2]
     distinct points — a good x-axis for the figures at any n. *)
 

@@ -129,6 +129,35 @@ let solve_classes ?telemetry ?iterations ?(tol = 1e-14) (params : Params.t)
       in
       (taus.(j), Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)))
 
+let solve_profile ?telemetry ?iterations ?tol (params : Params.t) cws =
+  let n = Array.length cws in
+  if n = 0 then invalid_arg "Solver.solve_profile: empty network";
+  Array.iter
+    (fun w -> if w < 1 then invalid_arg "Solver.solve_profile: window must be >= 1")
+    cws;
+  (* Group equal windows into classes: nodes sharing a window share (τ, p)
+     by symmetry, so the fixed point collapses to one dimension per
+     distinct window — a 100-node profile with 3 distinct windows costs the
+     same as n = 3. *)
+  let classes = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      Hashtbl.replace classes w (1 + Option.value ~default:0 (Hashtbl.find_opt classes w)))
+    cws;
+  let class_list =
+    Hashtbl.fold (fun w k acc -> (w, k) :: acc) classes []
+    |> List.sort compare
+  in
+  let iters = match iterations with Some r -> r | None -> ref 0 in
+  let solved = solve_classes ?telemetry ~iterations:iters ?tol params class_list in
+  let by_window = Hashtbl.create 8 in
+  List.iter2
+    (fun (w, _) tp -> Hashtbl.replace by_window w tp)
+    class_list solved;
+  let taus = Array.map (fun w -> fst (Hashtbl.find by_window w)) cws in
+  let ps = Array.map (fun w -> snd (Hashtbl.find by_window w)) cws in
+  { taus; ps; iterations = !iters; converged = true }
+
 let solve_with_deviant ?telemetry ?(tol = 1e-14) (params : Params.t) ~n ~w
     ~w_dev =
   if n < 2 then invalid_arg "Solver.solve_with_deviant: need n >= 2";

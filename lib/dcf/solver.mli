@@ -60,6 +60,19 @@ val solve_classes :
     [iterations], when given, receives the Picard iteration count of the
     underlying class-space fixed point. *)
 
+val solve_profile :
+  ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
+  ?tol:float -> Params.t -> int array -> solution
+(** [solve_profile params cws] solves the same network as {!solve} but
+    class-reduced: nodes sharing a window share (τ, p) by symmetry, so the
+    profile is grouped into distinct-window classes (sorted ascending, so
+    any permutation of [cws] solves the identical class problem), handed to
+    {!solve_classes}, and the per-class pairs are expanded back to per-node
+    arrays in input order.  This is the payoff oracle's canonical solve
+    entry: orders of magnitude cheaper than the n-dimensional Picard
+    iteration when the profile has few distinct windows (the common case in
+    repeated games), and permutation-invariant by construction. *)
+
 val collision_probabilities : float array -> float array
 (** [collision_probabilities taus] evaluates eq. 3 for every node, using
     prefix/suffix products so nodes with τ = 1 (window 1) are handled

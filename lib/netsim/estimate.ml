@@ -1,0 +1,7 @@
+type t = {
+  tau_hat : float;
+  p_hat : float;
+  payoff_rate : float;
+  throughput : float;
+  slot_time : float;
+}

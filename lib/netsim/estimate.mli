@@ -1,0 +1,13 @@
+(** Per-node measured counterparts of the analytic model's (τ, p, u, S)
+    quantities — the common currency the simulators hand to the payoff
+    oracle ({!Macgame.Oracle}'s simulated backends).  Each simulator maps
+    its own counters into this record so the oracle can treat analytic and
+    simulated evaluations uniformly. *)
+
+type t = {
+  tau_hat : float;     (** estimated per-slot transmission probability τ_i *)
+  p_hat : float;       (** estimated conditional collision probability p_i *)
+  payoff_rate : float; (** measured payoff rate (n_s·g − n_a·e)/t, estimates u_i *)
+  throughput : float;  (** payload airtime fraction delivered by this node *)
+  slot_time : float;   (** estimated mean virtual slot length, s *)
+}

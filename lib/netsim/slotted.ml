@@ -225,6 +225,23 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
       ]);
   result
 
+let estimates ?telemetry config =
+  let result = run ?telemetry config in
+  let slot_time =
+    if result.slots = 0 then config.params.sigma
+    else result.time /. float_of_int result.slots
+  in
+  Array.map
+    (fun s ->
+      {
+        Estimate.tau_hat = s.tau_hat;
+        p_hat = s.p_hat;
+        payoff_rate = s.payoff_rate;
+        throughput = s.throughput;
+        slot_time;
+      })
+    result.per_node
+
 let payoff_oracle ~params ~n ~duration ~seed w =
   let result =
     run { params; cws = Array.make n w; duration; seed = seed + (w * 7919) }

@@ -90,6 +90,12 @@ val run :
     @raise Invalid_argument on an empty network, a non-positive duration or
     a window < 1. *)
 
+val estimates : ?telemetry:Telemetry.Registry.t -> config -> Estimate.t array
+(** One {!run} folded into per-node {!Estimate.t} records: τ̂ and p̂ come
+    straight from the per-node counters and the estimated mean virtual slot
+    is elapsed time over virtual slots.  The payoff oracle's [Sim_slotted]
+    backend. *)
+
 val payoff_oracle :
   params:Dcf.Params.t -> n:int -> duration:float -> seed:int -> int -> float
 (** [payoff_oracle ~params ~n ~duration ~seed w] measures a node's payoff

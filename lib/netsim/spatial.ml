@@ -436,3 +436,33 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
         );
       ]);
   result
+
+(* Single-hop adapter for the payoff oracle: a clique adjacency makes every
+   node hear and address every other, so the spatial machinery degenerates
+   to the saturated single-hop world — modulo σ-quantisation of frame
+   times.  The loop has no virtual-slot notion, so τ̂ is attempts per
+   σ-slot and the slot estimate is σ itself: coarser than Slotted's, while
+   payoff and throughput come from exact counters. *)
+let clique_estimates ?telemetry ~params ~cws ~duration ~seed () =
+  let n = Array.length cws in
+  let everyone = List.init n Fun.id in
+  let adjacency =
+    Array.init n (fun i -> List.filter (fun j -> j <> i) everyone)
+  in
+  let result = run ?telemetry { params; adjacency; cws; duration; seed } in
+  let sigma = params.Dcf.Params.sigma in
+  let slots = result.time /. sigma in
+  Array.map
+    (fun (s : node_stats) ->
+      {
+        Estimate.tau_hat = float_of_int s.attempts /. slots;
+        p_hat =
+          (if s.attempts = 0 then 0.
+           else
+             float_of_int (s.attempts - s.successes)
+             /. float_of_int s.attempts);
+        payoff_rate = s.payoff_rate;
+        throughput = s.throughput;
+        slot_time = sigma;
+      })
+    result.per_node

@@ -96,3 +96,15 @@ val run :
     @raise Invalid_argument on inconsistent sizes, windows < 1,
     non-positive duration, an asymmetric adjacency, or a [cs_adjacency]
     missing an [adjacency] edge. *)
+
+val clique_estimates :
+  ?telemetry:Telemetry.Registry.t ->
+  params:Dcf.Params.t -> cws:int array -> duration:float -> seed:int ->
+  unit -> Estimate.t array
+(** Run the spatial simulator on a fully connected (clique) topology and
+    fold the result into per-node {!Estimate.t} records — the payoff
+    oracle's [Sim_spatial] backend for single-hop games.  The spatial loop
+    is σ-quantised and has no virtual-slot notion, so [tau_hat] is
+    attempts per σ-slot and [slot_time] is σ — coarser estimates than
+    {!Slotted.estimates} — while payoff and throughput are exact counters.
+    A single isolated node never transmits, so prefer [n ≥ 2]. *)

@@ -9,13 +9,13 @@ let check_close ?(eps = 1e-9) msg expected actual =
 let default = Dcf.Params.default
 let small = { default with Dcf.Params.cw_max = 512 }
 let n = 5
-let w_star = Macgame.Equilibrium.efficient_cw default ~n
+let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n
 
 (* {1 Deviation (Sec. V.D)} *)
 
 let test_stage_payoffs_ordering () =
   (* Lemma 4 instantiated at the efficient NE. *)
-  let p = Macgame.Deviation.stage_payoffs default ~n ~w_star ~w_dev:(w_star / 2) in
+  let p = Macgame.Deviation.stage_payoffs (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev:(w_star / 2) in
   Alcotest.(check bool) "free ride beats honest" true (p.deviant > p.uniform_star);
   Alcotest.(check bool) "conformers suffer" true (p.conformer < p.uniform_star);
   Alcotest.(check bool) "punished state is worst for the deviant" true
@@ -26,10 +26,10 @@ let test_extremely_short_sighted_deviates () =
      paper's first case). *)
   let w_dev = w_star / 2 in
   let dev =
-    Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev ~delta_s:0.
+    Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev ~delta_s:0.
       ~react_stages:1
   in
-  let honest = Macgame.Deviation.honest_total default ~n ~w_star ~delta_s:0. in
+  let honest = Macgame.Deviation.honest_total (Macgame.Oracle.analytic default) ~n ~w_star ~delta_s:0. in
   Alcotest.(check bool) "deviation pays when myopic" true (dev > honest)
 
 let test_patient_player_prefers_honesty () =
@@ -38,27 +38,27 @@ let test_patient_player_prefers_honesty () =
   let w_dev = w_star / 4 in
   let delta_s = 0.999 in
   let dev =
-    Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev ~delta_s
+    Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev ~delta_s
       ~react_stages:1
   in
-  let honest = Macgame.Deviation.honest_total default ~n ~w_star ~delta_s in
+  let honest = Macgame.Deviation.honest_total (Macgame.Oracle.analytic default) ~n ~w_star ~delta_s in
   Alcotest.(check bool) "honesty wins when patient" true (honest > dev)
 
 let test_deviant_total_at_zero_delta_is_stage_payoff () =
   let w_dev = w_star / 2 in
-  let p = Macgame.Deviation.stage_payoffs default ~n ~w_star ~w_dev in
+  let p = Macgame.Deviation.stage_payoffs (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev in
   check_close "collapses to one free-riding stage" p.deviant
-    (Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev ~delta_s:0.
+    (Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev ~delta_s:0.
        ~react_stages:3)
 
 let test_deviant_total_decomposition () =
   (* Hand-check the closed form against its parts. *)
   let w_dev = 20 and delta_s = 0.7 and react_stages = 2 in
-  let p = Macgame.Deviation.stage_payoffs default ~n ~w_star ~w_dev in
+  let p = Macgame.Deviation.stage_payoffs (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev in
   let dm = delta_s ** float_of_int react_stages in
   check_close "formula"
     ((((1. -. dm) *. p.deviant) +. (dm *. p.uniform_w)) /. (1. -. delta_s))
-    (Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev ~delta_s
+    (Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev ~delta_s
        ~react_stages)
 
 let test_slower_reaction_helps_deviant =
@@ -67,25 +67,25 @@ let test_slower_reaction_helps_deviant =
     (fun (delta_s, m) ->
       let w_dev = Stdlib.max 1 (w_star / 3) in
       let u m =
-        Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev ~delta_s
+        Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev ~delta_s
           ~react_stages:m
       in
       u (m + 1) >= u m -. 1e-9)
 
 let test_best_deviation_bounds () =
   let w_dev, value =
-    Macgame.Deviation.best_deviation default ~n ~w_star ~delta_s:0.5
+    Macgame.Deviation.best_deviation (Macgame.Oracle.analytic default) ~n ~w_star ~delta_s:0.5
       ~react_stages:2
   in
   Alcotest.(check bool) "within strategy space" true (w_dev >= 1 && w_dev <= w_star);
   Alcotest.(check bool) "at least honest play" true
-    (value >= Macgame.Deviation.honest_total default ~n ~w_star ~delta_s:0.5 -. 1e-9)
+    (value >= Macgame.Deviation.honest_total (Macgame.Oracle.analytic default) ~n ~w_star ~delta_s:0.5 -. 1e-9)
 
 let test_best_deviation_approaches_w_star_with_patience () =
   (* As δ_s grows the optimal deviation moves toward the efficient window
      (the paper's second case: long-sighted players pick the efficient window). *)
   let at delta_s =
-    fst (Macgame.Deviation.best_deviation default ~n ~w_star ~delta_s ~react_stages:1)
+    fst (Macgame.Deviation.best_deviation (Macgame.Oracle.analytic default) ~n ~w_star ~delta_s ~react_stages:1)
   in
   Alcotest.(check bool)
     (Printf.sprintf "monotone trend: %d %d %d" (at 0.) (at 0.9) (at 0.9999))
@@ -95,14 +95,14 @@ let test_best_deviation_approaches_w_star_with_patience () =
 let test_critical_discount_for_separates_regimes () =
   let w_dev = w_star / 4 in
   let crit =
-    Macgame.Deviation.critical_discount_for default ~n ~w_star ~w_dev
+    Macgame.Deviation.critical_discount_for (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev
       ~react_stages:1
   in
   Alcotest.(check bool) "interior threshold" true (crit > 0. && crit < 1.);
   let gain delta_s =
-    Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev ~delta_s
+    Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev ~delta_s
       ~react_stages:1
-    -. Macgame.Deviation.honest_total default ~n ~w_star ~delta_s
+    -. Macgame.Deviation.honest_total (Macgame.Oracle.analytic default) ~n ~w_star ~delta_s
   in
   Alcotest.(check bool) "pays below" true (gain (crit /. 2.) > 0.);
   Alcotest.(check bool) "loses above" true (gain (crit +. ((1. -. crit) /. 2.)) < 0.)
@@ -111,62 +111,62 @@ let test_critical_discount_monotone_in_reaction () =
   (* Slower punishment requires more patience before honesty wins. *)
   let w_dev = w_star / 4 in
   let crit m =
-    Macgame.Deviation.critical_discount_for default ~n ~w_star ~w_dev
+    Macgame.Deviation.critical_discount_for (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev
       ~react_stages:m
   in
   Alcotest.(check bool) "monotone" true (crit 1 <= crit 3 && crit 3 <= crit 6)
 
 let test_critical_discount_strict_within_bounds () =
   let c =
-    Macgame.Deviation.critical_discount default ~n ~w_star ~react_stages:1
+    Macgame.Deviation.critical_discount (Macgame.Oracle.analytic default) ~n ~w_star ~react_stages:1
   in
   Alcotest.(check bool) "in [0,1]" true (c >= 0. && c <= 1.)
 
 let test_critical_discount_degenerate_w_star () =
   check_close "W*=1 has no strict deviation" 0.
-    (Macgame.Deviation.critical_discount default ~n ~w_star:1 ~react_stages:1)
+    (Macgame.Deviation.critical_discount (Macgame.Oracle.analytic default) ~n ~w_star:1 ~react_stages:1)
 
 let test_malicious_welfare_monotone () =
-  let welfare w = Macgame.Deviation.malicious_welfare default ~n ~w_mal:w in
+  let welfare w = Macgame.Deviation.malicious_welfare (Macgame.Oracle.analytic default) ~n ~w_mal:w in
   Alcotest.(check bool) "dragging the window down hurts" true
     (welfare 4 < welfare 16 && welfare 16 < welfare w_star)
 
 let test_malicious_paralysis_without_backoff () =
   let p0 = { default with Dcf.Params.max_backoff_stage = 0 } in
   Alcotest.(check bool) "negative welfare at W=1" true
-    (Macgame.Deviation.malicious_welfare p0 ~n ~w_mal:1 < 0.)
+    (Macgame.Deviation.malicious_welfare (Macgame.Oracle.analytic p0) ~n ~w_mal:1 < 0.)
 
 let test_delta_validation () =
   Alcotest.check_raises "delta >= 1"
     (Invalid_argument "Deviation: delta_s must be in [0, 1)") (fun () ->
       ignore
-        (Macgame.Deviation.deviant_total default ~n ~w_star ~w_dev:10
+        (Macgame.Deviation.deviant_total (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev:10
            ~delta_s:1. ~react_stages:1))
 
 (* {1 Search (Sec. V.C)} *)
 
 let test_search_finds_efficient_ne_from_below () =
-  let oracle = Macgame.Search.analytic_oracle small ~n in
+  let oracle = Macgame.Search.of_oracle (Macgame.Oracle.analytic small) ~n in
   let trace = Macgame.Search.run ~w0:4 ~cw_max:small.cw_max oracle in
   Alcotest.(check int) "finds W_c*"
-    (Macgame.Equilibrium.efficient_cw small ~n)
+    (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n)
     trace.result
 
 let test_search_finds_efficient_ne_from_above () =
-  let oracle = Macgame.Search.analytic_oracle small ~n in
+  let oracle = Macgame.Search.of_oracle (Macgame.Oracle.analytic small) ~n in
   let trace = Macgame.Search.run ~w0:400 ~cw_max:small.cw_max oracle in
   Alcotest.(check int) "left search engages"
-    (Macgame.Equilibrium.efficient_cw small ~n)
+    (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n)
     trace.result
 
 let test_search_from_the_optimum_itself () =
-  let w_opt = Macgame.Equilibrium.efficient_cw small ~n in
-  let oracle = Macgame.Search.analytic_oracle small ~n in
+  let w_opt = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n in
+  let oracle = Macgame.Search.of_oracle (Macgame.Oracle.analytic small) ~n in
   let trace = Macgame.Search.run ~w0:w_opt ~cw_max:small.cw_max oracle in
   Alcotest.(check int) "stays" w_opt trace.result
 
 let test_search_message_protocol_shape () =
-  let oracle = Macgame.Search.analytic_oracle small ~n in
+  let oracle = Macgame.Search.of_oracle (Macgame.Oracle.analytic small) ~n in
   let trace = Macgame.Search.run ~w0:10 ~cw_max:small.cw_max oracle in
   (match trace.messages with
   | Macgame.Search.Start_search 10 :: rest ->
@@ -206,9 +206,9 @@ let test_search_with_mild_noise_lands_in_robust_range () =
   let make_oracle () =
     let rng = Prelude.Rng.create 17 in
     Macgame.Search.noisy_oracle rng ~rel_stddev:0.005
-      (Macgame.Search.analytic_oracle small ~n)
+      (Macgame.Search.of_oracle (Macgame.Oracle.analytic small) ~n)
   in
-  let lo, hi = Macgame.Equilibrium.robust_range small ~n ~fraction:0.95 in
+  let lo, hi = Macgame.Equilibrium.robust_range (Macgame.Oracle.analytic small) ~n ~fraction:0.95 in
   let runs probes =
     let oracle = make_oracle () in
     let oks = ref 0 in
@@ -231,39 +231,39 @@ let test_misreport_never_beats_truth =
   QCheck.Test.make ~name:"remark V.C: misreporting never beats truth" ~count:40
     QCheck.(int_range 1 512)
     (fun w_report ->
-      let w_star = Macgame.Equilibrium.efficient_cw small ~n in
+      let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n in
       let truthful, misreport =
-        Macgame.Search.misreport_stage_payoffs small ~n ~w_star ~w_report
+        Macgame.Search.misreport_stage_payoffs (Macgame.Oracle.analytic small) ~n ~w_star ~w_report
       in
       misreport <= truthful +. 1e-12)
 
 (* {1 Welfare series (Figures 2-3)} *)
 
 let test_global_series_definition () =
-  let points = Macgame.Welfare.global_series default ~n ~ws:[| 64 |] in
-  let u = Macgame.Equilibrium.payoff default ~n ~w:64 in
+  let points = Macgame.Welfare.global_series (Macgame.Oracle.analytic default) ~n ~ws:[| 64 |] in
+  let u = Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic default) ~n ~w:64 in
   check_close "U/C = sigma*n*u/g"
     (default.Dcf.Params.sigma *. 5. *. u /. default.Dcf.Params.gain)
     points.(0).value
 
 let test_local_and_global_series_peak_together () =
   let ws = Prelude.Util.int_range 40 120 in
-  let g = Macgame.Welfare.global_series default ~n ~ws in
-  let l = Macgame.Welfare.local_series default ~n ~ws in
+  let g = Macgame.Welfare.global_series (Macgame.Oracle.analytic default) ~n ~ws in
+  let l = Macgame.Welfare.local_series (Macgame.Oracle.analytic default) ~n ~ws in
   Alcotest.(check int) "same argmax"
     (Macgame.Welfare.peak g).w
     (Macgame.Welfare.peak l).w
 
 let test_series_peak_is_efficient_cw () =
   let ws = Prelude.Util.int_range 1 200 in
-  let series = Macgame.Welfare.global_series small ~n ~ws in
+  let series = Macgame.Welfare.global_series (Macgame.Oracle.analytic small) ~n ~ws in
   Alcotest.(check int) "peak at W_c*"
-    (Macgame.Equilibrium.efficient_cw small ~n)
+    (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n)
     (Macgame.Welfare.peak series).w
 
 let test_sample_windows_cover_peak () =
-  let ws = Macgame.Welfare.sample_windows default ~n ~count:40 in
-  let w_star = Macgame.Equilibrium.efficient_cw default ~n in
+  let ws = Macgame.Welfare.sample_windows (Macgame.Oracle.analytic default) ~n ~count:40 in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n in
   Alcotest.(check bool) "strictly increasing" true
     (Array.for_all (fun i -> ws.(i) < ws.(i + 1))
        (Array.init (Array.length ws - 1) Fun.id));
@@ -273,14 +273,14 @@ let test_sample_windows_cover_peak () =
 
 let test_flatness_brackets () =
   let ws = Prelude.Util.int_range 1 300 in
-  let series = Macgame.Welfare.global_series small ~n ~ws in
+  let series = Macgame.Welfare.global_series (Macgame.Oracle.analytic small) ~n ~ws in
   let peak = (Macgame.Welfare.peak series).w in
   let lo, hi = Macgame.Welfare.flatness series ~around:peak ~within:0.9 in
   Alcotest.(check bool) "brackets the peak" true (lo <= peak && peak <= hi);
   Alcotest.(check bool) "non-degenerate" true (hi > lo)
 
 let test_flatness_requires_member_window () =
-  let series = Macgame.Welfare.global_series small ~n ~ws:[| 10; 20 |] in
+  let series = Macgame.Welfare.global_series (Macgame.Oracle.analytic small) ~n ~ws:[| 10; 20 |] in
   Alcotest.check_raises "reference must be in series"
     (Invalid_argument "Welfare.flatness: reference window not in series")
     (fun () -> ignore (Macgame.Welfare.flatness series ~around:15 ~within:0.9))

@@ -97,31 +97,31 @@ let test_delay_game_gamma_zero_recovers_paper () =
     (fun n ->
       Alcotest.(check int)
         (Printf.sprintf "n=%d" n)
-        (Macgame.Equilibrium.efficient_cw default ~n)
-        (Macgame.Delay_game.efficient_cw default ~gamma:0. ~n))
+        (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n)
+        (Macgame.Delay_game.efficient_cw (Macgame.Oracle.analytic default) ~gamma:0. ~n))
     [ 5; 20 ]
 
 let test_delay_game_payoff_decreases_with_gamma =
   QCheck.Test.make ~name:"delay pricing never raises the payoff" ~count:50
     QCheck.(pair (int_range 2 15) (int_range 8 512))
     (fun (n, w) ->
-      let u0 = Macgame.Delay_game.payoff default ~gamma:0. ~n ~w in
-      let u1 = Macgame.Delay_game.payoff default ~gamma:10. ~n ~w in
+      let u0 = Macgame.Delay_game.payoff (Macgame.Oracle.analytic default) ~gamma:0. ~n ~w in
+      let u1 = Macgame.Delay_game.payoff (Macgame.Oracle.analytic default) ~gamma:10. ~n ~w in
       u1 <= u0 +. 1e-12)
 
 let test_delay_game_moderate_gamma_moves_toward_throughput_peak () =
   (* The documented finding: moderate delay pricing nudges the NE upward
      (toward the throughput-optimal window). *)
   let n = 20 in
-  let w0 = Macgame.Delay_game.efficient_cw default ~gamma:0. ~n in
-  let w100 = Macgame.Delay_game.efficient_cw default ~gamma:100. ~n in
+  let w0 = Macgame.Delay_game.efficient_cw (Macgame.Oracle.analytic default) ~gamma:0. ~n in
+  let w100 = Macgame.Delay_game.efficient_cw (Macgame.Oracle.analytic default) ~gamma:100. ~n in
   Alcotest.(check bool)
     (Printf.sprintf "W(0)=%d <= W(100)=%d" w0 w100)
     true (w0 <= w100)
 
 let test_delay_game_tradeoff_shape () =
   let points =
-    Macgame.Delay_game.tradeoff default ~n:10 ~gammas:[| 0.; 10.; 100. |]
+    Macgame.Delay_game.tradeoff (Macgame.Oracle.analytic default) ~n:10 ~gammas:[| 0.; 10.; 100. |]
   in
   Alcotest.(check int) "one point per gamma" 3 (Array.length points);
   Array.iter
@@ -135,7 +135,7 @@ let test_delay_game_tradeoff_shape () =
 let test_delay_game_validation () =
   Alcotest.check_raises "negative gamma"
     (Invalid_argument "Delay_game: gamma must be >= 0") (fun () ->
-      ignore (Macgame.Delay_game.payoff default ~gamma:(-1.) ~n:5 ~w:8))
+      ignore (Macgame.Delay_game.payoff (Macgame.Oracle.analytic default) ~gamma:(-1.) ~n:5 ~w:8))
 
 (* {1 Dcf.Hetero} *)
 
@@ -227,7 +227,7 @@ let test_hetero_validation () =
 (* {1 Macgame.Payload_game} *)
 
 let payload_cfg gamma =
-  { Macgame.Payload_game.params = default; w = 128; l_min = 512; l_max = 16384; gamma }
+  { Macgame.Payload_game.oracle = Macgame.Oracle.analytic default; w = 128; l_min = 512; l_max = 16384; gamma }
 
 let test_payload_utilities_shape () =
   let cfg = payload_cfg 0. in
@@ -277,7 +277,7 @@ let test_payload_validation () =
 
 let test_rate_anomaly_symmetric () =
   let a =
-    Macgame.Payload_game.rate_anomaly default ~w:128
+    Macgame.Payload_game.rate_anomaly (Macgame.Oracle.analytic default) ~w:128
       ~rates:(Array.make 5 default.bit_rate)
   in
   Alcotest.(check bool) "equal rates, equal goodput" true
@@ -288,9 +288,9 @@ let test_rate_anomaly_symmetric () =
 let test_rate_anomaly_slow_node_drags () =
   let base = default.bit_rate in
   let rates = Array.init 5 (fun i -> if i = 0 then base /. 10. else base) in
-  let a = Macgame.Payload_game.rate_anomaly default ~w:128 ~rates in
+  let a = Macgame.Payload_game.rate_anomaly (Macgame.Oracle.analytic default) ~w:128 ~rates in
   let fair =
-    (Macgame.Payload_game.rate_anomaly default ~w:128
+    (Macgame.Payload_game.rate_anomaly (Macgame.Oracle.analytic default) ~w:128
        ~rates:(Array.make 5 base))
       .throughputs.(1)
   in
@@ -353,7 +353,7 @@ let test_grim_in_game_matches_tft_without_noise () =
     Array.init n (fun _ -> Macgame.Strategy.grim_trigger ~initial:64 ~beta:0.8)
   in
   let outcome =
-    Macgame.Repeated.run default ~strategies ~stages:5
+    Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:5
       ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
   in
   Alcotest.(check (option int)) "stable at the initial window" (Some 64)
@@ -571,8 +571,8 @@ let test_solve_classes_single_class_is_homogeneous () =
 
 let test_coalition_k1_matches_single_deviant () =
   let n = 8 and w_star = 200 and w_dev = 100 in
-  let c = Macgame.Deviation.coalition_stage_payoffs default ~n ~w_star ~k:1 ~w_dev in
-  let s = Macgame.Deviation.stage_payoffs default ~n ~w_star ~w_dev in
+  let c = Macgame.Deviation.coalition_stage_payoffs (Macgame.Oracle.analytic default) ~n ~w_star ~k:1 ~w_dev in
+  let s = Macgame.Deviation.stage_payoffs (Macgame.Oracle.analytic default) ~n ~w_star ~w_dev in
   check_close ~eps:1e-6 "member = deviant" s.deviant c.member;
   check_close ~eps:1e-6 "outsider = conformer" s.conformer c.outsider;
   check_close ~eps:1e-6 "punished" s.uniform_w c.punished;
@@ -580,9 +580,9 @@ let test_coalition_k1_matches_single_deviant () =
 
 let test_coalition_gain_shrinks_with_size () =
   let n = 10 in
-  let w_star = Macgame.Equilibrium.efficient_cw default ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n in
   let gain k =
-    Macgame.Deviation.coalition_gain default ~n ~w_star ~k ~w_dev:(w_star / 2)
+    Macgame.Deviation.coalition_gain (Macgame.Oracle.analytic default) ~n ~w_star ~k ~w_dev:(w_star / 2)
       ~delta_s:0.9 ~react_stages:1
   in
   Alcotest.(check bool) "free ride dilutes" true (gain 1 > gain 3 && gain 3 > gain 6)
@@ -592,10 +592,10 @@ let test_coalition_unprofitable_when_patient =
     QCheck.(pair (int_range 1 9) (int_range 1 9))
     (fun (k, denom) ->
       let n = 10 in
-      let w_star = Macgame.Equilibrium.efficient_cw default ~n in
+      let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n in
       let w_dev = Stdlib.max 1 (w_star * denom / 10) in
       QCheck.assume (w_dev < w_star);
-      Macgame.Deviation.coalition_gain default ~n ~w_star ~k ~w_dev
+      Macgame.Deviation.coalition_gain (Macgame.Oracle.analytic default) ~n ~w_star ~k ~w_dev
         ~delta_s:0.9999 ~react_stages:1
       < 0.)
 
@@ -604,7 +604,7 @@ let test_coalition_validation () =
     (Invalid_argument "Deviation.coalition_stage_payoffs: need 1 <= k < n")
     (fun () ->
       ignore
-        (Macgame.Deviation.coalition_stage_payoffs default ~n:5 ~w_star:100 ~k:5
+        (Macgame.Deviation.coalition_stage_payoffs (Macgame.Oracle.analytic default) ~n:5 ~w_star:100 ~k:5
            ~w_dev:50))
 
 (* {1 Netsim.Unsaturated} *)

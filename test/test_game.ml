@@ -47,15 +47,15 @@ let test_efficient_cw_table2_values () =
   (* Table II band check: the analytic optima for basic access.  Our model
      (m = 5, e = 0.01) gives 79/339/859 against the paper's 76/336/879 —
      within 3 %. *)
-  let w5 = Macgame.Equilibrium.efficient_cw default ~n:5 in
-  let w20 = Macgame.Equilibrium.efficient_cw default ~n:20 in
-  let w50 = Macgame.Equilibrium.efficient_cw default ~n:50 in
+  let w5 = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:5 in
+  let w20 = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:20 in
+  let w50 = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:50 in
   Alcotest.(check bool) "n=5 near 76" true (abs (w5 - 76) <= 5);
   Alcotest.(check bool) "n=20 near 336" true (abs (w20 - 336) <= 12);
   Alcotest.(check bool) "n=50 near 879" true (abs (w50 - 879) <= 35)
 
 let test_efficient_cw_grows_with_n () =
-  let w n = Macgame.Equilibrium.efficient_cw default ~n in
+  let w n = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n in
   Alcotest.(check bool) "monotone in n" true (w 5 < w 10 && w 10 < w 20 && w 20 < w 40)
 
 let test_efficient_cw_rts_below_basic () =
@@ -64,21 +64,21 @@ let test_efficient_cw_rts_below_basic () =
       Alcotest.(check bool)
         (Printf.sprintf "rts optimum below basic at n=%d" n)
         true
-        (Macgame.Equilibrium.efficient_cw rts_cts ~n
-        < Macgame.Equilibrium.efficient_cw default ~n))
+        (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic rts_cts) ~n
+        < Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n))
     [ 5; 20; 50 ]
 
 let test_efficient_cw_single_player () =
   Alcotest.(check int) "alone, transmit always" 1
-    (Macgame.Equilibrium.efficient_cw default ~n:1)
+    (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:1)
 
 let test_efficient_is_global_argmax =
   QCheck.Test.make ~name:"no uniform profile beats the efficient NE" ~count:40
     QCheck.(pair (int_range 2 12) (int_range 1 512))
     (fun (n, w) ->
-      let w_star = Macgame.Equilibrium.efficient_cw small ~n in
-      Macgame.Equilibrium.payoff small ~n ~w
-      <= Macgame.Equilibrium.payoff small ~n ~w:w_star +. 1e-12)
+      let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n in
+      Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic small) ~n ~w
+      <= Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic small) ~n ~w:w_star +. 1e-12)
 
 let test_tau_star_q_properties () =
   (* Lemma 3: Q's root is interior and predicts the e-neglected optimum. *)
@@ -87,8 +87,8 @@ let test_tau_star_q_properties () =
       let tau = Macgame.Equilibrium.tau_star default ~n in
       Alcotest.(check bool) "interior" true (tau > 0. && tau < 1.);
       let e0 = { default with Dcf.Params.cost = 1e-12 } in
-      let w_star = Macgame.Equilibrium.efficient_cw e0 ~n in
-      let w_from_tau = Macgame.Equilibrium.cw_of_tau e0 ~n tau in
+      let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic e0) ~n in
+      let w_from_tau = Macgame.Equilibrium.cw_of_tau (Macgame.Oracle.analytic e0) ~n tau in
       Alcotest.(check bool)
         (Printf.sprintf "n=%d: |%d - %d| small" n w_from_tau w_star)
         true
@@ -118,57 +118,57 @@ let test_cw_of_tau_inverts () =
       Alcotest.(check int)
         (Printf.sprintf "roundtrip W=%d" w)
         w
-        (Macgame.Equilibrium.cw_of_tau default ~n:8 tau))
+        (Macgame.Equilibrium.cw_of_tau (Macgame.Oracle.analytic default) ~n:8 tau))
     [ 2; 16; 64; 300; 1024 ]
 
 let test_break_even_no_backoff () =
   (* With m = 0 and tiny windows every attempt collides and pays only the
      cost, so the break-even window is above 1. *)
   let p = { default with Dcf.Params.max_backoff_stage = 0 } in
-  let w0 = Macgame.Equilibrium.break_even_cw p ~n:10 in
+  let w0 = Macgame.Equilibrium.break_even_cw (Macgame.Oracle.analytic p) ~n:10 in
   Alcotest.(check bool) "positive break-even" true (w0 > 1);
   Alcotest.(check bool) "payoff negative below" true
-    (Macgame.Equilibrium.payoff p ~n:10 ~w:(w0 - 1) <= 0.);
+    (Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic p) ~n:10 ~w:(w0 - 1) <= 0.);
   Alcotest.(check bool) "payoff positive at w0" true
-    (Macgame.Equilibrium.payoff p ~n:10 ~w:w0 > 0.)
+    (Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic p) ~n:10 ~w:w0 > 0.)
 
 let test_break_even_with_backoff_is_one () =
   (* Exponential backoff rescues even W = 1 for moderate n under Table I
      parameters (documented deviation from the paper's m-free analysis). *)
-  Alcotest.(check int) "W_c0 = 1" 1 (Macgame.Equilibrium.break_even_cw default ~n:5)
+  Alcotest.(check int) "W_c0 = 1" 1 (Macgame.Equilibrium.break_even_cw (Macgame.Oracle.analytic default) ~n:5)
 
 let test_ne_set_and_membership () =
   let p = { default with Dcf.Params.max_backoff_stage = 0 } in
-  let { Macgame.Equilibrium.w_lo; w_hi } = Macgame.Equilibrium.ne_set p ~n:10 in
+  let { Macgame.Equilibrium.w_lo; w_hi } = Macgame.Equilibrium.ne_set (Macgame.Oracle.analytic p) ~n:10 in
   Alcotest.(check bool) "non-empty" true (w_lo <= w_hi);
-  Alcotest.(check bool) "lower edge in" true (Macgame.Equilibrium.is_ne p ~n:10 ~w:w_lo);
-  Alcotest.(check bool) "upper edge in" true (Macgame.Equilibrium.is_ne p ~n:10 ~w:w_hi);
-  Alcotest.(check bool) "below out" false (Macgame.Equilibrium.is_ne p ~n:10 ~w:(w_lo - 1));
-  Alcotest.(check bool) "above out" false (Macgame.Equilibrium.is_ne p ~n:10 ~w:(w_hi + 1));
+  Alcotest.(check bool) "lower edge in" true (Macgame.Equilibrium.is_ne (Macgame.Oracle.analytic p) ~n:10 ~w:w_lo);
+  Alcotest.(check bool) "upper edge in" true (Macgame.Equilibrium.is_ne (Macgame.Oracle.analytic p) ~n:10 ~w:w_hi);
+  Alcotest.(check bool) "below out" false (Macgame.Equilibrium.is_ne (Macgame.Oracle.analytic p) ~n:10 ~w:(w_lo - 1));
+  Alcotest.(check bool) "above out" false (Macgame.Equilibrium.is_ne (Macgame.Oracle.analytic p) ~n:10 ~w:(w_hi + 1));
   Alcotest.(check bool) "efficient = upper edge" true
-    (Macgame.Equilibrium.is_efficient p ~n:10 ~w:w_hi)
+    (Macgame.Equilibrium.is_efficient (Macgame.Oracle.analytic p) ~n:10 ~w:w_hi)
 
 let test_social_welfare_is_n_times_payoff () =
-  check_close "welfare" (10. *. Macgame.Equilibrium.payoff default ~n:10 ~w:200)
-    (Macgame.Equilibrium.social_welfare default ~n:10 ~w:200)
+  check_close "welfare" (10. *. Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic default) ~n:10 ~w:200)
+    (Macgame.Equilibrium.social_welfare (Macgame.Oracle.analytic default) ~n:10 ~w:200)
 
 let test_robust_range_brackets_optimum () =
-  let w_star = Macgame.Equilibrium.efficient_cw default ~n:10 in
-  let lo, hi = Macgame.Equilibrium.robust_range default ~n:10 ~fraction:0.95 in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:10 in
+  let lo, hi = Macgame.Equilibrium.robust_range (Macgame.Oracle.analytic default) ~n:10 ~fraction:0.95 in
   Alcotest.(check bool) "brackets W_c*" true (lo <= w_star && w_star <= hi);
   Alcotest.(check bool) "non-trivial width (robustness)" true (hi - lo > 10);
-  let u_star = Macgame.Equilibrium.payoff default ~n:10 ~w:w_star in
+  let u_star = Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic default) ~n:10 ~w:w_star in
   Alcotest.(check bool) "edges within fraction" true
-    (Macgame.Equilibrium.payoff default ~n:10 ~w:lo >= (0.95 *. u_star) -. 1e-9
-    && Macgame.Equilibrium.payoff default ~n:10 ~w:hi >= (0.95 *. u_star) -. 1e-9);
+    (Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic default) ~n:10 ~w:lo >= (0.95 *. u_star) -. 1e-9
+    && Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic default) ~n:10 ~w:hi >= (0.95 *. u_star) -. 1e-9);
   Alcotest.(check bool) "left edge tight" true
-    (lo = 1 || Macgame.Equilibrium.payoff default ~n:10 ~w:(lo - 1) < 0.95 *. u_star)
+    (lo = 1 || Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic default) ~n:10 ~w:(lo - 1) < 0.95 *. u_star)
 
 let test_robust_range_wider_for_rts () =
   (* The paper notes the RTS/CTS curve is flatter: compare relative widths. *)
   let rel params =
-    let w_star = Macgame.Equilibrium.efficient_cw params ~n:20 in
-    let lo, hi = Macgame.Equilibrium.robust_range params ~n:20 ~fraction:0.9 in
+    let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic params) ~n:20 in
+    let lo, hi = Macgame.Equilibrium.robust_range (Macgame.Oracle.analytic params) ~n:20 ~fraction:0.9 in
     float_of_int (hi - lo) /. float_of_int w_star
   in
   Alcotest.(check bool) "rts relatively flatter" true (rel rts_cts > rel default)
@@ -179,7 +179,7 @@ let test_lemma4_deviation_ordering =
   QCheck.Test.make ~name:"lemma 4 payoff ordering" ~count:40
     QCheck.(pair (int_range 2 10) (int_range 16 256))
     (fun (n, w) ->
-      let uniform = Macgame.Equilibrium.payoff small ~n ~w in
+      let uniform = Macgame.Oracle.payoff_uniform (Macgame.Oracle.analytic small) ~n ~w in
       let down = Stdlib.max 1 (w / 2) and up = Stdlib.min 512 (w * 2) in
       QCheck.assume (down < w && up > w);
       let dv_down = Dcf.Model.with_deviant small ~n ~w ~w_dev:down in
@@ -190,11 +190,11 @@ let test_lemma4_deviation_ordering =
       && dv_up.conformer.utility > uniform -. 1e-12)
 
 let test_unilateral_gain_signs () =
-  let w_star = Macgame.Equilibrium.efficient_cw default ~n:5 in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:5 in
   Alcotest.(check bool) "undercutting beats conformers" true
-    (Macgame.Equilibrium.unilateral_gain default ~n:5 ~w:w_star ~w_dev:(w_star / 2) > 0.);
+    (Macgame.Equilibrium.unilateral_gain (Macgame.Oracle.analytic default) ~n:5 ~w:w_star ~w_dev:(w_star / 2) > 0.);
   Alcotest.(check bool) "overshooting loses" true
-    (Macgame.Equilibrium.unilateral_gain default ~n:5 ~w:w_star ~w_dev:(w_star * 2) < 0.)
+    (Macgame.Equilibrium.unilateral_gain (Macgame.Oracle.analytic default) ~n:5 ~w:w_star ~w_dev:(w_star * 2) < 0.)
 
 (* {1 Strategy} *)
 
@@ -252,7 +252,7 @@ let test_gtft_validation () =
       ignore (Macgame.Strategy.gtft ~initial:10 ~r0:1 ~beta:1.5))
 
 let test_best_response_undercuts_large_windows () =
-  let s = Macgame.Strategy.best_response small ~initial:100 in
+  let s = Macgame.Strategy.best_response (Macgame.Oracle.analytic small) ~initial:100 in
   let w = decide s ~me:0 ~my_window:100 ~observed:(obs [| 100; 100; 100; 100 |]) in
   Alcotest.(check bool) (Printf.sprintf "undercuts to %d" w) true (w < 100)
 
@@ -267,14 +267,14 @@ let test_strategy_names () =
 let test_tft_converges_to_min () =
   let initials = [| 300; 150; 80; 200; 120 |] in
   let strategies = Macgame.Repeated.all_tft ~n:5 ~initials in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:6 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:6 in
   Alcotest.(check (option int)) "common window = min initial" (Some 80)
     (Macgame.Repeated.converged_window outcome);
   Alcotest.(check (option int)) "converged at stage 1" (Some 1) outcome.converged_at
 
 let test_tft_fairness_after_convergence () =
   let strategies = Macgame.Repeated.all_tft ~n:4 ~initials:[| 90; 120; 100; 110 |] in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:8 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:8 in
   let last = outcome.trace.(Array.length outcome.trace - 1) in
   check_close ~eps:1e-9 "equal payoffs at the converged stage" 1.
     (Prelude.Stats.jain_fairness last.utilities)
@@ -285,7 +285,7 @@ let test_fixed_cheater_drags_tft_down () =
       [| Macgame.Strategy.fixed 16 |]
       (Macgame.Repeated.all_tft ~n:4 ~initials:(Array.make 4 128))
   in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:6 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:6 in
   Alcotest.(check (option int)) "network converges to the cheater" (Some 16)
     (Macgame.Repeated.converged_window outcome)
 
@@ -295,24 +295,24 @@ let test_punished_cheater_loses_welfare () =
      argument) a W = 1 attacker drags welfare below zero; with m = 5
      backoff the damage is dampened but still monotone. *)
   let p0 = { default with Dcf.Params.max_backoff_stage = 0 } in
-  let w_star = Macgame.Equilibrium.efficient_cw p0 ~n:5 in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic p0) ~n:5 in
   let strategies =
     Array.append
       [| Macgame.Strategy.malicious 1 |]
       (Macgame.Repeated.all_tft ~n:4 ~initials:(Array.make 4 w_star))
   in
-  let outcome = Macgame.Repeated.run p0 ~strategies ~stages:6 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic p0) ~strategies ~stages:6 in
   let last = outcome.trace.(Array.length outcome.trace - 1) in
   Alcotest.(check bool) "paralysed: negative welfare" true (last.welfare < 0.);
   (* With backoff (default m = 5) the network degrades but survives — a
      documented softening relative to the paper's collapse narrative. *)
-  let w5 = Macgame.Equilibrium.social_welfare default ~n:5 in
+  let w5 = Macgame.Equilibrium.social_welfare (Macgame.Oracle.analytic default) ~n:5 in
   Alcotest.(check bool) "monotone damage, but positive" true
     (w5 ~w:4 > 0. && w5 ~w:4 < w5 ~w:16 && w5 ~w:16 < w5 ~w:79)
 
 let test_trace_shape_and_discounting () =
   let strategies = Macgame.Repeated.all_tft ~n:3 ~initials:[| 64; 64; 64 |] in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:5 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:5 in
   Alcotest.(check int) "one record per stage" 5 (Array.length outcome.trace);
   Array.iteri
     (fun k r -> Alcotest.(check int) "stage indices" k r.Macgame.Repeated.stage)
@@ -326,18 +326,18 @@ let test_trace_shape_and_discounting () =
 
 let test_run_validation () =
   Alcotest.check_raises "no players" (Invalid_argument "Repeated.run: no players")
-    (fun () -> ignore (Macgame.Repeated.run default ~strategies:[||] ~stages:1));
+    (fun () -> ignore (Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies:[||] ~stages:1));
   Alcotest.check_raises "no stages"
     (Invalid_argument "Repeated.run: need at least one stage") (fun () ->
       ignore
-        (Macgame.Repeated.run default
+        (Macgame.Repeated.run (Macgame.Oracle.analytic default)
            ~strategies:[| Macgame.Strategy.fixed 1 |]
            ~stages:0))
 
 let test_custom_payoff_backend () =
   let strategies = Macgame.Repeated.all_tft ~n:2 ~initials:[| 8; 8 |] in
   let outcome =
-    Macgame.Repeated.run default ~strategies ~stages:3
+    Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:3
       ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
   in
   Alcotest.(check (array (float 0.))) "zeros" [| 0.; 0. |] outcome.discounted
@@ -351,7 +351,7 @@ let test_tft_converges_from_qcheck_profiles =
       let n = Array.length initials in
       let strategies = Macgame.Repeated.all_tft ~n ~initials in
       let outcome =
-        Macgame.Repeated.run default ~strategies ~stages:4
+        Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:4
           ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
       in
       Macgame.Repeated.converged_window outcome
@@ -361,11 +361,11 @@ let test_best_response_dynamics_collapse () =
   (* Myopic best-response play (the short-sighted world of [2]) drives
      windows far below the efficient NE. *)
   let n = 4 in
-  let w_star = Macgame.Equilibrium.efficient_cw small ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic small) ~n in
   let strategies =
-    Array.init n (fun _ -> Macgame.Strategy.best_response small ~initial:w_star)
+    Array.init n (fun _ -> Macgame.Strategy.best_response (Macgame.Oracle.analytic small) ~initial:w_star)
   in
-  let outcome = Macgame.Repeated.run small ~strategies ~stages:8 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic small) ~strategies ~stages:8 in
   let final_min = Macgame.Profile.min_window outcome.final in
   Alcotest.(check bool)
     (Printf.sprintf "collapsed: %d vs W*=%d" final_min w_star)
@@ -374,7 +374,7 @@ let test_best_response_dynamics_collapse () =
 
 let test_pre_convergence_shortfall () =
   let strategies = Macgame.Repeated.all_tft ~n:3 ~initials:[| 200; 100; 150 |] in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:6 in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:6 in
   match Macgame.Repeated.pre_convergence_shortfall default outcome with
   | None -> Alcotest.fail "expected convergence"
   | Some shortfall ->
@@ -420,7 +420,7 @@ let test_pre_convergence_shortfall_none_without_convergence () =
     }
   in
   let outcome =
-    Macgame.Repeated.run default
+    Macgame.Repeated.run (Macgame.Oracle.analytic default)
       ~strategies:[| strategy; Macgame.Strategy.fixed 15 |]
       ~stages:5
       ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
@@ -495,7 +495,7 @@ let test_gtft_robust_to_sampling_noise_where_tft_is_not () =
     let observer = Macgame.Observer.sampling ~rng ~samples_per_stage:25 in
     let strategies = Array.init 5 (fun _ -> strategy_of ()) in
     let outcome =
-      Macgame.Repeated.run default ~observer ~strategies ~stages:30
+      Macgame.Repeated.run (Macgame.Oracle.analytic default) ~observer ~strategies ~stages:30
         ~payoffs:(fun p -> Array.map (fun _ -> 0.) p)
     in
     Macgame.Profile.min_window outcome.final

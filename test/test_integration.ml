@@ -19,7 +19,7 @@ let test_tft_game_with_simulated_payoffs () =
     Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node
   in
   let strategies = Macgame.Repeated.all_tft ~n:4 ~initials:[| 150; 90; 120; 200 |] in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:5 ~payoffs in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:5 ~payoffs in
   Alcotest.(check (option int)) "converges to the min window" (Some 90)
     (Macgame.Repeated.converged_window outcome);
   let last = outcome.trace.(Array.length outcome.trace - 1) in
@@ -38,13 +38,13 @@ let test_cheater_punished_in_simulation () =
     in
     Array.map (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate) r.per_node
   in
-  let w_star = Macgame.Equilibrium.efficient_cw default ~n:5 in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n:5 in
   let strategies =
     Array.append
       [| Macgame.Strategy.fixed (w_star / 3) |]
       (Macgame.Repeated.all_tft ~n:4 ~initials:(Array.make 4 w_star))
   in
-  let outcome = Macgame.Repeated.run default ~strategies ~stages:4 ~payoffs in
+  let outcome = Macgame.Repeated.run (Macgame.Oracle.analytic default) ~strategies ~stages:4 ~payoffs in
   let first = outcome.trace.(0) in
   Alcotest.(check bool) "free ride pays in stage 0" true
     (first.utilities.(0) > first.utilities.(1));
@@ -64,7 +64,7 @@ let test_search_with_simulated_oracle () =
     Netsim.Slotted.payoff_oracle ~params ~n ~duration:20. ~seed:7 w
   in
   let trace = Macgame.Search.run ~w0:8 ~probes:3 ~cw_max:params.cw_max oracle in
-  let lo, hi = Macgame.Equilibrium.robust_range params ~n ~fraction:0.9 in
+  let lo, hi = Macgame.Equilibrium.robust_range (Macgame.Oracle.analytic params) ~n ~fraction:0.9 in
   Alcotest.(check bool)
     (Printf.sprintf "result %d in robust range [%d,%d]" trace.result lo hi)
     true
@@ -76,7 +76,7 @@ let test_table2_shape_quick () =
   (* Analytic W_c* for n = 5 basic vs a per-node best-response sweep in the
      simulator: the simulated argmax must sit in the robust plateau. *)
   let n = 5 in
-  let w_star = Macgame.Equilibrium.efficient_cw default ~n in
+  let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic default) ~n in
   let payoff_of_deviant w_dev =
     let cws = Array.make n w_star in
     cws.(0) <- w_dev;
@@ -105,7 +105,7 @@ let test_multihop_pipeline_quick () =
   if not (Mobility.Topology.is_connected adjacency) then
     Alcotest.fail "no connected snapshot";
   let graph = Macgame.Multihop.create adjacency in
-  let w_m = Macgame.Multihop.converged_cw rts_cts graph in
+  let w_m = Macgame.Multihop.converged_cw (Macgame.Oracle.analytic rts_cts) graph in
   Alcotest.(check bool) "plausible converged window" true (w_m >= 5 && w_m <= 200);
   let r =
     Netsim.Spatial.run
@@ -129,8 +129,8 @@ let test_spatial_p_hn_feeds_analytic_model () =
          (Array.map (fun (s : Netsim.Spatial.node_stats) -> s.p_hn_hat) r.per_node))
   in
   let graph = Macgame.Multihop.create adjacency in
-  let ideal = Macgame.Multihop.payoffs_at default graph ~w:32 in
-  let degraded = Macgame.Multihop.payoffs_at ~p_hn default graph ~w:32 in
+  let ideal = Macgame.Multihop.payoffs_at (Macgame.Oracle.analytic default) graph ~w:32 in
+  let degraded = Macgame.Multihop.payoffs_at (Macgame.Oracle.analytic ~p_hn default) graph ~w:32 in
   Alcotest.(check bool) "estimated p_hn below 1" true (p_hn < 1.);
   Array.iteri
     (fun i u -> Alcotest.(check bool) "degradation propagates" true (degraded.(i) <= u))
@@ -141,10 +141,10 @@ let test_figures_2_3_shape_quick () =
      and be flatter (relative to the peak position) for RTS/CTS. *)
   let check params label =
     let n = 5 in
-    let ws = Macgame.Welfare.sample_windows params ~n ~count:30 in
-    let series = Macgame.Welfare.global_series params ~n ~ws in
+    let ws = Macgame.Welfare.sample_windows (Macgame.Oracle.analytic params) ~n ~count:30 in
+    let series = Macgame.Welfare.global_series (Macgame.Oracle.analytic params) ~n ~ws in
     let peak = Macgame.Welfare.peak series in
-    let w_star = Macgame.Equilibrium.efficient_cw params ~n in
+    let w_star = Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic params) ~n in
     (* The log grid does not contain W_c* exactly; the peak must be the grid
        point nearest to it. *)
     let nearest =

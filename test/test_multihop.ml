@@ -208,23 +208,23 @@ let test_diameter_on_disconnected () =
       ignore (Macgame.Multihop.diameter g))
 
 let test_local_efficient_cw_by_degree () =
-  let locals = Macgame.Multihop.local_efficient_cw rts_cts graph in
+  let locals = Macgame.Multihop.local_efficient_cw (Macgame.Oracle.analytic rts_cts) graph in
   (* Node i's window is the single-hop efficient NE for deg(i)+1 players. *)
   Array.iteri
     (fun i deg ->
       Alcotest.(check int)
         (Printf.sprintf "node %d (degree %d)" i deg)
-        (Macgame.Equilibrium.efficient_cw rts_cts ~n:(deg + 1))
+        (Macgame.Equilibrium.efficient_cw (Macgame.Oracle.analytic rts_cts) ~n:(deg + 1))
         locals.(i))
     (Macgame.Multihop.degrees graph);
   (* Higher degree, larger local window. *)
   Alcotest.(check bool) "hub above leaf" true (locals.(3) > locals.(4))
 
 let test_converged_cw_is_min () =
-  let locals = Macgame.Multihop.local_efficient_cw rts_cts graph in
+  let locals = Macgame.Multihop.local_efficient_cw (Macgame.Oracle.analytic rts_cts) graph in
   let expected = Array.fold_left Stdlib.min locals.(0) locals in
   Alcotest.(check int) "theorem 3" expected
-    (Macgame.Multihop.converged_cw rts_cts graph)
+    (Macgame.Multihop.converged_cw (Macgame.Oracle.analytic rts_cts) graph)
 
 let test_tft_rounds_reach_min_within_diameter () =
   let start = [| 50; 40; 30; 20; 60 |] in
@@ -251,7 +251,7 @@ let test_tft_rounds_qcheck =
       Array.for_all (fun w -> w = min) final)
 
 let test_payoffs_at_use_local_games () =
-  let payoffs = Macgame.Multihop.payoffs_at rts_cts graph ~w:26 in
+  let payoffs = Macgame.Multihop.payoffs_at (Macgame.Oracle.analytic rts_cts) graph ~w:26 in
   Array.iteri
     (fun i deg ->
       check_close
@@ -261,16 +261,16 @@ let test_payoffs_at_use_local_games () =
     (Macgame.Multihop.degrees graph)
 
 let test_payoffs_p_hn_degrades () =
-  let full = Macgame.Multihop.payoffs_at rts_cts graph ~w:26 in
-  let degraded = Macgame.Multihop.payoffs_at ~p_hn:0.7 rts_cts graph ~w:26 in
+  let full = Macgame.Multihop.payoffs_at (Macgame.Oracle.analytic rts_cts) graph ~w:26 in
+  let degraded = Macgame.Multihop.payoffs_at (Macgame.Oracle.analytic ~p_hn:0.7 rts_cts) graph ~w:26 in
   Array.iteri
     (fun i u -> Alcotest.(check bool) "lower" true (degraded.(i) < u))
     full
 
 let test_quasi_optimality_structure () =
-  let q = Macgame.Multihop.quasi_optimality rts_cts graph in
+  let q = Macgame.Multihop.quasi_optimality (Macgame.Oracle.analytic rts_cts) graph in
   Alcotest.(check int) "NE window consistent"
-    (Macgame.Multihop.converged_cw rts_cts graph)
+    (Macgame.Multihop.converged_cw (Macgame.Oracle.analytic rts_cts) graph)
     q.w_m;
   Alcotest.(check bool) "global ratio in (0,1]" true
     (q.global_ratio > 0. && q.global_ratio <= 1. +. 1e-9);
@@ -281,7 +281,7 @@ let test_quasi_optimality_structure () =
   Alcotest.(check bool) "optimum at least NE welfare" true
     (q.global_opt >= q.global_at_ne -. 1e-12);
   (* The node whose local optimum IS the converged window is fully served. *)
-  let locals = Macgame.Multihop.local_efficient_cw rts_cts graph in
+  let locals = Macgame.Multihop.local_efficient_cw (Macgame.Oracle.analytic rts_cts) graph in
   let argmin = ref 0 in
   Array.iteri (fun i w -> if w < locals.(!argmin) then argmin := i) locals;
   check_close "bottleneck node at its own optimum" 1. q.local_ratios.(!argmin)
@@ -290,7 +290,7 @@ let test_quasi_optimality_uniform_degree_graph () =
   (* A cycle: every node has degree 2, so the local optima agree and the NE
      is exactly the global optimum. *)
   let cycle = Macgame.Multihop.create [| [ 1; 3 ]; [ 0; 2 ]; [ 1; 3 ]; [ 0; 2 ] |] in
-  let q = Macgame.Multihop.quasi_optimality rts_cts cycle in
+  let q = Macgame.Multihop.quasi_optimality (Macgame.Oracle.analytic rts_cts) cycle in
   check_close ~eps:1e-9 "no loss under symmetry" 1. q.global_ratio;
   check_close ~eps:1e-9 "everyone at their optimum" 1. q.min_local_ratio
 
@@ -304,7 +304,7 @@ let test_paper_scenario_quasi_optimal () =
   if not (Mobility.Topology.is_connected adj) then
     Alcotest.fail "could not find a connected snapshot";
   let graph = Macgame.Multihop.create adj in
-  let q = Macgame.Multihop.quasi_optimality rts_cts graph in
+  let q = Macgame.Multihop.quasi_optimality (Macgame.Oracle.analytic rts_cts) graph in
   Alcotest.(check bool)
     (Printf.sprintf "global ratio %.3f >= 0.9" q.global_ratio)
     true (q.global_ratio >= 0.9);

@@ -253,7 +253,8 @@ let test_homogeneous_iteration_count () =
 let test_repeated_game_cache_and_events () =
   let outcome, r, events =
     capture (fun r ->
-        Macgame.Repeated.run ~telemetry:r params
+        Macgame.Repeated.run
+          (Macgame.Oracle.create ~telemetry:r params)
           ~strategies:
             (Macgame.Repeated.all_tft ~n:4 ~initials:[| 100; 100; 100; 100 |])
           ~stages:6)
@@ -261,9 +262,9 @@ let test_repeated_game_cache_and_events () =
   Alcotest.(check bool) "converged" true (outcome.converged_at <> None);
   (* A converged TFT run re-evaluates the same uniform profile every stage:
      the memoised payoff cache must be doing the work. *)
-  let hits = T.Metric.count (T.Registry.counter r "repeated.payoff_cache.hits") in
+  let hits = T.Metric.count (T.Registry.counter r "oracle.cache.hits") in
   let misses =
-    T.Metric.count (T.Registry.counter r "repeated.payoff_cache.misses")
+    T.Metric.count (T.Registry.counter r "oracle.cache.misses")
   in
   Alcotest.(check bool) "cache hits on a converged run" true (hits > 0);
   Alcotest.(check bool) "some misses too" true (misses > 0);
