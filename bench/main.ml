@@ -105,6 +105,6 @@ let () =
           | None -> (
               match Sys.getenv_opt "BENCH_PERF_OUT" with
               | Some path -> path
-              | None -> "BENCH_PR3.json")
+              | None -> "BENCH_PR4.json")
         in
         Perf.run ~out ())

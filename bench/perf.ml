@@ -6,6 +6,16 @@ open Toolkit
 
 let params = Dcf.Params.default
 
+(* 25 nodes scattered by the waypoint model and connected at 180 m range:
+   the topology the PR-4 acceptance numbers are quoted on. *)
+let random_25 () =
+  let w =
+    Mobility.Waypoint.create ~seed:21
+      { width = 500.; height = 500.; speed_min = 0.; speed_max = 5. }
+      ~n:25
+  in
+  Mobility.Topology.snapshot ~connect_attempts:50 w ~range:180.
+
 let tests =
   Test.make_grouped ~name:"selfish-mac"
     [
@@ -52,6 +62,38 @@ let tests =
                      params = Dcf.Params.rts_cts;
                      adjacency;
                      cws = Array.make 30 32;
+                     duration = 1.;
+                     seed = 1;
+                   })));
+      (* The PR-4 acceptance kernel: 25 nodes on a connected random
+         geometric topology (the Sec. VII.B substrate at reduced scale),
+         run through the event-driven core... *)
+      Test.make ~name:"spatial_sim_1s_n25_random"
+        (Staged.stage
+           (let adjacency = random_25 () in
+            fun () ->
+              ignore
+                (Netsim.Spatial.run
+                   {
+                     params = Dcf.Params.rts_cts;
+                     adjacency;
+                     cws = Array.make 25 32;
+                     duration = 1.;
+                     seed = 1;
+                   })));
+      (* ... and through the retired slot-scan loop it replaced, kept
+         callable precisely so this speedup stays measurable (and so the
+         differential tests have something to diff against). *)
+      Test.make ~name:"spatial_sim_1s_n25_random_reference"
+        (Staged.stage
+           (let adjacency = random_25 () in
+            fun () ->
+              ignore
+                (Netsim.Spatial.run_reference
+                   {
+                     params = Dcf.Params.rts_cts;
+                     adjacency;
+                     cws = Array.make 25 32;
                      duration = 1.;
                      seed = 1;
                    })));
@@ -130,13 +172,13 @@ let tests =
 (* Persist the per-kernel estimates so successive PRs can diff them.  The
    strip of the "selfish-mac/" group prefix keeps the keys stable if the
    grouping ever changes. *)
+let strip name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
 let write_json path estimates =
   let open Telemetry.Jsonx in
-  let strip name =
-    match String.index_opt name '/' with
-    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-    | None -> name
-  in
   let json =
     Obj
       [
@@ -152,6 +194,59 @@ let write_json path estimates =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s (%d kernels)\n" path (List.length estimates)
+
+(* Performance regression guard: compare the fresh spatial-kernel
+   estimates against the checked-in baseline JSON (the previous --perf
+   run's output at the same path) and fail loudly on a big regression.
+   2× is deliberately loose — micro-benchmark noise on shared machines is
+   real — so tripping it means the event core genuinely lost its edge. *)
+let check_against_baseline path estimates =
+  let baseline_kernels =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match Telemetry.Jsonx.parse text with
+        | exception Telemetry.Jsonx.Parse_error _ -> None
+        | json -> Telemetry.Jsonx.member "kernels" json)
+  in
+  match baseline_kernels with
+  | None -> Printf.printf "no baseline at %s; skipping regression check\n" path
+  | Some kernels ->
+      let regressions =
+        List.filter_map
+          (fun (name, ns) ->
+            if
+              String.length name >= 11
+              && String.sub name 0 11 = "spatial_sim"
+            then
+              match
+                Option.bind
+                  (Telemetry.Jsonx.member name kernels)
+                  Telemetry.Jsonx.to_float_opt
+              with
+              | Some old_ns when Float.is_finite old_ns && old_ns > 0. ->
+                  let factor = ns /. old_ns in
+                  Printf.printf "baseline %-36s %8.0f -> %8.0f ns/run (%.2fx)\n"
+                    name old_ns ns factor;
+                  if factor > 2. then Some (name, factor) else None
+              | _ -> None
+            else None)
+          estimates
+      in
+      if regressions <> [] then begin
+        List.iter
+          (fun (name, factor) ->
+            Printf.eprintf
+              "perf: spatial kernel %s regressed %.2fx vs baseline %s (limit 2x)\n"
+              name factor path)
+          regressions;
+        exit 1
+      end
 
 (* Guard for the memoized kernel: a warm oracle must return the cold
    oracle's results bit for bit, stage by stage — otherwise the memoized
@@ -228,4 +323,8 @@ let run ~out () =
         per_test)
     results;
   Common.print_table columns (List.sort compare !rows);
-  write_json out (List.sort compare !estimates)
+  let estimates =
+    List.sort compare (List.map (fun (n, ns) -> (strip n, ns)) !estimates)
+  in
+  check_against_baseline out estimates;
+  write_json out estimates

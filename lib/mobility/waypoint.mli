@@ -27,6 +27,13 @@ val positions : t -> Geom.point array
 
 val step : t -> dt:float -> unit
 (** Advance every node [dt > 0] seconds, re-drawing waypoints as they are
-    reached (several per step if the step is long). *)
+    reached (several per step if the step is long).
+
+    Each node draws from its own RNG stream (split from the seed in index
+    order), and a leg finished mid-step hands its leftover time budget to
+    the next leg.  Together these make trajectories depend only on total
+    elapsed time, not on how it is sliced: when speeds are strictly
+    positive, [step ~dt] twice lands (up to float splicing error) where
+    [step ~dt:(2. *. dt)] once does. *)
 
 val config : t -> config

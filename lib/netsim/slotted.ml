@@ -20,6 +20,7 @@ type airtime = {
   idle_fraction : float;
   success_fraction : float;
   collision_fraction : float;
+  error_fraction : float;
 }
 
 type result = {
@@ -89,6 +90,7 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
   let idle_airtime = ref 0. in
   let success_airtime = ref 0. in
   let collision_airtime = ref 0. in
+  let error_airtime = ref 0. in
   (* Per virtual slot: skip ahead by the smallest counter (idle slots), then
      resolve the transmission slot. *)
   while !time < duration do
@@ -107,7 +109,24 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
       incr slots;
       (match transmitters with
       | [] -> assert false
-      | [ winner ] when per = 0. || not (Prelude.Rng.bernoulli winner.rng per) ->
+      | [ winner ] when per > 0. && Prelude.Rng.bernoulli winner.rng per ->
+          (* Channel error: the lone winner's frame went out in full but
+             arrived corrupted, so the channel is held for the whole frame
+             time Ts (the ACK never comes) — not the collision time Tc,
+             which models truncated overlapping frames. *)
+          winner.attempts <- winner.attempts + 1;
+          winner.retries <- winner.retries + 1;
+          if winner.retries > retry_limit then begin
+            winner.drops <- winner.drops + 1;
+            winner.retries <- 0;
+            winner.stage <- 0;
+            emit (Trace.Drop { time = !time; node = winner.id })
+          end
+          else winner.stage <- Stdlib.min (winner.stage + 1) m;
+          time := !time +. timing.ts;
+          error_airtime := !error_airtime +. timing.ts;
+          emit (Trace.Channel_error { time = !time; node = winner.id })
+      | [ winner ] ->
           winner.attempts <- winner.attempts + 1;
           winner.successes <- winner.successes + 1;
           winner.stage <- 0;
@@ -173,6 +192,7 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
       idle_fraction = !idle_airtime /. elapsed;
       success_fraction = !success_airtime /. elapsed;
       collision_fraction = !collision_airtime /. elapsed;
+      error_fraction = !error_airtime /. elapsed;
     }
   in
   let result =
@@ -211,6 +231,7 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
         ("success_fraction", Telemetry.Jsonx.Float airtime.success_fraction);
         ( "collision_fraction",
           Telemetry.Jsonx.Float airtime.collision_fraction );
+        ("error_fraction", Telemetry.Jsonx.Float airtime.error_fraction);
         ("throughput", Telemetry.Jsonx.Float result.total_throughput);
         ("welfare_rate", Telemetry.Jsonx.Float result.welfare_rate);
         ( "jain_fairness",

@@ -37,9 +37,13 @@ type airtime = {
   idle_fraction : float;       (** fraction of elapsed time the channel idled *)
   success_fraction : float;    (** fraction occupied by successful frames (Ts) *)
   collision_fraction : float;  (** fraction occupied by collisions (Tc) *)
+  error_fraction : float;
+      (** fraction occupied by fully transmitted frames lost to channel
+          noise (Ts each — the whole frame went out, no ACK came back);
+          0 unless [per] > 0 *)
 }
 (** Channel airtime decomposition, accumulated incrementally during the
-    run.  The three fractions sum to ≈ 1 (up to the final partial busy
+    run.  The four fractions sum to ≈ 1 (up to the final partial busy
     period straddling the horizon). *)
 
 type result = {
@@ -66,11 +70,14 @@ val run :
     key on.
 
     [per] is a packet error rate from channel noise: a transmission that
-    wins contention is still lost with this probability (counted as a
-    collision for the backoff machinery, as real DCF cannot tell the two
-    apart).  Default 0 — the paper's perfect channel.  Analytically this
-    is the same multiplicative factor as the hidden-node degradation p_hn
-    of Sec. VI.A, so the validation tests compare against
+    wins contention is still lost with this probability (treated as a
+    failure by the backoff machinery, as real DCF cannot tell noise from
+    collision).  The corrupted frame is transmitted in full, so it holds
+    the channel for Ts (tallied in [error_fraction]) and the trace records
+    a {!Trace.Channel_error} rather than a {!Trace.Collision}.  Default 0
+    — the paper's perfect channel.  Analytically this is the same
+    multiplicative factor as the hidden-node degradation p_hn of
+    Sec. VI.A, so the validation tests compare against
     [Utility.rates ~p_hn:(1−per)].
 
     [retry_limit] is the number of retransmissions before a packet is

@@ -22,6 +22,7 @@ type airtime = {
   idle_fraction : float;
   success_fraction : float;
   collision_fraction : float;
+  overlap_fraction : float;
 }
 
 type result = {
@@ -29,7 +30,18 @@ type result = {
   per_node : node_stats array;
   welfare_rate : float;
   delivered : int;
+  delivered_late : int;
   airtime : airtime;
+}
+
+type tx = {
+  src : int;
+  mutable dest : int;
+  mutable vuln_end : int;    (** end of the vulnerable window, in slots *)
+  mutable resolved : bool;
+  mutable finish : int;      (** src airtime ends (set at resolution) *)
+  mutable corrupted_local : bool;
+  mutable corrupted_hidden : bool;
 }
 
 type node = {
@@ -40,6 +52,8 @@ type node = {
   cs_neighbors : int array;   (** carrier-sense range (superset) *)
   cs_set : bool array;
   rng : Prelude.Rng.t;
+  can_tx : bool;              (** has at least one neighbour to address *)
+  tx : tx;                    (** reusable record (event core only) *)
   mutable stage : int;
   mutable counter : int;
   mutable retries : int;
@@ -50,22 +64,56 @@ type node = {
   mutable drops : int;
   mutable local_collisions : int;
   mutable hidden_failures : int;
-}
-
-type tx = {
-  src : int;
-  dest : int;
-  vuln_end : int;            (** end of the vulnerable window, in slots *)
-  mutable resolved : bool;
-  mutable finish : int;      (** src airtime ends (set at resolution) *)
-  mutable corrupted_local : bool;
-  mutable corrupted_hidden : bool;
+  (* Event-core scheduling state.  A node is either UNFROZEN (idle-sensing,
+     [expiry] is the absolute slot its backoff ends, a Fire event is in the
+     calendar) or FROZEN ([counter] holds the remaining backoff slots,
+     [expiry] = -1).  [audible] counts carrier-sense neighbours currently
+     on the air, so idle-sensing is an O(1) test. *)
+  mutable frozen : bool;
+  mutable on_air : bool;
+  mutable audible : int;
+  mutable expiry : int;
+  mutable in_bag : bool;
 }
 
 let slots_of sigma t = Stdlib.max 1 (int_of_float (Float.round (t /. sigma)))
 
-let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
-    ?(retry_limit = max_int) ?trace { params; adjacency; cws; duration; seed } =
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let equal_stats (a : node_stats) (b : node_stats) =
+  a.attempts = b.attempts && a.successes = b.successes && a.drops = b.drops
+  && a.local_collisions = b.local_collisions
+  && a.hidden_failures = b.hidden_failures
+  && feq a.payoff_rate b.payoff_rate
+  && feq a.throughput b.throughput
+  && feq a.p_hn_hat b.p_hn_hat
+
+let equal_result (a : result) (b : result) =
+  feq a.time b.time
+  && a.delivered = b.delivered
+  && a.delivered_late = b.delivered_late
+  && feq a.welfare_rate b.welfare_rate
+  && feq a.airtime.busy_fraction b.airtime.busy_fraction
+  && feq a.airtime.idle_fraction b.airtime.idle_fraction
+  && feq a.airtime.success_fraction b.airtime.success_fraction
+  && feq a.airtime.collision_fraction b.airtime.collision_fraction
+  && feq a.airtime.overlap_fraction b.airtime.overlap_fraction
+  && Array.length a.per_node = Array.length b.per_node
+  && Array.for_all2 equal_stats a.per_node b.per_node
+
+(* Event kinds, packed with time and node id into a single calendar int:
+   [((t * 4 + kind) * n) + id] sorts by time, then kind, then node id —
+   exactly the intra-slot processing order the reference loop implies
+   (resolutions, then channel releases, then backoff expiries). *)
+let kind_resolve = 0
+let kind_busy_release = 1
+let kind_nav_release = 2
+let kind_fire = 3
+
+type driver = Reference | Event_core
+
+let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
+    { params; adjacency; cws; duration; seed } =
   if retry_limit < 0 then invalid_arg "Spatial.run: retry_limit must be >= 0";
   let n = Array.length adjacency in
   let cs_adjacency = Option.value cs_adjacency ~default:adjacency in
@@ -116,6 +164,8 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
           /. params.bit_rate)
   in
   let horizon = int_of_float (Float.ceil (duration /. sigma)) in
+  if horizon + 1 > max_int / (4 * n) then
+    invalid_arg "Spatial.run: horizon too large for event packing";
   let master = Prelude.Rng.create seed in
   let nodes =
     Array.init n (fun i ->
@@ -134,6 +184,17 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
             cs_neighbors;
             cs_set;
             rng = Prelude.Rng.split master;
+            can_tx = Array.length neighbors > 0;
+            tx =
+              {
+                src = i;
+                dest = i;
+                vuln_end = 0;
+                resolved = true;
+                finish = 0;
+                corrupted_local = false;
+                corrupted_hidden = false;
+              };
             stage = 0;
             counter = 0;
             retries = 0;
@@ -144,22 +205,28 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
             drops = 0;
             local_collisions = 0;
             hidden_failures = 0;
+            frozen = false;
+            on_air = false;
+            audible = 0;
+            expiry = -1;
+            in_bag = false;
           }
         in
         node.counter <- Prelude.Rng.int node.rng node.window;
         node)
   in
-  let active : tx list ref = ref [] in
   let delivered = ref 0 in
-  (* Airtime accounting, all in slots.  [success]/[collision] aggregate
-     per-transmission airtime (they can exceed the horizon under spatial
-     reuse); [covered] is the union of transmission intervals, tracked
-     incrementally — events arrive in time order, so extending a coverage
-     watermark is exact. *)
+  let delivered_late = ref 0 in
+  (* Airtime accounting, all in slots and all clipped at the horizon.
+     [success]/[collision] aggregate per-transmission airtime (they can
+     exceed the horizon under spatial reuse); [busy] is the union of
+     transmission intervals, tracked incrementally — in-horizon events
+     arrive in time order, so extending a coverage watermark is exact. *)
   let success_tx_slots = ref 0 in
   let collision_tx_slots = ref 0 in
   let busy_slots = ref 0 in
   let covered_until = ref 0 in
+  let clip t = if t > horizon then horizon else t in
   let cover a b =
     let from = Stdlib.max a !covered_until in
     if b > from then begin
@@ -167,31 +234,39 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
       covered_until := b
     end
   in
-  (* A node senses the channel idle when it is not transmitting, has no NAV,
-     and no neighbour is transmitting. *)
-  let senses_idle now node =
-    node.busy_until <= now
-    && node.nav_until <= now
-    && not
-         (Array.exists
-            (fun j -> nodes.(j).busy_until > now)
-            node.cs_neighbors)
-  in
   let backoff_reset node =
     node.counter <- Prelude.Rng.int node.rng (node.window lsl node.stage)
   in
   let emit event =
     match trace with None -> () | Some t -> Trace.record t event
   in
+  (* Driver-specific behaviour, injected so that the physics below is
+     shared verbatim between the reference loop and the event core — the
+     two schedulers can then only disagree on *when* they call into it,
+     which is exactly what the differential mode checks. *)
+  let raise_busy : (int -> node -> int -> unit) ref =
+    ref (fun _ _ _ -> ())
+  in
+  let raise_nav : (int -> node -> int -> unit) ref = ref (fun _ _ _ -> ()) in
+  let obtain : (node -> int -> int -> tx) ref =
+    ref (fun nd _ _ -> nd.tx)
+  in
+  let register : (node -> tx -> unit) ref = ref (fun _ _ -> ()) in
+  let iter_airborne : (int -> (tx -> unit) -> unit) ref =
+    ref (fun _ _ -> ())
+  in
   let resolve now tx =
     tx.resolved <- true;
     let src = nodes.(tx.src) in
+    let started = now - vuln_slots in
     let corrupted = tx.corrupted_local || tx.corrupted_hidden in
     if corrupted then begin
-      src.busy_until <- now - vuln_slots + tc_slots;
-      tx.finish <- src.busy_until;
-      collision_tx_slots := !collision_tx_slots + tc_slots;
-      cover now tx.finish;
+      let finish = started + tc_slots in
+      !raise_busy now src finish;
+      tx.finish <- finish;
+      collision_tx_slots :=
+        !collision_tx_slots + (clip finish - clip started);
+      cover (clip now) (clip finish);
       if tx.corrupted_local then
         src.local_collisions <- src.local_collisions + 1
       else src.hidden_failures <- src.hidden_failures + 1;
@@ -208,13 +283,13 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
       else src.stage <- Stdlib.min (src.stage + 1) m
     end
     else begin
-      let finish = now - vuln_slots + ts_slots in
-      src.busy_until <- finish;
+      let finish = started + ts_slots in
+      !raise_busy now src finish;
       tx.finish <- finish;
       src.successes <- src.successes + 1;
-      incr delivered;
-      success_tx_slots := !success_tx_slots + ts_slots;
-      cover now finish;
+      if now < horizon then incr delivered else incr delivered_late;
+      success_tx_slots := !success_tx_slots + (clip finish - clip started);
+      cover (clip now) (clip finish);
       emit (Trace.Success { time = float_of_int now *. sigma; node = tx.src });
       src.stage <- 0;
       src.retries <- 0;
@@ -231,12 +306,12 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
                  dest = tx.src;
                });
           let dest = nodes.(tx.dest) in
-          dest.busy_until <- Stdlib.max dest.busy_until finish;
+          !raise_busy now dest finish;
           let silence j =
             if j <> tx.src then begin
               let nd = nodes.(j) in
               if finish > nd.nav_until then begin
-                nd.nav_until <- finish;
+                !raise_nav now nd finish;
                 emit
                   (Trace.Nav_defer
                      {
@@ -253,40 +328,29 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
     backoff_reset src
   in
   let start_transmission now node =
-    if Array.length node.neighbors = 0 then
+    if not node.can_tx then
       (* Isolated node: nothing to send to; stay silent. *)
       backoff_reset node
     else begin
       let dest = Prelude.Rng.pick node.rng node.neighbors in
       node.attempts <- node.attempts + 1;
-      node.busy_until <- now + vuln_slots (* extended at resolution *);
-      cover now (now + vuln_slots);
+      !raise_busy now node (now + vuln_slots) (* extended at resolution *);
+      cover now (clip (now + vuln_slots));
       (match params.mode with
       | Dcf.Params.Basic -> ()
       | Dcf.Params.Rts_cts ->
           emit
             (Trace.Rts
                { time = float_of_int now *. sigma; src = node.id; dest }));
-      let tx =
-        {
-          src = node.id;
-          dest;
-          vuln_end = now + vuln_slots;
-          resolved = false;
-          finish = now + vuln_slots;
-          corrupted_local = false;
-          corrupted_hidden = false;
-        }
-      in
+      let tx = !obtain node dest now in
       (* Eager corruption marking against every other airborne frame. *)
       let dest_node = nodes.(dest) in
       if dest_node.busy_until > now then
         (* Receiver itself is transmitting and will miss the frame; it is a
            neighbour, so this counts as a local loss. *)
         tx.corrupted_local <- true;
-      List.iter
-        (fun other ->
-          if nodes.(other.src).busy_until > now then begin
+      !iter_airborne now (fun other ->
+          if other != tx && nodes.(other.src).busy_until > now then begin
             (* [other]'s frame is still on the air. *)
             if other.src <> node.id && dest_node.neighbor_set.(other.src)
             then begin
@@ -305,53 +369,266 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
                   other.corrupted_local <- true
                 else other.corrupted_hidden <- true
             end
-          end)
-        !active;
-      active := tx :: !active
+          end);
+      !register node tx
     end
   in
-  let now = ref 0 in
-  while !now < horizon do
-    (* 1. Resolve frames whose vulnerable window closes now; drop frames
-       whose airtime has ended. *)
-    List.iter
-      (fun tx -> if (not tx.resolved) && tx.vuln_end <= !now then resolve !now tx)
-      !active;
-    active := List.filter (fun tx -> tx.finish > !now) !active;
-    (* 2. Launch every node whose counter has reached zero, against a
-       single snapshot of the channel state: nodes that fire in the same
-       slot cannot sense each other's start, so all of them transmit (the
-       synchronised-collision case). *)
-    let starters =
-      Array.to_list nodes
-      |> List.filter (fun nd -> nd.counter <= 0 && senses_idle !now nd)
-    in
-    List.iter (start_transmission !now) starters;
-    (* 3. Between boundaries only the currently idle-sensing nodes tick. *)
-    let counting =
-      Array.to_list nodes |> List.filter (fun nd -> senses_idle !now nd)
-    in
-    (* 4. Jump to the next channel-state boundary. *)
-    let next = ref max_int in
-    let consider t = if t > !now && t < !next then next := t in
-    List.iter (fun tx -> if not tx.resolved then consider tx.vuln_end) !active;
-    Array.iter
-      (fun nd ->
-        consider nd.busy_until;
-        consider nd.nav_until)
-      nodes;
-    List.iter (fun nd -> consider (!now + nd.counter)) counting;
-    let next = if !next = max_int then horizon else Stdlib.min !next horizon in
-    let dt = next - !now in
-    List.iter (fun nd -> nd.counter <- nd.counter - dt) counting;
-    now := next
-  done;
-  (* Frames still in their vulnerable window at the horizon complete just
-     after the measurement ends; resolve them so the per-node accounting
-     (attempts = successes + collisions) balances. *)
-  List.iter
-    (fun tx -> if not tx.resolved then resolve tx.vuln_end tx)
-    !active;
+  (match driver with
+  | Reference ->
+      (* The pre-event-core boundary-scan loop, kept as the differential
+         baseline: at every channel-state boundary resolve, launch, and
+         tick by scanning nodes and the active list. *)
+      let active : tx list ref = ref [] in
+      (raise_busy :=
+         fun _now nd v -> if v > nd.busy_until then nd.busy_until <- v);
+      (raise_nav := fun _now nd v -> nd.nav_until <- v);
+      (obtain :=
+         fun node dest now ->
+           {
+             src = node.id;
+             dest;
+             vuln_end = now + vuln_slots;
+             resolved = false;
+             finish = now + vuln_slots;
+             corrupted_local = false;
+             corrupted_hidden = false;
+           });
+      (register := fun _node tx -> active := tx :: !active);
+      (iter_airborne := fun _now f -> List.iter f !active);
+      (* A node senses the channel idle when it is not transmitting, has no
+         NAV, and no neighbour is transmitting. *)
+      let senses_idle now node =
+        node.busy_until <= now
+        && node.nav_until <= now
+        && not
+             (Array.exists
+                (fun j -> nodes.(j).busy_until > now)
+                node.cs_neighbors)
+      in
+      let now = ref 0 in
+      while !now < horizon do
+        (* 1. Resolve frames whose vulnerable window closes now; drop frames
+           whose airtime has ended. *)
+        List.iter
+          (fun tx ->
+            if (not tx.resolved) && tx.vuln_end <= !now then resolve !now tx)
+          !active;
+        active := List.filter (fun tx -> tx.finish > !now) !active;
+        (* 2. Launch every node whose counter has reached zero, against a
+           single snapshot of the channel state: nodes that fire in the same
+           slot cannot sense each other's start, so all of them transmit (the
+           synchronised-collision case). *)
+        let starters =
+          Array.to_list nodes
+          |> List.filter (fun nd -> nd.counter <= 0 && senses_idle !now nd)
+        in
+        List.iter (start_transmission !now) starters;
+        (* 3. Between boundaries only the currently idle-sensing nodes
+           tick. *)
+        let counting =
+          Array.to_list nodes |> List.filter (fun nd -> senses_idle !now nd)
+        in
+        (* 4. Jump to the next channel-state boundary. *)
+        let next = ref max_int in
+        let consider t = if t > !now && t < !next then next := t in
+        List.iter
+          (fun tx -> if not tx.resolved then consider tx.vuln_end)
+          !active;
+        Array.iter
+          (fun nd ->
+            consider nd.busy_until;
+            consider nd.nav_until)
+          nodes;
+        List.iter (fun nd -> consider (!now + nd.counter)) counting;
+        let next =
+          if !next = max_int then horizon else Stdlib.min !next horizon
+        in
+        let dt = next - !now in
+        List.iter (fun nd -> nd.counter <- nd.counter - dt) counting;
+        now := next
+      done;
+      (* Frames still in their vulnerable window at the horizon complete
+         just after the measurement ends; resolve them so the per-node
+         accounting (attempts = successes + collisions) balances.  Their
+         airtime past the horizon is clipped away by [clip]. *)
+      List.iter
+        (fun tx -> if not tx.resolved then resolve tx.vuln_end tx)
+        !active
+  | Event_core ->
+      (* Allocation-free event core: a packed-int calendar replaces the
+         per-boundary node/active scans.  Intra-slot order (resolve, busy
+         release, NAV release, fire) and node-id order within each kind
+         reproduce the reference loop's phases bit-for-bit. *)
+      let cal = Prelude.Heap.create ~capacity:(4 * n) () in
+      let pack t kind id = (((t * 4) + kind) * n) + id in
+      let time_of e = e / (4 * n) in
+      let push_event t kind id =
+        if t < horizon then Prelude.Heap.push cal (pack t kind id)
+      in
+      (* Airborne transmissions, one slot per node (a node carries at most
+         one outstanding frame); stale entries are pruned lazily while
+         marking. *)
+      let bag = Array.make n 0 in
+      let bag_len = ref 0 in
+      let starters = Array.make n 0 in
+      let n_starters = ref 0 in
+      let freeze t nd =
+        if not nd.frozen then begin
+          nd.frozen <- true;
+          if nd.expiry >= 0 then begin
+            nd.counter <- nd.expiry - t;
+            nd.expiry <- -1
+          end
+        end
+      in
+      let try_unfreeze t nd =
+        if
+          nd.can_tx && nd.frozen && nd.busy_until <= t && nd.nav_until <= t
+          && nd.audible = 0
+        then begin
+          nd.frozen <- false;
+          if nd.counter <= 0 then begin
+            nd.expiry <- -1;
+            starters.(!n_starters) <- nd.id;
+            incr n_starters
+          end
+          else begin
+            nd.expiry <- t + nd.counter;
+            push_event nd.expiry kind_fire nd.id
+          end
+        end
+      in
+      (raise_busy :=
+         fun t nd v ->
+           if v > nd.busy_until then begin
+             nd.busy_until <- v;
+             if not nd.on_air then begin
+               nd.on_air <- true;
+               let cs = nd.cs_neighbors in
+               for k = 0 to Array.length cs - 1 do
+                 let p = nodes.(cs.(k)) in
+                 p.audible <- p.audible + 1;
+                 freeze t p
+               done
+             end;
+             freeze t nd;
+             push_event v kind_busy_release nd.id
+           end);
+      (raise_nav :=
+         fun t nd v ->
+           nd.nav_until <- v;
+           freeze t nd;
+           push_event v kind_nav_release nd.id);
+      (obtain :=
+         fun node dest now ->
+           let tx = node.tx in
+           tx.dest <- dest;
+           tx.vuln_end <- now + vuln_slots;
+           tx.resolved <- false;
+           tx.finish <- now + vuln_slots;
+           tx.corrupted_local <- false;
+           tx.corrupted_hidden <- false;
+           tx);
+      (register :=
+         fun node tx ->
+           if not node.in_bag then begin
+             node.in_bag <- true;
+             bag.(!bag_len) <- node.id;
+             incr bag_len
+           end;
+           push_event tx.vuln_end kind_resolve node.id);
+      (iter_airborne :=
+         fun now f ->
+           let k = ref 0 in
+           while !k < !bag_len do
+             let id = bag.(!k) in
+             let tx = nodes.(id).tx in
+             if tx.resolved && tx.finish <= now then begin
+               nodes.(id).in_bag <- false;
+               decr bag_len;
+               bag.(!k) <- bag.(!bag_len)
+             end
+             else begin
+               f tx;
+               incr k
+             end
+           done);
+      (* Seed the calendar: every node that can transmit starts unfrozen
+         with its initial backoff pending. *)
+      Array.iter
+        (fun nd ->
+          if nd.can_tx then begin
+            nd.expiry <- nd.counter;
+            push_event nd.expiry kind_fire nd.id
+          end
+          else nd.frozen <- true)
+        nodes;
+      while not (Prelude.Heap.is_empty cal) do
+        let t = time_of (Prelude.Heap.min_elt cal) in
+        n_starters := 0;
+        (* Drain every event in this slot; the packed order already yields
+           resolutions, then busy releases, then NAV releases, then fires,
+           each in ascending node id. *)
+        while
+          (not (Prelude.Heap.is_empty cal)) && time_of (Prelude.Heap.min_elt cal) = t
+        do
+          let e = Prelude.Heap.pop_min cal in
+          let id = e mod n in
+          let kind = e / n land 3 in
+          let nd = nodes.(id) in
+          if kind = kind_resolve then begin
+            let tx = nd.tx in
+            if (not tx.resolved) && tx.vuln_end = t then resolve t tx
+          end
+          else if kind = kind_busy_release then begin
+            if nd.on_air && nd.busy_until = t then begin
+              nd.on_air <- false;
+              let cs = nd.cs_neighbors in
+              for k = 0 to Array.length cs - 1 do
+                let p = nodes.(cs.(k)) in
+                p.audible <- p.audible - 1;
+                try_unfreeze t p
+              done;
+              try_unfreeze t nd
+            end
+          end
+          else if kind = kind_nav_release then begin
+            if nd.nav_until = t then try_unfreeze t nd
+          end
+          else if (not nd.frozen) && nd.expiry = t then begin
+            (* Fire: the backoff expired while still idle-sensing. *)
+            nd.expiry <- -1;
+            starters.(!n_starters) <- id;
+            incr n_starters
+          end
+        done;
+        (* Launch this slot's starters in node-id order against the
+           post-resolution channel snapshot — same-slot starters cannot
+           sense each other, so each starts regardless of what the ones
+           before it just did. *)
+        for i = 1 to !n_starters - 1 do
+          let v = starters.(i) in
+          let j = ref (i - 1) in
+          while !j >= 0 && starters.(!j) > v do
+            starters.(!j + 1) <- starters.(!j);
+            decr j
+          done;
+          starters.(!j + 1) <- v
+        done;
+        for k = 0 to !n_starters - 1 do
+          let nd = nodes.(starters.(k)) in
+          nd.frozen <- true;
+          nd.expiry <- -1;
+          start_transmission t nd
+        done
+      done;
+      (* Frames still unresolved carry a vulnerable window past the horizon
+         (in-horizon resolutions all had calendar entries); resolve them so
+         per-node accounting balances.  [clip] discards their airtime. *)
+      for k = 0 to !bag_len - 1 do
+        let tx = nodes.(bag.(k)).tx in
+        if not tx.resolved then resolve tx.vuln_end tx
+      done);
   let elapsed = float_of_int horizon *. sigma in
   let per_node =
     Array.map
@@ -370,22 +647,60 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
           throughput = float_of_int nd.successes *. timing.payload /. elapsed;
           p_hn_hat =
             (if clean <= 0 then 1.
-             else float_of_int (clean - nd.hidden_failures) /. float_of_int clean);
+             else
+               float_of_int (clean - nd.hidden_failures) /. float_of_int clean);
         })
       nodes
   in
   let horizon_f = float_of_int horizon in
-  let busy_fraction =
-    Stdlib.min 1. (float_of_int !busy_slots /. horizon_f)
-  in
+  let busy_fraction = float_of_int !busy_slots /. horizon_f in
   let airtime =
     {
       busy_fraction;
       idle_fraction = 1. -. busy_fraction;
       success_fraction = float_of_int !success_tx_slots /. horizon_f;
       collision_fraction = float_of_int !collision_tx_slots /. horizon_f;
+      overlap_fraction =
+        float_of_int (!success_tx_slots + !collision_tx_slots - !busy_slots)
+        /. horizon_f;
     }
   in
+  (* Always-on conservation checker: these identities hold by construction,
+     so a violation means the scheduler or the accounting is broken — fail
+     the run rather than publish bad numbers. *)
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Array.iteri
+    (fun i (s : node_stats) ->
+      if s.attempts <> s.successes + s.local_collisions + s.hidden_failures
+      then
+        fail
+          "Spatial.run: conservation violated at node %d: %d attempts <> %d \
+           successes + %d local + %d hidden"
+          i s.attempts s.successes s.local_collisions s.hidden_failures)
+    per_node;
+  let total_successes =
+    Array.fold_left (fun acc (s : node_stats) -> acc + s.successes) 0 per_node
+  in
+  if !delivered + !delivered_late <> total_successes then
+    fail
+      "Spatial.run: conservation violated: delivered %d + late %d <> %d \
+       successes"
+      !delivered !delivered_late total_successes;
+  if !busy_slots > horizon then
+    fail "Spatial.run: conservation violated: busy %d slots > horizon %d"
+      !busy_slots horizon;
+  if !success_tx_slots + !collision_tx_slots < !busy_slots then
+    fail
+      "Spatial.run: conservation violated: success %d + collision %d < busy \
+       %d slots"
+      !success_tx_slots !collision_tx_slots !busy_slots;
+  let balance =
+    airtime.idle_fraction +. airtime.success_fraction
+    +. airtime.collision_fraction -. airtime.overlap_fraction
+  in
+  if Float.abs (balance -. 1.) > 1e-9 then
+    fail "Spatial.run: conservation violated: airtime balance %.12f <> 1"
+      balance;
   let result =
     {
       time = elapsed;
@@ -393,16 +708,13 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
       welfare_rate =
         Array.fold_left (fun acc s -> acc +. s.payoff_rate) 0. per_node;
       delivered = !delivered;
+      delivered_late = !delivered_late;
       airtime;
     }
   in
   Telemetry.Metric.incr
     (Telemetry.Registry.counter telemetry "netsim.spatial.runs");
   Telemetry.Registry.emit telemetry "run_summary" (fun () ->
-      let total_successes =
-        Array.fold_left (fun acc (s : node_stats) -> acc + s.successes) 0
-          per_node
-      in
       let share (s : node_stats) =
         if total_successes = 0 then 0.
         else float_of_int s.successes /. float_of_int total_successes
@@ -413,18 +725,19 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
         ("seed", Telemetry.Jsonx.Int seed);
         ("time", Telemetry.Jsonx.Float elapsed);
         ("delivered", Telemetry.Jsonx.Int !delivered);
+        ("delivered_late", Telemetry.Jsonx.Int !delivered_late);
         ("busy_fraction", Telemetry.Jsonx.Float airtime.busy_fraction);
         ("idle_fraction", Telemetry.Jsonx.Float airtime.idle_fraction);
         ("success_fraction", Telemetry.Jsonx.Float airtime.success_fraction);
         ( "collision_fraction",
           Telemetry.Jsonx.Float airtime.collision_fraction );
+        ("overlap_fraction", Telemetry.Jsonx.Float airtime.overlap_fraction);
         ("welfare_rate", Telemetry.Jsonx.Float result.welfare_rate);
         ( "hidden_failures",
           Telemetry.Jsonx.Int
             (Array.fold_left
                (fun acc (s : node_stats) -> acc + s.hidden_failures)
-               0 per_node)
-        );
+               0 per_node) );
         ( "jain_fairness",
           Telemetry.Jsonx.Float
             (Prelude.Stats.jain_fairness
@@ -435,6 +748,31 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
                (Array.map (fun s -> Telemetry.Jsonx.Float (share s)) per_node))
         );
       ]);
+  result
+
+let run_reference ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
+    ?(retry_limit = max_int) ?trace config =
+  simulate ~driver:Reference ~telemetry ~cs_adjacency ~retry_limit ~trace
+    config
+
+let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
+    ?(retry_limit = max_int) ?trace config =
+  let result =
+    simulate ~driver:Event_core ~telemetry ~cs_adjacency ~retry_limit ~trace
+      config
+  in
+  (match Sys.getenv_opt "NETSIM_SPATIAL_DIFF" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ ->
+      let shadow =
+        simulate ~driver:Reference
+          ~telemetry:(Telemetry.Registry.create ())
+          ~cs_adjacency ~retry_limit ~trace:None config
+      in
+      if not (equal_result result shadow) then
+        failwith
+          "Spatial.run: NETSIM_SPATIAL_DIFF divergence: event core and \
+           reference loop disagree");
   result
 
 (* Single-hop adapter for the payoff oracle: a clique adjacency makes every

@@ -7,10 +7,16 @@
     sensing it — the mechanism behind the paper's degradation factor p_hn
     (Sec. VI.A).
 
-    The model is slot-quantised: time advances in σ-slots, frame durations
-    are rounded to whole slots, and between channel-state boundaries all
-    idle-sensing nodes tick their backoff counters down together, so the
-    loop jumps from boundary to boundary.
+    The model is slot-quantised: time advances in σ-slots and frame
+    durations are rounded to whole slots.  Scheduling is event-driven: a
+    packed-int calendar ({!Prelude.Heap}) orders backoff expiries,
+    vulnerable-window closes and busy/NAV releases by (slot, kind, node
+    id), so a channel-state transition costs O(log events) instead of a
+    scan over all nodes and airborne frames — and the steady-state loop
+    does not allocate.  {!run_reference} keeps the original
+    boundary-scanning loop; both produce bit-identical results under the
+    determinism contract (per-node RNG streams, starters launched in
+    node-id order within a slot).
 
     Access modes follow the parameter set:
     - basic: the whole data frame is vulnerable; a failed attempt occupies
@@ -53,20 +59,34 @@ type node_stats = {
 type airtime = {
   busy_fraction : float;
       (** fraction of the horizon during which at least one node was
-          transmitting (union of transmission intervals) *)
+          transmitting (union of transmission intervals, clipped at the
+          horizon) *)
   idle_fraction : float;       (** [1 − busy_fraction] *)
   success_fraction : float;
-      (** aggregate successful transmit airtime over the horizon; can
-          exceed 1 under spatial reuse (concurrent non-interfering
-          transmissions each count their full duration) *)
-  collision_fraction : float;  (** aggregate corrupted transmit airtime *)
+      (** aggregate successful transmit airtime over the horizon, clipped
+          at the horizon; can exceed 1 under spatial reuse (concurrent
+          non-interfering transmissions each count their full duration) *)
+  collision_fraction : float;  (** aggregate corrupted transmit airtime,
+                                   clipped at the horizon *)
+  overlap_fraction : float;
+      (** spatial-reuse excess: aggregate transmit airtime beyond the busy
+          union, i.e. [success + collision − busy].  The conservation
+          identity [idle + success + collision − overlap = 1] holds to
+          1e-9 on every run (checked, see {!run}). *)
 }
 
 type result = {
   time : float;
   per_node : node_stats array;
   welfare_rate : float;
-  delivered : int;  (** total packets delivered network-wide *)
+  delivered : int;
+      (** packets delivered strictly before the horizon — the only ones
+          airtime accounting covers *)
+  delivered_late : int;
+      (** packets whose vulnerable window straddled the horizon and that
+          resolved successfully just after measurement ended; counted for
+          per-node bookkeeping ([successes] includes them) but excluded
+          from [delivered] and clipped out of airtime *)
   airtime : airtime;
 }
 
@@ -93,9 +113,35 @@ val run :
     global registry) with airtime fractions, per-node success shares and
     Jain fairness.
 
+    Every run passes an always-on conservation audit before returning:
+    per-node [attempts = successes + local_collisions + hidden_failures],
+    [delivered + delivered_late] equals total successes, the busy union
+    never exceeds the horizon, and
+    [idle + success + collision − overlap = 1 ± 1e-9].
+
+    When the environment variable [NETSIM_SPATIAL_DIFF] is set (non-empty,
+    not ["0"]), every call additionally runs the {!run_reference} loop on
+    the same inputs and fails unless the two results are bit-identical —
+    the differential harness for the event core.
+
     @raise Invalid_argument on inconsistent sizes, windows < 1,
     non-positive duration, an asymmetric adjacency, or a [cs_adjacency]
-    missing an [adjacency] edge. *)
+    missing an [adjacency] edge.
+    @raise Failure on a conservation-audit or differential failure. *)
+
+val run_reference :
+  ?telemetry:Telemetry.Registry.t ->
+  ?cs_adjacency:int list array -> ?retry_limit:int -> ?trace:Trace.t ->
+  config -> result
+(** The original boundary-scanning scheduler (every channel-state boundary
+    rescans all nodes and airborne frames), sharing the physics and
+    accounting code with {!run}.  Kept as the differential baseline: same
+    inputs must give a result {!equal_result} to {!run}'s.  Prefer {!run}
+    everywhere else — this loop allocates on every boundary. *)
+
+val equal_result : result -> result -> bool
+(** Bit-exact equality (floats compared by their IEEE-754 bits), used by
+    the differential harness. *)
 
 val clique_estimates :
   ?telemetry:Telemetry.Registry.t ->

@@ -1,6 +1,7 @@
 type event =
   | Success of { time : float; node : int }
   | Collision of { time : float; nodes : int list }
+  | Channel_error of { time : float; node : int }
   | Drop of { time : float; node : int }
   | Rts of { time : float; src : int; dest : int }
   | Cts of { time : float; src : int; dest : int }
@@ -9,6 +10,7 @@ type event =
 let time_of = function
   | Success { time; _ }
   | Collision { time; _ }
+  | Channel_error { time; _ }
   | Drop { time; _ }
   | Rts { time; _ }
   | Cts { time; _ }
@@ -20,6 +22,8 @@ let pp_event ppf = function
   | Collision { time; nodes } ->
       Format.fprintf ppf "%.5f collision nodes=[%s]" time
         (String.concat ";" (List.map string_of_int nodes))
+  | Channel_error { time; node } ->
+      Format.fprintf ppf "%.5f channel-error node=%d" time node
   | Drop { time; node } -> Format.fprintf ppf "%.5f drop node=%d" time node
   | Rts { time; src; dest } ->
       Format.fprintf ppf "%.5f rts src=%d dest=%d" time src dest
@@ -54,6 +58,7 @@ let dropped t = t.dropped
 type summary = {
   successes : int;
   collisions : int;
+  channel_errors : int;
   drops : int;
   rts : int;
   cts : int;
@@ -64,6 +69,7 @@ type summary = {
 let summarize t =
   let successes = ref 0
   and collisions = ref 0
+  and channel_errors = ref 0
   and drops = ref 0
   and rts = ref 0
   and cts = ref 0
@@ -76,6 +82,7 @@ let summarize t =
           Hashtbl.replace per_node node
             (1 + Option.value ~default:0 (Hashtbl.find_opt per_node node))
       | Collision _ -> incr collisions
+      | Channel_error _ -> incr channel_errors
       | Drop _ -> incr drops
       | Rts _ -> incr rts
       | Cts _ -> incr cts
@@ -88,6 +95,7 @@ let summarize t =
   {
     successes = !successes;
     collisions = !collisions;
+    channel_errors = !channel_errors;
     drops = !drops;
     rts = !rts;
     cts = !cts;

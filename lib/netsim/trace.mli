@@ -10,6 +10,10 @@ type event =
       (** a frame was delivered at [time] (end of the busy period) *)
   | Collision of { time : float; nodes : int list }
       (** the listed nodes' frames collided *)
+  | Channel_error of { time : float; node : int }
+      (** [node]'s frame won contention but was corrupted by channel noise
+          (packet error rate) — a full-frame loss, distinct from a
+          collision *)
   | Drop of { time : float; node : int }
       (** a packet was discarded after the retry limit *)
   | Rts of { time : float; src : int; dest : int }
@@ -45,6 +49,7 @@ val dropped : t -> int
 type summary = {
   successes : int;
   collisions : int;
+  channel_errors : int;  (** noise losses (packet error rate) *)
   drops : int;
   rts : int;         (** RTS handshakes started *)
   cts : int;         (** CTS answers (RTS exchanges that won the channel) *)

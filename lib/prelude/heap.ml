@@ -1,0 +1,73 @@
+type t = { mutable a : int array; mutable size : int }
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Heap.create: capacity must be >= 1";
+  { a = Array.make capacity 0; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let clear t = t.size <- 0
+
+let grow t =
+  let a = Array.make (2 * Array.length t.a) 0 in
+  Array.blit t.a 0 a 0 t.size;
+  t.a <- a
+
+let push t x =
+  if t.size = Array.length t.a then grow t;
+  (* Sift up. *)
+  let a = t.a in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  a.(!i) <- x;
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    if a.(parent) > x then begin
+      a.(!i) <- a.(parent);
+      a.(parent) <- x;
+      i := parent;
+      true
+    end
+    else false
+  do
+    ()
+  done
+
+let min_elt t =
+  if t.size = 0 then invalid_arg "Heap.min_elt: empty heap";
+  t.a.(0)
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let a = t.a in
+  let min = a.(0) in
+  t.size <- t.size - 1;
+  let last = a.(t.size) in
+  (* Sift the displaced last element down from the root. *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    let r = l + 1 in
+    let smallest =
+      if l < t.size && a.(l) < last then l else !i
+    in
+    let smallest =
+      if r < t.size && a.(r) < (if smallest = !i then last else a.(smallest))
+      then r
+      else smallest
+    in
+    if smallest = !i then begin
+      a.(!i) <- last;
+      continue := false
+    end
+    else begin
+      a.(!i) <- a.(smallest);
+      i := smallest
+    end
+  done;
+  min

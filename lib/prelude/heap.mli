@@ -1,0 +1,37 @@
+(** Array-backed binary min-heap over plain [int] keys.
+
+    The element {e is} the priority: callers pack their payload into the
+    integer (e.g. [(time * n + node_id) * kinds + kind]) so that the
+    natural [int] order is the event order — time first, then any
+    tie-breaking fields.  This is the calendar of the spatial simulator's
+    event core: one machine word per pending event, no boxing, no
+    comparator closure, and no allocation on [push]/[pop_min] once the
+    backing array has grown to its working size.
+
+    Stale entries are expected: the intended usage is lazy deletion —
+    push a replacement and ignore superseded entries on pop by validating
+    them against current state — rather than decrease-key. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty heap.  [capacity] (default 64) pre-sizes the backing
+    array; it grows by doubling when exceeded.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Forget every element; keeps the backing array. *)
+
+val push : t -> int -> unit
+
+val min_elt : t -> int
+(** Smallest element without removing it.
+    @raise Invalid_argument when empty. *)
+
+val pop_min : t -> int
+(** Remove and return the smallest element.
+    @raise Invalid_argument when empty. *)

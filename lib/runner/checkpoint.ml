@@ -4,7 +4,10 @@ type t = {
   oc : out_channel;
 }
 
-let replay table path =
+let replay ?(telemetry = Telemetry.Registry.default) table path =
+  let dropped =
+    Telemetry.Registry.counter telemetry "runner.checkpoint.dropped_lines"
+  in
   match open_in_bin path with
   | exception Sys_error _ -> ()
   | ic ->
@@ -17,9 +20,11 @@ let replay table path =
               if String.trim line <> "" then
                 match Telemetry.Jsonx.parse line with
                 | exception Telemetry.Jsonx.Parse_error _ ->
-                    (* A kill mid-append truncates at most the final line;
-                       drop it and let that task recompute. *)
-                    ()
+                    (* Unparsable: a kill mid-append truncates the final
+                       line, but any corrupt line lands here — count it so
+                       a journal silently shrinking resume coverage is
+                       observable, and let that task recompute. *)
+                    Telemetry.Metric.incr dropped
                 | json -> (
                     match
                       ( Telemetry.Jsonx.member "task" json,
@@ -27,13 +32,15 @@ let replay table path =
                     with
                     | Some (Telemetry.Jsonx.String fp), Some v ->
                         Hashtbl.replace table fp v
-                    | _ -> ())
+                    | _ ->
+                        (* Valid JSON but not a journal entry. *)
+                        Telemetry.Metric.incr dropped)
             done
           with End_of_file -> ())
 
-let load path =
+let load ?telemetry path =
   let table = Hashtbl.create 64 in
-  replay table path;
+  replay ?telemetry table path;
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
   in

@@ -12,13 +12,20 @@
     killed mid-append leaves at most one truncated final line, which
     {!load} tolerates (that task is simply recomputed).  Entries are keyed
     by content fingerprint, so editing the grid between runs is safe:
-    points still in the grid resume, removed ones become dead lines. *)
+    points still in the grid resume, removed ones become dead lines.
+
+    Replay never fails on a corrupt journal, but it does not hide the
+    damage either: every line it cannot use — unparsable JSON anywhere in
+    the file, or valid JSON without the [task]/[value] shape — increments
+    the [runner.checkpoint.dropped_lines] telemetry counter. *)
 
 type t
 
-val load : string -> t
+val load : ?telemetry:Telemetry.Registry.t -> string -> t
 (** Open the journal at this path for appending, first replaying any
-    entries an earlier (interrupted) run left there. *)
+    entries an earlier (interrupted) run left there.  Dropped lines are
+    counted in [runner.checkpoint.dropped_lines] on [telemetry] (default:
+    the global registry). *)
 
 val find : t -> fingerprint:string -> Telemetry.Jsonx.t option
 

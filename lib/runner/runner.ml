@@ -39,7 +39,7 @@ let map ?(registry = Telemetry.Registry.default) ?config ~name tasks =
     match (cache, cfg.checkpoints) with
     | Some c, true ->
         Some
-          (Checkpoint.load
+          (Checkpoint.load ~telemetry:registry
              (Filename.concat (Cache.dir c) (sanitize name ^ ".journal.jsonl")))
     | _ -> None
   in

@@ -840,7 +840,8 @@ let test_trace_spatial_invariants () =
       }
   in
   let s = Netsim.Trace.summarize trace in
-  Alcotest.(check int) "success events = delivered" r.delivered s.successes;
+  Alcotest.(check int) "success events = delivered"
+    (r.delivered + r.delivered_late) s.successes;
   let failures =
     Array.fold_left
       (fun acc (st : Netsim.Spatial.node_stats) ->

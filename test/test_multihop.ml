@@ -373,6 +373,50 @@ let suite_geom =
     Alcotest.test_case "random_in bounds" `Quick test_random_in_bounds;
   ]
 
+let test_waypoint_step_granularity_invariant =
+  (* With strictly positive speeds, trajectories depend only on total elapsed
+     time, not on how it is sliced into steps: every leg boundary crossed
+     mid-step carries its leftover budget into the next leg.  (Tiny float
+     drift accrues per splice, hence the loose epsilon.) *)
+  QCheck.Test.make ~name:"waypoint: step dt twice = step 2dt once" ~count:50
+    QCheck.(triple (int_range 0 1000) (float_range 0.5 40.) (float_range 0.1 8.))
+    (fun (seed, dt, speed_min) ->
+      let cfg =
+        {
+          Mobility.Waypoint.width = 300.;
+          height = 200.;
+          speed_min;
+          speed_max = speed_min +. 5.;
+        }
+      in
+      let fine = Mobility.Waypoint.create ~seed cfg ~n:12 in
+      let coarse = Mobility.Waypoint.create ~seed cfg ~n:12 in
+      Mobility.Waypoint.step fine ~dt;
+      Mobility.Waypoint.step fine ~dt;
+      Mobility.Waypoint.step coarse ~dt:(2. *. dt);
+      let pf = Mobility.Waypoint.positions fine
+      and pc = Mobility.Waypoint.positions coarse in
+      Array.for_all2
+        (fun (a : Mobility.Geom.point) (b : Mobility.Geom.point) ->
+          Mobility.Geom.distance a b < 1e-6)
+        pf pc)
+
+let test_waypoint_zero_speed_range_terminates () =
+  (* speed_min = speed_max = 0: every leg draws speed zero, so a step must
+     give up its budget instead of redrawing forever, and nobody moves. *)
+  let cfg =
+    { Mobility.Waypoint.width = 100.; height = 100.; speed_min = 0.; speed_max = 0. }
+  in
+  let w = Mobility.Waypoint.create ~seed:2 cfg ~n:5 in
+  let before = Mobility.Waypoint.positions w in
+  Mobility.Waypoint.step w ~dt:1000.;
+  let after = Mobility.Waypoint.positions w in
+  Array.iteri
+    (fun i (p : Mobility.Geom.point) ->
+      check_close "x pinned" p.x after.(i).x;
+      check_close "y pinned" p.y after.(i).y)
+    before
+
 let suite_waypoint =
   [
     Alcotest.test_case "stays in area" `Quick test_waypoint_positions_in_area;
@@ -380,6 +424,9 @@ let suite_waypoint =
     Alcotest.test_case "deterministic" `Quick test_waypoint_deterministic;
     Alcotest.test_case "eventually moves" `Quick test_waypoint_eventually_moves;
     Alcotest.test_case "validation" `Quick test_waypoint_validation;
+    QCheck_alcotest.to_alcotest test_waypoint_step_granularity_invariant;
+    Alcotest.test_case "zero-speed range terminates" `Quick
+      test_waypoint_zero_speed_range_terminates;
   ]
 
 let suite_topology =

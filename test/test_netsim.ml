@@ -169,7 +169,8 @@ let test_spatial_accounting () =
         (s.p_hn_hat >= 0. && s.p_hn_hat <= 1.))
     r.per_node;
   let total = Array.fold_left (fun acc (s : Netsim.Spatial.node_stats) -> acc + s.successes) 0 r.per_node in
-  Alcotest.(check int) "delivered = sum of successes" r.delivered total
+  Alcotest.(check int) "delivered + late = sum of successes"
+    (r.delivered + r.delivered_late) total
 
 let test_spatial_complete_graph_has_no_hidden_failures () =
   let r = spatial ~adjacency:(complete_graph 6) (Array.make 6 32) in
@@ -275,7 +276,8 @@ let test_spatial_rts_cts_trace () =
   Alcotest.(check bool) "handshakes happened" true (s.rts > 0);
   (* Every success won the channel through a CTS, and every CTS answer is
      followed by protected data, so the counts agree exactly. *)
-  Alcotest.(check int) "one CTS per delivery" r.delivered s.cts;
+  Alcotest.(check int) "one CTS per delivery" (r.delivered + r.delivered_late)
+    s.cts;
   Alcotest.(check bool) "no more CTS than RTS" true (s.cts <= s.rts);
   (* In the hidden chain the edge nodes cannot hear each other: the centre's
      CTS is what silences them, so NAV deferrals must be observed. *)
@@ -306,6 +308,223 @@ let test_spatial_basic_mode_has_no_handshake_events () =
   Alcotest.(check int) "no CTS in basic mode" 0 s.cts;
   Alcotest.(check int) "no NAV in basic mode" 0 s.nav_defers
 
+(* {1 Channel noise (PER)} *)
+
+let test_slotted_per_occupies_ts () =
+  let trace = Netsim.Trace.create () in
+  let r =
+    Netsim.Slotted.run ~per:0.4 ~trace
+      { params = default; cws = [| 16 |]; duration = 20.; seed = 5 }
+  in
+  let s = Netsim.Trace.summarize trace in
+  let node = r.per_node.(0) in
+  (* A lone station never collides: every failed attempt is channel noise,
+     and the trace must say so. *)
+  Alcotest.(check int) "lone node never collides" 0 s.collisions;
+  Alcotest.(check int) "every failure is a channel error"
+    (node.attempts - node.successes)
+    s.channel_errors;
+  Alcotest.(check bool) "channel errors happen" true (s.channel_errors > 0);
+  let a = r.airtime in
+  check_close "four fractions sum to 1" 1.
+    (a.idle_fraction +. a.success_fraction +. a.collision_fraction
+   +. a.error_fraction);
+  check_close "no collision airtime for one node" 0. a.collision_fraction;
+  (* A corrupted frame goes out in full, so it costs Ts — the same airtime
+     per attempt as a success.  The error share of busy time is then the
+     error rate itself. *)
+  let observed = a.error_fraction /. (a.error_fraction +. a.success_fraction) in
+  Alcotest.(check bool)
+    (Printf.sprintf "error share of Ts airtime near per (%.3f)" observed)
+    true
+    (Float.abs (observed -. 0.4) < 0.05)
+
+let test_slotted_per_coexists_with_collisions () =
+  let trace = Netsim.Trace.create () in
+  let r =
+    Netsim.Slotted.run ~per:0.2 ~trace
+      { params = default; cws = [| 16; 16; 16 |]; duration = 20.; seed = 8 }
+  in
+  let s = Netsim.Trace.summarize trace in
+  Alcotest.(check bool) "collisions still traced" true (s.collisions > 0);
+  Alcotest.(check bool) "channel errors traced too" true (s.channel_errors > 0);
+  let a = r.airtime in
+  check_close "fractions still sum to 1" 1.
+    (a.idle_fraction +. a.success_fraction +. a.collision_fraction
+   +. a.error_fraction);
+  Alcotest.(check bool) "both busy kinds accrue airtime" true
+    (a.collision_fraction > 0. && a.error_fraction > 0.);
+  Array.iter
+    (fun (n : Netsim.Slotted.node_stats) ->
+      Alcotest.(check int) "attempts decompose" n.attempts
+        (n.successes + n.collisions))
+    r.per_node
+
+(* {1 Event core vs reference loop} *)
+
+let quiet () = Telemetry.Registry.create ()
+
+(* Decode pairs (0,1) and (2,3); carrier sense additionally couples 0 and 2,
+   exercising the cs-only freeze path. *)
+let cs_bridge =
+  ( [| [ 1 ]; [ 0 ]; [ 3 ]; [ 2 ] |],
+    Some [| [ 1; 2 ]; [ 0 ]; [ 0; 3 ]; [ 2 ] |] )
+
+let test_spatial_event_core_matches_reference () =
+  let chain8 =
+    Array.init 8 (fun i -> List.filter (fun j -> j >= 0 && j < 8) [ i - 1; i + 1 ])
+  in
+  let topologies =
+    [
+      ("pair", [| [ 1 ]; [ 0 ] |], None);
+      ("hidden3", hidden_chain, None);
+      ("chain8", chain8, None);
+      ("clique5", complete_graph 5, None);
+      ("two-pairs", [| [ 1 ]; [ 0 ]; [ 3 ]; [ 2 ] |], None);
+      ("cs-bridge", fst cs_bridge, snd cs_bridge);
+      ("isolated", [| [ 1 ]; [ 0 ]; [] |], None);
+    ]
+  in
+  List.iter
+    (fun (label, adjacency, cs_adjacency) ->
+      List.iter
+        (fun (mode, params) ->
+          List.iter
+            (fun seed ->
+              List.iter
+                (fun retry_limit ->
+                  let n = Array.length adjacency in
+                  let config =
+                    {
+                      Netsim.Spatial.params;
+                      adjacency;
+                      cws = Array.init n (fun i -> 16 lsl (i mod 2));
+                      duration = 1.;
+                      seed;
+                    }
+                  in
+                  let fast =
+                    Netsim.Spatial.run ~telemetry:(quiet ()) ?cs_adjacency
+                      ?retry_limit config
+                  in
+                  let slow =
+                    Netsim.Spatial.run_reference ~telemetry:(quiet ())
+                      ?cs_adjacency ?retry_limit config
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s/%s seed=%d retry=%s bit-identical" label
+                       mode seed
+                       (match retry_limit with
+                       | None -> "inf"
+                       | Some r -> string_of_int r))
+                    true
+                    (Netsim.Spatial.equal_result fast slow))
+                [ None; Some 4 ])
+            [ 1; 7 ])
+        [ ("basic", default); ("rts", rts_cts) ])
+    topologies
+
+let test_spatial_event_core_matches_reference_random_25 () =
+  (* The acceptance benchmark topology: 25 nodes scattered by the waypoint
+     model, snapshot into a connected random geometric graph. *)
+  let w =
+    Mobility.Waypoint.create ~seed:21
+      { width = 500.; height = 500.; speed_min = 0.; speed_max = 5. }
+      ~n:25
+  in
+  let adjacency = Mobility.Topology.snapshot ~connect_attempts:50 w ~range:180. in
+  List.iter
+    (fun (mode, params) ->
+      let config =
+        {
+          Netsim.Spatial.params;
+          adjacency;
+          cws = Array.make 25 32;
+          duration = 0.5;
+          seed = 13;
+        }
+      in
+      let fast = Netsim.Spatial.run ~telemetry:(quiet ()) config in
+      let slow = Netsim.Spatial.run_reference ~telemetry:(quiet ()) config in
+      Alcotest.(check bool)
+        (Printf.sprintf "random-25/%s bit-identical" mode)
+        true
+        (Netsim.Spatial.equal_result fast slow))
+    [ ("basic", default); ("rts", rts_cts) ]
+
+(* {1 Airtime conservation} *)
+
+(* Random symmetric graph with decode ⊆ carrier-sense: each pair gets a
+   decode+cs edge, a cs-only edge, or nothing. *)
+let random_topology rng n =
+  let adj = Array.make n [] and cs = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prelude.Rng.bernoulli rng 0.35 then begin
+        adj.(i) <- j :: adj.(i);
+        adj.(j) <- i :: adj.(j);
+        cs.(i) <- j :: cs.(i);
+        cs.(j) <- i :: cs.(j)
+      end
+      else if Prelude.Rng.bernoulli rng 0.2 then begin
+        cs.(i) <- j :: cs.(i);
+        cs.(j) <- i :: cs.(j)
+      end
+    done
+  done;
+  (adj, cs)
+
+let test_spatial_airtime_conservation =
+  QCheck.Test.make ~name:"spatial airtime conserved on random topologies"
+    ~count:25
+    QCheck.(triple (int_range 2 12) small_nat small_nat)
+    (fun (n, topo_seed, sim_seed) ->
+      let rng = Prelude.Rng.create (1 + topo_seed) in
+      let adjacency, cs_adjacency = random_topology rng n in
+      let params = if Prelude.Rng.bernoulli rng 0.5 then default else rts_cts in
+      let cws = Array.init n (fun _ -> 8 lsl Prelude.Rng.int rng 4) in
+      let r =
+        Netsim.Spatial.run ~telemetry:(quiet ()) ~cs_adjacency
+          { params; adjacency; cws; duration = 0.5; seed = sim_seed }
+      in
+      let a = r.airtime in
+      let balance =
+        a.idle_fraction +. a.success_fraction +. a.collision_fraction
+        -. a.overlap_fraction
+      in
+      Float.abs (balance -. 1.) < 1e-9
+      && a.idle_fraction >= 0.
+      && a.success_fraction >= 0.
+      && a.collision_fraction >= 0.
+      && a.overlap_fraction >= 0.
+      && a.busy_fraction >= 0.
+      && a.busy_fraction <= 1.
+      && Array.for_all
+           (fun (s : Netsim.Spatial.node_stats) ->
+             s.attempts = s.successes + s.local_collisions + s.hidden_failures)
+           r.per_node)
+
+let test_spatial_airtime_clipped_at_horizon () =
+  (* A short run on a busy clique is guaranteed to end mid-transmission; the
+     clipped tallies must still balance and busy time cannot exceed the
+     horizon. *)
+  let r =
+    Netsim.Spatial.run ~telemetry:(quiet ())
+      {
+        params = default;
+        adjacency = complete_graph 4;
+        cws = Array.make 4 8;
+        duration = 0.02;
+        seed = 3;
+      }
+  in
+  let a = r.airtime in
+  check_close "balance holds at a mid-frame horizon" 1.
+    (a.idle_fraction +. a.success_fraction +. a.collision_fraction
+   -. a.overlap_fraction);
+  Alcotest.(check bool) "busy cannot exceed the horizon" true
+    (a.busy_fraction <= 1.)
+
 let suite_slotted =
   [
     Alcotest.test_case "deterministic" `Quick test_slotted_deterministic;
@@ -319,6 +538,9 @@ let suite_slotted =
     Alcotest.test_case "symmetric fairness" `Slow test_slotted_symmetric_fairness;
     Alcotest.test_case "validation" `Quick test_slotted_validation;
     Alcotest.test_case "payoff oracle" `Quick test_payoff_oracle_positive_near_optimum;
+    Alcotest.test_case "per occupies Ts" `Quick test_slotted_per_occupies_ts;
+    Alcotest.test_case "per coexists with collisions" `Quick
+      test_slotted_per_coexists_with_collisions;
   ]
 
 let suite_spatial =
@@ -337,6 +559,13 @@ let suite_spatial =
     Alcotest.test_case "rts/cts/nav trace" `Quick test_spatial_rts_cts_trace;
     Alcotest.test_case "basic mode has no handshakes" `Quick
       test_spatial_basic_mode_has_no_handshake_events;
+    Alcotest.test_case "event core = reference loop" `Quick
+      test_spatial_event_core_matches_reference;
+    Alcotest.test_case "event core = reference (random 25)" `Slow
+      test_spatial_event_core_matches_reference_random_25;
+    QCheck_alcotest.to_alcotest test_spatial_airtime_conservation;
+    Alcotest.test_case "airtime clipped at horizon" `Quick
+      test_spatial_airtime_clipped_at_horizon;
   ]
 
 let () =

@@ -168,6 +168,21 @@ let test_sim_backend_permutation_invariant () =
   Alcotest.(check int) "replicates counted as solves" sim_cfg.replicates
     (count "oracle.cache.solves")
 
+let test_sim_spatial_memo_bit_identity () =
+  (* The Sim_spatial backend now runs the event-driven spatial core; the
+     memo contract is unchanged: a warm lookup replays the stored floats
+     bit-for-bit without re-simulating. *)
+  let oracle, count = fresh ~backend:(Macgame.Oracle.Sim_spatial sim_cfg) () in
+  let cold = Macgame.Oracle.payoff_uniform oracle ~n:4 ~w:64 in
+  Alcotest.(check int) "one miss" 1 (count "oracle.cache.misses");
+  Alcotest.(check int) "replicates counted as solves" sim_cfg.replicates
+    (count "oracle.cache.solves");
+  let warm = Macgame.Oracle.payoff_uniform oracle ~n:4 ~w:64 in
+  Alcotest.(check int) "one hit" 1 (count "oracle.cache.hits");
+  Alcotest.(check int) "no extra solves" sim_cfg.replicates
+    (count "oracle.cache.solves");
+  check_bits "memo hit replays the stored measurement" cold warm
+
 let test_sim_backend_sane_payoffs () =
   let oracle, _ = fresh ~backend:(Macgame.Oracle.Sim_slotted sim_cfg) () in
   let u_sim = Macgame.Oracle.payoff_uniform oracle ~n:5 ~w:128 in
@@ -261,6 +276,8 @@ let () =
             test_sim_backend_deterministic;
           Alcotest.test_case "exactly symmetric across permutations" `Quick
             test_sim_backend_permutation_invariant;
+          Alcotest.test_case "spatial memo replays bit-identically" `Quick
+            test_sim_spatial_memo_bit_identity;
           Alcotest.test_case "agrees loosely with the model" `Quick
             test_sim_backend_sane_payoffs;
         ] );

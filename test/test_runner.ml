@@ -242,6 +242,28 @@ let test_truncated_journal_line_tolerated () =
   Alcotest.(check int) "whole journal still replays" 3 (Atomic.get counter);
   Alcotest.(check int) "all results served" 3 (Array.length again)
 
+let test_corrupt_journal_lines_counted () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "audit.journal.jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"task\": \"a\", \"value\": 1.0}\n";
+  output_string oc "not json at all\n";
+  output_string oc "{\"wrong\": \"shape\"}\n";
+  output_string oc "\n";
+  output_string oc "{\"task\": \"trunc";
+  close_out oc;
+  let registry = Telemetry.Registry.create ~label:"journal-audit" () in
+  let j = R.Checkpoint.load ~telemetry:registry path in
+  Alcotest.(check int) "good entry replayed" 1 (R.Checkpoint.entries j);
+  Alcotest.(check bool) "good entry served" true
+    (R.Checkpoint.find j ~fingerprint:"a" <> None);
+  (* Unparsable garbage, wrong-shape JSON and the truncated tail are each
+     dropped and counted; the blank line is not a dropped entry. *)
+  Alcotest.(check int) "three lines dropped and counted" 3
+    (Telemetry.Metric.count
+       (Telemetry.Registry.counter registry "runner.checkpoint.dropped_lines"));
+  R.Checkpoint.close j
+
 (* {1 Pool and telemetry} *)
 
 let test_pool_exception_propagates () =
@@ -332,6 +354,7 @@ let () =
         [
           quick "resume after kill" test_resume_after_kill;
           quick "truncated journal tolerated" test_truncated_journal_line_tolerated;
+          quick "corrupt journal lines counted" test_corrupt_journal_lines_counted;
         ] );
       ( "pool",
         [

@@ -282,7 +282,8 @@ let test_slotted_run_summary () =
   in
   let a = result.Netsim.Slotted.airtime in
   Alcotest.(check (float 1e-9)) "airtime fractions sum to 1" 1.
-    (a.idle_fraction +. a.success_fraction +. a.collision_fraction);
+    (a.idle_fraction +. a.success_fraction +. a.collision_fraction
+   +. a.error_fraction);
   let summary =
     List.find (fun (e : T.Event.t) -> e.T.Event.name = "run_summary") events
   in
