@@ -1,0 +1,47 @@
+(* The conformance suite as an experiment: the statistical cross-backend
+   grid, the paper anchors, and the golden snapshots, reported with their
+   margins (consumed tolerance fraction — drift shows up long before a
+   failure flips a check).
+
+   Quick scale runs the fast tier (the same checks @ci runs); --full runs
+   the complete statistical grid at real replicate counts.  The
+   equivalence points go through Runner.map, so -j N parallelises the
+   grid, results land in the content-addressed cache, and every check
+   emits its margin on the telemetry registry (conformance.margin
+   histogram + one conformance_check event each). *)
+
+let run (scale : Common.scale) =
+  let tier =
+    if scale = Common.full then Conformance.Check.Full
+    else Conformance.Check.Fast
+  in
+  Common.heading
+    (Printf.sprintf "Conformance (%s tier)" (Conformance.Check.tier_name tier));
+  let outcome = Conformance.Suite.run ~tier () in
+  print_string outcome.Conformance.Suite.report;
+  let checks = outcome.Conformance.Suite.checks in
+  let by_group g =
+    List.length
+      (List.filter (fun c -> c.Conformance.Check.group = g) checks)
+  in
+  Common.note "groups: %d equivalence, %d anchor, %d golden" (by_group "equivalence")
+    (by_group "anchor") (by_group "golden");
+  Common.note
+    "margin = consumed tolerance fraction; anything creeping toward 1.0 is a \
+     regression in progress.";
+  if not outcome.Conformance.Suite.ok then
+    Common.note "CONFORMANCE FAILURES PRESENT (see FAIL rows above)";
+  Common.csv "conformance"
+    ~header:[ "group"; "check"; "status"; "margin" ]
+    (List.map
+       (fun c ->
+         [
+           c.Conformance.Check.group;
+           c.Conformance.Check.id;
+           (match c.Conformance.Check.status with
+           | Conformance.Check.Pass -> "pass"
+           | Conformance.Check.Fail -> "fail"
+           | Conformance.Check.Skipped _ -> "skip");
+           Printf.sprintf "%.6g" c.Conformance.Check.margin;
+         ])
+       checks)

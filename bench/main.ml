@@ -10,6 +10,7 @@
      main.exe --only NAME     a single experiment: table1 table2 table3
                               figure2 figure3 multihop shortsighted
                               malicious convergence search validation
+                              conformance ...
      main.exe -j N            run experiment grids on N domains
      main.exe --cache DIR     result-cache directory (default _runner_cache)
      main.exe --no-cache      recompute everything, cache nothing
@@ -38,6 +39,7 @@ let experiments : (string * (Common.scale -> unit)) list =
     ("detection", Exp_extensions.detection);
     ("load", Exp_extensions.load);
     ("coalition", Exp_extensions.coalition);
+    ("conformance", Exp_conformance.run);
   ]
 
 let () =

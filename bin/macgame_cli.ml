@@ -585,6 +585,75 @@ let detect_cmd =
     (instrumented
        Term.(const run $ mode_t $ backoff_t $ n_t $ beta_t $ samples_t))
 
+(* {1 conformance} *)
+
+let conformance_cmd =
+  let tier_t =
+    Arg.(
+      value
+      & opt (enum [ ("fast", Conformance.Check.Fast); ("full", Conformance.Check.Full) ]) Conformance.Check.Fast
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Which checks to run: $(b,fast) (the sub-second @ci tier) or \
+             $(b,full) (the complete statistical grid; full includes fast).")
+  in
+  let golden_dir_t =
+    Arg.(
+      value
+      & opt string Conformance.Suite.default_golden_dir
+      & info [ "golden-dir" ] ~docv:"DIR"
+          ~doc:"Directory of golden JSONL snapshots (default: test/golden).")
+  in
+  let bless_t =
+    Arg.(
+      value & flag
+      & info [ "bless" ]
+          ~doc:
+            "Regenerate the golden snapshots instead of checking them \
+             (equivalent to CONFORMANCE_BLESS=1).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the conformance report to $(docv).")
+  in
+  let bless_env () =
+    match Sys.getenv_opt "CONFORMANCE_BLESS" with
+    | Some s when s <> "" && s <> "0" -> true
+    | _ -> false
+  in
+  let run file report jobs cache no_cache tier golden_dir bless out =
+    configure_runner jobs cache no_cache;
+    let failed = ref false in
+    with_telemetry file report (fun () ->
+        if bless || bless_env () then
+          List.iter
+            (fun path -> Printf.printf "blessed %s\n" path)
+            (Conformance.Suite.bless ~golden_dir ~tier ())
+        else begin
+          let outcome = Conformance.Suite.run ~golden_dir ~tier () in
+          print_string outcome.Conformance.Suite.report;
+          Option.iter
+            (fun path ->
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc outcome.Conformance.Suite.report);
+              Printf.printf "report written to %s\n" path)
+            out;
+          failed := not outcome.Conformance.Suite.ok
+        end);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Run the conformance suite: cross-backend statistical equivalence, \
+          paper anchors and golden snapshots")
+    Term.(
+      const run $ telemetry_t $ telemetry_report_t $ jobs_t $ cache_t
+      $ no_cache_t $ tier_t $ golden_dir_t $ bless_t $ out_t)
+
 let () =
   let info =
     Cmd.info "macgame" ~version:"1.0.0"
@@ -597,5 +666,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; ne_cmd; game_cmd; search_cmd; sim_cmd; multihop_cmd;
-            sweep_cmd; delay_cmd; detect_cmd;
+            sweep_cmd; delay_cmd; detect_cmd; conformance_cmd;
           ]))

@@ -1,0 +1,52 @@
+(** Paper anchors: published numbers from Chen & Leneutre, checked against
+    the model with the tolerance {e in the table}, not in test bodies.
+
+    Each anchor names its source (Table II, Fig. 2, …), the published or
+    derived expected value, a comparison {!kind} carrying the explicit
+    tolerance, and a closure computing the model's answer.  Keeping the
+    tolerances declarative makes the acceptance policy reviewable in one
+    place and lets the report show, per anchor, how much of the budget the
+    reproduction currently consumes.
+
+    Tolerance provenance (documented in DESIGN.md):
+    - Table II windows match to ±5%: the repo's m = 5 chain gives 79/339/859
+      against the paper's 76/336/879.
+    - Table III RTS windows are evaluated on the paper's own regime (m = 7,
+      e → 0); n = 5 is excluded — the published 22 is not reproducible from
+      the stated model (the repo's chain gives 12) and is discussed in
+      DESIGN.md instead of being silently tolerated with a huge budget.
+    - Fig. 2's peak utility and Fig. 3's 95%-plateau width are read off the
+      figures, hence absolute/loose-relative tolerances.
+    - Multi-hop (full tier): the paper's 100-node scenario reports
+      converged CW 26, ≥ 96% local and ≤ 3% global loss; the repo's random
+      waypoint snapshots (seeds 7/21/42) must stay at least that good. *)
+
+type kind =
+  | Relative of float  (** pass iff |actual − expected| ≤ tol·|expected| *)
+  | Absolute of float  (** pass iff |actual − expected| ≤ tol *)
+  | At_least of float
+      (** lower bound: pass iff actual ≥ expected − tol; margin 0 whenever
+          the bound itself is met *)
+
+type anchor = {
+  id : string;          (** e.g. ["anchor.table2.basic.n50"] *)
+  tier : Check.tier;
+  source : string;      (** where the expected value comes from *)
+  expected : float;
+  kind : kind;
+  compute : unit -> float;  (** the model's answer, analytic backends only *)
+}
+
+val table : unit -> anchor list
+(** Every anchor, fast tier first. *)
+
+val margin_of : kind -> expected:float -> actual:float -> float
+(** The consumed tolerance fraction for one comparison (exposed for unit
+    tests of the comparison semantics). *)
+
+val checks :
+  ?telemetry:Telemetry.Registry.t -> tier:Check.tier -> unit -> Check.t list
+(** Evaluate every anchor the tier includes; one {!Check.t} per anchor
+    (group ["anchor"]), emitted on the registry.  A [compute] that raises
+    becomes a failing check carrying the exception text — an anchor must
+    never pass by crashing. *)

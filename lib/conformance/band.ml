@@ -1,0 +1,42 @@
+type t = {
+  mean : float;
+  stddev : float;
+  count : int;
+  confidence : float;
+  halfwidth : float;
+}
+
+let of_stats ~confidence stats =
+  let count = Prelude.Stats.count stats in
+  if count < 2 then invalid_arg "Band.of_stats: need at least two samples";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Band.of_stats: confidence must be in (0, 1)";
+  let mean = Prelude.Stats.mean stats in
+  let stddev = Prelude.Stats.stddev stats in
+  let t_crit =
+    Numerics.Special.student_t_quantile ~df:(count - 1)
+      (1. -. ((1. -. confidence) /. 2.))
+  in
+  let halfwidth = t_crit *. stddev /. sqrt (float_of_int count) in
+  { mean; stddev; count; confidence; halfwidth }
+
+let of_samples ~confidence samples =
+  let stats = Prelude.Stats.create () in
+  Prelude.Stats.add_many stats samples;
+  of_stats ~confidence stats
+
+let z_score band x =
+  let stderr = band.stddev /. sqrt (float_of_int band.count) in
+  let delta = x -. band.mean in
+  if stderr > 0. then delta /. stderr
+  else if delta = 0. then 0.
+  else Float.of_int (compare delta 0.) *. infinity
+
+let margin band ~slack x =
+  let budget = band.halfwidth +. slack in
+  let delta = Float.abs (x -. band.mean) in
+  if budget > 0. then delta /. budget else if delta = 0. then 0. else infinity
+
+let describe band ~slack x =
+  Printf.sprintf "ref %.6g vs %.6g +-%.2g(+%.2g slack), z=%+.2f, R=%d"
+    x band.mean band.halfwidth slack (z_score band x) band.count

@@ -1,0 +1,49 @@
+(** Small-sample confidence bands for the cross-backend equivalence
+    checks.
+
+    A band summarises R simulation replicates of one scalar quantity
+    (Welford mean and stddev via {!Prelude.Stats}) and asks whether a
+    reference value — the analytic model's answer — is statistically
+    compatible with them.  The half-width uses the Student-t quantile
+    ({!Numerics.Special.student_t_quantile}, df = R − 1), because the
+    replicate counts CI can afford are small enough that the normal
+    approximation would understate the tails.
+
+    Pure sampling bands shrink like 1/√R, so any {e systematic} model
+    bias — and Bianchi's independence approximation has a documented one —
+    would eventually fail an unbiased-looking check at high replicate
+    counts.  Each comparison therefore carries an explicit absolute
+    [slack]: the acceptance band is [halfwidth + slack], the declared
+    systematic allowance on top of the statistical one.  The z-score is
+    still reported against the raw standard error, so drift inside the
+    slack stays visible. *)
+
+type t = {
+  mean : float;
+  stddev : float;    (** unbiased sample stddev over replicates *)
+  count : int;       (** R, ≥ 2 for a meaningful band *)
+  confidence : float;(** two-sided coverage, e.g. 0.99 *)
+  halfwidth : float; (** t-quantile · stddev / √R *)
+}
+
+val of_samples : confidence:float -> float array -> t
+(** @raise Invalid_argument on fewer than two samples or a confidence
+    outside (0, 1). *)
+
+val of_stats : confidence:float -> Prelude.Stats.t -> t
+(** Same, from an existing Welford accumulator. *)
+
+val z_score : t -> float -> float
+(** [(x − mean) / (stddev/√R)] — signed distance of the reference from the
+    replicate mean in standard errors.  0 when the stddev is 0 and x
+    equals the mean; ±∞ when the stddev is 0 and it does not. *)
+
+val margin : t -> slack:float -> float -> float
+(** Consumed tolerance fraction: [|x − mean| / (halfwidth + slack)].
+    ≤ 1 means the reference sits inside the widened band.  A degenerate
+    band (zero halfwidth and slack) yields 0 on exact agreement and
+    [infinity] otherwise. *)
+
+val describe : t -> slack:float -> float -> string
+(** One report line: reference vs [mean ± halfwidth(+slack)], the z-score
+    and R. *)

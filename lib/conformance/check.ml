@@ -1,0 +1,125 @@
+type tier = Fast | Full
+
+let tier_name = function Fast -> "fast" | Full -> "full"
+
+let tier_of_string = function
+  | "fast" -> Some Fast
+  | "full" -> Some Full
+  | _ -> None
+
+let runs_in t ~at = match (t, at) with Fast, _ -> true | Full, at -> at = Full
+
+type status = Pass | Fail | Skipped of string
+
+type t = {
+  id : string;
+  group : string;
+  status : status;
+  margin : float;
+  detail : string;
+}
+
+let v ~id ~group ?(detail = "") ~margin () =
+  let status =
+    if Float.is_finite margin && margin <= 1. then Pass else Fail
+  in
+  { id; group; status; margin; detail }
+
+let skip ~id ~group reason =
+  { id; group; status = Skipped reason; margin = 0.; detail = reason }
+
+let passed c = match c.status with Pass | Skipped _ -> true | Fail -> false
+
+let all_passed = List.for_all passed
+
+let status_name = function
+  | Pass -> "pass"
+  | Fail -> "FAIL"
+  | Skipped _ -> "skip"
+
+let emit ?(telemetry = Telemetry.Registry.default) c =
+  let counter =
+    match c.status with
+    | Pass -> "conformance.checks.pass"
+    | Fail -> "conformance.checks.fail"
+    | Skipped _ -> "conformance.checks.skipped"
+  in
+  Telemetry.Metric.incr (Telemetry.Registry.counter telemetry counter);
+  (match c.status with
+  | Skipped _ -> ()
+  | Pass | Fail ->
+      Telemetry.Metric.observe
+        (Telemetry.Registry.histogram telemetry "conformance.margin")
+        c.margin);
+  Telemetry.Registry.emit telemetry "conformance_check" (fun () ->
+      [
+        ("id", Telemetry.Jsonx.String c.id);
+        ("group", Telemetry.Jsonx.String c.group);
+        ("status", Telemetry.Jsonx.String (status_name c.status));
+        ("margin", Telemetry.Jsonx.Float c.margin);
+        ("detail", Telemetry.Jsonx.String c.detail);
+      ])
+
+let summary checks =
+  let count pred = List.length (List.filter pred checks) in
+  let pass = count (fun c -> c.status = Pass) in
+  let fail = count (fun c -> c.status = Fail) in
+  let skipped =
+    count (fun c -> match c.status with Skipped _ -> true | _ -> false)
+  in
+  let worst =
+    List.fold_left
+      (fun acc c ->
+        match (c.status, acc) with
+        | Skipped _, _ -> acc
+        | _, Some (m, _) when c.margin <= m -> acc
+        | _, _ -> Some (c.margin, c.id))
+      None checks
+  in
+  Printf.sprintf "conformance: %d checks, %d pass, %d fail, %d skipped%s"
+    (List.length checks) pass fail skipped
+    (match worst with
+    | Some (m, id) -> Printf.sprintf "; worst margin %.2f (%s)" m id
+    | None -> "")
+
+let report checks =
+  let columns =
+    [
+      Prelude.Table.column ~align:Prelude.Table.Left "group";
+      Prelude.Table.column ~align:Prelude.Table.Left "check";
+      Prelude.Table.column "status";
+      Prelude.Table.column "margin";
+      Prelude.Table.column ~align:Prelude.Table.Left "detail";
+    ]
+  in
+  (* Stable group order, worst margin first within a group, so the closest
+     calls lead their section. *)
+  let group_rank = function
+    | "equivalence" -> 0
+    | "anchor" -> 1
+    | "golden" -> 2
+    | _ -> 3
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match compare (group_rank a.group) (group_rank b.group) with
+        | 0 -> compare b.margin a.margin
+        | c -> c)
+      checks
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.group;
+          c.id;
+          status_name c.status;
+          (match c.status with
+          | Skipped _ -> "-"
+          | _ -> Printf.sprintf "%.3f" c.margin);
+          c.detail;
+        ])
+      sorted
+  in
+  Prelude.Table.render columns rows ^ summary checks ^ "\n"

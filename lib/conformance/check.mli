@@ -1,0 +1,65 @@
+(** The conformance vocabulary: one record per machine-checked agreement
+    claim, with a {e margin} instead of a bare pass/fail bit.
+
+    Every check — a cross-backend equivalence band, a paper anchor, a
+    golden snapshot — reduces to "how much of its tolerance budget did the
+    discrepancy consume?".  That consumed fraction is the margin: 0 means
+    exact agreement, 1 sits on the tolerance boundary, anything above 1
+    fails.  Reporting the margin (and, for statistical checks, the
+    z-score) makes drift visible while it is still passing: a check whose
+    margin creeps from 0.2 to 0.9 across PRs is a regression in progress
+    that a boolean would hide until it trips. *)
+
+type tier = Fast | Full
+(** [Fast] checks run in [@ci] on every push (sub-second to a few
+    seconds); [Full] adds the statistical grid at real replicate counts
+    ([@conformance], nightly/manual).  The full tier {e includes} the fast
+    one. *)
+
+val tier_name : tier -> string
+(** ["fast"] / ["full"] — the CLI's [--tier] vocabulary. *)
+
+val tier_of_string : string -> tier option
+
+val runs_in : tier -> at:tier -> bool
+(** [runs_in t ~at] — whether a check declared at tier [t] is part of a
+    run at tier [at] (fast ⊂ full). *)
+
+type status = Pass | Fail | Skipped of string
+
+type t = {
+  id : string;      (** stable dotted identifier, e.g. ["anchor.table2.n5"] *)
+  group : string;   (** ["equivalence"], ["anchor"] or ["golden"] *)
+  status : status;
+  margin : float;   (** consumed tolerance fraction; [status = Pass] iff ≤ 1 *)
+  detail : string;  (** one human-readable line: values, band, z-score *)
+}
+
+val v : id:string -> group:string -> ?detail:string -> margin:float -> unit -> t
+(** Derive the status from the margin: [Pass] iff the margin is finite and
+    ≤ 1 (NaN or infinite margins fail — a check that cannot compute its
+    discrepancy must not pass silently). *)
+
+val skip : id:string -> group:string -> string -> t
+(** A check that could not run here (e.g. golden directory absent);
+    margin 0, status [Skipped reason]. *)
+
+val passed : t -> bool
+(** [Skipped] counts as passed — it is not a divergence. *)
+
+val all_passed : t list -> bool
+
+val emit : ?telemetry:Telemetry.Registry.t -> t -> unit
+(** Record the check on a registry (default: the global one): a
+    ["conformance_check"] event carrying id/group/status/margin/detail,
+    the ["conformance.checks.pass"/".fail"/".skipped"] counters, and the
+    ["conformance.margin"] histogram — the drift trace a nightly run
+    leaves behind. *)
+
+val report : t list -> string
+(** ASCII table of every check (group, id, status, margin, detail),
+    worst margin first within each group, followed by a summary line. *)
+
+val summary : t list -> string
+(** One line: ["conformance: 37 checks, 35 pass, 1 fail, 1 skipped; worst
+    margin 1.24 (equivalence.slotted...)"]. *)

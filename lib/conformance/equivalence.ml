@@ -1,0 +1,499 @@
+type topology = Clique | Chain
+
+type sim =
+  | Slotted of { bianchi_ticks : bool; per : float }
+  | Spatial of topology
+
+type slack = Rel of float | Abs of float
+
+type point = {
+  id : string;
+  tier : Check.tier;
+  params : Dcf.Params.t;
+  profile : int array;
+  sim : sim;
+  replicates : int;
+  duration : float;
+  seed : int;
+  confidence : float;
+  quantities : (string * slack) list;
+}
+
+(* {2 The grid}
+
+   Tolerances are declarative data, tuned against the documented accuracy
+   of each backend pair: bianchi-tick slotted runs agree with the chain to
+   <1% (tight Rel slacks), real-freeze runs carry the model's 4–9% τ gap
+   (wide slack, deliberately kept as a check so the gap itself is
+   monitored), the spatial core is σ-quantised (frame durations round to
+   whole slots, shifting Ts/Tc by up to one σ), and PER runs escalate
+   backoff on noise losses — a second-order effect the analytic
+   p_hn = 1 − per factor does not model. *)
+
+let basic = Dcf.Params.default
+let rts = Dcf.Params.rts_cts
+
+let grid () =
+  [
+    (* -- fast tier: sized for @ci -- *)
+    {
+      id = "slotted.basic.n5.w79";
+      tier = Check.Fast;
+      params = basic;
+      profile = Array.make 5 79;
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 5;
+      duration = 20.;
+      seed = 101;
+      confidence = 0.99;
+      quantities =
+        [
+          ("utility", Rel 0.02);
+          ("tau", Rel 0.02);
+          ("p", Rel 0.04);
+          ("throughput", Rel 0.02);
+        ];
+    };
+    {
+      id = "slotted.basic.n10.w160";
+      tier = Check.Fast;
+      params = basic;
+      profile = Array.make 10 160;
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 4;
+      duration = 15.;
+      seed = 102;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.02); ("throughput", Rel 0.02) ];
+    };
+    {
+      id = "slotted.rts.n5.w16";
+      tier = Check.Fast;
+      params = rts;
+      profile = Array.make 5 16;
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 4;
+      duration = 15.;
+      seed = 103;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.03); ("tau", Rel 0.03) ];
+    };
+    {
+      id = "slotted.basic.hetero";
+      tier = Check.Fast;
+      params = basic;
+      profile = [| 64; 64; 128; 128; 256 |];
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 4;
+      duration = 20.;
+      seed = 104;
+      confidence = 0.99;
+      quantities =
+        [
+          ("utility@64", Rel 0.03);
+          ("utility@128", Rel 0.04);
+          ("utility@256", Rel 0.06);
+        ];
+    };
+    {
+      id = "slotted.basic.per10";
+      tier = Check.Fast;
+      params = basic;
+      profile = Array.make 5 79;
+      sim = Slotted { bianchi_ticks = true; per = 0.1 };
+      replicates = 4;
+      duration = 20.;
+      seed = 105;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.10); ("error_share", Abs 0.02) ];
+    };
+    {
+      id = "slotted.basic.realfreeze";
+      tier = Check.Fast;
+      params = basic;
+      profile = Array.make 5 79;
+      sim = Slotted { bianchi_ticks = false; per = 0. };
+      replicates = 4;
+      duration = 20.;
+      seed = 106;
+      confidence = 0.99;
+      quantities = [ ("tau", Rel 0.10); ("utility", Rel 0.10) ];
+    };
+    {
+      id = "spatial.clique.rts.n5.w32";
+      tier = Check.Fast;
+      params = rts;
+      profile = Array.make 5 32;
+      sim = Spatial Clique;
+      replicates = 4;
+      duration = 5.;
+      seed = 107;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.10) ];
+    };
+    {
+      id = "spatial.chain.rts.n8.w64";
+      tier = Check.Fast;
+      params = rts;
+      profile = Array.make 8 64;
+      sim = Spatial Chain;
+      replicates = 3;
+      duration = 3.;
+      seed = 108;
+      confidence = 0.99;
+      quantities = [ ("event_core_delta", Abs 0.) ];
+    };
+    (* -- full tier: real replicate counts, larger n -- *)
+    {
+      id = "slotted.basic.n20.w339";
+      tier = Check.Full;
+      params = basic;
+      profile = Array.make 20 339;
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 8;
+      duration = 60.;
+      seed = 201;
+      confidence = 0.99;
+      quantities =
+        [
+          ("utility", Rel 0.02);
+          ("tau", Rel 0.02);
+          ("p", Rel 0.04);
+          ("throughput", Rel 0.02);
+        ];
+    };
+    {
+      id = "slotted.basic.n50.w859";
+      tier = Check.Full;
+      params = basic;
+      profile = Array.make 50 859;
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 6;
+      duration = 60.;
+      seed = 202;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.03); ("throughput", Rel 0.03) ];
+    };
+    {
+      id = "slotted.rts.n20.w67";
+      tier = Check.Full;
+      params = rts;
+      profile = Array.make 20 67;
+      sim = Slotted { bianchi_ticks = true; per = 0. };
+      replicates = 6;
+      duration = 40.;
+      seed = 203;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.03); ("tau", Rel 0.03) ];
+    };
+    {
+      id = "slotted.basic.per30";
+      tier = Check.Full;
+      params = basic;
+      profile = Array.make 5 79;
+      sim = Slotted { bianchi_ticks = true; per = 0.3 };
+      replicates = 6;
+      duration = 40.;
+      seed = 204;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.15); ("error_share", Abs 0.02) ];
+    };
+    {
+      id = "spatial.clique.basic.n10.w160";
+      tier = Check.Full;
+      params = basic;
+      profile = Array.make 10 160;
+      sim = Spatial Clique;
+      replicates = 6;
+      duration = 10.;
+      seed = 205;
+      confidence = 0.99;
+      quantities = [ ("utility", Rel 0.10) ];
+    };
+    {
+      id = "spatial.chain.rts.n12.w64";
+      tier = Check.Full;
+      params = rts;
+      profile = Array.make 12 64;
+      sim = Spatial Chain;
+      replicates = 3;
+      duration = 5.;
+      seed = 206;
+      confidence = 0.99;
+      quantities = [ ("event_core_delta", Abs 0.) ];
+    };
+  ]
+
+let points ~tier =
+  List.filter (fun p -> Check.runs_in p.tier ~at:tier) (grid ())
+
+(* {2 Quantity extraction} *)
+
+type quantity =
+  | Utility
+  | Tau
+  | P
+  | Throughput
+  | Utility_at of int
+  | Error_share
+  | Event_core_delta
+
+let quantity_of_id qid =
+  match qid with
+  | "utility" -> Utility
+  | "tau" -> Tau
+  | "p" -> P
+  | "throughput" -> Throughput
+  | "error_share" -> Error_share
+  | "event_core_delta" -> Event_core_delta
+  | _ ->
+      let prefix = "utility@" in
+      if String.length qid > String.length prefix
+         && String.sub qid 0 (String.length prefix) = prefix
+      then
+        let w =
+          String.sub qid (String.length prefix)
+            (String.length qid - String.length prefix)
+        in
+        match int_of_string_opt w with
+        | Some w when w >= 1 -> Utility_at w
+        | _ -> invalid_arg ("Equivalence: bad quantity id " ^ qid)
+      else invalid_arg ("Equivalence: unknown quantity id " ^ qid)
+
+let mean_over profile pred f per_node =
+  let sum = ref 0. and count = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if pred profile.(i) then (
+        sum := !sum +. f s;
+        incr count))
+    per_node;
+  if !count = 0 then nan else !sum /. float_of_int !count
+
+let slotted_quantity (r : Netsim.Slotted.result) profile q =
+  let all _ = true in
+  match q with
+  | Utility ->
+      mean_over profile all
+        (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate)
+        r.per_node
+  | Tau ->
+      mean_over profile all
+        (fun (s : Netsim.Slotted.node_stats) -> s.tau_hat)
+        r.per_node
+  | P ->
+      mean_over profile all
+        (fun (s : Netsim.Slotted.node_stats) -> s.p_hat)
+        r.per_node
+  | Throughput -> r.total_throughput
+  | Utility_at w ->
+      mean_over profile (Int.equal w)
+        (fun (s : Netsim.Slotted.node_stats) -> s.payoff_rate)
+        r.per_node
+  | Error_share ->
+      let e = r.airtime.error_fraction and s = r.airtime.success_fraction in
+      if e +. s > 0. then e /. (e +. s) else nan
+  | Event_core_delta -> invalid_arg "Equivalence: event_core_delta on slotted"
+
+let spatial_quantity (r : Netsim.Spatial.result) profile q =
+  let all _ = true in
+  match q with
+  | Utility ->
+      mean_over profile all
+        (fun (s : Netsim.Spatial.node_stats) -> s.payoff_rate)
+        r.per_node
+  | Utility_at w ->
+      mean_over profile (Int.equal w)
+        (fun (s : Netsim.Spatial.node_stats) -> s.payoff_rate)
+        r.per_node
+  | Throughput ->
+      Array.fold_left
+        (fun acc (s : Netsim.Spatial.node_stats) -> acc +. s.throughput)
+        0. r.per_node
+  | Tau | P | Error_share | Event_core_delta ->
+      invalid_arg "Equivalence: quantity unavailable on the spatial backend"
+
+let clique n = Array.init n (fun i -> List.filter (( <> ) i) (List.init n Fun.id))
+
+let chain n =
+  Array.init n (fun i ->
+      (if i > 0 then [ i - 1 ] else []) @ if i < n - 1 then [ i + 1 ] else [])
+
+(* Per-replicate seeds are an arithmetic stride off the point seed (7919 is
+   prime, so strides of distinct points interleave without collision for
+   any realistic replicate count). *)
+let replicate_seed point r = point.seed + (7919 * r)
+
+let run_replicate point r =
+  let seed = replicate_seed point r in
+  match point.sim with
+  | Slotted { bianchi_ticks; per } ->
+      let result =
+        Netsim.Slotted.run ~bianchi_ticks ~per
+          {
+            Netsim.Slotted.params = point.params;
+            cws = point.profile;
+            duration = point.duration;
+            seed;
+          }
+      in
+      fun q -> slotted_quantity result point.profile q
+  | Spatial topo -> (
+      let n = Array.length point.profile in
+      let adjacency = match topo with Clique -> clique n | Chain -> chain n in
+      let config =
+        {
+          Netsim.Spatial.params = point.params;
+          adjacency;
+          cws = point.profile;
+          duration = point.duration;
+          seed;
+        }
+      in
+      let result = Netsim.Spatial.run config in
+      match topo with
+      | Clique -> fun q -> spatial_quantity result point.profile q
+      | Chain ->
+          (* The chain has no analytic reference; its quantity is the
+             differential between the event core and the boundary-scanning
+             reference loop, which the determinism contract pins to zero. *)
+          let reference_result = Netsim.Spatial.run_reference config in
+          fun q ->
+            (match q with
+            | Event_core_delta -> ()
+            | _ -> invalid_arg "Equivalence: chain points check event_core_delta");
+            if Netsim.Spatial.equal_result result reference_result then 0.
+            else
+              let delta = ref epsilon_float in
+              Array.iteri
+                (fun i (s : Netsim.Spatial.node_stats) ->
+                  let s' = reference_result.per_node.(i) in
+                  delta :=
+                    Float.max !delta
+                      (Float.abs (s.payoff_rate -. s'.payoff_rate)))
+                result.per_node;
+              !delta)
+
+(* {2 Analytic references} *)
+
+let per_of point =
+  match point.sim with Slotted { per; _ } -> per | Spatial _ -> 0.
+
+let uniform_window point =
+  let w = point.profile.(0) in
+  if not (Array.for_all (Int.equal w) point.profile) then
+    invalid_arg
+      ("Equivalence: uniform quantity on heterogeneous point " ^ point.id);
+  w
+
+let reference point qid =
+  let per = per_of point in
+  let oracle = Macgame.Oracle.create ~p_hn:(1. -. per) point.params in
+  let n = Array.length point.profile in
+  match quantity_of_id qid with
+  | Utility ->
+      (Macgame.Oracle.uniform oracle ~n ~w:(uniform_window point)).utility
+  | Tau -> (Macgame.Oracle.uniform oracle ~n ~w:(uniform_window point)).tau
+  | P -> (Macgame.Oracle.uniform oracle ~n ~w:(uniform_window point)).p
+  | Throughput ->
+      if per > 0. then
+        invalid_arg "Equivalence: throughput reference undefined under PER";
+      (Macgame.Oracle.uniform oracle ~n ~w:(uniform_window point)).throughput
+  | Utility_at w ->
+      let payoffs = Macgame.Oracle.payoffs oracle point.profile in
+      mean_over point.profile (Int.equal w) Fun.id payoffs
+  | Error_share -> per
+  | Event_core_delta -> 0.
+
+(* {2 Runner task} *)
+
+let sim_field sim =
+  let descr =
+    match sim with
+    | Slotted { bianchi_ticks; per } ->
+        Printf.sprintf "slotted:bianchi=%b,per=%.6g" bianchi_ticks per
+    | Spatial Clique -> "spatial:clique"
+    | Spatial Chain -> "spatial:chain"
+  in
+  ("sim", Telemetry.Jsonx.String descr)
+
+let key point =
+  Runner.Task.key_of ~family:"conformance.equivalence"
+    [
+      ("id", Telemetry.Jsonx.String point.id);
+      ( "params",
+        Telemetry.Jsonx.String (Format.asprintf "%a" Dcf.Params.pp point.params)
+      );
+      ( "profile",
+        Telemetry.Jsonx.List
+          (Array.to_list
+             (Array.map (fun w -> Telemetry.Jsonx.Int w) point.profile)) );
+      sim_field point.sim;
+      ("replicates", Telemetry.Jsonx.Int point.replicates);
+      ("duration", Telemetry.Jsonx.Float point.duration);
+      ("seed", Telemetry.Jsonx.Int point.seed);
+      ( "quantities",
+        Telemetry.Jsonx.List
+          (List.map (fun (q, _) -> Telemetry.Jsonx.String q) point.quantities)
+      );
+    ]
+
+let encode samples =
+  Telemetry.Jsonx.Obj
+    (List.map (fun (q, arr) -> (q, Runner.Task.float_array arr)) samples)
+
+let decode point json =
+  let field (q, _) =
+    Option.bind (Telemetry.Jsonx.member q json) Runner.Task.to_float_array
+    |> Option.map (fun arr -> (q, arr))
+  in
+  let rec all = function
+    | [] -> Some []
+    | q :: rest -> (
+        match field q with
+        | None -> None
+        | Some v -> Option.map (fun tl -> v :: tl) (all rest))
+  in
+  all point.quantities
+
+let compute point _rng =
+  let quantities = List.map (fun (q, _) -> quantity_of_id q) point.quantities in
+  let samples =
+    List.map (fun _ -> Array.make point.replicates nan) quantities
+  in
+  for r = 0 to point.replicates - 1 do
+    let extract = run_replicate point r in
+    List.iter2 (fun q arr -> arr.(r) <- extract q) quantities samples
+  done;
+  List.map2 (fun (q, _) arr -> (q, arr)) point.quantities samples
+
+let task point =
+  Runner.Task.make ~key:(key point) ~encode ~decode:(decode point)
+    (compute point)
+
+(* {2 Checks} *)
+
+let checks ?telemetry point ~samples =
+  List.map
+    (fun (qid, slk) ->
+      let id = point.id ^ "." ^ qid in
+      let check =
+        match List.assoc_opt qid samples with
+        | None ->
+            Check.v ~id ~group:"equivalence" ~margin:nan
+              ~detail:"quantity missing from task result" ()
+        | Some arr ->
+            let reference_value = reference point qid in
+            let band = Band.of_samples ~confidence:point.confidence arr in
+            let slack =
+              match slk with
+              | Rel f -> f *. Float.abs reference_value
+              | Abs a -> a
+            in
+            let margin = Band.margin band ~slack reference_value in
+            let detail = Band.describe band ~slack reference_value in
+            Check.v ~id ~group:"equivalence" ~margin ~detail ()
+      in
+      Check.emit ?telemetry check;
+      check)
+    point.quantities

@@ -1,0 +1,373 @@
+type policy = Exact | Toleranced of float
+
+type snapshot = {
+  name : string;
+  tier : Check.tier;
+  policy : policy;
+  generate : unit -> Telemetry.Jsonx.t list;
+}
+
+let bless_hint =
+  "CONFORMANCE_BLESS=1 dune exec bin/macgame_cli.exe -- conformance"
+
+(* {2 Generators}
+
+   Everything below is a pure function of constants in this file — fixed
+   seeds, fixed grids — which is what makes blessing reproducible. *)
+
+open Telemetry.Jsonx
+
+let floats arr = List (Array.to_list (Array.map (fun x -> Float x) arr))
+
+let ints arr = List (Array.to_list (Array.map (fun x -> Int x) arr))
+
+let analytic_equilibrium () =
+  List.concat_map
+    (fun (label, params) ->
+      let oracle = Macgame.Oracle.analytic params in
+      List.map
+        (fun n ->
+          let w_star = Macgame.Equilibrium.efficient_cw oracle ~n in
+          let w_c0 = Macgame.Equilibrium.break_even_cw oracle ~n in
+          let ne = Macgame.Equilibrium.ne_set oracle ~n in
+          let lo, hi =
+            Macgame.Equilibrium.robust_range oracle ~n ~fraction:0.95
+          in
+          let view = Macgame.Oracle.uniform oracle ~n ~w:w_star in
+          Obj
+            [
+              ("id", String (Printf.sprintf "%s.n%d" label n));
+              ("w_star", Int w_star);
+              ("w_c0", Int w_c0);
+              ("ne_lo", Int ne.Macgame.Equilibrium.w_lo);
+              ("ne_hi", Int ne.Macgame.Equilibrium.w_hi);
+              ("robust_lo", Int lo);
+              ("robust_hi", Int hi);
+              ("tau", Float view.Macgame.Oracle.tau);
+              ("p", Float view.Macgame.Oracle.p);
+              ("utility", Float view.Macgame.Oracle.utility);
+              ("throughput", Float view.Macgame.Oracle.throughput);
+              ("slot_time", Float view.Macgame.Oracle.slot_time);
+            ])
+        [ 2; 5; 10; 20; 50 ])
+    [ ("basic", Dcf.Params.default); ("rts", Dcf.Params.rts_cts) ]
+
+let slotted_record ~id ?(bianchi_ticks = true) ?retry_limit ?(per = 0.) ~params
+    ~cws ~seed () =
+  let result =
+    Netsim.Slotted.run ~bianchi_ticks ?retry_limit ~per
+      { Netsim.Slotted.params; cws; duration = 2.; seed }
+  in
+  let per_node f =
+    Array.map f result.Netsim.Slotted.per_node
+  in
+  Obj
+    [
+      ("id", String id);
+      ("slots", Int result.slots);
+      ( "attempts",
+        ints (per_node (fun (s : Netsim.Slotted.node_stats) -> s.attempts)) );
+      ( "successes",
+        ints (per_node (fun (s : Netsim.Slotted.node_stats) -> s.successes)) );
+      ( "collisions",
+        ints (per_node (fun (s : Netsim.Slotted.node_stats) -> s.collisions)) );
+      ("drops", ints (per_node (fun (s : Netsim.Slotted.node_stats) -> s.drops)));
+      ("total_throughput", Float result.total_throughput);
+      ("welfare_rate", Float result.welfare_rate);
+      ("idle_fraction", Float result.airtime.idle_fraction);
+      ("success_fraction", Float result.airtime.success_fraction);
+      ("collision_fraction", Float result.airtime.collision_fraction);
+      ("error_fraction", Float result.airtime.error_fraction);
+    ]
+
+let slotted_sim () =
+  [
+    slotted_record ~id:"basic.n5.w79.seed42" ~params:Dcf.Params.default
+      ~cws:(Array.make 5 79) ~seed:42 ();
+    slotted_record ~id:"rts.n5.w16.seed43" ~params:Dcf.Params.rts_cts
+      ~cws:(Array.make 5 16) ~seed:43 ();
+    slotted_record ~id:"basic.per20.retry6.seed44" ~per:0.2 ~retry_limit:6
+      ~params:Dcf.Params.default ~cws:(Array.make 5 79) ~seed:44 ();
+    slotted_record ~id:"basic.realfreeze.n5.w79.seed45" ~bianchi_ticks:false
+      ~params:Dcf.Params.default ~cws:(Array.make 5 79) ~seed:45 ();
+  ]
+
+let chain n =
+  Array.init n (fun i ->
+      (if i > 0 then [ i - 1 ] else []) @ if i < n - 1 then [ i + 1 ] else [])
+
+let clique n = Array.init n (fun i -> List.filter (( <> ) i) (List.init n Fun.id))
+
+let spatial_record ~id ~params ~adjacency ~cws ~seed =
+  let result =
+    Netsim.Spatial.run
+      { Netsim.Spatial.params; adjacency; cws; duration = 1.; seed }
+  in
+  let per_node f = Array.map f result.Netsim.Spatial.per_node in
+  Obj
+    [
+      ("id", String id);
+      ("delivered", Int result.delivered);
+      ("delivered_late", Int result.delivered_late);
+      ("welfare_rate", Float result.welfare_rate);
+      ( "attempts",
+        ints (per_node (fun (s : Netsim.Spatial.node_stats) -> s.attempts)) );
+      ( "successes",
+        ints (per_node (fun (s : Netsim.Spatial.node_stats) -> s.successes)) );
+      ( "hidden_failures",
+        ints
+          (per_node (fun (s : Netsim.Spatial.node_stats) -> s.hidden_failures))
+      );
+      ( "payoff_rates",
+        floats
+          (per_node (fun (s : Netsim.Spatial.node_stats) -> s.payoff_rate)) );
+      ("busy_fraction", Float result.airtime.busy_fraction);
+      ("success_fraction", Float result.airtime.success_fraction);
+      ("collision_fraction", Float result.airtime.collision_fraction);
+      ("overlap_fraction", Float result.airtime.overlap_fraction);
+    ]
+
+let spatial_sim () =
+  [
+    spatial_record ~id:"chain.rts.n6.seed7" ~params:Dcf.Params.rts_cts
+      ~adjacency:(chain 6) ~cws:(Array.make 6 32) ~seed:7;
+    spatial_record ~id:"clique.basic.n4.seed9" ~params:Dcf.Params.default
+      ~adjacency:(clique 4) ~cws:(Array.make 4 64) ~seed:9;
+  ]
+
+let multihop_quasi () =
+  (* An 8-node ring: deterministic, connected, every node degree 2. *)
+  let ring = Array.init 8 (fun i -> [ (i + 7) mod 8; (i + 1) mod 8 ]) in
+  let graph = Macgame.Multihop.create ring in
+  let oracle = Macgame.Oracle.analytic Dcf.Params.rts_cts in
+  let q = Macgame.Multihop.quasi_optimality oracle graph in
+  [
+    Obj
+      [
+        ("id", String "ring8.rts");
+        ("w_m", Int q.Macgame.Multihop.w_m);
+        ("w_global_opt", Int q.w_global_opt);
+        ("global_at_ne", Float q.global_at_ne);
+        ("global_opt", Float q.global_opt);
+        ("global_ratio", Float q.global_ratio);
+        ("min_local_ratio", Float q.min_local_ratio);
+      ];
+  ]
+
+let oracle_backends () =
+  let sim =
+    { Macgame.Oracle.duration = 5.; replicates = 2; seed = 11 }
+  in
+  List.map
+    (fun (label, params, n, w) ->
+      let analytic = Macgame.Oracle.analytic params in
+      let slotted =
+        Macgame.Oracle.create ~backend:(Macgame.Oracle.Sim_slotted sim) params
+      in
+      Obj
+        [
+          ("id", String label);
+          ("n", Int n);
+          ("w", Int w);
+          ( "utility_analytic",
+            Float (Macgame.Oracle.payoff_uniform analytic ~n ~w) );
+          ( "utility_slotted",
+            Float (Macgame.Oracle.payoff_uniform slotted ~n ~w) );
+        ])
+    [
+      ("basic.n5.w79", Dcf.Params.default, 5, 79);
+      ("rts.n5.w16", Dcf.Params.rts_cts, 5, 16);
+    ]
+
+let snapshots () =
+  [
+    {
+      name = "analytic_equilibrium";
+      tier = Check.Fast;
+      policy = Exact;
+      generate = analytic_equilibrium;
+    };
+    { name = "slotted_sim"; tier = Check.Fast; policy = Exact; generate = slotted_sim };
+    { name = "spatial_sim"; tier = Check.Fast; policy = Exact; generate = spatial_sim };
+    {
+      name = "multihop_quasi";
+      tier = Check.Fast;
+      policy = Exact;
+      generate = multihop_quasi;
+    };
+    {
+      name = "oracle_backends";
+      tier = Check.Fast;
+      policy = Toleranced 0.05;
+      generate = oracle_backends;
+    };
+  ]
+
+(* {2 Field-level diffing} *)
+
+type field_diff = { path : string; golden : string; current : string; m : float }
+
+let numeric = function Int _ | Float _ -> true | _ -> false
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | _ -> nan
+
+(* Accumulates one diff entry per differing leaf.  Under [Toleranced tol]
+   numeric leaves get a proportional margin; everything else is
+   exact-or-infinite. *)
+let rec diff_value ~policy ~path golden current acc =
+  match (golden, current) with
+  | Obj g, Obj c ->
+      let keys =
+        List.sort_uniq compare (List.map fst g @ List.map fst c)
+      in
+      List.fold_left
+        (fun acc key ->
+          let sub = if path = "" then key else path ^ "/" ^ key in
+          match (List.assoc_opt key g, List.assoc_opt key c) with
+          | Some gv, Some cv -> diff_value ~policy ~path:sub gv cv acc
+          | Some gv, None ->
+              { path = sub; golden = to_string gv; current = "<missing>";
+                m = infinity }
+              :: acc
+          | None, Some cv ->
+              { path = sub; golden = "<missing>"; current = to_string cv;
+                m = infinity }
+              :: acc
+          | None, None -> acc)
+        acc keys
+  | List g, List c when List.length g = List.length c ->
+      List.fold_left
+        (fun (acc, i) (gv, cv) ->
+          (diff_value ~policy ~path:(Printf.sprintf "%s[%d]" path i) gv cv acc,
+           i + 1))
+        (acc, 0) (List.combine g c)
+      |> fst
+  | g, c when g = c -> acc
+  | g, c -> (
+      match policy with
+      | Toleranced tol when numeric g && numeric c ->
+          let gv = as_float g and cv = as_float c in
+          let scale = Float.max (Float.abs gv) (Float.abs cv) in
+          let rel = if scale > 0. then Float.abs (gv -. cv) /. scale else 0. in
+          let m = rel /. tol in
+          if m <= 1. && Float.is_finite m then acc
+          else
+            { path; golden = to_string g; current = to_string c; m } :: acc
+      | _ ->
+          { path; golden = to_string g; current = to_string c; m = infinity }
+          :: acc)
+
+let record_id json =
+  match member "id" json with Some (String s) -> s | _ -> "<no id>"
+
+let diff_records ~policy golden current =
+  let index records =
+    List.map (fun r -> (record_id r, r)) records
+  in
+  let g = index golden and c = index current in
+  let keys = List.sort_uniq compare (List.map fst g @ List.map fst c) in
+  List.fold_left
+    (fun acc key ->
+      match (List.assoc_opt key g, List.assoc_opt key c) with
+      | Some gv, Some cv -> diff_value ~policy ~path:key gv cv acc
+      | Some _, None ->
+          { path = key; golden = "<record>"; current = "<missing>";
+            m = infinity }
+          :: acc
+      | None, Some _ ->
+          { path = key; golden = "<missing>"; current = "<record>";
+            m = infinity }
+          :: acc
+      | None, None -> acc)
+    [] keys
+  |> List.rev
+
+(* {2 File I/O} *)
+
+let path_of ~dir snapshot = Filename.concat dir (snapshot.name ^ ".jsonl")
+
+let render records =
+  String.concat "" (List.map (fun r -> to_string r ^ "\n") records)
+
+let read_lines path =
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  String.split_on_char '\n' contents
+  |> List.filter (fun line -> String.trim line <> "")
+
+(* {2 Checks and blessing} *)
+
+let check_snapshot snapshot ~dir =
+  let id = "golden." ^ snapshot.name in
+  let path = path_of ~dir snapshot in
+  if not (Sys.file_exists path) then
+    Check.skip ~id ~group:"golden"
+      (Printf.sprintf "no snapshot at %s; bless with: %s" path bless_hint)
+  else
+    match List.map parse (read_lines path) with
+    | exception Parse_error msg ->
+        Check.v ~id ~group:"golden" ~margin:infinity
+          ~detail:(Printf.sprintf "unparseable golden %s: %s" path msg)
+          ()
+    | golden_records ->
+        let diffs =
+          diff_records ~policy:snapshot.policy golden_records
+            (snapshot.generate ())
+        in
+        let margin =
+          List.fold_left (fun acc d -> Float.max acc d.m) 0. diffs
+        in
+        let detail =
+          match diffs with
+          | [] ->
+              Printf.sprintf "%d records match"
+                (List.length golden_records)
+          | _ ->
+              let shown =
+                List.filteri (fun i _ -> i < 3) diffs
+                |> List.map (fun d ->
+                       Printf.sprintf "%s: golden %s vs current %s" d.path
+                         d.golden d.current)
+              in
+              let more =
+                if List.length diffs > 3 then
+                  Printf.sprintf " (+%d more)" (List.length diffs - 3)
+                else ""
+              in
+              String.concat "; " shown ^ more
+              ^ Printf.sprintf "; re-bless: %s" bless_hint
+        in
+        Check.v ~id ~group:"golden" ~margin ~detail ()
+
+let checks ?telemetry ~tier ~dir () =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    let c =
+      Check.skip ~id:"golden" ~group:"golden"
+        (Printf.sprintf "golden directory %s absent; bless with: %s" dir
+           bless_hint)
+    in
+    (Check.emit ?telemetry c; [ c ])
+  else
+    List.filter_map
+      (fun s ->
+        if not (Check.runs_in s.tier ~at:tier) then None
+        else
+          let c = check_snapshot s ~dir in
+          Check.emit ?telemetry c;
+          Some c)
+      (snapshots ())
+
+let bless ~dir ~tier =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.filter_map
+    (fun s ->
+      if not (Check.runs_in s.tier ~at:tier) then None
+      else begin
+        let path = path_of ~dir s in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (render (s.generate ())));
+        Some path
+      end)
+    (snapshots ())

@@ -1,0 +1,30 @@
+type outcome = {
+  tier : Check.tier;
+  checks : Check.t list;
+  report : string;
+  ok : bool;
+}
+
+let default_golden_dir = Filename.concat "test" "golden"
+
+let equivalence_checks ?telemetry ~tier () =
+  let points = Equivalence.points ~tier in
+  let tasks = Array.of_list (List.map Equivalence.task points) in
+  let name = "conformance." ^ Check.tier_name tier in
+  let results = Runner.map ?registry:telemetry ~name tasks in
+  List.concat
+    (List.mapi
+       (fun i point ->
+         Equivalence.checks ?telemetry point ~samples:results.(i))
+       points)
+
+let run ?telemetry ?(golden_dir = default_golden_dir) ~tier () =
+  let checks =
+    equivalence_checks ?telemetry ~tier ()
+    @ Anchors.checks ?telemetry ~tier ()
+    @ Golden.checks ?telemetry ~tier ~dir:golden_dir ()
+  in
+  { tier; checks; report = Check.report checks; ok = Check.all_passed checks }
+
+let bless ?(golden_dir = default_golden_dir) ~tier () =
+  Golden.bless ~dir:golden_dir ~tier

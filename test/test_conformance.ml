@@ -1,0 +1,407 @@
+(* Tests for the conformance subsystem: margin semantics, Student-t
+   confidence bands, the anchor comparison kinds, the declarative tables'
+   internal consistency, and the golden snapshot bless/check/diff cycle
+   (exercised against a temporary directory, never the checked-in
+   goldens). *)
+
+module C = Conformance
+
+let close ?(eps = 1e-3) = Alcotest.(check (float eps))
+
+(* {1 Check semantics} *)
+
+let test_check_margin_semantics () =
+  let status margin =
+    (C.Check.v ~id:"x" ~group:"g" ~margin ()).C.Check.status
+  in
+  Alcotest.(check bool) "0 passes" true (status 0. = C.Check.Pass);
+  Alcotest.(check bool) "boundary passes" true (status 1. = C.Check.Pass);
+  Alcotest.(check bool) "over budget fails" true (status 1.001 = C.Check.Fail);
+  Alcotest.(check bool) "nan fails" true (status nan = C.Check.Fail);
+  Alcotest.(check bool) "infinity fails" true (status infinity = C.Check.Fail);
+  let skip = C.Check.skip ~id:"x" ~group:"g" "not here" in
+  Alcotest.(check bool) "skip counts as passed" true (C.Check.passed skip);
+  Alcotest.(check bool) "all_passed with skip" true
+    (C.Check.all_passed [ skip; C.Check.v ~id:"y" ~group:"g" ~margin:0.5 () ]);
+  Alcotest.(check bool) "all_passed spots failures" false
+    (C.Check.all_passed [ C.Check.v ~id:"z" ~group:"g" ~margin:2. () ])
+
+let test_tiers () =
+  Alcotest.(check bool) "fast runs in fast" true
+    (C.Check.runs_in C.Check.Fast ~at:C.Check.Fast);
+  Alcotest.(check bool) "fast runs in full" true
+    (C.Check.runs_in C.Check.Fast ~at:C.Check.Full);
+  Alcotest.(check bool) "full does not run in fast" false
+    (C.Check.runs_in C.Check.Full ~at:C.Check.Fast);
+  Alcotest.(check bool) "tier names round-trip" true
+    (C.Check.tier_of_string (C.Check.tier_name C.Check.Full)
+    = Some C.Check.Full);
+  Alcotest.(check bool) "unknown tier rejected" true
+    (C.Check.tier_of_string "medium" = None)
+
+let test_check_emit_counts () =
+  let r = Telemetry.Registry.create ~label:"test" () in
+  C.Check.emit ~telemetry:r (C.Check.v ~id:"a" ~group:"g" ~margin:0.1 ());
+  C.Check.emit ~telemetry:r (C.Check.v ~id:"b" ~group:"g" ~margin:3. ());
+  C.Check.emit ~telemetry:r (C.Check.skip ~id:"c" ~group:"g" "absent");
+  let count name =
+    Telemetry.Metric.count (Telemetry.Registry.counter r name)
+  in
+  Alcotest.(check int) "pass counter" 1 (count "conformance.checks.pass");
+  Alcotest.(check int) "fail counter" 1 (count "conformance.checks.fail");
+  Alcotest.(check int) "skip counter" 1 (count "conformance.checks.skipped")
+
+(* {1 Student-t quantiles and bands} *)
+
+let test_student_t_quantile () =
+  let q ~df p = Numerics.Special.student_t_quantile ~df p in
+  (* Textbook two-sided 95% critical values. *)
+  close ~eps:0.01 "df=1" 12.706 (q ~df:1 0.975);
+  close ~eps:0.005 "df=2" 4.303 (q ~df:2 0.975);
+  close ~eps:0.01 "df=4" 2.776 (q ~df:4 0.975);
+  close ~eps:0.01 "df=10" 2.228 (q ~df:10 0.975);
+  close ~eps:0.01 "df=30" 2.042 (q ~df:30 0.975);
+  close ~eps:0.01 "df=120" 1.980 (q ~df:120 0.975);
+  (* 99% level, the suite's default confidence. *)
+  close ~eps:0.03 "df=4 at 99.5%" 4.604 (q ~df:4 0.995);
+  close ~eps:0.02 "df=9 at 99.5%" 3.250 (q ~df:9 0.995);
+  (* Symmetry and the median. *)
+  close ~eps:1e-6 "median is zero" 0. (q ~df:7 0.5);
+  close ~eps:1e-6 "antisymmetric" 0. (q ~df:7 0.3 +. q ~df:7 0.7);
+  Alcotest.check_raises "df must be positive"
+    (Invalid_argument "Special.student_t_quantile: df must be >= 1")
+    (fun () -> ignore (q ~df:0 0.9))
+
+let test_band () =
+  let band = C.Band.of_samples ~confidence:0.95 [| 1.; 2.; 3.; 4. |] in
+  close ~eps:1e-9 "mean" 2.5 band.C.Band.mean;
+  close ~eps:1e-6 "stddev" 1.290994 band.C.Band.stddev;
+  (* t(3, 0.975) = 3.182; halfwidth = 3.182 * 1.291 / 2. *)
+  close ~eps:0.02 "halfwidth" 2.054 band.C.Band.halfwidth;
+  close ~eps:1e-6 "z-score" (-0.774597) (C.Band.z_score band 2.);
+  (* Margin: consumed fraction of halfwidth + slack. *)
+  close ~eps:1e-6 "inside band" (0.5 /. (band.C.Band.halfwidth +. 1.))
+    (C.Band.margin band ~slack:1. 3.);
+  Alcotest.(check bool) "far outside fails" true
+    (C.Band.margin band ~slack:0. 50. > 1.);
+  (* Degenerate band: zero spread, zero slack. *)
+  let flat = C.Band.of_samples ~confidence:0.95 [| 2.; 2.; 2. |] in
+  close ~eps:0. "exact agreement" 0. (C.Band.margin flat ~slack:0. 2.);
+  Alcotest.(check bool) "any deviation is infinite" true
+    (C.Band.margin flat ~slack:0. 2.1 = infinity);
+  Alcotest.check_raises "one sample is not a band"
+    (Invalid_argument "Band.of_stats: need at least two samples") (fun () ->
+      ignore (C.Band.of_samples ~confidence:0.95 [| 1. |]))
+
+(* {1 Anchors} *)
+
+let test_anchor_margins () =
+  let m = C.Anchors.margin_of in
+  close ~eps:1e-9 "relative" 0.5
+    (m (C.Anchors.Relative 0.1) ~expected:100. ~actual:105.);
+  close ~eps:1e-9 "absolute" 2. (m (C.Anchors.Absolute 5.) ~expected:10. ~actual:20.);
+  close ~eps:1e-9 "lower bound met" 0.
+    (m (C.Anchors.At_least 0.03) ~expected:0.97 ~actual:0.99);
+  close ~eps:1e-6 "lower bound within tolerance" 0.5
+    (m (C.Anchors.At_least 0.04) ~expected:0.96 ~actual:0.94);
+  Alcotest.(check bool) "lower bound breached" true
+    (m (C.Anchors.At_least 0.01) ~expected:0.96 ~actual:0.9 > 1.)
+
+let test_anchor_table_well_formed () =
+  let table = C.Anchors.table () in
+  Alcotest.(check bool) "table is non-trivial" true (List.length table >= 10);
+  let ids = List.map (fun a -> a.C.Anchors.id) table in
+  Alcotest.(check int) "ids are unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun a ->
+      let tol_ok =
+        match a.C.Anchors.kind with
+        | C.Anchors.Relative t | C.Anchors.Absolute t | C.Anchors.At_least t ->
+            t > 0.
+      in
+      Alcotest.(check bool)
+        (a.C.Anchors.id ^ " has a positive tolerance")
+        true tol_ok;
+      Alcotest.(check bool)
+        (a.C.Anchors.id ^ " names its source")
+        true
+        (String.length a.C.Anchors.source > 0))
+    table
+
+let test_fast_anchors_pass () =
+  let r = Telemetry.Registry.create ~label:"test" () in
+  let checks = C.Anchors.checks ~telemetry:r ~tier:C.Check.Fast () in
+  Alcotest.(check bool) "fast anchors evaluated" true (List.length checks >= 5);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.C.Check.id ^ " passes: " ^ c.C.Check.detail)
+        true (C.Check.passed c))
+    checks
+
+(* {1 Equivalence grid} *)
+
+let test_grid_well_formed () =
+  let grid = C.Equivalence.grid () in
+  let ids = List.map (fun p -> p.C.Equivalence.id) grid in
+  Alcotest.(check int) "point ids unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.C.Equivalence.id ^ " has enough replicates for a band")
+        true
+        (p.C.Equivalence.replicates >= 2);
+      List.iter
+        (fun (q, _) ->
+          (* Every declared quantity must have a computable reference. *)
+          let r = C.Equivalence.reference p q in
+          Alcotest.(check bool)
+            (p.C.Equivalence.id ^ "." ^ q ^ " reference is finite")
+            true (Float.is_finite r))
+        p.C.Equivalence.quantities)
+    grid;
+  let fast = List.length (C.Equivalence.points ~tier:C.Check.Fast) in
+  let full = List.length (C.Equivalence.points ~tier:C.Check.Full) in
+  Alcotest.(check bool) "fast is a strict subset of full" true (fast < full)
+
+let test_equivalence_references () =
+  let grid = C.Equivalence.grid () in
+  let per10 =
+    List.find (fun p -> p.C.Equivalence.id = "slotted.basic.per10") grid
+  in
+  close ~eps:1e-12 "error_share reference is the PER" 0.1
+    (C.Equivalence.reference per10 "error_share");
+  let chain =
+    List.find (fun p -> p.C.Equivalence.id = "spatial.chain.rts.n8.w64") grid
+  in
+  close ~eps:0. "event-core delta reference is zero" 0.
+    (C.Equivalence.reference chain "event_core_delta")
+
+let test_task_codec_round_trip () =
+  let point = List.hd (C.Equivalence.grid ()) in
+  let task = C.Equivalence.task point in
+  let samples =
+    List.map
+      (fun (q, _) -> (q, [| 0.1; 1. /. 3.; nan |]))
+      point.C.Equivalence.quantities
+  in
+  (* NaN renders as null and decodes as NaN through the float_array codec;
+     compare bit-insensitively on NaN, exactly elsewhere. *)
+  match task.Runner.Task.decode (task.Runner.Task.encode samples) with
+  | None -> Alcotest.fail "decode rejected its own encoding"
+  | Some decoded ->
+      List.iter2
+        (fun (q, original) (q', got) ->
+          Alcotest.(check string) "quantity order preserved" q q';
+          Array.iteri
+            (fun i x ->
+              if Float.is_nan x then
+                Alcotest.(check bool) "nan survives" true (Float.is_nan got.(i))
+              else close ~eps:0. (q ^ " float exact") x got.(i))
+            original)
+        samples decoded
+
+(* {1 Golden snapshots} *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "conformance-test-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
+
+let test_golden_missing_dir_skips () =
+  let checks =
+    C.Golden.checks
+      ~telemetry:(Telemetry.Registry.create ~label:"test" ())
+      ~tier:C.Check.Fast ~dir:"/nonexistent/golden" ()
+  in
+  Alcotest.(check bool) "missing dir yields skips, not failures" true
+    (C.Check.all_passed checks);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "skip explains how to bless" true
+        (contains c.C.Check.detail "CONFORMANCE_BLESS"))
+    checks
+
+let test_golden_bless_check_diff_cycle () =
+  with_temp_dir (fun dir ->
+      let r () = Telemetry.Registry.create ~label:"test" () in
+      let written = C.Golden.bless ~dir ~tier:C.Check.Fast in
+      Alcotest.(check int) "one file per snapshot"
+        (List.length (C.Golden.snapshots ()))
+        (List.length written);
+      (* Blessing is deterministic: a second bless is byte-identical. *)
+      let slurp path = In_channel.with_open_bin path In_channel.input_all in
+      let before = List.map slurp written in
+      let again = C.Golden.bless ~dir ~tier:C.Check.Fast in
+      List.iter2
+        (fun path old ->
+          Alcotest.(check string)
+            (path ^ " re-blessed byte-identical")
+            old (slurp path))
+        again before;
+      (* Freshly blessed goldens pass. *)
+      let checks =
+        C.Golden.checks ~telemetry:(r ()) ~tier:C.Check.Fast ~dir ()
+      in
+      Alcotest.(check bool) "fresh goldens pass" true
+        (C.Check.all_passed checks);
+      (* Corrupt one numeric field and the diff must name it, show both
+         values and point at the bless command. *)
+      let victim = Filename.concat dir "multihop_quasi.jsonl" in
+      let corrupted =
+        let line = slurp victim in
+        let json = Telemetry.Jsonx.parse (String.trim line) in
+        match json with
+        | Telemetry.Jsonx.Obj fields ->
+            Telemetry.Jsonx.to_string
+              (Telemetry.Jsonx.Obj
+                 (List.map
+                    (function
+                      | "w_m", _ -> ("w_m", Telemetry.Jsonx.Int 1000000)
+                      | field -> field)
+                    fields))
+            ^ "\n"
+        | _ -> Alcotest.fail "golden line is not an object"
+      in
+      Out_channel.with_open_bin victim (fun oc ->
+          Out_channel.output_string oc corrupted);
+      let checks =
+        C.Golden.checks ~telemetry:(r ()) ~tier:C.Check.Fast ~dir ()
+      in
+      let failing =
+        List.filter (fun c -> not (C.Check.passed c)) checks
+      in
+      Alcotest.(check int) "exactly the corrupted snapshot fails" 1
+        (List.length failing);
+      let detail = (List.hd failing).C.Check.detail in
+      Alcotest.(check bool) "diff names the field" true
+        (contains detail "w_m");
+      Alcotest.(check bool) "diff shows the corrupted value" true
+        (contains detail "1000000");
+      Alcotest.(check bool) "failure points at the bless command" true
+        (contains detail "CONFORMANCE_BLESS"))
+
+let test_golden_tolerance_policy () =
+  (* A toleranced diff consumes margin proportionally; an exact diff is
+     all-or-nothing.  Probe via the policy-level record diff through a
+     bless/patch cycle on the toleranced snapshot. *)
+  with_temp_dir (fun dir ->
+      ignore (C.Golden.bless ~dir ~tier:C.Check.Fast);
+      let path = Filename.concat dir "oracle_backends.jsonl" in
+      let slurp p = In_channel.with_open_bin p In_channel.input_all in
+      let original = slurp path in
+      (* Nudge every slotted utility by ~1%: inside the 5% tolerance. *)
+      let nudged =
+        String.concat "\n"
+          (List.map
+             (fun line ->
+               if String.trim line = "" then line
+               else
+                 let json = Telemetry.Jsonx.parse line in
+                 match json with
+                 | Telemetry.Jsonx.Obj fields ->
+                     Telemetry.Jsonx.to_string
+                       (Telemetry.Jsonx.Obj
+                          (List.map
+                             (function
+                               | "utility_slotted", Telemetry.Jsonx.Float v ->
+                                   ( "utility_slotted",
+                                     Telemetry.Jsonx.Float (v *. 1.01) )
+                               | field -> field)
+                             fields))
+                 | _ -> line)
+             (String.split_on_char '\n' original))
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc nudged);
+      let checks =
+        C.Golden.checks
+          ~telemetry:(Telemetry.Registry.create ~label:"test" ())
+          ~tier:C.Check.Fast ~dir ()
+      in
+      let backend_check =
+        List.find (fun c -> c.C.Check.id = "golden.oracle_backends") checks
+      in
+      Alcotest.(check bool) "1% drift passes a 5% tolerance" true
+        (C.Check.passed backend_check))
+
+(* {1 Report} *)
+
+let test_report_shape () =
+  let checks =
+    [
+      C.Check.v ~id:"equivalence.x" ~group:"equivalence" ~margin:0.2
+        ~detail:"fine" ();
+      C.Check.v ~id:"anchor.y" ~group:"anchor" ~margin:1.7 ~detail:"over" ();
+      C.Check.skip ~id:"golden.z" ~group:"golden" "absent";
+    ]
+  in
+  let report = C.Check.report checks in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " appears") true (contains report needle))
+    [ "equivalence.x"; "anchor.y"; "golden.z"; "FAIL"; "skip"; "1 fail" ];
+  Alcotest.(check bool) "summary names the worst check" true
+    (contains (C.Check.summary checks) "anchor.y")
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "margin semantics" `Quick
+            test_check_margin_semantics;
+          Alcotest.test_case "tiers" `Quick test_tiers;
+          Alcotest.test_case "telemetry counters" `Quick test_check_emit_counts;
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+      ( "band",
+        [
+          Alcotest.test_case "student-t quantile" `Quick test_student_t_quantile;
+          Alcotest.test_case "confidence band" `Quick test_band;
+        ] );
+      ( "anchors",
+        [
+          Alcotest.test_case "margin kinds" `Quick test_anchor_margins;
+          Alcotest.test_case "table well-formed" `Quick
+            test_anchor_table_well_formed;
+          Alcotest.test_case "fast anchors pass" `Quick test_fast_anchors_pass;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "grid well-formed" `Quick test_grid_well_formed;
+          Alcotest.test_case "references" `Quick test_equivalence_references;
+          Alcotest.test_case "task codec round-trip" `Quick
+            test_task_codec_round_trip;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "missing dir skips" `Quick
+            test_golden_missing_dir_skips;
+          Alcotest.test_case "bless/check/diff cycle" `Quick
+            test_golden_bless_check_diff_cycle;
+          Alcotest.test_case "tolerance policy" `Quick
+            test_golden_tolerance_policy;
+        ] );
+    ]

@@ -174,6 +174,71 @@ let test_jsonl_sink_round_trip () =
         (T.Event.field "inf" alpha = Some T.Jsonx.Null)
   | _ -> Alcotest.fail "expected two events")
 
+(* The golden snapshots and the result cache both lean on parse ∘ render
+   being the identity; these pin the edges of that contract. *)
+let test_jsonx_round_trip_edges () =
+  let rt v = T.Jsonx.parse (T.Jsonx.to_string v) in
+  (* Control characters, quotes and backslashes in strings. *)
+  let hairy = "tab\t nl\n cr\r quote\" back\\slash bell\007 esc\027 nul\000" in
+  (match rt (T.Jsonx.String hairy) with
+  | T.Jsonx.String s -> Alcotest.(check string) "escapes survive" hairy s
+  | _ -> Alcotest.fail "string did not round-trip as a string");
+  (* Non-finite floats have no JSON representation: they render as null and
+     must still produce a parseable line. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        "non-finite float renders as null" true
+        (rt (T.Jsonx.Float x) = T.Jsonx.Null))
+    [ nan; infinity; neg_infinity ];
+  (* Extreme integers. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        "extreme int round-trips" true
+        (rt (T.Jsonx.Int i) = T.Jsonx.Int i))
+    [ max_int; min_int; 0; -1 ];
+  (* Floats must round-trip bit-for-bit, including the %.17g fallback
+     cases, denormals and integral values (which render with a decimal
+     point so they come back as Float, not Int). *)
+  List.iter
+    (fun x ->
+      match rt (T.Jsonx.Float x) with
+      | T.Jsonx.Float y ->
+          Alcotest.(check bool)
+            (Printf.sprintf "float %h bit-identical" x)
+            true
+            (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      | other ->
+          Alcotest.failf "float %h round-tripped as %s" x
+            (T.Jsonx.to_string other))
+    [
+      0.1; 1. /. 3.; 1.0000000000000002; 1e-300; -1.5e308; 4.9e-324; 3.0;
+      -0.; 1e16; 123456789.5;
+    ]
+
+(* A torn JSONL line — a prefix of a valid object cut mid-write — must be
+   rejected, never silently completed. *)
+let test_jsonx_rejects_torn_lines () =
+  let line =
+    T.Jsonx.to_string
+      (T.Jsonx.Obj
+         [
+           ("name", T.Jsonx.String "run_summary");
+           ("values", T.Jsonx.List [ T.Jsonx.Float 0.25; T.Jsonx.Int 3 ]);
+         ])
+  in
+  for cut = 1 to String.length line - 1 do
+    let torn = String.sub line 0 cut in
+    match T.Jsonx.parse torn with
+    | _ -> Alcotest.failf "parsed torn prefix %S" torn
+    | exception T.Jsonx.Parse_error _ -> ()
+  done;
+  (* Two records glued onto one line are trailing garbage, not a value. *)
+  match T.Jsonx.parse (line ^ line) with
+  | _ -> Alcotest.fail "parsed two glued documents"
+  | exception T.Jsonx.Parse_error _ -> ()
+
 let test_jsonx_parse_rejects_garbage () =
   List.iter
     (fun s ->
@@ -345,6 +410,10 @@ let () =
             test_jsonl_sink_round_trip;
           Alcotest.test_case "parser rejects garbage" `Quick
             test_jsonx_parse_rejects_garbage;
+          Alcotest.test_case "round-trip edge cases" `Quick
+            test_jsonx_round_trip_edges;
+          Alcotest.test_case "torn lines rejected" `Quick
+            test_jsonx_rejects_torn_lines;
           Alcotest.test_case "registry isolation" `Quick
             test_registry_isolation;
           Alcotest.test_case "report renders" `Quick test_report_renders;
