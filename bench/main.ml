@@ -7,6 +7,7 @@
      main.exe --full          paper-scale durations
      main.exe --perf          micro-benchmarks only
      main.exe --perf-out F    write the micro-benchmark JSON to F
+     main.exe --trend         fold BENCH_PR*.json into a per-kernel history
      main.exe --only NAME     a single experiment: table1 table2 table3
                               figure2 figure3 multihop shortsighted
                               malicious convergence search validation
@@ -46,6 +47,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let perf = List.mem "--perf" args in
+  let trend = List.mem "--trend" args in
   let rec keyed flag = function
     | f :: value :: _ when f = flag -> Some value
     | _ :: rest -> keyed flag rest
@@ -94,19 +96,20 @@ let () =
                 (String.concat " " (List.map fst experiments));
               exit 1)
       | None ->
-          if not perf then begin
+          if not (perf || trend) then begin
             Printf.printf
               "Reproduction harness: Chen & Leneutre, ICDCS 2007 (%s scale)\n"
               (if full then "full" else "quick");
             List.iter (fun (_, f) -> f scale) experiments
           end);
-      if perf then
-        let out =
-          match keyed "--perf-out" args with
-          | Some path -> path
-          | None -> (
-              match Sys.getenv_opt "BENCH_PERF_OUT" with
-              | Some path -> path
-              | None -> "BENCH_PR4.json")
-        in
-        Perf.run ~out ())
+      (if perf then
+         let out =
+           match keyed "--perf-out" args with
+           | Some path -> path
+           | None -> (
+               match Sys.getenv_opt "BENCH_PERF_OUT" with
+               | Some path -> path
+               | None -> "BENCH_PR6.json")
+         in
+         Perf.run ~out ());
+      if trend then Trend.run ())

@@ -81,6 +81,27 @@ let tests =
                      duration = 1.;
                      seed = 1;
                    })));
+      (* The same event-core kernel with the flight recorder enabled: the
+         PR-6 acceptance bound is traced-vs-untraced within 5%.  The
+         recorder is toggled inside the staged closure so only this
+         kernel pays for it; rings wrap freely (wraps are just counter
+         bumps) and are drained after the suite. *)
+      Test.make ~name:"spatial_sim_1s_n25_random_traced"
+        (Staged.stage
+           (let adjacency = random_25 () in
+            let recorder = Telemetry.Recorder.default in
+            fun () ->
+              Telemetry.Recorder.set_enabled recorder true;
+              ignore
+                (Netsim.Spatial.run
+                   {
+                     params = Dcf.Params.rts_cts;
+                     adjacency;
+                     cws = Array.make 25 32;
+                     duration = 1.;
+                     seed = 1;
+                   });
+              Telemetry.Recorder.set_enabled recorder false));
       (* ... and through the retired slot-scan loop it replaced, kept
          callable precisely so this speedup stays measurable (and so the
          differential tests have something to diff against). *)
@@ -177,23 +198,46 @@ let strip name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
-let write_json path estimates =
+(* Since PR 6 each kernel carries its replicate count and sample spread,
+   so the regression guard and the trend tool can compare medians with
+   error bars instead of single OLS points.  [entries] is
+   (name, ols_ns, median_ns, stddev_ns, replicates). *)
+let write_json path entries =
   let open Telemetry.Jsonx in
+  let kernel (name, ols, median, stddev, replicates) =
+    ( name,
+      Obj
+        [
+          ("ns_per_run", Float ols);
+          ("median", Float median);
+          ("stddev", Float stddev);
+          ("replicates", Int replicates);
+        ] )
+  in
   let json =
     Obj
       [
         ("benchmark", String "bechamel-ols");
         ("unit", String "ns/run");
-        ( "kernels",
-          Obj (List.map (fun (name, ns) -> (strip name, Float ns)) estimates)
-        );
+        ("kernels", Obj (List.map kernel entries));
       ]
   in
   let oc = open_out path in
   output_string oc (to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d kernels)\n" path (List.length estimates)
+  Printf.printf "wrote %s (%d kernels)\n" path (List.length entries)
+
+(* A kernel entry in a baseline file is either the pre-PR6 bare number or
+   the current {ns_per_run; ...} object; read both so old baselines keep
+   guarding new runs. *)
+let kernel_ns json =
+  match json with
+  | Telemetry.Jsonx.Obj _ ->
+      Option.bind
+        (Telemetry.Jsonx.member "ns_per_run" json)
+        Telemetry.Jsonx.to_float_opt
+  | _ -> Telemetry.Jsonx.to_float_opt json
 
 (* Performance regression guard: compare the fresh spatial-kernel
    estimates against the checked-in baseline JSON (the previous --perf
@@ -224,11 +268,7 @@ let check_against_baseline path estimates =
               String.length name >= 11
               && String.sub name 0 11 = "spatial_sim"
             then
-              match
-                Option.bind
-                  (Telemetry.Jsonx.member name kernels)
-                  Telemetry.Jsonx.to_float_opt
-              with
+              match Option.bind (Telemetry.Jsonx.member name kernels) kernel_ns with
               | Some old_ns when Float.is_finite old_ns && old_ns > 0. ->
                   let factor = ns /. old_ns in
                   Printf.printf "baseline %-36s %8.0f -> %8.0f ns/run (%.2fx)\n"
@@ -326,5 +366,59 @@ let run ~out () =
   let estimates =
     List.sort compare (List.map (fun (n, ns) -> (strip n, ns)) !estimates)
   in
+  (* Per-kernel replicate spread from the raw measurements behind the OLS
+     fit: one ns/run sample per batch, summarised as median + stddev. *)
+  let label = Measure.label (List.hd instances) in
+  let sample_stats =
+    Hashtbl.fold
+      (fun name (b : Benchmark.t) acc ->
+        let samples =
+          Array.map
+            (fun m ->
+              Measurement_raw.get ~label m /. Measurement_raw.run m)
+            b.lr
+        in
+        Array.sort compare samples;
+        let k = Array.length samples in
+        let median =
+          if k = 0 then nan
+          else if k land 1 = 1 then samples.(k / 2)
+          else (samples.((k / 2) - 1) +. samples.(k / 2)) /. 2.
+        in
+        let mean =
+          Array.fold_left ( +. ) 0. samples /. float_of_int (Stdlib.max 1 k)
+        in
+        let stddev =
+          if k < 2 then 0.
+          else
+            sqrt
+              (Array.fold_left (fun a s -> a +. ((s -. mean) *. (s -. mean))) 0. samples
+              /. float_of_int (k - 1))
+        in
+        (strip name, (median, stddev, k)) :: acc)
+      raw []
+  in
+  let entries =
+    List.map
+      (fun (name, ols) ->
+        match List.assoc_opt name sample_stats with
+        | Some (median, stddev, k) -> (name, ols, median, stddev, k)
+        | None -> (name, ols, nan, nan, 0))
+      estimates
+  in
+  (* The PR-6 overhead bound: tracing the 25-node event core must stay
+     within a few percent of the untraced kernel. *)
+  (match
+     ( List.assoc_opt "spatial_sim_1s_n25_random" estimates,
+       List.assoc_opt "spatial_sim_1s_n25_random_traced" estimates )
+   with
+  | Some base, Some traced when base > 0. ->
+      Printf.printf "tracing overhead: %.0f -> %.0f ns/run (%+.2f%%)\n" base
+        traced
+        (100. *. (traced -. base) /. base)
+  | _ -> ());
+  (* The traced kernel left wrapped rings behind; empty them so the
+     process exits with clean recorder state. *)
+  ignore (Telemetry.Recorder.drain Telemetry.Recorder.default);
   check_against_baseline out estimates;
-  write_json out estimates
+  write_json out entries

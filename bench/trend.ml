@@ -1,0 +1,104 @@
+(* Per-kernel performance history: fold every checked-in BENCH_PR*.json
+   into one table, newest column last, so a fresh perf run is judged
+   against the trajectory of the repo rather than only the previous
+   sample and its 2x guard.  Handles both baseline formats: the pre-PR6
+   bare ns/run numbers and the current {ns_per_run; median; stddev;
+   replicates} objects. *)
+
+let kernel_ns json =
+  match json with
+  | Telemetry.Jsonx.Obj _ ->
+      Option.bind
+        (Telemetry.Jsonx.member "ns_per_run" json)
+        Telemetry.Jsonx.to_float_opt
+  | _ -> Telemetry.Jsonx.to_float_opt json
+
+let prefix = "BENCH_PR"
+let suffix = ".json"
+
+let pr_number file =
+  let plen = String.length prefix and slen = String.length suffix in
+  let n = String.length file in
+  if n > plen + slen
+     && String.sub file 0 plen = prefix
+     && String.sub file (n - slen) slen = suffix
+  then int_of_string_opt (String.sub file plen (n - plen - slen))
+  else None
+
+let load dir file =
+  let path = Filename.concat dir file in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+      match Telemetry.Jsonx.parse text with
+      | exception Telemetry.Jsonx.Parse_error _ -> None
+      | json -> (
+          match Telemetry.Jsonx.member "kernels" json with
+          | Some (Telemetry.Jsonx.Obj kernels) ->
+              Some
+                (List.filter_map
+                   (fun (name, v) ->
+                     Option.map (fun ns -> (name, ns)) (kernel_ns v))
+                   kernels)
+          | _ -> None))
+
+let render_ns ns =
+  if Float.is_nan ns then "-"
+  else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let run ?(dir = ".") () =
+  Common.heading "Per-kernel perf trend (BENCH_PR*.json history)";
+  let history =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           match pr_number f with
+           | Some pr -> Option.map (fun ks -> (pr, ks)) (load dir f)
+           | None -> None)
+    |> List.sort compare
+  in
+  if history = [] then
+    print_endline "no BENCH_PR*.json files found; nothing to fold"
+  else begin
+    let kernels =
+      List.concat_map (fun (_, ks) -> List.map fst ks) history
+      |> List.sort_uniq compare
+    in
+    let columns =
+      Prelude.Table.column ~align:Prelude.Table.Left "kernel"
+      :: List.map
+           (fun (pr, _) -> Prelude.Table.column (Printf.sprintf "PR%d" pr))
+           history
+      @ [ Prelude.Table.column "last/prev" ]
+    in
+    let rows =
+      List.map
+        (fun kernel ->
+          let series =
+            List.map (fun (_, ks) -> List.assoc_opt kernel ks) history
+          in
+          let cells =
+            List.map
+              (function Some ns -> render_ns ns | None -> "-")
+              series
+          in
+          (* Trend cell: the newest sample against the latest preceding
+             PR that measured this kernel. *)
+          let present = List.filter_map Fun.id series in
+          let delta =
+            match List.rev present with
+            | last :: prev :: _ when prev > 0. ->
+                let f = last /. prev in
+                Printf.sprintf "%s%.2fx" (if f > 1.25 then "! " else "") f
+            | _ -> "-"
+          in
+          (kernel :: cells) @ [ delta ])
+        kernels
+    in
+    Common.print_table columns rows;
+    print_endline
+      "(last/prev: newest sample over the previous PR that measured the \
+       kernel; ! marks >1.25x)"
+  end

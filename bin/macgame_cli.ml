@@ -87,8 +87,9 @@ let configure_runner jobs cache no_cache =
     }
 
 (* Observability: every subcommand accepts --telemetry FILE (stream the
-   instrumentation events of all layers as JSONL) and --telemetry-report
-   (print the metrics registry after the run). *)
+   instrumentation events of all layers as JSONL), --telemetry-report
+   (print the metrics registry after the run) and --trace FILE (record a
+   binary flight-recorder trace of the run's hot paths). *)
 
 let telemetry_t =
   Arg.(
@@ -105,8 +106,20 @@ let telemetry_report_t =
     & info [ "telemetry-report" ]
         ~doc:"Print the telemetry counters/histograms report after the run.")
 
-let with_telemetry file report f =
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable the flight recorder for the run and write the drained \
+           trace to $(docv) (binary; inspect it with $(b,macgame trace \
+           summary) or export it for Perfetto with $(b,macgame trace \
+           export)).")
+
+let with_telemetry file report trace f =
   let registry = Telemetry.Registry.default in
+  let recorder = Telemetry.Recorder.default in
   let sink =
     Option.map
       (fun path ->
@@ -117,24 +130,35 @@ let with_telemetry file report f =
       file
   in
   Option.iter (Telemetry.Registry.add_sink registry) sink;
+  if trace <> None then Telemetry.Recorder.set_enabled recorder true;
   Fun.protect
     ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Telemetry.Recorder.set_enabled recorder false;
+          let dump = Telemetry.Recorder.drain ~registry recorder in
+          Telemetry.Trace_file.write path dump;
+          Printf.eprintf "trace: %d records (%d dropped) -> %s\n"
+            (Array.length dump.records) dump.dropped path)
+        trace;
       Option.iter
         (fun s ->
           Telemetry.Registry.remove_sink registry s;
           Telemetry.Sink.close s)
         sink;
-      if report then print_string (Telemetry.Report.render ~registry ()))
+      if report then
+        print_string (Telemetry.Report.render ~registry ~recorder ()))
     f
 
 (* [instrumented run] threads the telemetry and runner options in front of
    a subcommand's own arguments. *)
 let instrumented term =
   Term.(
-    const (fun file report jobs cache no_cache run ->
+    const (fun file report trace jobs cache no_cache run ->
         configure_runner jobs cache no_cache;
-        with_telemetry file report run)
-    $ telemetry_t $ telemetry_report_t $ jobs_t $ cache_t $ no_cache_t $ term)
+        with_telemetry file report trace run)
+    $ telemetry_t $ telemetry_report_t $ trace_out_t $ jobs_t $ cache_t
+    $ no_cache_t $ term)
 
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
@@ -624,10 +648,10 @@ let conformance_cmd =
     | Some s when s <> "" && s <> "0" -> true
     | _ -> false
   in
-  let run file report jobs cache no_cache tier golden_dir bless out =
+  let run file report trace jobs cache no_cache tier golden_dir bless out =
     configure_runner jobs cache no_cache;
     let failed = ref false in
-    with_telemetry file report (fun () ->
+    with_telemetry file report trace (fun () ->
         if bless || bless_env () then
           List.iter
             (fun path -> Printf.printf "blessed %s\n" path)
@@ -651,8 +675,273 @@ let conformance_cmd =
          "Run the conformance suite: cross-backend statistical equivalence, \
           paper anchors and golden snapshots")
     Term.(
-      const run $ telemetry_t $ telemetry_report_t $ jobs_t $ cache_t
-      $ no_cache_t $ tier_t $ golden_dir_t $ bless_t $ out_t)
+      const run $ telemetry_t $ telemetry_report_t $ trace_out_t $ jobs_t
+      $ cache_t $ no_cache_t $ tier_t $ golden_dir_t $ bless_t $ out_t)
+
+(* {1 trace}
+
+   The flight-recorder toolbox: record a built-in workload to a binary
+   trace, summarise it (top-k self/total time per span name), export it
+   as Chrome trace-event JSON for Perfetto, and diff two traces with a
+   threshold exit code for regression gates. *)
+
+let read_trace path =
+  match Telemetry.Trace_file.read path with
+  | dump -> dump
+  | exception Telemetry.Trace_file.Corrupt msg ->
+      Printf.eprintf "%s: corrupt trace: %s\n" path msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot read trace: %s\n" msg;
+      exit 2
+
+let trace_record_cmd =
+  let workload_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("spatial25", `Spatial25); ("chain30", `Chain30);
+               ("solve", `Solve); ("sweep", `Sweep);
+             ])
+          `Spatial25
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Built-in workload to record: $(b,spatial25) (25-node random \
+             geometric spatial simulation, the perf kernel's topology), \
+             $(b,chain30) (30-node RTS/CTS chain), $(b,solve) (50-node \
+             heterogeneous fixed point) or $(b,sweep) (window sweep through \
+             the runner pool; combine with -j to exercise multi-domain \
+             merging).")
+  in
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the trace.")
+  in
+  let repeat_t =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"K" ~doc:"Run the workload $(docv) times.")
+  in
+  let capacity_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"RECORDS"
+          ~doc:
+            "Ring capacity per domain (rounded up to a power of two; \
+             default 32768).  Small rings demonstrate wrap accounting.")
+  in
+  let detail_t =
+    Arg.(
+      value & flag
+      & info [ "detail" ]
+          ~doc:
+            "Also record the dense tier (per-calendar-event instants in the \
+             spatial core).")
+  in
+  let inject_t =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-slow-us" ] ~docv:"MICROS"
+          ~doc:
+            "Busy-wait $(docv) microseconds inside each workload iteration \
+             (under a $(b,trace.injected) span) — an artificial slowdown \
+             for exercising $(b,trace diff).")
+  in
+  let busy_wait us =
+    let until = Unix.gettimeofday () +. (float_of_int us *. 1e-6) in
+    while Unix.gettimeofday () < until do
+      ()
+    done
+  in
+  let chain n =
+    Array.init n (fun i ->
+        List.filter (fun j -> j >= 0 && j < n && j <> i) [ i - 1; i + 1 ])
+  in
+  let random_geometric ~seed n =
+    let w =
+      Mobility.Waypoint.create ~seed
+        { width = 500.; height = 500.; speed_min = 0.; speed_max = 5. }
+        ~n
+    in
+    Mobility.Topology.snapshot ~connect_attempts:50 w ~range:180.
+  in
+  let spatial adjacency n duration seed =
+    ignore
+      (Netsim.Spatial.run
+         {
+           params = Dcf.Params.rts_cts;
+           adjacency;
+           cws = Array.make n 32;
+           duration;
+           seed;
+         })
+  in
+  let sweep_workload jobs =
+    let oracle = Macgame.Oracle.analytic Dcf.Params.default in
+    let tasks =
+      Array.init 32 (fun i ->
+          let w = 16 + (8 * i) in
+          Runner.Task.make
+            ~key:
+              (Runner.Task.key_of ~family:"trace.sweep"
+                 [ ("w", Telemetry.Jsonx.Int w) ])
+            ~encode:(fun v -> Telemetry.Jsonx.Float v)
+            ~decode:Telemetry.Jsonx.to_float_opt
+            (fun _rng -> Macgame.Oracle.payoff_uniform oracle ~n:10 ~w))
+    in
+    ignore
+      (Runner.map
+         ~config:
+           { Runner.workers = jobs; cache_dir = None; checkpoints = false; seed = 0 }
+         ~name:"trace.sweep" tasks)
+  in
+  let run workload out duration seed repeat capacity detail inject jobs =
+    let recorder = Telemetry.Recorder.default in
+    Option.iter (Telemetry.Recorder.set_capacity recorder) capacity;
+    Telemetry.Recorder.set_detail recorder detail;
+    let nid_workload = Telemetry.Recorder.intern recorder "trace.workload" in
+    let nid_injected = Telemetry.Recorder.intern recorder "trace.injected" in
+    let body =
+      match workload with
+      | `Spatial25 ->
+          let adjacency = random_geometric ~seed 25 in
+          fun () -> spatial adjacency 25 duration seed
+      | `Chain30 ->
+          let adjacency = chain 30 in
+          fun () -> spatial adjacency 30 duration seed
+      | `Solve ->
+          fun () ->
+            ignore
+              (Dcf.Solver.solve Dcf.Params.default
+                 (Array.init 50 (fun i -> 64 + i)))
+      | `Sweep -> fun () -> sweep_workload jobs
+    in
+    Telemetry.Recorder.set_enabled recorder true;
+    for k = 1 to Stdlib.max 1 repeat do
+      let rid = Telemetry.Recorder.begin_span recorder nid_workload k inject in
+      body ();
+      if inject > 0 then begin
+        let irid =
+          Telemetry.Recorder.begin_span recorder nid_injected inject k
+        in
+        busy_wait inject;
+        Telemetry.Recorder.end_span recorder nid_injected irid
+      end;
+      Telemetry.Recorder.end_span recorder nid_workload rid
+    done;
+    Telemetry.Recorder.set_enabled recorder false;
+    let dump = Telemetry.Recorder.drain recorder in
+    Telemetry.Trace_file.write out dump;
+    Printf.printf "trace: %d records (%d dropped) -> %s\n"
+      (Array.length dump.records) dump.dropped out
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a built-in workload to a binary trace")
+    Term.(
+      const run $ workload_t $ out_t $ duration_t $ seed_t $ repeat_t
+      $ capacity_t $ detail_t $ inject_t $ jobs_t)
+
+let trace_file_pos n doc = Arg.(required & pos n (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let trace_summary_cmd =
+  let top_t =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"K" ~doc:"Show the top $(docv) span names.")
+  in
+  let run path top =
+    let summary = Telemetry.Trace_view.summarize (read_trace path) in
+    Telemetry.Trace_view.render_summary ~top Format.std_formatter summary
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"Per-span self/total time and loss accounting for a trace")
+    Term.(const run $ trace_file_pos 0 "Trace file (from record or --trace)." $ top_t)
+
+let trace_export_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome) ]) `Chrome
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format; $(b,chrome) is Chrome trace-event JSON, \
+             loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the export.")
+  in
+  let run path `Chrome out =
+    let dump = read_trace path in
+    let json =
+      Telemetry.Jsonx.to_string (Telemetry.Trace_view.to_chrome dump)
+    in
+    (* Self-check: the export must parse back before we call it valid. *)
+    (match Telemetry.Jsonx.parse json with
+    | exception Telemetry.Jsonx.Parse_error msg ->
+        Printf.eprintf "internal error: chrome export is not valid JSON: %s\n"
+          msg;
+        exit 2
+    | _ -> ());
+    Out_channel.with_open_bin out (fun oc ->
+        Out_channel.output_string oc json;
+        Out_channel.output_char oc '\n');
+    Printf.printf "exported %d records -> %s (open in ui.perfetto.dev)\n"
+      (Array.length dump.records) out
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a trace for Perfetto / chrome://tracing")
+    Term.(const run $ trace_file_pos 0 "Trace file to export." $ format_t $ out_t)
+
+let trace_diff_cmd =
+  let threshold_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Flag span names whose total time changed by more than this \
+             fraction.")
+  in
+  let min_seconds_t =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "min-seconds" ] ~docv:"SECONDS"
+          ~doc:
+            "Ignore span names below this total time on both sides (noise \
+             floor).")
+  in
+  let run a b threshold min_seconds =
+    let deltas =
+      Telemetry.Trace_view.diff ~threshold ~min_seconds (read_trace a)
+        (read_trace b)
+    in
+    Telemetry.Trace_view.render_diff Format.std_formatter deltas;
+    if Telemetry.Trace_view.flagged deltas > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two traces per span name; exit 1 when any delta exceeds \
+          the threshold")
+    Term.(
+      const run
+      $ trace_file_pos 0 "Baseline trace."
+      $ trace_file_pos 1 "Candidate trace."
+      $ threshold_t $ min_seconds_t)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Record, summarise, export and diff flight-recorder traces")
+    [ trace_record_cmd; trace_summary_cmd; trace_export_cmd; trace_diff_cmd ]
 
 let () =
   let info =
@@ -666,5 +955,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; ne_cmd; game_cmd; search_cmd; sim_cmd; multihop_cmd;
-            sweep_cmd; delay_cmd; detect_cmd; conformance_cmd;
+            sweep_cmd; delay_cmd; detect_cmd; conformance_cmd; trace_cmd;
           ]))

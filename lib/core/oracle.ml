@@ -32,6 +32,22 @@ type t = {
   profile_memo : (int list, classes) Hashtbl.t;
 }
 
+(* Flight-recorder names, interned once (intern takes a lock).  Payload
+   words: hits/misses carry (n, w) on the uniform path and (n, smallest
+   window) on the profile path; solve spans carry the same. *)
+let recorder = Telemetry.Recorder.default
+let nid_hit = Telemetry.Recorder.intern recorder "oracle.hit"
+let nid_miss = Telemetry.Recorder.intern recorder "oracle.miss"
+let nid_solve = Telemetry.Recorder.intern recorder "oracle.solve"
+
+let recorded_solve a b f =
+  let rid = Telemetry.Recorder.begin_span recorder nid_solve a b in
+  if rid = 0 then f ()
+  else
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Recorder.end_span recorder nid_solve rid)
+      f
+
 let validate_backend = function
   | Analytic -> ()
   | Sim_slotted { duration; replicates; _ }
@@ -182,8 +198,13 @@ let uniform t ~n ~w =
   if n < 1 then invalid_arg "Oracle.uniform: need n >= 1";
   if w < 1 then invalid_arg "Oracle.uniform: window must be >= 1";
   match find_memo t t.uniform_memo (n, w) with
-  | Some view -> view
-  | None -> memo_insert t t.uniform_memo (n, w) (solve_uniform t ~n ~w)
+  | Some view ->
+      Telemetry.Recorder.instant recorder nid_hit n w;
+      view
+  | None ->
+      Telemetry.Recorder.instant recorder nid_miss n w;
+      memo_insert t t.uniform_memo (n, w)
+        (recorded_solve n w (fun () -> solve_uniform t ~n ~w))
 
 let payoff_uniform t ~n ~w = (uniform t ~n ~w).utility
 let welfare_uniform t ~n ~w = float_of_int n *. payoff_uniform t ~n ~w
@@ -265,8 +286,13 @@ let payoffs t (profile : Profile.t) =
     let key = Array.to_list sorted in
     let classes =
       match find_memo t t.profile_memo key with
-      | Some classes -> classes
-      | None -> memo_insert t t.profile_memo key (solve_profile t sorted)
+      | Some classes ->
+          Telemetry.Recorder.instant recorder nid_hit n sorted.(0);
+          classes
+      | None ->
+          Telemetry.Recorder.instant recorder nid_miss n sorted.(0);
+          memo_insert t t.profile_memo key
+            (recorded_solve n sorted.(0) (fun () -> solve_profile t sorted))
     in
     Array.map (fun w -> class_utility classes w) profile
   end

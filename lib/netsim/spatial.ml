@@ -110,9 +110,29 @@ let kind_busy_release = 1
 let kind_nav_release = 2
 let kind_fire = 3
 
+(* Flight-recorder names, interned once (intern takes a lock).  The
+   default tier records per-transmission outcomes (a = slot, b = node);
+   the dense per-calendar-event tier sits behind [Recorder.detail]. *)
+let recorder = Telemetry.Recorder.default
+let nid_tx_start = Telemetry.Recorder.intern recorder "spatial.tx_start"
+let nid_success = Telemetry.Recorder.intern recorder "spatial.success"
+let nid_collision = Telemetry.Recorder.intern recorder "spatial.collision"
+let nid_drop = Telemetry.Recorder.intern recorder "spatial.drop"
+
+let nid_event =
+  [|
+    Telemetry.Recorder.intern recorder "spatial.ev.resolve";
+    Telemetry.Recorder.intern recorder "spatial.ev.busy_release";
+    Telemetry.Recorder.intern recorder "spatial.ev.nav_release";
+    Telemetry.Recorder.intern recorder "spatial.ev.fire";
+  |]
+
 type driver = Reference | Event_core
 
-let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
+(* [flight] gates the flight recorder for this run: the differential
+   shadow run passes [false] so primary and shadow do not double-record
+   the same workload into the process-wide rings. *)
+let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
     { params; adjacency; cws; duration; seed } =
   if retry_limit < 0 then invalid_arg "Spatial.run: retry_limit must be >= 0";
   let n = Array.length adjacency in
@@ -240,6 +260,11 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
   let emit event =
     match trace with None -> () | Some t -> Trace.record t event
   in
+  (* One flag read per run, not per event: the recorder can only be
+     toggled between runs, and a single captured bool keeps the hot loop
+     at one predictable branch per site. *)
+  let rec_on = flight && Telemetry.Recorder.enabled recorder in
+  let rec_detail = flight && Telemetry.Recorder.detail recorder in
   (* Driver-specific behaviour, injected so that the physics below is
      shared verbatim between the reference loop and the event core — the
      two schedulers can then only disagree on *when* they call into it,
@@ -270,6 +295,8 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
       if tx.corrupted_local then
         src.local_collisions <- src.local_collisions + 1
       else src.hidden_failures <- src.hidden_failures + 1;
+      if rec_on then
+        Telemetry.Recorder.instant recorder nid_collision now tx.src;
       emit
         (Trace.Collision
            { time = float_of_int now *. sigma; nodes = [ tx.src ] });
@@ -278,6 +305,7 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
         src.drops <- src.drops + 1;
         src.retries <- 0;
         src.stage <- 0;
+        if rec_on then Telemetry.Recorder.instant recorder nid_drop now tx.src;
         emit (Trace.Drop { time = float_of_int now *. sigma; node = tx.src })
       end
       else src.stage <- Stdlib.min (src.stage + 1) m
@@ -290,6 +318,7 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
       if now < horizon then incr delivered else incr delivered_late;
       success_tx_slots := !success_tx_slots + (clip finish - clip started);
       cover (clip now) (clip finish);
+      if rec_on then Telemetry.Recorder.instant recorder nid_success now tx.src;
       emit (Trace.Success { time = float_of_int now *. sigma; node = tx.src });
       src.stage <- 0;
       src.retries <- 0;
@@ -334,6 +363,8 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
     else begin
       let dest = Prelude.Rng.pick node.rng node.neighbors in
       node.attempts <- node.attempts + 1;
+      if rec_on then
+        Telemetry.Recorder.instant recorder nid_tx_start now node.id;
       !raise_busy now node (now + vuln_slots) (* extended at resolution *);
       cover now (clip (now + vuln_slots));
       (match params.mode with
@@ -575,6 +606,8 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
           let e = Prelude.Heap.pop_min cal in
           let id = e mod n in
           let kind = e / n land 3 in
+          if rec_detail then
+            Telemetry.Recorder.instant recorder nid_event.(kind) t id;
           let nd = nodes.(id) in
           if kind = kind_resolve then begin
             let tx = nd.tx in
@@ -750,16 +783,31 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace
       ]);
   result
 
+let nid_run = Telemetry.Recorder.intern recorder "spatial.run"
+
+(* A recorder-only span around one run (a = n, b = seed): cheap enough
+   to leave on every entry point, and it parents the per-transmission
+   instants so traces group by simulation. *)
+let recorded_run a b f =
+  let rid = Telemetry.Recorder.begin_span recorder nid_run a b in
+  if rid = 0 then f ()
+  else
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Recorder.end_span recorder nid_run rid)
+      f
+
 let run_reference ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
     ?(retry_limit = max_int) ?trace config =
-  simulate ~driver:Reference ~telemetry ~cs_adjacency ~retry_limit ~trace
-    config
+  recorded_run (Array.length config.adjacency) config.seed (fun () ->
+      simulate ~driver:Reference ~telemetry ~cs_adjacency ~retry_limit ~trace
+        ~flight:true config)
 
 let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
     ?(retry_limit = max_int) ?trace config =
   let result =
-    simulate ~driver:Event_core ~telemetry ~cs_adjacency ~retry_limit ~trace
-      config
+    recorded_run (Array.length config.adjacency) config.seed (fun () ->
+        simulate ~driver:Event_core ~telemetry ~cs_adjacency ~retry_limit
+          ~trace ~flight:true config)
   in
   (match Sys.getenv_opt "NETSIM_SPATIAL_DIFF" with
   | None | Some "" | Some "0" -> ()
@@ -767,7 +815,7 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
       let shadow =
         simulate ~driver:Reference
           ~telemetry:(Telemetry.Registry.create ())
-          ~cs_adjacency ~retry_limit ~trace:None config
+          ~cs_adjacency ~retry_limit ~trace:None ~flight:false config
       in
       if not (equal_result result shadow) then
         failwith

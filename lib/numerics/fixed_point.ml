@@ -10,6 +10,11 @@ type outcome = {
    megabyte line. *)
 let trajectory_cap = 512
 
+(* Flight-recorder names, interned once (intern takes a lock). *)
+let recorder = Telemetry.Recorder.default
+let nid_phase = Telemetry.Recorder.intern recorder "fixed_point.phase"
+let nid_converged = Telemetry.Recorder.intern recorder "fixed_point.converged"
+
 let solve ?(telemetry = Telemetry.Registry.default) ?(damping = 0.5)
     ?(tol = 1e-12) ?(max_iter = 10_000) f x0 =
   if damping <= 0. || damping > 1. then
@@ -41,6 +46,12 @@ let solve ?(telemetry = Telemetry.Registry.default) ?(damping = 0.5)
           x.(i) <- x'
         done;
         note !residual;
+        (* Sparse progress marks: every power-of-two iteration, carrying
+           the residual's binary exponent so a stalled solve is visible
+           in a trace without per-iteration cost. *)
+        if iter land (iter - 1) = 0 then
+          Telemetry.Recorder.instant recorder nid_phase iter
+            (snd (Float.frexp !residual));
         if !residual <= tol then
           { value = x; iterations = iter; residual = !residual; converged = true }
         else if iter >= max_iter then
@@ -48,6 +59,7 @@ let solve ?(telemetry = Telemetry.Registry.default) ?(damping = 0.5)
         else go (iter + 1)
       in
       let outcome = go 1 in
+      Telemetry.Recorder.instant recorder nid_converged outcome.iterations n;
       Telemetry.Metric.incr
         (Telemetry.Registry.counter telemetry "fixed_point.solves");
       Telemetry.Metric.observe

@@ -87,6 +87,24 @@ let map ?(registry = Telemetry.Registry.default) ?config ~name tasks =
     Array.of_list
       (List.filter (fun i -> results.(i) = None) (List.init n Fun.id))
   in
+  (* Live sweep progress: tasks are completed across pool domains, so a
+     shared atomic drives the progress/ETA gauges any attached reporter
+     (or a concurrent reader of the default registry) can poll. *)
+  let completed = Atomic.make 0 in
+  let sweep_t0 = Unix.gettimeofday () in
+  let progress_gauge = Telemetry.Registry.gauge registry "runner.sweep.progress" in
+  let eta_gauge = Telemetry.Registry.gauge registry "runner.sweep.eta_seconds" in
+  let to_compute = Array.length pending in
+  Telemetry.Metric.set progress_gauge (if to_compute = 0 then 1. else 0.);
+  Telemetry.Metric.set eta_gauge 0.;
+  let note_done () =
+    let d = Atomic.fetch_and_add completed 1 + 1 in
+    Telemetry.Metric.set progress_gauge
+      (float_of_int d /. float_of_int to_compute);
+    let elapsed = Unix.gettimeofday () -. sweep_t0 in
+    Telemetry.Metric.set eta_gauge
+      (elapsed /. float_of_int d *. float_of_int (to_compute - d))
+  in
   let job i () =
     let task = tasks.(i) in
     Telemetry.Span.with_span ~registry
@@ -105,13 +123,17 @@ let map ?(registry = Telemetry.Registry.default) ?config ~name tasks =
           (fun j -> Checkpoint.record j ~fingerprint:fingerprints.(i) encoded)
           journal;
         Telemetry.Metric.incr
-          (Telemetry.Registry.counter registry "runner.tasks.completed"))
+          (Telemetry.Registry.counter registry "runner.tasks.completed");
+        note_done ())
   in
   let pool = Pool.create ~registry ~workers:cfg.workers () in
   let finish () = Option.iter Checkpoint.close journal in
   let stats =
     Fun.protect ~finally:finish (fun () ->
-        Pool.run pool (Array.map job pending))
+        Telemetry.Span.with_span ~registry
+          ~fields:(fun () -> [ ("sweep", Telemetry.Jsonx.String name) ])
+          "runner.sweep"
+          (fun () -> Pool.run pool (Array.map job pending)))
   in
   (* The pool is done — emit the sweep's audit record. *)
   Telemetry.Registry.emit registry "run_manifest" (fun () ->

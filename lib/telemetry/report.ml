@@ -8,7 +8,7 @@ let time_unit seconds =
 
 let g6 x = Printf.sprintf "%.6g" x
 
-let render ?(registry = Registry.default) () =
+let render ?(registry = Registry.default) ?recorder () =
   let buf = Buffer.create 1024 in
   let section title columns rows =
     if rows <> [] then begin
@@ -52,4 +52,18 @@ let render ?(registry = Registry.default) () =
            cell (Metric.hmax h);
          ])
        (Registry.histograms registry));
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      let st = Recorder.stats r in
+      if st.written > 0 || st.dropped > 0 then
+        section
+          (Printf.sprintf "flight recorder (%s)" (Registry.label registry))
+          [ left "trace"; right "value" ]
+          [
+            [ "rings"; string_of_int st.rings ];
+            [ "records held"; string_of_int st.live ];
+            [ "records written"; string_of_int st.written ];
+            [ "records dropped"; string_of_int st.dropped ];
+          ]);
   Buffer.contents buf

@@ -2,8 +2,11 @@
 
     Three sections — counters, gauges, histograms — each omitted when
     empty.  Histograms whose name ends in [".seconds"] (the span
-    convention) render with time units. *)
+    convention) render with time units.  When [recorder] is given and has
+    recorded anything, a fourth section reports the flight recorder's
+    ring/record/drop counts so a truncated trace is visible in the run
+    summary. *)
 
-val render : ?registry:Registry.t -> unit -> string
+val render : ?registry:Registry.t -> ?recorder:Recorder.t -> unit -> string
 (** Newline-terminated multi-line report; [""] when the registry holds no
     metrics. *)

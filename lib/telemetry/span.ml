@@ -1,32 +1,69 @@
-let with_span ?(registry = Registry.default) ?fields name f =
+(* Metrics/events go through [registry]; identity (span id, parent id)
+   comes from the flight recorder so cross-domain traces can reconstruct
+   the call tree.  When the recorder is disabled the id is 0 and nothing
+   is recorded or interned. *)
+
+let emit_span registry name dt depth rid parent fields =
+  Registry.emit registry "span" (fun () ->
+      ("name", Jsonx.String name)
+      :: ("seconds", Jsonx.Float dt)
+      :: ("depth", Jsonx.Int depth)
+      :: (if rid = 0 then []
+          else [ ("span", Jsonx.Int rid); ("parent", Jsonx.Int parent) ])
+      @ (match fields with None -> [] | Some fields -> fields ()))
+
+let with_span ?(registry = Registry.default) ?(recorder = Recorder.default)
+    ?fields name f =
   let t0 = Registry.now registry in
   let own_depth = Registry.enter_span registry in
+  let parent = Recorder.current_span recorder in
+  let nid, rid =
+    if Recorder.enabled recorder then
+      let nid = Recorder.intern recorder name in
+      (nid, Recorder.begin_span recorder nid 0 0)
+    else (0, 0)
+  in
   let finish () =
+    Recorder.end_span recorder nid rid;
     let dt = Registry.now registry -. t0 in
     Registry.leave_span registry;
     Metric.observe (Registry.histogram registry (name ^ ".seconds")) dt;
     Metric.incr (Registry.counter registry (name ^ ".calls"));
-    Registry.emit registry "span" (fun () ->
-        ("name", Jsonx.String name)
-        :: ("seconds", Jsonx.Float dt)
-        :: ("depth", Jsonx.Int own_depth)
-        :: (match fields with None -> [] | Some fields -> fields ()))
+    emit_span registry name dt own_depth rid parent fields
   in
   Fun.protect ~finally:finish f
 
-type timer = { registry : Registry.t; name : string; t0 : float; depth : int }
+type timer = {
+  registry : Registry.t;
+  recorder : Recorder.t;
+  name : string;
+  t0 : float;
+  depth : int;
+  nid : int;
+  rid : int;
+  parent : int;
+}
 
-let start ?(registry = Registry.default) name =
-  { registry; name; t0 = Registry.now registry; depth = Registry.enter_span registry }
+let start ?(registry = Registry.default) ?(recorder = Recorder.default) name =
+  let t0 = Registry.now registry in
+  let depth = Registry.enter_span registry in
+  let parent = Recorder.current_span recorder in
+  let nid, rid =
+    if Recorder.enabled recorder then
+      let nid = Recorder.intern recorder name in
+      (nid, Recorder.begin_span recorder nid 0 0)
+    else (0, 0)
+  in
+  { registry; recorder; name; t0; depth; nid; rid; parent }
+
+let id timer = timer.rid
 
 let stop ?fields timer =
+  Recorder.end_span timer.recorder timer.nid timer.rid;
   let dt = Registry.now timer.registry -. timer.t0 in
   Registry.leave_span timer.registry;
   Metric.observe (Registry.histogram timer.registry (timer.name ^ ".seconds")) dt;
   Metric.incr (Registry.counter timer.registry (timer.name ^ ".calls"));
-  Registry.emit timer.registry "span" (fun () ->
-      ("name", Jsonx.String timer.name)
-      :: ("seconds", Jsonx.Float dt)
-      :: ("depth", Jsonx.Int timer.depth)
-      :: (match fields with None -> [] | Some fields -> fields ()));
+  emit_span timer.registry timer.name dt timer.depth timer.rid timer.parent
+    fields;
   dt
