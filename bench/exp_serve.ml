@@ -1,0 +1,123 @@
+(* Saturation bench of the serving layer: an open-loop offered-load sweep
+   against one in-process server, measuring achieved QPS, response-time
+   percentiles and the hit-tier mix at each level.
+
+   Open loop means requests arrive on a fixed schedule whether or not the
+   previous one finished, and response time is measured from the
+   {e scheduled} arrival — so once the offered rate exceeds the service
+   rate, the backlog (and p99) grows without bound instead of the
+   classic closed-loop mistake of politely waiting and reporting a flat
+   latency.  The sweep is where the knee is visible: achieved QPS tracks
+   offered QPS until saturation, then plateaus while p99 explodes. *)
+
+module Jx = Telemetry.Jsonx
+
+let params = Dcf.Params.default
+
+(* The request mix: uniform tau/welfare queries over a (n, w) grid plus a
+   sprinkle of heterogeneous payoff profiles — repeated queries, so after
+   the warmup pass the server answers from the memo tier, which is the
+   regime a long-running service lives in. *)
+let request_mix =
+  let uniform =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun w ->
+            [
+              Printf.sprintf "{\"op\":\"tau\",\"n\":%d,\"w\":%d}" n w;
+              Printf.sprintf "{\"op\":\"welfare\",\"n\":%d,\"w\":%d}" n w;
+            ])
+          [ 16; 32; 64; 128; 256 ])
+      [ 2; 5; 10; 20 ]
+  in
+  let payoff =
+    [
+      "{\"op\":\"payoff\",\"profile\":[16,32,32,64]}";
+      "{\"op\":\"payoff\",\"profile\":[32,32,32,64,128]}";
+    ]
+  in
+  Array.of_list (uniform @ payoff)
+
+let tier_counts registry =
+  List.map
+    (fun tier ->
+      ( tier,
+        Telemetry.Metric.count
+          (Telemetry.Registry.counter registry ("serve.tier." ^ tier)) ))
+    [ "memo"; "store"; "cold" ]
+
+(* One offered-load level: [duration] seconds of requests at [offered_qps],
+   round-robin over the mix.  Returns the measured point as JSON. *)
+let level server registry ~offered_qps ~duration =
+  let total = int_of_float (offered_qps *. duration) in
+  let latencies = Array.make (Stdlib.max 1 total) 0. in
+  let tiers_before = tier_counts registry in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to total - 1 do
+    let scheduled = t0 +. (float_of_int i /. offered_qps) in
+    (* Open loop: never wait for the previous request, but do not issue
+       ahead of schedule either. *)
+    while Unix.gettimeofday () < scheduled do
+      ()
+    done;
+    ignore (Serve.Server.handle_line server request_mix.(i mod Array.length request_mix));
+    latencies.(i) <- (Unix.gettimeofday () -. scheduled) *. 1e3
+  done;
+  let t1 = Unix.gettimeofday () in
+  let achieved = float_of_int total /. (t1 -. t0) in
+  let tiers_after = tier_counts registry in
+  let tier_mix =
+    List.map2
+      (fun (tier, before) (_, after) -> (tier, Jx.Int (after - before)))
+      tiers_before tiers_after
+  in
+  Jx.Obj
+    [
+      ("offered_qps", Jx.Float offered_qps);
+      ("achieved_qps", Jx.Float achieved);
+      ("requests", Jx.Int total);
+      ("p50_ms", Jx.Float (Prelude.Stats.percentile latencies 50.));
+      ("p99_ms", Jx.Float (Prelude.Stats.percentile latencies 99.));
+      ("max_ms", Jx.Float (Prelude.Stats.percentile latencies 100.));
+      ("tiers", Jx.Obj tier_mix);
+    ]
+
+let offered_levels = [ 10_000.; 50_000.; 100_000.; 200_000.; 400_000. ]
+
+let saturation () =
+  Common.heading "Serving-layer saturation sweep (open loop)";
+  let registry = Telemetry.Registry.default in
+  let server = Serve.Server.create (Macgame.Oracle.analytic params) in
+  (* Warm the memo so the sweep measures the serving path, not first-touch
+     solves: one pass over the whole mix. *)
+  Array.iter (fun line -> ignore (Serve.Server.handle_line server line)) request_mix;
+  let columns =
+    [
+      Prelude.Table.column "offered QPS";
+      Prelude.Table.column "achieved QPS";
+      Prelude.Table.column "p50";
+      Prelude.Table.column "p99";
+    ]
+  in
+  let points =
+    List.map
+      (fun offered_qps -> level server registry ~offered_qps ~duration:0.5)
+      offered_levels
+  in
+  let cell field point =
+    match Option.bind (Jx.member field point) Jx.to_float_opt with
+    | Some v -> v
+    | None -> nan
+  in
+  Common.print_table columns
+    (List.map
+       (fun p ->
+         [
+           Printf.sprintf "%.0f" (cell "offered_qps" p);
+           Printf.sprintf "%.0f" (cell "achieved_qps" p);
+           Printf.sprintf "%.3f ms" (cell "p50_ms" p);
+           Printf.sprintf "%.3f ms" (cell "p99_ms" p);
+         ])
+       points);
+  Jx.List points

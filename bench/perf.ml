@@ -163,6 +163,26 @@ let tests =
                     duration = 1.;
                     seed = 1;
                   })));
+      (* Serving-layer kernels: one request line through the full parse →
+         dispatch → render path.  Warm = a long-lived server answering
+         from the memo tier (the steady state of a running service);
+         cold = a fresh server per call, so the line also pays for the
+         oracle solve. *)
+      Test.make ~name:"serve_handle_line_warm"
+        (Staged.stage
+           (let server =
+              Serve.Server.create (Macgame.Oracle.analytic params)
+            in
+            let line = "{\"op\":\"tau\",\"n\":10,\"w\":128}" in
+            ignore (Serve.Server.handle_line server line);
+            fun () -> ignore (Serve.Server.handle_line server line)))
+      ;
+      Test.make ~name:"serve_handle_line_cold"
+        (Staged.stage (fun () ->
+             ignore
+               (Serve.Server.handle_line
+                  (Serve.Server.create (Macgame.Oracle.analytic params))
+                  "{\"op\":\"tau\",\"n\":10,\"w\":128}")));
       (* Runner overhead: a 32-point sweep of near-empty tasks on 4
          domains, no cache — measures the engine's fixed cost per sweep
          (pool spawn/join, deques, key hashing) as distinct from the
@@ -202,7 +222,7 @@ let strip name =
    so the regression guard and the trend tool can compare medians with
    error bars instead of single OLS points.  [entries] is
    (name, ols_ns, median_ns, stddev_ns, replicates). *)
-let write_json path entries =
+let write_json ?(extras = []) path entries =
   let open Telemetry.Jsonx in
   let kernel (name, ols, median, stddev, replicates) =
     ( name,
@@ -216,11 +236,12 @@ let write_json path entries =
   in
   let json =
     Obj
-      [
-        ("benchmark", String "bechamel-ols");
-        ("unit", String "ns/run");
-        ("kernels", Obj (List.map kernel entries));
-      ]
+      ([
+         ("benchmark", String "bechamel-ols");
+         ("unit", String "ns/run");
+         ("kernels", Obj (List.map kernel entries));
+       ]
+      @ extras)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -421,4 +442,5 @@ let run ~out () =
      process exits with clean recorder state. *)
   ignore (Telemetry.Recorder.drain Telemetry.Recorder.default);
   check_against_baseline out estimates;
-  write_json out entries
+  let saturation = Exp_serve.saturation () in
+  write_json ~extras:[ ("saturation", saturation) ] out entries

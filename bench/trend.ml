@@ -25,22 +25,42 @@ let pr_number file =
   then int_of_string_opt (String.sub file plen (n - plen - slen))
   else None
 
+(* A history file that cannot contribute must say so: silently dropping a
+   BENCH_PR*.json makes its column vanish from the table, which reads as
+   "that PR never measured anything" instead of "that file is damaged". *)
+let warn file reason =
+  Printf.eprintf "trend: skipping %s: %s\n" file reason
+
 let load dir file =
   let path = Filename.concat dir file in
   match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error _ -> None
+  | exception Sys_error msg ->
+      warn file ("unreadable (" ^ msg ^ ")");
+      None
   | text -> (
       match Telemetry.Jsonx.parse text with
-      | exception Telemetry.Jsonx.Parse_error _ -> None
+      | exception Telemetry.Jsonx.Parse_error msg ->
+          warn file ("malformed JSON (" ^ msg ^ ")");
+          None
       | json -> (
           match Telemetry.Jsonx.member "kernels" json with
           | Some (Telemetry.Jsonx.Obj kernels) ->
-              Some
-                (List.filter_map
-                   (fun (name, v) ->
-                     Option.map (fun ns -> (name, ns)) (kernel_ns v))
-                   kernels)
-          | _ -> None))
+              let readable =
+                List.filter_map
+                  (fun (name, v) ->
+                    Option.map (fun ns -> (name, ns)) (kernel_ns v))
+                  kernels
+              in
+              let dropped = List.length kernels - List.length readable in
+              if dropped > 0 then
+                Printf.eprintf
+                  "trend: %s: %d of %d kernel entries unreadable; folding \
+                   the rest\n"
+                  file dropped (List.length kernels);
+              Some readable
+          | _ ->
+              warn file "no \"kernels\" object";
+              None))
 
 let render_ns ns =
   if Float.is_nan ns then "-"

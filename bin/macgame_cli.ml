@@ -209,21 +209,34 @@ let sim_seed_t =
     & info [ "sim-seed" ] ~docv:"SEED"
         ~doc:"Base seed for the sim backends' replicate streams.")
 
-let oracle_of backend replicates duration seed params =
+let backend_of backend replicates duration seed =
   let cfg = { Macgame.Oracle.duration; replicates; seed } in
-  let backend =
-    match backend with
-    | `Analytic -> Macgame.Oracle.Analytic
-    | `Slotted -> Macgame.Oracle.Sim_slotted cfg
-    | `Spatial -> Macgame.Oracle.Sim_spatial cfg
-  in
-  Macgame.Oracle.create ~backend params
+  match backend with
+  | `Analytic -> Macgame.Oracle.Analytic
+  | `Slotted -> Macgame.Oracle.Sim_slotted cfg
+  | `Spatial -> Macgame.Oracle.Sim_spatial cfg
+
+let oracle_of backend replicates duration seed params =
+  Macgame.Oracle.create
+    ~backend:(backend_of backend replicates duration seed)
+    params
 
 (* Evaluates to [Dcf.Params.t -> Macgame.Oracle.t]: the subcommand builds
    its params from --mode/-m first, then closes the oracle over them. *)
 let oracle_term =
   Term.(
     const oracle_of $ backend_t $ replicates_t $ sim_duration_t $ sim_seed_t)
+
+(* The serving variant additionally threads a store and the warm-start
+   switch into the oracle (plain, not optional, arguments — optional args
+   do not travel well through cmdliner terms). *)
+let serving_oracle_term =
+  Term.(
+    const (fun backend replicates duration seed store warm_start params ->
+        Macgame.Oracle.create
+          ~backend:(backend_of backend replicates duration seed)
+          ?store ~warm_start params)
+    $ backend_t $ replicates_t $ sim_duration_t $ sim_seed_t)
 
 (* {1 solve} *)
 
@@ -678,6 +691,202 @@ let conformance_cmd =
       const run $ telemetry_t $ telemetry_report_t $ trace_out_t $ jobs_t
       $ cache_t $ no_cache_t $ tier_t $ golden_dir_t $ bless_t $ out_t)
 
+(* {1 serve} *)
+
+let serve_cmd =
+  let store_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Back the oracle with a persistent equilibrium store at $(docv) \
+             (created if missing).  Cold solves are written through, so a \
+             restarted service answers repeat queries from disk.")
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let stdin_t =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Serve stdin to stdout, one JSONL request per line, until EOF \
+             (the default when $(b,--socket) is not given).")
+  in
+  let max_inflight_t =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"K"
+          ~doc:
+            "Evaluate at most $(docv) socket requests concurrently; the \
+             rest queue (and may exhaust their deadlines).")
+  in
+  let max_connections_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-connections" ] ~docv:"K"
+          ~doc:
+            "Exit after serving $(docv) socket connections (for tests and \
+             benches; default: serve forever).")
+  in
+  let warm_start_t =
+    Arg.(
+      value & flag
+      & info [ "warm-start" ]
+          ~doc:
+            "Seed analytic solves from the nearest already-solved (n, W) \
+             neighbour (loaded from the store at open).  Cuts cold-solve \
+             iterations; answers agree with cold solves at tolerance \
+             level rather than bit level.")
+  in
+  let run mode m store socket use_stdin max_inflight max_connections
+      warm_start mk_oracle () =
+    let params = params_of mode m in
+    let store =
+      Option.map
+        (fun dir ->
+          try Store.open_dir dir
+          with Store.Locked reason ->
+            Printf.eprintf "cannot open store: %s\n" reason;
+            exit 2)
+        store
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Store.close store)
+      (fun () ->
+        let oracle = mk_oracle store warm_start params in
+        let server = Serve.Server.create oracle in
+        match (socket, use_stdin) with
+        | Some _, true ->
+            Printf.eprintf "--socket and --stdin are mutually exclusive\n";
+            exit 2
+        | Some path, false ->
+            Printf.eprintf "serving on %s\n%!" path;
+            Serve.Server.serve_socket server ~path ~max_inflight
+              ?max_connections ()
+        | None, _ -> Serve.Server.serve_channel server stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve oracle queries as a JSONL service (stdin or Unix socket), \
+          optionally backed by a persistent equilibrium store")
+    (instrumented
+       Term.(
+         const run $ mode_t $ backoff_t $ store_t $ socket_t $ stdin_t
+         $ max_inflight_t $ max_connections_t $ warm_start_t
+         $ serving_oracle_term))
+
+(* {1 cache}
+
+   Admin commands for the runner's content-addressed result cache. *)
+
+let cache_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Cache directory (as passed to --cache).")
+
+let cache_gc_cmd =
+  let max_age_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-age-days" ] ~docv:"DAYS"
+          ~doc:"Evict entries older than $(docv) days.")
+  in
+  let max_bytes_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Evict oldest entries until the cache fits in $(docv) bytes.")
+  in
+  let run dir max_age_days max_bytes =
+    let cache = Runner.Cache.open_dir dir in
+    let stats = Runner.Cache.gc ?max_age_days ?max_bytes cache in
+    Printf.printf
+      "scanned %d entries: evicted %d (%d corrupt), freed %d bytes, %d \
+       bytes kept\n"
+      stats.Runner.Cache.scanned stats.evicted stats.corrupt stats.bytes_freed
+      stats.bytes_kept
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Evict corrupt, stale and over-budget entries from a result cache")
+    Term.(const run $ cache_dir_pos $ max_age_t $ max_bytes_t)
+
+let cache_stats_cmd =
+  let run dir =
+    let cache = Runner.Cache.open_dir dir in
+    Printf.printf "%s: %d entries\n" dir (Runner.Cache.entries cache)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Entry count of a result cache")
+    Term.(const run $ cache_dir_pos)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and collect the runner's result cache")
+    [ cache_gc_cmd; cache_stats_cmd ]
+
+(* {1 store}
+
+   Admin commands for the persistent equilibrium store. *)
+
+let store_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Store directory (as passed to serve --store).")
+
+let with_store dir f =
+  match Store.with_store dir f with
+  | v -> v
+  | exception Store.Locked reason ->
+      Printf.eprintf "cannot open store: %s\n" reason;
+      exit 2
+  | exception Store.Corrupt reason ->
+      Printf.eprintf "corrupt store: %s\n" reason;
+      exit 2
+
+let store_stats_cmd =
+  let run dir =
+    with_store dir (fun s ->
+        Printf.printf "%s: %d entries\n" dir (Store.entries s))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Entry count of an equilibrium store")
+    Term.(const run $ store_dir_pos)
+
+let store_compact_cmd =
+  let run dir =
+    with_store dir (fun s ->
+        let before = Store.entries s in
+        Store.compact s;
+        Printf.printf "compacted %s: %d live entries\n" dir before)
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Rewrite an equilibrium store as one clean segment, dropping \
+          superseded and damaged lines")
+    Term.(const run $ store_dir_pos)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and compact the equilibrium store")
+    [ store_stats_cmd; store_compact_cmd ]
+
 (* {1 trace}
 
    The flight-recorder toolbox: record a built-in workload to a binary
@@ -955,5 +1164,6 @@ let () =
        (Cmd.group info
           [
             solve_cmd; ne_cmd; game_cmd; search_cmd; sim_cmd; multihop_cmd;
-            sweep_cmd; delay_cmd; detect_cmd; conformance_cmd; trace_cmd;
+            sweep_cmd; delay_cmd; detect_cmd; conformance_cmd; serve_cmd;
+            cache_cmd; store_cmd; trace_cmd;
           ]))

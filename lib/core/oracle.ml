@@ -13,6 +13,10 @@ type uniform_view = {
   slot_time : float;
 }
 
+type tier = Memo | Store | Cold
+
+let tier_name = function Memo -> "memo" | Store -> "store" | Cold -> "cold"
+
 (* A solved heterogeneous profile is stored per window class: distinct
    windows ascending, one utility each.  Equal windows share (τ, p) by
    symmetry, so one float per class answers every node — and every
@@ -27,9 +31,27 @@ type t = {
   hits : Telemetry.Metric.counter;
   misses : Telemetry.Metric.counter;
   solves : Telemetry.Metric.counter;
+  store_hits : Telemetry.Metric.counter;
+  store_misses : Telemetry.Metric.counter;
+  warm_used : Telemetry.Metric.counter;
+  warm_iters : Telemetry.Metric.histogram;
+  cold_iters : Telemetry.Metric.histogram;
   lock : Mutex.t;
   uniform_memo : (int * int, uniform_view) Hashtbl.t;
   profile_memo : (int list, classes) Hashtbl.t;
+  store : Store.t option;
+  (* Lazy: rendering and fingerprinting the full parameter set costs more
+     than every other allocation in [create] combined, and an oracle
+     without a store may never need its identity.  Forced on first store
+     access or [identity] call. *)
+  store_prefix : string Lazy.t;
+  warm_start : bool;
+  (* (n, w) → τ of every uniform solution this oracle can reach without
+     solving: persisted store rows loaded at open plus everything
+     memoized since.  The warm-start neighbour search scans this table,
+     so a fresh process inherits the whole fleet's solved grid as
+     starting points. *)
+  neighbor_taus : (int * int, float) Hashtbl.t;
 }
 
 (* Flight-recorder names, interned once (intern takes a lock).  Payload
@@ -39,6 +61,7 @@ let recorder = Telemetry.Recorder.default
 let nid_hit = Telemetry.Recorder.intern recorder "oracle.hit"
 let nid_miss = Telemetry.Recorder.intern recorder "oracle.miss"
 let nid_solve = Telemetry.Recorder.intern recorder "oracle.solve"
+let nid_store_hit = Telemetry.Recorder.intern recorder "oracle.store_hit"
 
 let recorded_solve a b f =
   let rid = Telemetry.Recorder.begin_span recorder nid_solve a b in
@@ -57,13 +80,136 @@ let validate_backend = function
       if replicates < 1 then
         invalid_arg "Oracle.create: need replicates >= 1"
 
+(* {2 Persistent store keys and codecs}
+
+   Store entries are shared across runs, processes and backends, so every
+   key pins down the full evaluation identity: parameter fingerprint,
+   backend (with its sim configuration), and p_hn.  Two oracles with
+   equal configurations address the same rows; any difference — even one
+   sim seed — addresses disjoint ones. *)
+
+let backend_repr = function
+  | Analytic -> "analytic"
+  | Sim_slotted { duration; replicates; seed } ->
+      Printf.sprintf "slotted|dur=%h|rep=%d|seed=%d" duration replicates seed
+  | Sim_spatial { duration; replicates; seed } ->
+      Printf.sprintf "spatial|dur=%h|rep=%d|seed=%d" duration replicates seed
+
+let store_prefix_of ~params ~p_hn ~backend =
+  let params_fp =
+    Prelude.Util.hex64
+      (Prelude.Util.fnv1a64 (Format.asprintf "%a" Dcf.Params.pp params))
+  in
+  Printf.sprintf "oracle|v1|params=%s|p_hn=%h|%s" params_fp
+    (Option.value p_hn ~default:1.)
+    (backend_repr backend)
+
+let uniform_store_key t ~n ~w =
+  Printf.sprintf "%s|uniform|n=%d|w=%d" (Lazy.force t.store_prefix) n w
+
+let profile_store_key t sorted =
+  Printf.sprintf "%s|profile|%s"
+    (Lazy.force t.store_prefix)
+    (String.concat ";" (List.map string_of_int (Array.to_list sorted)))
+
+(* Parse (n, w) back out of a uniform store key — used once, at open, to
+   seed the neighbour table from persisted rows. *)
+let parse_uniform_key ~prefix key =
+  let marker = prefix ^ "|uniform|n=" in
+  let mlen = String.length marker in
+  if String.length key > mlen && String.sub key 0 mlen = marker then
+    match
+      String.split_on_char '|'
+        (String.sub key mlen (String.length key - mlen))
+    with
+    | [ n_part; w_part ] when String.length w_part > 2 ->
+        Option.bind (int_of_string_opt n_part) (fun n ->
+            if String.sub w_part 0 2 = "w=" then
+              Option.map
+                (fun w -> (n, w))
+                (int_of_string_opt
+                   (String.sub w_part 2 (String.length w_part - 2)))
+            else None)
+    | _ -> None
+  else None
+
+let view_to_json (v : uniform_view) =
+  Telemetry.Jsonx.Obj
+    [
+      ("tau", Telemetry.Jsonx.Float v.tau);
+      ("p", Telemetry.Jsonx.Float v.p);
+      ("utility", Telemetry.Jsonx.Float v.utility);
+      ("throughput", Telemetry.Jsonx.Float v.throughput);
+      ("slot_time", Telemetry.Jsonx.Float v.slot_time);
+    ]
+
+let view_of_json json =
+  let field name =
+    Option.bind (Telemetry.Jsonx.member name json) Telemetry.Jsonx.to_float_opt
+  in
+  match
+    ( field "tau", field "p", field "utility", field "throughput",
+      field "slot_time" )
+  with
+  | Some tau, Some p, Some utility, Some throughput, Some slot_time ->
+      Some { tau; p; utility; throughput; slot_time }
+  | _ -> None
+
+let classes_to_json (classes : classes) =
+  Telemetry.Jsonx.List
+    (Array.to_list
+       (Array.map
+          (fun (w, u) ->
+            Telemetry.Jsonx.Obj
+              [
+                ("w", Telemetry.Jsonx.Int w); ("u", Telemetry.Jsonx.Float u);
+              ])
+          classes))
+
+let classes_of_json json =
+  match json with
+  | Telemetry.Jsonx.List items ->
+      let decoded =
+        List.filter_map
+          (fun item ->
+            match
+              ( Telemetry.Jsonx.member "w" item,
+                Option.bind
+                  (Telemetry.Jsonx.member "u" item)
+                  Telemetry.Jsonx.to_float_opt )
+            with
+            | Some (Telemetry.Jsonx.Int w), Some u -> Some (w, u)
+            | _ -> None)
+          items
+      in
+      if List.length decoded = List.length items && decoded <> [] then
+        Some (Array.of_list decoded)
+      else None
+  | _ -> None
+
 let create ?(telemetry = Telemetry.Registry.default) ?p_hn
-    ?(backend = Analytic) (params : Dcf.Params.t) =
+    ?(backend = Analytic) ?store ?(warm_start = false) (params : Dcf.Params.t)
+    =
   validate_backend backend;
   (match p_hn with
   | Some f when f <= 0. || f > 1. ->
       invalid_arg "Oracle.create: p_hn must be in (0, 1]"
   | _ -> ());
+  let store_prefix = lazy (store_prefix_of ~params ~p_hn ~backend) in
+  let neighbor_taus = Hashtbl.create 64 in
+  (* Inherit the persisted grid as warm-start seeds.  The rows themselves
+     stay out of the memo — a first-touch answer served from disk must be
+     attributable to the store tier, not mistaken for a memo hit. *)
+  Option.iter
+    (fun s ->
+      Store.iter s (fun ~key value ->
+          match parse_uniform_key ~prefix:(Lazy.force store_prefix) key with
+          | Some (n, w) ->
+              Option.iter
+                (fun v -> Hashtbl.replace neighbor_taus (n, w) v.tau)
+                (view_of_json value)
+          | None -> ()))
+    store;
   {
     params;
     p_hn;
@@ -72,9 +218,20 @@ let create ?(telemetry = Telemetry.Registry.default) ?p_hn
     hits = Telemetry.Registry.counter telemetry "oracle.cache.hits";
     misses = Telemetry.Registry.counter telemetry "oracle.cache.misses";
     solves = Telemetry.Registry.counter telemetry "oracle.cache.solves";
+    store_hits = Telemetry.Registry.counter telemetry "oracle.store.hits";
+    store_misses = Telemetry.Registry.counter telemetry "oracle.store.misses";
+    warm_used = Telemetry.Registry.counter telemetry "oracle.warmstart.used";
+    warm_iters =
+      Telemetry.Registry.histogram telemetry "oracle.solve.iterations.warm";
+    cold_iters =
+      Telemetry.Registry.histogram telemetry "oracle.solve.iterations.cold";
     lock = Mutex.create ();
     uniform_memo = Hashtbl.create 64;
     profile_memo = Hashtbl.create 64;
+    store;
+    store_prefix;
+    warm_start;
+    neighbor_taus;
   }
 
 let analytic ?telemetry ?p_hn params = create ?telemetry ?p_hn params
@@ -82,6 +239,9 @@ let analytic ?telemetry ?p_hn params = create ?telemetry ?p_hn params
 let params t = t.params
 let backend t = t.backend
 let telemetry t = t.telemetry
+let store t = t.store
+let warm_start t = t.warm_start
+let identity t = Lazy.force t.store_prefix
 
 let backend_name = function
   | Analytic -> "analytic"
@@ -89,9 +249,9 @@ let backend_name = function
   | Sim_spatial _ -> "spatial"
 
 (* Memo access.  Lookups and inserts hold the lock (oracles are shared
-   across runner domains); backend solves run outside it, with a
-   double-checked insert so a racing duplicate solve is harmless — both
-   domains end up returning the same stored value. *)
+   across the experiment runner's domains); backend solves run outside it,
+   with a double-checked insert so a racing duplicate solve is harmless —
+   both domains end up returning the same stored value. *)
 let find_memo t tbl key =
   Mutex.lock t.lock;
   let found = Hashtbl.find_opt tbl key in
@@ -112,6 +272,57 @@ let memo_insert t tbl key value =
   in
   Mutex.unlock t.lock;
   value
+
+let note_neighbor t ~n ~w tau =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.neighbor_taus (n, w) tau;
+  Mutex.unlock t.lock
+
+(* Nearest warm-start seed: same player count, closest window.  The τ of
+   (n, w') predicts τ(n, w) after rescaling by the no-collision ratio
+   (τ ≈ 2/(W+1) up to the collision correction), which is plenty to
+   bracket Brent or seed Picard. *)
+let nearest_tau t ~n ~w =
+  Mutex.lock t.lock;
+  let best = ref None in
+  Hashtbl.iter
+    (fun (n', w') tau ->
+      if n' = n && w' <> w then
+        match !best with
+        | Some (d, _, _) when abs (w' - w) >= d -> ()
+        | _ -> best := Some (abs (w' - w), w', tau))
+    t.neighbor_taus;
+  Mutex.unlock t.lock;
+  match !best with
+  | None -> None
+  | Some (_, w', tau) ->
+      let scaled = tau *. float_of_int (w' + 1) /. float_of_int (w + 1) in
+      if scaled > 0. && scaled < 1. then Some scaled else Some tau
+
+let note_iterations t ~warm iters =
+  let h = if warm then t.warm_iters else t.cold_iters in
+  Telemetry.Metric.observe h (float_of_int iters);
+  if warm then Telemetry.Metric.incr t.warm_used
+
+(* Store access around a memo miss.  Values round-trip bit-faithfully
+   (Jsonx renders floats at full precision), so an answer served from
+   disk is bit-identical to the solve that produced it.  Keys arrive as
+   thunks: building one forces the identity prefix (a full parameter
+   render + fingerprint), which a store-less oracle must never pay. *)
+let store_find t key decode =
+  match t.store with
+  | None -> None
+  | Some s -> (
+      match Option.bind (Store.find s ~key:(key ())) decode with
+      | Some v ->
+          Telemetry.Metric.incr t.store_hits;
+          Some v
+      | None ->
+          Telemetry.Metric.incr t.store_misses;
+          None)
+
+let store_put t key json =
+  Option.iter (fun s -> Store.put s ~key:(key ()) json) t.store
 
 (* Per-replicate RNG streams are derived from the sim seed and the content
    key of the evaluation (à la the experiment runner), so a measurement
@@ -149,10 +360,17 @@ let solve_uniform t ~n ~w =
   match t.backend with
   | Analytic ->
       (* Mirrors Dcf.Model.homogeneous operation for operation, so a
-         memoized analytic oracle is bit-identical to direct model calls. *)
+         memoized analytic oracle is bit-identical to direct model calls
+         — unless warm-started, in which case the narrowed bracket makes
+         the answer tolerance-identical instead (the conformance suite
+         anchors the gap). *)
+      let guess = if t.warm_start then nearest_tau t ~n ~w else None in
+      let iters = ref 0 in
       let tau, p =
-        Dcf.Solver.solve_homogeneous ~telemetry:t.telemetry t.params ~n ~w
+        Dcf.Solver.solve_homogeneous ~telemetry:t.telemetry ~iterations:iters
+          ?guess t.params ~n ~w
       in
+      note_iterations t ~warm:(guess <> None) !iters;
       let metrics = Dcf.Metrics.of_taus t.params (Array.make n tau) in
       Telemetry.Metric.incr t.solves;
       {
@@ -194,18 +412,32 @@ let solve_uniform t ~n ~w =
         slot_time = Prelude.Stats.mean slot_time;
       }
 
-let uniform t ~n ~w =
+let uniform_outcome t ~n ~w =
   if n < 1 then invalid_arg "Oracle.uniform: need n >= 1";
   if w < 1 then invalid_arg "Oracle.uniform: window must be >= 1";
   match find_memo t t.uniform_memo (n, w) with
   | Some view ->
       Telemetry.Recorder.instant recorder nid_hit n w;
-      view
-  | None ->
+      (view, Memo)
+  | None -> (
       Telemetry.Recorder.instant recorder nid_miss n w;
-      memo_insert t t.uniform_memo (n, w)
-        (recorded_solve n w (fun () -> solve_uniform t ~n ~w))
+      match
+        store_find t (fun () -> uniform_store_key t ~n ~w) view_of_json
+      with
+      | Some view ->
+          Telemetry.Recorder.instant recorder nid_store_hit n w;
+          let view = memo_insert t t.uniform_memo (n, w) view in
+          note_neighbor t ~n ~w view.tau;
+          (view, Store)
+      | None ->
+          let solved = recorded_solve n w (fun () -> solve_uniform t ~n ~w) in
+          let view = memo_insert t t.uniform_memo (n, w) solved in
+          note_neighbor t ~n ~w view.tau;
+          store_put t (fun () -> uniform_store_key t ~n ~w)
+            (view_to_json view);
+          (view, Cold))
 
+let uniform t ~n ~w = fst (uniform_outcome t ~n ~w)
 let payoff_uniform t ~n ~w = (uniform t ~n ~w).utility
 let welfare_uniform t ~n ~w = float_of_int n *. payoff_uniform t ~n ~w
 
@@ -244,7 +476,23 @@ let classes_of sorted utilities =
 let solve_profile t sorted =
   match t.backend with
   | Analytic ->
-      let solved = Dcf.Model.solve_profile ?p_hn:t.p_hn t.params sorted in
+      let n = Array.length sorted in
+      let tau_hint =
+        if t.warm_start then
+          Some
+            (fun w ->
+              Mutex.lock t.lock;
+              let tau = Hashtbl.find_opt t.neighbor_taus (n, w) in
+              Mutex.unlock t.lock;
+              tau)
+        else None
+      in
+      let iters = ref 0 in
+      let solved =
+        Dcf.Model.solve_profile ?p_hn:t.p_hn ~iterations:iters ?tau_hint
+          t.params sorted
+      in
+      note_iterations t ~warm:(tau_hint <> None) !iters;
       Telemetry.Metric.incr t.solves;
       classes_of sorted solved.Dcf.Model.utilities
   | Sim_slotted _ | Sim_spatial _ ->
@@ -272,27 +520,43 @@ let class_utility classes w =
   in
   find 0
 
-let payoffs t (profile : Profile.t) =
+let payoffs_outcome t (profile : Profile.t) =
   let n = Array.length profile in
   if n = 0 then invalid_arg "Oracle.payoffs: empty profile";
   Array.iter
     (fun w -> if w < 1 then invalid_arg "Oracle.payoffs: window must be >= 1")
     profile;
   if Profile.is_uniform profile then
-    Array.make n (uniform t ~n ~w:profile.(0)).utility
+    let view, tier = uniform_outcome t ~n ~w:profile.(0) in
+    (Array.make n view.utility, tier)
   else begin
     let sorted = Array.copy profile in
     Array.sort compare sorted;
     let key = Array.to_list sorted in
-    let classes =
+    let classes, tier =
       match find_memo t t.profile_memo key with
       | Some classes ->
           Telemetry.Recorder.instant recorder nid_hit n sorted.(0);
-          classes
-      | None ->
+          (classes, Memo)
+      | None -> (
           Telemetry.Recorder.instant recorder nid_miss n sorted.(0);
-          memo_insert t t.profile_memo key
-            (recorded_solve n sorted.(0) (fun () -> solve_profile t sorted))
+          match
+            store_find t (fun () -> profile_store_key t sorted) classes_of_json
+          with
+          | Some classes ->
+              Telemetry.Recorder.instant recorder nid_store_hit n sorted.(0);
+              (memo_insert t t.profile_memo key classes, Store)
+          | None ->
+              let solved =
+                recorded_solve n sorted.(0) (fun () -> solve_profile t sorted)
+              in
+              let classes = memo_insert t t.profile_memo key solved in
+              store_put t
+                (fun () -> profile_store_key t sorted)
+                (classes_to_json classes);
+              (classes, Cold))
     in
-    Array.map (fun w -> class_utility classes w) profile
+    (Array.map (fun w -> class_utility classes w) profile, tier)
   end
+
+let payoffs t profile = fst (payoffs_outcome t profile)

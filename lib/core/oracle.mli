@@ -34,6 +34,22 @@
     Memo hits return the stored floats unchanged, so a hit is bit-identical
     to the cold solve that populated it.
 
+    {2 Persistence}
+
+    An oracle may be backed by a {!Store.t}: on a memo miss the store is
+    consulted before solving, and cold solves are written through, so
+    equilibrium grids survive across processes and runs.  Store keys embed
+    the full evaluation identity (parameter fingerprint, backend with its
+    sim configuration, p_hn), and values round-trip bit-faithfully, so a
+    store hit is bit-identical to the solve that produced it — across
+    process boundaries.
+
+    With [warm_start], analytic solves on a store/memo miss are seeded from
+    the nearest already-solved (n, w) neighbour (loaded from the store at
+    open and accumulated since), cutting iteration counts.  Warm-started
+    answers agree with cold solves at {e tolerance} level, not bit level,
+    so [warm_start] defaults to off; the conformance suite anchors the gap.
+
     {2 Telemetry}
 
     Counters on the oracle's registry (these replace the repeated-game
@@ -43,7 +59,13 @@
       outcomes, one per query;
     - ["oracle.cache.solves"] — backend invocations: one per analytic
       solve, one per simulation replicate (so with [replicates > 1],
-      solves exceeds misses). *)
+      solves exceeds misses);
+    - ["oracle.store.hits"] / ["oracle.store.misses"] — persistent-store
+      outcomes, counted only on memo misses of a store-backed oracle;
+    - ["oracle.warmstart.used"] — solves that started from a neighbour's τ;
+    - ["oracle.solve.iterations.warm"] / [".cold"] — iteration-count
+      histograms of warm-started vs cold analytic solves (the warm-start
+      saving, measured). *)
 
 type sim_config = {
   duration : float;   (** simulated seconds per replicate *)
@@ -79,17 +101,38 @@ type uniform_view = {
 }
 (** Everything the game layer consumes about a uniform profile (w, …, w). *)
 
+type tier =
+  | Memo   (** answered from the in-process memo, bit-identical *)
+  | Store  (** answered from the persistent store, bit-identical *)
+  | Cold   (** solved by the backend (and written through) *)
+(** Where an answer came from — the serving layer's per-request
+    accounting.  [Memo] and [Store] answers are bit-identical to the cold
+    solve that originally produced them. *)
+
+val tier_name : tier -> string
+(** ["memo"], ["store"] or ["cold"] — the wire vocabulary of the serving
+    layer's replies and counters. *)
+
 type t
 
 val create :
   ?telemetry:Telemetry.Registry.t ->
-  ?p_hn:float -> ?backend:backend -> Dcf.Params.t -> t
+  ?p_hn:float -> ?backend:backend ->
+  ?store:Store.t -> ?warm_start:bool -> Dcf.Params.t -> t
 (** [create params] builds an oracle with an empty memo.  [backend]
     defaults to [Analytic].  [p_hn] is the hidden-node degradation factor
     applied to analytic utilities (default 1); the simulated backends
     ignore it — their losses come from the packet process itself.
     [telemetry] (default: the global registry) receives the cache counters
-    and any solver/simulator events. *)
+    and any solver/simulator events.
+
+    [store], when given, backs the memo with persistent rows: memo misses
+    consult the store, cold solves write through, and the store's uniform
+    rows (for this oracle's exact evaluation identity) seed the warm-start
+    neighbour table at open.  [warm_start] (default [false]) additionally
+    seeds analytic solves from the nearest solved neighbour — trading the
+    bit-stability of cold solves for fewer iterations; leave it off
+    wherever bit-identity with {!Dcf.Model} is asserted. *)
 
 val analytic : ?telemetry:Telemetry.Registry.t -> ?p_hn:float -> Dcf.Params.t -> t
 (** [analytic params] = [create ~backend:Analytic params]. *)
@@ -100,12 +143,27 @@ val backend : t -> backend
 
 val telemetry : t -> Telemetry.Registry.t
 
+val store : t -> Store.t option
+
+val warm_start : t -> bool
+
+val identity : t -> string
+(** The oracle's full evaluation identity (parameter fingerprint, p_hn,
+    backend with sim configuration) — the prefix of every store key it
+    reads or writes.  Layers that persist derived results (the serving
+    layer's NE rows) key them under the same prefix so rows never leak
+    across configurations. *)
+
 val backend_name : backend -> string
 (** ["analytic"], ["slotted"] or ["spatial"] — the CLI's [--backend]
     vocabulary. *)
 
 val uniform : t -> n:int -> w:int -> uniform_view
 (** The memoized uniform-profile evaluation ((n, w) fast path). *)
+
+val uniform_outcome : t -> n:int -> w:int -> uniform_view * tier
+(** Like {!uniform}, also reporting which tier answered — the serving
+    layer's entry point. *)
 
 val payoff_uniform : t -> n:int -> w:int -> float
 (** Per-node payoff rate u of the uniform profile (w, …, w) — what the
@@ -123,3 +181,6 @@ val payoffs : t -> Profile.t -> float array
     Uniform profiles take the [(n, w)] fast path; heterogeneous ones go
     through the canonical sorted-multiset memo.  Nodes with equal windows
     receive bit-identical payoffs. *)
+
+val payoffs_outcome : t -> Profile.t -> float array * tier
+(** Like {!payoffs}, also reporting which tier answered. *)

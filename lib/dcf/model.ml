@@ -13,8 +13,8 @@ let solve ?p_hn (params : Params.t) cws =
   let utilities = Utility.rates ?p_hn params ~taus:solution.taus ~ps:solution.ps in
   { params; cws; taus = solution.taus; ps = solution.ps; metrics; utilities }
 
-let solve_profile ?p_hn (params : Params.t) cws =
-  let solution = Solver.solve_profile params cws in
+let solve_profile ?p_hn ?iterations ?tau_hint (params : Params.t) cws =
+  let solution = Solver.solve_profile ?iterations ?tau_hint params cws in
   let metrics = Metrics.of_solution params solution in
   let utilities = Utility.rates ?p_hn params ~taus:solution.taus ~ps:solution.ps in
   { params; cws; taus = solution.taus; ps = solution.ps; metrics; utilities }

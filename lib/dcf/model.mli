@@ -19,11 +19,14 @@ val solve : ?p_hn:float -> Params.t -> int array -> solved
     metrics and utilities.  [p_hn] (default 1) is the multi-hop
     hidden-node degradation factor applied to every node. *)
 
-val solve_profile : ?p_hn:float -> Params.t -> int array -> solved
+val solve_profile :
+  ?p_hn:float -> ?iterations:int ref -> ?tau_hint:(int -> float option) ->
+  Params.t -> int array -> solved
 (** Like {!solve} but through {!Solver.solve_profile}: the fixed point is
     class-reduced over distinct windows, so equal windows get bit-identical
     (τ, p, u) and the result is invariant under profile permutation.  The
-    payoff oracle's heterogeneous path. *)
+    payoff oracle's heterogeneous path.  [iterations] and [tau_hint] pass
+    through to {!Solver.solve_profile} (warm start). *)
 
 type node_view = {
   tau : float;

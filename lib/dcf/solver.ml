@@ -46,7 +46,7 @@ let solve ?telemetry ?(tol = 1e-13) ?(max_iter = 20_000) (params : Params.t)
   }
 
 let solve_homogeneous ?(telemetry = Telemetry.Registry.default) ?iterations
-    ?(tol = 1e-14) (params : Params.t) ~n ~w =
+    ?guess ?(tol = 1e-14) (params : Params.t) ~n ~w =
   if n < 1 then invalid_arg "Solver.solve_homogeneous: need n >= 1";
   if w < 1 then invalid_arg "Solver.solve_homogeneous: window must be >= 1";
   let m = params.max_backoff_stage in
@@ -73,13 +73,25 @@ let solve_homogeneous ?(telemetry = Telemetry.Registry.default) ?iterations
     let defect tau = tau -. Bianchi.tau_of_p ~w ~m (p_of_tau tau) in
     let eps = 1e-15 in
     let iters = ref 0 in
-    let tau = Numerics.Roots.brent ~iterations:iters ~tol defect eps 1. in
+    (* Warm start: a neighbouring solution's τ narrows the Brent bracket
+       to [g/2, 2g] when that interval still straddles the sign change;
+       otherwise fall back to the full interval.  The root found is the
+       same crossing either way (tolerance-level, not bit-level —
+       callers that need bit-stability must not pass a guess). *)
+    let lo, hi =
+      match guess with
+      | Some g when g > 0. && g < 1. ->
+          let lo = Float.max eps (g /. 2.) and hi = Float.min 1. (g *. 2.) in
+          if defect lo < 0. && defect hi > 0. then (lo, hi) else (eps, 1.)
+      | _ -> (eps, 1.)
+    in
+    let tau = Numerics.Roots.brent ~iterations:iters ~tol defect lo hi in
     report !iters;
     (tau, p_of_tau tau)
   end
 
-let solve_classes ?telemetry ?iterations ?(tol = 1e-14) (params : Params.t)
-    classes =
+let solve_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
+    (params : Params.t) classes =
   if classes = [] then invalid_arg "Solver.solve_classes: no classes";
   List.iter
     (fun (w, k) ->
@@ -112,7 +124,25 @@ let solve_classes ?telemetry ?iterations ?(tol = 1e-14) (params : Params.t)
         let p = Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others) in
         Bianchi.tau_of_p ~w:ws.(j) ~m p)
   in
-  let x0 = Array.map (fun w -> 2. /. float_of_int (w + 1)) ws in
+  (* Warm start: [tau_hint w] may seed a class with a τ from a
+     neighbouring solved problem; classes without a hint start at the
+     no-collision value 2/(W+1).  The damped iteration contracts to the
+     same fixed point from any interior start (a property the test suite
+     probes), so a hint changes the path, not the destination — at
+     tolerance level, which is why warm-started answers carry a
+     conformance anchor rather than a bit-identity claim. *)
+  let default_x0 w = 2. /. float_of_int (w + 1) in
+  let x0 =
+    match tau_hint with
+    | None -> Array.map default_x0 ws
+    | Some hint ->
+        Array.map
+          (fun w ->
+            match hint w with
+            | Some g when g > 0. && g < 1. -> g
+            | _ -> default_x0 w)
+          ws
+  in
   let outcome =
     Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
       step x0
@@ -129,7 +159,8 @@ let solve_classes ?telemetry ?iterations ?(tol = 1e-14) (params : Params.t)
       in
       (taus.(j), Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)))
 
-let solve_profile ?telemetry ?iterations ?tol (params : Params.t) cws =
+let solve_profile ?telemetry ?iterations ?tau_hint ?tol (params : Params.t)
+    cws =
   let n = Array.length cws in
   if n = 0 then invalid_arg "Solver.solve_profile: empty network";
   Array.iter
@@ -149,7 +180,10 @@ let solve_profile ?telemetry ?iterations ?tol (params : Params.t) cws =
     |> List.sort compare
   in
   let iters = match iterations with Some r -> r | None -> ref 0 in
-  let solved = solve_classes ?telemetry ~iterations:iters ?tol params class_list in
+  let solved =
+    solve_classes ?telemetry ~iterations:iters ?tau_hint ?tol params
+      class_list
+  in
   let by_window = Hashtbl.create 8 in
   List.iter2
     (fun (w, _) tp -> Hashtbl.replace by_window w tp)

@@ -26,7 +26,7 @@ val solve :
     global registry). *)
 
 val solve_homogeneous :
-  ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
+  ?telemetry:Telemetry.Registry.t -> ?iterations:int ref -> ?guess:float ->
   ?tol:float -> Params.t -> n:int -> w:int -> float * float
 (** [(τ, p)] for [n ≥ 1] nodes all using window [w]: the scalar fixed point
     τ = τ(1 − (1−τ)^{n−1}), solved by Brent's method on the defect.  Orders
@@ -34,7 +34,14 @@ val solve_homogeneous :
     [iterations], when given, receives Brent's iteration count (0 for the
     trivial n = 1 case) — the scalar path's analogue of
     [solution.iterations]; the same count is reported in a
-    ["solver_convergence"] event. *)
+    ["solver_convergence"] event.
+
+    [guess] warm-starts the solve from a neighbouring problem's τ: when
+    [[g/2, 2g]] still brackets the sign change, Brent runs on that
+    interval instead of the full (0, 1], typically halving the iteration
+    count.  The answer agrees with the cold solve at tolerance level,
+    {e not} bit level — callers that promise bit-stability (the memoized
+    oracle's default path) must not pass a guess. *)
 
 val solve_with_deviant :
   ?telemetry:Telemetry.Registry.t ->
@@ -47,6 +54,7 @@ val solve_with_deviant :
 
 val solve_classes :
   ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
+  ?tau_hint:(int -> float option) ->
   ?tol:float -> Params.t -> (int * int) list -> (float * float) list
 (** [solve_classes params [(w1, k1); …]] solves a network of Σk_c nodes in
     which [k_c] nodes share window [w_c], reducing the fixed point to one
@@ -58,10 +66,16 @@ val solve_classes :
     coalition analyses use — a 3-class problem costs the same as n = 3.
     Windows must be ≥ 1 and counts ≥ 1; classes may repeat a window.
     [iterations], when given, receives the Picard iteration count of the
-    underlying class-space fixed point. *)
+    underlying class-space fixed point.  [tau_hint w] may seed class [w]'s
+    starting iterate with a τ from a neighbouring solved problem
+    (warm start); hints outside (0, 1) are ignored.  The damped iteration
+    converges to the same fixed point from any interior start, so hints
+    trade bit-stability for iterations exactly like
+    {!solve_homogeneous}'s [guess]. *)
 
 val solve_profile :
   ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
+  ?tau_hint:(int -> float option) ->
   ?tol:float -> Params.t -> int array -> solution
 (** [solve_profile params cws] solves the same network as {!solve} but
     class-reduced: nodes sharing a window share (τ, p) by symmetry, so the

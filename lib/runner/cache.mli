@@ -30,3 +30,23 @@ val store : t -> key:string -> Telemetry.Jsonx.t -> unit
 
 val entries : t -> int
 (** Number of entries currently on disk. *)
+
+type gc_stats = {
+  scanned : int;      (** entries examined *)
+  evicted : int;      (** entries deleted (including corrupt ones) *)
+  corrupt : int;      (** entries deleted because they failed to parse *)
+  bytes_freed : int;
+  bytes_kept : int;
+}
+
+val gc :
+  ?telemetry:Telemetry.Registry.t ->
+  ?max_age_days:float -> ?max_bytes:int -> t -> gc_stats
+(** Collect the cache: corrupt entries are always deleted; entries whose
+    mtime is older than [max_age_days] are deleted; then, if the surviving
+    entries still exceed [max_bytes], the oldest are deleted until the
+    rest fit.  With neither bound, only corrupt entries go.  Every
+    eviction increments the ["runner.cache.evicted"] counter on
+    [telemetry] (default: the global registry).  Safe to run against a
+    live cache — concurrent writers use tmp+rename, so gc never sees a
+    half-written entry as sound, and a deleted entry simply recomputes. *)

@@ -1,0 +1,24 @@
+type t = Telemetry.Jsonx.t
+
+let ok ~id ?tier ~elapsed_ms result =
+  Telemetry.Jsonx.Obj
+    (("id", id)
+     :: ("ok", Telemetry.Jsonx.Bool true)
+     :: (match tier with
+        | Some tier ->
+            [ ("tier", Telemetry.Jsonx.String (Macgame.Oracle.tier_name tier)) ]
+        | None -> [])
+    @ [
+        ("elapsed_ms", Telemetry.Jsonx.Float elapsed_ms);
+        ("result", result);
+      ])
+
+let error ~id reason =
+  Telemetry.Jsonx.Obj
+    [
+      ("id", id);
+      ("ok", Telemetry.Jsonx.Bool false);
+      ("error", Telemetry.Jsonx.String reason);
+    ]
+
+let to_line t = Telemetry.Jsonx.to_string t

@@ -1,0 +1,29 @@
+(** Reply lines of the oracle service's JSONL protocol.
+
+    Success:
+    {v
+    {"id": …, "ok": true, "tier": "memo"|"store"|"cold",
+     "elapsed_ms": …, "result": { … }}
+    v}
+
+    Failure (malformed input, invalid arguments, expired deadline):
+    {v
+    {"id": …, "ok": false, "error": "<reason>"}
+    v}
+
+    [id] echoes the request's id ([null] when the request had none or was
+    too malformed to carry one).  Batch replies omit [tier] on the
+    envelope — each member reply inside [result.replies] carries its
+    own. *)
+
+type t = Telemetry.Jsonx.t
+
+val ok :
+  id:Telemetry.Jsonx.t ->
+  ?tier:Macgame.Oracle.tier ->
+  elapsed_ms:float -> Telemetry.Jsonx.t -> t
+
+val error : id:Telemetry.Jsonx.t -> string -> t
+
+val to_line : t -> string
+(** Compact one-line rendering (no trailing newline). *)

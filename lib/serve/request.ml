@@ -1,0 +1,104 @@
+type op =
+  | Ne of { n : int }
+  | Payoff of { profile : int array }
+  | Welfare of { n : int; w : int }
+  | Tau of { n : int; w : int }
+  | Batch of t list
+
+and t = {
+  id : Telemetry.Jsonx.t;
+  op : op;
+  deadline_ms : float option;
+}
+
+let op_name = function
+  | Ne _ -> "ne"
+  | Payoff _ -> "payoff"
+  | Welfare _ -> "welfare"
+  | Tau _ -> "tau"
+  | Batch _ -> "batch"
+
+let id_of json =
+  match Telemetry.Jsonx.member "id" json with
+  | Some v -> v
+  | None -> Telemetry.Jsonx.Null
+
+let int_field name json =
+  match Telemetry.Jsonx.member name json with
+  | Some (Telemetry.Jsonx.Int v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let positive_field name json =
+  Result.bind (int_field name json) (fun v ->
+      if v >= 1 then Ok v
+      else Error (Printf.sprintf "field %S must be >= 1" name))
+
+let profile_field json =
+  match Telemetry.Jsonx.member "profile" json with
+  | Some (Telemetry.Jsonx.List items) when items <> [] ->
+      let rec windows acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | Telemetry.Jsonx.Int w :: rest when w >= 1 -> windows (w :: acc) rest
+        | _ -> Error "field \"profile\" must be a list of integers >= 1"
+      in
+      windows [] items
+  | Some _ -> Error "field \"profile\" must be a non-empty list"
+  | None -> Error "missing field \"profile\""
+
+let deadline_field json =
+  match Telemetry.Jsonx.member "deadline_ms" json with
+  | None -> Ok None
+  | Some v -> (
+      match Telemetry.Jsonx.to_float_opt v with
+      | Some d when d >= 0. -> Ok (Some d)
+      | _ -> Error "field \"deadline_ms\" must be a number >= 0")
+
+(* [depth] guards against nested batches: a batch member must be a leaf
+   operation, so a request line bounds the work it names. *)
+let rec of_json ~depth json =
+  let ( let* ) = Result.bind in
+  let* deadline_ms = deadline_field json in
+  let leaf op = Ok { id = id_of json; op; deadline_ms } in
+  match Telemetry.Jsonx.member "op" json with
+  | Some (Telemetry.Jsonx.String "ne") ->
+      let* n = positive_field "n" json in
+      leaf (Ne { n })
+  | Some (Telemetry.Jsonx.String "payoff") ->
+      let* profile = profile_field json in
+      leaf (Payoff { profile })
+  | Some (Telemetry.Jsonx.String "welfare") ->
+      let* n = positive_field "n" json in
+      let* w = positive_field "w" json in
+      leaf (Welfare { n; w })
+  | Some (Telemetry.Jsonx.String "tau") ->
+      let* n = positive_field "n" json in
+      let* w = positive_field "w" json in
+      leaf (Tau { n; w })
+  | Some (Telemetry.Jsonx.String "batch") ->
+      if depth > 0 then Error "batch requests may not nest"
+      else
+        let* members =
+          match Telemetry.Jsonx.member "requests" json with
+          | Some (Telemetry.Jsonx.List items) when items <> [] ->
+              let rec parse acc = function
+                | [] -> Ok (List.rev acc)
+                | item :: rest ->
+                    let* req = of_json ~depth:(depth + 1) item in
+                    parse (req :: acc) rest
+              in
+              parse [] items
+          | Some _ -> Error "field \"requests\" must be a non-empty list"
+          | None -> Error "missing field \"requests\""
+        in
+        leaf (Batch members)
+  | Some (Telemetry.Jsonx.String other) ->
+      Error (Printf.sprintf "unknown op %S" other)
+  | Some _ -> Error "field \"op\" must be a string"
+  | None -> Error "missing field \"op\""
+
+let of_line line =
+  match Telemetry.Jsonx.parse line with
+  | exception Telemetry.Jsonx.Parse_error msg ->
+      Error (Printf.sprintf "malformed JSON: %s" msg)
+  | json -> of_json ~depth:0 json

@@ -1,0 +1,43 @@
+(** Typed requests of the oracle service's JSONL protocol.
+
+    One request per line, one JSON object per request.  The envelope:
+
+    {v
+    {"id": <any JSON>, "op": "<name>", ..., "deadline_ms": <number>?}
+    v}
+
+    [id] is echoed verbatim in the reply (default [null]); [deadline_ms],
+    when present, is a per-request service deadline — a request still
+    queued when it expires is answered with an error instead of being
+    served late.  Operations:
+
+    - [{"op": "tau", "n": N, "w": W}] — (τ, p) of the uniform profile;
+    - [{"op": "welfare", "n": N, "w": W}] — per-node payoff and n·u;
+    - [{"op": "payoff", "profile": [w1, …]}] — per-node payoff rates;
+    - [{"op": "ne", "n": N}] — the Theorem-2 NE window range and the
+      refined W_c*;
+    - [{"op": "batch", "requests": [ … ]}] — leaf requests answered in
+      order in one reply (batches may not nest).
+
+    Parsing never raises: malformed lines come back as [Error reason],
+    which the server turns into an error reply. *)
+
+type op =
+  | Ne of { n : int }
+  | Payoff of { profile : int array }
+  | Welfare of { n : int; w : int }
+  | Tau of { n : int; w : int }
+  | Batch of t list
+
+and t = {
+  id : Telemetry.Jsonx.t;  (** echoed in the reply; [Null] when absent *)
+  op : op;
+  deadline_ms : float option;
+}
+
+val op_name : op -> string
+(** The wire name: ["ne"], ["payoff"], ["welfare"], ["tau"], ["batch"]. *)
+
+val of_line : string -> (t, string) result
+(** Parse one request line.  [Error reason] on malformed JSON, missing or
+    ill-typed fields, unknown ops, or nested batches — never raises. *)

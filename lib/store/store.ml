@@ -1,0 +1,274 @@
+module Codec = Codec
+
+exception Locked of string
+exception Corrupt = Codec.Corrupt
+
+type t = {
+  dir : string;
+  lock_path : string;
+  lock_fd : Unix.file_descr;
+  mutex : Mutex.t;
+  index : (string, Telemetry.Jsonx.t) Hashtbl.t;
+  mutable active : out_channel;
+  mutable closed : bool;
+  hits : Telemetry.Metric.counter;
+  misses : Telemetry.Metric.counter;
+  puts : Telemetry.Metric.counter;
+  corrupt : Telemetry.Metric.counter;
+  compactions : Telemetry.Metric.counter;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Advisory locking is two-layered: [Unix.lockf] keeps a second {e
+   process} out, but POSIX record locks are per-process (re-locking from
+   the same process silently succeeds), so a process-global registry of
+   held paths catches a second opener in the same process too. *)
+let held = Hashtbl.create 4
+let held_mutex = Mutex.create ()
+
+let canonical dir =
+  match Unix.realpath dir with exception Unix.Unix_error _ -> dir | p -> p
+
+let acquire_lock dir =
+  let path = Filename.concat dir "LOCK" in
+  let key = canonical dir in
+  Mutex.lock held_mutex;
+  let already = Hashtbl.mem held key in
+  if not already then Hashtbl.replace held key ();
+  Mutex.unlock held_mutex;
+  if already then
+    raise
+      (Locked
+         (Printf.sprintf "store %s is already open in this process" dir));
+  let release_registry () =
+    Mutex.lock held_mutex;
+    Hashtbl.remove held key;
+    Mutex.unlock held_mutex
+  in
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+  | exception e ->
+      release_registry ();
+      raise e
+  | fd -> (
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () ->
+          let pid = string_of_int (Unix.getpid ()) ^ "\n" in
+          ignore (Unix.ftruncate fd 0);
+          ignore (Unix.write_substring fd pid 0 (String.length pid));
+          (path, fd)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+          Unix.close fd;
+          release_registry ();
+          raise
+            (Locked
+               (Printf.sprintf
+                  "store %s is locked by another process (lock file %s)" dir
+                  path))
+      | exception e ->
+          Unix.close fd;
+          release_registry ();
+          raise e)
+
+let release_lock t =
+  Unix.close t.lock_fd;
+  Mutex.lock held_mutex;
+  Hashtbl.remove held (canonical t.dir);
+  Mutex.unlock held_mutex
+
+let segment_prefix = "seg-"
+let segment_suffix = ".jsonl"
+let active_name = "active.jsonl"
+let segment_name gen = Printf.sprintf "%s%06d%s" segment_prefix gen segment_suffix
+
+let segment_gen file =
+  let plen = String.length segment_prefix in
+  let slen = String.length segment_suffix in
+  let n = String.length file in
+  if
+    n > plen + slen
+    && String.sub file 0 plen = segment_prefix
+    && String.sub file (n - slen) slen = segment_suffix
+  then int_of_string_opt (String.sub file plen (n - plen - slen))
+  else None
+
+let segments dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             Option.map (fun g -> (g, f)) (segment_gen f))
+      |> List.sort compare
+
+(* Load one store file into the index.  The header is strict — a file
+   that does not announce itself as a store segment raises {!Corrupt} —
+   but entry lines are validated independently: a torn final line or a
+   flipped bit drops that entry alone (counted on [corrupt]) and every
+   other line survives. *)
+let load_file ~corrupt index path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (match input_line ic with
+          | exception End_of_file ->
+              raise (Codec.Corrupt (path ^ ": empty store file"))
+          | line -> Codec.check_header line);
+          try
+            while true do
+              let line = input_line ic in
+              if String.trim line <> "" then
+                match Codec.decode line with
+                | Some (key, value) -> Hashtbl.replace index key value
+                | None -> Telemetry.Metric.incr corrupt
+            done
+          with End_of_file -> ())
+
+let open_active dir =
+  let path = Filename.concat dir active_name in
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  if fresh then begin
+    output_string oc Codec.header;
+    output_char oc '\n';
+    flush oc
+  end;
+  oc
+
+let open_dir ?(telemetry = Telemetry.Registry.default) dir =
+  mkdir_p dir;
+  let lock_path, lock_fd = acquire_lock dir in
+  let corrupt = Telemetry.Registry.counter telemetry "store.corrupt_entries" in
+  let index = Hashtbl.create 256 in
+  let finish_open () =
+    List.iter
+      (fun (_, file) -> load_file ~corrupt index (Filename.concat dir file))
+      (segments dir);
+    let active_path = Filename.concat dir active_name in
+    if Sys.file_exists active_path then load_file ~corrupt index active_path;
+    {
+      dir;
+      lock_path;
+      lock_fd;
+      mutex = Mutex.create ();
+      index;
+      active = open_active dir;
+      closed = false;
+      hits = Telemetry.Registry.counter telemetry "store.hits";
+      misses = Telemetry.Registry.counter telemetry "store.misses";
+      puts = Telemetry.Registry.counter telemetry "store.puts";
+      corrupt;
+      compactions = Telemetry.Registry.counter telemetry "store.compactions";
+    }
+  in
+  match finish_open () with
+  | t -> t
+  | exception e ->
+      (* Corrupt header (or any load failure): do not leave the lock
+         held by a store that never opened. *)
+      Unix.close lock_fd;
+      Mutex.lock held_mutex;
+      Hashtbl.remove held (canonical dir);
+      Mutex.unlock held_mutex;
+      raise e
+
+let dir t = t.dir
+
+let ensure_open t what =
+  if t.closed then invalid_arg (Printf.sprintf "Store.%s: store is closed" what)
+
+let find t ~key =
+  Mutex.lock t.mutex;
+  let found =
+    if t.closed then None else Hashtbl.find_opt t.index key
+  in
+  Mutex.unlock t.mutex;
+  (match found with
+  | Some _ -> Telemetry.Metric.incr t.hits
+  | None -> Telemetry.Metric.incr t.misses);
+  found
+
+let put t ~key value =
+  let line = Codec.encode ~key value in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      ensure_open t "put";
+      Hashtbl.replace t.index key value;
+      output_string t.active line;
+      output_char t.active '\n';
+      flush t.active;
+      Telemetry.Metric.incr t.puts)
+
+let entries t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.index in
+  Mutex.unlock t.mutex;
+  n
+
+let iter t f =
+  Mutex.lock t.mutex;
+  let snapshot = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.index [] in
+  Mutex.unlock t.mutex;
+  List.iter (fun (k, v) -> f ~key:k v) snapshot
+
+(* Fold every live entry into one fresh sealed segment (written next to
+   its final name and renamed, so a crash mid-compaction leaves the old
+   files untouched), then drop the superseded segments and restart the
+   append log.  Disk after compaction holds exactly one copy of each
+   entry. *)
+let compact t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      ensure_open t "compact";
+      let old_segments = segments t.dir in
+      let next_gen =
+        match List.rev old_segments with (g, _) :: _ -> g + 1 | [] -> 0
+      in
+      let target = Filename.concat t.dir (segment_name next_gen) in
+      let tmp = target ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc Codec.header;
+      output_char oc '\n';
+      Hashtbl.iter
+        (fun key value ->
+          output_string oc (Codec.encode ~key value);
+          output_char oc '\n')
+        t.index;
+      close_out oc;
+      Sys.rename tmp target;
+      List.iter
+        (fun (_, file) ->
+          try Sys.remove (Filename.concat t.dir file)
+          with Sys_error _ -> ())
+        old_segments;
+      close_out_noerr t.active;
+      (try Sys.remove (Filename.concat t.dir active_name)
+       with Sys_error _ -> ());
+      t.active <- open_active t.dir;
+      Telemetry.Metric.incr t.compactions)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out_noerr t.active;
+        release_lock t
+      end)
+
+let with_store ?telemetry dir f =
+  let t = open_dir ?telemetry dir in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,85 @@
+(** Persistent, content-keyed equilibrium store.
+
+    The oracle's memo tables die with the process; this store is their
+    durable counterpart — a key → JSON map that survives runs and is
+    shared across backends, so every equilibrium the fleet has ever
+    solved can answer the next query at disk-read cost instead of a
+    fixed-point solve.
+
+    {2 On-disk layout}
+
+    {v
+    DIR/
+      LOCK              advisory lock (holder's pid)
+      seg-000000.jsonl  sealed segments (compaction output)
+      active.jsonl      append log for new entries
+    v}
+
+    Every file starts with a strict magic/version header line and holds
+    checksummed entry lines (see {!Codec}).  [put] appends to the active
+    log and flushes, so a crash loses at most the entry being written:
+    the torn final line fails its digest on the next open and is dropped
+    alone, exactly like {!Runner.Checkpoint} journals.  [compact] folds
+    everything into one fresh segment with a tmp+rename write (crash
+    mid-compaction leaves the previous files intact) and restarts the
+    log.  Later entries win, so re-putting a key supersedes it.
+
+    {2 Locking}
+
+    Opening takes an advisory lock ([LOCK], via [lockf] plus an
+    in-process registry) and raises {!Locked} immediately when another
+    opener — same process or another one — already holds the store:
+    concurrent writers would interleave log appends, so the store
+    refuses fast and loudly rather than corrupting.
+
+    {2 Telemetry}
+
+    Counters on the registry passed at open: ["store.hits"] /
+    ["store.misses"] (lookups), ["store.puts"], ["store.corrupt_entries"]
+    (entry lines dropped at load), ["store.compactions"]. *)
+
+module Codec = Codec
+(** The line codec, exposed for tests and tooling that inspect or forge
+    store files (e.g. crash-safety tests damaging entries byte-wise). *)
+
+type t
+
+exception Locked of string
+(** Raised by {!open_dir} when the directory is already open elsewhere. *)
+
+exception Corrupt of string
+(** Raised when a store file is not a store file at all (bad magic or
+    unsupported version).  Damaged {e entries} never raise — they are
+    dropped entry-wise and counted on ["store.corrupt_entries"]. *)
+
+val open_dir : ?telemetry:Telemetry.Registry.t -> string -> t
+(** Open (creating if needed, including parents) the store, take its
+    lock, and load the in-memory index from every segment plus the
+    active log. *)
+
+val close : t -> unit
+(** Flush, release the lock and mark the store closed (idempotent).
+    Lookups on a closed store miss; [put]/[compact] raise
+    [Invalid_argument]. *)
+
+val with_store :
+  ?telemetry:Telemetry.Registry.t -> string -> (t -> 'a) -> 'a
+(** [with_store dir f] opens, runs [f], and closes even on raise. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> Telemetry.Jsonx.t option
+(** Index lookup (no disk I/O after open). *)
+
+val put : t -> key:string -> Telemetry.Jsonx.t -> unit
+(** Insert or supersede an entry; appended to the log and flushed before
+    returning. *)
+
+val entries : t -> int
+(** Number of live (deduplicated) entries. *)
+
+val iter : t -> (key:string -> Telemetry.Jsonx.t -> unit) -> unit
+(** Iterate over a snapshot of the live entries (unspecified order). *)
+
+val compact : t -> unit
+(** Merge all files into one fresh sealed segment and truncate the log. *)

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Serve smoke (rides in @ci via the @serve-smoke alias): drive the oracle
+# service end-to-end through the CLI, twice, against one --store
+# directory.  The first run answers cold and persists; the second must
+# answer the same questions from the store (tier "store" in the replies —
+# the acceptance criterion "store hits > 0 on a second run") and both
+# runs must turn a malformed line into an error reply instead of dying.
+set -eu
+
+cli="$1"
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+requests='{"id":1,"op":"tau","n":5,"w":64}
+{"id":2,"op":"ne","n":2}
+{"id":3,"op":"batch","requests":[{"op":"welfare","n":5,"w":64},{"op":"tau","n":5,"w":128}]}
+this line is not json'
+
+fail() {
+  echo "serve-smoke: $1" >&2
+  echo "--- first run ---" >&2
+  printf '%s\n' "$first" >&2
+  echo "--- second run ---" >&2
+  printf '%s\n' "$second" >&2
+  exit 1
+}
+
+first=$(printf '%s\n' "$requests" | "$cli" serve --stdin --store "$dir/store")
+second=$(printf '%s\n' "$requests" | "$cli" serve --stdin --store "$dir/store")
+
+case "$first" in
+  *'"tier":"cold"'*) ;;
+  *) fail "first run produced no cold-tier reply" ;;
+esac
+case "$first" in
+  *'"ok":false'*) ;;
+  *) fail "first run produced no error reply for the malformed line" ;;
+esac
+
+store_hits=$(printf '%s\n' "$second" | grep -c '"tier":"store"') || true
+[ "$store_hits" -gt 0 ] || fail "second run answered nothing from the store"
+case "$second" in
+  *'"tier":"cold"'*) fail "second run still solved cold" ;;
+esac
+case "$second" in
+  *'"ok":false'*) ;;
+  *) fail "second run produced no error reply for the malformed line" ;;
+esac
+
+# Both runs answered every line: 3 replies + 1 error each.
+[ "$(printf '%s\n' "$first" | wc -l)" -eq 4 ] || fail "first run reply count != 4"
+[ "$(printf '%s\n' "$second" | wc -l)" -eq 4 ] || fail "second run reply count != 4"
+
+echo "serve-smoke: ok ($store_hits store-tier replies on the second run)"

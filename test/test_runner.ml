@@ -205,6 +205,94 @@ let test_corrupt_cache_entry_recomputes () =
     (Atomic.get counter);
   Alcotest.(check bool) "values unchanged" true (cold = again)
 
+(* {1 Cache gc} *)
+
+let age_file path days =
+  let t = Unix.gettimeofday () -. (days *. 86_400.) in
+  Unix.utimes path t t
+
+let test_gc_evicts_by_age () =
+  let dir = temp_dir () in
+  let cache = R.Cache.open_dir dir in
+  List.iter
+    (fun k -> R.Cache.store cache ~key:k (J.Int 1))
+    [ "young"; "old_a"; "old_b" ];
+  let name_of key =
+    Sys.readdir dir |> Array.to_list
+    |> List.find (fun f ->
+           let text =
+             In_channel.with_open_bin (Filename.concat dir f)
+               In_channel.input_all
+           in
+           Option.bind (J.member "key" (J.parse text)) (function
+             | J.String s -> Some (s = key)
+             | _ -> None)
+           = Some true)
+  in
+  age_file (Filename.concat dir (name_of "old_a")) 10.;
+  age_file (Filename.concat dir (name_of "old_b")) 10.;
+  let registry = Telemetry.Registry.create ~label:"gc" () in
+  let stats = R.Cache.gc ~telemetry:registry ~max_age_days:7. cache in
+  Alcotest.(check int) "scanned all" 3 stats.scanned;
+  Alcotest.(check int) "evicted the stale pair" 2 stats.evicted;
+  Alcotest.(check int) "none corrupt" 0 stats.corrupt;
+  Alcotest.(check int) "counter matches" 2
+    (Telemetry.Metric.count
+       (Telemetry.Registry.counter registry "runner.cache.evicted"));
+  Alcotest.(check bool) "young entry survives" true
+    (R.Cache.find cache ~key:"young" <> None);
+  Alcotest.(check bool) "old entries gone" true
+    (R.Cache.find cache ~key:"old_a" = None
+    && R.Cache.find cache ~key:"old_b" = None)
+
+let test_gc_size_budget_oldest_first () =
+  let dir = temp_dir () in
+  let cache = R.Cache.open_dir dir in
+  (* Three entries with strictly increasing mtimes; a budget that only
+     fits one must keep the newest. *)
+  List.iteri
+    (fun i k ->
+      R.Cache.store cache ~key:k (J.Int i);
+      let file =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.find (fun f ->
+               let text =
+                 In_channel.with_open_bin (Filename.concat dir f)
+                   In_channel.input_all
+               in
+               J.member "key" (J.parse text) = Some (J.String k))
+      in
+      age_file (Filename.concat dir file) (float_of_int (2 - i)))
+    [ "first"; "second"; "third" ];
+  let budget =
+    Sys.readdir dir |> Array.to_list
+    |> List.map (fun f -> (Unix.stat (Filename.concat dir f)).st_size)
+    |> List.fold_left max 0
+  in
+  let stats = R.Cache.gc ~max_bytes:budget cache in
+  Alcotest.(check int) "two evicted to fit the budget" 2 stats.evicted;
+  Alcotest.(check bool) "newest survives" true
+    (R.Cache.find cache ~key:"third" <> None);
+  Alcotest.(check bool) "oldest went first" true
+    (R.Cache.find cache ~key:"first" = None
+    && R.Cache.find cache ~key:"second" = None);
+  Alcotest.(check bool) "kept fits" true (stats.bytes_kept <= budget)
+
+let test_gc_always_drops_corrupt () =
+  let dir = temp_dir () in
+  let cache = R.Cache.open_dir dir in
+  R.Cache.store cache ~key:"sound" (J.Int 1);
+  let oc = open_out (Filename.concat dir "deadbeefdeadbeef.json") in
+  output_string oc "{ not json";
+  close_out oc;
+  (* No age or size bound: only the damaged entry goes. *)
+  let stats = R.Cache.gc cache in
+  Alcotest.(check int) "one corrupt" 1 stats.corrupt;
+  Alcotest.(check int) "only it evicted" 1 stats.evicted;
+  Alcotest.(check bool) "sound entry untouched" true
+    (R.Cache.find cache ~key:"sound" <> None)
+
 (* {1 Checkpoint / resume} *)
 
 let test_resume_after_kill () =
@@ -349,6 +437,9 @@ let () =
           quick "shared across sweeps" test_cache_shared_across_sweeps;
           quick "corrupt entry recomputes" test_corrupt_cache_entry_recomputes;
           quick "no cache, no reuse" test_no_cache_always_computes;
+          quick "gc evicts by age" test_gc_evicts_by_age;
+          quick "gc size budget, oldest first" test_gc_size_budget_oldest_first;
+          quick "gc always drops corrupt entries" test_gc_always_drops_corrupt;
         ] );
       ( "resume",
         [

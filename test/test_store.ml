@@ -1,0 +1,346 @@
+(* Tests for the persistent equilibrium store: codec round-trips (qcheck),
+   persistence across reopen, crash-safety (torn final line, bit flips,
+   kill mid-write), the advisory lock, compaction, and the oracle's
+   store/warm-start integration. *)
+
+module J = Telemetry.Jsonx
+
+let temp_dir () =
+  let path = Filename.temp_file "store_test" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let active dir = Filename.concat dir "active.jsonl"
+
+let read_lines path =
+  In_channel.with_open_bin path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+let write_lines path lines =
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        lines)
+
+(* {1 Codec} *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun f -> J.Float f) (float_bound_exclusive 1e9);
+        map (fun s -> J.String s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun l -> J.List l) (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun kvs -> J.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2))));
+              ])
+        (min n 4))
+
+let test_codec_roundtrip_qcheck =
+  QCheck.Test.make ~count:200 ~name:"codec round-trips key and value"
+    (QCheck.make
+       ~print:(fun (k, v) -> k ^ " -> " ^ J.to_string v)
+       QCheck.Gen.(pair (string_size ~gen:printable (int_bound 40)) json_gen))
+    (fun (key, value) ->
+      (* Keys are store-internal (printable, no newlines); values arbitrary. *)
+      QCheck.assume (not (String.contains key '\n'));
+      match Store.Codec.decode (Store.Codec.encode ~key value) with
+      | Some (k, v) -> k = key && J.to_string v = J.to_string value
+      | None -> false)
+
+let test_codec_rejects_damage () =
+  let line = Store.Codec.encode ~key:"k" (J.Float 19.582154595880152) in
+  Alcotest.(check bool) "intact decodes" true (Store.Codec.decode line <> None);
+  (* Flip one character in the payload. *)
+  let flipped = Bytes.of_string line in
+  Bytes.set flipped (String.length line - 2) 'X';
+  Alcotest.(check (option unit)) "bit flip rejected" None
+    (Option.map ignore (Store.Codec.decode (Bytes.to_string flipped)));
+  (* Truncate (torn final line). *)
+  Alcotest.(check (option unit)) "torn line rejected" None
+    (Option.map ignore
+       (Store.Codec.decode (String.sub line 0 (String.length line - 3))));
+  (* Damage the digest itself. *)
+  let bad_digest = "0000000000000000" ^ String.sub line 16 (String.length line - 16) in
+  Alcotest.(check (option unit)) "bad digest rejected" None
+    (Option.map ignore (Store.Codec.decode bad_digest))
+
+let test_float_bits_roundtrip () =
+  (* The property the oracle's bit-identical store tier rests on. *)
+  let values = [ 19.582154595880152; 0.04784643920098388; 1e-300; -0.0 ] in
+  List.iter
+    (fun f ->
+      match Store.Codec.decode (Store.Codec.encode ~key:"f" (J.Float f)) with
+      | Some (_, J.Float g) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bits of %h" f)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+      | _ -> Alcotest.fail "float entry did not decode as float")
+    values
+
+(* {1 Store} *)
+
+let test_persistence_across_reopen () =
+  let dir = temp_dir () in
+  Store.with_store dir (fun s ->
+      Store.put s ~key:"a" (J.Int 1);
+      Store.put s ~key:"b" (J.Float 2.5);
+      Store.put s ~key:"a" (J.Int 3) (* supersedes *));
+  Store.with_store dir (fun s ->
+      Alcotest.(check int) "live entries" 2 (Store.entries s);
+      Alcotest.(check bool) "later entry wins" true
+        (Store.find s ~key:"a" = Some (J.Int 3));
+      Alcotest.(check bool) "b kept" true (Store.find s ~key:"b" = Some (J.Float 2.5)))
+
+let test_torn_final_line_dropped () =
+  let dir = temp_dir () in
+  Store.with_store dir (fun s ->
+      Store.put s ~key:"a" (J.Int 1);
+      Store.put s ~key:"b" (J.Int 2));
+  (* Simulate a kill mid-append: a half-written final line. *)
+  let lines = read_lines (active dir) in
+  let torn =
+    match List.rev lines with
+    | last :: rest ->
+        List.rev (String.sub last 0 (String.length last / 2) :: rest)
+    | [] -> assert false
+  in
+  write_lines (active dir) torn;
+  let registry = Telemetry.Registry.create () in
+  Store.with_store ~telemetry:registry dir (fun s ->
+      Alcotest.(check int) "only the torn entry lost" 1 (Store.entries s);
+      Alcotest.(check bool) "first entry intact" true
+        (Store.find s ~key:"a" = Some (J.Int 1));
+      Alcotest.(check int) "damage counted" 1
+        (Telemetry.Metric.count
+           (Telemetry.Registry.counter registry "store.corrupt_entries")))
+
+let test_bit_flip_dropped_entrywise () =
+  let dir = temp_dir () in
+  Store.with_store dir (fun s ->
+      List.iter (fun k -> Store.put s ~key:k (J.String k)) [ "a"; "b"; "c" ]);
+  let lines = read_lines (active dir) in
+  (* Corrupt the middle entry (line 2 of header + 3 entries). *)
+  let flipped =
+    List.mapi
+      (fun i l ->
+        if i = 2 then (
+          let b = Bytes.of_string l in
+          Bytes.set b (Bytes.length b - 1) '?';
+          Bytes.to_string b)
+        else l)
+      lines
+  in
+  write_lines (active dir) flipped;
+  Store.with_store dir (fun s ->
+      Alcotest.(check int) "two entries survive" 2 (Store.entries s);
+      Alcotest.(check bool) "a survives" true (Store.find s ~key:"a" <> None);
+      Alcotest.(check bool) "c survives" true (Store.find s ~key:"c" <> None);
+      Alcotest.(check bool) "b dropped" true (Store.find s ~key:"b" = None))
+
+let test_bad_magic_raises () =
+  let dir = temp_dir () in
+  Store.with_store dir (fun s -> Store.put s ~key:"a" (J.Int 1));
+  let lines = read_lines (active dir) in
+  let refused header =
+    write_lines (active dir) (header :: List.tl lines);
+    match Store.with_store dir (fun _ -> ()) with
+    | exception Store.Corrupt _ -> true
+    | () -> false
+  in
+  (* A file that is not ours at all, and one that merely claims a
+     different format: both must be refused whole, not salvaged. *)
+  Alcotest.(check bool) "non-JSON header refused" true (refused "TRACEFILE99");
+  Alcotest.(check bool) "wrong magic refused" true
+    (refused {|{"magic":"NOTASTORE","version":1}|});
+  Alcotest.(check bool) "future version refused" true
+    (refused {|{"magic":"MACSTORE1","version":99}|})
+
+let test_second_opener_fails_fast () =
+  let dir = temp_dir () in
+  let s = Store.open_dir dir in
+  Alcotest.(check bool) "second open raises Locked" true
+    (match Store.open_dir dir with
+    | exception Store.Locked _ -> true
+    | s2 ->
+        Store.close s2;
+        false);
+  Store.close s;
+  (* The lock dies with the holder: reopening after close succeeds. *)
+  Store.with_store dir (fun _ -> ())
+
+let test_compaction () =
+  let dir = temp_dir () in
+  let registry = Telemetry.Registry.create () in
+  Store.with_store ~telemetry:registry dir (fun s ->
+      for i = 1 to 10 do
+        Store.put s ~key:"hot" (J.Int i)
+      done;
+      Store.put s ~key:"other" (J.Bool true);
+      Alcotest.(check int) "live before compaction" 2 (Store.entries s);
+      Store.compact s;
+      Alcotest.(check int) "live after compaction" 2 (Store.entries s);
+      Alcotest.(check bool) "latest value survives" true
+        (Store.find s ~key:"hot" = Some (J.Int 10)));
+  (* After compaction the active log holds only its header. *)
+  Alcotest.(check int) "active log truncated" 1
+    (List.length (read_lines (active dir)));
+  Store.with_store dir (fun s ->
+      Alcotest.(check int) "compacted store reopens" 2 (Store.entries s);
+      Alcotest.(check bool) "value intact" true
+        (Store.find s ~key:"hot" = Some (J.Int 10)))
+
+let test_kill_mid_write_resumes () =
+  (* The store-level mirror of the runner's resume-after-kill test: write
+     some entries, tear the log mid-entry, reopen, and keep appending —
+     the survivors plus the new entries must all be there on a third
+     open. *)
+  let dir = temp_dir () in
+  Store.with_store dir (fun s ->
+      Store.put s ~key:"a" (J.Int 1);
+      Store.put s ~key:"b" (J.Int 2));
+  let lines = read_lines (active dir) in
+  let torn =
+    match List.rev lines with
+    | last :: rest -> List.rev (String.sub last 0 7 :: rest)
+    | [] -> assert false
+  in
+  write_lines (active dir) torn;
+  Store.with_store dir (fun s ->
+      Alcotest.(check bool) "survivor readable" true
+        (Store.find s ~key:"a" = Some (J.Int 1));
+      Store.put s ~key:"b" (J.Int 22);
+      Store.put s ~key:"c" (J.Int 3));
+  Store.with_store dir (fun s ->
+      Alcotest.(check int) "all live entries present" 3 (Store.entries s);
+      Alcotest.(check bool) "recomputed entry wins" true
+        (Store.find s ~key:"b" = Some (J.Int 22)))
+
+(* {1 Oracle integration} *)
+
+let params = Dcf.Params.default
+
+let test_oracle_store_bit_identical () =
+  let dir = temp_dir () in
+  let direct = Macgame.Oracle.uniform (Macgame.Oracle.analytic params) ~n:7 ~w:96 in
+  let first =
+    Store.with_store dir (fun store ->
+        Macgame.Oracle.uniform
+          (Macgame.Oracle.create ~backend:Analytic ~store params)
+          ~n:7 ~w:96)
+  in
+  let second =
+    Store.with_store dir (fun store ->
+        let oracle = Macgame.Oracle.create ~backend:Analytic ~store params in
+        let view, tier = Macgame.Oracle.uniform_outcome oracle ~n:7 ~w:96 in
+        Alcotest.(check string) "answered from the store" "store"
+          (Macgame.Oracle.tier_name tier);
+        view)
+  in
+  let bits v = Int64.bits_of_float v in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check int64) name (bits (f direct)) (bits (f second));
+      Alcotest.(check int64) (name ^ " cold") (bits (f direct)) (bits (f first)))
+    [
+      ("tau", fun (v : Macgame.Oracle.uniform_view) -> v.tau);
+      ("p", fun v -> v.p);
+      ("utility", fun v -> v.utility);
+      ("throughput", fun v -> v.throughput);
+      ("slot_time", fun v -> v.slot_time);
+    ]
+
+let test_oracle_profile_store_tier () =
+  let dir = temp_dir () in
+  let profile = [| 16; 32; 32; 64 |] in
+  let cold =
+    Store.with_store dir (fun store ->
+        Macgame.Oracle.payoffs
+          (Macgame.Oracle.create ~backend:Analytic ~store params)
+          profile)
+  in
+  Store.with_store dir (fun store ->
+      let oracle = Macgame.Oracle.create ~backend:Analytic ~store params in
+      let payoffs, tier = Macgame.Oracle.payoffs_outcome oracle profile in
+      Alcotest.(check string) "profile row from store" "store"
+        (Macgame.Oracle.tier_name tier);
+      Array.iteri
+        (fun i u ->
+          Alcotest.(check int64)
+            (Printf.sprintf "payoff %d" i)
+            (Int64.bits_of_float cold.(i))
+            (Int64.bits_of_float u))
+        payoffs)
+
+let test_warm_start_counts_and_agrees () =
+  let dir = temp_dir () in
+  let registry = Telemetry.Registry.create () in
+  let tau_cold =
+    (Macgame.Oracle.uniform (Macgame.Oracle.analytic params) ~n:6 ~w:200).tau
+  in
+  Store.with_store dir (fun store ->
+      ignore
+        (Macgame.Oracle.uniform
+           (Macgame.Oracle.create ~telemetry:registry ~backend:Analytic ~store
+              params)
+           ~n:6 ~w:128));
+  Store.with_store dir (fun store ->
+      let oracle =
+        Macgame.Oracle.create ~telemetry:registry ~backend:Analytic ~store
+          ~warm_start:true params
+      in
+      let tau_warm = (Macgame.Oracle.uniform oracle ~n:6 ~w:200).tau in
+      Alcotest.(check int) "warm start used" 1
+        (Telemetry.Metric.count
+           (Telemetry.Registry.counter registry "oracle.warmstart.used"));
+      Alcotest.(check bool) "tolerance-level agreement" true
+        (Float.abs (tau_warm -. tau_cold) <= 1e-9 *. Float.abs tau_cold))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "store"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest test_codec_roundtrip_qcheck;
+          quick "damage rejected" test_codec_rejects_damage;
+          quick "float bits round-trip" test_float_bits_roundtrip;
+        ] );
+      ( "store",
+        [
+          quick "persistence across reopen" test_persistence_across_reopen;
+          quick "torn final line dropped" test_torn_final_line_dropped;
+          quick "bit flip dropped entry-wise" test_bit_flip_dropped_entrywise;
+          quick "bad magic raises Corrupt" test_bad_magic_raises;
+          quick "second opener fails fast" test_second_opener_fails_fast;
+          quick "compaction" test_compaction;
+          quick "kill mid-write resumes" test_kill_mid_write_resumes;
+        ] );
+      ( "oracle",
+        [
+          quick "store tier bit-identical" test_oracle_store_bit_identical;
+          quick "profile rows persist" test_oracle_profile_store_tier;
+          quick "warm start counts and agrees" test_warm_start_counts_and_agrees;
+        ] );
+    ]
