@@ -26,6 +26,21 @@ let tests =
       Test.make ~name:"homogeneous_solve_n20"
         (Staged.stage (fun () ->
              ignore (Dcf.Solver.solve_homogeneous params ~n:20 ~w:339)));
+      (* Multi-knob strategy kernel: the heterogeneous (CW, AIFS) coupled
+         fixed point over 20 nodes in 3 AIFS classes — the inner loop of
+         the PR-8 coordinate-descent NE search. *)
+      Test.make ~name:"strategy_solve_cw_aifs_n20"
+        (Staged.stage
+           (let strategies =
+              Array.init 20 (fun i ->
+                  {
+                    Dcf.Strategy_space.cw = 64 + (8 * i);
+                    aifs = i mod 3;
+                    txop_frames = 1;
+                    rate = 1.0;
+                  })
+            in
+            fun () -> ignore (Dcf.Model.solve_strategies params strategies)));
       (* Figures 2-3 kernel: one welfare evaluation, cold (a fresh oracle
          per call, so the fixed point is actually solved every time). *)
       Test.make ~name:"welfare_point_n20"

@@ -86,6 +86,28 @@ let run ?(dir = ".") () =
       List.concat_map (fun (_, ks) -> List.map fst ks) history
       |> List.sort_uniq compare
     in
+    (* PRs inside the measured range that left no baseline file (a PR that
+       changed no kernel code ships none) get an explicit placeholder
+       column: a silent gap in the numbering reads as a mistake, while a
+       dash column says "that PR measured nothing" once, up front. *)
+    let missing =
+      match (history, List.rev history) with
+      | (first, _) :: _, (last, _) :: _ ->
+          List.filter
+            (fun pr -> not (List.mem_assoc pr history))
+            (List.init (last - first + 1) (fun i -> first + i))
+      | _ -> []
+    in
+    if missing <> [] then
+      Printf.printf "note: no %s for %s; shown as \xe2\x80\x94 placeholders\n"
+        (prefix ^ "<n>" ^ suffix)
+        (String.concat ", "
+           (List.map (fun pr -> Printf.sprintf "PR%d" pr) missing));
+    let history =
+      List.sort compare
+        (List.map (fun (pr, ks) -> (pr, Some ks)) history
+        @ List.map (fun pr -> (pr, None)) missing)
+    in
     let columns =
       Prelude.Table.column ~align:Prelude.Table.Left "kernel"
       :: List.map
@@ -97,12 +119,21 @@ let run ?(dir = ".") () =
       List.map
         (fun kernel ->
           let series =
-            List.map (fun (_, ks) -> List.assoc_opt kernel ks) history
+            List.map
+              (fun (_, ks) ->
+                match ks with
+                | None -> None
+                | Some ks -> List.assoc_opt kernel ks)
+              history
           in
           let cells =
-            List.map
-              (function Some ns -> render_ns ns | None -> "-")
-              series
+            List.map2
+              (fun (_, ks) v ->
+                match (ks, v) with
+                | None, _ -> "\xe2\x80\x94" (* placeholder column *)
+                | Some _, Some ns -> render_ns ns
+                | Some _, None -> "-")
+              history series
           in
           (* Trend cell: the newest sample against the latest preceding
              PR that measured this kernel. *)

@@ -298,6 +298,58 @@ let ne_cmd =
     (Cmd.info "ne" ~doc:"Nash-equilibrium analysis for a symmetric network")
     (instrumented Term.(const run $ mode_t $ backoff_t $ n_t $ oracle_term))
 
+(* {1 ne-multi} *)
+
+let ne_multi_cmd =
+  let aifs_max_t =
+    Arg.(
+      value & opt int 2
+      & info [ "aifs-max" ] ~docv:"A" ~doc:"Largest AIFS defer count searched.")
+  in
+  let txop_max_t =
+    Arg.(
+      value & opt int 1
+      & info [ "txop-max" ] ~docv:"K" ~doc:"Largest TXOP burst searched.")
+  in
+  let w0_t =
+    Arg.(
+      value & opt int 64
+      & info [ "w0" ] ~docv:"W0" ~doc:"Starting window of every player.")
+  in
+  let run mode m n aifs_max txop_max w0 mk_oracle () =
+    let params = params_of mode m in
+    let oracle = mk_oracle params in
+    let space =
+      Dcf.Strategy_space.edca_space ~aifs_max ~txop_max
+        ~cw_max:params.Dcf.Params.cw_max ()
+    in
+    let initial = Macgame.Profile.uniform ~n ~w:w0 in
+    let out = Macgame.Search.ne_search oracle ~space ~initial in
+    let payoffs = Macgame.Oracle.payoffs_profile oracle out.equilibrium in
+    Printf.printf
+      "space: CW [%d, %d] x AIFS [0, %d] x TXOP [1, %d]  (%s backend)\n"
+      space.cw_min space.cw_max space.aifs_max space.txop_max
+      (Macgame.Oracle.backend_name (Macgame.Oracle.backend oracle));
+    Printf.printf "%s after %d round(s), %d payoff evaluations\n"
+      (if out.converged then "converged" else "NOT converged")
+      out.rounds out.evaluations;
+    Array.iteri
+      (fun i s ->
+        Printf.printf "player %d: %s  payoff %+.4f /s\n" i
+          (Format.asprintf "%a" Macgame.Strategy_space.pp s)
+          payoffs.(i))
+      out.equilibrium
+  in
+  Cmd.v
+    (Cmd.info "ne-multi"
+       ~doc:
+         "Coordinate-descent NE search over the (CW, AIFS, TXOP) strategy \
+          space")
+    (instrumented
+       Term.(
+         const run $ mode_t $ backoff_t $ n_t $ aifs_max_t $ txop_max_t $ w0_t
+         $ oracle_term))
+
 (* {1 game} *)
 
 let game_cmd =
@@ -403,15 +455,41 @@ let search_cmd =
 
 (* {1 sim} *)
 
+let aifs_t =
+  Arg.(
+    value & opt int 0
+    & info [ "aifs" ] ~docv:"A" ~doc:"Extra AIFS defer slots (0 = legacy DIFS).")
+
+let txop_t =
+  Arg.(
+    value & opt int 1
+    & info [ "txop" ] ~docv:"K" ~doc:"Frames per TXOP burst (1 = no bursting).")
+
+let rate_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "rate" ] ~docv:"R" ~doc:"PHY rate multiplier (1 = base rate).")
+
 let sim_cmd =
   let w_t =
     Arg.(
       value & opt int 79 & info [ "w"; "window" ] ~docv:"W" ~doc:"Common contention window.")
   in
-  let run mode m n w duration seed () =
+  let run mode m n w aifs txop rate duration seed () =
     let params = params_of mode m in
+    let s =
+      { Macgame.Strategy_space.cw = w; aifs; txop_frames = txop; rate }
+    in
+    (match Macgame.Strategy_space.validate ~cw_max:params.Dcf.Params.cw_max s with
+    | Ok () -> ()
+    | Error e -> raise (Invalid_argument ("sim: " ^ e)));
+    let strategies =
+      if Macgame.Strategy_space.is_degenerate s then None
+      else Some (Array.make n s)
+    in
     let r =
-      Netsim.Slotted.run { params; cws = Array.make n w; duration; seed }
+      Netsim.Slotted.run ?strategies
+        { params; cws = Array.make n w; duration; seed }
     in
     Printf.printf "simulated %.1f s, %d virtual slots\n" r.time r.slots;
     Printf.printf "node | attempts | success | tau_hat |  p_hat | payoff/s\n";
@@ -420,14 +498,22 @@ let sim_cmd =
         Printf.printf "%4d | %8d | %7d | %.5f | %.4f | %+.4f\n" i s.attempts
           s.successes s.tau_hat s.p_hat s.payoff_rate)
       r.per_node;
-    let v = Dcf.Model.homogeneous params ~n ~w in
-    Printf.printf "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n" v.tau
-      v.p v.utility r.welfare_rate
+    (match strategies with
+    | None ->
+        let v = Dcf.Model.homogeneous params ~n ~w in
+        Printf.printf "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n"
+          v.tau v.p v.utility r.welfare_rate
+    | Some ss ->
+        let v = Dcf.Model.solve_strategies params ss in
+        Printf.printf "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n"
+          v.taus.(0) v.ps.(0) v.utilities.(0) r.welfare_rate)
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Packet-level single-hop simulation")
     (instrumented
-       Term.(const run $ mode_t $ backoff_t $ n_t $ w_t $ duration_t $ seed_t))
+       Term.(
+         const run $ mode_t $ backoff_t $ n_t $ w_t $ aifs_t $ txop_t $ rate_t
+         $ duration_t $ seed_t))
 
 (* {1 multihop} *)
 
@@ -1163,7 +1249,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            solve_cmd; ne_cmd; game_cmd; search_cmd; sim_cmd; multihop_cmd;
+            solve_cmd; ne_cmd; ne_multi_cmd; game_cmd; search_cmd; sim_cmd;
+            multihop_cmd;
             sweep_cmd; delay_cmd; detect_cmd; conformance_cmd; serve_cmd;
             cache_cmd; store_cmd; trace_cmd;
           ]))

@@ -161,6 +161,37 @@ let table () =
     };
     tau_inversion 5 79.;
     tau_inversion 20 339.;
+    {
+      id = "banchs.capture.n3";
+      tier = fast;
+      source =
+        "Banchs et al. (EDCA configuration game): without punishment the \
+         one-shot equilibria are asymmetric, one station captures the \
+         channel";
+      expected = 1.;
+      kind = Absolute 0.01;
+      compute =
+        (fun () ->
+          (* Coordinate-descent NE search over (CW, AIFS) from a symmetric
+             start: the widened strategy space must reproduce the capture
+             equilibrium — exactly one player drops to cw_min while the
+             others retreat to silence — not a symmetric compromise. *)
+          let params = Dcf.Params.default in
+          let oracle = Lazy.force basic_oracle in
+          let space =
+            Dcf.Strategy_space.edca_space ~aifs_max:2 ~txop_max:1
+              ~cw_max:params.Dcf.Params.cw_max ()
+          in
+          let initial = Macgame.Profile.uniform ~n:3 ~w:32 in
+          let out = Macgame.Search.ne_search oracle ~space ~initial in
+          if not out.converged then nan
+          else
+            float_of_int
+              (Array.fold_left
+                 (fun acc (s : Dcf.Strategy_space.t) ->
+                   if s.cw = space.cw_min then acc + 1 else acc)
+                 0 out.equilibrium));
+    };
   ]
   @ List.concat_map
       (fun seed -> [ multihop seed `Wm; multihop seed `Global; multihop seed `Local ])

@@ -1,0 +1,16 @@
+(** Degenerate-subspace bit-identity checks.
+
+    The multi-knob strategy refactor carries one hard promise: on the
+    degenerate subspace (aifs = 0, txop = 1, rate = 1) every layer —
+    analytic model, slotted simulator, spatial simulator — produces
+    answers {e bit-identical} to the CW-only stack it replaced.  The
+    14-point grid here drives each layer both ways (bare CW arrays and
+    explicit degenerate strategy records) and compares every returned
+    float bitwise; the margin is 0 on exact agreement and infinite
+    otherwise.  All points run in the fast tier, so CI trips the moment a
+    change reroutes degenerate inputs through the multi-knob machinery. *)
+
+val checks :
+  ?telemetry:Telemetry.Registry.t -> tier:Check.tier -> unit -> Check.t list
+(** Evaluate the grid (group ["degenerate"], fast tier); one check per
+    point, emitted on the registry. *)

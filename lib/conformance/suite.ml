@@ -21,6 +21,7 @@ let equivalence_checks ?telemetry ~tier () =
 let run ?telemetry ?(golden_dir = default_golden_dir) ~tier () =
   let checks =
     equivalence_checks ?telemetry ~tier ()
+    @ Degenerate.checks ?telemetry ~tier ()
     @ Anchors.checks ?telemetry ~tier ()
     @ Serving.checks ?telemetry ~tier ()
     @ Golden.checks ?telemetry ~tier ~dir:golden_dir ()

@@ -107,3 +107,68 @@ let empirical_rates ~rng ~trials ~w_true ~w_exp ~samples ~beta =
     if estimate < threshold then incr flagged
   done;
   float_of_int !flagged /. float_of_int trials
+
+(* {2 Multi-knob deviation detection} *)
+
+let aifs_flag_rate ~w ~aifs_true ~aifs_exp ~samples ~delta =
+  if w < 1 then invalid_arg "Detection: window must be >= 1";
+  if aifs_true < 0 || aifs_exp < 0 then
+    invalid_arg "Detection: aifs must be >= 0";
+  if samples < 1 then invalid_arg "Detection: samples must be >= 1";
+  if delta < 0. then invalid_arg "Detection: delta must be >= 0";
+  let threshold = float_of_int aifs_exp -. delta in
+  let wf = float_of_int w in
+  let stddev = sqrt (((wf *. wf) -. 1.) /. 12. /. float_of_int samples) in
+  if stddev = 0. then (* w = 1: the idle gap is exactly the AIFS *)
+    if float_of_int aifs_true < threshold then 1. else 0.
+  else
+    Numerics.Special.normal_cdf ~mean:(float_of_int aifs_true) ~stddev threshold
+
+let aifs_false_positive_rate ~w ~aifs_exp ~samples ~delta =
+  aifs_flag_rate ~w ~aifs_true:aifs_exp ~aifs_exp ~samples ~delta
+
+let aifs_detection_rate ~w ~aifs_true ~aifs_exp ~samples ~delta =
+  aifs_flag_rate ~w ~aifs_true ~aifs_exp ~samples ~delta
+
+let txop_detection_rate ~txop_true ~txop_exp ~p_observe ~accesses =
+  if txop_true < 1 || txop_exp < 1 then invalid_arg "Detection: txop >= 1";
+  if p_observe < 0. || p_observe > 1. then
+    invalid_arg "Detection: p_observe in [0, 1]";
+  if accesses < 1 then invalid_arg "Detection: accesses >= 1";
+  if txop_true <= txop_exp then 0.
+  else 1. -. ((1. -. p_observe) ** float_of_int accesses)
+
+let empirical_aifs_rate ~rng ~trials ~w ~aifs_true ~aifs_exp ~samples ~delta =
+  if trials < 1 then invalid_arg "Detection.empirical_aifs_rate: trials >= 1";
+  let threshold = float_of_int aifs_exp -. delta in
+  let flagged = ref 0 in
+  for _ = 1 to trials do
+    let estimate = Observer.aifs_estimate ~rng ~w ~aifs:aifs_true ~samples in
+    if estimate < threshold then incr flagged
+  done;
+  float_of_int !flagged /. float_of_int trials
+
+let punishment_stages ~gain ~loss ~discount =
+  if gain < 0. then invalid_arg "Detection.punishment_stages: gain >= 0";
+  if loss <= 0. then invalid_arg "Detection.punishment_stages: loss > 0";
+  if discount <= 0. || discount >= 1. then
+    invalid_arg "Detection.punishment_stages: discount in (0, 1)";
+  if gain = 0. then Some 0
+  else if discount /. (1. -. discount) *. loss <= gain then None
+  else begin
+    (* Σ_{k=1..L} δ^k·loss ≥ gain  ⇔  δ·(1−δ^L)/(1−δ) ≥ gain/loss.
+       Closed form, then settled to the exact integer. *)
+    let target = gain /. loss in
+    let enough l =
+      discount *. (1. -. (discount ** float_of_int l)) /. (1. -. discount)
+      >= target
+    in
+    let guess =
+      let inner = 1. -. (target *. (1. -. discount) /. discount) in
+      if inner <= 0. then 1
+      else Stdlib.max 1 (int_of_float (Float.ceil (log inner /. log discount)))
+    in
+    let rec settle l = if l > 1 && enough (l - 1) then settle (l - 1) else l in
+    let rec grow l = if enough l then l else grow (l + 1) in
+    Some (settle (grow guess))
+  end

@@ -55,3 +55,52 @@ val empirical_rates :
   beta:float -> float
 (** Monte-Carlo flag rate of the exact (non-Gaussian) estimator — used by
     the tests to validate the closed forms. *)
+
+(** {2 Multi-knob deviation detection}
+
+    With (CW, AIFS, TXOP, rate) strategies a cheater has more knobs than
+    the contention window; each needs its own trigger.  AIFS deviation is
+    estimated from the same idle-slot counts as the window ({!Observer.aifs_estimate}),
+    so its error rates have the same normal closed forms.  TXOP deviation
+    is deterministic per observed burst — detection is purely a coverage
+    question. *)
+
+val aifs_flag_rate :
+  w:int -> aifs_true:int -> aifs_exp:int -> samples:int -> delta:float ->
+  float
+(** P(âifs < aifs_exp − delta) for a neighbour with true AIFS
+    [aifs_true] and window [w], after [samples ≥ 1] observed accesses.
+    [delta ≥ 0] is the trigger margin in slots. *)
+
+val aifs_false_positive_rate :
+  w:int -> aifs_exp:int -> samples:int -> delta:float -> float
+(** P(flag an honest node): {!aifs_flag_rate} at
+    [aifs_true = aifs_exp]. *)
+
+val aifs_detection_rate :
+  w:int -> aifs_true:int -> aifs_exp:int -> samples:int -> delta:float ->
+  float
+(** P(flag a node defering [aifs_true < aifs_exp] slots). *)
+
+val txop_detection_rate :
+  txop_true:int -> txop_exp:int -> p_observe:float -> accesses:int -> float
+(** P(catch a burst longer than [txop_exp]) when each of [accesses ≥ 1]
+    channel accesses is observed independently with probability
+    [p_observe]: [0] for an honest node, [1 − (1−p_observe)^accesses]
+    for a cheater — burst length is deterministic, so one observed
+    access convicts. *)
+
+val empirical_aifs_rate :
+  rng:Prelude.Rng.t -> trials:int -> w:int -> aifs_true:int -> aifs_exp:int ->
+  samples:int -> delta:float -> float
+(** Monte-Carlo flag rate of the exact AIFS estimator — validates the
+    closed form in the tests. *)
+
+val punishment_stages :
+  gain:float -> loss:float -> discount:float -> int option
+(** Banchs-style punishment sizing: the smallest number of punishment
+    stages L making a detected deviation unprofitable, i.e.
+    Σ_{k=1..L} δ^k·[loss] ≥ [gain], where [gain] is the cheater's
+    one-stage payoff gain and [loss] its per-stage payoff loss while
+    punished.  [Some 0] when there is nothing to deter; [None] when even
+    perpetual punishment cannot recoup the gain (δ too small). *)

@@ -8,7 +8,7 @@ type stage_payoffs = {
 let stage_payoffs oracle ~n ~w_star ~w_dev =
   let params = Oracle.params oracle in
   let stage u = Dcf.Utility.stage params u in
-  let during = Oracle.payoffs oracle (Profile.with_deviant ~n ~w:w_star ~w_dev) in
+  let during = Oracle.payoffs_profile oracle (Profile.with_deviant ~n ~w:w_star ~w_dev) in
   {
     deviant = stage during.(0);
     conformer = stage (if n > 1 then during.(1) else during.(0));

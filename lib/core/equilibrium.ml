@@ -122,6 +122,6 @@ let unilateral_gain oracle ~n ~w ~w_dev =
   if n < 2 then invalid_arg "Equilibrium.unilateral_gain: need n >= 2";
   if w = w_dev then 0.
   else begin
-    let u = Oracle.payoffs oracle (Profile.with_deviant ~n ~w ~w_dev) in
+    let u = Oracle.payoffs_profile oracle (Profile.with_deviant ~n ~w ~w_dev) in
     u.(0) -. u.(1)
   end

@@ -35,3 +35,30 @@ val estimate_error_stddev : w:int -> samples:int -> float
 (** Analytic standard deviation of the {!sampling} estimator's error:
     √(W²−1)/√(3·k)… specifically 2·σ_backoff/√k with σ²_backoff =
     (W²−1)/12.  Used by tests and by the GTFT tolerance ablation. *)
+
+(** {2 Multi-knob estimators}
+
+    The (CW, AIFS, TXOP, rate) strategy space widens what a promiscuous
+    observer must measure.  AIFS deviation rides on the same idle-slot
+    counting as the window estimator; TXOP deviation is deterministic per
+    observed burst and only needs coverage. *)
+
+val aifs_estimate :
+  rng:Prelude.Rng.t -> w:int -> aifs:int -> samples:int -> float
+(** One empirical run of the AIFS estimator: the observer measures the
+    idle gap before each of [samples ≥ 1] transmissions of a neighbour
+    with true window [w] and AIFS [aifs], then subtracts the known
+    backoff mean (W−1)/2.  Unbiased for the true AIFS. *)
+
+val aifs_estimate_stddev : w:int -> samples:int -> float
+(** Analytic standard deviation of {!aifs_estimate}:
+    √((W²−1)/12k) — half the rate constant of the window estimator,
+    because the backoff mean is subtracted rather than doubled. *)
+
+val txop_longest_burst :
+  rng:Prelude.Rng.t -> txop:int -> p_observe:float -> accesses:int -> int
+(** Longest burst an observer catching each channel access independently
+    with probability [p_observe] sees over [accesses ≥ 1] accesses of a
+    neighbour bursting [txop ≥ 1] frames per access; [0] if it caught
+    none.  Burst length is deterministic, so a single observed access
+    reveals the neighbour's TXOP exactly. *)

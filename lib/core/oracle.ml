@@ -17,11 +17,11 @@ type tier = Memo | Store | Cold
 
 let tier_name = function Memo -> "memo" | Store -> "store" | Cold -> "cold"
 
-(* A solved heterogeneous profile is stored per window class: distinct
-   windows ascending, one utility each.  Equal windows share (τ, p) by
-   symmetry, so one float per class answers every node — and every
-   permutation of the same multiset. *)
-type classes = (int * float) array
+(* A solved heterogeneous profile is stored per strategy class: distinct
+   strategies in the canonical (sorted) order, one utility each.  Equal
+   strategies share (τ, p) by symmetry, so one float per class answers
+   every node — and every permutation of the same multiset. *)
+type classes = (Dcf.Strategy_space.t * float) array
 
 type t = {
   params : Dcf.Params.t;
@@ -37,8 +37,8 @@ type t = {
   warm_iters : Telemetry.Metric.histogram;
   cold_iters : Telemetry.Metric.histogram;
   lock : Mutex.t;
-  uniform_memo : (int * int, uniform_view) Hashtbl.t;
-  profile_memo : (int list, classes) Hashtbl.t;
+  uniform_memo : (int * Dcf.Strategy_space.t, uniform_view) Hashtbl.t;
+  profile_memo : (Dcf.Strategy_space.t list, classes) Hashtbl.t;
   store : Store.t option;
   (* Lazy: rendering and fingerprinting the full parameter set costs more
      than every other allocation in [create] combined, and an oracle
@@ -46,8 +46,8 @@ type t = {
      access or [identity] call. *)
   store_prefix : string Lazy.t;
   warm_start : bool;
-  (* (n, w) → τ of every uniform solution this oracle can reach without
-     solving: persisted store rows loaded at open plus everything
+  (* (n, w) → τ of every degenerate uniform solution this oracle can reach
+     without solving: persisted store rows loaded at open plus everything
      memoized since.  The warm-start neighbour search scans this table,
      so a fresh process inherits the whole fleet's solved grid as
      starting points. *)
@@ -86,7 +86,14 @@ let validate_backend = function
    key pins down the full evaluation identity: parameter fingerprint,
    backend (with its sim configuration), and p_hn.  Two oracles with
    equal configurations address the same rows; any difference — even one
-   sim seed — addresses disjoint ones. *)
+   sim seed — addresses disjoint ones.
+
+   Schema v2: profile rows key the full (CW, AIFS, TXOP, rate) strategy
+   multiset and store per-strategy classes.  v1 rows (bare-window keys,
+   [{"w":…}] classes) are refused at open — silently reinterpreting them
+   would alias distinct strategies onto their CW projection. *)
+
+let v1_prefix = "oracle|v1|"
 
 let backend_repr = function
   | Analytic -> "analytic"
@@ -100,20 +107,34 @@ let store_prefix_of ~params ~p_hn ~backend =
     Prelude.Util.hex64
       (Prelude.Util.fnv1a64 (Format.asprintf "%a" Dcf.Params.pp params))
   in
-  Printf.sprintf "oracle|v1|params=%s|p_hn=%h|%s" params_fp
+  Printf.sprintf "oracle|v2|params=%s|p_hn=%h|%s" params_fp
     (Option.value p_hn ~default:1.)
     (backend_repr backend)
 
-let uniform_store_key t ~n ~w =
-  Printf.sprintf "%s|uniform|n=%d|w=%d" (Lazy.force t.store_prefix) n w
+(* Degenerate strategies render as their bare window (the historical v1
+   shape, now under the v2 prefix); multi-knob ones use the full
+   strategy key.  The two alphabets are disjoint ("8" vs "w8.a1…"). *)
+let strategy_repr (s : Dcf.Strategy_space.t) =
+  if Dcf.Strategy_space.is_degenerate s then string_of_int s.cw
+  else Dcf.Strategy_space.to_key s
+
+let uniform_store_key t ~n ~s =
+  if Dcf.Strategy_space.is_degenerate s then
+    Printf.sprintf "%s|uniform|n=%d|w=%d" (Lazy.force t.store_prefix) n
+      s.Dcf.Strategy_space.cw
+  else
+    Printf.sprintf "%s|uniform|n=%d|s=%s" (Lazy.force t.store_prefix) n
+      (Dcf.Strategy_space.to_key s)
 
 let profile_store_key t sorted =
   Printf.sprintf "%s|profile|%s"
     (Lazy.force t.store_prefix)
-    (String.concat ";" (List.map string_of_int (Array.to_list sorted)))
+    (String.concat ";" (List.map strategy_repr (Array.to_list sorted)))
 
-(* Parse (n, w) back out of a uniform store key — used once, at open, to
-   seed the neighbour table from persisted rows. *)
+(* Parse (n, w) back out of a degenerate uniform store key — used once, at
+   open, to seed the neighbour table from persisted rows.  Multi-knob
+   uniform rows use the "|s=" tail and are deliberately not parsed: the
+   warm-start neighbour model predicts τ from windows alone. *)
 let parse_uniform_key ~prefix key =
   let marker = prefix ^ "|uniform|n=" in
   let mlen = String.length marker in
@@ -159,10 +180,11 @@ let classes_to_json (classes : classes) =
   Telemetry.Jsonx.List
     (Array.to_list
        (Array.map
-          (fun (w, u) ->
+          (fun (s, u) ->
             Telemetry.Jsonx.Obj
               [
-                ("w", Telemetry.Jsonx.Int w); ("u", Telemetry.Jsonx.Float u);
+                ("s", Dcf.Strategy_space.to_json s);
+                ("u", Telemetry.Jsonx.Float u);
               ])
           classes))
 
@@ -173,12 +195,15 @@ let classes_of_json json =
         List.filter_map
           (fun item ->
             match
-              ( Telemetry.Jsonx.member "w" item,
+              ( Telemetry.Jsonx.member "s" item,
                 Option.bind
                   (Telemetry.Jsonx.member "u" item)
                   Telemetry.Jsonx.to_float_opt )
             with
-            | Some (Telemetry.Jsonx.Int w), Some u -> Some (w, u)
+            | Some sj, Some u -> (
+                match Dcf.Strategy_space.of_json sj with
+                | Ok s -> Some (s, u)
+                | Error _ -> None)
             | _ -> None)
           items
       in
@@ -199,10 +224,23 @@ let create ?(telemetry = Telemetry.Registry.default) ?p_hn
   let neighbor_taus = Hashtbl.create 64 in
   (* Inherit the persisted grid as warm-start seeds.  The rows themselves
      stay out of the memo — a first-touch answer served from disk must be
-     attributable to the store tier, not mistaken for a memo hit. *)
+     attributable to the store tier, not mistaken for a memo hit.  A v1
+     row anywhere in the store poisons the open: refuse it loudly rather
+     than leave entries the v2 schema can never address. *)
   Option.iter
     (fun s ->
       Store.iter s (fun ~key value ->
+          let klen = String.length key in
+          let plen = String.length v1_prefix in
+          if klen >= plen && String.sub key 0 plen = v1_prefix then
+            raise
+              (Store.Corrupt
+                 (Printf.sprintf
+                    "legacy oracle row %S: the v1 key schema (bare CW \
+                     profiles) predates multi-knob strategies and cannot be \
+                     reinterpreted; delete the row or regenerate the store \
+                     under oracle|v2"
+                    key));
           match parse_uniform_key ~prefix:(Lazy.force store_prefix) key with
           | Some (n, w) ->
               Option.iter
@@ -327,18 +365,24 @@ let store_put t key json =
 (* Per-replicate RNG streams are derived from the sim seed and the content
    key of the evaluation (à la the experiment runner), so a measurement
    depends only on what is being measured — never on memo state or
-   evaluation order. *)
+   evaluation order.  Content keys for degenerate evaluations keep the
+   exact pre-strategy strings, so the derived seeds — and therefore every
+   simulated degenerate answer — are bit-stable across the refactor. *)
 let derived_seed ~seed key replicate =
   let rng = Prelude.Rng.of_key ~seed (key ^ "#" ^ string_of_int replicate) in
   Int64.to_int (Prelude.Rng.bits64 rng) land max_int
 
-let replicate_estimates t ~key cws =
+let replicate_estimates t ~key (strategies : Dcf.Strategy_space.t array) =
+  let cws =
+    Array.map (fun (s : Dcf.Strategy_space.t) -> s.Dcf.Strategy_space.cw)
+      strategies
+  in
   match t.backend with
   | Analytic -> invalid_arg "Oracle.replicate_estimates: analytic backend"
   | Sim_slotted { duration; replicates; seed } ->
       List.init replicates (fun r ->
           Telemetry.Metric.incr t.solves;
-          Netsim.Slotted.estimates ~telemetry:t.telemetry
+          Netsim.Slotted.estimates ~telemetry:t.telemetry ~strategies
             {
               params = t.params;
               cws;
@@ -348,22 +392,27 @@ let replicate_estimates t ~key cws =
   | Sim_spatial { duration; replicates; seed } ->
       List.init replicates (fun r ->
           Telemetry.Metric.incr t.solves;
-          Netsim.Spatial.clique_estimates ~telemetry:t.telemetry
+          Netsim.Spatial.clique_estimates ~telemetry:t.telemetry ~strategies
             ~params:t.params ~cws ~duration
             ~seed:(derived_seed ~seed key r) ())
 
-(* {2 Uniform profiles: the (n, w) fast path} *)
+(* {2 Uniform profiles: the (n, strategy) fast path} *)
 
-let uniform_key ~n ~w = Printf.sprintf "oracle.uniform|n=%d|w=%d" n w
+let uniform_key ~n (s : Dcf.Strategy_space.t) =
+  if Dcf.Strategy_space.is_degenerate s then
+    Printf.sprintf "oracle.uniform|n=%d|w=%d" n s.cw
+  else
+    Printf.sprintf "oracle.uniform|n=%d|s=%s" n (Dcf.Strategy_space.to_key s)
 
-let solve_uniform t ~n ~w =
+let solve_uniform t ~n ~s =
   match t.backend with
-  | Analytic ->
+  | Analytic when Dcf.Strategy_space.is_degenerate s ->
       (* Mirrors Dcf.Model.homogeneous operation for operation, so a
          memoized analytic oracle is bit-identical to direct model calls
          — unless warm-started, in which case the narrowed bracket makes
          the answer tolerance-identical instead (the conformance suite
          anchors the gap). *)
+      let w = s.Dcf.Strategy_space.cw in
       let guess = if t.warm_start then nearest_tau t ~n ~w else None in
       let iters = ref 0 in
       let tau, p =
@@ -382,9 +431,25 @@ let solve_uniform t ~n ~w =
         throughput = metrics.throughput;
         slot_time = metrics.slot_time;
       }
+  | Analytic ->
+      let iters = ref 0 in
+      let solved =
+        Dcf.Model.solve_strategies ?p_hn:t.p_hn ~iterations:iters t.params
+          (Array.make n s)
+      in
+      note_iterations t ~warm:false !iters;
+      Telemetry.Metric.incr t.solves;
+      {
+        tau = solved.Dcf.Model.taus.(0);
+        p = solved.Dcf.Model.ps.(0);
+        utility = solved.Dcf.Model.utilities.(0);
+        throughput =
+          Array.fold_left ( +. ) 0. solved.Dcf.Model.goodputs;
+        slot_time = solved.Dcf.Model.slot_time;
+      }
   | Sim_slotted _ | Sim_spatial _ ->
       let reps =
-        replicate_estimates t ~key:(uniform_key ~n ~w) (Array.make n w)
+        replicate_estimates t ~key:(uniform_key ~n s) (Array.make n s)
       in
       let tau = Prelude.Stats.create () in
       let p = Prelude.Stats.create () in
@@ -412,30 +477,42 @@ let solve_uniform t ~n ~w =
         slot_time = Prelude.Stats.mean slot_time;
       }
 
-let uniform_outcome t ~n ~w =
+let uniform_strategy_outcome t ~n (s : Dcf.Strategy_space.t) =
   if n < 1 then invalid_arg "Oracle.uniform: need n >= 1";
-  if w < 1 then invalid_arg "Oracle.uniform: window must be >= 1";
-  match find_memo t t.uniform_memo (n, w) with
+  if s.cw < 1 then invalid_arg "Oracle.uniform: window must be >= 1";
+  (match Dcf.Strategy_space.validate s with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Oracle.uniform: " ^ e));
+  match find_memo t t.uniform_memo (n, s) with
   | Some view ->
-      Telemetry.Recorder.instant recorder nid_hit n w;
+      Telemetry.Recorder.instant recorder nid_hit n s.cw;
       (view, Memo)
   | None -> (
-      Telemetry.Recorder.instant recorder nid_miss n w;
+      Telemetry.Recorder.instant recorder nid_miss n s.cw;
       match
-        store_find t (fun () -> uniform_store_key t ~n ~w) view_of_json
+        store_find t (fun () -> uniform_store_key t ~n ~s) view_of_json
       with
       | Some view ->
-          Telemetry.Recorder.instant recorder nid_store_hit n w;
-          let view = memo_insert t t.uniform_memo (n, w) view in
-          note_neighbor t ~n ~w view.tau;
+          Telemetry.Recorder.instant recorder nid_store_hit n s.cw;
+          let view = memo_insert t t.uniform_memo (n, s) view in
+          if Dcf.Strategy_space.is_degenerate s then
+            note_neighbor t ~n ~w:s.cw view.tau;
           (view, Store)
       | None ->
-          let solved = recorded_solve n w (fun () -> solve_uniform t ~n ~w) in
-          let view = memo_insert t t.uniform_memo (n, w) solved in
-          note_neighbor t ~n ~w view.tau;
-          store_put t (fun () -> uniform_store_key t ~n ~w)
+          let solved =
+            recorded_solve n s.cw (fun () -> solve_uniform t ~n ~s)
+          in
+          let view = memo_insert t t.uniform_memo (n, s) solved in
+          if Dcf.Strategy_space.is_degenerate s then
+            note_neighbor t ~n ~w:s.cw view.tau;
+          store_put t (fun () -> uniform_store_key t ~n ~s)
             (view_to_json view);
           (view, Cold))
+
+let uniform_strategy t ~n s = fst (uniform_strategy_outcome t ~n s)
+
+let uniform_outcome t ~n ~w =
+  uniform_strategy_outcome t ~n (Dcf.Strategy_space.of_cw w)
 
 let uniform t ~n ~w = fst (uniform_outcome t ~n ~w)
 let payoff_uniform t ~n ~w = (uniform t ~n ~w).utility
@@ -449,19 +526,20 @@ let tau_p t ~n ~w =
 
 let profile_key sorted =
   "oracle.profile|"
-  ^ String.concat ";" (List.map string_of_int (Array.to_list sorted))
+  ^ String.concat ";" (List.map strategy_repr (Array.to_list sorted))
 
-(* Distinct windows of a sorted profile with the mean utility of each
-   window class.  For the analytic backend the class members are already
+(* Distinct strategies of a sorted profile with the mean utility of each
+   strategy class.  For the analytic backend the class members are already
    bit-identical (class-reduced solve), so the mean is the common value;
    for simulated backends the within-class averaging is what makes the
    oracle's permutation invariance exact. *)
-let classes_of sorted utilities =
+let classes_of (sorted : Dcf.Strategy_space.t array) utilities =
   let acc = ref [] in
   let start = ref 0 in
   let n = Array.length sorted in
   for i = 1 to n do
-    if i = n || sorted.(i) <> sorted.(!start) then begin
+    if i = n || not (Dcf.Strategy_space.equal sorted.(i) sorted.(!start))
+    then begin
       let k = i - !start in
       let total = ref 0. in
       for j = !start to i - 1 do
@@ -473,10 +551,11 @@ let classes_of sorted utilities =
   done;
   Array.of_list (List.rev !acc)
 
-let solve_profile t sorted =
+let solve_profile t (sorted : Dcf.Strategy_space.t array) =
   match t.backend with
-  | Analytic ->
+  | Analytic when Profile.is_degenerate sorted ->
       let n = Array.length sorted in
+      let cws = Profile.cws sorted in
       let tau_hint =
         if t.warm_start then
           Some
@@ -490,9 +569,18 @@ let solve_profile t sorted =
       let iters = ref 0 in
       let solved =
         Dcf.Model.solve_profile ?p_hn:t.p_hn ~iterations:iters ?tau_hint
-          t.params sorted
+          t.params cws
       in
       note_iterations t ~warm:(tau_hint <> None) !iters;
+      Telemetry.Metric.incr t.solves;
+      classes_of sorted solved.Dcf.Model.utilities
+  | Analytic ->
+      let iters = ref 0 in
+      let solved =
+        Dcf.Model.solve_strategies ?p_hn:t.p_hn ~iterations:iters t.params
+          sorted
+      in
+      note_iterations t ~warm:false !iters;
       Telemetry.Metric.incr t.solves;
       classes_of sorted solved.Dcf.Model.utilities
   | Sim_slotted _ | Sim_spatial _ ->
@@ -509,46 +597,50 @@ let solve_profile t sorted =
         reps;
       classes_of sorted means
 
-let class_utility classes w =
+let class_utility (classes : classes) s =
   let rec find i =
     if i >= Array.length classes then
-      invalid_arg "Oracle.payoffs: window missing from canonical solve"
+      invalid_arg "Oracle.payoffs: strategy missing from canonical solve"
     else begin
-      let w', u = classes.(i) in
-      if w' = w then u else find (i + 1)
+      let s', u = classes.(i) in
+      if Dcf.Strategy_space.equal s' s then u else find (i + 1)
     end
   in
   find 0
 
-let payoffs_outcome t (profile : Profile.t) =
+let payoffs_profile_outcome t (profile : Profile.t) =
   let n = Array.length profile in
   if n = 0 then invalid_arg "Oracle.payoffs: empty profile";
   Array.iter
-    (fun w -> if w < 1 then invalid_arg "Oracle.payoffs: window must be >= 1")
+    (fun (s : Dcf.Strategy_space.t) ->
+      if s.cw < 1 then invalid_arg "Oracle.payoffs: window must be >= 1";
+      match Dcf.Strategy_space.validate s with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Oracle.payoffs: " ^ e))
     profile;
   if Profile.is_uniform profile then
-    let view, tier = uniform_outcome t ~n ~w:profile.(0) in
+    let view, tier = uniform_strategy_outcome t ~n profile.(0) in
     (Array.make n view.utility, tier)
   else begin
-    let sorted = Array.copy profile in
-    Array.sort compare sorted;
+    let sorted = Profile.canonical profile in
     let key = Array.to_list sorted in
+    let w0 = sorted.(0).Dcf.Strategy_space.cw in
     let classes, tier =
       match find_memo t t.profile_memo key with
       | Some classes ->
-          Telemetry.Recorder.instant recorder nid_hit n sorted.(0);
+          Telemetry.Recorder.instant recorder nid_hit n w0;
           (classes, Memo)
       | None -> (
-          Telemetry.Recorder.instant recorder nid_miss n sorted.(0);
+          Telemetry.Recorder.instant recorder nid_miss n w0;
           match
             store_find t (fun () -> profile_store_key t sorted) classes_of_json
           with
           | Some classes ->
-              Telemetry.Recorder.instant recorder nid_store_hit n sorted.(0);
+              Telemetry.Recorder.instant recorder nid_store_hit n w0;
               (memo_insert t t.profile_memo key classes, Store)
           | None ->
               let solved =
-                recorded_solve n sorted.(0) (fun () -> solve_profile t sorted)
+                recorded_solve n w0 (fun () -> solve_profile t sorted)
               in
               let classes = memo_insert t t.profile_memo key solved in
               store_put t
@@ -556,7 +648,10 @@ let payoffs_outcome t (profile : Profile.t) =
                 (classes_to_json classes);
               (classes, Cold))
     in
-    (Array.map (fun w -> class_utility classes w) profile, tier)
+    (Array.map (fun s -> class_utility classes s) profile, tier)
   end
 
-let payoffs t profile = fst (payoffs_outcome t profile)
+let payoffs_profile t profile = fst (payoffs_profile_outcome t profile)
+
+let payoffs_outcome t cws = payoffs_profile_outcome t (Profile.of_cws cws)
+let payoffs t cws = fst (payoffs_outcome t cws)

@@ -44,6 +44,14 @@
     store hit is bit-identical to the solve that produced it — across
     process boundaries.
 
+    Keys use schema {b v2} ([oracle|v2|…]): profile rows address the full
+    (CW, AIFS, TXOP, rate) strategy multiset, with degenerate (CW-only)
+    strategies keeping the historical bare-window rendering.  A store
+    containing any legacy [oracle|v1|…] row is refused at {!create} with
+    {!Store.Corrupt}: v1 rows keyed bare windows and cannot distinguish a
+    CW from the strategies projecting onto it, so reinterpreting them
+    would silently alias distinct strategies.
+
     With [warm_start], analytic solves on a store/memo miss are seeded from
     the nearest already-solved (n, w) neighbour (loaded from the store at
     open and accumulated since), cutting iteration counts.  Warm-started
@@ -127,9 +135,12 @@ val create :
     and any solver/simulator events.
 
     [store], when given, backs the memo with persistent rows: memo misses
-    consult the store, cold solves write through, and the store's uniform
-    rows (for this oracle's exact evaluation identity) seed the warm-start
-    neighbour table at open.  [warm_start] (default [false]) additionally
+    consult the store, cold solves write through, and the store's
+    degenerate uniform rows (for this oracle's exact evaluation identity)
+    seed the warm-start neighbour table at open.
+    @raise Store.Corrupt if the store holds any legacy [oracle|v1|…] row
+    (regenerate or delete it — the v2 strategy-keyed schema cannot address
+    v1 rows).  [warm_start] (default [false]) additionally
     seeds analytic solves from the nearest solved neighbour — trading the
     bit-stability of cold solves for fewer iterations; leave it off
     wherever bit-identity with {!Dcf.Model} is asserted. *)
@@ -159,11 +170,23 @@ val backend_name : backend -> string
     vocabulary. *)
 
 val uniform : t -> n:int -> w:int -> uniform_view
-(** The memoized uniform-profile evaluation ((n, w) fast path). *)
+(** The memoized uniform-profile evaluation ((n, w) fast path) — the
+    CW-only shorthand for {!uniform_strategy} on the degenerate
+    strategy. *)
 
 val uniform_outcome : t -> n:int -> w:int -> uniform_view * tier
 (** Like {!uniform}, also reporting which tier answered — the serving
     layer's entry point. *)
+
+val uniform_strategy : t -> n:int -> Dcf.Strategy_space.t -> uniform_view
+(** The memoized uniform evaluation of [n] players all on the given
+    multi-knob strategy.  Degenerate strategies take the exact CW-only
+    solve path, so [uniform_strategy t ~n (Strategy_space.of_cw w)] is
+    bit-identical to [uniform t ~n ~w]. *)
+
+val uniform_strategy_outcome :
+  t -> n:int -> Dcf.Strategy_space.t -> uniform_view * tier
+(** Like {!uniform_strategy}, also reporting which tier answered. *)
 
 val payoff_uniform : t -> n:int -> w:int -> float
 (** Per-node payoff rate u of the uniform profile (w, …, w) — what the
@@ -176,11 +199,22 @@ val tau_p : t -> n:int -> w:int -> float * float
 (** The (τ, p) pair of the uniform profile — what the deleted private
     [tau_of] helpers computed. *)
 
-val payoffs : t -> Profile.t -> float array
-(** Per-node payoff rates of an arbitrary profile, in profile order.
-    Uniform profiles take the [(n, w)] fast path; heterogeneous ones go
-    through the canonical sorted-multiset memo.  Nodes with equal windows
-    receive bit-identical payoffs. *)
+val payoffs_profile : t -> Profile.t -> float array
+(** Per-node payoff rates of an arbitrary strategy profile, in profile
+    order.  Uniform profiles take the [(n, strategy)] fast path;
+    heterogeneous ones go through the canonical sorted-multiset memo.
+    Nodes with equal strategies receive bit-identical payoffs, and
+    degenerate profiles are bit-identical to the CW-only {!payoffs}
+    shorthand. *)
 
-val payoffs_outcome : t -> Profile.t -> float array * tier
+val payoffs_profile_outcome : t -> Profile.t -> float array * tier
+(** Like {!payoffs_profile}, also reporting which tier answered. *)
+
+val payoffs : t -> int array -> float array
+(** CW-only shorthand: [payoffs t cws] =
+    [payoffs_profile t (Profile.of_cws cws)].  The entry point for every
+    caller that speaks bare windows (TFT dynamics, best response,
+    deviation scans). *)
+
+val payoffs_outcome : t -> int array -> float array * tier
 (** Like {!payoffs}, also reporting which tier answered. *)

@@ -1,41 +1,96 @@
-type t = int array
+type t = Dcf.Strategy_space.t array
 
-let uniform ~n ~w =
+let uniform_strategy ~n s =
   if n < 1 then invalid_arg "Profile.uniform: need n >= 1";
-  if w < 1 then invalid_arg "Profile.uniform: window must be >= 1";
-  Array.make n w
+  (match Dcf.Strategy_space.validate s with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Profile.uniform: " ^ e));
+  Array.make n s
 
-let with_deviant ~n ~w ~w_dev =
+let uniform ~n ~w = uniform_strategy ~n (Dcf.Strategy_space.of_cw w)
+
+let with_deviant_strategy ~n ~w ~dev =
   if n < 2 then invalid_arg "Profile.with_deviant: need n >= 2";
+  (match Dcf.Strategy_space.validate dev with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Profile.with_deviant: " ^ e));
   let p = uniform ~n ~w in
-  if w_dev < 1 then invalid_arg "Profile.with_deviant: window must be >= 1";
-  p.(0) <- w_dev;
+  p.(0) <- dev;
   p
 
+let with_deviant ~n ~w ~w_dev =
+  with_deviant_strategy ~n ~w ~dev:(Dcf.Strategy_space.of_cw w_dev)
+
+let of_cws cws = Array.map Dcf.Strategy_space.of_cw cws
+let cws t = Array.map (fun (s : Dcf.Strategy_space.t) -> s.cw) t
+
 let is_uniform t =
-  Array.length t > 0 && Array.for_all (fun w -> w = t.(0)) t
+  Array.length t > 0
+  && Array.for_all (fun s -> Dcf.Strategy_space.equal s t.(0)) t
+
+let is_degenerate t = Array.for_all Dcf.Strategy_space.is_degenerate t
 
 let min_window t =
   if Array.length t = 0 then invalid_arg "Profile.min_window: empty profile";
-  Array.fold_left Stdlib.min t.(0) t
+  Array.fold_left
+    (fun acc (s : Dcf.Strategy_space.t) -> Stdlib.min acc s.cw)
+    t.(0).Dcf.Strategy_space.cw t
+
+(* The canonical form is the multiset: sorted by the strategy-space total
+   order, so any permutation of the same profile canonicalizes to the same
+   array — the basis of the oracle's memo/store keys. *)
+let canonical t =
+  let sorted = Array.copy t in
+  Array.sort Dcf.Strategy_space.compare sorted;
+  sorted
+
+let key t =
+  String.concat ";"
+    (Array.to_list (Array.map Dcf.Strategy_space.to_key (canonical t)))
+
+let fingerprint t = Prelude.Util.fnv1a64 (key t)
 
 let validate ~cw_max t =
   if Array.length t = 0 then Error "empty profile"
-  else if Array.exists (fun w -> w < 1 || w > cw_max) t then
-    Error (Printf.sprintf "windows must lie in [1, %d]" cw_max)
-  else Ok ()
+  else
+    Array.fold_left
+      (fun acc s ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> Dcf.Strategy_space.validate ~cw_max s)
+      (Ok ()) t
 
-let equal a b = a = b
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Dcf.Strategy_space.equal a b
 
 let pp ppf t =
-  if is_uniform t then
-    Format.fprintf ppf "%dx%d" (Array.length t) t.(0)
+  if is_uniform t && Dcf.Strategy_space.is_degenerate t.(0) then
+    Format.fprintf ppf "%dx%d" (Array.length t) t.(0).Dcf.Strategy_space.cw
+  else if is_uniform t then
+    Format.fprintf ppf "%dx%a" (Array.length t) Dcf.Strategy_space.pp t.(0)
   else begin
     Format.pp_print_char ppf '[';
     Array.iteri
-      (fun i w ->
+      (fun i s ->
         if i > 0 then Format.pp_print_string ppf "; ";
-        Format.pp_print_int ppf w)
+        Dcf.Strategy_space.pp ppf s)
       t;
     Format.pp_print_char ppf ']'
   end
+
+let to_json t =
+  Telemetry.Jsonx.List (Array.to_list (Array.map Dcf.Strategy_space.to_json t))
+
+let of_json json =
+  match json with
+  | Telemetry.Jsonx.List (_ :: _ as items) ->
+      let rec decode acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | item :: rest -> (
+            match Dcf.Strategy_space.of_json item with
+            | Ok s -> decode (s :: acc) rest
+            | Error e -> Error e)
+      in
+      decode [] items
+  | _ -> Error "profile must be a non-empty list"

@@ -1,25 +1,68 @@
-(** Strategy profiles of the MAC game: one contention-window value per
-    player (Definition 1's W^k). *)
+(** Strategy profiles of the MAC game: one {!Dcf.Strategy_space.t} record
+    per player.
 
-type t = int array
+    The paper's game (Definition 1) is CW-only; the profile generalizes
+    W^k to the full (CW, AIFS, TXOP, rate) strategy space while keeping
+    the CW-only view first-class: [of_cws]/[cws] convert to and from bare
+    window arrays, and every degenerate profile behaves exactly as the
+    pre-refactor [int array] profile did. *)
+
+type t = Dcf.Strategy_space.t array
 
 val uniform : n:int -> w:int -> t
-(** All [n ≥ 1] players on window [w ≥ 1]. *)
+(** All [n ≥ 1] players on the degenerate (CW-only) strategy with window
+    [w ≥ 1]. *)
+
+val uniform_strategy : n:int -> Dcf.Strategy_space.t -> t
+(** All [n ≥ 1] players on the same multi-knob strategy. *)
 
 val with_deviant : n:int -> w:int -> w_dev:int -> t
 (** Player 0 on [w_dev], the other n−1 players on [w] — Lemma 4's
-    configuration. *)
+    configuration, degenerate strategies throughout. *)
+
+val with_deviant_strategy : n:int -> w:int -> dev:Dcf.Strategy_space.t -> t
+(** Player 0 on the multi-knob strategy [dev], the rest on the degenerate
+    window [w]. *)
+
+val of_cws : int array -> t
+(** Lift a bare CW array to degenerate strategy records (the CW-only
+    shorthand kept across the stack). *)
+
+val cws : t -> int array
+(** The CW view: each strategy's window, dropping the other knobs. *)
 
 val is_uniform : t -> bool
+(** Every player on the same strategy (all four knobs equal). *)
+
+val is_degenerate : t -> bool
+(** Every strategy CW-only ({!Dcf.Strategy_space.is_degenerate}). *)
 
 val min_window : t -> int
 (** Smallest window in the profile (the TFT attractor).
     @raise Invalid_argument on an empty profile. *)
 
+val canonical : t -> t
+(** Sorted copy under the strategy-space total order: the canonical
+    multiset representative.  Permutations of a profile share it. *)
+
+val key : t -> string
+(** Deterministic rendering of {!canonical} (store/memo addressing). *)
+
+val fingerprint : t -> int64
+(** FNV-1a of {!key}: permutation-invariant by construction. *)
+
 val validate : cw_max:int -> t -> (unit, string) result
-(** Every window must lie in the strategy space [1, cw_max]. *)
+(** Every strategy must pass {!Dcf.Strategy_space.validate} with the given
+    window cap. *)
 
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
-(** Compact rendering: uniform profiles as [n×W], others as a list. *)
+(** Compact rendering: degenerate uniform profiles as [n×W], other uniform
+    profiles as [n×(cw=…,…)], the rest as a list. *)
+
+val to_json : t -> Telemetry.Jsonx.t
+(** List of per-player strategies; degenerate entries render as bare ints
+    (the historical wire format). *)
+
+val of_json : Telemetry.Jsonx.t -> (t, string) result

@@ -33,7 +33,8 @@ let run ?(observer = Observer.perfect) ?payoffs (oracle : Oracle.t)
     if Array.length utilities <> n then
       invalid_arg "Repeated.run: payoff backend returned wrong arity";
     let welfare = Array.fold_left ( +. ) 0. utilities in
-    trace := { stage; cws = played; utilities; welfare } :: !trace;
+    trace := { stage; cws = Profile.of_cws played; utilities; welfare }
+             :: !trace;
     Telemetry.Registry.emit telemetry "game_stage" (fun () ->
         [
           ("stage", Telemetry.Jsonx.Int stage);
@@ -95,10 +96,7 @@ let run ?(observer = Observer.perfect) ?payoffs (oracle : Oracle.t)
           match converged_at with
           | Some k -> Telemetry.Jsonx.Int k
           | None -> Telemetry.Jsonx.Null );
-        ( "final",
-          Telemetry.Jsonx.List
-            (Array.to_list (Array.map (fun w -> Telemetry.Jsonx.Int w) final))
-        );
+        ("final", Profile.to_json final);
         ( "discounted",
           Telemetry.Jsonx.List
             (Array.to_list
@@ -112,7 +110,9 @@ let all_tft ~n ~initials =
   Array.map (fun w -> Strategy.tft ~initial:w) initials
 
 let converged_window outcome =
-  if Profile.is_uniform outcome.final then Some outcome.final.(0) else None
+  if Profile.is_uniform outcome.final then
+    Some outcome.final.(0).Dcf.Strategy_space.cw
+  else None
 
 let pre_convergence_shortfall (params : Dcf.Params.t) outcome =
   match outcome.converged_at with

@@ -28,13 +28,14 @@ type outcome = {
 
 val run :
   ?observer:Observer.t ->
-  ?payoffs:(Profile.t -> float array) ->
+  ?payoffs:(int array -> float array) ->
   Oracle.t -> strategies:Strategy.t array -> stages:int -> outcome
-(** Play [stages ≥ 1] stages.  Stage payoffs default to {!Oracle.payoffs}
-    on the given oracle (memoised per canonical profile, so converged runs
-    cost one solve); pass [payoffs] to override with a bespoke backend
-    (e.g. a topology-aware simulation).  [observer] defaults to
-    {!Observer.perfect}.
+(** Play [stages ≥ 1] stages.  Strategies play CW windows (the paper's
+    action space), so stage payoffs take the bare window profile; they
+    default to {!Oracle.payoffs} on the given oracle (memoised per
+    canonical profile, so converged runs cost one solve); pass [payoffs]
+    to override with a bespoke backend (e.g. a topology-aware simulation).
+    [observer] defaults to {!Observer.perfect}.
 
     Telemetry goes to the oracle's registry: the oracle counts
     ["oracle.cache.hits"/"misses"/"solves"], each stage emits a

@@ -88,3 +88,123 @@ let misreport_stage_payoffs oracle ~n ~w_star ~w_report =
      the long-run profile is (W_c★, …, W_c★) again. *)
   let misreport = if w_report < w_star then stage w_report else truthful in
   (truthful, misreport)
+
+(* {2 Multi-knob NE search: per-dimension coordinate descent}
+
+   With the strategy space widened to (CW, AIFS, TXOP, rate), the
+   one-dimensional hill climb above no longer spans a player's options.
+   The payoff stays unimodal along each axis (CW by Lemma 3; AIFS, TXOP
+   and rate ranges are tiny), so a best response is found by coordinate
+   descent — optimise one knob with the others pinned, sweep until a full
+   pass changes nothing — and an equilibrium by Gauss–Seidel iterated
+   best response over the players. *)
+
+type ne_outcome = {
+  equilibrium : Profile.t;
+  rounds : int;
+  converged : bool;
+  evaluations : int;
+}
+
+(* Project a strategy into the space so the descent starts feasible. *)
+let project (space : Dcf.Strategy_space.space) (s : Dcf.Strategy_space.t) =
+  if Dcf.Strategy_space.mem space s then s
+  else
+    {
+      Dcf.Strategy_space.cw =
+        Stdlib.min space.cw_max (Stdlib.max space.cw_min s.cw);
+      aifs = Stdlib.min space.aifs_max (Stdlib.max 0 s.aifs);
+      txop_frames = Stdlib.min space.txop_max (Stdlib.max 1 s.txop_frames);
+      rate =
+        (if Array.exists (fun r -> r = s.rate) space.rates then s.rate
+         else 1.0);
+    }
+
+let best_response_strategy ?evaluations ?(max_sweeps = 8) oracle
+    ~(space : Dcf.Strategy_space.space) ~(profile : Profile.t) ~player =
+  (match Dcf.Strategy_space.space_validate space with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Search.best_response_strategy: " ^ e));
+  let n = Array.length profile in
+  if player < 0 || player >= n then
+    invalid_arg "Search.best_response_strategy: player out of range";
+  if max_sweeps < 1 then
+    invalid_arg "Search.best_response_strategy: need max_sweeps >= 1";
+  let u_of (s : Dcf.Strategy_space.t) =
+    Option.iter (fun r -> incr r) evaluations;
+    let prof = Array.copy profile in
+    prof.(player) <- s;
+    (Oracle.payoffs_profile oracle prof).(player)
+  in
+  let pass (s : Dcf.Strategy_space.t) =
+    let cw, _ =
+      Numerics.Optimize.hill_climb_int_max ~start:s.cw
+        (fun w -> u_of { s with cw = w })
+        space.cw_min space.cw_max
+    in
+    let s = { s with Dcf.Strategy_space.cw } in
+    let aifs, _ =
+      Numerics.Optimize.exhaustive_int_max
+        (fun a -> u_of { s with aifs = a })
+        0 space.aifs_max
+    in
+    let s = { s with Dcf.Strategy_space.aifs } in
+    let txop_frames, _ =
+      Numerics.Optimize.exhaustive_int_max
+        (fun k -> u_of { s with txop_frames = k })
+        1 space.txop_max
+    in
+    let s = { s with Dcf.Strategy_space.txop_frames } in
+    let best = ref (s.rate, u_of s) in
+    Array.iter
+      (fun r ->
+        if r <> s.rate then begin
+          let u = u_of { s with rate = r } in
+          if u > snd !best then best := (r, u)
+        end)
+      space.rates;
+    { s with Dcf.Strategy_space.rate = fst !best }
+  in
+  let rec go k s =
+    let s' = pass s in
+    if k <= 1 || Dcf.Strategy_space.equal s' s then s' else go (k - 1) s'
+  in
+  go max_sweeps (project space profile.(player))
+
+let ne_search ?(telemetry = Telemetry.Registry.default) ?(max_rounds = 16)
+    oracle ~(space : Dcf.Strategy_space.space) ~(initial : Profile.t) =
+  (match Dcf.Strategy_space.space_validate space with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Search.ne_search: " ^ e));
+  if max_rounds < 1 then invalid_arg "Search.ne_search: need max_rounds >= 1";
+  let n = Array.length initial in
+  if n = 0 then invalid_arg "Search.ne_search: empty profile";
+  let profile = Array.map (project space) initial in
+  let evaluations = ref 0 in
+  let rounds = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !rounds < max_rounds do
+    incr rounds;
+    let changed = ref false in
+    for player = 0 to n - 1 do
+      let br = best_response_strategy ~evaluations oracle ~space ~profile ~player in
+      if not (Dcf.Strategy_space.equal br profile.(player)) then begin
+        profile.(player) <- br;
+        changed := true
+      end
+    done;
+    if not !changed then converged := true
+  done;
+  Telemetry.Registry.emit telemetry "ne_search" (fun () ->
+      [
+        ("rounds", Telemetry.Jsonx.Int !rounds);
+        ("converged", Telemetry.Jsonx.Bool !converged);
+        ("evaluations", Telemetry.Jsonx.Int !evaluations);
+        ("equilibrium", Profile.to_json profile);
+      ]);
+  {
+    equilibrium = profile;
+    rounds = !rounds;
+    converged = !converged;
+    evaluations = !evaluations;
+  }

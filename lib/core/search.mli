@@ -75,3 +75,52 @@ val misreport_stage_payoffs :
     included, by TFT — to w_report; over-reporting converges back to the
     coordinator's own W_c* so its long-run payoff is unchanged.  In both
     cases misreporting never beats truth in the long run. *)
+
+(** {2 Multi-knob NE search}
+
+    Over the full (CW, AIFS, TXOP, rate) strategy space the protocol's
+    one-dimensional walk no longer spans a player's options; the search
+    becomes per-dimension coordinate descent (the payoff is unimodal
+    along the CW axis by Lemma 3, and the remaining axes are small finite
+    ranges scanned exhaustively), iterated Gauss–Seidel over the players
+    until a whole round changes nobody's strategy. *)
+
+type ne_outcome = {
+  equilibrium : Profile.t;  (** profile after the last round *)
+  rounds : int;             (** best-response rounds played *)
+  converged : bool;
+      (** a full round left every strategy unchanged — each player is at
+          a coordinate-wise best response to the others *)
+  evaluations : int;        (** oracle payoff evaluations consumed *)
+}
+
+val best_response_strategy :
+  ?evaluations:int ref -> ?max_sweeps:int ->
+  Oracle.t -> space:Dcf.Strategy_space.space -> profile:Profile.t ->
+  player:int -> Dcf.Strategy_space.t
+(** [player]'s best response to [profile] within [space] by coordinate
+    descent: CW via hill climb from the current window, AIFS/TXOP/rate by
+    exhaustive scan of their (small) ranges, swept until a full pass is a
+    fixed point or [max_sweeps] (default 8) passes ran.  Strategies
+    outside [space] are first projected into it (knobs clamped, an
+    unavailable rate reset to 1).  [evaluations], when given, accumulates
+    the number of oracle evaluations.
+
+    @raise Invalid_argument on an invalid space, a bad player index or
+    [max_sweeps < 1]. *)
+
+val ne_search :
+  ?telemetry:Telemetry.Registry.t -> ?max_rounds:int ->
+  Oracle.t -> space:Dcf.Strategy_space.space -> initial:Profile.t ->
+  ne_outcome
+(** Iterated best response from [initial] (projected into [space]):
+    each round lets every player in turn switch to
+    {!best_response_strategy} against the current profile; the search
+    stops when a round changes nothing ([converged = true]) or after
+    [max_rounds] (default 16) rounds.  On the degenerate CW-only space
+    this reduces to the classical iterated window best response.  Emits
+    one ["ne_search"] telemetry event (rounds, convergence, evaluation
+    count, equilibrium profile).
+
+    @raise Invalid_argument on an invalid space, an empty profile or
+    [max_rounds < 1]. *)

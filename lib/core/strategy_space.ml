@@ -1,0 +1,3 @@
+(* Re-export so game-layer consumers can say [Macgame.Strategy_space]
+   without depending on the dcf library directly. *)
+include Dcf.Strategy_space

@@ -28,6 +28,32 @@ val solve_profile :
     payoff oracle's heterogeneous path.  [iterations] and [tau_hint] pass
     through to {!Solver.solve_profile} (warm start). *)
 
+type strategy_solved = {
+  params : Params.t;
+  strategies : Strategy_space.t array;
+  taus : float array;
+      (** effective per-slot transmission probabilities τ'_i *)
+  ps : float array;
+  slot_time : float;
+  utilities : float array;  (** TXOP-aware payoff rates u_i *)
+  goodputs : float array;
+      (** per-node normalised goodput (burst payload credited to the
+          access) *)
+}
+
+val solve_strategies :
+  ?p_hn:float -> ?iterations:int ref -> Params.t ->
+  Strategy_space.t array -> strategy_solved
+(** Solve a full multi-knob strategy profile.  When every strategy is
+    degenerate (CW-only) this delegates to {!solve_profile} verbatim, so
+    the degenerate subspace reproduces the CW-only answers bit-identically
+    (taus/ps/utilities equal [solved]'s, [slot_time] =
+    [metrics.slot_time], [goodputs] = [metrics.per_node_throughput]).
+    Otherwise: contention via {!Solver.solve_strategy_classes} (AIFS
+    eligibility coupling), channel occupancy via {!Hetero.of_profile} with
+    per-strategy burst/rate durations, and payoffs via
+    {!Utility.rate_of_strategy}. *)
+
 type node_view = {
   tau : float;
   p : float;

@@ -159,6 +159,70 @@ let solve_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
       in
       (taus.(j), Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)))
 
+(* Multi-knob class solver.  AIFS enters the coupled system through an
+   eligibility factor: a node deferring a extra slots after every busy
+   period can only start in a slot if none of the preceding a slots was
+   busy for it, which in the mean-field model happens with probability
+   (1 − p)^a.  Its *effective* per-slot transmission probability is
+   therefore τ' = (1 − p)^a · τ_bianchi(W, p), and it is τ' that other
+   nodes see when computing their collision probabilities.  TXOP and rate
+   do not change the contention fixed point (they change channel
+   occupancy and payoff, priced downstream); CW enters exactly as in
+   {!solve_classes}, so at a = 0 the iteration reduces to it. *)
+let solve_strategy_classes ?telemetry ?iterations ?(tol = 1e-14)
+    (params : Params.t) classes =
+  if classes = [] then invalid_arg "Solver.solve_strategy_classes: no classes";
+  List.iter
+    (fun ((s : Strategy_space.t), k) ->
+      (match Strategy_space.validate s with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Solver.solve_strategy_classes: " ^ e));
+      if k < 1 then
+        invalid_arg "Solver.solve_strategy_classes: count must be >= 1")
+    classes;
+  let m = params.max_backoff_stage in
+  let ss = Array.of_list (List.map fst classes) in
+  let ks = Array.of_list (List.map snd classes) in
+  let c = Array.length ss in
+  let p_of taus j =
+    let product = ref 1. in
+    for j' = 0 to c - 1 do
+      product := !product *. ((1. -. taus.(j')) ** float_of_int ks.(j'))
+    done;
+    let others =
+      if taus.(j) >= 1. then begin
+        let rest = ref ((1. -. taus.(j)) ** float_of_int (ks.(j) - 1)) in
+        for j' = 0 to c - 1 do
+          if j' <> j then
+            rest := !rest *. ((1. -. taus.(j')) ** float_of_int ks.(j'))
+        done;
+        !rest
+      end
+      else !product /. (1. -. taus.(j))
+    in
+    Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)
+  in
+  let step taus =
+    Array.init c (fun j ->
+        let s = ss.(j) in
+        let p = p_of taus j in
+        let tau = Bianchi.tau_of_p ~w:s.Strategy_space.cw ~m p in
+        if s.Strategy_space.aifs = 0 then tau
+        else ((1. -. p) ** float_of_int s.Strategy_space.aifs) *. tau)
+  in
+  let x0 =
+    Array.map
+      (fun (s : Strategy_space.t) -> 2. /. float_of_int (s.cw + 1))
+      ss
+  in
+  let outcome =
+    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
+      step x0
+  in
+  (match iterations with Some r -> r := outcome.iterations | None -> ());
+  let taus = outcome.value in
+  List.init c (fun j -> (taus.(j), p_of taus j))
+
 let solve_profile ?telemetry ?iterations ?tau_hint ?tol (params : Params.t)
     cws =
   let n = Array.length cws in

@@ -73,6 +73,25 @@ val solve_classes :
     trade bit-stability for iterations exactly like
     {!solve_homogeneous}'s [guess]. *)
 
+val solve_strategy_classes :
+  ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
+  ?tol:float -> Params.t ->
+  (Strategy_space.t * int) list -> (float * float) list
+(** Multi-knob analogue of {!solve_classes}: [k_c] nodes share strategy
+    [s_c].  AIFS couples into the fixed point through an eligibility
+    factor — a node deferring [a] extra slots after every busy period only
+    reaches a transmission slot with probability (1 − p)^a in the
+    mean-field model, so its effective per-slot transmission probability
+    is τ' = (1 − p)^a · τ_bianchi(W, p), and it is τ' that enters every
+    other node's collision probability.  TXOP and rate leave the
+    contention fixed point untouched (they are priced in channel occupancy
+    and utility downstream).  Returns per-class [(τ'_c, p_c)] in input
+    order.  At [aifs = 0] for every class the iteration map is the
+    {!solve_classes} map composed with a multiplication by 1.0 — callers
+    that need the bit-identity guarantee for the degenerate subspace
+    should branch to {!solve_classes} instead (as {!Model.solve_strategies}
+    does). *)
+
 val solve_profile :
   ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
   ?tau_hint:(int -> float option) ->

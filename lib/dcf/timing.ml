@@ -25,3 +25,36 @@ let of_params (p : Params.t) =
         payload;
         header;
       }
+
+(* A TXOP burst wins contention once and sends [frames] data frames
+   back-to-back, each individually acknowledged, with SIFS between
+   consecutive frame exchanges; the closing DIFS is paid once.  Collisions
+   can only hit the first access of the burst (basic: first data frame;
+   RTS/CTS: the RTS), so Tc is independent of the burst length. *)
+let burst (p : Params.t) ~frames ~payload_airtime =
+  if frames < 1 then invalid_arg "Timing.burst: frames must be >= 1";
+  let k = float_of_int frames in
+  let header = tx_time p (p.phy_header_bits + p.mac_header_bits) in
+  let ack = tx_time p (p.ack_bits + p.phy_header_bits) in
+  let rts = tx_time p (p.rts_bits + p.phy_header_bits) in
+  let cts = tx_time p (p.cts_bits + p.phy_header_bits) in
+  let frame = header +. payload_airtime +. p.sifs +. ack in
+  match p.mode with
+  | Params.Basic ->
+      {
+        ts = (k *. frame) +. ((k -. 1.) *. p.sifs) +. p.difs;
+        tc = header +. payload_airtime +. p.sifs;
+        payload = payload_airtime;
+        header;
+      }
+  | Params.Rts_cts ->
+      {
+        ts =
+          rts +. p.sifs +. cts +. p.sifs
+          +. (k *. frame)
+          +. ((k -. 1.) *. p.sifs)
+          +. p.difs;
+        tc = rts +. p.difs;
+        payload = payload_airtime;
+        header;
+      }

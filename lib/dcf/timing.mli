@@ -22,3 +22,18 @@ val of_params : Params.t -> t
 
 val tx_time : Params.t -> int -> float
 (** [tx_time p bits] is the airtime of [bits] at the channel bit rate. *)
+
+val burst : Params.t -> frames:int -> payload_airtime:float -> t
+(** Durations of a [frames]-long TXOP burst whose per-frame payload
+    airtime is [payload_airtime] (which may differ from the base-rate
+    payload time when the node transmits at another PHY rate; headers,
+    control frames and ACKs stay at the base rate).
+
+    - basic:   Ts = k·(H+P'+SIFS+ACK) + (k−1)·SIFS + DIFS,
+               Tc = H + P' + SIFS
+    - RTS/CTS: Ts = RTS + SIFS + CTS + SIFS + k·(H+P'+SIFS+ACK)
+               + (k−1)·SIFS + DIFS,  Tc = RTS + DIFS
+
+    Collisions only ever hit the first access of a burst, so Tc does not
+    depend on [frames].  [frames = 1] with the base-rate payload airtime
+    reproduces {!of_params} exactly. *)

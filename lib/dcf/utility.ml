@@ -6,6 +6,21 @@ let rate_of_node ?(p_hn = 1.) (params : Params.t) ~slot_time ~tau ~p =
   check_p_hn p_hn;
   tau *. (((1. -. p) *. p_hn *. params.gain) -. params.cost) /. slot_time
 
+(* TXOP amortization: one contention win delivers [frames] frames, so a
+   successful access gains k·g and costs k·e while a collision still costs
+   a single frame.  E[cost per access] = e·(1 + (1−p)(k−1)); k = 1
+   collapses to [rate_of_node]'s per-access economics. *)
+let rate_of_strategy ?(p_hn = 1.) (params : Params.t) ~slot_time ~tau ~p
+    ~frames =
+  check_p_hn p_hn;
+  if frames < 1 then invalid_arg "Utility.rate_of_strategy: frames must be >= 1";
+  if frames = 1 then rate_of_node ~p_hn params ~slot_time ~tau ~p
+  else
+    let k = float_of_int frames in
+    let gain = (1. -. p) *. p_hn *. k *. params.gain in
+    let cost = params.cost *. (1. +. ((1. -. p) *. (k -. 1.))) in
+    tau *. (gain -. cost) /. slot_time
+
 let rates ?(p_hn = 1.) (params : Params.t) ~taus ~ps =
   check_p_hn p_hn;
   if Array.length taus <> Array.length ps then

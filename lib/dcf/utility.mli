@@ -25,6 +25,14 @@ val rate_of_node :
 (** One node's u_i given an externally computed mean slot time (used by the
     multi-hop model, where each node sees its own local T̄slot). *)
 
+val rate_of_strategy :
+  ?p_hn:float -> Params.t -> slot_time:float -> tau:float -> p:float ->
+  frames:int -> float
+(** TXOP-aware payoff rate: a successful access delivers [frames] frames
+    (gain k·g, cost k·e) while a collision wastes a single frame (cost e),
+    so u = τ·((1−p)·p_hn·k·g − e·(1 + (1−p)(k−1))) / T̄slot.  [frames = 1]
+    delegates to {!rate_of_node} (bit-identical). *)
+
 val stage : Params.t -> float -> float
 (** [stage params u] is the stage payoff U^s = u·T. *)
 

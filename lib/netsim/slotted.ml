@@ -37,9 +37,14 @@ type node_state = {
   window : int;
   mutable stage : int;
   mutable counter : int;
+  mutable defer : int;
+      (* remaining AIFS slots: consumed before the backoff counter after
+         every busy period; permanently 0 on the degenerate subspace *)
   mutable retries : int;
   mutable attempts : int;
-  mutable successes : int;
+  mutable success_accesses : int;
+  mutable successes : int;  (* frames delivered: txop per winning access *)
+  mutable frames : int;     (* frames put on air (the energy-cost basis) *)
   mutable drops : int;
   rng : Prelude.Rng.t;
 }
@@ -48,7 +53,8 @@ let draw_backoff node =
   Prelude.Rng.int node.rng (node.window lsl node.stage)
 
 let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
-    ?(retry_limit = max_int) ?(per = 0.) ?trace { params; cws; duration; seed } =
+    ?(retry_limit = max_int) ?(per = 0.) ?trace ?strategies
+    { params; cws; duration; seed } =
   if retry_limit < 0 then invalid_arg "Slotted.run: retry_limit must be >= 0";
   if per < 0. || per >= 1. then invalid_arg "Slotted.run: per must be in [0, 1)";
   let n = Array.length cws in
@@ -59,6 +65,43 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
     cws;
   let m = params.max_backoff_stage in
   let timing = Dcf.Timing.of_params params in
+  (* Per-node strategy knobs and channel occupancies.  Without strategies
+     (or with degenerate ones) every array holds the CW-only values, and
+     the loop below executes the exact same float/RNG operation sequence
+     as the pre-strategy simulator — the degenerate bit-identity the
+     conformance suite asserts. *)
+  (match strategies with
+  | None -> ()
+  | Some ss ->
+      if Array.length ss <> n then
+        invalid_arg "Slotted.run: strategies length mismatch";
+      Array.iteri
+        (fun i (s : Dcf.Strategy_space.t) ->
+          (match Dcf.Strategy_space.validate s with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Slotted.run: " ^ e));
+          if s.cw <> cws.(i) then
+            invalid_arg "Slotted.run: strategies disagree with cws")
+        ss);
+  let strat i =
+    match strategies with
+    | Some ss -> ss.(i)
+    | None -> Dcf.Strategy_space.of_cw cws.(i)
+  in
+  let aifs = Array.init n (fun i -> (strat i).Dcf.Strategy_space.aifs) in
+  let has_aifs = Array.exists (fun a -> a > 0) aifs in
+  let txop =
+    Array.init n (fun i -> (strat i).Dcf.Strategy_space.txop_frames)
+  in
+  let times =
+    Array.init n (fun i -> Dcf.Strategy_space.times params ~base:timing (strat i))
+  in
+  let sts = Array.map (fun (t : Dcf.Strategy_space.times) -> t.ts) times in
+  let sts1 = Array.map (fun (t : Dcf.Strategy_space.times) -> t.ts1) times in
+  let stc = Array.map (fun (t : Dcf.Strategy_space.times) -> t.tc) times in
+  let spayload =
+    Array.map (fun (t : Dcf.Strategy_space.times) -> t.payload) times
+  in
   let master = Prelude.Rng.create seed in
   let emit event =
     match trace with None -> () | Some t -> Trace.record t event
@@ -72,9 +115,12 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
             window;
             stage = 0;
             counter = 0;
+            defer = aifs.(id);
             retries = 0;
             attempts = 0;
+            success_accesses = 0;
             successes = 0;
+            frames = 0;
             drops = 0;
             rng = Prelude.Rng.split master;
           }
@@ -94,27 +140,52 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
   (* Per virtual slot: skip ahead by the smallest counter (idle slots), then
      resolve the transmission slot. *)
   while !time < duration do
-    let idle = Array.fold_left (fun acc nd -> Stdlib.min acc nd.counter) max_int nodes in
+    (* Every defer is permanently 0 on the degenerate subspace, so the
+       per-slot defer bookkeeping is gated behind [has_aifs] and the hot
+       loop keeps the CW-only shape. *)
+    let idle =
+      if has_aifs then
+        Array.fold_left
+          (fun acc nd -> Stdlib.min acc (nd.defer + nd.counter))
+          max_int nodes
+      else
+        Array.fold_left
+          (fun acc nd -> Stdlib.min acc nd.counter)
+          max_int nodes
+    in
     if idle > 0 then begin
       let dt = float_of_int idle *. params.sigma in
       time := !time +. dt;
       idle_airtime := !idle_airtime +. dt;
       slots := !slots + idle;
-      Array.iter (fun nd -> nd.counter <- nd.counter - idle) nodes
+      if has_aifs then
+        Array.iter
+          (fun nd ->
+            (* AIFS defer slots are consumed before backoff slots. *)
+            let d = if nd.defer < idle then nd.defer else idle in
+            nd.defer <- nd.defer - d;
+            nd.counter <- nd.counter - (idle - d))
+          nodes
+      else Array.iter (fun nd -> nd.counter <- nd.counter - idle) nodes
     end;
     if !time < duration then begin
       let transmitters =
-        Array.to_list nodes |> List.filter (fun nd -> nd.counter = 0)
+        if has_aifs then
+          Array.to_list nodes
+          |> List.filter (fun nd -> nd.defer = 0 && nd.counter = 0)
+        else Array.to_list nodes |> List.filter (fun nd -> nd.counter = 0)
       in
       incr slots;
       (match transmitters with
       | [] -> assert false
       | [ winner ] when per > 0. && Prelude.Rng.bernoulli winner.rng per ->
-          (* Channel error: the lone winner's frame went out in full but
-             arrived corrupted, so the channel is held for the whole frame
-             time Ts (the ACK never comes) — not the collision time Tc,
-             which models truncated overlapping frames. *)
+          (* Channel error: the lone winner's first frame went out in full
+             but arrived corrupted, so the channel is held for one whole
+             frame time — not the collision time Tc, which models
+             truncated overlapping frames.  The missing ACK aborts any
+             TXOP continuation, so the burst never happens. *)
           winner.attempts <- winner.attempts + 1;
+          winner.frames <- winner.frames + 1;
           winner.retries <- winner.retries + 1;
           if winner.retries > retry_limit then begin
             winner.drops <- winner.drops + 1;
@@ -123,21 +194,24 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
             emit (Trace.Drop { time = !time; node = winner.id })
           end
           else winner.stage <- Stdlib.min (winner.stage + 1) m;
-          time := !time +. timing.ts;
-          error_airtime := !error_airtime +. timing.ts;
+          time := !time +. sts1.(winner.id);
+          error_airtime := !error_airtime +. sts1.(winner.id);
           emit (Trace.Channel_error { time = !time; node = winner.id })
       | [ winner ] ->
           winner.attempts <- winner.attempts + 1;
-          winner.successes <- winner.successes + 1;
+          winner.success_accesses <- winner.success_accesses + 1;
+          winner.successes <- winner.successes + txop.(winner.id);
+          winner.frames <- winner.frames + txop.(winner.id);
           winner.stage <- 0;
           winner.retries <- 0;
-          time := !time +. timing.ts;
-          success_airtime := !success_airtime +. timing.ts;
+          time := !time +. sts.(winner.id);
+          success_airtime := !success_airtime +. sts.(winner.id);
           emit (Trace.Success { time = !time; node = winner.id })
       | colliders ->
           List.iter
             (fun nd ->
               nd.attempts <- nd.attempts + 1;
+              nd.frames <- nd.frames + 1;
               nd.retries <- nd.retries + 1;
               if nd.retries > retry_limit then begin
                 (* Discard the head-of-line packet; the saturated queue
@@ -149,19 +223,33 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
               end
               else nd.stage <- Stdlib.min (nd.stage + 1) m)
             colliders;
-          time := !time +. timing.tc;
-          collision_airtime := !collision_airtime +. timing.tc;
+          (* Overlapping frames hold the channel for the longest collider's
+             Tc (equal to the common Tc on the degenerate subspace). *)
+          let tc_busy =
+            List.fold_left
+              (fun acc nd -> Float.max acc stc.(nd.id))
+              0. colliders
+          in
+          time := !time +. tc_busy;
+          collision_airtime := !collision_airtime +. tc_busy;
           emit
             (Trace.Collision
                { time = !time; nodes = List.map (fun nd -> nd.id) colliders }));
       if bianchi_ticks then
         (* Markov-chain convention: the busy virtual slot also ticks the
            frozen stations' counters (transmitters are at 0 and resample
-           below; their fresh counter first ticks in the next slot). *)
+           below; their fresh counter first ticks in the next slot).  The
+           chain has no AIFS state, so the tick applies to backoff
+           counters only. *)
         Array.iter
           (fun nd -> if nd.counter > 0 then nd.counter <- nd.counter - 1)
           nodes;
-      List.iter (fun nd -> nd.counter <- draw_backoff nd) transmitters
+      List.iter (fun nd -> nd.counter <- draw_backoff nd) transmitters;
+      (* Every node heard the busy period and defers AIFS slots before
+         resuming its countdown; a no-op on the degenerate subspace. *)
+      Array.iter
+        (fun nd -> if aifs.(nd.id) > 0 then nd.defer <- aifs.(nd.id))
+        nodes
     end
   done;
   let elapsed = !time in
@@ -169,7 +257,7 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
     Array.map
       (fun nd ->
         let attempts = nd.attempts and successes = nd.successes in
-        let collisions = attempts - successes in
+        let collisions = attempts - nd.success_accesses in
         {
           attempts;
           successes;
@@ -181,9 +269,10 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
              else float_of_int collisions /. float_of_int attempts);
           payoff_rate =
             ((float_of_int successes *. params.gain)
-            -. (float_of_int attempts *. params.cost))
+            -. (float_of_int nd.frames *. params.cost))
             /. elapsed;
-          throughput = float_of_int successes *. timing.payload /. elapsed;
+          throughput =
+            float_of_int successes *. spayload.(nd.id) /. elapsed;
         })
       nodes
   in
@@ -246,8 +335,8 @@ let run ?(telemetry = Telemetry.Registry.default) ?(bianchi_ticks = false)
       ]);
   result
 
-let estimates ?telemetry config =
-  let result = run ?telemetry config in
+let estimates ?telemetry ?strategies config =
+  let result = run ?telemetry ?strategies config in
   let slot_time =
     if result.slots = 0 then config.params.sigma
     else result.time /. float_of_int result.slots

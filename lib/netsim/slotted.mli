@@ -21,15 +21,19 @@ type config = {
 }
 
 type node_stats = {
-  attempts : int;      (** transmission attempts *)
-  successes : int;     (** packets delivered *)
-  collisions : int;    (** attempts that collided *)
+  attempts : int;      (** channel accesses attempted *)
+  successes : int;
+      (** frames delivered ([txop_frames] per winning access; equals the
+          winning accesses on the degenerate subspace) *)
+  collisions : int;    (** accesses that collided *)
   drops : int;
       (** packets discarded after exhausting the retry limit (0 when
           simulating the paper's infinite-retry chain) *)
   tau_hat : float;     (** attempts per virtual slot — estimates τ_i *)
   p_hat : float;       (** collisions / attempts — estimates p_i *)
-  payoff_rate : float; (** (successes·g − attempts·e) / time — estimates u_i *)
+  payoff_rate : float;
+      (** (delivered frames·g − transmitted frames·e) / time — estimates
+          u_i; frames transmitted = attempts on the degenerate subspace *)
   throughput : float;  (** payload airtime fraction delivered by this node *)
 }
 
@@ -58,8 +62,18 @@ type result = {
 val run :
   ?telemetry:Telemetry.Registry.t ->
   ?bianchi_ticks:bool -> ?retry_limit:int -> ?per:float -> ?trace:Trace.t ->
+  ?strategies:Dcf.Strategy_space.t array ->
   config -> result
 (** Simulate until [duration] simulated seconds have elapsed.
+
+    [strategies] gives each node its full (CW, AIFS, TXOP, rate) strategy;
+    each entry's [cw] must agree with [cws] (the CW array stays the
+    config's source of truth).  AIFS adds defer slots consumed before the
+    backoff counter after every busy period; TXOP sends
+    [txop_frames] frames per winning access (successes and frame costs
+    count frames, collisions still cost one); rate scales the payload
+    airtime per node.  Omitting [strategies] — or passing only degenerate
+    ones — runs the exact CW-only operation sequence, bit-identically.
 
     [trace] records a {!Trace.event} per success, collision and drop.
 
@@ -97,7 +111,9 @@ val run :
     @raise Invalid_argument on an empty network, a non-positive duration or
     a window < 1. *)
 
-val estimates : ?telemetry:Telemetry.Registry.t -> config -> Estimate.t array
+val estimates :
+  ?telemetry:Telemetry.Registry.t ->
+  ?strategies:Dcf.Strategy_space.t array -> config -> Estimate.t array
 (** One {!run} folded into per-node {!Estimate.t} records: τ̂ and p̂ come
     straight from the per-node counters and the estimated mean virtual slot
     is elapsed time over virtual slots.  The payoff oracle's [Sim_slotted]

@@ -59,8 +59,13 @@ type node = {
   mutable retries : int;
   mutable busy_until : int;   (** own transmission occupies the air *)
   mutable nav_until : int;
+  mutable defer : int;        (** AIFS slots left before backoff resumes
+                                  (reference loop only) *)
+  mutable sensing : bool;     (** idle-sensing during the interval that just
+                                  ended (reference loop only) *)
   mutable attempts : int;
-  mutable successes : int;
+  mutable successes : int;    (** frames delivered (txop per winning access) *)
+  mutable success_accesses : int;  (** winning accesses (conservation) *)
   mutable drops : int;
   mutable local_collisions : int;
   mutable hidden_failures : int;
@@ -73,6 +78,11 @@ type node = {
   mutable on_air : bool;
   mutable audible : int;
   mutable expiry : int;
+  (* Absolute slot the AIFS defer ends after the last unfreeze (event core
+     only).  Backoff slots are only the ones past it: a freeze at [t]
+     leaves [expiry − max t defer_end] backoff slots, and the defer
+     re-arms in full at the next unfreeze. *)
+  mutable defer_end : int;
   mutable in_bag : bool;
 }
 
@@ -133,7 +143,7 @@ type driver = Reference | Event_core
    shadow run passes [false] so primary and shadow do not double-record
    the same workload into the process-wide rings. *)
 let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
-    { params; adjacency; cws; duration; seed } =
+    ~strategies { params; adjacency; cws; duration; seed } =
   if retry_limit < 0 then invalid_arg "Spatial.run: retry_limit must be >= 0";
   let n = Array.length adjacency in
   let cs_adjacency = Option.value cs_adjacency ~default:adjacency in
@@ -170,18 +180,62 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
             invalid_arg "Spatial.run: cs_adjacency must contain adjacency")
         adjacency.(i))
     cs_adjacency;
+  let strategies =
+    match strategies with
+    | None -> Array.map Dcf.Strategy_space.of_cw cws
+    | Some ss ->
+        if Array.length ss <> n then
+          invalid_arg "Spatial.run: strategies length mismatch";
+        Array.iteri
+          (fun i (s : Dcf.Strategy_space.t) ->
+            (match Dcf.Strategy_space.validate s with
+            | Ok () -> ()
+            | Error e -> invalid_arg ("Spatial.run: " ^ e));
+            if s.cw <> cws.(i) then
+              invalid_arg "Spatial.run: strategies disagree with cws")
+          ss;
+        ss
+  in
   let m = params.max_backoff_stage in
   let timing = Dcf.Timing.of_params params in
   let sigma = params.sigma in
-  let ts_slots = slots_of sigma timing.ts in
-  let tc_slots = slots_of sigma timing.tc in
-  let vuln_slots =
+  (* Per-node frame timings: with degenerate strategies the passthrough in
+     {!Dcf.Strategy_space.times} yields the base timings, so every slot
+     count below equals the pre-strategy scalar — the degenerate subspace
+     runs the exact CW-only slot sequence. *)
+  let times_a =
+    Array.map (fun s -> Dcf.Strategy_space.times params ~base:timing s)
+      strategies
+  in
+  let ts_slots_a =
+    Array.map (fun (tm : Dcf.Strategy_space.times) -> slots_of sigma tm.ts)
+      times_a
+  in
+  let tc_slots_a =
+    Array.map (fun (tm : Dcf.Strategy_space.times) -> slots_of sigma tm.tc)
+      times_a
+  in
+  let vuln_slots_a =
     match params.mode with
-    | Dcf.Params.Basic -> slots_of sigma (timing.header +. timing.payload)
+    | Dcf.Params.Basic ->
+        Array.map
+          (fun (tm : Dcf.Strategy_space.times) ->
+            slots_of sigma (timing.header +. tm.payload))
+          times_a
     | Dcf.Params.Rts_cts ->
-        slots_of sigma
-          (float_of_int (params.rts_bits + params.phy_header_bits)
-          /. params.bit_rate)
+        let v =
+          slots_of sigma
+            (float_of_int (params.rts_bits + params.phy_header_bits)
+            /. params.bit_rate)
+        in
+        Array.make n v
+  in
+  let aifs_a =
+    Array.map (fun (s : Dcf.Strategy_space.t) -> s.aifs) strategies
+  in
+  let has_aifs = Array.exists (fun a -> a > 0) aifs_a in
+  let txop_a =
+    Array.map (fun (s : Dcf.Strategy_space.t) -> s.txop_frames) strategies
   in
   let horizon = int_of_float (Float.ceil (duration /. sigma)) in
   if horizon + 1 > max_int / (4 * n) then
@@ -220,8 +274,11 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
             retries = 0;
             busy_until = 0;
             nav_until = 0;
+            defer = aifs_a.(i);
+            sensing = true;
             attempts = 0;
             successes = 0;
+            success_accesses = 0;
             drops = 0;
             local_collisions = 0;
             hidden_failures = 0;
@@ -229,6 +286,7 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
             on_air = false;
             audible = 0;
             expiry = -1;
+            defer_end = 0;
             in_bag = false;
           }
         in
@@ -283,10 +341,10 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
   let resolve now tx =
     tx.resolved <- true;
     let src = nodes.(tx.src) in
-    let started = now - vuln_slots in
+    let started = now - vuln_slots_a.(tx.src) in
     let corrupted = tx.corrupted_local || tx.corrupted_hidden in
     if corrupted then begin
-      let finish = started + tc_slots in
+      let finish = started + tc_slots_a.(tx.src) in
       !raise_busy now src finish;
       tx.finish <- finish;
       collision_tx_slots :=
@@ -311,11 +369,13 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
       else src.stage <- Stdlib.min (src.stage + 1) m
     end
     else begin
-      let finish = started + ts_slots in
+      let finish = started + ts_slots_a.(tx.src) in
       !raise_busy now src finish;
       tx.finish <- finish;
-      src.successes <- src.successes + 1;
-      if now < horizon then incr delivered else incr delivered_late;
+      src.successes <- src.successes + txop_a.(tx.src);
+      src.success_accesses <- src.success_accesses + 1;
+      if now < horizon then delivered := !delivered + txop_a.(tx.src)
+      else delivered_late := !delivered_late + txop_a.(tx.src);
       success_tx_slots := !success_tx_slots + (clip finish - clip started);
       cover (clip now) (clip finish);
       if rec_on then Telemetry.Recorder.instant recorder nid_success now tx.src;
@@ -365,8 +425,9 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
       node.attempts <- node.attempts + 1;
       if rec_on then
         Telemetry.Recorder.instant recorder nid_tx_start now node.id;
-      !raise_busy now node (now + vuln_slots) (* extended at resolution *);
-      cover now (clip (now + vuln_slots));
+      !raise_busy now node
+        (now + vuln_slots_a.(node.id)) (* extended at resolution *);
+      cover now (clip (now + vuln_slots_a.(node.id)));
       (match params.mode with
       | Dcf.Params.Basic -> ()
       | Dcf.Params.Rts_cts ->
@@ -418,9 +479,9 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
            {
              src = node.id;
              dest;
-             vuln_end = now + vuln_slots;
+             vuln_end = now + vuln_slots_a.(node.id);
              resolved = false;
-             finish = now + vuln_slots;
+             finish = now + vuln_slots_a.(node.id);
              corrupted_local = false;
              corrupted_hidden = false;
            });
@@ -445,19 +506,38 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
             if (not tx.resolved) && tx.vuln_end <= !now then resolve !now tx)
           !active;
         active := List.filter (fun tx -> tx.finish > !now) !active;
-        (* 2. Launch every node whose counter has reached zero, against a
-           single snapshot of the channel state: nodes that fire in the same
-           slot cannot sense each other's start, so all of them transmit (the
-           synchronised-collision case). *)
+        (* 2a. Pre-launch sensing transitions: a node whose channel just
+           went idle re-arms its AIFS defer in full.  The scan costs a
+           full senses_idle pass per boundary, so it only runs when some
+           node actually defers; on the degenerate subspace (every defer
+           0) the starter filter below keeps the cheap short-circuit
+           shape of the CW-only loop.
+           2b. Launch every node whose defer and counter have reached
+           zero, against a single snapshot of the channel state: nodes
+           that fire in the same slot cannot sense each other's start, so
+           all of them transmit (the synchronised-collision case). *)
         let starters =
-          Array.to_list nodes
-          |> List.filter (fun nd -> nd.counter <= 0 && senses_idle !now nd)
+          if has_aifs then begin
+            Array.iter
+              (fun nd ->
+                let idle = senses_idle !now nd in
+                if idle && not nd.sensing then nd.defer <- aifs_a.(nd.id);
+                nd.sensing <- idle)
+              nodes;
+            Array.to_list nodes
+            |> List.filter (fun nd ->
+                   nd.defer = 0 && nd.counter <= 0 && nd.sensing)
+          end
+          else
+            Array.to_list nodes
+            |> List.filter (fun nd -> nd.counter <= 0 && senses_idle !now nd)
         in
         List.iter (start_transmission !now) starters;
         (* 3. Between boundaries only the currently idle-sensing nodes
-           tick. *)
+           tick (defer slots first, then backoff). *)
+        Array.iter (fun nd -> nd.sensing <- senses_idle !now nd) nodes;
         let counting =
-          Array.to_list nodes |> List.filter (fun nd -> senses_idle !now nd)
+          Array.to_list nodes |> List.filter (fun nd -> nd.sensing)
         in
         (* 4. Jump to the next channel-state boundary. *)
         let next = ref max_int in
@@ -470,12 +550,19 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
             consider nd.busy_until;
             consider nd.nav_until)
           nodes;
-        List.iter (fun nd -> consider (!now + nd.counter)) counting;
+        List.iter
+          (fun nd -> consider (!now + nd.defer + nd.counter))
+          counting;
         let next =
           if !next = max_int then horizon else Stdlib.min !next horizon
         in
         let dt = next - !now in
-        List.iter (fun nd -> nd.counter <- nd.counter - dt) counting;
+        List.iter
+          (fun nd ->
+            let d = Stdlib.min nd.defer dt in
+            nd.defer <- nd.defer - d;
+            nd.counter <- nd.counter - (dt - d))
+          counting;
         now := next
       done;
       (* Frames still in their vulnerable window at the horizon complete
@@ -507,7 +594,10 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
         if not nd.frozen then begin
           nd.frozen <- true;
           if nd.expiry >= 0 then begin
-            nd.counter <- nd.expiry - t;
+            (* Only slots past the defer end are consumed backoff; a
+               freeze inside the defer keeps the backoff whole (the defer
+               re-arms in full at the next unfreeze). *)
+            nd.counter <- nd.expiry - Stdlib.max t nd.defer_end;
             nd.expiry <- -1
           end
         end
@@ -518,13 +608,15 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
           && nd.audible = 0
         then begin
           nd.frozen <- false;
-          if nd.counter <= 0 then begin
+          let a = aifs_a.(nd.id) in
+          if a = 0 && nd.counter <= 0 then begin
             nd.expiry <- -1;
             starters.(!n_starters) <- nd.id;
             incr n_starters
           end
           else begin
-            nd.expiry <- t + nd.counter;
+            nd.defer_end <- t + a;
+            nd.expiry <- nd.defer_end + Stdlib.max nd.counter 0;
             push_event nd.expiry kind_fire nd.id
           end
         end
@@ -554,9 +646,9 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
          fun node dest now ->
            let tx = node.tx in
            tx.dest <- dest;
-           tx.vuln_end <- now + vuln_slots;
+           tx.vuln_end <- now + vuln_slots_a.(node.id);
            tx.resolved <- false;
-           tx.finish <- now + vuln_slots;
+           tx.finish <- now + vuln_slots_a.(node.id);
            tx.corrupted_local <- false;
            tx.corrupted_hidden <- false;
            tx);
@@ -585,11 +677,12 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
              end
            done);
       (* Seed the calendar: every node that can transmit starts unfrozen
-         with its initial backoff pending. *)
+         with its initial AIFS defer and backoff pending. *)
       Array.iter
         (fun nd ->
           if nd.can_tx then begin
-            nd.expiry <- nd.counter;
+            nd.defer_end <- aifs_a.(nd.id);
+            nd.expiry <- nd.defer_end + nd.counter;
             push_event nd.expiry kind_fire nd.id
           end
           else nd.frozen <- true)
@@ -667,6 +760,13 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
     Array.map
       (fun nd ->
         let clean = nd.attempts - nd.local_collisions in
+        (* Frames transmitted: one per failed access (only the first frame
+           of a burst collides), txop per winning access.  Equals
+           [attempts] on the degenerate subspace. *)
+        let frames =
+          nd.attempts - nd.success_accesses
+          + (nd.success_accesses * txop_a.(nd.id))
+        in
         {
           attempts = nd.attempts;
           successes = nd.successes;
@@ -675,9 +775,10 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
           hidden_failures = nd.hidden_failures;
           payoff_rate =
             ((float_of_int nd.successes *. params.gain)
-            -. (float_of_int nd.attempts *. params.cost))
+            -. (float_of_int frames *. params.cost))
             /. elapsed;
-          throughput = float_of_int nd.successes *. timing.payload /. elapsed;
+          throughput =
+            float_of_int nd.successes *. times_a.(nd.id).payload /. elapsed;
           p_hn_hat =
             (if clean <= 0 then 1.
              else
@@ -703,14 +804,22 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
      the run rather than publish bad numbers. *)
   let fail fmt = Printf.ksprintf failwith fmt in
   Array.iteri
-    (fun i (s : node_stats) ->
-      if s.attempts <> s.successes + s.local_collisions + s.hidden_failures
+    (fun i nd ->
+      if
+        nd.attempts
+        <> nd.success_accesses + nd.local_collisions + nd.hidden_failures
       then
         fail
           "Spatial.run: conservation violated at node %d: %d attempts <> %d \
-           successes + %d local + %d hidden"
-          i s.attempts s.successes s.local_collisions s.hidden_failures)
-    per_node;
+           winning accesses + %d local + %d hidden"
+          i nd.attempts nd.success_accesses nd.local_collisions
+          nd.hidden_failures;
+      if nd.successes <> nd.success_accesses * txop_a.(i) then
+        fail
+          "Spatial.run: conservation violated at node %d: %d frames <> %d \
+           accesses x txop %d"
+          i nd.successes nd.success_accesses txop_a.(i))
+    nodes;
   let total_successes =
     Array.fold_left (fun acc (s : node_stats) -> acc + s.successes) 0 per_node
   in
@@ -797,17 +906,17 @@ let recorded_run a b f =
       f
 
 let run_reference ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
-    ?(retry_limit = max_int) ?trace config =
+    ?(retry_limit = max_int) ?trace ?strategies config =
   recorded_run (Array.length config.adjacency) config.seed (fun () ->
       simulate ~driver:Reference ~telemetry ~cs_adjacency ~retry_limit ~trace
-        ~flight:true config)
+        ~flight:true ~strategies config)
 
 let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
-    ?(retry_limit = max_int) ?trace config =
+    ?(retry_limit = max_int) ?trace ?strategies config =
   let result =
     recorded_run (Array.length config.adjacency) config.seed (fun () ->
         simulate ~driver:Event_core ~telemetry ~cs_adjacency ~retry_limit
-          ~trace ~flight:true config)
+          ~trace ~flight:true ~strategies config)
   in
   (match Sys.getenv_opt "NETSIM_SPATIAL_DIFF" with
   | None | Some "" | Some "0" -> ()
@@ -815,7 +924,8 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
       let shadow =
         simulate ~driver:Reference
           ~telemetry:(Telemetry.Registry.create ())
-          ~cs_adjacency ~retry_limit ~trace:None ~flight:false config
+          ~cs_adjacency ~retry_limit ~trace:None ~flight:false ~strategies
+          config
       in
       if not (equal_result result shadow) then
         failwith
@@ -829,13 +939,15 @@ let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
    times.  The loop has no virtual-slot notion, so τ̂ is attempts per
    σ-slot and the slot estimate is σ itself: coarser than Slotted's, while
    payoff and throughput come from exact counters. *)
-let clique_estimates ?telemetry ~params ~cws ~duration ~seed () =
+let clique_estimates ?telemetry ?strategies ~params ~cws ~duration ~seed () =
   let n = Array.length cws in
   let everyone = List.init n Fun.id in
   let adjacency =
     Array.init n (fun i -> List.filter (fun j -> j <> i) everyone)
   in
-  let result = run ?telemetry { params; adjacency; cws; duration; seed } in
+  let result =
+    run ?telemetry ?strategies { params; adjacency; cws; duration; seed }
+  in
   let sigma = params.Dcf.Params.sigma in
   let slots = result.time /. sigma in
   Array.map
@@ -843,9 +955,12 @@ let clique_estimates ?telemetry ~params ~cws ~duration ~seed () =
       {
         Estimate.tau_hat = float_of_int s.attempts /. slots;
         p_hat =
+          (* Failed accesses over accesses; on the degenerate subspace
+             this equals the historical (attempts − successes)/attempts
+             (successes then counts accesses). *)
           (if s.attempts = 0 then 0.
            else
-             float_of_int (s.attempts - s.successes)
+             float_of_int (s.local_collisions + s.hidden_failures)
              /. float_of_int s.attempts);
         payoff_rate = s.payoff_rate;
         throughput = s.throughput;

@@ -39,6 +39,8 @@ type config = {
 type node_stats = {
   attempts : int;
   successes : int;
+      (** frames delivered ([txop_frames] per winning access; equals the
+          winning accesses on the degenerate subspace) *)
   drops : int;
       (** packets discarded after the retry limit (0 with the default
           unlimited retries) *)
@@ -48,7 +50,9 @@ type node_stats = {
   hidden_failures : int;
       (** failures caused exclusively by transmitters outside the sender's
           carrier-sense range — the 1 − p_hn losses *)
-  payoff_rate : float;  (** (successes·g − attempts·e)/time *)
+  payoff_rate : float;
+      (** (delivered frames·g − transmitted frames·e)/time; transmitted
+          frames = attempts on the degenerate subspace *)
   throughput : float;   (** payload airtime fraction delivered *)
   p_hn_hat : float;
       (** estimated degradation factor: among attempts that survived local
@@ -93,8 +97,18 @@ type result = {
 val run :
   ?telemetry:Telemetry.Registry.t ->
   ?cs_adjacency:int list array -> ?retry_limit:int -> ?trace:Trace.t ->
+  ?strategies:Dcf.Strategy_space.t array ->
   config -> result
-(** [cs_adjacency] is the carrier-sense graph: who a node can *hear* (and
+(** [strategies] gives each node its full (CW, AIFS, TXOP, rate) strategy;
+    each entry's [cw] must agree with [cws].  AIFS adds defer slots a node
+    waits after every busy→idle channel transition before its backoff
+    resumes; TXOP delivers [txop_frames] frames per winning access (the
+    burst holds the channel for the full burst Ts, collisions still cost
+    one frame); rate rescales the payload airtime.  Omitting [strategies]
+    — or passing only degenerate ones — runs the exact CW-only slot
+    sequence, bit-identically, on both drivers.
+
+    [cs_adjacency] is the carrier-sense graph: who a node can *hear* (and
     therefore defers to), as opposed to [config.adjacency], who it can
     *decode* (and therefore send to / be corrupted by).  Physically the
     carrier-sense range is at least the transmission range, so
@@ -114,7 +128,8 @@ val run :
     Jain fairness.
 
     Every run passes an always-on conservation audit before returning:
-    per-node [attempts = successes + local_collisions + hidden_failures],
+    per-node [attempts = winning accesses + local_collisions +
+    hidden_failures] (and [successes = winning accesses · txop_frames]),
     [delivered + delivered_late] equals total successes, the busy union
     never exceeds the horizon, and
     [idle + success + collision − overlap = 1 ± 1e-9].
@@ -132,6 +147,7 @@ val run :
 val run_reference :
   ?telemetry:Telemetry.Registry.t ->
   ?cs_adjacency:int list array -> ?retry_limit:int -> ?trace:Trace.t ->
+  ?strategies:Dcf.Strategy_space.t array ->
   config -> result
 (** The original boundary-scanning scheduler (every channel-state boundary
     rescans all nodes and airborne frames), sharing the physics and
@@ -145,6 +161,7 @@ val equal_result : result -> result -> bool
 
 val clique_estimates :
   ?telemetry:Telemetry.Registry.t ->
+  ?strategies:Dcf.Strategy_space.t array ->
   params:Dcf.Params.t -> cws:int array -> duration:float -> seed:int ->
   unit -> Estimate.t array
 (** Run the spatial simulator on a fully connected (clique) topology and

@@ -1,6 +1,6 @@
 type op =
   | Ne of { n : int }
-  | Payoff of { profile : int array }
+  | Payoff of { profile : Macgame.Profile.t }
   | Welfare of { n : int; w : int }
   | Tau of { n : int; w : int }
   | Batch of t list
@@ -34,15 +34,16 @@ let positive_field name json =
       if v >= 1 then Ok v
       else Error (Printf.sprintf "field %S must be >= 1" name))
 
+(* A profile entry is either a bare window (the historical CW-only wire
+   format, kept as shorthand) or a strategy object
+   [{"cw": …, "aifs": …?, "txop": …?, "rate": …?}]. *)
 let profile_field json =
   match Telemetry.Jsonx.member "profile" json with
-  | Some (Telemetry.Jsonx.List items) when items <> [] ->
-      let rec windows acc = function
-        | [] -> Ok (Array.of_list (List.rev acc))
-        | Telemetry.Jsonx.Int w :: rest when w >= 1 -> windows (w :: acc) rest
-        | _ -> Error "field \"profile\" must be a list of integers >= 1"
-      in
-      windows [] items
+  | Some (Telemetry.Jsonx.List _ as items) -> (
+      match Macgame.Profile.of_json items with
+      | Ok profile -> Ok profile
+      | Error reason ->
+          Error (Printf.sprintf "field \"profile\": %s" reason))
   | Some _ -> Error "field \"profile\" must be a non-empty list"
   | None -> Error "missing field \"profile\""
 

@@ -14,6 +14,9 @@
     - [{"op": "tau", "n": N, "w": W}] — (τ, p) of the uniform profile;
     - [{"op": "welfare", "n": N, "w": W}] — per-node payoff and n·u;
     - [{"op": "payoff", "profile": [w1, …]}] — per-node payoff rates;
+      entries are bare CW windows (the CW-only shorthand) or full
+      strategy objects [{"cw": W, "aifs": A?, "txop": K?, "rate": R?}],
+      freely mixed;
     - [{"op": "ne", "n": N}] — the Theorem-2 NE window range and the
       refined W_c*;
     - [{"op": "batch", "requests": [ … ]}] — leaf requests answered in
@@ -24,7 +27,7 @@
 
 type op =
   | Ne of { n : int }
-  | Payoff of { profile : int array }
+  | Payoff of { profile : Macgame.Profile.t }
   | Welfare of { n : int; w : int }
   | Tau of { n : int; w : int }
   | Batch of t list

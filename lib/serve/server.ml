@@ -126,7 +126,9 @@ let leaf_result t (op : Request.op) : Jx.t * Macgame.Oracle.tier =
           ],
         tier )
   | Payoff { profile } ->
-      let payoffs, tier = Macgame.Oracle.payoffs_outcome t.oracle profile in
+      let payoffs, tier =
+        Macgame.Oracle.payoffs_profile_outcome t.oracle profile
+      in
       ( Jx.Obj
           [
             ( "payoffs",

@@ -16,30 +16,34 @@ let small = { default with Dcf.Params.cw_max = 512 }
 
 let test_profile_uniform () =
   let p = Macgame.Profile.uniform ~n:4 ~w:32 in
-  Alcotest.(check (array int)) "all equal" [| 32; 32; 32; 32 |] p;
-  Alcotest.(check bool) "is_uniform" true (Macgame.Profile.is_uniform p)
+  Alcotest.(check (array int)) "all equal" [| 32; 32; 32; 32 |]
+    (Macgame.Profile.cws p);
+  Alcotest.(check bool) "is_uniform" true (Macgame.Profile.is_uniform p);
+  Alcotest.(check bool) "is_degenerate" true (Macgame.Profile.is_degenerate p)
 
 let test_profile_with_deviant () =
   let p = Macgame.Profile.with_deviant ~n:3 ~w:64 ~w_dev:8 in
-  Alcotest.(check (array int)) "deviant first" [| 8; 64; 64 |] p;
+  Alcotest.(check (array int)) "deviant first" [| 8; 64; 64 |]
+    (Macgame.Profile.cws p);
   Alcotest.(check bool) "not uniform" false (Macgame.Profile.is_uniform p);
   Alcotest.(check int) "min window" 8 (Macgame.Profile.min_window p)
 
 let test_profile_validate () =
+  let of_cws = Macgame.Profile.of_cws in
   Alcotest.(check bool) "valid" true
-    (Macgame.Profile.validate ~cw_max:128 [| 1; 128 |] = Ok ());
+    (Macgame.Profile.validate ~cw_max:128 (of_cws [| 1; 128 |]) = Ok ());
   Alcotest.(check bool) "rejects 0" true
-    (Result.is_error (Macgame.Profile.validate ~cw_max:128 [| 0 |]));
+    (Result.is_error (Macgame.Profile.validate ~cw_max:128 (of_cws [| 0 |])));
   Alcotest.(check bool) "rejects above max" true
-    (Result.is_error (Macgame.Profile.validate ~cw_max:128 [| 129 |]));
+    (Result.is_error (Macgame.Profile.validate ~cw_max:128 (of_cws [| 129 |])));
   Alcotest.(check bool) "rejects empty" true
-    (Result.is_error (Macgame.Profile.validate ~cw_max:128 [||]))
+    (Result.is_error (Macgame.Profile.validate ~cw_max:128 (of_cws [||])))
 
 let test_profile_pp () =
   Alcotest.(check string) "uniform rendering" "3x16"
     (Format.asprintf "%a" Macgame.Profile.pp (Macgame.Profile.uniform ~n:3 ~w:16));
   Alcotest.(check string) "list rendering" "[8; 16]"
-    (Format.asprintf "%a" Macgame.Profile.pp [| 8; 16 |])
+    (Format.asprintf "%a" Macgame.Profile.pp (Macgame.Profile.of_cws [| 8; 16 |]))
 
 (* {1 Equilibrium} *)
 

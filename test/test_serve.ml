@@ -66,8 +66,24 @@ let test_parse_ok () =
   | Welfare { n = 2; w = 16 } -> ()
   | _ -> Alcotest.fail "welfare fields lost");
   (match (ok {|{"op":"payoff","profile":[16,32,64]}|}).op with
-  | Payoff { profile = [| 16; 32; 64 |] } -> ()
+  | Payoff { profile } ->
+      Alcotest.(check (array int))
+        "payoff windows" [| 16; 32; 64 |]
+        (Macgame.Profile.cws profile);
+      Alcotest.(check bool)
+        "bare windows parse degenerate" true
+        (Macgame.Profile.is_degenerate profile)
   | _ -> Alcotest.fail "payoff profile lost");
+  (match
+     (ok {|{"op":"payoff","profile":[16,{"cw":32,"aifs":2,"txop":3}]}|}).op
+   with
+  | Payoff { profile } ->
+      Alcotest.(check bool)
+        "strategy object parsed" true
+        (Macgame.Strategy_space.equal profile.(1)
+           { Macgame.Strategy_space.cw = 32; aifs = 2; txop_frames = 3;
+             rate = 1.0 })
+  | _ -> Alcotest.fail "mixed payoff profile lost");
   (match (ok {|{"op":"ne","n":4}|}).op with
   | Ne { n = 4 } -> ()
   | _ -> Alcotest.fail "ne fields lost");
