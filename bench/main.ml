@@ -109,7 +109,7 @@ let () =
            | None -> (
                match Sys.getenv_opt "BENCH_PERF_OUT" with
                | Some path -> path
-               | None -> "BENCH_PR8.json")
+               | None -> "BENCH_PR9.json")
          in
          Perf.run ~out ());
       if trend then Trend.run ())

@@ -41,6 +41,38 @@ let tests =
                   })
             in
             fun () -> ignore (Dcf.Model.solve_strategies params strategies)));
+      (* PR-9 solver-core kernels: the same 50-class cold heterogeneous
+         fixed point through the damped-Newton path (the new default) and
+         the reference damped Picard iteration — the pair behind the
+         acceptance speedup and the EXPERIMENTS.md table.  The CW ladder
+         2..51 spans the full aggression spectrum the paper studies, from
+         the near-greedy W = 2 selfish floor to standard windows; the
+         heavy contention is where the damped iteration's linear rate
+         degrades (73 sweeps to 1e-14) while the proxy-seeded quadratic
+         Newton path needs 5. *)
+      Test.make ~name:"newton_cold_n50"
+        (Staged.stage
+           (let classes = List.init 50 (fun i -> (2 + i, 1)) in
+            fun () ->
+              ignore (Dcf.Solver.solve_classes ~algo:Newton params classes)));
+      Test.make ~name:"picard_cold_n50"
+        (Staged.stage
+           (let classes = List.init 50 (fun i -> (2 + i, 1)) in
+            fun () ->
+              ignore (Dcf.Solver.solve_classes ~algo:Picard params classes)));
+      (* Batched sweep kernel: a 64-point deviant-CW column (one scanning
+         strategy against 19 conformers) through solve_batch, so every
+         point after the first starts from its neighbour's τ vector. *)
+      Test.make ~name:"batch_sweep_cw64"
+        (Staged.stage
+           (let problems =
+              Array.init 64 (fun i ->
+                  [
+                    (Dcf.Strategy_space.of_cw (32 + (2 * i)), 1);
+                    (Dcf.Strategy_space.of_cw 128, 19);
+                  ])
+            in
+            fun () -> ignore (Dcf.Solver.solve_batch params problems)));
       (* Figures 2-3 kernel: one welfare evaluation, cold (a fresh oracle
          per call, so the fixed point is actually solved every time). *)
       Test.make ~name:"welfare_point_n20"
@@ -275,11 +307,18 @@ let kernel_ns json =
         Telemetry.Jsonx.to_float_opt
   | _ -> Telemetry.Jsonx.to_float_opt json
 
-(* Performance regression guard: compare the fresh spatial-kernel
-   estimates against the checked-in baseline JSON (the previous --perf
-   run's output at the same path) and fail loudly on a big regression.
-   2× is deliberately loose — micro-benchmark noise on shared machines is
-   real — so tripping it means the event core genuinely lost its edge. *)
+(* Performance regression guard: compare the fresh estimates of the
+   guarded kernels against the checked-in baseline JSON (the previous
+   --perf run's output at the same path) and fail loudly on a big
+   regression.  2× is deliberately loose — micro-benchmark noise on
+   shared machines is real — so tripping it means the kernel genuinely
+   lost its edge.  Guarded: the spatial event-core kernels (PR 4/6) and
+   the Newton/batch solver kernels (PR 9). *)
+let guarded_kernel name =
+  (String.length name >= 11 && String.sub name 0 11 = "spatial_sim")
+  || name = "newton_cold_n50"
+  || name = "batch_sweep_cw64"
+
 let check_against_baseline path estimates =
   let baseline_kernels =
     match open_in path with
@@ -300,10 +339,7 @@ let check_against_baseline path estimates =
       let regressions =
         List.filter_map
           (fun (name, ns) ->
-            if
-              String.length name >= 11
-              && String.sub name 0 11 = "spatial_sim"
-            then
+            if guarded_kernel name then
               match Option.bind (Telemetry.Jsonx.member name kernels) kernel_ns with
               | Some old_ns when Float.is_finite old_ns && old_ns > 0. ->
                   let factor = ns /. old_ns in
@@ -318,7 +354,7 @@ let check_against_baseline path estimates =
         List.iter
           (fun (name, factor) ->
             Printf.eprintf
-              "perf: spatial kernel %s regressed %.2fx vs baseline %s (limit 2x)\n"
+              "perf: kernel %s regressed %.2fx vs baseline %s (limit 2x)\n"
               name factor path)
           regressions;
         exit 1
@@ -452,6 +488,16 @@ let run ~out () =
       Printf.printf "tracing overhead: %.0f -> %.0f ns/run (%+.2f%%)\n" base
         traced
         (100. *. (traced -. base) /. base)
+  | _ -> ());
+  (* The PR-9 acceptance ratio: the cold heterogeneous Newton solve
+     against the Picard reference on the same 50-class problem. *)
+  (match
+     ( List.assoc_opt "newton_cold_n50" estimates,
+       List.assoc_opt "picard_cold_n50" estimates )
+   with
+  | Some newton, Some picard when newton > 0. ->
+      Printf.printf "newton cold solve: %.0f ns/run vs picard %.0f ns/run (%.1fx)\n"
+        newton picard (picard /. newton)
   | _ -> ());
   (* The traced kernel left wrapped rings behind; empty them so the
      process exits with clean recorder state. *)

@@ -1,0 +1,124 @@
+(* The Newton solver core promises to accelerate the class-space fixed
+   point, not to move it: Newton and Picard must land on the same (τ, p)
+   to ≤1e-10 relative on every problem the stack actually solves.  These
+   checks run both algorithms on the 14-point equivalence-grid profiles
+   (class-reduced, spanning both access modes and uniform/mixed windows)
+   plus a set of multi-knob strategy-class problems exercising the AIFS
+   eligibility term of the Jacobian.  Any Newton bug that survives the
+   accept-only-contracting-steps guard — a wrong Jacobian sign, a missing
+   eligibility product-rule term, a bad Sherman–Morrison denominator —
+   shows up here as a relative gap far above 1e-10. *)
+
+let tolerance = 1e-10
+
+let rel_diff a b =
+  let scale = Float.max 1e-12 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) /. scale
+
+(* Worst relative discrepancy between two class solutions, over every τ
+   and p.  Infinite when either solve failed to converge or the shapes
+   disagree — a solver that cannot finish both ways has no business
+   passing an equivalence check. *)
+let margin_of (newton : Dcf.Solver.class_solution)
+    (picard : Dcf.Solver.class_solution) =
+  if not (newton.converged && picard.converged) then infinity
+  else if
+    List.length newton.class_pairs <> List.length picard.class_pairs
+  then infinity
+  else
+    List.fold_left2
+      (fun acc (tau_n, p_n) (tau_p, p_p) ->
+        Float.max acc (Float.max (rel_diff tau_n tau_p) (rel_diff p_n p_p)))
+      0. newton.class_pairs picard.class_pairs
+    /. tolerance
+
+(* Class-reduce an equivalence-grid profile the same way solve_profile
+   does: distinct windows sorted ascending. *)
+let classes_of_profile profile =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      Hashtbl.replace tbl w
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w)))
+    profile;
+  Hashtbl.fold (fun w k acc -> (w, k) :: acc) tbl [] |> List.sort compare
+
+let strategy ~cw ~aifs ~txop ~rate =
+  { Dcf.Strategy_space.cw; aifs; txop_frames = txop; rate }
+
+(* Multi-knob strategy-class problems: AIFS asymmetry (the eligibility
+   term of the Jacobian), TXOP/rate knobs (inert in the fixed point but
+   part of the class identity), small windows (strong coupling, where a
+   naive undamped Newton would overshoot), and a wide 20-class ladder
+   matching the perf kernel's shape. *)
+let strategy_problems =
+  [
+    ( "strategy.aifs_pair",
+      [ (strategy ~cw:32 ~aifs:0 ~txop:1 ~rate:1., 3);
+        (strategy ~cw:32 ~aifs:2 ~txop:1 ~rate:1., 3) ] );
+    ( "strategy.aifs_txop_mix",
+      [ (strategy ~cw:16 ~aifs:1 ~txop:3 ~rate:1., 2);
+        (strategy ~cw:64 ~aifs:0 ~txop:1 ~rate:2., 5);
+        (strategy ~cw:128 ~aifs:3 ~txop:2 ~rate:0.5, 4) ] );
+    ( "strategy.small_windows",
+      [ (strategy ~cw:2 ~aifs:1 ~txop:1 ~rate:1., 2);
+        (strategy ~cw:4 ~aifs:0 ~txop:1 ~rate:1., 3) ] );
+    ( "strategy.ladder20",
+      List.init 20 (fun i ->
+          (strategy ~cw:(64 + (8 * i)) ~aifs:(i mod 3) ~txop:1 ~rate:1., 1))
+    );
+  ]
+
+let grid_check ?telemetry (point : Equivalence.point) =
+  let id = "solver_core.grid." ^ point.id in
+  let classes = classes_of_profile point.profile in
+  let check =
+    match
+      ( Dcf.Solver.solve_classes ~algo:Newton point.params classes,
+        Dcf.Solver.solve_classes ~algo:Picard point.params classes )
+    with
+    | newton, picard ->
+        Check.v ~id ~group:"solver_core" ~margin:(margin_of newton picard)
+          ~detail:
+            (Printf.sprintf
+               "newton %d iters vs picard %d iters, %d classes, <=%.0e rel"
+               newton.iterations picard.iterations (List.length classes)
+               tolerance)
+          ()
+    | exception exn ->
+        Check.v ~id ~group:"solver_core" ~margin:infinity
+          ~detail:("raised: " ^ Printexc.to_string exn)
+          ()
+  in
+  Check.emit ?telemetry check;
+  check
+
+let strategy_check ?telemetry (name, classes) =
+  let id = "solver_core." ^ name in
+  let params = Dcf.Params.default in
+  let check =
+    match
+      ( Dcf.Solver.solve_strategy_classes ~algo:Newton params classes,
+        Dcf.Solver.solve_strategy_classes ~algo:Picard params classes )
+    with
+    | newton, picard ->
+        Check.v ~id ~group:"solver_core" ~margin:(margin_of newton picard)
+          ~detail:
+            (Printf.sprintf
+               "newton %d iters vs picard %d iters, %d classes, <=%.0e rel"
+               newton.iterations picard.iterations (List.length classes)
+               tolerance)
+          ()
+    | exception exn ->
+        Check.v ~id ~group:"solver_core" ~margin:infinity
+          ~detail:("raised: " ^ Printexc.to_string exn)
+          ()
+  in
+  Check.emit ?telemetry check;
+  check
+
+let checks ?telemetry ~tier () =
+  if not (Check.runs_in Check.Fast ~at:tier) then []
+  else
+    List.map (grid_check ?telemetry) (Equivalence.points ~tier:Check.Full)
+    @ List.map (strategy_check ?telemetry) strategy_problems

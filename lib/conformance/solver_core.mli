@@ -1,0 +1,15 @@
+(** Newton-vs-Picard equivalence group.
+
+    The damped-Newton class solver (PR 9) must agree with the reference
+    damped Picard iteration to ≤1e-10 relative on every (τ, p) it
+    produces — across the class-reduced 14-point equivalence grid and a
+    set of multi-knob strategy-class problems that exercise the AIFS
+    eligibility term of the analytic Jacobian.  Both solves must also
+    report [converged = true]; a solve that cannot finish both ways fails
+    with an infinite margin.  Fast tier: pure analytic solves, a few
+    milliseconds total. *)
+
+val checks :
+  ?telemetry:Telemetry.Registry.t -> tier:Check.tier -> unit -> Check.t list
+(** Run the group (fast tier and up), emitting each check on
+    [telemetry]. *)

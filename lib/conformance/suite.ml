@@ -22,6 +22,7 @@ let run ?telemetry ?(golden_dir = default_golden_dir) ~tier () =
   let checks =
     equivalence_checks ?telemetry ~tier ()
     @ Degenerate.checks ?telemetry ~tier ()
+    @ Solver_core.checks ?telemetry ~tier ()
     @ Anchors.checks ?telemetry ~tier ()
     @ Serving.checks ?telemetry ~tier ()
     @ Golden.checks ?telemetry ~tier ~dir:golden_dir ()

@@ -17,6 +17,8 @@ type tier = Memo | Store | Cold
 
 let tier_name = function Memo -> "memo" | Store -> "store" | Cold -> "cold"
 
+exception Non_converged of string
+
 (* A solved heterogeneous profile is stored per strategy class: distinct
    strategies in the canonical (sorted) order, one utility each.  Equal
    strategies share (τ, p) by symmetry, so one float per class answers
@@ -34,8 +36,13 @@ type t = {
   store_hits : Telemetry.Metric.counter;
   store_misses : Telemetry.Metric.counter;
   warm_used : Telemetry.Metric.counter;
+  nonconverged : Telemetry.Metric.counter;
   warm_iters : Telemetry.Metric.histogram;
   cold_iters : Telemetry.Metric.histogram;
+  (* Iteration budget handed to the analytic class solvers; None means the
+     solver defaults.  Exists so tests (and cautious deployments) can
+     force the non-convergence path and watch it refuse, not fabricate. *)
+  solver_max_iter : int option;
   lock : Mutex.t;
   uniform_memo : (int * Dcf.Strategy_space.t, uniform_view) Hashtbl.t;
   profile_memo : (Dcf.Strategy_space.t list, classes) Hashtbl.t;
@@ -213,9 +220,13 @@ let classes_of_json json =
   | _ -> None
 
 let create ?(telemetry = Telemetry.Registry.default) ?p_hn
-    ?(backend = Analytic) ?store ?(warm_start = false) (params : Dcf.Params.t)
-    =
+    ?(backend = Analytic) ?store ?(warm_start = false) ?solver_max_iter
+    (params : Dcf.Params.t) =
   validate_backend backend;
+  (match solver_max_iter with
+  | Some i when i < 1 ->
+      invalid_arg "Oracle.create: solver_max_iter must be >= 1"
+  | _ -> ());
   (match p_hn with
   | Some f when f <= 0. || f > 1. ->
       invalid_arg "Oracle.create: p_hn must be in (0, 1]"
@@ -259,6 +270,9 @@ let create ?(telemetry = Telemetry.Registry.default) ?p_hn
     store_hits = Telemetry.Registry.counter telemetry "oracle.store.hits";
     store_misses = Telemetry.Registry.counter telemetry "oracle.store.misses";
     warm_used = Telemetry.Registry.counter telemetry "oracle.warmstart.used";
+    nonconverged =
+      Telemetry.Registry.counter telemetry "oracle.solve.nonconverged";
+    solver_max_iter;
     warm_iters =
       Telemetry.Registry.histogram telemetry "oracle.solve.iterations.warm";
     cold_iters =
@@ -341,6 +355,19 @@ let note_iterations t ~warm iters =
   let h = if warm then t.warm_iters else t.cold_iters in
   Telemetry.Metric.observe h (float_of_int iters);
   if warm then Telemetry.Metric.incr t.warm_used
+
+(* A non-converged fixed point must never masquerade as an answer:
+   raising here (before any [memo_insert] or [store_put] runs) keeps the
+   memo, the persistent store, and every serve reply free of fabricated
+   rows. *)
+let refuse_nonconverged t what =
+  Telemetry.Metric.incr t.nonconverged;
+  raise
+    (Non_converged
+       (Printf.sprintf "solver did not converge on %s%s" what
+          (match t.solver_max_iter with
+          | Some i -> Printf.sprintf " (max_iter=%d)" i
+          | None -> "")))
 
 (* Store access around a memo miss.  Values round-trip bit-faithfully
    (Jsonx renders floats at full precision), so an answer served from
@@ -434,11 +461,13 @@ let solve_uniform t ~n ~s =
   | Analytic ->
       let iters = ref 0 in
       let solved =
-        Dcf.Model.solve_strategies ?p_hn:t.p_hn ~iterations:iters t.params
-          (Array.make n s)
+        Dcf.Model.solve_strategies ?p_hn:t.p_hn ~iterations:iters
+          ?max_iter:t.solver_max_iter t.params (Array.make n s)
       in
       note_iterations t ~warm:false !iters;
       Telemetry.Metric.incr t.solves;
+      if not solved.Dcf.Model.converged then
+        refuse_nonconverged t (uniform_key ~n s);
       {
         tau = solved.Dcf.Model.taus.(0);
         p = solved.Dcf.Model.ps.(0);
@@ -551,38 +580,52 @@ let classes_of (sorted : Dcf.Strategy_space.t array) utilities =
   done;
   Array.of_list (List.rev !acc)
 
-let solve_profile t (sorted : Dcf.Strategy_space.t array) =
+(* Solve a canonical sorted profile, returning the per-class utilities and
+   the per-class (strategy, τ) pairs — the latter feed batch warm starts.
+   [tau_hint], when given (a batch context), overrides the oracle-level
+   warm-start neighbour search. *)
+let solve_profile ?tau_hint t (sorted : Dcf.Strategy_space.t array) =
   match t.backend with
   | Analytic when Profile.is_degenerate sorted ->
       let n = Array.length sorted in
       let cws = Profile.cws sorted in
       let tau_hint =
-        if t.warm_start then
-          Some
-            (fun w ->
-              Mutex.lock t.lock;
-              let tau = Hashtbl.find_opt t.neighbor_taus (n, w) in
-              Mutex.unlock t.lock;
-              tau)
-        else None
+        match tau_hint with
+        | Some hint ->
+            Some (fun w -> hint (Dcf.Strategy_space.of_cw w))
+        | None ->
+            if t.warm_start then
+              Some
+                (fun w ->
+                  Mutex.lock t.lock;
+                  let tau = Hashtbl.find_opt t.neighbor_taus (n, w) in
+                  Mutex.unlock t.lock;
+                  tau)
+            else None
       in
       let iters = ref 0 in
       let solved =
         Dcf.Model.solve_profile ?p_hn:t.p_hn ~iterations:iters ?tau_hint
-          t.params cws
+          ?max_iter:t.solver_max_iter t.params cws
       in
       note_iterations t ~warm:(tau_hint <> None) !iters;
       Telemetry.Metric.incr t.solves;
-      classes_of sorted solved.Dcf.Model.utilities
+      if not solved.Dcf.Model.converged then
+        refuse_nonconverged t (profile_key sorted);
+      ( classes_of sorted solved.Dcf.Model.utilities,
+        classes_of sorted solved.Dcf.Model.taus )
   | Analytic ->
       let iters = ref 0 in
       let solved =
-        Dcf.Model.solve_strategies ?p_hn:t.p_hn ~iterations:iters t.params
-          sorted
+        Dcf.Model.solve_strategies ?p_hn:t.p_hn ~iterations:iters ?tau_hint
+          ?max_iter:t.solver_max_iter t.params sorted
       in
-      note_iterations t ~warm:false !iters;
+      note_iterations t ~warm:(tau_hint <> None) !iters;
       Telemetry.Metric.incr t.solves;
-      classes_of sorted solved.Dcf.Model.utilities
+      if not solved.Dcf.Model.converged then
+        refuse_nonconverged t (profile_key sorted);
+      ( classes_of sorted solved.Dcf.Model.utilities,
+        classes_of sorted solved.Dcf.Model.taus )
   | Sim_slotted _ | Sim_spatial _ ->
       let reps = replicate_estimates t ~key:(profile_key sorted) sorted in
       let n = Array.length sorted in
@@ -595,7 +638,7 @@ let solve_profile t (sorted : Dcf.Strategy_space.t array) =
               means.(i) <- means.(i) +. (e.payoff_rate /. count))
             per_node)
         reps;
-      classes_of sorted means
+      (classes_of sorted means, [||])
 
 let class_utility (classes : classes) s =
   let rec find i =
@@ -608,9 +651,60 @@ let class_utility (classes : classes) s =
   in
   find 0
 
-let payoffs_profile_outcome t (profile : Profile.t) =
+(* {2 Batch evaluation: sweep-column warm starts}
+
+   A batch context carries the class τs of every profile it has solved,
+   so consecutive cold solves in a sweep start from the previous point's
+   fixed point instead of the no-collision guess.  Contexts are cheap,
+   single-threaded by design (one per sweep column / serve batch
+   envelope), and only influence *cold* solves — memo and store tiers are
+   untouched.  Like [warm_start], a batch-warm answer agrees with the
+   cold solve at tolerance level, not bit level. *)
+
+type batch = {
+  owner : t;
+  batch_taus : (string, Dcf.Strategy_space.t * float) Hashtbl.t;
+}
+
+let batch t = { owner = t; batch_taus = Hashtbl.create 32 }
+
+let batch_hint b (s : Dcf.Strategy_space.t) =
+  match Hashtbl.find_opt b.batch_taus (Dcf.Strategy_space.to_key s) with
+  | Some (_, tau) -> Some tau
+  | None ->
+      (* Nearest previously-solved class by CW, rescaled by the
+         no-collision ratio — the same neighbour model as the oracle-level
+         warm start. *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun _ ((s' : Dcf.Strategy_space.t), tau) ->
+          let d = abs (s'.Dcf.Strategy_space.cw - s.Dcf.Strategy_space.cw) in
+          match !best with
+          | Some (d0, _, _) when d0 <= d -> ()
+          | _ -> best := Some (d, s'.Dcf.Strategy_space.cw, tau))
+        b.batch_taus;
+      Option.map
+        (fun (_, cw', tau) ->
+          let scaled =
+            tau *. float_of_int (cw' + 1) /. float_of_int (s.cw + 1)
+          in
+          if scaled > 0. && scaled < 1. then scaled else tau)
+        !best
+
+let batch_note b class_taus =
+  Array.iter
+    (fun ((s : Dcf.Strategy_space.t), tau) ->
+      if tau > 0. && tau < 1. then
+        Hashtbl.replace b.batch_taus (Dcf.Strategy_space.to_key s) (s, tau))
+    class_taus
+
+let payoffs_profile_outcome ?batch t (profile : Profile.t) =
   let n = Array.length profile in
   if n = 0 then invalid_arg "Oracle.payoffs: empty profile";
+  (match batch with
+  | Some b when b.owner != t ->
+      invalid_arg "Oracle.payoffs: batch context belongs to another oracle"
+  | _ -> ());
   Array.iter
     (fun (s : Dcf.Strategy_space.t) ->
       if s.cw < 1 then invalid_arg "Oracle.payoffs: window must be >= 1";
@@ -639,9 +733,17 @@ let payoffs_profile_outcome t (profile : Profile.t) =
               Telemetry.Recorder.instant recorder nid_store_hit n w0;
               (memo_insert t t.profile_memo key classes, Store)
           | None ->
-              let solved =
-                recorded_solve n w0 (fun () -> solve_profile t sorted)
+              let tau_hint =
+                match batch with
+                | Some b when Hashtbl.length b.batch_taus > 0 ->
+                    Some (batch_hint b)
+                | _ -> None
               in
+              let solved, class_taus =
+                recorded_solve n w0 (fun () ->
+                    solve_profile ?tau_hint t sorted)
+              in
+              Option.iter (fun b -> batch_note b class_taus) batch;
               let classes = memo_insert t t.profile_memo key solved in
               store_put t
                 (fun () -> profile_store_key t sorted)
@@ -652,6 +754,19 @@ let payoffs_profile_outcome t (profile : Profile.t) =
   end
 
 let payoffs_profile t profile = fst (payoffs_profile_outcome t profile)
+
+let payoffs_batch_outcome t profiles =
+  let b = batch t in
+  Array.map
+    (fun profile ->
+      match payoffs_profile_outcome ~batch:b t profile with
+      | result -> Ok result
+      | exception Non_converged reason -> Error reason)
+    profiles
+
+let payoffs_batch t profiles =
+  let b = batch t in
+  Array.map (fun p -> fst (payoffs_profile_outcome ~batch:b t p)) profiles
 
 let payoffs_outcome t cws = payoffs_profile_outcome t (Profile.of_cws cws)
 let payoffs t cws = fst (payoffs_outcome t cws)

@@ -121,12 +121,21 @@ val tier_name : tier -> string
 (** ["memo"], ["store"] or ["cold"] — the wire vocabulary of the serving
     layer's replies and counters. *)
 
+exception Non_converged of string
+(** Raised (instead of returning a fabricated answer) when the analytic
+    fixed point fails to converge within its iteration budget.  Raising
+    happens {e before} any memo insert or store write, so non-converged
+    solves can never be memoized, persisted, or served; each refusal bumps
+    the ["oracle.solve.nonconverged"] counter.  The serving layer maps
+    this to an error reply. *)
+
 type t
 
 val create :
   ?telemetry:Telemetry.Registry.t ->
   ?p_hn:float -> ?backend:backend ->
-  ?store:Store.t -> ?warm_start:bool -> Dcf.Params.t -> t
+  ?store:Store.t -> ?warm_start:bool -> ?solver_max_iter:int ->
+  Dcf.Params.t -> t
 (** [create params] builds an oracle with an empty memo.  [backend]
     defaults to [Analytic].  [p_hn] is the hidden-node degradation factor
     applied to analytic utilities (default 1); the simulated backends
@@ -143,7 +152,12 @@ val create :
     v1 rows).  [warm_start] (default [false]) additionally
     seeds analytic solves from the nearest solved neighbour — trading the
     bit-stability of cold solves for fewer iterations; leave it off
-    wherever bit-identity with {!Dcf.Model} is asserted. *)
+    wherever bit-identity with {!Dcf.Model} is asserted.
+
+    [solver_max_iter] (≥ 1) bounds the analytic class solver's iteration
+    budget (the Brent uniform path is unaffected).  Solves that exhaust
+    it raise {!Non_converged} instead of answering — the oracle never
+    memoizes, persists, or serves a non-converged fixed point. *)
 
 val analytic : ?telemetry:Telemetry.Registry.t -> ?p_hn:float -> Dcf.Params.t -> t
 (** [analytic params] = [create ~backend:Analytic params]. *)
@@ -207,8 +221,43 @@ val payoffs_profile : t -> Profile.t -> float array
     degenerate profiles are bit-identical to the CW-only {!payoffs}
     shorthand. *)
 
-val payoffs_profile_outcome : t -> Profile.t -> float array * tier
-(** Like {!payoffs_profile}, also reporting which tier answered. *)
+(** {2 Batch evaluation}
+
+    Sweep columns and the serve daemon's batch envelopes evaluate many
+    neighbouring profiles in sequence; a batch context lets each cold
+    solve start from the previous point's class τs (the multi-knob end of
+    the warm-start throughline), which typically cuts a cold Newton solve
+    to a handful of accepted steps.  Contexts are single-threaded by
+    design — create one per sweep column, not one per oracle.  Like
+    [warm_start], batch-warm answers agree with cold solves at tolerance
+    level, not bit level; the memoized/persisted entry is whichever solve
+    ran first. *)
+
+type batch
+(** Mutable warm-start context accumulating (strategy, τ) pairs across
+    the profiles solved through it. *)
+
+val batch : t -> batch
+(** A fresh, empty context for this oracle.  Passing it to another
+    oracle's evaluations is refused with [Invalid_argument]. *)
+
+val payoffs_profile_outcome :
+  ?batch:batch -> t -> Profile.t -> float array * tier
+(** Like {!payoffs_profile}, also reporting which tier answered.  [batch]
+    threads a sweep context (see {!batch}) whose accumulated class τs
+    warm-start this evaluation's cold solve — memo and store tiers are
+    unaffected. *)
+
+val payoffs_batch_outcome :
+  t -> Profile.t array -> (float array * tier, string) result array
+(** Evaluate a sweep column in order under one fresh batch context.
+    Each element is [Ok (payoffs, tier)] or [Error reason] when that
+    profile's solve raised {!Non_converged} — one diverging point does
+    not poison the rest of the column. *)
+
+val payoffs_batch : t -> Profile.t array -> float array array
+(** Like {!payoffs_batch_outcome} but returning the payoffs only.
+    @raise Non_converged on the first non-converged profile. *)
 
 val payoffs : t -> int array -> float array
 (** CW-only shorthand: [payoffs t cws] =

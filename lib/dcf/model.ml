@@ -5,19 +5,39 @@ type solved = {
   ps : float array;
   metrics : Metrics.t;
   utilities : float array;
+  converged : bool;
 }
 
 let solve ?p_hn (params : Params.t) cws =
   let solution = Solver.solve params cws in
   let metrics = Metrics.of_solution params solution in
   let utilities = Utility.rates ?p_hn params ~taus:solution.taus ~ps:solution.ps in
-  { params; cws; taus = solution.taus; ps = solution.ps; metrics; utilities }
+  {
+    params;
+    cws;
+    taus = solution.taus;
+    ps = solution.ps;
+    metrics;
+    utilities;
+    converged = solution.converged;
+  }
 
-let solve_profile ?p_hn ?iterations ?tau_hint (params : Params.t) cws =
-  let solution = Solver.solve_profile ?iterations ?tau_hint params cws in
+let solve_profile ?p_hn ?iterations ?tau_hint ?max_iter (params : Params.t)
+    cws =
+  let solution =
+    Solver.solve_profile ?iterations ?tau_hint ?max_iter params cws
+  in
   let metrics = Metrics.of_solution params solution in
   let utilities = Utility.rates ?p_hn params ~taus:solution.taus ~ps:solution.ps in
-  { params; cws; taus = solution.taus; ps = solution.ps; metrics; utilities }
+  {
+    params;
+    cws;
+    taus = solution.taus;
+    ps = solution.ps;
+    metrics;
+    utilities;
+    converged = solution.converged;
+  }
 
 type strategy_solved = {
   params : Params.t;
@@ -27,13 +47,15 @@ type strategy_solved = {
   slot_time : float;
   utilities : float array;
   goodputs : float array;
+  converged : bool;
 }
 
 (* The degenerate branch routes through [solve_profile] verbatim so the
    CW-only subspace inherits its bit-identity guarantee structurally; the
    general branch prices per-strategy channel occupancy through the
    heterogeneous slot model. *)
-let solve_strategies ?p_hn ?iterations (params : Params.t) strategies =
+let solve_strategies ?p_hn ?iterations ?tau_hint ?max_iter (params : Params.t)
+    strategies =
   let n = Array.length strategies in
   if n = 0 then invalid_arg "Model.solve_strategies: empty network";
   Array.iter
@@ -44,7 +66,11 @@ let solve_strategies ?p_hn ?iterations (params : Params.t) strategies =
     strategies;
   if Array.for_all Strategy_space.is_degenerate strategies then begin
     let cws = Array.map (fun (s : Strategy_space.t) -> s.cw) strategies in
-    let s = solve_profile ?p_hn ?iterations params cws in
+    (* Adapt the strategy-keyed hint to the window-keyed profile path. *)
+    let tau_hint =
+      Option.map (fun hint w -> hint (Strategy_space.of_cw w)) tau_hint
+    in
+    let s = solve_profile ?p_hn ?iterations ?tau_hint ?max_iter params cws in
     {
       params;
       strategies;
@@ -53,6 +79,7 @@ let solve_strategies ?p_hn ?iterations (params : Params.t) strategies =
       slot_time = s.metrics.slot_time;
       utilities = s.utilities;
       goodputs = s.metrics.per_node_throughput;
+      converged = s.converged;
     }
   end
   else begin
@@ -71,12 +98,13 @@ let solve_strategies ?p_hn ?iterations (params : Params.t) strategies =
       |> List.sort (fun (a, _) (b, _) -> Strategy_space.compare a b)
     in
     let solved =
-      Solver.solve_strategy_classes ?iterations params class_list
+      Solver.solve_strategy_classes ?iterations ?tau_hint ?max_iter params
+        class_list
     in
     let by_key = Hashtbl.create 8 in
     List.iter2
       (fun (s, _) tp -> Hashtbl.replace by_key (Strategy_space.to_key s) tp)
-      class_list solved;
+      class_list solved.class_pairs;
     let pair i = Hashtbl.find by_key (Strategy_space.to_key strategies.(i)) in
     let taus = Array.init n (fun i -> fst (pair i)) in
     let ps = Array.init n (fun i -> snd (pair i)) in
@@ -107,6 +135,7 @@ let solve_strategies ?p_hn ?iterations (params : Params.t) strategies =
       slot_time = hetero.slot_time;
       utilities;
       goodputs = hetero.per_node_goodput;
+      converged = solved.converged;
     }
   end
 
@@ -136,16 +165,21 @@ let homogeneous ?p_hn (params : Params.t) ~n ~w =
 let homogeneous_welfare ?p_hn params ~n ~w =
   float_of_int n *. (homogeneous ?p_hn params ~n ~w).utility
 
-type deviation_view = { deviant : node_view; conformer : node_view }
+type deviation_view = {
+  deviant : node_view;
+  conformer : node_view;
+  converged : bool;
+}
 
 let with_deviant ?p_hn (params : Params.t) ~n ~w ~w_dev =
-  let (tau_dev, p_dev), (tau, p) =
-    Solver.solve_with_deviant params ~n ~w ~w_dev
-  in
+  let sol = Solver.solve_with_deviant params ~n ~w ~w_dev in
+  let tau_dev, p_dev = sol.deviant in
+  let tau, p = sol.conformer in
   let taus = Array.make n tau in
   taus.(0) <- tau_dev;
   let metrics = Metrics.of_taus params taus in
   {
     deviant = view_of ?p_hn params metrics ~tau:tau_dev ~p:p_dev ~index:0;
     conformer = view_of ?p_hn params metrics ~tau ~p ~index:1;
+    converged = sol.converged;
   }

@@ -12,6 +12,9 @@ type solved = {
   ps : float array;
   metrics : Metrics.t;
   utilities : float array;  (** payoff rates u_i *)
+  converged : bool;
+      (** whether the underlying fixed point actually converged — callers
+          that persist or serve answers must check this *)
 }
 
 val solve : ?p_hn:float -> Params.t -> int array -> solved
@@ -21,12 +24,12 @@ val solve : ?p_hn:float -> Params.t -> int array -> solved
 
 val solve_profile :
   ?p_hn:float -> ?iterations:int ref -> ?tau_hint:(int -> float option) ->
-  Params.t -> int array -> solved
+  ?max_iter:int -> Params.t -> int array -> solved
 (** Like {!solve} but through {!Solver.solve_profile}: the fixed point is
     class-reduced over distinct windows, so equal windows get bit-identical
     (τ, p, u) and the result is invariant under profile permutation.  The
-    payoff oracle's heterogeneous path.  [iterations] and [tau_hint] pass
-    through to {!Solver.solve_profile} (warm start). *)
+    payoff oracle's heterogeneous path.  [iterations], [tau_hint] (warm
+    start) and [max_iter] pass through to {!Solver.solve_profile}. *)
 
 type strategy_solved = {
   params : Params.t;
@@ -39,11 +42,13 @@ type strategy_solved = {
   goodputs : float array;
       (** per-node normalised goodput (burst payload credited to the
           access) *)
+  converged : bool;  (** threaded from the underlying class solve *)
 }
 
 val solve_strategies :
-  ?p_hn:float -> ?iterations:int ref -> Params.t ->
-  Strategy_space.t array -> strategy_solved
+  ?p_hn:float -> ?iterations:int ref ->
+  ?tau_hint:(Strategy_space.t -> float option) -> ?max_iter:int ->
+  Params.t -> Strategy_space.t array -> strategy_solved
 (** Solve a full multi-knob strategy profile.  When every strategy is
     degenerate (CW-only) this delegates to {!solve_profile} verbatim, so
     the degenerate subspace reproduces the CW-only answers bit-identically
@@ -52,7 +57,10 @@ val solve_strategies :
     Otherwise: contention via {!Solver.solve_strategy_classes} (AIFS
     eligibility coupling), channel occupancy via {!Hetero.of_profile} with
     per-strategy burst/rate durations, and payoffs via
-    {!Utility.rate_of_strategy}. *)
+    {!Utility.rate_of_strategy}.  [tau_hint] warm-starts the class solve
+    (strategy-keyed; on the degenerate branch it is adapted to the
+    window-keyed {!solve_profile} hint), and [max_iter] bounds the
+    underlying iteration — both pass straight through to the solver. *)
 
 type node_view = {
   tau : float;
@@ -70,9 +78,15 @@ val homogeneous_welfare : ?p_hn:float -> Params.t -> n:int -> w:int -> float
 (** n·u for the symmetric network: the global payoff rate plotted in
     Figures 2–3 (up to the constant C). *)
 
-type deviation_view = { deviant : node_view; conformer : node_view }
+type deviation_view = {
+  deviant : node_view;
+  conformer : node_view;
+  converged : bool;
+}
 
 val with_deviant :
   ?p_hn:float -> Params.t -> n:int -> w:int -> w_dev:int -> deviation_view
 (** Views of both classes when one node plays [w_dev] against n−1 nodes on
-    [w] (Lemma 4's configuration), via the fast two-class solve. *)
+    [w] (Lemma 4's configuration), via the fast two-class solve.
+    [converged] reports the underlying two-dimensional fixed point's real
+    outcome. *)

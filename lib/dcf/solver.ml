@@ -5,6 +5,21 @@ type solution = {
   converged : bool;
 }
 
+type algo = Newton | Picard
+
+type class_solution = {
+  class_pairs : (float * float) list;
+  iterations : int;
+  converged : bool;
+}
+
+type deviant_solution = {
+  deviant : float * float;
+  conformer : float * float;
+  iterations : int;
+  converged : bool;
+}
+
 (* p_i = 1 − Π_{j≠i}(1 − τ_j), computed with prefix/suffix products so a
    node with τ_j = 1 (window 1, always transmitting) does not force a
    division by zero. *)
@@ -90,8 +105,163 @@ let solve_homogeneous ?(telemetry = Telemetry.Registry.default) ?iterations
     (tau, p_of_tau tau)
   end
 
+(* ---------------------------------------------------------------- *)
+(* Class-space fixed points: shared Newton/Picard machinery.         *)
+(* ---------------------------------------------------------------- *)
+
+(* x^k for the small integer class counts of the hot loops.  The k ≤ 1
+   cases bypass [( ** )] — IEEE pow pins pow(x, 0) = 1 and pow(x, 1) = x
+   exactly, so the fast path is bit-identical to the pow the pre-Newton
+   solver called, while skipping a libm call per class per iteration
+   (singleton classes dominate heterogeneous sweeps). *)
+let powk x k =
+  if k = 0 then 1.
+  else if k = 1 then x
+  else x ** float_of_int k
+
+(* Per-class collision probabilities at an iterate: Π over everyone,
+   then divide out one copy of the own class.  The τ_j ≥ 1 branch
+   recomputes the product excluding one member to avoid 0/0; it is the
+   same arithmetic the pre-Newton solver performed, kept bit-identical
+   because the degenerate conformance group pins this path. *)
+let class_ps ~ks taus =
+  let c = Array.length taus in
+  let product = ref 1. in
+  for j = 0 to c - 1 do
+    product := !product *. powk (1. -. taus.(j)) ks.(j)
+  done;
+  Array.init c (fun j ->
+      let others =
+        if taus.(j) >= 1. then begin
+          let rest = ref (powk (1. -. taus.(j)) (ks.(j) - 1)) in
+          for j' = 0 to c - 1 do
+            if j' <> j then
+              rest := !rest *. powk (1. -. taus.(j')) ks.(j')
+          done;
+          !rest
+        end
+        else !product /. (1. -. taus.(j))
+      in
+      Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others))
+
+(* Newton step for the class-space map g_j(τ) = φ_j(p_j(τ)), exploiting
+   the rank-one structure of the Jacobian.  With O_j = Π_l(1−τ_l)^{k_l}
+   / (1−τ_j) and p_j = 1 − O_j,
+
+      ∂p_j/∂τ_i = (k_i − δ_ij)·O_j/(1−τ_i)
+      J_ji = φ'_j(p_j)·(k_i − δ_ij)·O_j/(1−τ_i) = u_j·v_i − δ_ij·u_j/(1−τ_j)
+
+   with u_j = φ'_j(p_j)·O_j and v_i = k_i/(1−τ_i).  The Newton system
+   (I − J)·δ = defect is therefore (D − u·vᵀ)·δ = defect with
+   D = diag(1 + u_j/(1−τ_j)), solved in O(c) by Sherman–Morrison:
+
+      δ = D⁻¹d + D⁻¹u·(vᵀD⁻¹d)/(1 − vᵀD⁻¹u).
+
+   [dphi ~j ~p_j ~phi_j] supplies φ'_j; for the CW-only map φ_j = τB so
+   φ' = dτ/dp, and the AIFS map adds the eligibility factor's product
+   rule.  Returns [None] near the τ = 1 boundary (where the product
+   shortcut and the derivative both degenerate), on a near-singular
+   diagonal or denominator, and on any non-finite intermediate — the
+   caller then takes one damped Picard sweep instead. *)
+let rank_one_newton_step ~ks ~dphi taus defect =
+  let c = Array.length taus in
+  let usable = ref true in
+  for j = 0 to c - 1 do
+    if not (Float.is_finite taus.(j)) || taus.(j) >= 1. then usable := false
+  done;
+  if not !usable then None
+  else begin
+    let product = ref 1. in
+    for j = 0 to c - 1 do
+      product := !product *. powk (1. -. taus.(j)) ks.(j)
+    done;
+    (* Single fused pass: the Sherman–Morrison dot products v·D⁻¹d and
+       v·D⁻¹u accumulate alongside the per-class diagonal solves, so the
+       step costs two array writes and no temporary beyond them. *)
+    let d_inv_defect = Array.make c 0. in
+    let d_inv_u = Array.make c 0. in
+    (try
+       let v_dot_d = ref 0. and v_dot_u = ref 0. in
+       for j = 0 to c - 1 do
+         let one_m = 1. -. taus.(j) in
+         let o_j = !product /. one_m in
+         let p_j = Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. o_j) in
+         (* The map value at p_j is x_j + defect_j by construction (up to
+            one rounding), which lets dphi reuse it instead of re-deriving
+            τB(w, p_j) — a derivative-only shortcut, never a τ result. *)
+         let phi_j = taus.(j) +. defect.(j) in
+         let u_j = dphi ~j ~p_j ~phi_j *. o_j in
+         let d_j = 1. +. (u_j /. one_m) in
+         if (not (Float.is_finite d_j)) || Float.abs d_j < 1e-12 then
+           raise Exit;
+         let did = defect.(j) /. d_j in
+         let diu = u_j /. d_j in
+         d_inv_defect.(j) <- did;
+         d_inv_u.(j) <- diu;
+         let v_j = float_of_int ks.(j) /. one_m in
+         v_dot_d := !v_dot_d +. (v_j *. did);
+         v_dot_u := !v_dot_u +. (v_j *. diu)
+       done;
+       let denom = 1. -. !v_dot_u in
+       if (not (Float.is_finite denom)) || Float.abs denom < 1e-12 then
+         raise Exit;
+       let scale = !v_dot_d /. denom in
+       let delta = d_inv_defect in
+       for j = 0 to c - 1 do
+         delta.(j) <- delta.(j) +. (d_inv_u.(j) *. scale)
+       done;
+       Some delta
+     with Exit -> None)
+  end
+
+let run_class_fixed_point ?telemetry ~algo ~tol ~max_iter ~step ~newton_step x0
+    =
+  match algo with
+  | Picard ->
+      let o =
+        Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter step
+          x0
+      in
+      (o.value, o.iterations, o.converged)
+  | Newton ->
+      let o =
+        Numerics.Newton.solve ?telemetry ~damping:0.5 ~tol ~max_iter ~lo:0.
+          ~hi:1. ~step:newton_step step x0
+      in
+      (o.value, o.iterations, o.converged)
+
+(* Cold-start seed for the Newton path: pool the whole network into one
+   homogeneous pseudo-class (count-weighted mean window) and Brent-solve
+   its scalar fixed point to 1e-6, then seed every class at its own
+   Bianchi response to the pooled collision probability.  That lands the
+   iterate 2–3 decades closer to the solution than the no-collision
+   2/(W+1) start and typically saves one or two quadratic steps — a
+   material fraction of a six-iteration solve.  The Picard path keeps the
+   legacy start untouched: it *is* the pre-Newton solver, bit for bit.
+   Returns [None] (caller falls back to 2/(W+1)) on trivial networks or
+   when the scalar proxy degenerates. *)
+let newton_cold_x0 ?telemetry (params : Params.t) ~ws ~ks =
+  let c = Array.length ws in
+  let n_total = Array.fold_left ( + ) 0 ks in
+  if n_total < 2 then None
+  else begin
+    let wsum = ref 0 in
+    for j = 0 to c - 1 do
+      wsum := !wsum + (ws.(j) * ks.(j))
+    done;
+    let mean_w = max 1 (!wsum / n_total) in
+    match solve_homogeneous ?telemetry ~tol:1e-6 params ~n:n_total ~w:mean_w with
+    | exception _ -> None
+    | _, p_star ->
+        if p_star > 0. && p_star < 1. then
+          Some
+            (Array.init c (fun j ->
+                 Bianchi.tau_of_p ~w:ws.(j) ~m:params.max_backoff_stage p_star))
+        else None
+  end
+
 let solve_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
-    (params : Params.t) classes =
+    ?(algo = Newton) ?(max_iter = 50_000) (params : Params.t) classes =
   if classes = [] then invalid_arg "Solver.solve_classes: no classes";
   List.iter
     (fun (w, k) ->
@@ -103,38 +273,85 @@ let solve_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
   let ks = Array.of_list (List.map snd classes) in
   let c = Array.length ws in
   let step taus =
-    (* Π over everyone, then divide out one copy of the own class. *)
-    let product = ref 1. in
+    let ps = class_ps ~ks taus in
+    Array.init c (fun j -> Bianchi.tau_of_p ~w:ws.(j) ~m ps.(j))
+  in
+  (* Specialised rank-one step for the CW-only map: the same algebra as
+     {!rank_one_newton_step} with φ' inlined in its τ form (−W·S·τ²/2,
+     cf. {!Bianchi.dtau_dp_at_tau}), saving a closure dispatch and a
+     clamp call per class in the innermost Jacobian loop — this is the
+     hot path of every cold heterogeneous solve.  Guards and fallback
+     behaviour are identical: any non-finite or near-singular
+     intermediate yields [None] and the caller takes a damped sweep. *)
+  let newton_step taus defect =
+    let c = Array.length taus in
+    let usable = ref true in
     for j = 0 to c - 1 do
-      product := !product *. ((1. -. taus.(j)) ** float_of_int ks.(j))
+      if not (Float.is_finite taus.(j)) || taus.(j) >= 1. then usable := false
     done;
-    Array.init c (fun j ->
-        let others =
-          if taus.(j) >= 1. then begin
-            (* Avoid 0/0: recompute the product excluding one member. *)
-            let rest = ref ((1. -. taus.(j)) ** float_of_int (ks.(j) - 1)) in
-            for j' = 0 to c - 1 do
-              if j' <> j then
-                rest := !rest *. ((1. -. taus.(j')) ** float_of_int ks.(j'))
-            done;
-            !rest
-          end
-          else !product /. (1. -. taus.(j))
-        in
-        let p = Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others) in
-        Bianchi.tau_of_p ~w:ws.(j) ~m p)
+    if not !usable then None
+    else begin
+      let product = ref 1. in
+      for j = 0 to c - 1 do
+        product := !product *. powk (1. -. taus.(j)) ks.(j)
+      done;
+      let d_inv_defect = Array.make c 0. in
+      let d_inv_u = Array.make c 0. in
+      try
+        let v_dot_d = ref 0. and v_dot_u = ref 0. in
+        for j = 0 to c - 1 do
+          let one_m = 1. -. taus.(j) in
+          let o_j = !product /. one_m in
+          let p_j = Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. o_j) in
+          let phi_j = taus.(j) +. defect.(j) in
+          let s = ref 0. and pow = ref 1. in
+          for i = 0 to m - 1 do
+            s := !s +. (float_of_int (i + 1) *. !pow);
+            pow := !pow *. 2. *. p_j
+          done;
+          let u_j =
+            -0.5 *. float_of_int ws.(j) *. !s *. phi_j *. phi_j *. o_j
+          in
+          let d_j = 1. +. (u_j /. one_m) in
+          if (not (Float.is_finite d_j)) || Float.abs d_j < 1e-12 then
+            raise Exit;
+          let did = defect.(j) /. d_j in
+          let diu = u_j /. d_j in
+          d_inv_defect.(j) <- did;
+          d_inv_u.(j) <- diu;
+          let v_j = float_of_int ks.(j) /. one_m in
+          v_dot_d := !v_dot_d +. (v_j *. did);
+          v_dot_u := !v_dot_u +. (v_j *. diu)
+        done;
+        let denom = 1. -. !v_dot_u in
+        if (not (Float.is_finite denom)) || Float.abs denom < 1e-12 then
+          raise Exit;
+        let scale = !v_dot_d /. denom in
+        let delta = d_inv_defect in
+        for j = 0 to c - 1 do
+          delta.(j) <- delta.(j) +. (d_inv_u.(j) *. scale)
+        done;
+        Some delta
+      with Exit -> None
+    end
   in
   (* Warm start: [tau_hint w] may seed a class with a τ from a
      neighbouring solved problem; classes without a hint start at the
-     no-collision value 2/(W+1).  The damped iteration contracts to the
-     same fixed point from any interior start (a property the test suite
+     no-collision value 2/(W+1).  Both iterations contract to the same
+     fixed point from any interior start (a property the test suite
      probes), so a hint changes the path, not the destination — at
      tolerance level, which is why warm-started answers carry a
      conformance anchor rather than a bit-identity claim. *)
   let default_x0 w = 2. /. float_of_int (w + 1) in
   let x0 =
     match tau_hint with
-    | None -> Array.map default_x0 ws
+    | None -> (
+        match algo with
+        | Newton -> (
+            match newton_cold_x0 ?telemetry params ~ws ~ks with
+            | Some x0 -> x0
+            | None -> Array.map default_x0 ws)
+        | Picard -> Array.map default_x0 ws)
     | Some hint ->
         Array.map
           (fun w ->
@@ -143,21 +360,16 @@ let solve_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
             | _ -> default_x0 w)
           ws
   in
-  let outcome =
-    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
-      step x0
+  let taus, iters, converged =
+    run_class_fixed_point ?telemetry ~algo ~tol ~max_iter ~step ~newton_step x0
   in
-  (match iterations with Some r -> r := outcome.iterations | None -> ());
-  let taus = outcome.value in
-  let product = ref 1. in
-  for j = 0 to c - 1 do
-    product := !product *. ((1. -. taus.(j)) ** float_of_int ks.(j))
-  done;
-  List.init c (fun j ->
-      let others =
-        if taus.(j) >= 1. then 0. else !product /. (1. -. taus.(j))
-      in
-      (taus.(j), Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)))
+  (match iterations with Some r -> r := iters | None -> ());
+  let ps = class_ps ~ks taus in
+  {
+    class_pairs = List.init c (fun j -> (taus.(j), ps.(j)));
+    iterations = iters;
+    converged;
+  }
 
 (* Multi-knob class solver.  AIFS enters the coupled system through an
    eligibility factor: a node deferring a extra slots after every busy
@@ -169,8 +381,8 @@ let solve_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
    do not change the contention fixed point (they change channel
    occupancy and payoff, priced downstream); CW enters exactly as in
    {!solve_classes}, so at a = 0 the iteration reduces to it. *)
-let solve_strategy_classes ?telemetry ?iterations ?(tol = 1e-14)
-    (params : Params.t) classes =
+let solve_strategy_classes_core ?telemetry ?iterations ?tau_hint ?x0
+    ~tol ~algo ~max_iter (params : Params.t) classes =
   if classes = [] then invalid_arg "Solver.solve_strategy_classes: no classes";
   List.iter
     (fun ((s : Strategy_space.t), k) ->
@@ -184,47 +396,126 @@ let solve_strategy_classes ?telemetry ?iterations ?(tol = 1e-14)
   let ss = Array.of_list (List.map fst classes) in
   let ks = Array.of_list (List.map snd classes) in
   let c = Array.length ss in
-  let p_of taus j =
-    let product = ref 1. in
-    for j' = 0 to c - 1 do
-      product := !product *. ((1. -. taus.(j')) ** float_of_int ks.(j'))
-    done;
-    let others =
-      if taus.(j) >= 1. then begin
-        let rest = ref ((1. -. taus.(j)) ** float_of_int (ks.(j) - 1)) in
-        for j' = 0 to c - 1 do
-          if j' <> j then
-            rest := !rest *. ((1. -. taus.(j')) ** float_of_int ks.(j'))
-        done;
-        !rest
-      end
-      else !product /. (1. -. taus.(j))
-    in
-    Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. others)
-  in
   let step taus =
+    let ps = class_ps ~ks taus in
     Array.init c (fun j ->
         let s = ss.(j) in
-        let p = p_of taus j in
+        let p = ps.(j) in
         let tau = Bianchi.tau_of_p ~w:s.Strategy_space.cw ~m p in
         if s.Strategy_space.aifs = 0 then tau
-        else ((1. -. p) ** float_of_int s.Strategy_space.aifs) *. tau)
+        else powk (1. -. p) s.Strategy_space.aifs *. tau)
   in
+  (* φ_j(p) = (1−p)^a · τB(w, p), so the product rule gives
+     φ'_j = (1−p)^a·dτB/dp − a·(1−p)^{a−1}·τB. *)
+  let newton_step =
+    rank_one_newton_step ~ks ~dphi:(fun ~j ~p_j ~phi_j ->
+        let s = ss.(j) in
+        let w = s.Strategy_space.cw in
+        let a = s.Strategy_space.aifs in
+        if a = 0 then Bianchi.dtau_dp_at_tau ~w ~m ~tau:phi_j p_j
+        else
+          (* φ_j = (1−p)^a·τB, so the cheap τ-form derivative needs the
+             bare τB back out of the map value; near p = 1 the eligibility
+             factor underflows and we re-derive τB directly instead. *)
+          let elig = powk (1. -. p_j) a in
+          let tau_b =
+            if elig > 1e-300 then phi_j /. elig
+            else Bianchi.tau_of_p ~w ~m p_j
+          in
+          let d = Bianchi.dtau_dp_at_tau ~w ~m ~tau:tau_b p_j in
+          let elig' = float_of_int a *. powk (1. -. p_j) (a - 1) in
+          (elig *. d) -. (elig' *. tau_b))
+  in
+  let default_x0 (s : Strategy_space.t) = 2. /. float_of_int (s.cw + 1) in
   let x0 =
-    Array.map
-      (fun (s : Strategy_space.t) -> 2. /. float_of_int (s.cw + 1))
-      ss
+    match x0 with
+    | Some x0 ->
+        if Array.length x0 <> c then
+          invalid_arg "Solver.solve_strategy_classes: x0 length mismatch";
+        Array.mapi
+          (fun j g -> if g > 0. && g < 1. then g else default_x0 ss.(j))
+          x0
+    | None -> (
+        match tau_hint with
+        | None -> (
+            match algo with
+            | Newton -> (
+                (* Proxy seed on the CW knob only — AIFS shapes the map,
+                   not the seed, and a CW-only strategy profile must seed
+                   bit-identically to {!solve_classes} (the degenerate
+                   conformance group compares the two paths). *)
+                let cws = Array.map (fun (s : Strategy_space.t) -> s.cw) ss in
+                match newton_cold_x0 ?telemetry params ~ws:cws ~ks with
+                | Some x0 -> x0
+                | None -> Array.map default_x0 ss)
+            | Picard -> Array.map default_x0 ss)
+        | Some hint ->
+            Array.map
+              (fun s ->
+                match hint s with
+                | Some g when g > 0. && g < 1. -> g
+                | _ -> default_x0 s)
+              ss)
   in
-  let outcome =
-    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
-      step x0
+  let taus, iters, converged =
+    run_class_fixed_point ?telemetry ~algo ~tol ~max_iter ~step ~newton_step x0
   in
-  (match iterations with Some r -> r := outcome.iterations | None -> ());
-  let taus = outcome.value in
-  List.init c (fun j -> (taus.(j), p_of taus j))
+  (match iterations with Some r -> r := iters | None -> ());
+  let ps = class_ps ~ks taus in
+  {
+    class_pairs = List.init c (fun j -> (taus.(j), ps.(j)));
+    iterations = iters;
+    converged;
+  }
 
-let solve_profile ?telemetry ?iterations ?tau_hint ?tol (params : Params.t)
-    cws =
+let solve_strategy_classes ?telemetry ?iterations ?tau_hint ?(tol = 1e-14)
+    ?(algo = Newton) ?(max_iter = 50_000) (params : Params.t) classes =
+  solve_strategy_classes_core ?telemetry ?iterations ?tau_hint ~tol ~algo
+    ~max_iter params classes
+
+let solve_batch ?telemetry ?(tol = 1e-14) ?(algo = Newton)
+    ?(max_iter = 50_000) (params : Params.t) problems =
+  (* Sweep columns vary one knob between consecutive points, so the
+     previous point's τ vector is a near-fixed-point start for the next —
+     position-wise when the class shape repeats (the common case), else
+     matched by strategy.  Newton from a warm start typically converges
+     in 2–4 accepted steps. *)
+  let prev : (class_solution * Strategy_space.t array) option ref = ref None in
+  Array.map
+    (fun classes ->
+      let ss = Array.of_list (List.map fst classes) in
+      let x0 =
+        match !prev with
+        | Some (sol, prev_ss) when Array.length prev_ss = Array.length ss ->
+            Some
+              (Array.of_list (List.map fst sol.class_pairs))
+        | Some (sol, prev_ss) ->
+            (* Shape changed: carry over per-strategy matches, let the
+               core fill the rest with the cold default. *)
+            let taus = Array.of_list (List.map fst sol.class_pairs) in
+            Some
+              (Array.map
+                 (fun s ->
+                   let found = ref 0. in
+                   Array.iteri
+                     (fun i s' ->
+                       if Strategy_space.compare s s' = 0 then
+                         found := taus.(i))
+                     prev_ss;
+                   !found)
+                 ss)
+        | None -> None
+      in
+      let sol =
+        solve_strategy_classes_core ?telemetry ?x0 ~tol ~algo ~max_iter params
+          classes
+      in
+      prev := Some (sol, ss);
+      sol)
+    problems
+
+let solve_profile ?telemetry ?iterations ?tau_hint ?tol ?algo ?max_iter
+    (params : Params.t) cws =
   let n = Array.length cws in
   if n = 0 then invalid_arg "Solver.solve_profile: empty network";
   Array.iter
@@ -245,19 +536,19 @@ let solve_profile ?telemetry ?iterations ?tau_hint ?tol (params : Params.t)
   in
   let iters = match iterations with Some r -> r | None -> ref 0 in
   let solved =
-    solve_classes ?telemetry ~iterations:iters ?tau_hint ?tol params
-      class_list
+    solve_classes ?telemetry ~iterations:iters ?tau_hint ?tol ?algo ?max_iter
+      params class_list
   in
   let by_window = Hashtbl.create 8 in
   List.iter2
     (fun (w, _) tp -> Hashtbl.replace by_window w tp)
-    class_list solved;
+    class_list solved.class_pairs;
   let taus = Array.map (fun w -> fst (Hashtbl.find by_window w)) cws in
   let ps = Array.map (fun w -> snd (Hashtbl.find by_window w)) cws in
-  { taus; ps; iterations = !iters; converged = true }
+  { taus; ps; iterations = !iters; converged = solved.converged }
 
-let solve_with_deviant ?telemetry ?(tol = 1e-14) (params : Params.t) ~n ~w
-    ~w_dev =
+let solve_with_deviant ?telemetry ?(tol = 1e-14) ?(max_iter = 50_000)
+    (params : Params.t) ~n ~w ~w_dev =
   if n < 2 then invalid_arg "Solver.solve_with_deviant: need n >= 2";
   if w < 1 || w_dev < 1 then
     invalid_arg "Solver.solve_with_deviant: windows must be >= 1";
@@ -275,11 +566,21 @@ let solve_with_deviant ?telemetry ?(tol = 1e-14) (params : Params.t) ~n ~w
   in
   let x0 = [| 2. /. float_of_int (w + 1); 2. /. float_of_int (w_dev + 1) |] in
   let outcome =
-    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter:50_000
-      step x0
+    Numerics.Fixed_point.solve ?telemetry ~damping:0.5 ~tol ~max_iter step x0
   in
   let tau = outcome.value.(0) and tau_dev = outcome.value.(1) in
   let others = (1. -. tau) ** float_of_int (n - 2) in
-  let p = 1. -. (others *. (1. -. tau_dev)) in
-  let p_dev = 1. -. (others *. (1. -. tau)) in
-  ((tau_dev, p_dev), (tau, p))
+  (* Clamp like every other exit path: float round-off in the product must
+     not leak a collision probability epsilon-outside [0, 1]. *)
+  let p =
+    Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. (others *. (1. -. tau_dev)))
+  in
+  let p_dev =
+    Prelude.Util.clamp ~lo:0. ~hi:1. (1. -. (others *. (1. -. tau)))
+  in
+  {
+    deviant = (tau_dev, p_dev);
+    conformer = (tau, p);
+    iterations = outcome.iterations;
+    converged = outcome.converged;
+  }

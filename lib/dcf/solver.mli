@@ -2,11 +2,16 @@
 
     Combining eq. 2 (τ_i from p_i and W_i) with eq. 3
     (p_i = 1 − Π_{j≠i}(1 − τ_j)) gives 2n equations in 2n unknowns; we solve
-    the equivalent n-dimensional fixed point on the τ vector by damped
-    Picard iteration.  [1] proves uniqueness for homogeneous windows; for
-    the heterogeneous profiles used in the experiments the damped iteration
-    converges to the same point from any interior start (a property the test
-    suite probes from randomised starting points). *)
+    the equivalent n-dimensional fixed point on the τ vector.  The class
+    solvers run a damped-Newton iteration on the defect by default — the
+    Jacobian of the class-space map is diagonal plus rank-one, so each
+    Newton step costs O(c) via Sherman–Morrison — and fall back to the
+    damped Picard sweep on any refused, singular, or non-contracting step.
+    [1] proves uniqueness for homogeneous windows; for the heterogeneous
+    profiles used in the experiments both iterations converge to the same
+    point from any interior start (a property the test suite probes from
+    randomised starting points, and the [solver_core] conformance group
+    pins Newton against Picard at ≤1e-10 relative). *)
 
 type solution = {
   taus : float array;  (** per-node transmission probability *)
@@ -15,13 +20,34 @@ type solution = {
   converged : bool;
 }
 
+type algo =
+  | Newton  (** damped Newton with O(c) rank-one steps, Picard fallback *)
+  | Picard  (** the pre-Newton damped fixed-point iteration, kept as the
+                reference path for conformance and benchmarks *)
+
+type class_solution = {
+  class_pairs : (float * float) list;
+      (** per-class (τ, p) in input order; for strategy classes τ is the
+          {e effective} transmission probability (AIFS-discounted) *)
+  iterations : int;  (** map evaluations spent by the underlying solver *)
+  converged : bool;  (** whether the final defect fell below [tol] *)
+}
+
+type deviant_solution = {
+  deviant : float * float;     (** (τ_dev, p_dev) of the deviant *)
+  conformer : float * float;   (** (τ, p) of each conformer *)
+  iterations : int;
+  converged : bool;
+}
+
 val solve :
   ?telemetry:Telemetry.Registry.t ->
   ?tol:float -> ?max_iter:int -> Params.t -> int array -> solution
 (** [solve params cws] solves the network in which node i uses initial
-    window [cws.(i)].  All windows must be ≥ 1; the array must be non-empty.
-    Defaults: [tol = 1e-13], [max_iter = 20_000].  Convergence telemetry
-    (span, ["solver_convergence"] and ["residual_trajectory"] events) flows
+    window [cws.(i)] by per-node damped Picard iteration.  All windows must
+    be ≥ 1; the array must be non-empty.  Defaults: [tol = 1e-13],
+    [max_iter = 20_000].  Convergence telemetry (span,
+    ["solver_convergence"] and ["residual_trajectory"] events) flows
     through {!Numerics.Fixed_point.solve} on [telemetry] (default: the
     global registry). *)
 
@@ -45,57 +71,83 @@ val solve_homogeneous :
 
 val solve_with_deviant :
   ?telemetry:Telemetry.Registry.t ->
-  ?tol:float -> Params.t -> n:int -> w:int -> w_dev:int ->
-  (float * float) * (float * float)
-(** [((τ_dev, p_dev), (τ, p))] for one deviant at window [w_dev] among
-    [n ≥ 2] nodes whose other n−1 members use [w].  Solves the reduced
-    2-dimensional fixed point; used by the deviation analyses (Lemma 4,
-    Sec. V.D/V.E) where the full vector solve would be wasteful. *)
+  ?tol:float -> ?max_iter:int -> Params.t -> n:int -> w:int -> w_dev:int ->
+  deviant_solution
+(** One deviant at window [w_dev] among [n ≥ 2] nodes whose other n−1
+    members use [w].  Solves the reduced 2-dimensional fixed point; used by
+    the deviation analyses (Lemma 4, Sec. V.D/V.E) where the full vector
+    solve would be wasteful.  All four returned probabilities are clamped
+    into [0, 1] (round-off in the final recomputation must not leak an
+    epsilon-outside value), and [converged] reports the underlying
+    fixed-point outcome instead of being assumed. *)
 
 val solve_classes :
   ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
   ?tau_hint:(int -> float option) ->
-  ?tol:float -> Params.t -> (int * int) list -> (float * float) list
+  ?tol:float -> ?algo:algo -> ?max_iter:int ->
+  Params.t -> (int * int) list -> class_solution
 (** [solve_classes params [(w1, k1); …]] solves a network of Σk_c nodes in
     which [k_c] nodes share window [w_c], reducing the fixed point to one
     (τ, p) pair per class:
 
     p_c = 1 − Π_{c'} (1−τ_{c'})^{k_{c'}} / (1−τ_c).
 
-    Returns the per-class [(τ_c, p_c)] in input order.  This is what the
+    Returns the per-class [(τ_c, p_c)] in input order together with the
+    iteration count and the {e real} convergence flag.  This is what the
     coalition analyses use — a 3-class problem costs the same as n = 3.
     Windows must be ≥ 1 and counts ≥ 1; classes may repeat a window.
-    [iterations], when given, receives the Picard iteration count of the
-    underlying class-space fixed point.  [tau_hint w] may seed class [w]'s
-    starting iterate with a τ from a neighbouring solved problem
-    (warm start); hints outside (0, 1) are ignored.  The damped iteration
-    converges to the same fixed point from any interior start, so hints
-    trade bit-stability for iterations exactly like
+    [algo] defaults to [Newton] (the Jacobian is computed from
+    {!Bianchi.dtau_dp} and the prefix/suffix product derivatives); pass
+    [Picard] to force the reference iteration.  [tau_hint w] may seed
+    class [w]'s starting iterate with a τ from a neighbouring solved
+    problem (warm start); hints outside (0, 1) are ignored.  Both
+    iterations converge to the same fixed point from any interior start,
+    so hints trade bit-stability for iterations exactly like
     {!solve_homogeneous}'s [guess]. *)
 
 val solve_strategy_classes :
   ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
-  ?tol:float -> Params.t ->
-  (Strategy_space.t * int) list -> (float * float) list
+  ?tau_hint:(Strategy_space.t -> float option) ->
+  ?tol:float -> ?algo:algo -> ?max_iter:int ->
+  Params.t -> (Strategy_space.t * int) list -> class_solution
 (** Multi-knob analogue of {!solve_classes}: [k_c] nodes share strategy
     [s_c].  AIFS couples into the fixed point through an eligibility
     factor — a node deferring [a] extra slots after every busy period only
     reaches a transmission slot with probability (1 − p)^a in the
     mean-field model, so its effective per-slot transmission probability
     is τ' = (1 − p)^a · τ_bianchi(W, p), and it is τ' that enters every
-    other node's collision probability.  TXOP and rate leave the
+    other node's collision probability.  The Newton Jacobian carries the
+    eligibility factor through the product rule:
+    φ' = (1−p)^a·dτB/dp − a·(1−p)^{a−1}·τB.  TXOP and rate leave the
     contention fixed point untouched (they are priced in channel occupancy
     and utility downstream).  Returns per-class [(τ'_c, p_c)] in input
-    order.  At [aifs = 0] for every class the iteration map is the
+    order.  [tau_hint s] warm-starts class [s] like {!solve_classes}'s
+    window-keyed hint — this is the multi-knob end of the PR 7 warm-start
+    throughline.  At [aifs = 0] for every class the iteration map is the
     {!solve_classes} map composed with a multiplication by 1.0 — callers
     that need the bit-identity guarantee for the degenerate subspace
     should branch to {!solve_classes} instead (as {!Model.solve_strategies}
     does). *)
 
+val solve_batch :
+  ?telemetry:Telemetry.Registry.t ->
+  ?tol:float -> ?algo:algo -> ?max_iter:int ->
+  Params.t -> (Strategy_space.t * int) list array -> class_solution array
+(** [solve_batch params problems] solves a sweep column of strategy-class
+    problems in order, reusing each point's τ vector as the next point's
+    starting iterate — position-wise when consecutive problems share a
+    class shape (the common case in sweep grids), matched by strategy when
+    the shape changes.  Newton from a warm start typically needs 2–4
+    accepted steps, so a dense sweep amortizes to a fraction of the cold
+    per-point cost.  Answers agree with per-point cold solves at tolerance
+    level, {e not} bit level — the batched path is for sweeps and grids,
+    not for the oracle's bit-stable memoized entries. *)
+
 val solve_profile :
   ?telemetry:Telemetry.Registry.t -> ?iterations:int ref ->
   ?tau_hint:(int -> float option) ->
-  ?tol:float -> Params.t -> int array -> solution
+  ?tol:float -> ?algo:algo -> ?max_iter:int ->
+  Params.t -> int array -> solution
 (** [solve_profile params cws] solves the same network as {!solve} but
     class-reduced: nodes sharing a window share (τ, p) by symmetry, so the
     profile is grouped into distinct-window classes (sorted ascending, so
@@ -104,7 +156,9 @@ val solve_profile :
     arrays in input order.  This is the payoff oracle's canonical solve
     entry: orders of magnitude cheaper than the n-dimensional Picard
     iteration when the profile has few distinct windows (the common case in
-    repeated games), and permutation-invariant by construction. *)
+    repeated games), and permutation-invariant by construction.
+    [converged] is threaded from the underlying class solve — it is no
+    longer assumed [true]. *)
 
 val collision_probabilities : float array -> float array
 (** [collision_probabilities taus] evaluates eq. 3 for every node, using

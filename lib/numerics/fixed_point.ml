@@ -38,12 +38,15 @@ let solve ?(telemetry = Telemetry.Registry.default) ?(damping = 0.5)
         let fx = f x in
         if Array.length fx <> n then
           invalid_arg "Fixed_point.solve: map changed vector length";
+        (* Convergence is judged on the undamped defect |f(x) − x|: the
+           damped update is damping·defect, so testing the step size would
+           silently loosen the tolerance by 1/damping (2× at the default).
+           The max is NaN-propagating so a map that goes non-finite ends
+           as a non-converged outcome, never a spurious success. *)
         let residual = ref 0. in
         for i = 0 to n - 1 do
-          let x' = ((1. -. damping) *. x.(i)) +. (damping *. fx.(i)) in
-          let delta = Float.abs (x' -. x.(i)) in
-          if delta > !residual then residual := delta;
-          x.(i) <- x'
+          let delta = Float.abs (fx.(i) -. x.(i)) in
+          if not (delta <= !residual) then residual := delta
         done;
         note !residual;
         (* Sparse progress marks: every power-of-two iteration, carrying
@@ -54,9 +57,14 @@ let solve ?(telemetry = Telemetry.Registry.default) ?(damping = 0.5)
             (snd (Float.frexp !residual));
         if !residual <= tol then
           { value = x; iterations = iter; residual = !residual; converged = true }
-        else if iter >= max_iter then
+        else if iter >= max_iter || not (Float.is_finite !residual) then
           { value = x; iterations = iter; residual = !residual; converged = false }
-        else go (iter + 1)
+        else begin
+          for i = 0 to n - 1 do
+            x.(i) <- ((1. -. damping) *. x.(i)) +. (damping *. fx.(i))
+          done;
+          go (iter + 1)
+        end
       in
       let outcome = go 1 in
       Telemetry.Recorder.instant recorder nid_converged outcome.iterations n;

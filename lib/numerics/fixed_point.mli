@@ -6,8 +6,8 @@
 
 type outcome = {
   value : float array;  (** the (approximate) fixed point *)
-  iterations : int;     (** iterations actually performed *)
-  residual : float;     (** max |x' − x| at the final iterate *)
+  iterations : int;     (** map evaluations actually performed *)
+  residual : float;     (** max |f(x) − x| at the final iterate *)
   converged : bool;     (** whether [residual ≤ tol] *)
 }
 
@@ -16,9 +16,15 @@ val solve :
   ?damping:float -> ?tol:float -> ?max_iter:int ->
   (float array -> float array) -> float array -> outcome
 (** [solve f x0] iterates [x ← (1−λ)·x + λ·f x] from [x0] until the
-    max-norm update falls below [tol] (default 1e-12) or [max_iter]
-    (default 10_000) is reached.  [damping] λ defaults to 0.5 and must be in
-    (0, 1].  [f] must preserve the vector length.
+    max-norm {e undamped defect} [|f x − x|] falls below [tol] (default
+    1e-12) or [max_iter] map evaluations (default 10_000) are spent.
+    Convergence is judged on the defect, not the damped step — the step is
+    only [λ·defect], so testing it would loosen the effective tolerance by
+    [1/λ] (2× at the default).  On convergence the returned [value] is the
+    iterate at which the defect was measured, with no trailing damped step
+    applied.  A non-finite defect terminates the solve as non-converged.
+    [damping] λ defaults to 0.5 and must be in (0, 1].  [f] must preserve
+    the vector length.
 
     The input vector is not mutated.
 

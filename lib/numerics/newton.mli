@@ -1,0 +1,56 @@
+(** Damped Newton iteration for fixed-point problems [x = f x].
+
+    Each iteration tries a full Newton step on the defect
+    [h(x) = f(x) − x], delegated to a caller-supplied linear-step closure
+    (so structured Jacobians — e.g. diagonal plus rank-one — can solve in
+    O(n) instead of O(n³)).  A step is accepted only when it strictly
+    shrinks the max-norm defect; a refused, singular, or non-finite step
+    degrades to one damped Picard sweep, which keeps global convergence
+    exactly where the plain {!Fixed_point} iteration had it. *)
+
+type outcome = {
+  value : float array;     (** the (approximate) fixed point *)
+  iterations : int;        (** total iterations (Newton + fallback) *)
+  residual : float;        (** max |f(x) − x| at the final iterate *)
+  converged : bool;        (** whether [residual ≤ tol] *)
+  newton_steps : int;      (** accepted Newton steps *)
+  fallback_steps : int;    (** damped Picard fallback steps *)
+}
+
+val solve :
+  ?telemetry:Telemetry.Registry.t ->
+  ?damping:float -> ?tol:float -> ?max_iter:int ->
+  ?lo:float -> ?hi:float ->
+  step:(float array -> float array -> float array option) ->
+  (float array -> float array) -> float array -> outcome
+(** [solve ~step f x0] iterates from [x0] until the max-norm defect
+    [|f x − x|] falls below [tol] (default 1e-12) or [max_iter]
+    iterations (default 10_000) are spent.
+
+    [step x defect] must return [Some delta] solving
+    [(I − J(x))·delta = defect] where [J] is the Jacobian of [f] at [x]
+    — i.e. the Newton update for the defect — or [None] when the system
+    is singular or the caller cannot form it; [None], a non-finite
+    [delta], and a candidate that fails to strictly reduce the defect all
+    fall back to one damped Picard sweep (damping default 0.5, in
+    (0, 1]).  Iterates are clamped componentwise into [\[lo, hi\]]
+    (defaults: unbounded).  [f] must preserve the vector length; the
+    input vector is not mutated.  A non-finite defect terminates the
+    solve as non-converged.
+
+    Every solve runs inside a ["newton.solve"] telemetry span, bumps the
+    ["solver.newton.steps"] / ["solver.newton.fallbacks"] counters, and
+    emits a ["solver_convergence"] event (method ["newton"]). *)
+
+val dense_step :
+  jacobian:(float array -> float array array) ->
+  float array -> float array -> float array option
+(** [dense_step ~jacobian] is a generic [step] for {!solve}: it forms the
+    dense system [(I − J(x))·delta = defect] and solves it by Gaussian
+    elimination.  O(n³) — intended for small systems and for testing
+    structured steps against; [None] on a singular or non-finite system. *)
+
+val gauss_solve : float array array -> float array -> float array option
+(** [gauss_solve a b] solves [a·x = b] in place (clobbering both
+    arguments) by Gaussian elimination with partial pivoting.  [None] if
+    a pivot vanishes to working precision or the result is non-finite. *)

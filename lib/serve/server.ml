@@ -112,7 +112,7 @@ let ne_outcome t ~n : ne_row * Macgame.Oracle.tier =
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
-let leaf_result t (op : Request.op) : Jx.t * Macgame.Oracle.tier =
+let leaf_result ?batch t (op : Request.op) : Jx.t * Macgame.Oracle.tier =
   match op with
   | Tau { n; w } ->
       let view, tier = Macgame.Oracle.uniform_outcome t.oracle ~n ~w in
@@ -127,7 +127,7 @@ let leaf_result t (op : Request.op) : Jx.t * Macgame.Oracle.tier =
         tier )
   | Payoff { profile } ->
       let payoffs, tier =
-        Macgame.Oracle.payoffs_profile_outcome t.oracle profile
+        Macgame.Oracle.payoffs_profile_outcome ?batch t.oracle profile
       in
       ( Jx.Obj
           [
@@ -146,7 +146,7 @@ let expired ~received_at deadline_ms =
   | None -> false
   | Some d -> now_ms () -. received_at >= d
 
-let rec reply_to t ~received_at (req : Request.t) : Reply.t =
+let rec reply_to ?batch t ~received_at (req : Request.t) : Reply.t =
   Telemetry.Metric.incr t.requests;
   if expired ~received_at req.deadline_ms then begin
     Telemetry.Metric.incr t.errors;
@@ -161,20 +161,29 @@ let rec reply_to t ~received_at (req : Request.t) : Reply.t =
         | Batch members ->
             (* Members run in request order; each carries its own tier and
                honours its own deadline (checked against the same receipt
-               time, so queueing before the batch counts for everyone). *)
+               time, so queueing before the batch counts for everyone).
+               One warm-start context spans the whole envelope: each cold
+               Payoff solve seeds the next member's, so dense sweep
+               batches amortize to a few Newton steps per point. *)
+            let batch = Macgame.Oracle.batch t.oracle in
             let replies =
-              List.map (fun m -> reply_to t ~received_at m) members
+              List.map (fun m -> reply_to ~batch t ~received_at m) members
             in
             Reply.ok ~id:req.id ~elapsed_ms:(now_ms () -. started)
               (Jx.Obj [ ("replies", Jx.List replies) ])
         | op -> (
-            match leaf_result t op with
+            match leaf_result ?batch t op with
             | result, tier ->
                 note_tier t tier;
                 let elapsed_ms = now_ms () -. started in
                 Telemetry.Metric.observe t.latency_ms elapsed_ms;
                 Reply.ok ~id:req.id ~tier ~elapsed_ms result
             | exception Invalid_argument reason ->
+                Telemetry.Metric.incr t.errors;
+                Reply.error ~id:req.id reason
+            | exception Macgame.Oracle.Non_converged reason ->
+                (* A diverged solve is a refusal, not an answer: the memo
+                   and store were never touched, and neither is the wire. *)
                 Telemetry.Metric.incr t.errors;
                 Reply.error ~id:req.id reason))
 

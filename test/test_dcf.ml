@@ -237,9 +237,9 @@ let test_deviant_solver_matches_full =
   QCheck.Test.make ~name:"two-class solver matches full vector solve" ~count:40
     QCheck.(triple (int_range 2 20) (int_range 1 512) (int_range 1 512))
     (fun (n, w, w_dev) ->
-      let (tau_d, p_d), (tau, p) =
-        Dcf.Solver.solve_with_deviant default ~n ~w ~w_dev
-      in
+      let sol = Dcf.Solver.solve_with_deviant default ~n ~w ~w_dev in
+      let tau_d, p_d = sol.deviant in
+      let tau, p = sol.conformer in
       let cws = Array.make n w in
       cws.(0) <- w_dev;
       let s = Dcf.Solver.solve default cws in
@@ -450,6 +450,23 @@ let suite_timing =
     Alcotest.test_case "tx_time" `Quick test_tx_time;
   ]
 
+let test_dtau_dp_matches_finite_difference =
+  QCheck.Test.make ~name:"dtau_dp agrees with central differences" ~count:200
+    QCheck.(
+      triple (int_range 2 1024) (int_range 0 8) (float_range 0.02 0.95))
+    (fun (w, m, p) ->
+      let h = 1e-6 in
+      let numeric =
+        (Dcf.Bianchi.tau_of_p ~w ~m (p +. h)
+        -. Dcf.Bianchi.tau_of_p ~w ~m (p -. h))
+        /. (2. *. h)
+      in
+      let analytic = Dcf.Bianchi.dtau_dp ~w ~m p in
+      analytic <= 0.
+      && Prelude.Util.approx_equal
+           ~eps:(1e-4 *. Float.max 1e-6 (Float.abs numeric))
+           numeric analytic)
+
 let suite_bianchi =
   [
     Alcotest.test_case "tau at p=0" `Quick test_tau_at_p_zero;
@@ -465,7 +482,100 @@ let suite_bianchi =
     Alcotest.test_case "p=1 edge" `Quick test_stationary_p_one_edge;
     Alcotest.test_case "expected backoff" `Quick test_expected_backoff;
     Alcotest.test_case "argument validation" `Quick test_bianchi_argument_validation;
+    QCheck_alcotest.to_alcotest test_dtau_dp_matches_finite_difference;
   ]
+
+(* {2 Newton core (PR 9)} *)
+
+let strategy ~cw ~aifs =
+  { Dcf.Strategy_space.cw; aifs; txop_frames = 1; rate = 1. }
+
+let test_newton_matches_picard_classes () =
+  let classes = [ (32, 5); (64, 10); (128, 3) ] in
+  let newton = Dcf.Solver.solve_classes ~algo:Newton default classes in
+  let picard = Dcf.Solver.solve_classes ~algo:Picard default classes in
+  Alcotest.(check bool) "both converged" true
+    (newton.converged && picard.converged);
+  List.iter2
+    (fun (tau_n, p_n) (tau_p, p_p) ->
+      check_close ~eps:1e-10 "tau" tau_p tau_n;
+      check_close ~eps:1e-10 "p" p_p p_n)
+    newton.class_pairs picard.class_pairs;
+  Alcotest.(check bool)
+    (Printf.sprintf "newton %d iters < picard %d" newton.iterations
+       picard.iterations)
+    true
+    (newton.iterations < picard.iterations)
+
+let test_newton_matches_picard_strategies () =
+  let classes = [ (strategy ~cw:32 ~aifs:0, 4); (strategy ~cw:64 ~aifs:2, 6) ] in
+  let newton = Dcf.Solver.solve_strategy_classes ~algo:Newton default classes in
+  let picard = Dcf.Solver.solve_strategy_classes ~algo:Picard default classes in
+  Alcotest.(check bool) "both converged" true
+    (newton.converged && picard.converged);
+  List.iter2
+    (fun (tau_n, p_n) (tau_p, p_p) ->
+      check_close ~eps:1e-10 "tau" tau_p tau_n;
+      check_close ~eps:1e-10 "p" p_p p_n)
+    newton.class_pairs picard.class_pairs
+
+let test_solver_reports_nonconvergence () =
+  (* One iteration cannot close a heterogeneous fixed point: every layer
+     must say so instead of fabricating convergence. *)
+  let classes = [ (32, 5); (320, 5) ] in
+  let solved = Dcf.Solver.solve_classes ~max_iter:1 default classes in
+  Alcotest.(check bool) "solve_classes" false solved.converged;
+  let solved =
+    Dcf.Solver.solve_strategy_classes ~max_iter:1 default
+      [ (strategy ~cw:32 ~aifs:0, 5); (strategy ~cw:320 ~aifs:1, 5) ]
+  in
+  Alcotest.(check bool) "solve_strategy_classes" false solved.converged;
+  let solution =
+    Dcf.Solver.solve_profile ~max_iter:1 default
+      (Array.init 10 (fun i -> 32 + (32 * i)))
+  in
+  Alcotest.(check bool) "solve_profile" false solution.converged;
+  let sol = Dcf.Solver.solve_with_deviant ~max_iter:1 default ~n:10 ~w:339 ~w_dev:16 in
+  Alcotest.(check bool) "solve_with_deviant" false sol.converged
+
+let test_solve_batch_matches_cold () =
+  (* A warm-started sweep column must agree with per-point cold solves at
+     tolerance level, whatever the warm start did to the iterate path. *)
+  let problems =
+    Array.init 16 (fun i ->
+        [ (strategy ~cw:(32 + (8 * i)) ~aifs:(i mod 2), 1);
+          (strategy ~cw:128 ~aifs:0, 9) ])
+  in
+  let batched = Dcf.Solver.solve_batch default problems in
+  Array.iteri
+    (fun i (solved : Dcf.Solver.class_solution) ->
+      Alcotest.(check bool) "batched point converged" true solved.converged;
+      let cold = Dcf.Solver.solve_strategy_classes default problems.(i) in
+      List.iter2
+        (fun (tau_b, p_b) (tau_c, p_c) ->
+          check_close ~eps:1e-9 "tau" tau_c tau_b;
+          check_close ~eps:1e-9 "p" p_c p_b)
+        solved.class_pairs cold.class_pairs)
+    batched;
+  (* Cold Newton solves warm-start themselves from the pooled homogeneous
+     proxy, so on this coarse column (CW steps of 8, AIFS flipping every
+     point) the neighbour seed has no decisive edge over cold — but it must
+     never be pathological: allow at most one extra iteration per point. *)
+  let batched_iters =
+    Array.fold_left
+      (fun acc (s : Dcf.Solver.class_solution) -> acc + s.iterations)
+      0 batched
+  in
+  let cold_iters =
+    Array.fold_left
+      (fun acc problem ->
+        acc + (Dcf.Solver.solve_strategy_classes default problem).iterations)
+      0 problems
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d iters <= cold %d + 16" batched_iters cold_iters)
+    true
+    (batched_iters <= cold_iters + Array.length problems)
 
 let suite_solver =
   [
@@ -478,6 +588,14 @@ let suite_solver =
     Alcotest.test_case "tau=1 handled" `Quick test_collision_probabilities_with_certain_transmitter;
     Alcotest.test_case "empty product" `Quick test_collision_probabilities_empty_product;
     Alcotest.test_case "validation" `Quick test_solver_validation;
+    Alcotest.test_case "newton = picard (classes)" `Quick
+      test_newton_matches_picard_classes;
+    Alcotest.test_case "newton = picard (strategies)" `Quick
+      test_newton_matches_picard_strategies;
+    Alcotest.test_case "non-convergence surfaces" `Quick
+      test_solver_reports_nonconvergence;
+    Alcotest.test_case "batched sweep matches cold" `Quick
+      test_solve_batch_matches_cold;
   ]
 
 let suite_metrics =

@@ -553,7 +553,7 @@ let test_solve_classes_matches_full_solve =
       let classes = Dcf.Solver.solve_classes default [ (w1, k1); (w2, k2) ] in
       let cws = Array.append (Array.make k1 w1) (Array.make k2 w2) in
       let s = Dcf.Solver.solve default cws in
-      match classes with
+      match classes.class_pairs with
       | [ (tau1, p1); (tau2, p2) ] ->
           Prelude.Util.approx_equal ~eps:1e-6 tau1 s.taus.(0)
           && Prelude.Util.approx_equal ~eps:1e-6 p1 s.ps.(0)
@@ -563,7 +563,7 @@ let test_solve_classes_matches_full_solve =
 
 let test_solve_classes_single_class_is_homogeneous () =
   let tau, p = Dcf.Solver.solve_homogeneous default ~n:7 ~w:64 in
-  match Dcf.Solver.solve_classes default [ (64, 7) ] with
+  match (Dcf.Solver.solve_classes default [ (64, 7) ]).class_pairs with
   | [ (tau', p') ] ->
       check_close ~eps:1e-9 "tau" tau tau';
       check_close ~eps:1e-9 "p" p p'

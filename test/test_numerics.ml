@@ -83,6 +83,34 @@ let test_fixed_point_preserves_input () =
   let _ = Fixed_point.solve (fun v -> Array.map (fun x -> x /. 2.) v) x0 in
   Alcotest.(check (array (float 0.))) "input unmutated" [| 1.; 2. |] x0
 
+let test_fixed_point_tolerance_is_undamped () =
+  (* Regression: convergence is judged on the undamped defect |f(x) − x|.
+     The old code tested the damped step, so at the default damping 0.5 a
+     map drifting by 1.5e-12 per iteration — above tol — converged anyway
+     (step 0.75e-12 ≤ 1e-12).  It must now run to the cap. *)
+  let drift d = fun v -> [| v.(0) +. d |] in
+  let outcome =
+    Fixed_point.solve ~tol:1e-12 ~max_iter:200 (drift 1.5e-12) [| 0. |]
+  in
+  Alcotest.(check bool) "drift above tol never converges" false
+    outcome.converged;
+  Alcotest.(check int) "ran to the cap" 200 outcome.iterations;
+  (* And a defect genuinely below tol converges immediately, returning the
+     current iterate unstepped. *)
+  let outcome =
+    Fixed_point.solve ~tol:1e-12 ~max_iter:200 (drift 9e-13) [| 0. |]
+  in
+  Alcotest.(check bool) "defect below tol converges" true outcome.converged;
+  Alcotest.(check int) "at the first test" 1 outcome.iterations;
+  Alcotest.(check (float 0.)) "value left unstepped" 0. outcome.value.(0)
+
+let test_fixed_point_nonfinite_is_failure () =
+  let outcome = Fixed_point.solve (fun _ -> [| Float.nan |]) [| 0.5 |] in
+  Alcotest.(check bool) "NaN map reports non-convergence" false
+    outcome.converged;
+  Alcotest.(check bool) "residual is non-finite" false
+    (Float.is_finite outcome.residual)
+
 let test_fixed_point_full_damping_is_picard =
   QCheck.Test.make ~name:"damping=1 solves affine contractions exactly" ~count:100
     QCheck.(pair (float_range (-0.9) 0.9) (float_range (-10.) 10.))
@@ -93,6 +121,85 @@ let test_fixed_point_full_damping_is_picard =
       in
       outcome.converged
       && Prelude.Util.approx_equal ~eps:1e-6 (b /. (1. -. a)) outcome.value.(0))
+
+(* {1 Newton} *)
+
+let test_gauss_solve () =
+  (* 2x + y = 3, x + 3y = 5 has solution (0.8, 1.4). *)
+  match Newton.gauss_solve [| [| 2.; 1. |]; [| 1.; 3. |] |] [| 3.; 5. |] with
+  | Some x ->
+      check_close "x" 0.8 x.(0);
+      check_close "y" 1.4 x.(1)
+  | None -> Alcotest.fail "regular system must solve"
+
+let test_gauss_solve_singular () =
+  Alcotest.(check bool) "singular system refused" true
+    (Newton.gauss_solve [| [| 1.; 2. |]; [| 2.; 4. |] |] [| 1.; 1. |] = None)
+
+let test_newton_affine_one_step () =
+  (* f(x) = A·x + b is exactly linear, so the first accepted Newton step
+     lands on the fixed point (I − A)⁻¹·b. *)
+  let a = [| [| 0.5; 0.2 |]; [| 0.1; 0.3 |] |] in
+  let f v =
+    Array.init 2 (fun r -> (a.(r).(0) *. v.(0)) +. (a.(r).(1) *. v.(1)) +. 1.)
+  in
+  let outcome =
+    Newton.solve ~step:(Newton.dense_step ~jacobian:(fun _ -> a)) f [| 0.; 0. |]
+  in
+  Alcotest.(check bool) "converged" true outcome.converged;
+  Alcotest.(check int) "one accepted Newton step" 1 outcome.newton_steps;
+  Alcotest.(check int) "no fallbacks" 0 outcome.fallback_steps;
+  (* (I − A)⁻¹·b with b = (1, 1): det(I − A) = 0.33. *)
+  check_close "x" (0.9 /. 0.33) outcome.value.(0);
+  check_close "y" (0.6 /. 0.33) outcome.value.(1)
+
+let test_newton_fallback_is_damped_picard () =
+  (* A step closure that always refuses degrades the solve to the damped
+     Picard iteration — same answer, zero accepted Newton steps. *)
+  let f v = [| cos v.(0) |] in
+  let newton = Newton.solve ~step:(fun _ _ -> None) f [| 1. |] in
+  let picard = Fixed_point.solve f [| 1. |] in
+  Alcotest.(check bool) "converged" true newton.converged;
+  Alcotest.(check int) "no Newton steps" 0 newton.newton_steps;
+  Alcotest.(check bool) "every iteration fell back" true
+    (newton.fallback_steps > 0);
+  check_close ~eps:1e-10 "agrees with Fixed_point" picard.value.(0)
+    newton.value.(0)
+
+let test_newton_beats_picard_on_cosine () =
+  let f v = [| cos v.(0) |] in
+  let jacobian v = [| [| -.sin v.(0) |] |] in
+  let newton = Newton.solve ~step:(Newton.dense_step ~jacobian) f [| 1. |] in
+  let picard = Fixed_point.solve f [| 1. |] in
+  Alcotest.(check bool) "converged" true (newton.converged && picard.converged);
+  check_close ~eps:1e-10 "dottie number" 0.7390851332151607 newton.value.(0);
+  Alcotest.(check bool)
+    (Printf.sprintf "newton %d iters < picard %d" newton.iterations
+       picard.iterations)
+    true
+    (newton.iterations < picard.iterations)
+
+let test_newton_respects_max_iter () =
+  let outcome =
+    Newton.solve ~max_iter:5
+      ~step:(fun _ _ -> None)
+      (fun v -> [| v.(0) +. 1. |])
+      [| 0. |]
+  in
+  Alcotest.(check bool) "reports divergence" false outcome.converged;
+  Alcotest.(check int) "stopped at cap" 5 outcome.iterations
+
+let test_newton_clamps_iterates () =
+  (* A map drifting below the box: iterates pin at lo and the solve ends
+     non-converged rather than wandering out of the feasible region. *)
+  let outcome =
+    Newton.solve ~lo:0. ~hi:1. ~max_iter:20
+      ~step:(fun _ _ -> None)
+      (fun v -> [| v.(0) -. 1. |])
+      [| 0.5 |]
+  in
+  Alcotest.(check bool) "non-converged" false outcome.converged;
+  Alcotest.(check (float 0.)) "pinned at the box floor" 0. outcome.value.(0)
 
 (* {1 Optimize} *)
 
@@ -193,7 +300,24 @@ let suite_fixed_point =
     Alcotest.test_case "max_iter cap" `Quick test_fixed_point_respects_max_iter;
     Alcotest.test_case "damping validation" `Quick test_fixed_point_damping_validation;
     Alcotest.test_case "input preserved" `Quick test_fixed_point_preserves_input;
+    Alcotest.test_case "tolerance is undamped" `Quick
+      test_fixed_point_tolerance_is_undamped;
+    Alcotest.test_case "non-finite map fails" `Quick
+      test_fixed_point_nonfinite_is_failure;
     QCheck_alcotest.to_alcotest test_fixed_point_full_damping_is_picard;
+  ]
+
+let suite_newton =
+  [
+    Alcotest.test_case "gauss solve" `Quick test_gauss_solve;
+    Alcotest.test_case "gauss singular" `Quick test_gauss_solve_singular;
+    Alcotest.test_case "affine one step" `Quick test_newton_affine_one_step;
+    Alcotest.test_case "fallback is damped picard" `Quick
+      test_newton_fallback_is_damped_picard;
+    Alcotest.test_case "beats picard on cosine" `Quick
+      test_newton_beats_picard_on_cosine;
+    Alcotest.test_case "max_iter cap" `Quick test_newton_respects_max_iter;
+    Alcotest.test_case "clamp box" `Quick test_newton_clamps_iterates;
   ]
 
 let suite_optimize =
@@ -216,5 +340,6 @@ let () =
     [
       ("roots", suite_roots);
       ("fixed_point", suite_fixed_point);
+      ("newton", suite_newton);
       ("optimize", suite_optimize);
     ]

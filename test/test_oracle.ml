@@ -220,6 +220,121 @@ let test_validation () =
     (Invalid_argument "Oracle.create: p_hn must be in (0, 1]") (fun () ->
       ignore (Macgame.Oracle.create ~p_hn:0. params))
 
+(* {1 Non-convergence refusal (PR 9)} *)
+
+(* Heterogeneous, so the query routes through the class solver — whose
+   iteration budget [solver_max_iter] can be strangled — rather than the
+   uniform Brent fast path. *)
+let hostile = [| 32; 64; 128; 256; 512 |]
+
+let contains_substring hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let expect_nonconverged f =
+  match f () with
+  | _ -> Alcotest.fail "expected Oracle.Non_converged"
+  | exception Macgame.Oracle.Non_converged reason -> reason
+
+let test_nonconverged_refused_and_not_memoized () =
+  let registry = Telemetry.Registry.create ~label:"test-oracle-nc" () in
+  let oracle =
+    Macgame.Oracle.create ~telemetry:registry ~solver_max_iter:1 params
+  in
+  let count name =
+    Telemetry.Metric.count (Telemetry.Registry.counter registry name)
+  in
+  let reason =
+    expect_nonconverged (fun () -> Macgame.Oracle.payoffs oracle hostile)
+  in
+  Alcotest.(check bool) "reason names the budget" true
+    (contains_substring reason "max_iter");
+  (* A second identical query must solve (and refuse) again: the failed
+     answer was never memoized. *)
+  ignore (expect_nonconverged (fun () -> Macgame.Oracle.payoffs oracle hostile));
+  Alcotest.(check int) "counted both refusals" 2
+    (count "oracle.solve.nonconverged");
+  Alcotest.(check int) "nothing was memoized" 0 (count "oracle.cache.hits")
+
+let test_nonconverged_never_persisted () =
+  let dir = Filename.temp_file "oracle_nc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Store.with_store dir (fun store ->
+      let oracle = Macgame.Oracle.create ~store ~solver_max_iter:1 params in
+      ignore
+        (expect_nonconverged (fun () -> Macgame.Oracle.payoffs oracle hostile));
+      Alcotest.(check int) "no row written" 0 (Store.entries store))
+
+let test_nonconverged_surfaces_at_every_layer =
+  QCheck.Test.make
+    ~name:"max_iter=1 hostile profiles surface non-convergence at every layer"
+    ~count:30
+    QCheck.(pair (int_range 16 256) (int_range 16 256))
+    (fun (w_a, w_b) ->
+      QCheck.assume (w_a <> w_b);
+      let profile = Array.concat [ Array.make 3 w_a; Array.make 3 w_b ] in
+      (* Solver layer. *)
+      let classes = [ (min w_a w_b, 3); (max w_a w_b, 3) ] in
+      let solver_says =
+        not (Dcf.Solver.solve_classes ~max_iter:1 params classes).converged
+      in
+      (* Model layer. *)
+      let model_says =
+        not (Dcf.Model.solve_profile ~max_iter:1 params profile).converged
+      in
+      (* Oracle layer: the same budget must turn into a refusal. *)
+      let oracle = Macgame.Oracle.create ~solver_max_iter:1 params in
+      let oracle_says =
+        match Macgame.Oracle.payoffs oracle profile with
+        | _ -> false
+        | exception Macgame.Oracle.Non_converged _ -> true
+      in
+      solver_says && model_says && oracle_says)
+
+let test_batch_outcome_isolates_failures () =
+  let oracle = Macgame.Oracle.create ~solver_max_iter:1 params in
+  let results =
+    Macgame.Oracle.payoffs_batch_outcome oracle
+      [|
+        Macgame.Profile.of_cws (Array.make 4 64) (* uniform: Brent path *);
+        Macgame.Profile.of_cws hostile (* heterogeneous: refused *);
+        Macgame.Profile.of_cws (Array.make 4 128) (* unaffected by the error *);
+      |]
+  in
+  (match results.(0) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "uniform profile refused: %s" e);
+  (match results.(1) with
+  | Ok _ -> Alcotest.fail "hostile profile must be refused"
+  | Error reason ->
+      Alcotest.(check bool) "reason names the budget" true
+        (contains_substring reason "max_iter"));
+  match results.(2) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "later profile poisoned by the failure: %s" e
+
+let test_batch_agrees_with_unbatched () =
+  let oracle, _ = fresh () in
+  let profiles =
+    Array.init 8 (fun i ->
+        Macgame.Profile.of_cws [| 32 + (16 * i); 128; 128; 128 |])
+  in
+  let batched = Macgame.Oracle.payoffs_batch oracle profiles in
+  let reference = Macgame.Oracle.analytic params in
+  Array.iteri
+    (fun i payoffs ->
+      let cold = Macgame.Oracle.payoffs_profile reference profiles.(i) in
+      Array.iteri
+        (fun j u ->
+          Alcotest.(check bool)
+            (Printf.sprintf "profile %d node %d tolerance-level" i j)
+            true
+            (Float.abs (u -. cold.(j)) <= 1e-9 *. Float.max 1. (Float.abs cold.(j))))
+        payoffs)
+    batched
+
 (* {1 Search probe statistics on top of the oracle} *)
 
 let test_search_stddev_zero_on_exact_oracle () =
@@ -282,6 +397,21 @@ let () =
             test_sim_backend_sane_payoffs;
         ] );
       ("validation", [ Alcotest.test_case "arguments" `Quick test_validation ]);
+      ( "non-convergence",
+        [
+          Alcotest.test_case "refused and not memoized" `Quick
+            test_nonconverged_refused_and_not_memoized;
+          Alcotest.test_case "never persisted" `Quick
+            test_nonconverged_never_persisted;
+          QCheck_alcotest.to_alcotest test_nonconverged_surfaces_at_every_layer;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "errors isolated per profile" `Quick
+            test_batch_outcome_isolates_failures;
+          Alcotest.test_case "agrees with unbatched" `Quick
+            test_batch_agrees_with_unbatched;
+        ] );
       ( "search",
         [
           Alcotest.test_case "stddev 0 on an exact oracle" `Quick

@@ -191,6 +191,46 @@ let test_batch_envelope () =
   Alcotest.(check int) "requests counted" 4 (count "serve.requests");
   Alcotest.(check int) "one error" 1 (count "serve.errors")
 
+let test_nonconverged_solve_is_error_reply () =
+  (* A strangled solver budget (PR 9): the non-converged heterogeneous
+     solve must come back as an error reply — never a fabricated answer —
+     while uniform members of the same batch still answer. *)
+  let registry = Telemetry.Registry.create ~label:"test-serve-nc" () in
+  let oracle =
+    Macgame.Oracle.create ~telemetry:registry ~solver_max_iter:1 params
+  in
+  let server = Serve.Server.create ~telemetry:registry oracle in
+  let count name =
+    Telemetry.Metric.count (Telemetry.Registry.counter registry name)
+  in
+  let reply =
+    reply_of_line server {|{"id":7,"op":"payoff","profile":[32,64,128,256]}|}
+  in
+  Alcotest.(check bool) "refused" true (not (is_ok reply));
+  Alcotest.(check bool) "reason names convergence" true
+    (let e = error_text reply in
+     let rec has i =
+       i + 8 <= String.length e && (String.sub e i 8 = "converge" || has (i + 1))
+     in
+     has 0);
+  Alcotest.(check int) "counted as serve error" 1 (count "serve.errors");
+  Alcotest.(check int) "counted as oracle refusal" 1
+    (count "oracle.solve.nonconverged");
+  (* One bad member does not poison its batch siblings. *)
+  let batch =
+    reply_of_line server
+      ({|{"id":"b","op":"batch","requests":[|}
+      ^ {|{"id":1,"op":"tau","n":3,"w":64},|}
+      ^ {|{"id":2,"op":"payoff","profile":[32,64,128,256]},|}
+      ^ {|{"id":3,"op":"tau","n":3,"w":128}]}|})
+  in
+  match field "replies" (field "result" batch) with
+  | Jx.List [ first; second; third ] ->
+      Alcotest.(check bool) "uniform member ok" true (is_ok first);
+      Alcotest.(check bool) "hostile member refused" true (not (is_ok second));
+      Alcotest.(check bool) "later member unaffected" true (is_ok third)
+  | _ -> Alcotest.fail "replies not a 3-list"
+
 let test_deadline_expired () =
   let server, _, count = fresh () in
   let reply = reply_of_line server {|{"op":"tau","n":5,"w":64,"deadline_ms":0}|} in
@@ -330,6 +370,8 @@ let () =
           quick "welfare bit-matches the oracle" test_welfare_bitmatch;
           quick "payoff bit-matches the oracle" test_payoff_bitmatch;
           quick "batch envelope and member tiers" test_batch_envelope;
+          quick "non-converged solve is an error reply"
+            test_nonconverged_solve_is_error_reply;
           quick "expired deadline is refused" test_deadline_expired;
           quick "malformed inputs never raise" test_malformed_inputs_never_raise;
           quick "id salvaged from a bad envelope" test_salvaged_id;
