@@ -1,0 +1,214 @@
+(* Scaling tier (PR 10): wall-clock of the spatial cores as the network
+   grows to 10^4-10^5 nodes, plus the sharded-vs-single statistical
+   equivalence gate the nightly CI scale job runs.
+
+   The substrate is a constant-density disk graph: n nodes dropped by the
+   waypoint model in a square sized so the mean decode degree stays ~12
+   (side = sqrt(n * pi * range^2 / degree)), decode range 120 m,
+   carrier-sense 180 m.  Growing n scales the area, not the local
+   contention, so per-node work is roughly constant and the wall-clock
+   column measures how neighbourhoods are resolved — the grid index
+   against the O(n^2) adjacency scan — not a denser MAC game.
+
+   Honesty note: the sharded row exercises the full multi-domain path
+   (Runner.Pool, ghost mirroring, ownership merge), but on a single-core
+   host it cannot beat the grid core — each ghost is simulated in full,
+   so the redundancy factor (~1.6x at 10k/8 shards with the default halo)
+   is pure overhead until there are cores to absorb it.  EXPERIMENTS.md
+   quotes both numbers with that caveat. *)
+
+let range = 120.
+let cs_range = 180.
+let degree = 12.
+let shards = 8
+let params = Dcf.Params.default
+
+let positions ~seed n =
+  let side = sqrt (float_of_int n *. Float.pi *. range *. range /. degree) in
+  let w =
+    Mobility.Waypoint.create ~seed
+      { width = side; height = side; speed_min = 0.; speed_max = 5. }
+      ~n
+  in
+  Mobility.Waypoint.positions w
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type row = {
+  name : string;
+  n : int;
+  sim : float;  (* simulated seconds *)
+  wall : float; (* wall-clock seconds *)
+  delivered : int;
+}
+
+(* Simulated seconds per wall second: >= 1 means real-time or better. *)
+let speed r = if r.wall > 0. then r.sim /. r.wall else infinity
+
+let total_successes per_node =
+  Array.fold_left
+    (fun acc (s : Netsim.Spatial.node_stats) -> acc + s.successes)
+    0 per_node
+
+let grid_row ?rng_of ~n ~sim ~seed () =
+  let positions = positions ~seed n in
+  let cws = Array.make n 128 in
+  let r, wall =
+    timed (fun () ->
+        Netsim.Spatial.run_grid ?rng_of ~params ~positions ~range ~cs_range
+          ~cws ~duration:sim ~seed ())
+  in
+  { name = "grid"; n; sim; wall; delivered = total_successes r.per_node }
+
+(* The pre-grid path: neighbourhood resolution is an all-pairs adjacency
+   scan feeding the list-based event core.  The scan is timed as part of
+   the row — it is exactly the cost the index removes. *)
+let scan_row ~n ~sim ~seed =
+  let positions = positions ~seed n in
+  let cws = Array.make n 128 in
+  let r, wall =
+    timed (fun () ->
+        let adjacency = Mobility.Topology.adjacency ~range positions in
+        let cs_adjacency =
+          Mobility.Topology.adjacency ~range:cs_range positions
+        in
+        Netsim.Spatial.run ~cs_adjacency
+          { params; adjacency; cws; duration = sim; seed })
+  in
+  { name = "scan"; n; sim; wall; delivered = total_successes r.per_node }
+
+let sharded_run ~n ~sim ~seed =
+  let positions = positions ~seed n in
+  let cws = Array.make n 128 in
+  timed (fun () ->
+      Netsim.Sharded.run ~shards
+        { Netsim.Sharded.params; positions; range; cs_range; cws;
+          duration = sim; seed })
+
+(* Statistical-equivalence gate: the sharded run against the single-domain
+   grid core on the same per-node RNG streams (Sharded.node_rng), so the
+   only divergence left is halo truncation at strip borders.  A relative
+   delivered-frames gap above [tolerance] fails the harness (exit 1) —
+   this is what the nightly scale job is actually gating on. *)
+let tolerance = 0.05
+
+let equivalence_gate ~n ~sim ~seed =
+  let sharded, sharded_wall = sharded_run ~n ~sim ~seed in
+  let single, single_wall =
+    timed (fun () ->
+        Netsim.Spatial.run_grid
+          ~rng_of:(Netsim.Sharded.node_rng ~seed)
+          ~params ~positions:(positions ~seed n) ~range ~cs_range
+          ~cws:(Array.make n 128) ~duration:sim ~seed ())
+  in
+  let s_del = sharded.Netsim.Sharded.delivered in
+  let g_del = total_successes single.per_node in
+  let rel =
+    Float.abs (float_of_int (s_del - g_del))
+    /. float_of_int (Stdlib.max 1 g_del)
+  in
+  let mirrored =
+    Array.fold_left
+      (fun acc (i : Netsim.Sharded.shard_info) -> acc + i.mirrored)
+      0 sharded.shards
+  in
+  Common.note
+    "sharded equivalence: n=%d shards=%d mirrored=%d delivered %d vs %d \
+     (rel diff %.4f, tolerance %.2f)"
+    n shards mirrored s_del g_del rel tolerance;
+  if rel > tolerance then begin
+    Printf.eprintf
+      "scale: sharded delivered diverges %.4f from single-domain (limit %.2f)\n"
+      rel tolerance;
+    exit 1
+  end;
+  let sharded_row =
+    { name = "sharded"; n; sim; wall = sharded_wall; delivered = s_del }
+  in
+  let single_row =
+    { name = "grid"; n; sim; wall = single_wall; delivered = g_del }
+  in
+  (single_row, sharded_row, rel)
+
+let json_of rows (equiv_n, equiv_rel) =
+  let open Telemetry.Jsonx in
+  Obj
+    [
+      ("benchmark", String "scale");
+      ( "rows",
+        List
+          (Stdlib.List.map
+             (fun r ->
+               Obj
+                 [
+                   ("name", String r.name);
+                   ("n", Int r.n);
+                   ("sim_seconds", Float r.sim);
+                   ("wall_seconds", Float r.wall);
+                   ("sim_per_wall", Float (speed r));
+                   ("delivered", Int r.delivered);
+                 ])
+             rows) );
+      ( "equivalence",
+        Obj
+          [
+            ("n", Int equiv_n);
+            ("shards", Int shards);
+            ("rel_diff", Float equiv_rel);
+            ("tolerance", Float tolerance);
+          ] );
+    ]
+
+let run (scale : Common.scale) =
+  Common.heading "Scaling tier: grid index & sharded domains";
+  let full = scale.replicates >= Common.full.replicates in
+  let seed = 7 in
+  (* Durations shrink as n grows so the tier stays minutes, not hours;
+     the speed column normalises them out. *)
+  let rows = ref [] in
+  let add r =
+    rows := r :: !rows;
+    Common.note "%-7s n=%-6d %4.2f sim s in %6.2f wall s (%5.2fx real-time)"
+      r.name r.n r.sim r.wall (speed r)
+  in
+  add (grid_row ~n:1_000 ~sim:(if full then 5. else 1.) ~seed ());
+  add (scan_row ~n:1_000 ~sim:(if full then 5. else 1.) ~seed);
+  if full then add (scan_row ~n:10_000 ~sim:1. ~seed);
+  let single10k, sharded10k, rel =
+    equivalence_gate ~n:10_000 ~sim:(if full then 2. else 1.) ~seed
+  in
+  add single10k;
+  add sharded10k;
+  add (grid_row ~n:100_000 ~sim:(if full then 1. else 0.2) ~seed ());
+  let rows = Stdlib.List.rev !rows in
+  let columns =
+    [
+      Prelude.Table.column ~align:Prelude.Table.Left "core";
+      Prelude.Table.column "n";
+      Prelude.Table.column "sim s";
+      Prelude.Table.column "wall s";
+      Prelude.Table.column "sim/wall";
+      Prelude.Table.column "delivered";
+    ]
+  in
+  Common.print_table columns
+    (Stdlib.List.map
+       (fun r ->
+         [
+           r.name;
+           string_of_int r.n;
+           Printf.sprintf "%.2f" r.sim;
+           Printf.sprintf "%.2f" r.wall;
+           Printf.sprintf "%.2fx" (speed r);
+           string_of_int r.delivered;
+         ])
+       rows);
+  let path = "scale-bench.json" in
+  let oc = open_out path in
+  output_string oc (Telemetry.Jsonx.to_string (json_of rows (10_000, rel)));
+  output_char oc '\n';
+  close_out oc;
+  Common.note "wrote %s" path

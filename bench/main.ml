@@ -5,8 +5,12 @@
    Usage:
      main.exe                 run all experiments at quick scale
      main.exe --full          paper-scale durations
-     main.exe --perf          micro-benchmarks only
+     main.exe --perf          micro-benchmarks only (regression-guarded
+                              against the newest BENCH_PR*.json)
      main.exe --perf-out F    write the micro-benchmark JSON to F
+     main.exe --scale         scaling tier: grid/scan/sharded wall-clock at
+                              1k-100k nodes + sharded equivalence gate
+                              (writes scale-bench.json)
      main.exe --trend         fold BENCH_PR*.json into a per-kernel history
      main.exe --only NAME     a single experiment: table1 table2 table3
                               figure2 figure3 multihop shortsighted
@@ -47,6 +51,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let perf = List.mem "--perf" args in
+  let scale_tier = List.mem "--scale" args in
   let trend = List.mem "--trend" args in
   let rec keyed flag = function
     | f :: value :: _ when f = flag -> Some value
@@ -96,20 +101,27 @@ let () =
                 (String.concat " " (List.map fst experiments));
               exit 1)
       | None ->
-          if not (perf || trend) then begin
+          if not (perf || trend || scale_tier) then begin
             Printf.printf
               "Reproduction harness: Chen & Leneutre, ICDCS 2007 (%s scale)\n"
               (if full then "full" else "quick");
             List.iter (fun (_, f) -> f scale) experiments
           end);
       (if perf then
+         (* The output defaults to the newest checked-in BENCH_PR*.json
+            (overwrite-in-place, the pre-PR10 behaviour generalised); the
+            regression baseline is always the newest one found before
+            writing. *)
          let out =
            match keyed "--perf-out" args with
            | Some path -> path
            | None -> (
                match Sys.getenv_opt "BENCH_PERF_OUT" with
                | Some path -> path
-               | None -> "BENCH_PR9.json")
+               | None ->
+                   Option.value (Perf.discover_baseline ())
+                     ~default:"bench-perf.json")
          in
          Perf.run ~out ());
+      if scale_tier then Exp_scale.run scale;
       if trend then Trend.run ())

@@ -165,6 +165,66 @@ let tests =
                      duration = 1.;
                      seed = 1;
                    })));
+      (* PR-10 scale kernels: the grid-indexed geometric core against the
+         all-pairs adjacency scan it replaces, on the constant-density
+         substrate of exp_scale (mean decode degree ~12, range 120 m,
+         carrier-sense 180 m).  The scan kernel pays for the O(n^2)
+         Topology.adjacency passes inside the closure — that resolution
+         cost is exactly what the index removes, so it belongs in the
+         measured path. *)
+      Test.make ~name:"spatial_grid_250ms_n1k"
+        (Staged.stage
+           (let positions = Exp_scale.positions ~seed:7 1_000 in
+            let cws = Array.make 1_000 128 in
+            fun () ->
+              ignore
+                (Netsim.Spatial.run_grid ~params ~positions
+                   ~range:Exp_scale.range ~cs_range:Exp_scale.cs_range ~cws
+                   ~duration:0.25 ~seed:7 ())));
+      Test.make ~name:"spatial_scan_250ms_n1k"
+        (Staged.stage
+           (let positions = Exp_scale.positions ~seed:7 1_000 in
+            let cws = Array.make 1_000 128 in
+            fun () ->
+              let adjacency =
+                Mobility.Topology.adjacency ~range:Exp_scale.range positions
+              in
+              let cs_adjacency =
+                Mobility.Topology.adjacency ~range:Exp_scale.cs_range positions
+              in
+              ignore
+                (Netsim.Spatial.run ~cs_adjacency
+                   { params; adjacency; cws; duration = 0.25; seed = 7 })));
+      (* The 10^4-node acceptance kernel (100 simulated ms per run), and
+         the same load through the region-sharded multi-domain path — on a
+         single core the sharded kernel's gap over the grid kernel is the
+         ghost-redundancy + pool overhead the EXPERIMENTS.md table
+         documents. *)
+      Test.make ~name:"spatial_grid_100ms_n10k"
+        (Staged.stage
+           (let positions = Exp_scale.positions ~seed:7 10_000 in
+            let cws = Array.make 10_000 128 in
+            fun () ->
+              ignore
+                (Netsim.Spatial.run_grid ~params ~positions
+                   ~range:Exp_scale.range ~cs_range:Exp_scale.cs_range ~cws
+                   ~duration:0.1 ~seed:7 ())));
+      Test.make ~name:"spatial_sharded_100ms_n10k"
+        (Staged.stage
+           (let positions = Exp_scale.positions ~seed:7 10_000 in
+            let cws = Array.make 10_000 128 in
+            fun () ->
+              ignore
+                (Netsim.Sharded.run ~shards:Exp_scale.shards
+                   {
+                     Netsim.Sharded.params;
+                     positions;
+                     range = Exp_scale.range;
+                     cs_range = Exp_scale.cs_range;
+                     cws;
+                     duration = 0.1;
+                     seed = 7;
+                   })));
       (* Repeated-game kernel, cold: a fresh oracle per game, so every
          stage profile pays for its own fixed-point solve. *)
       Test.make ~name:"tft_game_5stages_n5_cold"
@@ -312,12 +372,38 @@ let kernel_ns json =
    --perf run's output at the same path) and fail loudly on a big
    regression.  2× is deliberately loose — micro-benchmark noise on
    shared machines is real — so tripping it means the kernel genuinely
-   lost its edge.  Guarded: the spatial event-core kernels (PR 4/6) and
-   the Newton/batch solver kernels (PR 9). *)
+   lost its edge.  Guarded: every spatial kernel — the event-core ones
+   (PR 4/6) and the grid/scan/sharded scale ones (PR 10) — plus the
+   Newton/batch solver kernels (PR 9). *)
 let guarded_kernel name =
-  (String.length name >= 11 && String.sub name 0 11 = "spatial_sim")
+  (String.length name >= 7 && String.sub name 0 7 = "spatial")
   || name = "newton_cold_n50"
   || name = "batch_sweep_cw64"
+
+(* Checked-in baselines are named BENCH_PR<N>.json; the newest (highest N)
+   is the regression reference, so landing BENCH_PR10.json automatically
+   retires BENCH_PR9.json as the guard — no hardcoded filename to bump. *)
+let baseline_index name =
+  let prefix = "BENCH_PR" and suffix = ".json" in
+  let lp = String.length prefix and ls = String.length suffix in
+  let l = String.length name in
+  if
+    l > lp + ls
+    && String.sub name 0 lp = prefix
+    && String.sub name (l - ls) ls = suffix
+  then int_of_string_opt (String.sub name lp (l - lp - ls))
+  else None
+
+let discover_baseline ?(dir = ".") () =
+  Array.fold_left
+    (fun acc name ->
+      match (baseline_index name, acc) with
+      | Some i, Some (j, _) when i <= j -> acc
+      | Some i, _ -> Some (i, name)
+      | None, _ -> acc)
+    None
+    (try Sys.readdir dir with Sys_error _ -> [||])
+  |> Option.map snd
 
 let check_against_baseline path estimates =
   let baseline_kernels =
@@ -390,7 +476,7 @@ let check_memoized_identical () =
   Printf.printf "memoized-vs-cold check: bit-identical over %d stages\n"
     (Array.length memoized.trace)
 
-let run ~out () =
+let run ?baseline ~out () =
   Common.heading "Bechamel micro-benchmarks";
   check_memoized_identical ();
   let ols =
@@ -502,6 +588,12 @@ let run ~out () =
   (* The traced kernel left wrapped rings behind; empty them so the
      process exits with clean recorder state. *)
   ignore (Telemetry.Recorder.drain Telemetry.Recorder.default);
-  check_against_baseline out estimates;
+  let baseline =
+    match baseline with
+    | Some b -> b
+    | None -> Option.value (discover_baseline ()) ~default:out
+  in
+  Printf.printf "regression baseline: %s\n" baseline;
+  check_against_baseline baseline estimates;
   let saturation = Exp_serve.saturation () in
   write_json ~extras:[ ("saturation", saturation) ] out entries

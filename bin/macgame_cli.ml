@@ -475,7 +475,82 @@ let sim_cmd =
     Arg.(
       value & opt int 79 & info [ "w"; "window" ] ~docv:"W" ~doc:"Common contention window.")
   in
-  let run mode m n w aifs txop rate duration seed () =
+  let shards_t =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Run the geometric spatial core region-sharded across $(docv) \
+             domains (nodes dropped by the waypoint model in the \
+             $(b,--area) square) instead of the single-hop slotted \
+             simulator.  0 keeps the slotted path.")
+  in
+  let sim_area_t =
+    Arg.(
+      value & opt float 500.
+      & info [ "area" ] ~docv:"METERS"
+          ~doc:"Side of the square area (spatial path, with --shards).")
+  in
+  let sim_range_t =
+    Arg.(
+      value & opt float 120.
+      & info [ "range" ] ~docv:"METERS"
+          ~doc:"Decode radius (spatial path, with --shards).")
+  in
+  let cs_range_t =
+    Arg.(
+      value & opt float 0.
+      & info [ "cs-range" ] ~docv:"METERS"
+          ~doc:
+            "Carrier-sense radius (spatial path); 0 means 1.5 x the decode \
+             radius.")
+  in
+  let run_sharded ~params ~strategies ~n ~w ~duration ~seed ~shards ~area
+      ~range ~cs_range =
+    let cs_range = if cs_range > 0. then cs_range else 1.5 *. range in
+    let walkers =
+      Mobility.Waypoint.create ~seed
+        { width = area; height = area; speed_min = 0.; speed_max = 5. }
+        ~n
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Netsim.Sharded.run ?strategies ~shards
+        {
+          Netsim.Sharded.params;
+          positions = Mobility.Waypoint.positions walkers;
+          range;
+          cs_range;
+          cws = Array.make n w;
+          duration;
+          seed;
+        }
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let mirrored =
+      Array.fold_left
+        (fun acc (i : Netsim.Sharded.shard_info) -> acc + i.mirrored)
+        0 r.shards
+    in
+    Printf.printf
+      "simulated %.1f s over %d nodes in %d live shard(s), %d mirrored\n"
+      r.time n (Array.length r.shards) mirrored;
+    Printf.printf
+      "wall %.2f s (%.2fx real-time) | delivered %d | welfare %.4f\n" wall
+      (if wall > 0. then r.time /. wall else infinity)
+      r.delivered r.welfare_rate;
+    (* The full table only at human scale; at 10^4 nodes it is noise. *)
+    if n <= 64 then begin
+      Printf.printf "node | attempts | success | coll | hidden | payoff/s\n";
+      Array.iteri
+        (fun i (s : Netsim.Spatial.node_stats) ->
+          Printf.printf "%4d | %8d | %7d | %4d | %6d | %+.4f\n" i s.attempts
+            s.successes s.local_collisions s.hidden_failures s.payoff_rate)
+        r.per_node
+    end
+  in
+  let run mode m n w aifs txop rate duration seed shards area range cs_range
+      () =
     let params = params_of mode m in
     let s =
       { Macgame.Strategy_space.cw = w; aifs; txop_frames = txop; rate }
@@ -487,33 +562,41 @@ let sim_cmd =
       if Macgame.Strategy_space.is_degenerate s then None
       else Some (Array.make n s)
     in
-    let r =
-      Netsim.Slotted.run ?strategies
-        { params; cws = Array.make n w; duration; seed }
-    in
-    Printf.printf "simulated %.1f s, %d virtual slots\n" r.time r.slots;
-    Printf.printf "node | attempts | success | tau_hat |  p_hat | payoff/s\n";
-    Array.iteri
-      (fun i (s : Netsim.Slotted.node_stats) ->
-        Printf.printf "%4d | %8d | %7d | %.5f | %.4f | %+.4f\n" i s.attempts
-          s.successes s.tau_hat s.p_hat s.payoff_rate)
-      r.per_node;
-    (match strategies with
-    | None ->
-        let v = Dcf.Model.homogeneous params ~n ~w in
-        Printf.printf "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n"
-          v.tau v.p v.utility r.welfare_rate
-    | Some ss ->
-        let v = Dcf.Model.solve_strategies params ss in
-        Printf.printf "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n"
-          v.taus.(0) v.ps.(0) v.utilities.(0) r.welfare_rate)
+    if shards > 0 then
+      run_sharded ~params ~strategies ~n ~w ~duration ~seed ~shards ~area
+        ~range ~cs_range
+    else begin
+      let r =
+        Netsim.Slotted.run ?strategies
+          { params; cws = Array.make n w; duration; seed }
+      in
+      Printf.printf "simulated %.1f s, %d virtual slots\n" r.time r.slots;
+      Printf.printf "node | attempts | success | tau_hat |  p_hat | payoff/s\n";
+      Array.iteri
+        (fun i (s : Netsim.Slotted.node_stats) ->
+          Printf.printf "%4d | %8d | %7d | %.5f | %.4f | %+.4f\n" i s.attempts
+            s.successes s.tau_hat s.p_hat s.payoff_rate)
+        r.per_node;
+      match strategies with
+      | None ->
+          let v = Dcf.Model.homogeneous params ~n ~w in
+          Printf.printf
+            "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n" v.tau
+            v.p v.utility r.welfare_rate
+      | Some ss ->
+          let v = Dcf.Model.solve_strategies params ss in
+          Printf.printf
+            "model: tau=%.5f p=%.4f payoff=%.4f | sim welfare %.4f\n"
+            v.taus.(0) v.ps.(0) v.utilities.(0) r.welfare_rate
+    end
   in
   Cmd.v
-    (Cmd.info "sim" ~doc:"Packet-level single-hop simulation")
+    (Cmd.info "sim" ~doc:"Packet-level simulation (slotted, or spatial with --shards)")
     (instrumented
        Term.(
          const run $ mode_t $ backoff_t $ n_t $ w_t $ aifs_t $ txop_t $ rate_t
-         $ duration_t $ seed_t))
+         $ duration_t $ seed_t $ shards_t $ sim_area_t $ sim_range_t
+         $ cs_range_t))
 
 (* {1 multihop} *)
 
@@ -997,7 +1080,8 @@ let trace_record_cmd =
       & opt
           (enum
              [
-               ("spatial25", `Spatial25); ("chain30", `Chain30);
+               ("spatial25", `Spatial25); ("spatial10k", `Spatial10k);
+               ("chain30", `Chain30);
                ("solve", `Solve); ("sweep", `Sweep);
              ])
           `Spatial25
@@ -1005,6 +1089,8 @@ let trace_record_cmd =
           ~doc:
             "Built-in workload to record: $(b,spatial25) (25-node random \
              geometric spatial simulation, the perf kernel's topology), \
+             $(b,spatial10k) (10000-node constant-density network through \
+             the grid-indexed core — the scale tier's substrate), \
              $(b,chain30) (30-node RTS/CTS chain), $(b,solve) (50-node \
              heterogeneous fixed point) or $(b,sweep) (window sweep through \
              the runner pool; combine with -j to exercise multi-domain \
@@ -1106,6 +1192,26 @@ let trace_record_cmd =
       | `Spatial25 ->
           let adjacency = random_geometric ~seed 25 in
           fun () -> spatial adjacency 25 duration seed
+      | `Spatial10k ->
+          (* Constant mean decode degree ~12 (as in the bench scale tier):
+             the area grows with n, so this records index behaviour at
+             10^4 nodes, not a denser MAC game.  Through run_grid — no
+             O(n^2) adjacency extraction on the way in. *)
+          let n = 10_000 and range = 120. in
+          let side =
+            sqrt (float_of_int n *. Float.pi *. range *. range /. 12.)
+          in
+          let w =
+            Mobility.Waypoint.create ~seed
+              { width = side; height = side; speed_min = 0.; speed_max = 5. }
+              ~n
+          in
+          let positions = Mobility.Waypoint.positions w in
+          fun () ->
+            ignore
+              (Netsim.Spatial.run_grid ~params:Dcf.Params.default ~positions
+                 ~range ~cs_range:180. ~cws:(Array.make n 128) ~duration
+                 ~seed ())
       | `Chain30 ->
           let adjacency = chain 30 in
           fun () -> spatial adjacency 30 duration seed

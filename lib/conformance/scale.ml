@@ -1,0 +1,175 @@
+(* The scale seam (PR 10): the grid-indexed geometric core and the
+   region-sharded multi-domain runner carry three promises, checked here
+   in increasing looseness.
+
+   1. Bit-identity of the index: [Spatial.run_grid] on positions must
+      equal [Spatial.run] on the adjacency lists [Topology] extracts from
+      the same positions — the grid changes how neighbourhoods are found,
+      never what they are.  Margin 0 or infinity, like the degenerate
+      group.
+
+   2. Bit-identity of the sharding machinery where no approximation
+      exists: one shard must reproduce the single-domain grid core on the
+      same RNG streams, and the merged result must not depend on the
+      worker count of the pool that scheduled the shards.
+
+   3. Statistical equivalence where the approximation lives: with many
+      shards, ghost mirroring truncates couplings beyond the halo, so
+      sharded-vs-single agreement is a tolerance band on delivered
+      frames, not bit-identity.  The margin is the consumed fraction of
+      that band — the number to watch creep if the halo or the border
+      protocol regresses. *)
+
+let params = Dcf.Params.default
+let range = 120.
+let cs_range = 180.
+
+let positions ~seed n =
+  let w =
+    Mobility.Waypoint.create ~seed
+      { width = 500.; height = 500.; speed_min = 0.; speed_max = 5. }
+      ~n
+  in
+  Mobility.Waypoint.positions w
+
+let margin_of ok = if ok then 0. else infinity
+
+(* {2 Grid-vs-lists bit-identity} *)
+
+let grid_bit_point ~mode ~n ~seed ~range ~cs_range () =
+  let params =
+    match mode with `Basic -> Dcf.Params.default | `Rts -> Dcf.Params.rts_cts
+  in
+  let positions = positions ~seed n in
+  let cws = Array.init n (fun i -> 16 lsl (i mod 2)) in
+  let adjacency = Mobility.Topology.adjacency ~range positions in
+  let cs_adjacency = Mobility.Topology.adjacency ~range:cs_range positions in
+  let lists =
+    Netsim.Spatial.run ~cs_adjacency
+      { params; adjacency; cws; duration = 1.; seed }
+  in
+  let grid =
+    Netsim.Spatial.run_grid ~params ~positions ~range ~cs_range ~cws
+      ~duration:1. ~seed ()
+  in
+  Netsim.Spatial.equal_result lists grid
+
+(* {2 Sharded bit-identity (no approximation in play)} *)
+
+let sharded_cfg ~n ~seed ~duration =
+  {
+    Netsim.Sharded.params;
+    positions = positions ~seed n;
+    range;
+    cs_range;
+    cws = Array.make n 32;
+    duration;
+    seed;
+  }
+
+let stats_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Netsim.Spatial.equal_stats a b
+
+let single_grid (cfg : Netsim.Sharded.config) =
+  Netsim.Spatial.run_grid
+    ~rng_of:(Netsim.Sharded.node_rng ~seed:cfg.seed)
+    ~params:cfg.params ~positions:cfg.positions ~range:cfg.range
+    ~cs_range:cfg.cs_range ~cws:cfg.cws ~duration:cfg.duration ~seed:cfg.seed
+    ()
+
+let sharded_one_shard_point ~n ~seed () =
+  let cfg = sharded_cfg ~n ~seed ~duration:0.5 in
+  let sharded = Netsim.Sharded.run ~shards:1 cfg in
+  let single = single_grid cfg in
+  stats_equal sharded.per_node single.per_node
+
+let sharded_workers_point ~n ~seed () =
+  let cfg = sharded_cfg ~n ~seed ~duration:0.5 in
+  let run workers =
+    let pool = Runner.Pool.create ~workers () in
+    Netsim.Sharded.run ~pool ~shards:3 cfg
+  in
+  let serial = run 1 and parallel = run 3 in
+  stats_equal serial.per_node parallel.per_node
+
+(* {2 Sharded-vs-single statistical band} *)
+
+let sharded_stat_point ~n ~shards ~duration ~seed ~tolerance () =
+  let cfg = sharded_cfg ~n ~seed ~duration in
+  let sharded = Netsim.Sharded.run ~shards cfg in
+  let single = single_grid cfg in
+  let total stats =
+    Array.fold_left
+      (fun acc (s : Netsim.Spatial.node_stats) -> acc + s.successes)
+      0 stats
+  in
+  let s = total sharded.per_node and g = total single.per_node in
+  let rel =
+    Float.abs (float_of_int (s - g)) /. float_of_int (Stdlib.max 1 g)
+  in
+  ( rel /. tolerance,
+    Printf.sprintf
+      "delivered %d sharded vs %d single (rel diff %.4f, band %.2f)" s g rel
+      tolerance )
+
+let checks ?telemetry ~tier () =
+  if not (Check.runs_in Check.Fast ~at:tier) then []
+  else begin
+    let emit check =
+      Check.emit ?telemetry check;
+      check
+    in
+    let bit ~id compute =
+      emit
+        (match compute () with
+        | ok ->
+            Check.v ~id ~group:"scale" ~margin:(margin_of ok)
+              ~detail:
+                (if ok then "bit-identical"
+                 else "DIVERGED where bit-identity is promised")
+              ()
+        | exception exn ->
+            Check.v ~id ~group:"scale" ~margin:infinity
+              ~detail:("raised: " ^ Printexc.to_string exn)
+              ())
+    in
+    let stat ~id compute =
+      emit
+        (match compute () with
+        | margin, detail -> Check.v ~id ~group:"scale" ~margin ~detail ()
+        | exception exn ->
+            Check.v ~id ~group:"scale" ~margin:infinity
+              ~detail:("raised: " ^ Printexc.to_string exn)
+              ())
+    in
+    let fast =
+      [
+        bit ~id:"scale.grid.basic.n24"
+          (grid_bit_point ~mode:`Basic ~n:24 ~seed:3 ~range:150.
+             ~cs_range:210.);
+        bit ~id:"scale.grid.rts.n32"
+          (grid_bit_point ~mode:`Rts ~n:32 ~seed:7 ~range:150. ~cs_range:225.);
+        bit ~id:"scale.grid.cs-eq-range.n16"
+          (grid_bit_point ~mode:`Basic ~n:16 ~seed:11 ~range:120.
+             ~cs_range:120.);
+        bit ~id:"scale.sharded.one-shard.n40"
+          (sharded_one_shard_point ~n:40 ~seed:5);
+        bit ~id:"scale.sharded.workers.n60"
+          (sharded_workers_point ~n:60 ~seed:13);
+        stat ~id:"scale.sharded.stat.n60"
+          (sharded_stat_point ~n:60 ~shards:3 ~duration:1. ~seed:21
+             ~tolerance:0.1);
+      ]
+    in
+    let full =
+      if not (Check.runs_in Check.Full ~at:tier) then []
+      else
+        [
+          stat ~id:"scale.sharded.stat.n200"
+            (sharded_stat_point ~n:200 ~shards:4 ~duration:2. ~seed:33
+               ~tolerance:0.15);
+        ]
+    in
+    fast @ full
+  end

@@ -1,0 +1,20 @@
+(** Scale-seam checks: the grid index and the sharded runner.
+
+    Three claims, in increasing looseness.  (1) {!Netsim.Spatial.run_grid}
+    is bit-identical to {!Netsim.Spatial.run} on the adjacency lists
+    extracted from the same positions — the index changes how
+    neighbourhoods are found, never what they are.  (2) The sharding
+    machinery is bit-exact where no approximation exists: one shard
+    reproduces the single-domain grid core on the same RNG streams, and
+    the merged result is independent of the pool's worker count.  (3)
+    With many shards, ghost mirroring truncates couplings beyond the
+    halo, so sharded-vs-single agreement is a tolerance band on delivered
+    frames; the margin is the consumed fraction of that band.
+
+    Bit points and the small statistical point run in the fast tier; the
+    full tier adds a larger statistical point (n = 200, 4 shards). *)
+
+val checks :
+  ?telemetry:Telemetry.Registry.t -> tier:Check.tier -> unit -> Check.t list
+(** Evaluate the group (["scale"]); one check per point, emitted on the
+    registry. *)

@@ -25,6 +25,7 @@ let run ?telemetry ?(golden_dir = default_golden_dir) ~tier () =
     @ Solver_core.checks ?telemetry ~tier ()
     @ Anchors.checks ?telemetry ~tier ()
     @ Serving.checks ?telemetry ~tier ()
+    @ Scale.checks ?telemetry ~tier ()
     @ Golden.checks ?telemetry ~tier ~dir:golden_dir ()
   in
   { tier; checks; report = Check.report checks; ok = Check.all_passed checks }

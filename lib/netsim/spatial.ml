@@ -48,9 +48,7 @@ type node = {
   id : int;
   window : int;
   neighbors : int array;      (** decode (transmission) range *)
-  neighbor_set : bool array;  (** dense membership test *)
   cs_neighbors : int array;   (** carrier-sense range (superset) *)
-  cs_set : bool array;
   rng : Prelude.Rng.t;
   can_tx : bool;              (** has at least one neighbour to address *)
   tx : tx;                    (** reusable record (event core only) *)
@@ -139,47 +137,169 @@ let nid_event =
 
 type driver = Reference | Event_core
 
+(* Where neighbourhoods come from.  [Lists] is the historical adjacency
+   interface (dense membership sets, full symmetry validation); [Geo] is
+   the unit-disk model resolved through a {!Mobility.Grid} index, whose
+   neighbour arrays are identical to [Topology.adjacency ~range] of the
+   same positions — which is what makes {!run_grid} bit-match {!run}. *)
+type neighborhoods =
+  | Lists of {
+      adjacency : int list array;
+      cs_adjacency : int list array option;
+    }
+  | Geo of {
+      positions : Mobility.Geom.point array;
+      range : float;
+      cs_range : float;
+      grid : Mobility.Grid.t option;
+    }
+
+(* Grid-backed state threaded into the event core when neighbourhoods are
+   geometric: the airborne-transmitter index, the coordinates to query
+   around, and a flush that folds both grids' candidate/rebucket tallies
+   into the registry counters once per run (the grids count into plain
+   ints so the hot loop never takes the registry lock). *)
+type geo_state = {
+  g_air : Mobility.Grid.t;
+  g_positions : Mobility.Geom.point array;
+  g_radius : float;
+  g_flush : Telemetry.Registry.t -> unit;
+}
+
 (* [flight] gates the flight recorder for this run: the differential
    shadow run passes [false] so primary and shadow do not double-record
    the same workload into the process-wide rings. *)
-let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
-    ~strategies { params; adjacency; cws; duration; seed } =
+let simulate ~driver ~telemetry ~retry_limit ~trace ~flight ~strategies
+    ~rng_of ~hoods ~(params : Dcf.Params.t) ~cws ~duration ~seed =
   if retry_limit < 0 then invalid_arg "Spatial.run: retry_limit must be >= 0";
-  let n = Array.length adjacency in
-  let cs_adjacency = Option.value cs_adjacency ~default:adjacency in
-  if Array.length cs_adjacency <> n then
-    invalid_arg "Spatial.run: cs_adjacency length mismatch";
-  if n = 0 then invalid_arg "Spatial.run: empty network";
-  if Array.length cws <> n then invalid_arg "Spatial.run: cws length mismatch";
-  if duration <= 0. then invalid_arg "Spatial.run: duration must be positive";
-  Array.iter
-    (fun w -> if w < 1 then invalid_arg "Spatial.run: window must be >= 1")
-    cws;
-  Array.iteri
-    (fun i l ->
-      List.iter
-        (fun j ->
-          if j < 0 || j >= n || j = i then
-            invalid_arg "Spatial.run: bad neighbour";
-          if not (List.mem i adjacency.(j)) then
-            invalid_arg "Spatial.run: adjacency not symmetric")
-        l)
-    adjacency;
-  Array.iteri
-    (fun i l ->
-      List.iter
-        (fun j ->
-          if j < 0 || j >= n || j = i then
-            invalid_arg "Spatial.run: bad carrier-sense neighbour";
-          if not (List.mem i cs_adjacency.(j)) then
-            invalid_arg "Spatial.run: cs_adjacency not symmetric")
-        l;
-      List.iter
-        (fun j ->
-          if not (List.mem j l) then
-            invalid_arg "Spatial.run: cs_adjacency must contain adjacency")
-        adjacency.(i))
-    cs_adjacency;
+  let validate_scalars n =
+    if n = 0 then invalid_arg "Spatial.run: empty network";
+    if Array.length cws <> n then
+      invalid_arg "Spatial.run: cws length mismatch";
+    if duration <= 0. then invalid_arg "Spatial.run: duration must be positive";
+    Array.iter
+      (fun w -> if w < 1 then invalid_arg "Spatial.run: window must be >= 1")
+      cws
+  in
+  let n, neighbors_a, cs_neighbors_a, is_neighbor, in_cs, geo =
+    match hoods with
+    | Lists { adjacency; cs_adjacency } ->
+        let n = Array.length adjacency in
+        let cs_adjacency = Option.value cs_adjacency ~default:adjacency in
+        if Array.length cs_adjacency <> n then
+          invalid_arg "Spatial.run: cs_adjacency length mismatch";
+        validate_scalars n;
+        Array.iteri
+          (fun i l ->
+            List.iter
+              (fun j ->
+                if j < 0 || j >= n || j = i then
+                  invalid_arg "Spatial.run: bad neighbour";
+                if not (List.mem i adjacency.(j)) then
+                  invalid_arg "Spatial.run: adjacency not symmetric")
+              l)
+          adjacency;
+        Array.iteri
+          (fun i l ->
+            List.iter
+              (fun j ->
+                if j < 0 || j >= n || j = i then
+                  invalid_arg "Spatial.run: bad carrier-sense neighbour";
+                if not (List.mem i cs_adjacency.(j)) then
+                  invalid_arg "Spatial.run: cs_adjacency not symmetric")
+              l;
+            List.iter
+              (fun j ->
+                if not (List.mem j l) then
+                  invalid_arg "Spatial.run: cs_adjacency must contain adjacency")
+              adjacency.(i))
+          cs_adjacency;
+        let dense l =
+          let set = Array.make n false in
+          List.iter (fun j -> set.(j) <- true) l;
+          set
+        in
+        let neighbor_sets = Array.map dense adjacency in
+        let cs_sets = Array.map dense cs_adjacency in
+        ( n,
+          Array.map Array.of_list adjacency,
+          Array.map Array.of_list cs_adjacency,
+          (fun i j -> neighbor_sets.(i).(j)),
+          (fun i j -> cs_sets.(i).(j)),
+          None )
+    | Geo { positions; range; cs_range; grid } ->
+        let n = Array.length positions in
+        validate_scalars n;
+        if range <= 0. then
+          invalid_arg "Spatial.run_grid: range must be positive";
+        if cs_range < range then
+          invalid_arg "Spatial.run_grid: cs_range must be >= range";
+        let g =
+          match grid with
+          | None -> Mobility.Grid.create ~cell:range positions
+          | Some g ->
+              if Mobility.Grid.length g <> n then
+                invalid_arg "Spatial.run_grid: grid length mismatch";
+              Array.iteri
+                (fun i (p : Mobility.Geom.point) ->
+                  let q = Mobility.Grid.position g i in
+                  if q.x <> p.x || q.y <> p.y then
+                    invalid_arg
+                      "Spatial.run_grid: grid coordinates disagree with \
+                       positions")
+                positions;
+              g
+        in
+        let candidates0 = Mobility.Grid.candidates g in
+        let rebuckets0 = Mobility.Grid.rebuckets g in
+        let neighbors = Array.make n [||] in
+        let cs_neighbors = Array.make n [||] in
+        for i = 0 to n - 1 do
+          let cands = Mobility.Grid.query g ~radius:cs_range i in
+          cs_neighbors.(i) <- Array.of_list cands;
+          neighbors.(i) <-
+            Array.of_list
+              (List.filter
+                 (fun j ->
+                   Mobility.Geom.within ~range positions.(i) positions.(j))
+                 cands)
+        done;
+        (* Airborne-transmitter index: every pair the eager corruption
+           marking can couple (src→receiver→other src) spans at most two
+           decode hops, so a 2·range candidate box is a superset of the
+           frames that can matter; extra candidates no-op through the
+           exact predicates below. *)
+        let air =
+          Mobility.Grid.create ~fill:false ~cell:(2. *. range) positions
+        in
+        let flush registry =
+          Telemetry.Metric.add
+            (Telemetry.Registry.counter registry "netsim.grid.candidates")
+            (Mobility.Grid.candidates g - candidates0
+            + Mobility.Grid.candidates air);
+          Telemetry.Metric.add
+            (Telemetry.Registry.counter registry "netsim.grid.rebuckets")
+            (Mobility.Grid.rebuckets g - rebuckets0
+            + Mobility.Grid.rebuckets air)
+        in
+        ( n,
+          neighbors,
+          cs_neighbors,
+          (fun i j ->
+            i <> j
+            && Mobility.Geom.within ~range positions.(i) positions.(j)),
+          (fun i j ->
+            i <> j
+            && Mobility.Geom.within ~range:cs_range positions.(i)
+                 positions.(j)),
+          Some
+            {
+              g_air = air;
+              g_positions = positions;
+              g_radius = 2. *. range;
+              g_flush = flush;
+            } )
+  in
   let strategies =
     match strategies with
     | None -> Array.map Dcf.Strategy_space.of_cw cws
@@ -243,22 +363,17 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
   let master = Prelude.Rng.create seed in
   let nodes =
     Array.init n (fun i ->
-        let neighbors = Array.of_list adjacency.(i) in
-        let neighbor_set = Array.make n false in
-        Array.iter (fun j -> neighbor_set.(j) <- true) neighbors;
-        let cs_neighbors = Array.of_list cs_adjacency.(i) in
-        let cs_set = Array.make n false in
-        Array.iter (fun j -> cs_set.(j) <- true) cs_neighbors;
         let node =
           {
             id = i;
             window = cws.(i);
-            neighbors;
-            neighbor_set;
-            cs_neighbors;
-            cs_set;
-            rng = Prelude.Rng.split master;
-            can_tx = Array.length neighbors > 0;
+            neighbors = neighbors_a.(i);
+            cs_neighbors = cs_neighbors_a.(i);
+            rng =
+              (match rng_of with
+              | None -> Prelude.Rng.split master
+              | Some f -> f i);
+            can_tx = Array.length neighbors_a.(i) > 0;
             tx =
               {
                 src = i;
@@ -335,8 +450,8 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
     ref (fun nd _ _ -> nd.tx)
   in
   let register : (node -> tx -> unit) ref = ref (fun _ _ -> ()) in
-  let iter_airborne : (int -> (tx -> unit) -> unit) ref =
-    ref (fun _ _ -> ())
+  let iter_airborne : (node -> int -> (tx -> unit) -> unit) ref =
+    ref (fun _ _ _ -> ())
   in
   let resolve now tx =
     tx.resolved <- true;
@@ -441,12 +556,11 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
         (* Receiver itself is transmitting and will miss the frame; it is a
            neighbour, so this counts as a local loss. *)
         tx.corrupted_local <- true;
-      !iter_airborne now (fun other ->
+      !iter_airborne node now (fun other ->
           if other != tx && nodes.(other.src).busy_until > now then begin
             (* [other]'s frame is still on the air. *)
-            if other.src <> node.id && dest_node.neighbor_set.(other.src)
-            then begin
-              if node.cs_set.(other.src) then tx.corrupted_local <- true
+            if other.src <> node.id && is_neighbor dest other.src then begin
+              if in_cs node.id other.src then tx.corrupted_local <- true
               else tx.corrupted_hidden <- true
             end;
             (* Symmetrically, the new frame may corrupt [other] if other is
@@ -456,8 +570,8 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
                check could not see it). *)
             if (not other.resolved) && now < other.vuln_end then begin
               if other.dest = node.id then other.corrupted_local <- true
-              else if nodes.(other.dest).neighbor_set.(node.id) then
-                if nodes.(other.src).cs_set.(node.id) then
+              else if is_neighbor other.dest node.id then
+                if in_cs other.src node.id then
                   other.corrupted_local <- true
                 else other.corrupted_hidden <- true
             end
@@ -486,7 +600,7 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
              corrupted_hidden = false;
            });
       (register := fun _node tx -> active := tx :: !active);
-      (iter_airborne := fun _now f -> List.iter f !active);
+      (iter_airborne := fun _node _now f -> List.iter f !active);
       (* A node senses the channel idle when it is not transmitting, has no
          NAV, and no neighbour is transmitting. *)
       let senses_idle now node =
@@ -652,30 +766,58 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
            tx.corrupted_local <- false;
            tx.corrupted_hidden <- false;
            tx);
-      (register :=
-         fun node tx ->
-           if not node.in_bag then begin
-             node.in_bag <- true;
-             bag.(!bag_len) <- node.id;
-             incr bag_len
-           end;
-           push_event tx.vuln_end kind_resolve node.id);
-      (iter_airborne :=
-         fun now f ->
-           let k = ref 0 in
-           while !k < !bag_len do
-             let id = bag.(!k) in
-             let tx = nodes.(id).tx in
-             if tx.resolved && tx.finish <= now then begin
-               nodes.(id).in_bag <- false;
-               decr bag_len;
-               bag.(!k) <- bag.(!bag_len)
-             end
-             else begin
-               f tx;
-               incr k
-             end
-           done);
+      (match geo with
+      | None ->
+          (register :=
+             fun node tx ->
+               if not node.in_bag then begin
+                 node.in_bag <- true;
+                 bag.(!bag_len) <- node.id;
+                 incr bag_len
+               end;
+               push_event tx.vuln_end kind_resolve node.id);
+          iter_airborne :=
+            fun _node now f ->
+              let k = ref 0 in
+              while !k < !bag_len do
+                let id = bag.(!k) in
+                let tx = nodes.(id).tx in
+                if tx.resolved && tx.finish <= now then begin
+                  nodes.(id).in_bag <- false;
+                  decr bag_len;
+                  bag.(!k) <- bag.(!bag_len)
+                end
+                else begin
+                  f tx;
+                  incr k
+                end
+              done
+      | Some { g_air = air; g_positions = positions; g_radius; _ } ->
+          (* The global bag becomes the airborne grid: registration inserts
+             the transmitter's cell, marking queries only the cells within
+             the interference radius, and stale members are pruned lazily
+             as queries meet them.  Candidates are staged through [scratch]
+             because pruning mutates the bucket being iterated. *)
+          let scratch = Array.make n 0 in
+          (register :=
+             fun node tx ->
+               Mobility.Grid.add air node.id;
+               push_event tx.vuln_end kind_resolve node.id);
+          iter_airborne :=
+            fun node now f ->
+              let p = positions.(node.id) in
+              let len = ref 0 in
+              Mobility.Grid.iter_candidates air ~radius:g_radius p.x p.y
+                (fun j ->
+                  scratch.(!len) <- j;
+                  incr len);
+              for k = 0 to !len - 1 do
+                let id = scratch.(k) in
+                let tx = nodes.(id).tx in
+                if tx.resolved && tx.finish <= now then
+                  Mobility.Grid.remove air id
+                else f tx
+              done);
       (* Seed the calendar: every node that can transmit starts unfrozen
          with its initial AIFS defer and backoff pending. *)
       Array.iter
@@ -750,11 +892,22 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
       done;
       (* Frames still unresolved carry a vulnerable window past the horizon
          (in-horizon resolutions all had calendar entries); resolve them so
-         per-node accounting balances.  [clip] discards their airtime. *)
-      for k = 0 to !bag_len - 1 do
-        let tx = nodes.(bag.(k)).tx in
-        if not tx.resolved then resolve tx.vuln_end tx
-      done);
+         per-node accounting balances.  [clip] discards their airtime.
+         Resolution order cannot affect the result here: each resolve
+         only touches its own node's counters and rng stream plus global
+         sums, and every airtime contribution clips to the horizon — so
+         scanning the bag (lists) and scanning all nodes (geo) agree. *)
+      match geo with
+      | None ->
+          for k = 0 to !bag_len - 1 do
+            let tx = nodes.(bag.(k)).tx in
+            if not tx.resolved then resolve tx.vuln_end tx
+          done
+      | Some _ ->
+          Array.iter
+            (fun nd ->
+              if not nd.tx.resolved then resolve nd.tx.vuln_end nd.tx)
+            nodes);
   let elapsed = float_of_int horizon *. sigma in
   let per_node =
     Array.map
@@ -854,6 +1007,7 @@ let simulate ~driver ~telemetry ~cs_adjacency ~retry_limit ~trace ~flight
       airtime;
     }
   in
+  Option.iter (fun gs -> gs.g_flush telemetry) geo;
   Telemetry.Metric.incr
     (Telemetry.Registry.counter telemetry "netsim.spatial.runs");
   Telemetry.Registry.emit telemetry "run_summary" (fun () ->
@@ -905,32 +1059,65 @@ let recorded_run a b f =
       ~finally:(fun () -> Telemetry.Recorder.end_span recorder nid_run rid)
       f
 
+let diff_requested () =
+  match Sys.getenv_opt "NETSIM_SPATIAL_DIFF" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 let run_reference ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
-    ?(retry_limit = max_int) ?trace ?strategies config =
-  recorded_run (Array.length config.adjacency) config.seed (fun () ->
-      simulate ~driver:Reference ~telemetry ~cs_adjacency ~retry_limit ~trace
-        ~flight:true ~strategies config)
+    ?(retry_limit = max_int) ?trace ?strategies
+    { params; adjacency; cws; duration; seed } =
+  let hoods = Lists { adjacency; cs_adjacency } in
+  recorded_run (Array.length adjacency) seed (fun () ->
+      simulate ~driver:Reference ~telemetry ~retry_limit ~trace ~flight:true
+        ~strategies ~rng_of:None ~hoods ~params ~cws ~duration ~seed)
 
 let run ?(telemetry = Telemetry.Registry.default) ?cs_adjacency
-    ?(retry_limit = max_int) ?trace ?strategies config =
+    ?(retry_limit = max_int) ?trace ?strategies
+    { params; adjacency; cws; duration; seed } =
+  let hoods = Lists { adjacency; cs_adjacency } in
   let result =
-    recorded_run (Array.length config.adjacency) config.seed (fun () ->
-        simulate ~driver:Event_core ~telemetry ~cs_adjacency ~retry_limit
-          ~trace ~flight:true ~strategies config)
+    recorded_run (Array.length adjacency) seed (fun () ->
+        simulate ~driver:Event_core ~telemetry ~retry_limit ~trace
+          ~flight:true ~strategies ~rng_of:None ~hoods ~params ~cws ~duration
+          ~seed)
   in
-  (match Sys.getenv_opt "NETSIM_SPATIAL_DIFF" with
-  | None | Some "" | Some "0" -> ()
-  | Some _ ->
-      let shadow =
-        simulate ~driver:Reference
-          ~telemetry:(Telemetry.Registry.create ())
-          ~cs_adjacency ~retry_limit ~trace:None ~flight:false ~strategies
-          config
-      in
-      if not (equal_result result shadow) then
-        failwith
-          "Spatial.run: NETSIM_SPATIAL_DIFF divergence: event core and \
-           reference loop disagree");
+  if diff_requested () then begin
+    let shadow =
+      simulate ~driver:Reference
+        ~telemetry:(Telemetry.Registry.create ())
+        ~retry_limit ~trace:None ~flight:false ~strategies ~rng_of:None
+        ~hoods ~params ~cws ~duration ~seed
+    in
+    if not (equal_result result shadow) then
+      failwith
+        "Spatial.run: NETSIM_SPATIAL_DIFF divergence: event core and \
+         reference loop disagree"
+  end;
+  result
+
+let run_grid ?(telemetry = Telemetry.Registry.default) ?(retry_limit = max_int)
+    ?trace ?strategies ?rng_of ?grid ?cs_range ~params ~positions ~range ~cws
+    ~duration ~seed () =
+  let cs_range = Option.value cs_range ~default:range in
+  let hoods = Geo { positions; range; cs_range; grid } in
+  let result =
+    recorded_run (Array.length positions) seed (fun () ->
+        simulate ~driver:Event_core ~telemetry ~retry_limit ~trace
+          ~flight:true ~strategies ~rng_of ~hoods ~params ~cws ~duration ~seed)
+  in
+  if diff_requested () then begin
+    let shadow =
+      simulate ~driver:Reference
+        ~telemetry:(Telemetry.Registry.create ())
+        ~retry_limit ~trace:None ~flight:false ~strategies ~rng_of ~hoods
+        ~params ~cws ~duration ~seed
+    in
+    if not (equal_result result shadow) then
+      failwith
+        "Spatial.run_grid: NETSIM_SPATIAL_DIFF divergence: event core and \
+         reference loop disagree"
+  end;
   result
 
 (* Single-hop adapter for the payoff oracle: a clique adjacency makes every

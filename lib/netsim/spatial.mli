@@ -155,9 +155,54 @@ val run_reference :
     inputs must give a result {!equal_result} to {!run}'s.  Prefer {!run}
     everywhere else — this loop allocates on every boundary. *)
 
+val run_grid :
+  ?telemetry:Telemetry.Registry.t ->
+  ?retry_limit:int -> ?trace:Trace.t ->
+  ?strategies:Dcf.Strategy_space.t array ->
+  ?rng_of:(int -> Prelude.Rng.t) ->
+  ?grid:Mobility.Grid.t -> ?cs_range:float ->
+  params:Dcf.Params.t -> positions:Mobility.Geom.point array ->
+  range:float -> cws:int array -> duration:float -> seed:int ->
+  unit -> result
+(** The grid-indexed geometric core: the same event-driven scheduler as
+    {!run}, with neighbourhoods resolved against a {!Mobility.Grid}
+    uniform-grid index over [positions] (unit-disk model, decode radius
+    [range], carrier-sense radius [cs_range], default [range]) instead of
+    explicit adjacency lists.  Airborne interference is likewise resolved
+    against a per-run grid of active transmitters queried at radius
+    2·[range] — the eager corruption marking couples nodes at most two
+    decode hops apart, so the candidate box is a superset of every frame
+    that can matter.
+
+    Determinism contract: [run_grid ~positions ~range ~cs_range] is
+    bit-identical ({!equal_result}) to [run] on
+    [Topology.adjacency ~range positions] with
+    [~cs_adjacency:(Topology.adjacency ~range:cs_range positions)] — the
+    grid changes how neighbourhoods are {e found}, never what they are
+    (neighbour arrays are equal, and per-node RNG streams make cross-node
+    event order immaterial).  The fast-tier [scale] conformance group
+    pins this.
+
+    [rng_of] overrides each node's RNG stream (default: streams split
+    from [seed] in node order, exactly as {!run}).  {!Sharded.run} uses
+    it to give every node a stream keyed by its global id, so a node
+    simulates identically in whichever shard mirrors it.  [grid] supplies
+    a prebuilt node index (cell size may differ from [range]); its
+    coordinates must agree with [positions] — the mobility path keeps one
+    grid alive and {!Mobility.Grid.move}s walkers between epochs.
+
+    Each run folds the index's tallies into the [netsim.grid.candidates]
+    and [netsim.grid.rebuckets] counters on [telemetry].
+
+    @raise Invalid_argument on inconsistent sizes, a non-positive [range],
+    [cs_range < range], or a [grid] disagreeing with [positions]. *)
+
 val equal_result : result -> result -> bool
 (** Bit-exact equality (floats compared by their IEEE-754 bits), used by
     the differential harness. *)
+
+val equal_stats : node_stats -> node_stats -> bool
+(** Bit-exact equality of one node's statistics. *)
 
 val clique_estimates :
   ?telemetry:Telemetry.Registry.t ->

@@ -525,6 +525,194 @@ let test_spatial_airtime_clipped_at_horizon () =
   Alcotest.(check bool) "busy cannot exceed the horizon" true
     (a.busy_fraction <= 1.)
 
+(* {1 Grid index & sharded scale} *)
+
+(* Quarter-cell coordinate lattice: with cell = 75 every fourth lattice
+   step lands a point exactly on a bucket boundary, the rounding case the
+   padded candidate box must absorb. *)
+let grid_cell = 75.
+let grid_quarter = grid_cell /. 4.
+let grid_radii = [| 0.; grid_quarter; grid_cell; 2. *. grid_cell; 500. |]
+
+let grid_point (ix, iy) =
+  { Mobility.Geom.x = float_of_int ix *. grid_quarter;
+    y = float_of_int iy *. grid_quarter }
+
+let test_grid_query_matches_scan =
+  QCheck.Test.make ~name:"grid query equals brute-force scan" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (pair (int_bound 26) (int_bound 26)))
+        (int_bound 4))
+    (fun (cells, ridx) ->
+      let pts = Array.of_list (List.map grid_point cells) in
+      let radius = grid_radii.(ridx) in
+      let g = Mobility.Grid.create ~cell:grid_cell pts in
+      let n = Array.length pts in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let got = Mobility.Grid.query g ~radius i in
+        let want =
+          List.filter
+            (fun j ->
+              j <> i && Mobility.Geom.within ~range:radius pts.(i) pts.(j))
+            (List.init n Fun.id)
+        in
+        if got <> want then ok := false
+      done;
+      !ok)
+
+let test_grid_move_incremental =
+  QCheck.Test.make ~name:"grid move equals fresh rebuild" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 20) (pair (int_bound 26) (int_bound 26)))
+        (small_list (triple small_nat (int_bound 26) (int_bound 26))))
+    (fun (cells, moves) ->
+      let pts = Array.of_list (List.map grid_point cells) in
+      let n = Array.length pts in
+      let g = Mobility.Grid.create ~cell:grid_cell pts in
+      List.iter
+        (fun (idx, ix, iy) ->
+          let i = idx mod n in
+          let p = grid_point (ix, iy) in
+          pts.(i) <- p;
+          Mobility.Grid.move g i p)
+        moves;
+      let fresh = Mobility.Grid.create ~cell:grid_cell pts in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if
+          Mobility.Grid.query g ~radius:grid_cell i
+          <> Mobility.Grid.query fresh ~radius:grid_cell i
+        then ok := false
+      done;
+      !ok)
+
+let geo_positions ~seed n =
+  let w =
+    Mobility.Waypoint.create ~seed
+      { width = 500.; height = 500.; speed_min = 0.; speed_max = 5. }
+      ~n
+  in
+  Mobility.Waypoint.positions w
+
+let test_run_grid_bit_matches_run () =
+  List.iter
+    (fun (label, n, seed, params, range, cs_range) ->
+      let positions = geo_positions ~seed n in
+      let adjacency = Mobility.Topology.adjacency ~range positions in
+      let cs_adjacency =
+        Mobility.Topology.adjacency ~range:cs_range positions
+      in
+      let cws = Array.init n (fun i -> 16 lsl (i mod 2)) in
+      let lists =
+        Netsim.Spatial.run ~telemetry:(quiet ()) ~cs_adjacency
+          { params; adjacency; cws; duration = 1.; seed }
+      in
+      let grid =
+        Netsim.Spatial.run_grid ~telemetry:(quiet ()) ~params ~positions
+          ~range ~cs_range ~cws ~duration:1. ~seed ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: grid core bit-identical" label)
+        true
+        (Netsim.Spatial.equal_result lists grid))
+    [
+      ("basic-24", 24, 3, default, 150., 210.);
+      ("rts-32", 32, 7, rts_cts, 150., 225.);
+      ("cs=range-16", 16, 11, default, 120., 120.);
+    ]
+
+let sharded_config ?(duration = 0.5) ~seed n =
+  {
+    Netsim.Sharded.params = default;
+    positions = geo_positions ~seed n;
+    range = 120.;
+    cs_range = 180.;
+    cws = Array.make n 32;
+    duration;
+    seed;
+  }
+
+let test_sharded_single_shard_matches_run_grid () =
+  let seed = 5 in
+  let cfg = sharded_config ~seed 40 in
+  let sh = Netsim.Sharded.run ~telemetry:(quiet ()) ~shards:1 cfg in
+  let single =
+    Netsim.Spatial.run_grid ~telemetry:(quiet ())
+      ~rng_of:(Netsim.Sharded.node_rng ~seed) ~params:cfg.params
+      ~positions:cfg.positions ~range:cfg.range ~cs_range:cfg.cs_range
+      ~cws:cfg.cws ~duration:cfg.duration ~seed ()
+  in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d stats bit-identical" i)
+        true
+        (Netsim.Spatial.equal_stats s single.per_node.(i)))
+    sh.per_node;
+  Alcotest.(check int) "one live shard" 1 (Array.length sh.shards);
+  Alcotest.(check int) "nothing mirrored" 0 sh.shards.(0).mirrored
+
+let test_sharded_deterministic_across_workers () =
+  let cfg = sharded_config ~seed:13 60 in
+  let run workers =
+    Netsim.Sharded.run ~telemetry:(quiet ())
+      ~pool:(Runner.Pool.create ~registry:(quiet ()) ~workers ())
+      ~shards:3 cfg
+  in
+  let a = run 1 and b = run 3 in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d stats identical across pools" i)
+        true
+        (Netsim.Spatial.equal_stats s b.per_node.(i)))
+    a.per_node;
+  Alcotest.(check int) "same delivered" a.delivered b.delivered
+
+let test_sharded_close_to_single () =
+  (* The calibrated statistical point lives in the conformance suite; this
+     is a loose smoke that the boundary protocol is not nonsense. *)
+  let seed = 21 in
+  let cfg = sharded_config ~duration:1. ~seed 60 in
+  let sh = Netsim.Sharded.run ~telemetry:(quiet ()) ~shards:3 cfg in
+  let single =
+    Netsim.Spatial.run_grid ~telemetry:(quiet ())
+      ~rng_of:(Netsim.Sharded.node_rng ~seed) ~params:cfg.params
+      ~positions:cfg.positions ~range:cfg.range ~cs_range:cfg.cs_range
+      ~cws:cfg.cws ~duration:cfg.duration ~seed ()
+  in
+  let total r =
+    Array.fold_left
+      (fun acc (s : Netsim.Spatial.node_stats) -> acc + s.successes)
+      0 r
+  in
+  let a = total sh.per_node and b = total single.per_node in
+  Alcotest.(check bool) "both deliver" true (a > 0 && b > 0);
+  let rel =
+    Float.abs (float_of_int a -. float_of_int b)
+    /. float_of_int (Stdlib.max a b)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery within 25%% (rel %.3f)" rel)
+    true (rel < 0.25)
+
+let suite_scale =
+  [
+    QCheck_alcotest.to_alcotest test_grid_query_matches_scan;
+    QCheck_alcotest.to_alcotest test_grid_move_incremental;
+    Alcotest.test_case "run_grid bit-matches run" `Quick
+      test_run_grid_bit_matches_run;
+    Alcotest.test_case "sharded = run_grid at one shard" `Quick
+      test_sharded_single_shard_matches_run_grid;
+    Alcotest.test_case "sharded deterministic across workers" `Quick
+      test_sharded_deterministic_across_workers;
+    Alcotest.test_case "sharded close to single-domain" `Quick
+      test_sharded_close_to_single;
+  ]
+
 let suite_slotted =
   [
     Alcotest.test_case "deterministic" `Quick test_slotted_deterministic;
@@ -569,4 +757,9 @@ let suite_spatial =
   ]
 
 let () =
-  Alcotest.run "netsim" [ ("slotted", suite_slotted); ("spatial", suite_spatial) ]
+  Alcotest.run "netsim"
+    [
+      ("slotted", suite_slotted);
+      ("spatial", suite_spatial);
+      ("scale", suite_scale);
+    ]
